@@ -1,0 +1,104 @@
+//! The trivial 1 × 1 synopsis.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use dpgrid_core::Synopsis;
+use dpgrid_geo::{Domain, GeoDataset, Rect};
+use dpgrid_mech::LaplaceMechanism;
+
+use crate::Result;
+
+/// The degenerate "grid" of size 1 × 1: release one noisy total count
+/// and answer every query by area proportion.
+///
+/// §IV-A: *"In the extreme case where the dataset is completely uniform
+/// … the optimal grid size is 1 × 1."* `FlatCount` is that extreme — the
+/// `c → ∞` anchor of Guideline 1 — and doubles as a sanity baseline in
+/// the experiments: any method worth releasing should beat it on
+/// non-uniform data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlatCount {
+    domain: Domain,
+    epsilon: f64,
+    noisy_total: f64,
+}
+
+impl FlatCount {
+    /// Builds the synopsis: a single Laplace-noised total.
+    pub fn build(dataset: &GeoDataset, epsilon: f64, rng: &mut impl Rng) -> Result<Self> {
+        let mech = LaplaceMechanism::for_count(epsilon)?;
+        Ok(FlatCount {
+            domain: *dataset.domain(),
+            epsilon,
+            noisy_total: mech.randomize(dataset.len() as f64, rng),
+        })
+    }
+
+    /// The released noisy total.
+    pub fn noisy_total(&self) -> f64 {
+        self.noisy_total
+    }
+}
+
+impl Synopsis for FlatCount {
+    fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn answer(&self, query: &Rect) -> f64 {
+        self.noisy_total * self.domain.coverage(query)
+    }
+
+    fn cells(&self) -> Vec<(Rect, f64)> {
+        vec![(*self.domain.rect(), self.noisy_total)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpgrid_geo::generators;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_data_answered_well() {
+        let domain = Domain::from_corners(0.0, 0.0, 10.0, 10.0).unwrap();
+        let ds = generators::uniform(domain, 10_000, &mut rng(1));
+        let f = FlatCount::build(&ds, 1.0, &mut rng(2)).unwrap();
+        let q = Rect::new(0.0, 0.0, 5.0, 5.0).unwrap();
+        let truth = ds.count_in(&q) as f64;
+        // Quarter of the domain → about a quarter of the points; the only
+        // errors are sampling variation and one Laplace draw.
+        assert!(
+            (f.answer(&q) - truth).abs() < 150.0,
+            "answer {} truth {truth}",
+            f.answer(&q)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        let domain = Domain::from_corners(0.0, 0.0, 1.0, 1.0).unwrap();
+        let ds = generators::uniform(domain, 10, &mut rng(3));
+        assert!(FlatCount::build(&ds, 0.0, &mut rng(4)).is_err());
+    }
+
+    #[test]
+    fn single_cell() {
+        let domain = Domain::from_corners(0.0, 0.0, 1.0, 1.0).unwrap();
+        let ds = generators::uniform(domain, 100, &mut rng(5));
+        let f = FlatCount::build(&ds, 1e9, &mut rng(6)).unwrap();
+        assert_eq!(f.cells().len(), 1);
+        assert!((f.noisy_total() - 100.0).abs() < 1e-3);
+        assert!((f.total_estimate() - 100.0).abs() < 1e-3);
+    }
+}

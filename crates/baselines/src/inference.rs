@@ -1,0 +1,420 @@
+//! Generic minimum-variance constrained inference for count trees.
+//!
+//! Hay et al. ("Boosting the accuracy of differentially private
+//! histograms through consistency", VLDB 2010) observed that when a DP
+//! release contains a noisy count for a node *and* noisy counts for the
+//! partition of that node into children, the redundancy can be exploited:
+//! the consistent estimate minimising variance is computable in two
+//! linear passes.
+//!
+//! This module implements the engine for **arbitrary branching factors
+//! and per-node noise variances** (Hay et al. present the uniform binary
+//! case):
+//!
+//! 1. **Upward pass** — for each node compute the best subtree-total
+//!    estimate `z[v]` by inverse-variance averaging of the node's own
+//!    noisy count with the sum of its children's `z` values;
+//! 2. **Downward pass** — fix `u[root] = z[root]` and push each node's
+//!    surplus `u[v] − Σ z[children]` down, distributing it across
+//!    children **proportionally to their variances** (equal distribution
+//!    when variances are equal, recovering Hay's formula and the paper's
+//!    AG update).
+//!
+//! The engine is shared by the hierarchy baseline, the KD-tree baselines
+//! and — conceptually — AG, whose closed-form two-level inference is the
+//! `depth = 2` special case (pinned by a test below).
+
+use crate::{BaselineError, Result};
+
+/// A node of a [`CiTree`]: a noisy observation plus its noise variance.
+#[derive(Debug, Clone)]
+struct CiNode {
+    noisy: f64,
+    variance: f64,
+    children: Vec<usize>,
+    /// Upward-pass estimate of the subtree total.
+    z: f64,
+    /// Variance of `z`.
+    z_var: f64,
+    /// Final consistent estimate.
+    u: f64,
+}
+
+/// An arena-allocated tree of noisy counts supporting constrained
+/// inference.
+///
+/// Build with [`CiTree::add_node`] / [`CiTree::set_children`], then call
+/// [`CiTree::run`]. Multiple roots are allowed (a forest) — the
+/// hierarchy baseline's coarsest level is exactly that.
+#[derive(Debug, Clone, Default)]
+pub struct CiTree {
+    nodes: Vec<CiNode>,
+}
+
+impl CiTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        CiTree::default()
+    }
+
+    /// Creates an empty tree with capacity for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        CiTree {
+            nodes: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a node with its noisy count and noise variance, returning its
+    /// id. Variance must be positive and finite.
+    pub fn add_node(&mut self, noisy: f64, variance: f64) -> Result<usize> {
+        if !variance.is_finite() || variance <= 0.0 {
+            return Err(BaselineError::InvalidConfig(format!(
+                "node variance must be positive and finite, got {variance}"
+            )));
+        }
+        if !noisy.is_finite() {
+            return Err(BaselineError::InvalidConfig(format!(
+                "node count must be finite, got {noisy}"
+            )));
+        }
+        self.nodes.push(CiNode {
+            noisy,
+            variance,
+            children: Vec::new(),
+            z: 0.0,
+            z_var: 0.0,
+            u: 0.0,
+        });
+        Ok(self.nodes.len() - 1)
+    }
+
+    /// Declares `children` as the partition of `parent`. Child ids must
+    /// already exist and be distinct from the parent.
+    pub fn set_children(&mut self, parent: usize, children: Vec<usize>) -> Result<()> {
+        if parent >= self.nodes.len() {
+            return Err(BaselineError::InvalidConfig(format!(
+                "parent id {parent} out of range"
+            )));
+        }
+        for &c in &children {
+            if c >= self.nodes.len() || c == parent {
+                return Err(BaselineError::InvalidConfig(format!(
+                    "child id {c} invalid for parent {parent}"
+                )));
+            }
+        }
+        self.nodes[parent].children = children;
+        Ok(())
+    }
+
+    /// Runs both passes from the given roots and returns the consistent
+    /// estimate for every node (indexed by node id).
+    ///
+    /// After the run, for every internal node: `u[v] = Σ u[children]`.
+    pub fn run(&mut self, roots: &[usize]) -> Result<Vec<f64>> {
+        for &r in roots {
+            if r >= self.nodes.len() {
+                return Err(BaselineError::InvalidConfig(format!(
+                    "root id {r} out of range"
+                )));
+            }
+        }
+        // Iterative post-order (upward pass).
+        for &root in roots {
+            self.upward(root);
+        }
+        // Iterative pre-order (downward pass).
+        for &root in roots {
+            self.nodes[root].u = self.nodes[root].z;
+            self.downward(root);
+        }
+        Ok(self.nodes.iter().map(|n| n.u).collect())
+    }
+
+    /// Consistent estimate of a node after [`CiTree::run`].
+    pub fn estimate(&self, id: usize) -> f64 {
+        self.nodes[id].u
+    }
+
+    fn upward(&mut self, root: usize) {
+        // Explicit stack post-order: (node, children_processed).
+        let mut stack = vec![(root, false)];
+        while let Some((v, processed)) = stack.pop() {
+            if processed || self.nodes[v].children.is_empty() {
+                if self.nodes[v].children.is_empty() {
+                    self.nodes[v].z = self.nodes[v].noisy;
+                    self.nodes[v].z_var = self.nodes[v].variance;
+                } else {
+                    let (mut sum_z, mut sum_var) = (0.0, 0.0);
+                    for i in 0..self.nodes[v].children.len() {
+                        let c = self.nodes[v].children[i];
+                        sum_z += self.nodes[c].z;
+                        sum_var += self.nodes[c].z_var;
+                    }
+                    // Inverse-variance combination of own count vs child sum.
+                    let own_var = self.nodes[v].variance;
+                    let w = (1.0 / own_var) / (1.0 / own_var + 1.0 / sum_var);
+                    self.nodes[v].z = w * self.nodes[v].noisy + (1.0 - w) * sum_z;
+                    self.nodes[v].z_var = 1.0 / (1.0 / own_var + 1.0 / sum_var);
+                }
+            } else {
+                stack.push((v, true));
+                for i in 0..self.nodes[v].children.len() {
+                    let c = self.nodes[v].children[i];
+                    stack.push((c, false));
+                }
+            }
+        }
+    }
+
+    fn downward(&mut self, root: usize) {
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            if self.nodes[v].children.is_empty() {
+                continue;
+            }
+            let (mut sum_z, mut sum_var) = (0.0, 0.0);
+            for i in 0..self.nodes[v].children.len() {
+                let c = self.nodes[v].children[i];
+                sum_z += self.nodes[c].z;
+                sum_var += self.nodes[c].z_var;
+            }
+            let surplus = self.nodes[v].u - sum_z;
+            for i in 0..self.nodes[v].children.len() {
+                let c = self.nodes[v].children[i];
+                // Share proportional to the child's variance: noisier
+                // children absorb more of the correction.
+                let share = self.nodes[c].z_var / sum_var;
+                self.nodes[c].u = self.nodes[c].z + surplus * share;
+                stack.push(c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a uniform b-ary tree of the given depth with all-equal
+    /// noisy counts and variances; returns (tree, root, leaf ids).
+    fn uniform_tree(branching: usize, depth: usize, noisy: f64, var: f64) -> (CiTree, usize, Vec<usize>) {
+        let mut t = CiTree::new();
+        fn build(
+            t: &mut CiTree,
+            branching: usize,
+            depth: usize,
+            noisy: f64,
+            var: f64,
+            leaves: &mut Vec<usize>,
+        ) -> usize {
+            let id = t.add_node(noisy, var).unwrap();
+            if depth > 0 {
+                let children: Vec<usize> = (0..branching)
+                    .map(|_| build(t, branching, depth - 1, noisy / branching as f64, var, leaves))
+                    .collect();
+                t.set_children(id, children).unwrap();
+            } else {
+                leaves.push(id);
+            }
+            id
+        }
+        let mut leaves = Vec::new();
+        let root = build(&mut t, branching, depth, noisy, var, &mut leaves);
+        (t, root, leaves)
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut t = CiTree::new();
+        assert!(t.add_node(1.0, 0.0).is_err());
+        assert!(t.add_node(f64::NAN, 1.0).is_err());
+        let a = t.add_node(1.0, 1.0).unwrap();
+        assert!(t.set_children(a, vec![a]).is_err());
+        assert!(t.set_children(99, vec![]).is_err());
+        assert!(t.set_children(a, vec![99]).is_err());
+        assert!(t.run(&[99]).is_err());
+    }
+
+    #[test]
+    fn consistency_after_run() {
+        let (mut t, root, _) = uniform_tree(3, 3, 27.0, 2.0);
+        let u = t.run(&[root]).unwrap();
+        // Every internal node equals the sum of its children.
+        for v in 0..t.len() {
+            let children = t.nodes[v].children.clone();
+            if !children.is_empty() {
+                let child_sum: f64 = children.iter().map(|&c| u[c]).sum();
+                assert!(
+                    (u[v] - child_sum).abs() < 1e-9,
+                    "node {v}: {} vs {child_sum}",
+                    u[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_observations_are_untouched() {
+        // When child sums already equal parents, CI changes nothing.
+        let mut t = CiTree::new();
+        let root = t.add_node(10.0, 1.0).unwrap();
+        let a = t.add_node(4.0, 1.0).unwrap();
+        let b = t.add_node(6.0, 1.0).unwrap();
+        t.set_children(root, vec![a, b]).unwrap();
+        let u = t.run(&[root]).unwrap();
+        assert!((u[root] - 10.0).abs() < 1e-12);
+        assert!((u[a] - 4.0).abs() < 1e-12);
+        assert!((u[b] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_ag_two_level_closed_form() {
+        // depth-2 CI with one parent and m2² children must equal the
+        // paper's AG formula (implemented independently in dpgrid-core).
+        let alpha = 0.5f64;
+        let eps = 1.0f64;
+        let m2 = 3usize;
+        let v = 40.0;
+        let leaf_counts = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+
+        // Closed form from dpgrid-core.
+        let mut leaves_core = leaf_counts.to_vec();
+        let inf = dpgrid_core::inference::two_level_inference(v, alpha, &mut leaves_core);
+
+        // Generic engine.
+        let var_v = 2.0 / (alpha * eps).powi(2);
+        let var_u = 2.0 / ((1.0 - alpha) * eps).powi(2);
+        let mut t = CiTree::new();
+        let root = t.add_node(v, var_v).unwrap();
+        let children: Vec<usize> = leaf_counts
+            .iter()
+            .map(|&u| t.add_node(u, var_u).unwrap())
+            .collect();
+        t.set_children(root, children.clone()).unwrap();
+        let u = t.run(&[root]).unwrap();
+
+        assert!(
+            (u[root] - inf.adjusted_total).abs() < 1e-9,
+            "root {} vs closed form {}",
+            u[root],
+            inf.adjusted_total
+        );
+        for (i, &c) in children.iter().enumerate() {
+            assert!(
+                (u[c] - leaves_core[i]).abs() < 1e-9,
+                "leaf {i}: {} vs {}",
+                u[c],
+                leaves_core[i]
+            );
+        }
+        let _ = m2;
+    }
+
+    #[test]
+    fn variance_weighting_prefers_reliable_observations() {
+        // Parent observed precisely (tiny variance), children noisily:
+        // the root estimate must stay near the parent's observation.
+        let mut t = CiTree::new();
+        let root = t.add_node(100.0, 1e-6).unwrap();
+        let a = t.add_node(10.0, 100.0).unwrap();
+        let b = t.add_node(10.0, 100.0).unwrap();
+        t.set_children(root, vec![a, b]).unwrap();
+        let u = t.run(&[root]).unwrap();
+        assert!((u[root] - 100.0).abs() < 0.01, "root {}", u[root]);
+        // The huge surplus is split equally (equal child variances).
+        assert!((u[a] - u[b]).abs() < 1e-9);
+        assert!((u[a] + u[b] - u[root]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unequal_child_variances_share_surplus_proportionally() {
+        let mut t = CiTree::new();
+        let root = t.add_node(90.0, 1e-9).unwrap(); // pin the total
+        let precise = t.add_node(10.0, 1.0).unwrap();
+        let noisy = t.add_node(10.0, 9.0).unwrap();
+        t.set_children(root, vec![precise, noisy]).unwrap();
+        let u = t.run(&[root]).unwrap();
+        // Surplus 70 split 1:9.
+        assert!((u[precise] - 17.0).abs() < 1e-3, "{}", u[precise]);
+        assert!((u[noisy] - 73.0).abs() < 1e-3, "{}", u[noisy]);
+    }
+
+    #[test]
+    fn forest_roots_run_independently() {
+        let mut t = CiTree::new();
+        let r1 = t.add_node(10.0, 1.0).unwrap();
+        let a = t.add_node(3.0, 1.0).unwrap();
+        let b = t.add_node(5.0, 1.0).unwrap();
+        t.set_children(r1, vec![a, b]).unwrap();
+        let r2 = t.add_node(7.0, 1.0).unwrap();
+        let u = t.run(&[r1, r2]).unwrap();
+        assert!((u[r2] - 7.0).abs() < 1e-12);
+        assert!((u[a] + u[b] - u[r1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deep_tree_does_not_overflow_stack() {
+        // A path of 100 000 unary nodes exercises the iterative passes.
+        let mut t = CiTree::with_capacity(100_000);
+        let mut prev = t.add_node(1.0, 1.0).unwrap();
+        let root = prev;
+        for _ in 0..99_999 {
+            let next = t.add_node(1.0, 1.0).unwrap();
+            t.set_children(prev, vec![next]).unwrap();
+            prev = next;
+        }
+        let u = t.run(&[root]).unwrap();
+        assert!(u.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn variance_reduction_statistical() {
+        // Monte-Carlo: the CI root estimate of a binary tree beats the
+        // raw root observation in mean squared error.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let lap = dpgrid_mech::Laplace::new(1.0).unwrap();
+        let truth_root = 100.0;
+        let truth_leaf = 25.0;
+        let trials = 5_000;
+        let (mut mse_raw, mut mse_ci) = (0.0, 0.0);
+        for _ in 0..trials {
+            let mut t = CiTree::new();
+            let noisy_root = truth_root + lap.sample(&mut rng);
+            let root = t.add_node(noisy_root, 2.0).unwrap();
+            let mids: Vec<usize> = (0..2)
+                .map(|_| {
+                    t.add_node(2.0 * truth_leaf + lap.sample(&mut rng), 2.0)
+                        .unwrap()
+                })
+                .collect();
+            t.set_children(root, mids.clone()).unwrap();
+            for &m in &mids {
+                let leaves: Vec<usize> = (0..2)
+                    .map(|_| {
+                        t.add_node(truth_leaf + lap.sample(&mut rng), 2.0).unwrap()
+                    })
+                    .collect();
+                t.set_children(m, leaves).unwrap();
+            }
+            let u = t.run(&[root]).unwrap();
+            mse_raw += (noisy_root - truth_root).powi(2);
+            mse_ci += (u[root] - truth_root).powi(2);
+        }
+        assert!(
+            mse_ci < mse_raw * 0.8,
+            "CI mse {mse_ci} not clearly below raw {mse_raw}"
+        );
+    }
+}

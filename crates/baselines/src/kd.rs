@@ -1,0 +1,716 @@
+//! KD-tree baselines: `KD-standard` and `KD-hybrid` (Cormode et al.,
+//! "Differentially private spatial decompositions", ICDE 2012).
+//!
+//! Both build a spatial decomposition tree over a fine *base frequency
+//! matrix* of the dataset and release noisy counts at every level:
+//!
+//! * **KD-standard** (`Kst`) splits every node along the (alternating)
+//!   axis at a privately selected near-median boundary, chosen by the
+//!   exponential mechanism with utility `−|rank(split) − n/2|`;
+//! * **KD-hybrid** (`Khy`) uses midpoint quadtree splits (which consume
+//!   no budget) for the first `quad_levels` levels and noisy-median KD
+//!   splits below, plus geometric budget allocation across levels — the
+//!   configuration \[3\] found to perform best.
+//!
+//! Both apply the generic constrained inference of
+//! [`crate::inference::CiTree`] and answer queries by tree descent: fully
+//! covered nodes contribute their consistent count, partially covered
+//! leaves contribute proportionally to the overlapped area.
+//!
+//! The paper's defaults that \[3\] does not print are chosen as follows
+//! (all configurable through [`KdConfig`]): tree height
+//! `min(16, max(4, ⌈log₂ N⌉))`, base resolution 256, 30 % of the budget
+//! on medians (standard; hybrid spends it only when KD levels exist),
+//! geometric count allocation with ratio `2^(1/3)`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use dpgrid_core::Synopsis;
+use dpgrid_geo::{DenseGrid, Domain, GeoDataset, Rect, SummedAreaTable};
+use dpgrid_mech::{ExponentialMechanism, LaplaceMechanism};
+
+use crate::hierarchy::Allocation;
+use crate::inference::CiTree;
+use crate::{BaselineError, Result};
+
+/// Configuration shared by [`KdStandard`] and [`KdHybrid`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KdConfig {
+    /// Total privacy budget ε.
+    pub epsilon: f64,
+    /// Tree height (number of split levels). `None` derives it from the
+    /// target leaf granularity `N·ε/10` (the number of cells the
+    /// optimal-granularity analysis calls for), clamped to `[4, 16]` —
+    /// matching the paper's remark that trees of ~16 levels are common
+    /// for 1 M points at ε = 1.
+    pub height: Option<usize>,
+    /// For the hybrid: how many top levels use budget-free midpoint
+    /// quadtree splits. `None` = half the base matrix's axis halvings,
+    /// leaving genuine KD levels below.
+    pub quad_levels: Option<usize>,
+    /// Fraction of ε reserved for private median selection, split evenly
+    /// among the KD levels (ignored when there are none).
+    pub median_fraction: f64,
+    /// Resolution of the base frequency matrix the tree is built over.
+    pub base_resolution: usize,
+    /// Budget division among the `height + 1` count levels.
+    pub count_allocation: Allocation,
+    /// Whether to run constrained inference (on by default; \[3\] applies
+    /// it in all reported configurations).
+    pub constrained_inference: bool,
+    /// Adaptive stopping (\[3\]'s data-dependent trees): a node is not
+    /// split further when its noisy count is below `stop_factor` times
+    /// the noise standard deviation of its level (splitting such a node
+    /// would only produce pure-noise children). `0.0` disables stopping.
+    pub stop_factor: f64,
+}
+
+impl KdConfig {
+    /// Default configuration at the given budget.
+    pub fn new(epsilon: f64) -> Self {
+        KdConfig {
+            epsilon,
+            height: None,
+            quad_levels: None,
+            median_fraction: 0.3,
+            base_resolution: 256,
+            count_allocation: Allocation::Geometric {
+                ratio: 2f64.powf(1.0 / 3.0),
+            },
+            constrained_inference: true,
+            stop_factor: 3.0,
+        }
+    }
+
+    /// Overrides the tree height.
+    pub fn with_height(mut self, height: usize) -> Self {
+        self.height = Some(height);
+        self
+    }
+
+    /// Overrides the number of quadtree levels (hybrid only).
+    pub fn with_quad_levels(mut self, quad_levels: usize) -> Self {
+        self.quad_levels = Some(quad_levels);
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
+            return Err(BaselineError::InvalidConfig(format!(
+                "epsilon must be positive, got {}",
+                self.epsilon
+            )));
+        }
+        if !(0.0..1.0).contains(&self.median_fraction) {
+            return Err(BaselineError::InvalidConfig(format!(
+                "median_fraction must be in [0, 1), got {}",
+                self.median_fraction
+            )));
+        }
+        if self.base_resolution < 2 {
+            return Err(BaselineError::InvalidConfig(
+                "base_resolution must be ≥ 2".into(),
+            ));
+        }
+        if self.height == Some(0) {
+            return Err(BaselineError::InvalidConfig("height must be ≥ 1".into()));
+        }
+        if !self.stop_factor.is_finite() || self.stop_factor < 0.0 {
+            return Err(BaselineError::InvalidConfig(format!(
+                "stop_factor must be non-negative, got {}",
+                self.stop_factor
+            )));
+        }
+        Ok(())
+    }
+
+    fn resolved_height(&self, n: usize) -> usize {
+        self.height.unwrap_or_else(|| {
+            // Target the optimal-granularity leaf count N·ε/10 (the same
+            // quantity Guideline 1 optimises): a binary tree needs
+            // log₂(N·ε/10) levels to reach that many leaves. Without
+            // this, a fixed depth wastes budget on pure-noise levels at
+            // small ε.
+            let target_leaves = (self.epsilon * n.max(2) as f64 / 10.0).max(2.0);
+            let lg = target_leaves.log2().ceil() as usize;
+            lg.clamp(4, 16)
+        })
+    }
+
+    /// Levels actually reachable over a `res × res` base matrix: binary
+    /// KD splits can halve each axis `log₂ res` times (alternating), a
+    /// quadtree level consumes one halving of *both* axes. Capping the
+    /// height here keeps the per-level budget allocation from assigning
+    /// ε to levels no node can reach (which would silently waste most
+    /// of the budget under geometric allocation).
+    fn effective_height(&self, n: usize, quad: Option<usize>) -> (usize, usize) {
+        let height = self.resolved_height(n);
+        let axis_halvings = (self.base_resolution as f64).log2().floor() as usize;
+        match quad {
+            None => (height.min(2 * axis_halvings), 0),
+            Some(q) => {
+                let q = q.min(axis_halvings).min(height);
+                let reachable = q + 2 * (axis_halvings - q);
+                (height.min(reachable), q)
+            }
+        }
+    }
+}
+
+/// One node of the released KD decomposition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KdNode {
+    /// Region in base-grid cell coordinates `[c0, c1) × [r0, r1)`.
+    cells: (usize, usize, usize, usize),
+    /// Region in domain coordinates.
+    rect: Rect,
+    /// Depth in the tree (root = 0).
+    depth: usize,
+    /// Children indices (empty for leaves).
+    children: Vec<usize>,
+    /// Consistent (post-CI) count estimate.
+    estimate: f64,
+}
+
+/// A released KD decomposition: the output of [`KdStandard::build`] or
+/// [`KdHybrid::build`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KdTreeSynopsis {
+    domain: Domain,
+    epsilon: f64,
+    nodes: Vec<KdNode>,
+    height: usize,
+}
+
+/// Marker type building KD-standard trees (the paper's `Kst`).
+pub struct KdStandard;
+
+/// Marker type building KD-hybrid trees (the paper's `Khy`).
+pub struct KdHybrid;
+
+#[derive(Clone, Copy, PartialEq)]
+enum SplitStrategy {
+    /// Noisy-median binary splits at every level.
+    Standard,
+    /// Midpoint quadtree for the first `quad` levels, KD below.
+    Hybrid { quad: usize },
+}
+
+impl KdStandard {
+    /// Builds a KD-standard synopsis over `dataset`.
+    pub fn build(
+        dataset: &GeoDataset,
+        config: &KdConfig,
+        rng: &mut impl Rng,
+    ) -> Result<KdTreeSynopsis> {
+        build_tree(dataset, config, SplitStrategy::Standard, rng)
+    }
+}
+
+impl KdHybrid {
+    /// Builds a KD-hybrid synopsis over `dataset`.
+    ///
+    /// Default quadtree depth: half the axis halvings of the base
+    /// matrix, leaving genuine KD levels below (e.g. 4 quad + up to 8 KD
+    /// levels over a 256 matrix).
+    pub fn build(
+        dataset: &GeoDataset,
+        config: &KdConfig,
+        rng: &mut impl Rng,
+    ) -> Result<KdTreeSynopsis> {
+        let height = config.resolved_height(dataset.len());
+        let axis_halvings = (config.base_resolution.max(2) as f64).log2().floor() as usize;
+        let quad = config
+            .quad_levels
+            .unwrap_or((axis_halvings / 2).max(1))
+            .min(height);
+        build_tree(dataset, config, SplitStrategy::Hybrid { quad }, rng)
+    }
+}
+
+fn build_tree(
+    dataset: &GeoDataset,
+    config: &KdConfig,
+    strategy: SplitStrategy,
+    rng: &mut impl Rng,
+) -> Result<KdTreeSynopsis> {
+    config.validate()?;
+    let quad_opt = match strategy {
+        SplitStrategy::Standard => None,
+        SplitStrategy::Hybrid { quad } => Some(quad),
+    };
+    let (height, quad) = config.effective_height(dataset.len(), quad_opt);
+    let strategy = match strategy {
+        SplitStrategy::Standard => SplitStrategy::Standard,
+        SplitStrategy::Hybrid { .. } => SplitStrategy::Hybrid { quad },
+    };
+    let res = config.base_resolution;
+    let domain = *dataset.domain();
+
+    // True counts on the base matrix, with prefix sums for O(1) range
+    // counts and cumulative scans for median utilities.
+    let base = DenseGrid::count(dataset, res, res)?;
+    let sat = base.sat();
+
+    // Budget: medians (KD levels only) + counts (all levels).
+    let kd_levels = match strategy {
+        SplitStrategy::Standard => height,
+        SplitStrategy::Hybrid { quad } => height.saturating_sub(quad),
+    };
+    let (eps_median_per_level, eps_counts) = if kd_levels > 0 && config.median_fraction > 0.0 {
+        let med_total = config.epsilon * config.median_fraction;
+        (
+            med_total / kd_levels as f64,
+            config.epsilon - med_total,
+        )
+    } else {
+        (0.0, config.epsilon)
+    };
+    // `height + 1` count levels: root .. leaves.
+    let count_epsilons = config.count_allocation.resolve(eps_counts, height + 1)?;
+    let mechs: Vec<LaplaceMechanism> = count_epsilons
+        .iter()
+        .map(|&e| LaplaceMechanism::for_count(e))
+        .collect::<dpgrid_mech::Result<_>>()?;
+
+    // Construction with adaptive stopping: each node's noisy count is
+    // drawn when the node is created (its level's ε), and a node whose
+    // noisy count is smaller than `stop_factor` child-level noise
+    // standard deviations is not split — its children would be pure
+    // noise. Each depth is a partition of the domain, so noising a whole
+    // level consumes that level's ε once (parallel composition);
+    // stopping decisions are post-processing of already-noised counts.
+    let mut nodes: Vec<KdNode> = Vec::new();
+    let mut noisy: Vec<f64> = Vec::new();
+    let root_cells = (0usize, 0usize, res, res);
+    nodes.push(KdNode {
+        cells: root_cells,
+        rect: *domain.rect(),
+        depth: 0,
+        children: Vec::new(),
+        estimate: 0.0,
+    });
+    noisy.push(mechs[0].randomize(sat.total(), rng));
+    let mut stack = vec![0usize];
+    while let Some(id) = stack.pop() {
+        let (c0, r0, c1, r1) = nodes[id].cells;
+        let depth = nodes[id].depth;
+        if depth >= height || (c1 - c0 <= 1 && r1 - r0 <= 1) {
+            continue; // leaf
+        }
+        if config.stop_factor > 0.0 {
+            let child_noise_std = mechs[depth + 1].noise_std_dev();
+            if noisy[id] < config.stop_factor * child_noise_std {
+                continue; // leaf: too sparse to be worth splitting
+            }
+        }
+        let quad_split = matches!(strategy, SplitStrategy::Hybrid { quad } if depth < quad);
+        let child_cells: Vec<(usize, usize, usize, usize)> = if quad_split
+            && c1 - c0 >= 2
+            && r1 - r0 >= 2
+        {
+            // Midpoint quadtree split: 4 children, no budget consumed.
+            let cm = (c0 + c1) / 2;
+            let rm = (r0 + r1) / 2;
+            vec![
+                (c0, r0, cm, rm),
+                (cm, r0, c1, rm),
+                (c0, rm, cm, r1),
+                (cm, rm, c1, r1),
+            ]
+        } else {
+            // Binary KD split along the alternating axis.
+            let split_x = if c1 - c0 <= 1 {
+                false
+            } else if r1 - r0 <= 1 {
+                true
+            } else {
+                depth.is_multiple_of(2)
+            };
+            let split = choose_split(
+                &sat,
+                (c0, r0, c1, r1),
+                split_x,
+                eps_median_per_level,
+                rng,
+            )?;
+            if split_x {
+                vec![(c0, r0, split, r1), (split, r0, c1, r1)]
+            } else {
+                vec![(c0, r0, c1, split), (c0, split, c1, r1)]
+            }
+        };
+        let mut child_ids = Vec::with_capacity(child_cells.len());
+        for cc in child_cells {
+            let rect = cells_to_rect(&domain, res, cc);
+            let child_id = nodes.len();
+            nodes.push(KdNode {
+                cells: cc,
+                rect,
+                depth: depth + 1,
+                children: Vec::new(),
+                estimate: 0.0,
+            });
+            let truth = sat.sum(cc.0, cc.1, cc.2, cc.3);
+            noisy.push(mechs[depth + 1].randomize(truth, rng));
+            child_ids.push(child_id);
+            stack.push(child_id);
+        }
+        nodes[id].children = child_ids;
+    }
+
+    // Constrained inference (or raw counts when disabled).
+    if config.constrained_inference {
+        let mut tree = CiTree::with_capacity(nodes.len());
+        for (node, &y) in nodes.iter().zip(&noisy) {
+            let eps = count_epsilons[node.depth];
+            tree.add_node(y, 2.0 / (eps * eps))?;
+        }
+        for (id, node) in nodes.iter().enumerate() {
+            if !node.children.is_empty() {
+                tree.set_children(id, node.children.clone())?;
+            }
+        }
+        let consistent = tree.run(&[0])?;
+        for (node, u) in nodes.iter_mut().zip(consistent) {
+            node.estimate = u;
+        }
+    } else {
+        for (node, y) in nodes.iter_mut().zip(noisy) {
+            node.estimate = y;
+        }
+    }
+
+    Ok(KdTreeSynopsis {
+        domain,
+        epsilon: config.epsilon,
+        nodes,
+        height,
+    })
+}
+
+/// Chooses a split boundary inside `(lo, hi)` of the region along the
+/// given axis. With a positive median budget the exponential mechanism
+/// selects near-median boundaries; otherwise the true median boundary is
+/// approximated by the midpoint (budget-free but data-independent).
+fn choose_split(
+    sat: &SummedAreaTable,
+    cells: (usize, usize, usize, usize),
+    split_x: bool,
+    eps_median: f64,
+    rng: &mut impl Rng,
+) -> Result<usize> {
+    let (c0, r0, c1, r1) = cells;
+    let (lo, hi) = if split_x { (c0, c1) } else { (r0, r1) };
+    debug_assert!(hi - lo >= 2);
+    let total = sat.sum(c0, r0, c1, r1);
+    if eps_median <= 0.0 || total <= 0.0 {
+        return Ok((lo + hi) / 2);
+    }
+    // Utility of boundary s: −|cum(s) − total/2| (sensitivity 1).
+    let mut scores = Vec::with_capacity(hi - lo - 1);
+    for s in lo + 1..hi {
+        let cum = if split_x {
+            sat.sum(c0, r0, s, r1)
+        } else {
+            sat.sum(c0, r0, c1, s)
+        };
+        scores.push(-(cum - total / 2.0).abs());
+    }
+    let mech = ExponentialMechanism::new(eps_median, 1.0)?;
+    let idx = mech.select(&scores, rng)?;
+    Ok(lo + 1 + idx)
+}
+
+fn cells_to_rect(domain: &Domain, res: usize, cells: (usize, usize, usize, usize)) -> Rect {
+    let d = domain.rect();
+    let fx = |i: usize| d.x0() + d.width() * (i as f64) / (res as f64);
+    let fy = |j: usize| d.y0() + d.height() * (j as f64) / (res as f64);
+    Rect::new(fx(cells.0), fy(cells.1), fx(cells.2), fy(cells.3))
+        .expect("cell ranges are ordered")
+}
+
+impl KdTreeSynopsis {
+    /// Number of nodes in the released tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.children.is_empty()).count()
+    }
+
+    /// Tree height used during construction.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    fn answer_rec(&self, id: usize, query: &Rect) -> f64 {
+        let node = &self.nodes[id];
+        let Some(overlap) = node.rect.intersection(query) else {
+            return 0.0;
+        };
+        if query.contains_rect(&node.rect) {
+            return node.estimate;
+        }
+        if node.children.is_empty() {
+            let frac = overlap.area() / node.rect.area();
+            return node.estimate * frac;
+        }
+        node.children
+            .iter()
+            .map(|&c| self.answer_rec(c, query))
+            .sum()
+    }
+}
+
+impl Synopsis for KdTreeSynopsis {
+    fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn answer(&self, query: &Rect) -> f64 {
+        let Some(q) = self.domain.clip(query) else {
+            return 0.0;
+        };
+        self.answer_rec(0, &q)
+    }
+
+    fn cells(&self) -> Vec<(Rect, f64)> {
+        self.nodes
+            .iter()
+            .filter(|n| n.children.is_empty())
+            .map(|n| (n.rect, n.estimate))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpgrid_geo::{generators, Point};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn dataset(n: usize, seed: u64) -> GeoDataset {
+        let domain = Domain::from_corners(0.0, 0.0, 16.0, 16.0).unwrap();
+        generators::uniform(domain, n, &mut rng(seed))
+    }
+
+    fn small_config(eps: f64) -> KdConfig {
+        let mut c = KdConfig::new(eps);
+        c.base_resolution = 32;
+        c.height = Some(6);
+        c
+    }
+
+    #[test]
+    fn validates_config() {
+        let ds = dataset(100, 0);
+        for bad in [
+            KdConfig::new(0.0),
+            {
+                let mut c = KdConfig::new(1.0);
+                c.median_fraction = 1.0;
+                c
+            },
+            {
+                let mut c = KdConfig::new(1.0);
+                c.base_resolution = 1;
+                c
+            },
+            KdConfig::new(1.0).with_height(0),
+        ] {
+            assert!(KdStandard::build(&ds, &bad, &mut rng(1)).is_err());
+        }
+    }
+
+    #[test]
+    fn leaves_partition_domain() {
+        let ds = dataset(2_000, 2);
+        for build in [
+            KdStandard::build(&ds, &small_config(1.0), &mut rng(3)).unwrap(),
+            KdHybrid::build(&ds, &small_config(1.0), &mut rng(4)).unwrap(),
+        ] {
+            let cells = build.cells();
+            let area: f64 = cells.iter().map(|(r, _)| r.area()).sum();
+            assert!(
+                (area - 256.0).abs() < 1e-6,
+                "leaf areas sum to {area}, expected 256"
+            );
+            // No pairwise overlap (spot-check a few pairs).
+            for i in (0..cells.len()).step_by(7) {
+                for j in (i + 1..cells.len()).step_by(11) {
+                    assert!(
+                        !cells[i].0.intersects(&cells[j].0),
+                        "leaves {i} and {j} overlap"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_shape_standard_binary_hybrid_quad() {
+        let ds = dataset(1_000, 5);
+        let st = KdStandard::build(&ds, &small_config(1.0), &mut rng(6)).unwrap();
+        // Root of a standard tree has 2 children.
+        assert_eq!(st.nodes[0].children.len(), 2);
+        let hy = KdHybrid::build(&ds, &small_config(1.0), &mut rng(7)).unwrap();
+        // Root of a hybrid tree has 4 children (quadtree level).
+        assert_eq!(hy.nodes[0].children.len(), 4);
+        assert!(hy.node_count() > st.node_count());
+    }
+
+    #[test]
+    fn consistency_after_ci() {
+        let ds = dataset(3_000, 8);
+        let t = KdHybrid::build(&ds, &small_config(0.5), &mut rng(9)).unwrap();
+        for (id, node) in t.nodes.iter().enumerate() {
+            if !node.children.is_empty() {
+                let child_sum: f64 =
+                    node.children.iter().map(|&c| t.nodes[c].estimate).sum();
+                assert!(
+                    (node.estimate - child_sum).abs() < 1e-6,
+                    "node {id}: {} vs children {child_sum}",
+                    node.estimate
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huge_epsilon_splits_near_median_and_answers_exactly() {
+        // Two clusters; with a huge budget the root split should fall
+        // between them and answers should be near-exact.
+        let domain = Domain::from_corners(0.0, 0.0, 16.0, 16.0).unwrap();
+        let mut points = Vec::new();
+        let mut r = rng(10);
+        for _ in 0..2_000 {
+            points.push(Point::new(
+                rand::Rng::random_range(&mut r, 0.0..2.0),
+                rand::Rng::random_range(&mut r, 0.0..16.0),
+            ));
+        }
+        for _ in 0..2_000 {
+            points.push(Point::new(
+                rand::Rng::random_range(&mut r, 14.0..16.0),
+                rand::Rng::random_range(&mut r, 0.0..16.0),
+            ));
+        }
+        let ds = GeoDataset::from_points(points, domain).unwrap();
+        let t = KdStandard::build(&ds, &small_config(1e9), &mut rng(11)).unwrap();
+        // Root splits on x (depth 0); the chosen boundary should sit in
+        // the empty middle band (cells 4..28 of 32 → x in [2, 14]).
+        let root_children = &t.nodes[0].children;
+        let left = &t.nodes[root_children[0]];
+        let boundary = left.rect.x1();
+        assert!(
+            (2.0..=14.0).contains(&boundary),
+            "median boundary at {boundary}"
+        );
+        // Even with no noise, KD leaves spanning the empty middle band
+        // keep a non-uniformity error on queries cutting through them;
+        // the answer must be close but not exact.
+        let q = Rect::new(0.0, 0.0, 8.0, 16.0).unwrap();
+        let truth = ds.count_in(&q) as f64;
+        assert!(
+            (t.answer(&q) - truth).abs() < truth * 0.15,
+            "answer {} truth {truth}",
+            t.answer(&q)
+        );
+        // A query aligned with the cluster (no partial leaves with mass)
+        // is answered near-exactly.
+        let aligned = Rect::new(0.0, 0.0, 16.0, 16.0).unwrap();
+        assert!((t.answer(&aligned) - 4_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn default_height_scales_with_n_and_epsilon() {
+        // Height targets ⌈log₂(N·ε/10)⌉ leaves, clamped to [4, 16].
+        let cfg = KdConfig::new(1.0);
+        assert_eq!(cfg.resolved_height(1_000_000), 17usize.clamp(4, 16)); // = 16
+        assert_eq!(cfg.resolved_height(9_000), 10); // ⌈log₂ 900⌉
+        assert_eq!(cfg.resolved_height(2), 4); // clamped up
+        // Smaller ε → shallower tree (less budget to spread).
+        let tight = KdConfig::new(0.1);
+        assert_eq!(tight.resolved_height(1_000_000), 14); // ⌈log₂ 10⁴⌉
+        assert!(tight.resolved_height(1_000_000) < cfg.resolved_height(1_000_000));
+        // Explicit override wins.
+        assert_eq!(KdConfig::new(0.1).with_height(6).resolved_height(1_000_000), 6);
+    }
+
+    #[test]
+    fn stop_factor_prunes_sparse_regions() {
+        // Sparse data at small ε: with stopping enabled the tree must
+        // prune noise-dominated regions and end up smaller.
+        let ds = dataset(2_000, 30);
+        let mut with_stop = small_config(0.2);
+        with_stop.stop_factor = 3.0;
+        let mut no_stop = with_stop;
+        no_stop.stop_factor = 0.0;
+        let a = KdHybrid::build(&ds, &with_stop, &mut rng(31)).unwrap();
+        let b = KdHybrid::build(&ds, &no_stop, &mut rng(31)).unwrap();
+        assert!(
+            a.node_count() < b.node_count(),
+            "stopping {} vs full {}",
+            a.node_count(),
+            b.node_count()
+        );
+        // Invalid factor rejected.
+        let mut bad = small_config(1.0);
+        bad.stop_factor = -1.0;
+        assert!(KdHybrid::build(&ds, &bad, &mut rng(32)).is_err());
+    }
+
+    #[test]
+    fn answers_zero_off_domain() {
+        let ds = dataset(500, 13);
+        let t = KdHybrid::build(&ds, &small_config(1.0), &mut rng(14)).unwrap();
+        let far = Rect::new(100.0, 100.0, 110.0, 110.0).unwrap();
+        assert_eq!(t.answer(&far), 0.0);
+    }
+
+    #[test]
+    fn ci_toggle_changes_estimates() {
+        let ds = dataset(1_000, 15);
+        let mut cfg = small_config(0.5);
+        let with_ci = KdHybrid::build(&ds, &cfg, &mut rng(16)).unwrap();
+        cfg.constrained_inference = false;
+        let without = KdHybrid::build(&ds, &cfg, &mut rng(16)).unwrap();
+        // Same tree shape (same RNG consumption order), different
+        // estimates.
+        assert_eq!(with_ci.node_count(), without.node_count());
+        let q = Rect::new(1.0, 1.0, 9.0, 9.0).unwrap();
+        assert_ne!(with_ci.answer(&q), without.answer(&q));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ds = dataset(800, 17);
+        let a = KdHybrid::build(&ds, &small_config(1.0), &mut rng(18)).unwrap();
+        let b = KdHybrid::build(&ds, &small_config(1.0), &mut rng(18)).unwrap();
+        let q = Rect::new(2.0, 3.0, 11.0, 13.0).unwrap();
+        assert_eq!(a.answer(&q), b.answer(&q));
+    }
+
+    #[test]
+    fn zero_median_fraction_uses_midpoints() {
+        let ds = dataset(1_000, 19);
+        let mut cfg = small_config(1.0);
+        cfg.median_fraction = 0.0;
+        let t = KdStandard::build(&ds, &cfg, &mut rng(20)).unwrap();
+        // Root split at midpoint of 32 cells → x = 8.0.
+        let left = &t.nodes[t.nodes[0].children[0]];
+        assert!((left.rect.x1() - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,48 @@
+//! Baseline differentially private synopsis methods.
+//!
+//! Every comparator the paper evaluates against, reimplemented from the
+//! cited descriptions:
+//!
+//! * [`KdStandard`] — Cormode et al.'s KD-tree with noisy-median splits
+//!   at every level (the paper's `Kst`);
+//! * [`KdHybrid`] — quadtree top levels + KD-tree below, geometric budget
+//!   allocation and constrained inference (the paper's `Khy`, the state
+//!   of the art UG/AG are measured against);
+//! * [`HierarchicalGrid`] — the `H_{b,d}` grids of Figure 3: a `b × b`
+//!   branching hierarchy of depth `d` over a base grid, with Hay-style
+//!   constrained inference;
+//! * [`Privelet`] — Xiao et al.'s wavelet method (`W_m`): 2-D Haar
+//!   standard decomposition with generalized-sensitivity noise weights;
+//! * [`FlatCount`] — the trivial 1 × 1 synopsis (total count spread
+//!   uniformly), the `c → ∞` anchor of Guideline 1;
+//! * [`inference::CiTree`] — the generic minimum-variance constrained
+//!   inference engine shared by the tree-shaped baselines (Hay et al.,
+//!   generalised to arbitrary branching and per-node budgets);
+//! * [`oned`] — 1-D flat and hierarchical histograms, the control side
+//!   of §IV-C's dimensionality contrast.
+//!
+//! All types implement [`dpgrid_core::Synopsis`], so the evaluation
+//! harness treats them interchangeably with UG/AG.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flat;
+mod hierarchy;
+pub mod inference;
+mod kd;
+pub mod oned;
+mod privelet;
+pub mod wavelet;
+
+pub use flat::FlatCount;
+pub use hierarchy::{Allocation, HierarchicalGrid, HierarchyConfig};
+pub use kd::{KdConfig, KdHybrid, KdStandard, KdTreeSynopsis};
+pub use privelet::{Privelet, PriveletConfig};
+
+/// Baselines reuse the core crate's error type: the failure modes
+/// (invalid config, geometry, mechanism) are identical.
+pub use dpgrid_core::CoreError as BaselineError;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, BaselineError>;

@@ -1,0 +1,299 @@
+//! One-dimensional histograms — the §IV-C control experiment.
+//!
+//! The paper's dimensionality analysis rests on a contrast: binary
+//! hierarchies with constrained inference are known to **win clearly in
+//! one dimension** (Hay et al. \[4\]) yet bring almost nothing in two.
+//! This module supplies the 1-D side of that contrast — a flat noisy
+//! histogram and a `b`-ary hierarchical histogram over the same bins —
+//! so the `dim` experiment can measure both sides empirically.
+//!
+//! Range queries are continuous intervals in bin units with fractional
+//! ends, mirroring the 2-D uniformity assumption.
+
+use rand::Rng;
+
+use dpgrid_geo::GeoDataset;
+use dpgrid_mech::{uniform_allocation, LaplaceMechanism};
+
+use crate::inference::CiTree;
+use crate::{BaselineError, Result};
+
+/// Projects a 2-D dataset onto the x axis as a histogram of `bins`
+/// equi-width bins over the domain's x extent.
+pub fn project_x(dataset: &GeoDataset, bins: usize) -> Vec<f64> {
+    let d = dataset.domain().rect();
+    let mut counts = vec![0.0f64; bins.max(1)];
+    for p in dataset.points() {
+        let u = (p.x - d.x0()) / d.width() * bins as f64;
+        let i = (u.max(0.0) as usize).min(bins - 1);
+        counts[i] += 1.0;
+    }
+    counts
+}
+
+/// A released 1-D histogram: noisy per-bin counts (possibly refined by
+/// hierarchical constrained inference) plus prefix sums for O(1)
+/// interval queries.
+#[derive(Debug, Clone)]
+pub struct Histogram1D {
+    bins: Vec<f64>,
+    prefix: Vec<f64>,
+    epsilon: f64,
+}
+
+impl Histogram1D {
+    /// The flat method: every bin gets `Lap(1/ε)` noise (parallel
+    /// composition — one level, full budget). The 1-D analogue of UG.
+    pub fn flat(counts: &[f64], epsilon: f64, rng: &mut impl Rng) -> Result<Self> {
+        if counts.is_empty() {
+            return Err(BaselineError::InvalidConfig(
+                "histogram needs at least one bin".into(),
+            ));
+        }
+        let mech = LaplaceMechanism::for_count(epsilon)?;
+        let bins: Vec<f64> = counts.iter().map(|&c| mech.randomize(c, rng)).collect();
+        Ok(Histogram1D::from_bins(bins, epsilon))
+    }
+
+    /// The hierarchical method of Hay et al. \[4\]: a `branching`-ary tree
+    /// over the bins (zero-padded to a power of `branching`), uniform
+    /// budget per level, noisy counts at every node, constrained
+    /// inference, answers from the consistent leaves.
+    pub fn hierarchical(
+        counts: &[f64],
+        epsilon: f64,
+        branching: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if counts.is_empty() {
+            return Err(BaselineError::InvalidConfig(
+                "histogram needs at least one bin".into(),
+            ));
+        }
+        if branching < 2 {
+            return Err(BaselineError::InvalidConfig(
+                "branching must be ≥ 2".into(),
+            ));
+        }
+        // Pad to a power of the branching factor.
+        let mut n = 1usize;
+        let mut depth = 0usize;
+        while n < counts.len() {
+            n *= branching;
+            depth += 1;
+        }
+        let mut padded = counts.to_vec();
+        padded.resize(n, 0.0);
+
+        // True sums per level, root (level 0) .. leaves (level `depth`).
+        let mut levels: Vec<Vec<f64>> = vec![padded];
+        for _ in 0..depth {
+            let finer = &levels[0];
+            let coarser: Vec<f64> = finer
+                .chunks(branching)
+                .map(|chunk| chunk.iter().sum())
+                .collect();
+            levels.insert(0, coarser);
+        }
+
+        // Noise each level with its share of ε, then run CI.
+        let epsilons = uniform_allocation(epsilon, depth + 1)?;
+        let mut tree = CiTree::with_capacity(levels.iter().map(|l| l.len()).sum());
+        let mut ids: Vec<Vec<usize>> = Vec::with_capacity(levels.len());
+        for (level, &eps) in levels.iter().zip(&epsilons) {
+            let mech = LaplaceMechanism::for_count(eps)?;
+            let var = 2.0 / (eps * eps);
+            let mut level_ids = Vec::with_capacity(level.len());
+            for &truth in level {
+                level_ids.push(tree.add_node(mech.randomize(truth, rng), var)?);
+            }
+            ids.push(level_ids);
+        }
+        for li in 0..ids.len() - 1 {
+            for (pi, &parent) in ids[li].iter().enumerate() {
+                let children: Vec<usize> = (0..branching)
+                    .map(|k| ids[li + 1][pi * branching + k])
+                    .collect();
+                tree.set_children(parent, children)?;
+            }
+        }
+        let roots: Vec<usize> = ids[0].clone();
+        let consistent = tree.run(&roots)?;
+        let mut bins: Vec<f64> = ids
+            .last()
+            .expect("at least one level")
+            .iter()
+            .map(|&id| consistent[id])
+            .collect();
+        bins.truncate(counts.len());
+        Ok(Histogram1D::from_bins(bins, epsilon))
+    }
+
+    fn from_bins(bins: Vec<f64>, epsilon: f64) -> Self {
+        let mut prefix = Vec::with_capacity(bins.len() + 1);
+        prefix.push(0.0);
+        for &b in &bins {
+            prefix.push(prefix.last().unwrap() + b);
+        }
+        Histogram1D {
+            bins,
+            prefix,
+            epsilon,
+        }
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether the histogram has no bins.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// The released bin values.
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// The privacy budget consumed.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Estimated count on the continuous interval `[a, b]` in bin units
+    /// (clamped to `[0, len]`), with fractional end bins under the
+    /// uniformity assumption.
+    pub fn answer(&self, a: f64, b: f64) -> f64 {
+        let n = self.bins.len() as f64;
+        let a = a.clamp(0.0, n);
+        let b = b.clamp(0.0, n);
+        if b <= a {
+            return 0.0;
+        }
+        let exact = |x: f64| -> f64 {
+            let i = x.floor() as usize;
+            let frac = x - i as f64;
+            let base = self.prefix[i.min(self.bins.len())];
+            if i < self.bins.len() {
+                base + self.bins[i] * frac
+            } else {
+                base
+            }
+        };
+        exact(b) - exact(a)
+    }
+
+    /// Sum of all bins.
+    pub fn total(&self) -> f64 {
+        *self.prefix.last().expect("prefix non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(Histogram1D::flat(&[], 1.0, &mut rng(0)).is_err());
+        assert!(Histogram1D::hierarchical(&[1.0], 1.0, 1, &mut rng(0)).is_err());
+        assert!(Histogram1D::flat(&[1.0], 0.0, &mut rng(0)).is_err());
+    }
+
+    #[test]
+    fn flat_huge_epsilon_exact() {
+        let counts = [3.0, 5.0, 7.0, 9.0];
+        let h = Histogram1D::flat(&counts, 1e9, &mut rng(1)).unwrap();
+        assert!((h.answer(0.0, 4.0) - 24.0).abs() < 1e-3);
+        assert!((h.answer(1.0, 3.0) - 12.0).abs() < 1e-3);
+        // Fractional ends: half of bin 0 plus half of bin 1.
+        assert!((h.answer(0.5, 1.5) - (1.5 + 2.5)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hierarchical_huge_epsilon_exact() {
+        let counts: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let h = Histogram1D::hierarchical(&counts, 1e9, 2, &mut rng(2)).unwrap();
+        for (a, b) in [(0.0, 16.0), (3.0, 11.0), (0.25, 0.75)] {
+            let truth: f64 = {
+                let exact = |x: f64| -> f64 {
+                    let i = x.floor() as usize;
+                    let mut s: f64 = counts[..i.min(16)].iter().sum();
+                    if i < 16 {
+                        s += counts[i] * (x - i as f64);
+                    }
+                    s
+                };
+                exact(b) - exact(a)
+            };
+            assert!(
+                (h.answer(a, b) - truth).abs() < 1e-3,
+                "({a},{b}): {} vs {truth}",
+                h.answer(a, b)
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_pads_non_powers() {
+        let counts = vec![1.0; 10]; // pads to 16
+        let h = Histogram1D::hierarchical(&counts, 1e9, 2, &mut rng(3)).unwrap();
+        assert_eq!(h.len(), 10);
+        assert!((h.total() - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hierarchy_beats_flat_on_large_ranges() {
+        // The Hay et al. result this module exists to demonstrate: for
+        // large 1-D ranges the hierarchy's noise is much smaller.
+        let counts = vec![0.0f64; 1024];
+        let eps = 1.0;
+        let trials = 40;
+        let mut r = rng(4);
+        let (mut err_flat, mut err_hier) = (0.0, 0.0);
+        for _ in 0..trials {
+            let f = Histogram1D::flat(&counts, eps, &mut r).unwrap();
+            let h = Histogram1D::hierarchical(&counts, eps, 2, &mut r).unwrap();
+            // A half-domain range: truth is 0, answers are pure noise.
+            err_flat += f.answer(0.0, 512.0).abs();
+            err_hier += h.answer(0.0, 512.0).abs();
+        }
+        assert!(
+            err_hier < err_flat * 0.5,
+            "hierarchy {err_hier} not clearly below flat {err_flat}"
+        );
+    }
+
+    #[test]
+    fn projection_counts_points() {
+        use dpgrid_geo::{Domain, GeoDataset, Point};
+        let domain = Domain::from_corners(0.0, 0.0, 4.0, 1.0).unwrap();
+        let ds = GeoDataset::from_points(
+            vec![
+                Point::new(0.5, 0.5),
+                Point::new(1.5, 0.2),
+                Point::new(1.7, 0.9),
+                Point::new(4.0, 1.0), // closed upper edge -> last bin
+            ],
+            domain,
+        )
+        .unwrap();
+        let bins = project_x(&ds, 4);
+        assert_eq!(bins, vec![1.0, 2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn answer_clamps_and_degenerates() {
+        let h = Histogram1D::flat(&[2.0, 2.0], 1e9, &mut rng(5)).unwrap();
+        assert_eq!(h.answer(1.0, 1.0), 0.0);
+        assert_eq!(h.answer(3.0, 2.5), 0.0);
+        assert!((h.answer(-10.0, 10.0) - 4.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,292 @@
+//! Haar wavelet transforms in the average/difference form used by
+//! Privelet (Xiao, Wang, Gehrke — TKDE 2011).
+//!
+//! The 1-D forward transform of a length-`n = 2^k` vector produces:
+//!
+//! * position 0 — the **base coefficient**: the overall average;
+//! * positions `[n/2^j, n/2^(j-1))` for `j = 1..k` — **detail
+//!   coefficients** of subtree size `2^j`: `(avg(left half) − avg(right
+//!   half)) / 2` of the corresponding dyadic block.
+//!
+//! Changing one input entry by 1 changes the base coefficient by `1/n`
+//! and one detail coefficient per level by `1/s` (`s` = its subtree
+//! size). Privelet therefore assigns each coefficient the **weight**
+//! `W = s` (and `W = n` for the base): the weighted L1 change of the
+//! whole transform — the *generalized sensitivity* — is `1 + log₂ n`,
+//! and coefficient `i` receives noise `Lap(ρ / (ε · W_i))`.
+//!
+//! The 2-D **standard decomposition** transforms every row, then every
+//! column; weights multiply and the generalized sensitivity becomes
+//! `(1 + log₂ n_x) · (1 + log₂ n_y)`.
+
+use crate::{BaselineError, Result};
+
+/// Returns `true` when `n` is a power of two (and non-zero).
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Next power of two ≥ `n` (with `next_pow2(0) == 1`).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place 1-D forward Haar transform (average/difference form).
+///
+/// `data.len()` must be a power of two.
+pub fn forward_1d(data: &mut [f64]) -> Result<()> {
+    let n = data.len();
+    if !is_power_of_two(n) {
+        return Err(BaselineError::InvalidConfig(format!(
+            "haar transform needs power-of-two length, got {n}"
+        )));
+    }
+    let mut len = n;
+    let mut buf = vec![0.0f64; n];
+    while len > 1 {
+        let half = len / 2;
+        for i in 0..half {
+            let a = data[2 * i];
+            let b = data[2 * i + 1];
+            buf[i] = (a + b) / 2.0; // block average
+            buf[half + i] = (a - b) / 2.0; // detail coefficient
+        }
+        data[..len].copy_from_slice(&buf[..len]);
+        len = half;
+    }
+    Ok(())
+}
+
+/// In-place 1-D inverse Haar transform; exact inverse of [`forward_1d`].
+pub fn inverse_1d(data: &mut [f64]) -> Result<()> {
+    let n = data.len();
+    if !is_power_of_two(n) {
+        return Err(BaselineError::InvalidConfig(format!(
+            "haar transform needs power-of-two length, got {n}"
+        )));
+    }
+    let mut len = 2;
+    let mut buf = vec![0.0f64; n];
+    while len <= n {
+        let half = len / 2;
+        for i in 0..half {
+            let avg = data[i];
+            let diff = data[half + i];
+            buf[2 * i] = avg + diff;
+            buf[2 * i + 1] = avg - diff;
+        }
+        data[..len].copy_from_slice(&buf[..len]);
+        len *= 2;
+    }
+    Ok(())
+}
+
+/// Privelet weight of 1-D coefficient position `i` in a length-`n`
+/// transform: `n` for the base coefficient, the subtree size for detail
+/// coefficients.
+pub fn weight_1d(i: usize, n: usize) -> f64 {
+    debug_assert!(is_power_of_two(n) && i < n);
+    if i == 0 {
+        return n as f64;
+    }
+    // Detail positions [n/2^j, n/2^(j-1)) carry subtree size 2^j; i.e.
+    // position i in [half, 2·half) was produced when `half = n / 2^j`,
+    // so the subtree size is n / half_floor(i) where half_floor is the
+    // largest power of two ≤ i.
+    let half = prev_pow2(i);
+    (n / half) as f64
+}
+
+fn prev_pow2(i: usize) -> usize {
+    debug_assert!(i >= 1);
+    1usize << (usize::BITS - 1 - i.leading_zeros())
+}
+
+/// Generalized sensitivity of the 1-D Privelet transform: `1 + log₂ n`.
+pub fn generalized_sensitivity_1d(n: usize) -> f64 {
+    debug_assert!(is_power_of_two(n));
+    1.0 + (n as f64).log2()
+}
+
+/// In-place 2-D forward standard decomposition over a row-major
+/// `cols × rows` matrix: transform every row, then every column.
+pub fn forward_2d(data: &mut [f64], cols: usize, rows: usize) -> Result<()> {
+    check_dims(data, cols, rows)?;
+    for r in 0..rows {
+        forward_1d(&mut data[r * cols..(r + 1) * cols])?;
+    }
+    let mut col_buf = vec![0.0f64; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col_buf[r] = data[r * cols + c];
+        }
+        forward_1d(&mut col_buf)?;
+        for r in 0..rows {
+            data[r * cols + c] = col_buf[r];
+        }
+    }
+    Ok(())
+}
+
+/// In-place 2-D inverse standard decomposition (columns first, then
+/// rows — the exact inverse of [`forward_2d`]).
+pub fn inverse_2d(data: &mut [f64], cols: usize, rows: usize) -> Result<()> {
+    check_dims(data, cols, rows)?;
+    let mut col_buf = vec![0.0f64; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col_buf[r] = data[r * cols + c];
+        }
+        inverse_1d(&mut col_buf)?;
+        for r in 0..rows {
+            data[r * cols + c] = col_buf[r];
+        }
+    }
+    for r in 0..rows {
+        inverse_1d(&mut data[r * cols..(r + 1) * cols])?;
+    }
+    Ok(())
+}
+
+/// Privelet weight of the 2-D coefficient at `(col, row)`:
+/// `weight_1d(col, cols) · weight_1d(row, rows)`.
+pub fn weight_2d(col: usize, row: usize, cols: usize, rows: usize) -> f64 {
+    weight_1d(col, cols) * weight_1d(row, rows)
+}
+
+/// Generalized sensitivity of the 2-D standard decomposition:
+/// `(1 + log₂ cols) · (1 + log₂ rows)`.
+pub fn generalized_sensitivity_2d(cols: usize, rows: usize) -> f64 {
+    generalized_sensitivity_1d(cols) * generalized_sensitivity_1d(rows)
+}
+
+fn check_dims(data: &[f64], cols: usize, rows: usize) -> Result<()> {
+    if !is_power_of_two(cols) || !is_power_of_two(rows) {
+        return Err(BaselineError::InvalidConfig(format!(
+            "2-D haar needs power-of-two dims, got {cols}x{rows}"
+        )));
+    }
+    if data.len() != cols * rows {
+        return Err(BaselineError::InvalidConfig(format!(
+            "matrix length {} != {cols}x{rows}",
+            data.len()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut v = vec![1.0, 2.0, 3.0];
+        assert!(forward_1d(&mut v).is_err());
+        assert!(inverse_1d(&mut v).is_err());
+        let mut m = vec![0.0; 6];
+        assert!(forward_2d(&mut m, 3, 2).is_err());
+        let mut short = vec![0.0; 7];
+        assert!(forward_2d(&mut short, 4, 2).is_err());
+    }
+
+    #[test]
+    fn forward_known_values() {
+        // [1, 3, 5, 7]: overall avg 4; top diff (2-6)/2 = -2;
+        // pair diffs (1-3)/2 = -1, (5-7)/2 = -1.
+        let mut v = vec![1.0, 3.0, 5.0, 7.0];
+        forward_1d(&mut v).unwrap();
+        assert_eq!(v, vec![4.0, -2.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn roundtrip_1d() {
+        let orig: Vec<f64> = (0..64).map(|i| ((i * 37) % 11) as f64 - 3.0).collect();
+        let mut v = orig.clone();
+        forward_1d(&mut v).unwrap();
+        inverse_1d(&mut v).unwrap();
+        for (a, b) in v.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let (cols, rows) = (16, 8);
+        let orig: Vec<f64> = (0..cols * rows).map(|i| ((i * 13) % 7) as f64).collect();
+        let mut m = orig.clone();
+        forward_2d(&mut m, cols, rows).unwrap();
+        inverse_2d(&mut m, cols, rows).unwrap();
+        for (a, b) in m.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn weights_1d_layout() {
+        let n = 8;
+        // Position 0: base, weight 8. Position 1: top detail (subtree 8).
+        // Positions 2-3: subtree 4. Positions 4-7: subtree 2.
+        let expect = [8.0, 8.0, 4.0, 4.0, 2.0, 2.0, 2.0, 2.0];
+        for (i, &w) in expect.iter().enumerate() {
+            assert_eq!(weight_1d(i, n), w, "position {i}");
+        }
+    }
+
+    #[test]
+    fn generalized_sensitivity_is_weighted_l1_change() {
+        // Adding 1 to any single entry changes the weighted L1 norm of
+        // the transform by exactly 1 + log2(n).
+        let n = 32;
+        for pos in [0usize, 5, 17, 31] {
+            let mut base = vec![0.0f64; n];
+            forward_1d(&mut base).unwrap();
+            let mut bumped = vec![0.0f64; n];
+            bumped[pos] = 1.0;
+            forward_1d(&mut bumped).unwrap();
+            let weighted: f64 = (0..n)
+                .map(|i| (bumped[i] - base[i]).abs() * weight_1d(i, n))
+                .sum();
+            assert!(
+                (weighted - generalized_sensitivity_1d(n)).abs() < 1e-9,
+                "pos {pos}: {weighted}"
+            );
+        }
+    }
+
+    #[test]
+    fn generalized_sensitivity_2d_is_weighted_l1_change() {
+        let (cols, rows) = (8, 4);
+        for (pc, pr) in [(0usize, 0usize), (3, 1), (7, 3), (5, 2)] {
+            let mut bumped = vec![0.0f64; cols * rows];
+            bumped[pr * cols + pc] = 1.0;
+            forward_2d(&mut bumped, cols, rows).unwrap();
+            let weighted: f64 = (0..rows)
+                .flat_map(|r| (0..cols).map(move |c| (c, r)))
+                .map(|(c, r)| bumped[r * cols + c].abs() * weight_2d(c, r, cols, rows))
+                .sum();
+            let expect = generalized_sensitivity_2d(cols, rows);
+            assert!(
+                (weighted - expect).abs() < 1e-9,
+                "bump ({pc},{pr}): {weighted} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(360), 512);
+        assert_eq!(next_pow2(512), 512);
+    }
+
+    #[test]
+    fn constant_vector_has_zero_details() {
+        let mut v = vec![5.0; 16];
+        forward_1d(&mut v).unwrap();
+        assert_eq!(v[0], 5.0);
+        assert!(v[1..].iter().all(|&d| d.abs() < 1e-12));
+    }
+}

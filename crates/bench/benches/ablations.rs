@@ -1,0 +1,110 @@
+//! Performance ablations of the design choices DESIGN.md calls out:
+//! constrained inference cost, SAT-based vs brute-force answering,
+//! adaptive vs fixed second-level grids, and noise-source cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dpgrid_bench::{bench_dataset, bench_rng};
+use dpgrid_core::{AdaptiveGrid, AgConfig, NoiseKind, Synopsis, UgConfig, UniformGrid};
+use dpgrid_geo::Rect;
+
+const N: usize = 100_000;
+const EPS: f64 = 1.0;
+
+fn ag_inference_cost(c: &mut Criterion) {
+    let dataset = bench_dataset(N);
+    let mut group = c.benchmark_group("ablate/ag_build");
+    group.sample_size(10);
+    group.bench_function("with_ci", |b| {
+        b.iter_batched(
+            bench_rng,
+            |mut rng| AdaptiveGrid::build(&dataset, &AgConfig::guideline(EPS), &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("without_ci", |b| {
+        b.iter_batched(
+            bench_rng,
+            |mut rng| {
+                AdaptiveGrid::build(
+                    &dataset,
+                    &AgConfig::guideline(EPS).without_inference(),
+                    &mut rng,
+                )
+                .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("fixed_m2_4", |b| {
+        b.iter_batched(
+            bench_rng,
+            |mut rng| {
+                AdaptiveGrid::build(
+                    &dataset,
+                    &AgConfig::guideline(EPS).with_fixed_m2(4),
+                    &mut rng,
+                )
+                .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn answering_paths(c: &mut Criterion) {
+    let dataset = bench_dataset(N);
+    let mut rng = bench_rng();
+    let ug = UniformGrid::build(&dataset, &UgConfig::fixed(EPS, 128), &mut rng).unwrap();
+    let q = Rect::new(-110.0, 25.0, -90.0, 40.0).unwrap();
+    let mut group = c.benchmark_group("ablate/answer");
+    // SAT-backed O(1) interior answering.
+    group.bench_function("sat_path", |b| {
+        b.iter(|| black_box(ug.answer(black_box(&q))))
+    });
+    // The naive per-cell loop the SAT decomposition replaces.
+    group.bench_function("bruteforce_cells", |b| {
+        let cells = ug.cells();
+        b.iter(|| {
+            let sum: f64 = cells
+                .iter()
+                .map(|(rect, v)| v * rect.overlap_fraction(black_box(&q)))
+                .sum();
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn noise_sources(c: &mut Criterion) {
+    let dataset = bench_dataset(N);
+    let mut group = c.benchmark_group("ablate/noise");
+    group.sample_size(10);
+    group.bench_function("ug_laplace", |b| {
+        b.iter_batched(
+            bench_rng,
+            |mut rng| UniformGrid::build(&dataset, &UgConfig::fixed(EPS, 128), &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("ug_geometric", |b| {
+        b.iter_batched(
+            bench_rng,
+            |mut rng| {
+                UniformGrid::build(
+                    &dataset,
+                    &UgConfig::fixed(EPS, 128).with_noise(NoiseKind::Geometric),
+                    &mut rng,
+                )
+                .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ag_inference_cost, answering_paths, noise_sources);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Synopsis construction time per method (§IV-C efficiency claims).
+//!
+//! The paper argues UG needs a single pass over the data, AG two passes,
+//! while recursive-partitioning methods pay one pass per tree level plus
+//! expensive split selection. These benches quantify that on a 100 k
+//! point landmark-shaped dataset.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dpgrid_baselines::{
+    HierarchicalGrid, HierarchyConfig, KdConfig, KdHybrid, KdStandard, Privelet, PriveletConfig,
+};
+use dpgrid_bench::{bench_dataset, bench_rng};
+use dpgrid_core::{AdaptiveGrid, AgConfig, UgConfig, UniformGrid};
+
+const N: usize = 100_000;
+const EPS: f64 = 1.0;
+
+fn bench_builds(c: &mut Criterion) {
+    let dataset = bench_dataset(N);
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+
+    group.bench_function("ug_guideline", |b| {
+        b.iter_batched(
+            bench_rng,
+            |mut rng| UniformGrid::build(&dataset, &UgConfig::guideline(EPS), &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("ag_guideline", |b| {
+        b.iter_batched(
+            bench_rng,
+            |mut rng| AdaptiveGrid::build(&dataset, &AgConfig::guideline(EPS), &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("privelet_256", |b| {
+        b.iter_batched(
+            bench_rng,
+            |mut rng| Privelet::build(&dataset, &PriveletConfig::new(EPS, 256), &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("hierarchy_h4_2_base256", |b| {
+        b.iter_batched(
+            bench_rng,
+            |mut rng| {
+                HierarchicalGrid::build(&dataset, &HierarchyConfig::new(EPS, 256, 4, 2), &mut rng)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("kd_standard", |b| {
+        b.iter_batched(
+            bench_rng,
+            |mut rng| KdStandard::build(&dataset, &KdConfig::new(EPS), &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("kd_hybrid", |b| {
+        b.iter_batched(
+            bench_rng,
+            |mut rng| KdHybrid::build(&dataset, &KdConfig::new(EPS), &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Microbenchmarks of the substrate: noise sampling, transforms,
+//! prefix-sum construction and exact counting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dpgrid_baselines::wavelet;
+use dpgrid_bench::{bench_dataset, bench_rng};
+use dpgrid_geo::{DenseGrid, PointIndex, Rect};
+use dpgrid_mech::{ExponentialMechanism, GeometricMechanism, Laplace};
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanisms");
+
+    group.bench_function("laplace_sample", |b| {
+        let lap = Laplace::new(1.0).unwrap();
+        let mut rng = bench_rng();
+        b.iter(|| black_box(lap.sample(&mut rng)))
+    });
+
+    group.bench_function("geometric_sample", |b| {
+        let geo = GeometricMechanism::new(1.0, 1).unwrap();
+        let mut rng = bench_rng();
+        b.iter(|| black_box(geo.sample_noise(&mut rng)))
+    });
+
+    group.bench_function("exponential_select_256", |b| {
+        let mech = ExponentialMechanism::new(1.0, 1.0).unwrap();
+        let scores: Vec<f64> = (0..256).map(|i| -((i as f64) - 128.0).abs()).collect();
+        let mut rng = bench_rng();
+        b.iter(|| black_box(mech.select(&scores, &mut rng).unwrap()))
+    });
+
+    group.bench_function("haar_forward_2d_256", |b| {
+        let base: Vec<f64> = (0..256 * 256).map(|i| (i % 17) as f64).collect();
+        b.iter(|| {
+            let mut m = base.clone();
+            wavelet::forward_2d(&mut m, 256, 256).unwrap();
+            black_box(m)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let dataset = bench_dataset(100_000);
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(20);
+
+    group.bench_function("count_grid_256", |b| {
+        b.iter(|| black_box(DenseGrid::count(&dataset, 256, 256).unwrap()))
+    });
+
+    group.bench_function("sat_build_256", |b| {
+        let grid = DenseGrid::count(&dataset, 256, 256).unwrap();
+        b.iter(|| black_box(grid.sat()))
+    });
+
+    group.bench_function("point_index_build", |b| {
+        b.iter(|| black_box(PointIndex::build(&dataset)))
+    });
+
+    group.bench_function("point_index_count", |b| {
+        let idx = PointIndex::build(&dataset);
+        let q = Rect::new(-110.0, 25.0, -90.0, 40.0).unwrap();
+        b.iter(|| black_box(idx.count(black_box(&q))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms, bench_substrate);
+criterion_main!(benches);

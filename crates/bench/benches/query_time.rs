@@ -1,0 +1,53 @@
+//! Per-query answering latency per method.
+//!
+//! UG/AG answer through summed-area tables (O(1) interior + O(perimeter)
+//! borders); KD trees descend the decomposition. These benches measure a
+//! mid-size (q4-like) and a large (q6-like) query on prebuilt synopses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dpgrid_baselines::{KdConfig, KdHybrid, Privelet, PriveletConfig};
+use dpgrid_bench::{bench_dataset, bench_rng};
+use dpgrid_core::{AdaptiveGrid, AgConfig, Synopsis, UgConfig, UniformGrid};
+use dpgrid_geo::Rect;
+
+const N: usize = 100_000;
+const EPS: f64 = 1.0;
+
+fn queries() -> Vec<(&'static str, Rect)> {
+    // landmark domain is [-130, -70] x [10, 50].
+    vec![
+        ("mid", Rect::new(-110.0, 25.0, -100.0, 30.0).unwrap()),
+        ("large", Rect::new(-125.0, 12.0, -85.0, 32.0).unwrap()),
+    ]
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let dataset = bench_dataset(N);
+    let mut rng = bench_rng();
+    let ug = UniformGrid::build(&dataset, &UgConfig::guideline(EPS), &mut rng).unwrap();
+    let ag = AdaptiveGrid::build(&dataset, &AgConfig::guideline(EPS), &mut rng).unwrap();
+    let wav = Privelet::build(&dataset, &PriveletConfig::new(EPS, 256), &mut rng).unwrap();
+    let kd = KdHybrid::build(&dataset, &KdConfig::new(EPS), &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("query");
+    for (qname, q) in queries() {
+        group.bench_function(format!("ug/{qname}"), |b| {
+            b.iter(|| black_box(ug.answer(black_box(&q))))
+        });
+        group.bench_function(format!("ag/{qname}"), |b| {
+            b.iter(|| black_box(ag.answer(black_box(&q))))
+        });
+        group.bench_function(format!("privelet/{qname}"), |b| {
+            b.iter(|| black_box(wav.answer(black_box(&q))))
+        });
+        group.bench_function(format!("kd_hybrid/{qname}"), |b| {
+            b.iter(|| black_box(kd.answer(black_box(&q))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [OPTIONS] <EXPERIMENT>...
+//!
+//! EXPERIMENT: table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | dim | ablate | all
+//!
+//! OPTIONS:
+//!   --out <DIR>       output directory            [default: results]
+//!   --scale <K>       dataset scale divisor       [default: 1 = paper scale]
+//!   --trials <T>      noise trials per method     [default: 3]
+//!   --queries <Q>     queries per size class      [default: 200]
+//!   --seed <S>        master seed                 [default: 20130408]
+//!   --eps <LIST>      comma-separated ε values    [default: 0.1,1.0]
+//! ```
+//!
+//! Each experiment writes CSV series under `<out>/<experiment>/` and the
+//! run appends a markdown summary to `<out>/SUMMARY.md` (for `all`) or
+//! prints it to stdout.
+
+use std::process::ExitCode;
+
+use dpgrid_eval::experiments::{self, ExpContext};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--out DIR] [--scale K] [--trials T] [--queries Q] \
+         [--seed S] [--eps LIST] <table2|fig1|fig2|fig3|fig4|fig5|fig6|dim|ablate|all>..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (ExpContext, Vec<String>) {
+    let mut ctx = ExpContext::paper("results");
+    let mut experiments = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--out" => ctx.out_dir = value("--out").into(),
+            "--scale" => {
+                ctx.scale = value("--scale").parse().unwrap_or_else(|_| usage());
+            }
+            "--trials" => {
+                ctx.trials = value("--trials").parse().unwrap_or_else(|_| usage());
+            }
+            "--queries" => {
+                ctx.queries_per_size = value("--queries").parse().unwrap_or_else(|_| usage());
+            }
+            "--seed" => {
+                ctx.seed = value("--seed").parse().unwrap_or_else(|_| usage());
+            }
+            "--eps" => {
+                ctx.epsilons = value("--eps")
+                    .split(',')
+                    .map(|t| t.trim().parse::<f64>().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other}");
+                usage();
+            }
+            exp => experiments.push(exp.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        usage();
+    }
+    (ctx, experiments)
+}
+
+fn main() -> ExitCode {
+    let (ctx, requested) = parse_args();
+    eprintln!(
+        "repro: out={} scale=1/{} trials={} queries/size={} seed={} eps={:?}",
+        ctx.out_dir.display(),
+        ctx.scale,
+        ctx.trials,
+        ctx.queries_per_size,
+        ctx.seed,
+        ctx.epsilons
+    );
+    let mut all_md = String::new();
+    for exp in &requested {
+        let started = std::time::Instant::now();
+        let result = match exp.as_str() {
+            "table2" => experiments::table2::run(&ctx),
+            "fig1" => experiments::fig1::run(&ctx),
+            "fig2" => experiments::fig2::run(&ctx),
+            "fig3" => experiments::fig3::run(&ctx),
+            "fig4" => experiments::fig4::run(&ctx),
+            "fig5" => experiments::fig5::run(&ctx),
+            "fig6" => experiments::fig6::run(&ctx),
+            "dim" => experiments::dim::run(&ctx),
+            "ablate" => experiments::ablate::run(&ctx),
+            "all" => experiments::run_all(&ctx),
+            other => {
+                eprintln!("unknown experiment `{other}`");
+                usage();
+            }
+        };
+        match result {
+            Ok(md) => {
+                eprintln!(
+                    "repro: {exp} done in {:.1}s",
+                    started.elapsed().as_secs_f64()
+                );
+                all_md.push_str(&md);
+            }
+            Err(e) => {
+                eprintln!("repro: {exp} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("{all_md}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,23 @@
+//! Shared fixtures for the criterion benches and the `repro` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dpgrid_geo::generators::PaperDataset;
+use dpgrid_geo::GeoDataset;
+
+/// Deterministic dataset fixture used by the benches: `landmark`-shaped
+/// data at the requested size.
+pub fn bench_dataset(n: usize) -> GeoDataset {
+    PaperDataset::Landmark
+        .generate_n(0xBE7C4, n)
+        .expect("bench dataset generates")
+}
+
+/// Deterministic RNG fixture.
+pub fn bench_rng() -> StdRng {
+    StdRng::seed_from_u64(0x5EED)
+}

@@ -1,0 +1,141 @@
+//! The paper's closed-form error model, as executable code.
+//!
+//! §II-B identifies the two error sources of partition-based synopses and
+//! §IV-A/§IV-C derive the guidelines and the dimensionality argument from
+//! them. This module encodes those formulas so that:
+//!
+//! * tests can verify the guidelines really minimise the modelled error;
+//! * the `dim` experiment regenerates the §IV-C numbers
+//!   (`4√b/√M = 0.08` vs `2b/M = 0.0008` for `M = 10⁴`, `b = 4`);
+//! * users can predict error levels before spending privacy budget.
+
+/// Standard deviation of the summed Laplace noise for a query covering
+/// an `r` fraction of the domain on an `m × m` grid with per-cell budget
+/// ε: the query touches `≈ r·m²` cells, each with noise of standard
+/// deviation `√2/ε`, so the sum has standard deviation `√(2·r)·m/ε`.
+pub fn noise_error_std(r: f64, m: usize, epsilon: f64) -> f64 {
+    let q_cells = (r * (m * m) as f64).max(0.0);
+    (2.0 * q_cells).sqrt() / epsilon
+}
+
+/// The paper's model of the non-uniformity error: the query border
+/// crosses `≈ √r·m` cells that together hold `≈ √r·N/m` points; the
+/// error is a `1/c₀` portion of that density: `√r·N / (c₀·m)`.
+pub fn nonuniformity_error(r: f64, n: usize, m: usize, c0: f64) -> f64 {
+    (r.max(0.0)).sqrt() * n as f64 / (c0 * m as f64)
+}
+
+/// Total modelled error for UG: the sum of the two sources.
+pub fn total_error(r: f64, n: usize, m: usize, epsilon: f64, c0: f64) -> f64 {
+    noise_error_std(r, m, epsilon) + nonuniformity_error(r, n, m, c0)
+}
+
+/// The `m` minimising [`total_error`] analytically:
+/// `m* = √(N·ε / (√2·c₀))` — i.e. Guideline 1 with `c = √2·c₀`.
+pub fn optimal_m(n: usize, epsilon: f64, c0: f64) -> f64 {
+    (n as f64 * epsilon / (std::f64::consts::SQRT_2 * c0)).sqrt()
+}
+
+/// Converts the paper's Guideline-1 constant `c` to the analysis constant
+/// `c₀ = c / √2`.
+pub fn c0_from_c(c: f64) -> f64 {
+    c / std::f64::consts::SQRT_2
+}
+
+/// §IV-C's dimensionality analysis: for a `d`-dimensional domain divided
+/// into `M` leaf cells, grouping `b` adjacent cells per hierarchy node,
+/// the query border consists of `2d` hyperplanes, each a fraction
+/// `b^(1/d) / M^(1/d)` of the domain. Returns the total border fraction
+/// `2·d·(b/M)^(1/d)`.
+///
+/// For `d = 1` this is the familiar `2·b/M`; the paper's example —
+/// `M = 10 000`, `b = 4` — gives `0.0008` at `d = 1` and `0.08` at
+/// `d = 2`, a 100× growth that explains why hierarchies lose their edge
+/// in two dimensions.
+pub fn border_fraction(d: u32, m_cells: u64, b: u64) -> f64 {
+    assert!(d >= 1, "dimension must be at least 1");
+    let ratio = (b as f64 / m_cells as f64).powf(1.0 / d as f64);
+    2.0 * d as f64 * ratio
+}
+
+/// Expected noise standard deviation on a single cell released with
+/// budget ε (sensitivity-1 Laplace): `√2/ε`. A convenience the
+/// experiment code uses when reporting predicted-vs-observed noise.
+pub fn per_cell_noise_std(epsilon: f64) -> f64 {
+    std::f64::consts::SQRT_2 / epsilon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_error_grows_linearly_in_m() {
+        let a = noise_error_std(0.25, 100, 1.0);
+        let b = noise_error_std(0.25, 200, 1.0);
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonuniformity_error_shrinks_in_m() {
+        let a = nonuniformity_error(0.25, 1_000_000, 100, 10.0);
+        let b = nonuniformity_error(0.25, 1_000_000, 200, 10.0);
+        assert!((a / b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_m_matches_guideline1() {
+        // Guideline 1: m = √(Nε/c) with c = √2·c₀.
+        let n = 1_000_000;
+        let eps = 1.0;
+        let c = 10.0;
+        let m_star = optimal_m(n, eps, c0_from_c(c));
+        let guideline = crate::guidelines::guideline1(n, eps, c);
+        assert!(
+            (m_star.round() as usize as i64 - guideline as i64).abs() <= 1,
+            "analysis {m_star} vs guideline {guideline}"
+        );
+    }
+
+    #[test]
+    fn optimal_m_minimises_total_error() {
+        // Evaluate the model around the optimum; the optimum must win.
+        let (n, eps, c0, r) = (1_000_000usize, 1.0, 7.0, 0.25);
+        let m_star = optimal_m(n, eps, c0).round() as usize;
+        let best = total_error(r, n, m_star, eps, c0);
+        for m in [m_star / 4, m_star / 2, m_star * 2, m_star * 4] {
+            if m >= 1 {
+                assert!(
+                    total_error(r, n, m, eps, c0) >= best,
+                    "m = {m} beats the optimum {m_star}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn border_fraction_reproduces_paper_example() {
+        // §IV-C: M = 10 000, b = 4 → 2b/M = 0.0008 in 1-D and
+        // 4√b/√M = 0.08 in 2-D.
+        let d1 = border_fraction(1, 10_000, 4);
+        assert!((d1 - 0.0008).abs() < 1e-12, "d=1: {d1}");
+        let d2 = border_fraction(2, 10_000, 4);
+        assert!((d2 - 0.08).abs() < 1e-12, "d=2: {d2}");
+    }
+
+    #[test]
+    fn border_fraction_grows_with_dimension() {
+        let mut last = 0.0;
+        for d in 1..=6 {
+            let f = border_fraction(d, 1_000_000, 8);
+            assert!(f > last, "d={d}: {f} <= {last}");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn per_cell_noise_matches_laplace() {
+        let mech = dpgrid_mech::LaplaceMechanism::for_count(0.5).unwrap();
+        assert!((per_cell_noise_std(0.5) - mech.noise_std_dev()).abs() < 1e-12);
+    }
+}

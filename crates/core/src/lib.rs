@@ -1,0 +1,74 @@
+//! The paper's primary contribution: differentially private grid synopses.
+//!
+//! This crate implements §IV of *"Differentially Private Grids for
+//! Geospatial Data"* (Qardaji, Yang, Li — ICDE 2013):
+//!
+//! * [`UniformGrid`] — the **UG** method: an equi-width `m × m` grid with
+//!   independent Laplace-noised cell counts, and **Guideline 1** for
+//!   choosing `m = √(N·ε/c)` ([`guidelines::guideline1`]);
+//! * [`AdaptiveGrid`] — the **AG** method: a coarse `m₁ × m₁` first-level
+//!   grid (budget `α·ε`) whose cells are re-partitioned into `m₂ × m₂`
+//!   leaves according to their noisy counts (**Guideline 2**,
+//!   [`guidelines::guideline2`]), glued together with two-level
+//!   constrained inference ([`inference`]);
+//! * the [`Synopsis`] trait — the release format: rectangle count queries
+//!   answered from noisy cells under the uniformity assumption;
+//! * [`analysis`] — the paper's closed-form error model (§II, §IV-C) as
+//!   executable code, including the dimensionality analysis of why
+//!   hierarchies stop paying off beyond one dimension;
+//! * [`synthetic`] — regenerating a synthetic dataset from a released
+//!   synopsis (the second use-case of §II-B).
+//!
+//! # Privacy accounting
+//!
+//! Per-cell count queries have L1 sensitivity 1 and the cells of one grid
+//! partition the domain, so noising an entire grid level consumes its ε
+//! once (parallel composition). UG spends the whole budget on its single
+//! level; AG splits sequentially: `α·ε` for level 1, `(1−α)·ε` for level
+//! 2. Both are tracked through [`dpgrid_mech::PrivacyBudget`] so
+//! over-spending is a hard error.
+//!
+//! # Example
+//!
+//! ```
+//! use dpgrid_core::{AdaptiveGrid, AgConfig, Synopsis, UgConfig, UniformGrid};
+//! use dpgrid_geo::{generators::PaperDataset, Rect};
+//! use rand::SeedableRng;
+//!
+//! let data = PaperDataset::Storage.generate_n(1, 3_000).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+//!
+//! let ug = UniformGrid::build(&data, &UgConfig::guideline(1.0), &mut rng).unwrap();
+//! let ag = AdaptiveGrid::build(&data, &AgConfig::guideline(1.0), &mut rng).unwrap();
+//!
+//! let q = Rect::new(-100.0, 30.0, -90.0, 40.0).unwrap();
+//! let truth = data.count_in(&q) as f64;
+//! // Both synopses estimate the count from noisy cells.
+//! assert!((ug.answer(&q) - truth).abs() < 1_000.0);
+//! assert!((ag.answer(&q) - truth).abs() < 1_000.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive_grid;
+pub mod analysis;
+mod error;
+pub mod guidelines;
+pub mod inference;
+mod noise;
+pub mod release;
+mod synopsis;
+pub mod synthetic;
+mod uniform_grid;
+
+pub use adaptive_grid::{AdaptiveGrid, AgCellInfo, AgConfig};
+pub use error::CoreError;
+pub use guidelines::{GridSize, NEstimate};
+pub use noise::{CountNoise, NoiseKind};
+pub use release::Release;
+pub use synopsis::Synopsis;
+pub use uniform_grid::{UgConfig, UniformGrid};
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,267 @@
+//! The portable release format.
+//!
+//! A differentially private synopsis is meant to be *published*. This
+//! module defines the method-agnostic interchange format: the domain,
+//! the consumed ε, a method tag, and the leaf cells with their noisy
+//! counts. Any [`Synopsis`] can be exported ([`Release::from_synopsis`])
+//! and the result is itself a queryable `Synopsis`, so consumers do not
+//! need the producing method's code (or its Rust types) at all.
+//!
+//! Everything in a `Release` is ε-DP output; saving, sharing and
+//! re-loading are privacy-free post-processing.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use dpgrid_geo::{Domain, GeoError, Rect};
+
+use crate::{CoreError, Result, Synopsis};
+
+/// A serialisable, method-agnostic DP release.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Release {
+    /// Producing method, free-form (e.g. `"AG(eps=1, m1=79)"`).
+    method: String,
+    /// Privacy budget consumed.
+    epsilon: f64,
+    /// The public domain.
+    domain: Domain,
+    /// Leaf cells and their released counts; the rectangles partition
+    /// the domain.
+    cells: Vec<(Rect, f64)>,
+}
+
+impl Release {
+    /// Exports any synopsis into the interchange format.
+    pub fn from_synopsis(method: impl Into<String>, synopsis: &impl Synopsis) -> Self {
+        Release {
+            method: method.into(),
+            epsilon: synopsis.epsilon(),
+            domain: *synopsis.domain(),
+            cells: synopsis.cells(),
+        }
+    }
+
+    /// Builds a release from raw parts, validating that the cells are
+    /// sane (finite counts, non-empty rectangles inside the domain, and
+    /// total area matching the domain to within 0.1 %).
+    pub fn from_parts(
+        method: impl Into<String>,
+        epsilon: f64,
+        domain: Domain,
+        cells: Vec<(Rect, f64)>,
+    ) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "release epsilon must be positive, got {epsilon}"
+            )));
+        }
+        if cells.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "release needs at least one cell".into(),
+            ));
+        }
+        let mut area = 0.0;
+        for (rect, v) in &cells {
+            if !v.is_finite() {
+                return Err(CoreError::InvalidConfig(format!(
+                    "cell count must be finite, got {v}"
+                )));
+            }
+            if rect.is_empty() || !domain.rect().contains_rect(rect) {
+                return Err(CoreError::InvalidConfig(format!(
+                    "cell {rect:?} is empty or escapes the domain"
+                )));
+            }
+            area += rect.area();
+        }
+        if (area - domain.area()).abs() > domain.area() * 1e-3 {
+            return Err(CoreError::InvalidConfig(format!(
+                "cells cover area {area}, domain has {}",
+                domain.area()
+            )));
+        }
+        Ok(Release {
+            method: method.into(),
+            epsilon,
+            domain,
+            cells,
+        })
+    }
+
+    /// The producing method tag.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// Number of leaf cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Serialises to JSON.
+    pub fn write_json<W: Write>(&self, w: W) -> Result<()> {
+        let w = BufWriter::new(w);
+        serde_json::to_writer(w, self)
+            .map_err(|e| CoreError::Geo(GeoError::Io(e.to_string())))?;
+        Ok(())
+    }
+
+    /// Deserialises from JSON, re-validating the invariants (a release
+    /// from an untrusted source must not bypass [`Release::from_parts`]).
+    pub fn read_json<R: Read>(r: R) -> Result<Self> {
+        let r = BufReader::new(r);
+        let raw: Release = serde_json::from_reader(r)
+            .map_err(|e| CoreError::Geo(GeoError::Io(e.to_string())))?;
+        Release::from_parts(raw.method, raw.epsilon, raw.domain, raw.cells)
+    }
+
+    /// Saves to a JSON file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        let f = std::fs::File::create(path).map_err(|e| CoreError::Geo(e.into()))?;
+        self.write_json(f)
+    }
+
+    /// Loads from a JSON file.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let f = std::fs::File::open(path).map_err(|e| CoreError::Geo(e.into()))?;
+        Release::read_json(f)
+    }
+}
+
+impl Synopsis for Release {
+    fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Answers by scanning the cell list (releases are consumed far less
+    /// often than they are queried during experiments, where the native
+    /// synopsis types with their prefix-sum indexes are used instead).
+    fn answer(&self, query: &Rect) -> f64 {
+        let Some(q) = self.domain.clip(query) else {
+            return 0.0;
+        };
+        self.cells
+            .iter()
+            .map(|(rect, v)| v * rect.overlap_fraction(&q))
+            .sum()
+    }
+
+    fn cells(&self) -> Vec<(Rect, f64)> {
+        self.cells.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdaptiveGrid, AgConfig, UgConfig, UniformGrid};
+    use dpgrid_geo::generators;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn dataset() -> dpgrid_geo::GeoDataset {
+        let domain = Domain::from_corners(0.0, 0.0, 8.0, 8.0).unwrap();
+        generators::uniform(domain, 1_000, &mut rng(1))
+    }
+
+    #[test]
+    fn export_preserves_answers() {
+        let ds = dataset();
+        let ug = UniformGrid::build(&ds, &UgConfig::fixed(1.0, 8), &mut rng(2)).unwrap();
+        let rel = Release::from_synopsis("UG", &ug);
+        assert_eq!(rel.method(), "UG");
+        assert_eq!(rel.epsilon(), 1.0);
+        assert_eq!(rel.cell_count(), 64);
+        for q in [
+            Rect::new(0.0, 0.0, 8.0, 8.0).unwrap(),
+            Rect::new(1.3, 2.7, 5.9, 6.1).unwrap(),
+        ] {
+            assert!((rel.answer(&q) - ug.answer(&q)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ag_export_roundtrips_through_json() {
+        let ds = dataset();
+        let ag = AdaptiveGrid::build(
+            &ds,
+            &AgConfig::guideline(0.5).with_m1(4),
+            &mut rng(3),
+        )
+        .unwrap();
+        let rel = Release::from_synopsis("AG", &ag);
+        let mut buf = Vec::new();
+        rel.write_json(&mut buf).unwrap();
+        let back = Release::read_json(&buf[..]).unwrap();
+        let q = Rect::new(0.5, 0.5, 7.5, 3.5).unwrap();
+        assert!((back.answer(&q) - ag.answer(&q)).abs() < 1e-9);
+        assert_eq!(back.cell_count(), rel.cell_count());
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let domain = Domain::from_corners(0.0, 0.0, 2.0, 1.0).unwrap();
+        let good = vec![
+            (Rect::new(0.0, 0.0, 1.0, 1.0).unwrap(), 3.0),
+            (Rect::new(1.0, 0.0, 2.0, 1.0).unwrap(), 4.0),
+        ];
+        assert!(Release::from_parts("x", 1.0, domain, good.clone()).is_ok());
+        // Bad epsilon.
+        assert!(Release::from_parts("x", 0.0, domain, good.clone()).is_err());
+        // Empty cells.
+        assert!(Release::from_parts("x", 1.0, domain, vec![]).is_err());
+        // Non-finite count.
+        let nan = vec![(Rect::new(0.0, 0.0, 2.0, 1.0).unwrap(), f64::NAN)];
+        assert!(Release::from_parts("x", 1.0, domain, nan).is_err());
+        // Escaping cell.
+        let out = vec![(Rect::new(0.0, 0.0, 3.0, 1.0).unwrap(), 1.0)];
+        assert!(Release::from_parts("x", 1.0, domain, out).is_err());
+        // Under-covering cells.
+        let hole = vec![(Rect::new(0.0, 0.0, 1.0, 1.0).unwrap(), 1.0)];
+        assert!(Release::from_parts("x", 1.0, domain, hole).is_err());
+    }
+
+    #[test]
+    fn untrusted_json_is_revalidated() {
+        // A hand-crafted JSON with a cell escaping the domain must be
+        // rejected at load time.
+        let json = r#"{
+            "method": "evil",
+            "epsilon": 1.0,
+            "domain": {"rect": {"x0": 0.0, "y0": 0.0, "x1": 1.0, "y1": 1.0}},
+            "cells": [[{"x0": 0.0, "y0": 0.0, "x1": 5.0, "y1": 5.0}, 1.0]]
+        }"#;
+        assert!(Release::read_json(json.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ds = dataset();
+        let ug = UniformGrid::build(&ds, &UgConfig::fixed(1.0, 4), &mut rng(4)).unwrap();
+        let rel = Release::from_synopsis("UG-file", &ug);
+        let path = std::env::temp_dir().join("dpgrid_release_test.json");
+        rel.save(&path).unwrap();
+        let back = Release::load(&path).unwrap();
+        assert_eq!(back.method(), "UG-file");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn synthetic_from_release() {
+        let ds = dataset();
+        let ug = UniformGrid::build(&ds, &UgConfig::fixed(5.0, 4), &mut rng(5)).unwrap();
+        let rel = Release::from_synopsis("UG", &ug);
+        let synth = crate::synthetic::synthesize(&rel, 500, &mut rng(6)).unwrap();
+        assert_eq!(synth.len(), 500);
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure 1 — illustration of the four datasets.
+//!
+//! The paper plots the raw points; we emit (a) a density-matrix CSV per
+//! dataset for external plotting, and (b) an ASCII density rendering in
+//! the markdown summary so the spatial character (two dense states,
+//! world map, east-heavy country, sparse country) is visible at a
+//! glance.
+
+use dpgrid_geo::generators::PaperDataset;
+use dpgrid_geo::DenseGrid;
+
+use super::ExpContext;
+use crate::report::Table;
+use crate::Result;
+
+/// ASCII grey ramp from empty to dense.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a density grid as ASCII art (log-scaled so heavy-tailed
+/// datasets stay legible), lowest row = southern edge.
+pub fn ascii_density(grid: &DenseGrid) -> String {
+    let max = grid
+        .values()
+        .iter()
+        .fold(0.0f64, |m, &v| m.max(v))
+        .max(1.0);
+    let log_max = (1.0 + max).ln();
+    let mut out = String::with_capacity((grid.cols() + 1) * grid.rows());
+    for r in (0..grid.rows()).rev() {
+        for c in 0..grid.cols() {
+            let v = grid.get(c, r).max(0.0);
+            let t = (1.0 + v).ln() / log_max;
+            let idx = ((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs the experiment: writes `fig1/<name>_density.csv` per dataset and
+/// returns the markdown with ASCII renderings.
+pub fn run(ctx: &ExpContext) -> Result<String> {
+    let dir = ctx.dir("fig1");
+    let mut md = String::from("## Figure 1 — dataset illustrations\n\n");
+    for which in PaperDataset::ALL {
+        let dataset = which.generate_n(ctx.seed, ctx.n_for(which))?;
+        // Aspect-ratio-aware render grid, ~72 columns.
+        let cols = 72usize;
+        let aspect = dataset.domain().height() / dataset.domain().width();
+        // Terminal characters are roughly twice as tall as wide.
+        let rows = ((cols as f64 * aspect) / 2.0).round().max(4.0) as usize;
+        let grid = DenseGrid::count(&dataset, cols, rows)?;
+
+        let mut table = Table::new(
+            format!("{} density ({} points)", which.name(), dataset.len()),
+            &["col", "row", "count"],
+        );
+        for (c, r, _, v) in grid.iter_cells() {
+            if v > 0.0 {
+                table.push_row(vec![c.to_string(), r.to_string(), format!("{v}")]);
+            }
+        }
+        table.write_csv(&dir.join(format!("{}_density.csv", which.name())))?;
+
+        md.push_str(&format!(
+            "### {} — {} points, domain {:.0} × {:.0}\n\n```text\n{}```\n\n",
+            which.name(),
+            dataset.len(),
+            dataset.domain().width(),
+            dataset.domain().height(),
+            ascii_density(&grid)
+        ));
+    }
+    Ok(md)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpgrid_geo::Domain;
+
+    #[test]
+    fn ascii_density_shape() {
+        let domain = Domain::from_corners(0.0, 0.0, 4.0, 2.0).unwrap();
+        let mut g = DenseGrid::zeros(domain, 4, 2).unwrap();
+        g.set(0, 0, 100.0);
+        let art = ascii_density(&g);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 4);
+        // Dense cell is the darkest character, and it is on the bottom
+        // row (row 0 renders last).
+        assert_eq!(lines[1].as_bytes()[0], b'@');
+        assert_eq!(lines[0].as_bytes()[0], b' ');
+    }
+
+    #[test]
+    fn empty_grid_renders_blank() {
+        let domain = Domain::from_corners(0.0, 0.0, 2.0, 2.0).unwrap();
+        let g = DenseGrid::zeros(domain, 2, 2).unwrap();
+        let art = ascii_density(&g);
+        assert!(art.chars().all(|c| c == ' ' || c == '\n'));
+    }
+}

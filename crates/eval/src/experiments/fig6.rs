@@ -1,0 +1,26 @@
+//! Figure 6 — final comparison in absolute error (log scale in the
+//! paper). The runs are shared with Figure 5; see [`super::fig5`].
+
+use super::ExpContext;
+use crate::Result;
+
+/// Runs the experiment (delegates to the shared fig5/fig6 pipeline).
+pub fn run(ctx: &ExpContext) -> Result<String> {
+    super::fig5::run_absolute(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run() {
+        let mut ctx = ExpContext::smoke(std::env::temp_dir().join("dpgrid_fig6_test"));
+        ctx.scale = 2048;
+        ctx.queries_per_size = 4;
+        let md = run(&ctx).unwrap();
+        assert!(md.contains("absolute error"));
+        assert!(ctx.dir("fig6").join("storage_eps1_abs.csv").exists());
+        let _ = std::fs::remove_dir_all(&ctx.out_dir);
+    }
+}

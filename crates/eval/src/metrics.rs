@@ -1,0 +1,144 @@
+//! Error metrics and summary statistics (§V-A).
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's relative error:
+/// `RE(r) = |Q(r) − A(r)| / max(A(r), ρ)` with `ρ = 0.001·|D|`,
+/// which avoids division by zero on empty regions.
+pub fn relative_error(estimate: f64, truth: f64, rho: f64) -> f64 {
+    (estimate - truth).abs() / truth.max(rho)
+}
+
+/// The `ρ` smoothing constant for a dataset of `n` points.
+pub fn rho_for(n: usize) -> f64 {
+    0.001 * n as f64
+}
+
+/// Absolute error `|Q(r) − A(r)|`.
+pub fn absolute_error(estimate: f64, truth: f64) -> f64 {
+    (estimate - truth).abs()
+}
+
+/// The five numbers of the paper's candlestick plots: 25th percentile
+/// (bottom of the stick), median (bottom of the box), 75th percentile
+/// (top of the box), 95th percentile (top of the stick), and the
+/// arithmetic mean (the black bar the paper pays most attention to).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candlestick {
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Candlestick {
+    /// Summarises a set of values. Returns `None` for an empty input.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Some(Candlestick {
+            p25: percentile(&sorted, 0.25),
+            median: percentile(&sorted, 0.50),
+            p75: percentile(&sorted, 0.75),
+            p95: percentile(&sorted, 0.95),
+            mean,
+        })
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_uses_rho_floor() {
+        // Truth below ρ → divide by ρ.
+        assert_eq!(relative_error(5.0, 0.0, 10.0), 0.5);
+        // Truth above ρ → divide by truth.
+        assert_eq!(relative_error(150.0, 100.0, 10.0), 0.5);
+        // Exact estimate → zero error.
+        assert_eq!(relative_error(7.0, 7.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn rho_is_point_permille() {
+        assert_eq!(rho_for(1_000_000), 1_000.0);
+        assert_eq!(rho_for(9_000), 9.0);
+    }
+
+    #[test]
+    fn absolute_error_is_symmetric() {
+        assert_eq!(absolute_error(3.0, 5.0), 2.0);
+        assert_eq!(absolute_error(5.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn candlestick_known_values() {
+        // 0..=100 → exact percentiles by construction.
+        let v: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let c = Candlestick::from_values(&v).unwrap();
+        assert_eq!(c.p25, 25.0);
+        assert_eq!(c.median, 50.0);
+        assert_eq!(c.p75, 75.0);
+        assert_eq!(c.p95, 95.0);
+        assert_eq!(c.mean, 50.0);
+    }
+
+    #[test]
+    fn candlestick_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        let c = Candlestick::from_values(&v).unwrap();
+        assert!((c.median - 2.5).abs() < 1e-12);
+        assert!((c.p25 - 1.75).abs() < 1e-12);
+        assert!((c.p75 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn candlestick_edge_cases() {
+        assert!(Candlestick::from_values(&[]).is_none());
+        let single = Candlestick::from_values(&[4.2]).unwrap();
+        assert_eq!(single.median, 4.2);
+        assert_eq!(single.p95, 4.2);
+        assert_eq!(single.mean, 4.2);
+    }
+
+    #[test]
+    fn candlestick_unsorted_input() {
+        let c = Candlestick::from_values(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(c.median, 2.0);
+        assert_eq!(c.mean, 2.0);
+    }
+
+    #[test]
+    fn candlestick_ordering_invariant() {
+        // p25 ≤ median ≤ p75 ≤ p95 for arbitrary inputs.
+        let v: Vec<f64> = (0..57).map(|i| ((i * 31) % 13) as f64 * 0.7).collect();
+        let c = Candlestick::from_values(&v).unwrap();
+        assert!(c.p25 <= c.median);
+        assert!(c.median <= c.p75);
+        assert!(c.p75 <= c.p95);
+    }
+}

@@ -1,0 +1,224 @@
+//! CSV and markdown output for experiment results.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::runner::MethodEval;
+use crate::{EvalError, Result};
+
+/// A simple rectangular table with a title, used for both CSV files and
+/// markdown summaries.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Rows of stringified values.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.header.len());
+        self.rows.push(row);
+    }
+
+    /// Renders as CSV (header + rows, comma separated, quote-free
+    /// values assumed).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table with the title as a
+    /// heading.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(io_err)?;
+        }
+        std::fs::write(path, self.to_csv()).map_err(io_err)?;
+        Ok(())
+    }
+}
+
+fn io_err(e: std::io::Error) -> EvalError {
+    EvalError::Geo(dpgrid_geo::GeoError::Io(e.to_string()))
+}
+
+/// Formats a float with 4 significant decimals, compact for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Builds the standard "mean relative error by query size" table from a
+/// set of method evaluations.
+pub fn by_size_table(title: &str, evals: &[MethodEval]) -> Table {
+    let num_sizes = evals.first().map_or(0, |e| e.mean_rel_by_size.len());
+    let mut header = vec!["method".to_string()];
+    for i in 1..=num_sizes {
+        header.push(format!("q{i}"));
+    }
+    let mut t = Table {
+        title: title.to_string(),
+        header,
+        rows: Vec::new(),
+    };
+    for e in evals {
+        let mut row = vec![e.label.clone()];
+        row.extend(e.mean_rel_by_size.iter().map(|&v| fmt(v)));
+        t.rows.push(row);
+    }
+    t
+}
+
+/// Builds the standard candlestick-profile table (relative error).
+pub fn profile_table(title: &str, evals: &[MethodEval]) -> Table {
+    let mut t = Table::new(title, &["method", "p25", "median", "p75", "p95", "mean"]);
+    for e in evals {
+        let c = e.rel_profile;
+        t.push_row(vec![
+            e.label.clone(),
+            fmt(c.p25),
+            fmt(c.median),
+            fmt(c.p75),
+            fmt(c.p95),
+            fmt(c.mean),
+        ]);
+    }
+    t
+}
+
+/// Builds the absolute-error candlestick table (Figure 6).
+pub fn abs_profile_table(title: &str, evals: &[MethodEval]) -> Table {
+    let mut t = Table::new(title, &["method", "p25", "median", "p75", "p95", "mean"]);
+    for e in evals {
+        let c = e.abs_profile;
+        t.push_row(vec![
+            e.label.clone(),
+            fmt(c.p25),
+            fmt(c.median),
+            fmt(c.p75),
+            fmt(c.p95),
+            fmt(c.mean),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Candlestick;
+
+    fn fake_eval(label: &str) -> MethodEval {
+        MethodEval {
+            label: label.to_string(),
+            mean_rel_by_size: vec![0.1, 0.2],
+            rel_profile: Candlestick {
+                p25: 0.01,
+                median: 0.05,
+                p75: 0.1,
+                p95: 0.5,
+                mean: 0.12,
+            },
+            abs_profile: Candlestick {
+                p25: 1.0,
+                median: 5.0,
+                p75: 10.0,
+                p95: 50.0,
+                mean: 12.0,
+            },
+            build_seconds: 0.01,
+        }
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new("test", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("My Table", &["x"]);
+        t.push_row(vec!["7".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### My Table"));
+        assert!(md.contains("| x |"));
+        assert!(md.contains("| 7 |"));
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.12345), "0.1235");
+        assert_eq!(fmt(3.456789), "3.457");
+        assert_eq!(fmt(1234.5), "1234");
+    }
+
+    #[test]
+    fn standard_tables() {
+        let evals = vec![fake_eval("U64"), fake_eval("A16,5")];
+        let bs = by_size_table("t", &evals);
+        assert_eq!(bs.header, vec!["method", "q1", "q2"]);
+        assert_eq!(bs.rows.len(), 2);
+        let pf = profile_table("t", &evals);
+        assert_eq!(pf.rows[0][0], "U64");
+        assert_eq!(pf.rows[0][5], "0.1200");
+        let ab = abs_profile_table("t", &evals);
+        assert_eq!(ab.rows[1][2], "5.000");
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("dpgrid_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = Table::new("x", &["c"]);
+        t.push_row(vec!["v".into()]);
+        let path = dir.join("sub/out.csv");
+        t.write_csv(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "c\nv\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

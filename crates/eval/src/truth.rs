@@ -1,0 +1,104 @@
+//! Ground-truth answers for workloads.
+
+use dpgrid_geo::{GeoDataset, PointIndex};
+
+use crate::workload::QueryWorkload;
+
+/// Exact answers for every query in a workload, shaped
+/// `answers[size_index][query_index]`.
+#[derive(Debug, Clone)]
+pub struct TruthTable {
+    answers: Vec<Vec<f64>>,
+    /// Dataset cardinality, for the ρ floor of the relative error.
+    n: usize,
+}
+
+impl TruthTable {
+    /// Computes exact answers with a [`PointIndex`].
+    pub fn compute(index: &PointIndex, workload: &QueryWorkload) -> Self {
+        let answers = (0..workload.num_sizes())
+            .map(|i| {
+                workload
+                    .queries(i)
+                    .iter()
+                    .map(|q| index.count(q) as f64)
+                    .collect()
+            })
+            .collect();
+        TruthTable {
+            answers,
+            n: index.len(),
+        }
+    }
+
+    /// Computes exact answers by scanning the dataset (slow path; used by
+    /// tests to validate the index-based fast path).
+    pub fn compute_scan(dataset: &GeoDataset, workload: &QueryWorkload) -> Self {
+        let answers = (0..workload.num_sizes())
+            .map(|i| {
+                workload
+                    .queries(i)
+                    .iter()
+                    .map(|q| dataset.count_in(q) as f64)
+                    .collect()
+            })
+            .collect();
+        TruthTable {
+            answers,
+            n: dataset.len(),
+        }
+    }
+
+    /// True answer of query `j` in size class `i`.
+    #[inline]
+    pub fn answer(&self, i: usize, j: usize) -> f64 {
+        self.answers[i][j]
+    }
+
+    /// All true answers of size class `i`.
+    pub fn answers(&self, i: usize) -> &[f64] {
+        &self.answers[i]
+    }
+
+    /// Dataset cardinality.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The paper's ρ floor: `0.001·N`.
+    pub fn rho(&self) -> f64 {
+        crate::metrics::rho_for(self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+    use dpgrid_geo::{generators, Domain};
+    use rand::SeedableRng;
+
+    #[test]
+    fn index_and_scan_agree() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let domain = Domain::from_corners(0.0, 0.0, 20.0, 10.0).unwrap();
+        let ds = generators::uniform(domain, 3_000, &mut rng);
+        let spec = WorkloadSpec {
+            q1_width: 0.5,
+            q1_height: 0.25,
+            num_sizes: 5,
+            queries_per_size: 40,
+        };
+        let w = QueryWorkload::generate(&domain, &spec, &mut rng).unwrap();
+        let idx = PointIndex::build(&ds);
+        let fast = TruthTable::compute(&idx, &w);
+        let slow = TruthTable::compute_scan(&ds, &w);
+        for i in 0..w.num_sizes() {
+            for j in 0..w.queries(i).len() {
+                assert_eq!(fast.answer(i, j), slow.answer(i, j), "({i},{j})");
+            }
+        }
+        assert_eq!(fast.n(), 3_000);
+        assert_eq!(fast.rho(), 3.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Query workload generation (§V-A).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use dpgrid_geo::{generators::PaperDataset, Domain, Rect};
+
+use crate::{EvalError, Result};
+
+/// Specification of a query workload: the smallest query size, the
+/// number of doublings, and the queries per size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Width of the smallest query `q1`.
+    pub q1_width: f64,
+    /// Height of the smallest query `q1`.
+    pub q1_height: f64,
+    /// Number of sizes (`6` in the paper; each doubles both extents, so
+    /// `q6` covers `32 × 32` times the area of `q1`).
+    pub num_sizes: usize,
+    /// Random queries per size (`200` in the paper).
+    pub queries_per_size: usize,
+}
+
+impl WorkloadSpec {
+    /// The paper's workload for one of its four datasets (Table II).
+    pub fn paper(dataset: PaperDataset) -> Self {
+        let (w, h) = dataset.q1_size();
+        WorkloadSpec {
+            q1_width: w,
+            q1_height: h,
+            num_sizes: 6,
+            queries_per_size: 200,
+        }
+    }
+
+    /// Overrides the number of queries per size (for fast test runs).
+    pub fn with_queries_per_size(mut self, n: usize) -> Self {
+        self.queries_per_size = n;
+        self
+    }
+
+    fn validate(&self, domain: &Domain) -> Result<()> {
+        if !self.q1_width.is_finite()
+            || self.q1_width <= 0.0
+            || !self.q1_height.is_finite()
+            || self.q1_height <= 0.0
+        {
+            return Err(EvalError::InvalidConfig(format!(
+                "q1 must have positive extents, got {} x {}",
+                self.q1_width, self.q1_height
+            )));
+        }
+        if self.num_sizes == 0 || self.queries_per_size == 0 {
+            return Err(EvalError::InvalidConfig(
+                "workload needs at least one size and one query".into(),
+            ));
+        }
+        if self.q1_width > domain.width() || self.q1_height > domain.height() {
+            return Err(EvalError::InvalidConfig(format!(
+                "q1 ({} x {}) exceeds the domain ({} x {})",
+                self.q1_width,
+                self.q1_height,
+                domain.width(),
+                domain.height()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A generated workload: for each size index, a batch of random
+/// query rectangles placed uniformly inside the domain.
+///
+/// Query extents are clamped to the domain size (the paper's `q6` covers
+/// between a quarter and half of the whole space, so clamping only
+/// triggers for non-paper configurations).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryWorkload {
+    /// `(width, height)` of each size class.
+    sizes: Vec<(f64, f64)>,
+    /// `queries[size_index][query_index]`.
+    queries: Vec<Vec<Rect>>,
+}
+
+impl QueryWorkload {
+    /// Generates the workload over `domain`.
+    pub fn generate(domain: &Domain, spec: &WorkloadSpec, rng: &mut impl Rng) -> Result<Self> {
+        spec.validate(domain)?;
+        let d = domain.rect();
+        let mut sizes = Vec::with_capacity(spec.num_sizes);
+        let mut queries = Vec::with_capacity(spec.num_sizes);
+        for i in 0..spec.num_sizes {
+            let scale = 2f64.powi(i as i32);
+            let w = (spec.q1_width * scale).min(domain.width());
+            let h = (spec.q1_height * scale).min(domain.height());
+            sizes.push((w, h));
+            let mut batch = Vec::with_capacity(spec.queries_per_size);
+            for _ in 0..spec.queries_per_size {
+                let max_x = d.x1() - w;
+                let max_y = d.y1() - h;
+                let x0 = if max_x > d.x0() {
+                    rng.random_range(d.x0()..=max_x)
+                } else {
+                    d.x0()
+                };
+                let y0 = if max_y > d.y0() {
+                    rng.random_range(d.y0()..=max_y)
+                } else {
+                    d.y0()
+                };
+                batch.push(Rect::new(x0, y0, x0 + w, y0 + h).expect("query inside domain"));
+            }
+            queries.push(batch);
+        }
+        Ok(QueryWorkload { sizes, queries })
+    }
+
+    /// Number of size classes.
+    pub fn num_sizes(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// `(width, height)` of size class `i`.
+    pub fn size(&self, i: usize) -> (f64, f64) {
+        self.sizes[i]
+    }
+
+    /// The queries of size class `i`.
+    pub fn queries(&self, i: usize) -> &[Rect] {
+        &self.queries[i]
+    }
+
+    /// Iterates over `(size_index, query)` pairs in order.
+    pub fn iter_flat(&self) -> impl Iterator<Item = (usize, &Rect)> {
+        self.queries
+            .iter()
+            .enumerate()
+            .flat_map(|(i, batch)| batch.iter().map(move |q| (i, q)))
+    }
+
+    /// Total number of queries across all sizes.
+    pub fn total_queries(&self) -> usize {
+        self.queries.iter().map(|b| b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn paper_specs_match_table2() {
+        let road = WorkloadSpec::paper(PaperDataset::Road);
+        assert_eq!((road.q1_width, road.q1_height), (0.5, 0.5));
+        assert_eq!(road.num_sizes, 6);
+        assert_eq!(road.queries_per_size, 200);
+        let checkin = WorkloadSpec::paper(PaperDataset::Checkin);
+        assert_eq!((checkin.q1_width, checkin.q1_height), (6.0, 3.0));
+    }
+
+    #[test]
+    fn sizes_double_and_queries_fit() {
+        let domain = PaperDataset::Road.domain();
+        let spec = WorkloadSpec::paper(PaperDataset::Road).with_queries_per_size(50);
+        let w = QueryWorkload::generate(&domain, &spec, &mut rng(1)).unwrap();
+        assert_eq!(w.num_sizes(), 6);
+        // q6 = 16 x 16 for road.
+        assert_eq!(w.size(5), (16.0, 16.0));
+        for i in 1..6 {
+            let (pw, ph) = w.size(i - 1);
+            let (cw, ch) = w.size(i);
+            assert!((cw - pw * 2.0).abs() < 1e-9);
+            assert!((ch - ph * 2.0).abs() < 1e-9);
+        }
+        for (_, q) in w.iter_flat() {
+            assert!(domain.rect().contains_rect(q), "query {q:?} escapes domain");
+        }
+        assert_eq!(w.total_queries(), 300);
+    }
+
+    #[test]
+    fn oversize_queries_clamp_to_domain() {
+        let domain = Domain::from_corners(0.0, 0.0, 4.0, 4.0).unwrap();
+        let spec = WorkloadSpec {
+            q1_width: 3.0,
+            q1_height: 3.0,
+            num_sizes: 3,
+            queries_per_size: 10,
+        };
+        let w = QueryWorkload::generate(&domain, &spec, &mut rng(2)).unwrap();
+        assert_eq!(w.size(2), (4.0, 4.0)); // clamped
+        for q in w.queries(2) {
+            assert_eq!(q.width(), 4.0);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let domain = Domain::from_corners(0.0, 0.0, 4.0, 4.0).unwrap();
+        let bad = WorkloadSpec {
+            q1_width: 5.0,
+            q1_height: 1.0,
+            num_sizes: 2,
+            queries_per_size: 10,
+        };
+        assert!(QueryWorkload::generate(&domain, &bad, &mut rng(3)).is_err());
+        let zero = WorkloadSpec {
+            q1_width: 1.0,
+            q1_height: 1.0,
+            num_sizes: 0,
+            queries_per_size: 10,
+        };
+        assert!(QueryWorkload::generate(&domain, &zero, &mut rng(3)).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let domain = PaperDataset::Landmark.domain();
+        let spec = WorkloadSpec::paper(PaperDataset::Landmark).with_queries_per_size(5);
+        let a = QueryWorkload::generate(&domain, &spec, &mut rng(7)).unwrap();
+        let b = QueryWorkload::generate(&domain, &spec, &mut rng(7)).unwrap();
+        for i in 0..a.num_sizes() {
+            assert_eq!(a.queries(i), b.queries(i));
+        }
+    }
+
+    #[test]
+    fn placement_spreads_over_domain() {
+        let domain = Domain::from_corners(0.0, 0.0, 100.0, 100.0).unwrap();
+        let spec = WorkloadSpec {
+            q1_width: 1.0,
+            q1_height: 1.0,
+            num_sizes: 1,
+            queries_per_size: 500,
+        };
+        let w = QueryWorkload::generate(&domain, &spec, &mut rng(8)).unwrap();
+        let left = w.queries(0).iter().filter(|q| q.x0() < 50.0).count();
+        let frac = left as f64 / 500.0;
+        assert!((frac - 0.5).abs() < 0.1, "left fraction {frac}");
+    }
+}

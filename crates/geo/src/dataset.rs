@@ -1,0 +1,323 @@
+//! The point-set container used by every synopsis method.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Domain, GeoError, Point, Rect, Result};
+
+/// A static geospatial dataset: a bag of points together with the public
+/// domain they live in.
+///
+/// The domain is public knowledge in the paper's threat model (it is part
+/// of the released synopsis), while the points are the private data. All
+/// constructors verify that every point lies inside the domain so the
+/// privacy analysis of the grid methods (each tuple falls in exactly one
+/// cell) holds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeoDataset {
+    points: Vec<Point>,
+    domain: Domain,
+}
+
+impl GeoDataset {
+    /// Builds a dataset from points and an explicit domain.
+    ///
+    /// Fails if any point falls outside the (closed) domain.
+    pub fn from_points(points: Vec<Point>, domain: Domain) -> Result<Self> {
+        for (index, p) in points.iter().enumerate() {
+            if !p.is_finite() {
+                return Err(GeoError::NonFiniteCoordinate {
+                    value: if p.x.is_finite() { p.y } else { p.x },
+                    context: "dataset point",
+                });
+            }
+            if !domain.contains(p) {
+                return Err(GeoError::PointOutsideDomain {
+                    point: (p.x, p.y),
+                    index,
+                });
+            }
+        }
+        Ok(GeoDataset { points, domain })
+    }
+
+    /// Builds a dataset whose domain is the bounding box of the points,
+    /// expanded by `margin` on every side (so that boundary points are
+    /// strictly interior when `margin > 0`).
+    pub fn with_bounding_domain(points: Vec<Point>, margin: f64) -> Result<Self> {
+        if !margin.is_finite() || margin < 0.0 {
+            return Err(GeoError::NonFiniteCoordinate {
+                value: margin,
+                context: "bounding margin",
+            });
+        }
+        let b = Rect::bounding(&points).ok_or(GeoError::EmptyRect)?;
+        // Guarantee positive area even for collinear or single points by
+        // bumping degenerate extents by an absolute-magnitude-aware nudge.
+        let bump = |lo: f64, hi: f64| -> f64 {
+            if hi - lo > 0.0 {
+                hi
+            } else {
+                hi + (1e-9f64).max(hi.abs() * 1e-9)
+            }
+        };
+        let domain = Domain::from_corners(
+            b.x0() - margin,
+            b.y0() - margin,
+            bump(b.x0() - margin, b.x1() + margin),
+            bump(b.y0() - margin, b.y1() + margin),
+        )?;
+        GeoDataset::from_points(points, domain)
+    }
+
+    /// Number of data points (the `N` of Guideline 1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the dataset holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The public domain.
+    #[inline]
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Exact number of points in a query rectangle (half-open semantics).
+    ///
+    /// Linear scan — use [`crate::PointIndex`] for repeated queries.
+    pub fn count_in(&self, query: &Rect) -> usize {
+        self.points.iter().filter(|p| query.contains(p)).count()
+    }
+
+    /// Deterministically subsamples `n` points (without replacement) using
+    /// the provided RNG, keeping the domain. Returns a clone when
+    /// `n >= len`.
+    pub fn sample(&self, n: usize, rng: &mut impl rand::Rng) -> GeoDataset {
+        if n >= self.points.len() {
+            return self.clone();
+        }
+        // Partial Fisher-Yates: draw n distinct indices.
+        let mut points = self.points.clone();
+        for i in 0..n {
+            let j = rng.random_range(i..points.len());
+            points.swap(i, j);
+        }
+        points.truncate(n);
+        GeoDataset {
+            points,
+            domain: self.domain,
+        }
+    }
+
+    /// Writes the dataset as `x,y` CSV lines preceded by a header comment
+    /// carrying the domain.
+    pub fn write_csv<W: Write>(&self, w: W) -> Result<()> {
+        let mut w = BufWriter::new(w);
+        let d = self.domain.rect();
+        writeln!(
+            w,
+            "# domain {} {} {} {}",
+            d.x0(),
+            d.y0(),
+            d.x1(),
+            d.y1()
+        )?;
+        for p in &self.points {
+            writeln!(w, "{},{}", p.x, p.y)?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Saves the dataset to a CSV file (see [`GeoDataset::write_csv`]).
+    pub fn save_csv<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        let f = std::fs::File::create(path)?;
+        self.write_csv(f)
+    }
+
+    /// Reads a dataset from the CSV format produced by
+    /// [`GeoDataset::write_csv`]. When the `# domain` header is missing the
+    /// bounding box of the points (with a tiny margin) is used.
+    pub fn read_csv<R: Read>(r: R) -> Result<Self> {
+        let reader = BufReader::new(r);
+        let mut points = Vec::new();
+        let mut domain: Option<Domain> = None;
+        for (i, line) in reader.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                let rest = rest.trim();
+                if let Some(spec) = rest.strip_prefix("domain") {
+                    let vals: Vec<f64> = spec
+                        .split_whitespace()
+                        .map(|t| {
+                            t.parse::<f64>().map_err(|e| GeoError::Parse {
+                                line: i + 1,
+                                message: format!("bad domain value `{t}`: {e}"),
+                            })
+                        })
+                        .collect::<Result<_>>()?;
+                    if vals.len() != 4 {
+                        return Err(GeoError::Parse {
+                            line: i + 1,
+                            message: format!("domain header needs 4 values, got {}", vals.len()),
+                        });
+                    }
+                    domain = Some(Domain::from_corners(vals[0], vals[1], vals[2], vals[3])?);
+                }
+                continue;
+            }
+            let mut it = line.split(',');
+            let x = it.next().ok_or_else(|| GeoError::Parse {
+                line: i + 1,
+                message: "missing x".into(),
+            })?;
+            let y = it.next().ok_or_else(|| GeoError::Parse {
+                line: i + 1,
+                message: "missing y".into(),
+            })?;
+            let x: f64 = x.trim().parse().map_err(|e| GeoError::Parse {
+                line: i + 1,
+                message: format!("bad x `{x}`: {e}"),
+            })?;
+            let y: f64 = y.trim().parse().map_err(|e| GeoError::Parse {
+                line: i + 1,
+                message: format!("bad y `{y}`: {e}"),
+            })?;
+            points.push(Point::try_new(x, y)?);
+        }
+        match domain {
+            Some(domain) => GeoDataset::from_points(points, domain),
+            None => GeoDataset::with_bounding_domain(points, 1e-9),
+        }
+    }
+
+    /// Loads a dataset from a CSV file (see [`GeoDataset::read_csv`]).
+    pub fn load_csv<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let f = std::fs::File::open(path)?;
+        GeoDataset::read_csv(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn toy() -> GeoDataset {
+        let domain = Domain::from_corners(0.0, 0.0, 10.0, 10.0).unwrap();
+        GeoDataset::from_points(
+            vec![
+                Point::new(1.0, 1.0),
+                Point::new(2.0, 2.0),
+                Point::new(9.0, 9.0),
+                Point::new(10.0, 10.0), // on the closed upper corner
+            ],
+            domain,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_point_outside_domain() {
+        let domain = Domain::from_corners(0.0, 0.0, 1.0, 1.0).unwrap();
+        let err =
+            GeoDataset::from_points(vec![Point::new(2.0, 0.5)], domain).unwrap_err();
+        assert!(matches!(err, GeoError::PointOutsideDomain { index: 0, .. }));
+    }
+
+    #[test]
+    fn count_in_uses_half_open() {
+        let d = toy();
+        let q = Rect::new(0.0, 0.0, 2.0, 2.0).unwrap();
+        assert_eq!(d.count_in(&q), 1); // (2,2) excluded by half-open edge
+        let q2 = Rect::new(0.0, 0.0, 2.0001, 2.0001).unwrap();
+        assert_eq!(d.count_in(&q2), 2);
+    }
+
+    #[test]
+    fn bounding_domain_contains_all() {
+        let pts = vec![Point::new(-1.0, 4.0), Point::new(3.0, -2.0)];
+        let d = GeoDataset::with_bounding_domain(pts, 0.5).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(d.domain().contains(&Point::new(-1.0, 4.0)));
+        assert!(d.domain().area() > 0.0);
+    }
+
+    #[test]
+    fn bounding_domain_single_point() {
+        let d = GeoDataset::with_bounding_domain(vec![Point::new(5.0, 5.0)], 0.0).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d.domain().area() > 0.0);
+    }
+
+    #[test]
+    fn empty_points_bounding_fails() {
+        assert!(GeoDataset::with_bounding_domain(vec![], 1.0).is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let d = toy();
+        let mut buf = Vec::new();
+        d.write_csv(&mut buf).unwrap();
+        let back = GeoDataset::read_csv(&buf[..]).unwrap();
+        assert_eq!(back.len(), d.len());
+        assert_eq!(back.domain(), d.domain());
+        for (a, b) in back.points().iter().zip(d.points()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn csv_parse_errors_carry_line_numbers() {
+        let bad = "1.0,2.0\nnot-a-number,3.0\n";
+        let err = GeoDataset::read_csv(bad.as_bytes()).unwrap_err();
+        match err {
+            GeoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csv_without_header_uses_bounding_box() {
+        let txt = "0.0,0.0\n4.0,2.0\n";
+        let d = GeoDataset::read_csv(txt.as_bytes()).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(d.domain().contains(&Point::new(4.0, 2.0)));
+    }
+
+    #[test]
+    fn sample_is_subset_and_deterministic() {
+        let d = toy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let s1 = d.sample(2, &mut rng);
+        assert_eq!(s1.len(), 2);
+        for p in s1.points() {
+            assert!(d.points().iter().any(|q| q == p));
+        }
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(7);
+        let s2 = d.sample(2, &mut rng2);
+        assert_eq!(s1.points(), s2.points());
+        // Oversampling returns everything.
+        let mut rng3 = rand::rngs::StdRng::seed_from_u64(7);
+        assert_eq!(d.sample(100, &mut rng3).len(), d.len());
+    }
+}

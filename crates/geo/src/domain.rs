@@ -1,0 +1,168 @@
+//! The validated data domain.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GeoError, Point, Rect, Result};
+
+/// The two-dimensional domain that all tuples of a dataset live in.
+///
+/// A `Domain` is a [`Rect`] with strictly positive area plus the bucketing
+/// logic shared by every grid method: mapping a point to the cell of an
+/// `cols × rows` equi-width grid. Points exactly on the domain's upper
+/// edges are admitted and bucketed into the last row/column, matching the
+/// closed-domain convention of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Domain {
+    rect: Rect,
+}
+
+impl Domain {
+    /// Wraps a rectangle as a domain. The rectangle must have positive area.
+    pub fn new(rect: Rect) -> Result<Self> {
+        if rect.is_empty() {
+            return Err(GeoError::EmptyRect);
+        }
+        Ok(Domain { rect })
+    }
+
+    /// Convenience constructor from corner coordinates.
+    pub fn from_corners(x0: f64, y0: f64, x1: f64, y1: f64) -> Result<Self> {
+        Domain::new(Rect::new_nonempty(x0, y0, x1, y1)?)
+    }
+
+    /// The underlying rectangle.
+    #[inline]
+    pub fn rect(&self) -> &Rect {
+        &self.rect
+    }
+
+    /// Domain width.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.rect.width()
+    }
+
+    /// Domain height.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.rect.height()
+    }
+
+    /// Domain area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.rect.area()
+    }
+
+    /// Whether a point belongs to the domain (closed on upper edges).
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        self.rect.contains_closed(p)
+    }
+
+    /// Maps a point to its `(col, row)` cell in a `cols × rows` grid.
+    ///
+    /// Returns `None` for points outside the domain. Points on the upper
+    /// edges are clamped into the last row/column so that the grid covers
+    /// the closed domain.
+    #[inline]
+    pub fn cell_of(&self, p: &Point, cols: usize, rows: usize) -> Option<(usize, usize)> {
+        if !self.contains(p) {
+            return None;
+        }
+        debug_assert!(cols > 0 && rows > 0);
+        let fx = (p.x - self.rect.x0()) / self.rect.width();
+        let fy = (p.y - self.rect.y0()) / self.rect.height();
+        let col = ((fx * cols as f64) as usize).min(cols - 1);
+        let row = ((fy * rows as f64) as usize).min(rows - 1);
+        Some((col, row))
+    }
+
+    /// Rectangle of cell `(col, row)` in a `cols × rows` grid over the domain.
+    #[inline]
+    pub fn cell_rect(&self, cols: usize, rows: usize, col: usize, row: usize) -> Rect {
+        self.rect.grid_cell(cols, rows, col, row)
+    }
+
+    /// Clips a query rectangle to the domain, returning `None` when the
+    /// query misses the domain entirely.
+    pub fn clip(&self, query: &Rect) -> Option<Rect> {
+        self.rect.intersection(query)
+    }
+
+    /// Ratio of the query's (clipped) area to the domain area — the `r` of
+    /// the paper's error analysis.
+    pub fn coverage(&self, query: &Rect) -> f64 {
+        match self.clip(query) {
+            Some(c) => c.area() / self.area(),
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_domain() -> Domain {
+        Domain::from_corners(0.0, 0.0, 1.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(Domain::from_corners(0.0, 0.0, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn cell_of_interior() {
+        let d = Domain::from_corners(0.0, 0.0, 10.0, 10.0).unwrap();
+        assert_eq!(d.cell_of(&Point::new(0.0, 0.0), 10, 10), Some((0, 0)));
+        assert_eq!(d.cell_of(&Point::new(5.0, 5.0), 10, 10), Some((5, 5)));
+        assert_eq!(d.cell_of(&Point::new(9.999, 9.999), 10, 10), Some((9, 9)));
+    }
+
+    #[test]
+    fn cell_of_upper_edge_clamps_to_last() {
+        let d = Domain::from_corners(0.0, 0.0, 10.0, 10.0).unwrap();
+        assert_eq!(d.cell_of(&Point::new(10.0, 10.0), 10, 10), Some((9, 9)));
+        assert_eq!(d.cell_of(&Point::new(10.0, 0.0), 4, 4), Some((3, 0)));
+    }
+
+    #[test]
+    fn cell_of_outside_is_none() {
+        let d = unit_domain();
+        assert_eq!(d.cell_of(&Point::new(1.5, 0.5), 4, 4), None);
+        assert_eq!(d.cell_of(&Point::new(-0.1, 0.5), 4, 4), None);
+    }
+
+    #[test]
+    fn cell_of_matches_cell_rect() {
+        // Every interior point's assigned cell rectangle contains it.
+        let d = Domain::from_corners(-3.0, 2.0, 9.0, 11.0).unwrap();
+        let (cols, rows) = (7, 3);
+        for i in 0..100 {
+            let p = Point::new(
+                -3.0 + 12.0 * (i as f64) / 100.0,
+                2.0 + 9.0 * ((i * 37 % 100) as f64) / 100.0,
+            );
+            let (c, r) = d.cell_of(&p, cols, rows).unwrap();
+            let cell = d.cell_rect(cols, rows, c, r);
+            assert!(
+                cell.contains(&p),
+                "point {p:?} not in its cell {cell:?} ({c},{r})"
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_ratio() {
+        let d = Domain::from_corners(0.0, 0.0, 10.0, 10.0).unwrap();
+        let q = Rect::new(0.0, 0.0, 5.0, 5.0).unwrap();
+        assert!((d.coverage(&q) - 0.25).abs() < 1e-12);
+        let outside = Rect::new(20.0, 20.0, 30.0, 30.0).unwrap();
+        assert_eq!(d.coverage(&outside), 0.0);
+        // Query larger than the domain is clipped.
+        let huge = Rect::new(-100.0, -100.0, 100.0, 100.0).unwrap();
+        assert!((d.coverage(&huge) - 1.0).abs() < 1e-12);
+    }
+}

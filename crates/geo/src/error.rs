@@ -1,0 +1,128 @@
+//! Error type for the geometry substrate.
+
+use std::fmt;
+
+/// Errors produced by geometry, dataset and histogram constructors.
+///
+/// All fallible operations in `dpgrid-geo` validate their inputs at the
+/// boundary and return one of these variants instead of panicking, so the
+/// numeric code further down can assume well-formed data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate {
+        /// The offending value.
+        value: f64,
+        /// Human-readable description of where it appeared.
+        context: &'static str,
+    },
+    /// A rectangle had `x0 > x1` or `y0 > y1`.
+    InvertedRect {
+        /// Lower corner as supplied.
+        lo: (f64, f64),
+        /// Upper corner as supplied.
+        hi: (f64, f64),
+    },
+    /// A rectangle with zero width or height where a positive area is required.
+    EmptyRect,
+    /// A point lies outside the dataset's declared domain.
+    PointOutsideDomain {
+        /// The offending point.
+        point: (f64, f64),
+        /// Index of the point in the input, when available.
+        index: usize,
+    },
+    /// A grid was requested with zero rows or columns.
+    ZeroGridSize,
+    /// A grid was requested with more cells than the configured cap.
+    GridTooLarge {
+        /// Number of requested cells (`cols * rows`).
+        requested: usize,
+        /// Maximum number of cells allowed.
+        max: usize,
+    },
+    /// Two structures refer to different domains but were combined.
+    DomainMismatch,
+    /// Failure parsing an input file (CSV).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Underlying I/O failure, carried as a string so the error stays `Clone`.
+    Io(String),
+    /// A synthetic-generator specification was invalid.
+    InvalidGeneratorSpec(String),
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::NonFiniteCoordinate { value, context } => {
+                write!(f, "non-finite coordinate {value} in {context}")
+            }
+            GeoError::InvertedRect { lo, hi } => write!(
+                f,
+                "inverted rectangle: lo=({}, {}) hi=({}, {})",
+                lo.0, lo.1, hi.0, hi.1
+            ),
+            GeoError::EmptyRect => write!(f, "rectangle must have positive width and height"),
+            GeoError::PointOutsideDomain { point, index } => write!(
+                f,
+                "point #{index} ({}, {}) lies outside the dataset domain",
+                point.0, point.1
+            ),
+            GeoError::ZeroGridSize => write!(f, "grid must have at least one row and one column"),
+            GeoError::GridTooLarge { requested, max } => {
+                write!(f, "grid with {requested} cells exceeds the cap of {max}")
+            }
+            GeoError::DomainMismatch => write!(f, "structures refer to different domains"),
+            GeoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GeoError::Io(msg) => write!(f, "i/o error: {msg}"),
+            GeoError::InvalidGeneratorSpec(msg) => {
+                write!(f, "invalid synthetic generator specification: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+impl From<std::io::Error> for GeoError {
+    fn from(e: std::io::Error) -> Self {
+        GeoError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GeoError::PointOutsideDomain {
+            point: (3.0, 4.0),
+            index: 7,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("#7"));
+        assert!(msg.contains("3"));
+        assert!(msg.contains("4"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GeoError = io.into();
+        assert!(matches!(e, GeoError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        let a = GeoError::EmptyRect;
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,309 @@
+//! Cluster-mixture sampling: the engine behind every synthetic dataset.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Domain, GeoDataset, GeoError, Point, Rect, Result};
+
+/// One component of a [`ClusterMixture`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Component {
+    /// An axis-aligned Gaussian cluster (a "city").
+    Gaussian {
+        /// Cluster center.
+        center: Point,
+        /// Standard deviation along x.
+        sigma_x: f64,
+        /// Standard deviation along y.
+        sigma_y: f64,
+    },
+    /// Uniformly distributed points inside a rectangle (a "state" of
+    /// near-uniform density, like the road dataset's two states).
+    Uniform {
+        /// The rectangle points are drawn from.
+        rect: Rect,
+    },
+}
+
+impl Component {
+    fn validate(&self) -> Result<()> {
+        match self {
+            Component::Gaussian {
+                center,
+                sigma_x,
+                sigma_y,
+            } => {
+                if !center.is_finite() {
+                    return Err(GeoError::InvalidGeneratorSpec(
+                        "gaussian center must be finite".into(),
+                    ));
+                }
+                if !sigma_x.is_finite() || *sigma_x <= 0.0 || !sigma_y.is_finite() || *sigma_y <= 0.0 {
+                    return Err(GeoError::InvalidGeneratorSpec(format!(
+                        "gaussian sigmas must be positive and finite, got ({sigma_x}, {sigma_y})"
+                    )));
+                }
+                Ok(())
+            }
+            Component::Uniform { rect } => {
+                if rect.is_empty() {
+                    return Err(GeoError::InvalidGeneratorSpec(
+                        "uniform component rectangle must have positive area".into(),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Draws one point from the component (unclipped).
+    fn sample(&self, rng: &mut impl Rng) -> Point {
+        match self {
+            Component::Gaussian {
+                center,
+                sigma_x,
+                sigma_y,
+            } => {
+                let (z0, z1) = standard_normal_pair(rng);
+                Point::new(center.x + z0 * sigma_x, center.y + z1 * sigma_y)
+            }
+            Component::Uniform { rect } => Point::new(
+                rng.random_range(rect.x0()..rect.x1()),
+                rng.random_range(rect.y0()..rect.y1()),
+            ),
+        }
+    }
+}
+
+/// A weighted mixture of clusters confined to a domain.
+///
+/// Sampling draws a component proportionally to its weight, then a point
+/// from the component; points falling outside the domain are re-drawn a
+/// bounded number of times and finally clamped just inside the domain, so
+/// the output dataset always validates against its domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterMixture {
+    domain: Domain,
+    components: Vec<Component>,
+    /// Cumulative normalized weights, same length as `components`.
+    cumulative: Vec<f64>,
+}
+
+impl ClusterMixture {
+    /// Builds a mixture from `(component, weight)` pairs.
+    pub fn new(domain: Domain, weighted: Vec<(Component, f64)>) -> Result<Self> {
+        if weighted.is_empty() {
+            return Err(GeoError::InvalidGeneratorSpec(
+                "mixture needs at least one component".into(),
+            ));
+        }
+        let mut total = 0.0;
+        for (c, w) in &weighted {
+            c.validate()?;
+            if !w.is_finite() || *w <= 0.0 {
+                return Err(GeoError::InvalidGeneratorSpec(format!(
+                    "component weight must be positive and finite, got {w}"
+                )));
+            }
+            total += w;
+        }
+        let mut cumulative = Vec::with_capacity(weighted.len());
+        let mut acc = 0.0;
+        let mut components = Vec::with_capacity(weighted.len());
+        for (c, w) in weighted {
+            acc += w / total;
+            cumulative.push(acc);
+            components.push(c);
+        }
+        // Guard against accumulated floating-point slack.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Ok(ClusterMixture {
+            domain,
+            components,
+            cumulative,
+        })
+    }
+
+    /// The mixture's domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Draws a single point, guaranteed to lie inside the domain.
+    pub fn sample_point(&self, rng: &mut impl Rng) -> Point {
+        let u: f64 = rng.random();
+        let k = self
+            .cumulative
+            .partition_point(|&c| c < u)
+            .min(self.components.len() - 1);
+        let comp = &self.components[k];
+        // Rejection sampling with a bounded number of retries keeps the
+        // in-domain distribution shape; the final clamp is a rare fallback
+        // for clusters sitting close to the boundary.
+        for _ in 0..16 {
+            let p = comp.sample(rng);
+            if self.domain.contains(&p) && self.domain.rect().contains(&p) {
+                return p;
+            }
+        }
+        let p = comp.sample(rng);
+        self.clamp_into_domain(p)
+    }
+
+    /// Samples `n` points into a dataset.
+    pub fn sample(&self, n: usize, rng: &mut impl Rng) -> GeoDataset {
+        let points = (0..n).map(|_| self.sample_point(rng)).collect();
+        GeoDataset::from_points(points, self.domain)
+            .expect("mixture sampling produced out-of-domain point")
+    }
+
+    fn clamp_into_domain(&self, p: Point) -> Point {
+        let r = self.domain.rect();
+        // Keep strictly below the upper edges so half-open cell bucketing
+        // never needs the closed-edge special case for synthetic data.
+        let eps_x = r.width() * 1e-12;
+        let eps_y = r.height() * 1e-12;
+        Point::new(
+            p.x.clamp(r.x0(), r.x1() - eps_x),
+            p.y.clamp(r.y0(), r.y1() - eps_y),
+        )
+    }
+}
+
+/// Draws a pair of independent standard normal variates via Box–Muller.
+///
+/// Implemented locally to keep the dependency set to `rand` alone (the
+/// `rand_distr` crate would otherwise be required).
+pub fn standard_normal_pair(rng: &mut impl Rng) -> (f64, f64) {
+    // u ∈ (0, 1]: avoid ln(0).
+    let u: f64 = 1.0 - rng.random::<f64>();
+    let v: f64 = rng.random();
+    let r = (-2.0 * u.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * v;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rejects_empty_mixture() {
+        let d = Domain::from_corners(0.0, 0.0, 1.0, 1.0).unwrap();
+        assert!(ClusterMixture::new(d, vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_weights_and_sigmas() {
+        let d = Domain::from_corners(0.0, 0.0, 1.0, 1.0).unwrap();
+        let g = Component::Gaussian {
+            center: Point::new(0.5, 0.5),
+            sigma_x: 0.1,
+            sigma_y: 0.1,
+        };
+        assert!(ClusterMixture::new(d, vec![(g.clone(), 0.0)]).is_err());
+        assert!(ClusterMixture::new(d, vec![(g.clone(), f64::NAN)]).is_err());
+        let bad = Component::Gaussian {
+            center: Point::new(0.5, 0.5),
+            sigma_x: -1.0,
+            sigma_y: 0.1,
+        };
+        assert!(ClusterMixture::new(d, vec![(bad, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let d = Domain::from_corners(0.0, 0.0, 1.0, 1.0).unwrap();
+        // Cluster deliberately centered on the boundary.
+        let mix = ClusterMixture::new(
+            d,
+            vec![(
+                Component::Gaussian {
+                    center: Point::new(1.0, 1.0),
+                    sigma_x: 0.5,
+                    sigma_y: 0.5,
+                },
+                1.0,
+            )],
+        )
+        .unwrap();
+        let ds = mix.sample(5_000, &mut rng(11));
+        assert_eq!(ds.len(), 5_000);
+        for p in ds.points() {
+            assert!(d.contains(p));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let d = Domain::from_corners(0.0, 0.0, 10.0, 10.0).unwrap();
+        let mix = ClusterMixture::new(
+            d,
+            vec![
+                (
+                    Component::Gaussian {
+                        center: Point::new(3.0, 3.0),
+                        sigma_x: 1.0,
+                        sigma_y: 1.0,
+                    },
+                    2.0,
+                ),
+                (
+                    Component::Uniform {
+                        rect: Rect::new(5.0, 5.0, 9.0, 9.0).unwrap(),
+                    },
+                    1.0,
+                ),
+            ],
+        )
+        .unwrap();
+        let a = mix.sample(100, &mut rng(5));
+        let b = mix.sample(100, &mut rng(5));
+        assert_eq!(a.points(), b.points());
+    }
+
+    #[test]
+    fn weights_steer_mass() {
+        let d = Domain::from_corners(0.0, 0.0, 10.0, 10.0).unwrap();
+        let left = Component::Uniform {
+            rect: Rect::new(0.0, 0.0, 1.0, 10.0).unwrap(),
+        };
+        let right = Component::Uniform {
+            rect: Rect::new(9.0, 0.0, 10.0, 10.0).unwrap(),
+        };
+        let mix = ClusterMixture::new(d, vec![(left, 9.0), (right, 1.0)]).unwrap();
+        let ds = mix.sample(10_000, &mut rng(3));
+        let left_count = ds.points().iter().filter(|p| p.x < 1.0).count();
+        let frac = left_count as f64 / ds.len() as f64;
+        assert!((frac - 0.9).abs() < 0.02, "left fraction {frac}");
+    }
+
+    #[test]
+    fn normal_pair_moments() {
+        let mut r = rng(17);
+        let n = 50_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let (a, b) = standard_normal_pair(&mut r);
+            sum += a + b;
+            sum_sq += a * a + b * b;
+        }
+        let mean = sum / (2 * n) as f64;
+        let var = sum_sq / (2 * n) as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Deterministic synthetic dataset generators.
+//!
+//! Two layers:
+//!
+//! * [`ClusterMixture`] / [`Component`] — a general weighted mixture of
+//!   Gaussian clusters and uniform blocks, confined to a domain;
+//! * [`PaperDataset`] — ready-made mixtures reproducing the spatial
+//!   character of the paper's four evaluation datasets (see the module
+//!   docs of the `paper` submodule for the substitution rationale).
+//!
+//! Both layers are pure functions of a `u64` seed.
+
+mod mixture;
+mod paper;
+
+pub use mixture::{standard_normal_pair, ClusterMixture, Component};
+pub use paper::PaperDataset;
+
+use rand::Rng;
+
+use crate::{Domain, GeoDataset, Point};
+
+/// Generates `n` points uniformly distributed over `domain`.
+///
+/// The completely uniform dataset is the degenerate case of the paper's
+/// error analysis (optimal grid size 1 × 1 as ε → arbitrary, i.e. a very
+/// large `c`); it is used by tests and the guideline-validation benches.
+pub fn uniform(domain: Domain, n: usize, rng: &mut impl Rng) -> GeoDataset {
+    let r = domain.rect();
+    let points = (0..n)
+        .map(|_| {
+            Point::new(
+                rng.random_range(r.x0()..r.x1()),
+                rng.random_range(r.y0()..r.y1()),
+            )
+        })
+        .collect();
+    GeoDataset::from_points(points, domain).expect("uniform sampling stayed in domain")
+}
+
+/// Generates `n` points from a single axis-aligned Gaussian centered in
+/// the domain, with standard deviation `sigma_frac` of each extent.
+/// A maximally *non*-uniform counterpart to [`uniform`].
+pub fn central_gaussian(
+    domain: Domain,
+    n: usize,
+    sigma_frac: f64,
+    rng: &mut impl Rng,
+) -> crate::Result<GeoDataset> {
+    let c = domain.rect().center();
+    let mix = ClusterMixture::new(
+        domain,
+        vec![(
+            Component::Gaussian {
+                center: c,
+                sigma_x: (domain.width() * sigma_frac).max(f64::MIN_POSITIVE),
+                sigma_y: (domain.height() * sigma_frac).max(f64::MIN_POSITIVE),
+            },
+            1.0,
+        )],
+    )?;
+    Ok(mix.sample(n, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_domain() {
+        let d = Domain::from_corners(2.0, 3.0, 6.0, 5.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let ds = uniform(d, 4_000, &mut rng);
+        assert_eq!(ds.len(), 4_000);
+        // Each quadrant gets roughly a quarter of the points.
+        let c = d.rect().center();
+        let q1 = ds
+            .points()
+            .iter()
+            .filter(|p| p.x < c.x && p.y < c.y)
+            .count() as f64;
+        assert!((q1 / 4_000.0 - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn central_gaussian_concentrates() {
+        let d = Domain::from_corners(0.0, 0.0, 10.0, 10.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let ds = central_gaussian(d, 4_000, 0.05, &mut rng).unwrap();
+        let near_center = ds
+            .points()
+            .iter()
+            .filter(|p| (p.x - 5.0).abs() < 2.0 && (p.y - 5.0).abs() < 2.0)
+            .count() as f64;
+        assert!(near_center / 4_000.0 > 0.95);
+    }
+}

@@ -1,0 +1,374 @@
+//! Synthetic analogues of the paper's four evaluation datasets.
+//!
+//! The raw datasets (2006 TIGER/Line road intersections, a Gowalla
+//! check-in sample, TIGER 2010 point landmarks, infochimps storage
+//! facilities) are not redistributable, so each is replaced by a
+//! deterministic mixture that reproduces the *spatial character* the
+//! paper's analysis depends on:
+//!
+//! * **road** — two dense, internally near-uniform "states" separated by
+//!   large blank space (the feature driving the paper's q5 error peak and
+//!   the unusually large optimal `c`);
+//! * **checkin** — a world-map-like, heavy-tailed scatter of city clusters
+//!   with density spanning orders of magnitude;
+//! * **landmark** — a country-scale population-like mixture, dense on one
+//!   side and sparse on the other;
+//! * **storage** — the landmark spatial law at N ≈ 9 000, the paper's
+//!   small-dataset stress test for the guidelines.
+//!
+//! Every generator is a pure function of `(seed, n)`, so experiments are
+//! reproducible bit for bit.
+
+use rand::{Rng, SeedableRng};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use super::mixture::{ClusterMixture, Component};
+use crate::{Domain, GeoDataset, Point, Rect, Result};
+
+/// The four evaluation datasets of the paper (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PaperDataset {
+    /// Road intersections of two states: 1.6 M points on a 25 × 20 domain.
+    Road,
+    /// Gowalla-style check-ins: 1 M points on a 360 × 150 domain.
+    Checkin,
+    /// US landmarks: 0.9 M points on a 60 × 40 domain.
+    Landmark,
+    /// Storage facilities: 9 K points on a 60 × 40 domain.
+    Storage,
+}
+
+impl PaperDataset {
+    /// All four datasets, in the paper's order.
+    pub const ALL: [PaperDataset; 4] = [
+        PaperDataset::Road,
+        PaperDataset::Checkin,
+        PaperDataset::Landmark,
+        PaperDataset::Storage,
+    ];
+
+    /// The dataset's lowercase name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PaperDataset::Road => "road",
+            PaperDataset::Checkin => "checkin",
+            PaperDataset::Landmark => "landmark",
+            PaperDataset::Storage => "storage",
+        }
+    }
+
+    /// Number of data points at paper scale (Table II).
+    pub fn paper_n(&self) -> usize {
+        match self {
+            PaperDataset::Road => 1_600_000,
+            PaperDataset::Checkin => 1_000_000,
+            PaperDataset::Landmark => 900_000,
+            PaperDataset::Storage => 9_000,
+        }
+    }
+
+    /// The data domain (Table II's "domain size" column).
+    pub fn domain(&self) -> Domain {
+        let d = match self {
+            // 25 × 20: longitudes −125..−100, latitudes 30..50.
+            PaperDataset::Road => Domain::from_corners(-125.0, 30.0, -100.0, 50.0),
+            // 360 × 150: the whole longitude range, latitudes −75..75.
+            PaperDataset::Checkin => Domain::from_corners(-180.0, -75.0, 180.0, 75.0),
+            // 60 × 40: longitudes −130..−70, latitudes 10..50.
+            PaperDataset::Landmark | PaperDataset::Storage => {
+                Domain::from_corners(-130.0, 10.0, -70.0, 50.0)
+            }
+        };
+        d.expect("paper domains are valid by construction")
+    }
+
+    /// Query sizes `q1..q6` from Table II: `(width, height)` of the
+    /// smallest query; each subsequent size doubles both extents.
+    pub fn q1_size(&self) -> (f64, f64) {
+        match self {
+            PaperDataset::Road => (0.5, 0.5),
+            PaperDataset::Checkin => (6.0, 3.0),
+            PaperDataset::Landmark | PaperDataset::Storage => (1.25, 0.625),
+        }
+    }
+
+    /// Builds the mixture distribution for this dataset. The mixture
+    /// itself is deterministic in `seed` (cluster placement uses its own
+    /// RNG stream derived from the seed).
+    pub fn mixture(&self, seed: u64) -> Result<ClusterMixture> {
+        match self {
+            PaperDataset::Road => road_mixture(),
+            PaperDataset::Checkin => checkin_mixture(seed),
+            PaperDataset::Landmark | PaperDataset::Storage => landmark_mixture(seed),
+        }
+    }
+
+    /// Generates the dataset at paper scale.
+    pub fn generate(&self, seed: u64) -> Result<GeoDataset> {
+        self.generate_scaled(seed, 1)
+    }
+
+    /// Generates the dataset with `n = paper_n / scale` points
+    /// (`scale >= 1`); useful for fast test and CI runs.
+    pub fn generate_scaled(&self, seed: u64, scale: usize) -> Result<GeoDataset> {
+        let n = (self.paper_n() / scale.max(1)).max(1);
+        self.generate_n(seed, n)
+    }
+
+    /// Generates the dataset with an explicit number of points.
+    pub fn generate_n(&self, seed: u64, n: usize) -> Result<GeoDataset> {
+        let mixture = self.mixture(seed)?;
+        // Separate stream for point sampling so that the cluster layout
+        // stays fixed when only `n` changes.
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1F);
+        Ok(mixture.sample(n, &mut rng))
+    }
+}
+
+/// road: two dense rectangular states with mild urban hotspots and nothing
+/// else — large blank areas dominate the domain.
+fn road_mixture() -> Result<ClusterMixture> {
+    let domain = PaperDataset::Road.domain();
+    // "Washington": a wide block in the north-west of the domain.
+    let wa = Rect::new(-124.7, 45.6, -117.0, 49.0)?;
+    // "New Mexico": a block in the south-east of the domain.
+    let nm = Rect::new(-109.0, 31.4, -103.0, 37.0)?;
+    let components = vec![
+        (Component::Uniform { rect: wa }, 0.52),
+        (Component::Uniform { rect: nm }, 0.40),
+        // Urban hotspots: denser intersection grids around big cities.
+        (
+            Component::Gaussian {
+                center: Point::new(-122.3, 47.6), // Seattle
+                sigma_x: 0.35,
+                sigma_y: 0.30,
+            },
+            0.05,
+        ),
+        (
+            Component::Gaussian {
+                center: Point::new(-106.6, 35.1), // Albuquerque
+                sigma_x: 0.30,
+                sigma_y: 0.25,
+            },
+            0.03,
+        ),
+    ];
+    ClusterMixture::new(domain, components)
+}
+
+/// Rough continent bands for the checkin generator: `(rect, band weight)`.
+/// Weights skew towards North America and Europe, mirroring where Gowalla
+/// was popular.
+fn continent_bands() -> Vec<(Rect, f64)> {
+    vec![
+        // North America
+        (Rect::new(-125.0, 25.0, -65.0, 55.0).unwrap(), 0.34),
+        // Europe
+        (Rect::new(-10.0, 36.0, 30.0, 60.0).unwrap(), 0.30),
+        // East & South Asia
+        (Rect::new(65.0, 5.0, 145.0, 45.0).unwrap(), 0.18),
+        // South America
+        (Rect::new(-80.0, -35.0, -35.0, 5.0).unwrap(), 0.08),
+        // Africa
+        (Rect::new(-15.0, -30.0, 45.0, 35.0).unwrap(), 0.06),
+        // Oceania
+        (Rect::new(113.0, -40.0, 155.0, -12.0).unwrap(), 0.04),
+    ]
+}
+
+/// checkin: a few hundred Zipf-weighted city clusters placed inside
+/// continent bands, plus a thin diffuse background.
+fn checkin_mixture(seed: u64) -> Result<ClusterMixture> {
+    let domain = PaperDataset::Checkin.domain();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00C1_EC41);
+    let bands = continent_bands();
+    let cities_total = 300usize;
+    let mut components = Vec::with_capacity(cities_total + bands.len());
+    let mut rank = 0usize;
+    for (band, band_weight) in &bands {
+        let n_cities = ((cities_total as f64) * band_weight).round().max(1.0) as usize;
+        for _ in 0..n_cities {
+            rank += 1;
+            let center = Point::new(
+                rng.random_range(band.x0()..band.x1()),
+                rng.random_range(band.y0()..band.y1()),
+            );
+            // Zipf-ish weights: a handful of metropolises dominate.
+            let weight = band_weight / (rank as f64).powf(0.85);
+            let sigma = rng.random_range(0.25..2.0);
+            components.push((
+                Component::Gaussian {
+                    center,
+                    sigma_x: sigma,
+                    sigma_y: sigma * rng.random_range(0.6..1.0),
+                },
+                weight,
+            ));
+        }
+        // Diffuse background inside the band (rural check-ins).
+        components.push((Component::Uniform { rect: *band }, band_weight * 0.06));
+    }
+    ClusterMixture::new(domain, components)
+}
+
+/// landmark / storage: a population-like mixture over a US-shaped band,
+/// much denser in the eastern half.
+fn landmark_mixture(seed: u64) -> Result<ClusterMixture> {
+    let domain = PaperDataset::Landmark.domain();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1A4D);
+    let country = Rect::new(-124.5, 25.5, -70.5, 49.0)?;
+    let n_clusters = 160usize;
+    let mut components = Vec::with_capacity(n_clusters + 1);
+    for rank in 1..=n_clusters {
+        // Eastern half gets three quarters of the clusters.
+        let east = rng.random::<f64>() < 0.75;
+        let (x_lo, x_hi) = if east { (-95.0, -70.5) } else { (-124.5, -95.0) };
+        let center = Point::new(
+            rng.random_range(x_lo..x_hi),
+            rng.random_range(country.y0()..country.y1()),
+        );
+        let weight = 1.0 / (rank as f64).powf(0.8);
+        let sigma = rng.random_range(0.15..1.4);
+        components.push((
+            Component::Gaussian {
+                center,
+                sigma_x: sigma,
+                sigma_y: sigma * rng.random_range(0.5..1.0),
+            },
+            weight,
+        ));
+    }
+    // Thin rural background over the whole country band.
+    components.push((Component::Uniform { rect: country }, 0.35));
+    ClusterMixture::new(domain, components)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseGrid;
+
+    #[test]
+    fn names_and_sizes_match_table2() {
+        assert_eq!(PaperDataset::Road.name(), "road");
+        assert_eq!(PaperDataset::Road.paper_n(), 1_600_000);
+        assert_eq!(PaperDataset::Checkin.paper_n(), 1_000_000);
+        assert_eq!(PaperDataset::Landmark.paper_n(), 900_000);
+        assert_eq!(PaperDataset::Storage.paper_n(), 9_000);
+    }
+
+    #[test]
+    fn domain_sizes_match_table2() {
+        let road = PaperDataset::Road.domain();
+        assert!((road.width() - 25.0).abs() < 1e-9);
+        assert!((road.height() - 20.0).abs() < 1e-9);
+        let checkin = PaperDataset::Checkin.domain();
+        assert!((checkin.width() - 360.0).abs() < 1e-9);
+        assert!((checkin.height() - 150.0).abs() < 1e-9);
+        let landmark = PaperDataset::Landmark.domain();
+        assert!((landmark.width() - 60.0).abs() < 1e-9);
+        assert!((landmark.height() - 40.0).abs() < 1e-9);
+        assert_eq!(
+            PaperDataset::Storage.domain(),
+            PaperDataset::Landmark.domain()
+        );
+    }
+
+    #[test]
+    fn q6_is_q1_times_32() {
+        // q6 doubles both extents five times from q1.
+        for d in PaperDataset::ALL {
+            let (w1, h1) = d.q1_size();
+            let (w6, h6) = (w1 * 32.0, h1 * 32.0);
+            match d {
+                PaperDataset::Road => {
+                    assert!((w6 - 16.0).abs() < 1e-9 && (h6 - 16.0).abs() < 1e-9)
+                }
+                PaperDataset::Checkin => {
+                    assert!((w6 - 192.0).abs() < 1e-9 && (h6 - 96.0).abs() < 1e-9)
+                }
+                PaperDataset::Landmark | PaperDataset::Storage => {
+                    assert!((w6 - 40.0).abs() < 1e-9 && (h6 - 20.0).abs() < 1e-9)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = PaperDataset::Storage.generate_n(42, 500).unwrap();
+        let b = PaperDataset::Storage.generate_n(42, 500).unwrap();
+        assert_eq!(a.points(), b.points());
+        let c = PaperDataset::Storage.generate_n(43, 500).unwrap();
+        assert_ne!(a.points(), c.points());
+    }
+
+    #[test]
+    fn cluster_layout_fixed_when_n_changes() {
+        // Same seed, different n: the small dataset's density profile must
+        // come from the same underlying mixture.
+        let small = PaperDataset::Landmark.generate_n(7, 2_000).unwrap();
+        let large = PaperDataset::Landmark.generate_n(7, 20_000).unwrap();
+        let gs = DenseGrid::count(&small, 8, 8).unwrap();
+        let gl = DenseGrid::count(&large, 8, 8).unwrap();
+        // Normalized densities should correlate strongly.
+        let (mut dot, mut ns, mut nl) = (0.0, 0.0, 0.0);
+        for i in 0..gs.values().len() {
+            let a = gs.values()[i] / small.len() as f64;
+            let b = gl.values()[i] / large.len() as f64;
+            dot += a * b;
+            ns += a * a;
+            nl += b * b;
+        }
+        let corr = dot / (ns.sqrt() * nl.sqrt());
+        assert!(corr > 0.9, "density correlation {corr}");
+    }
+
+    #[test]
+    fn road_has_large_blank_areas() {
+        let ds = PaperDataset::Road.generate_n(1, 20_000).unwrap();
+        let g = DenseGrid::count(&ds, 16, 16).unwrap();
+        let empty = g.values().iter().filter(|&&v| v == 0.0).count();
+        // More than a third of the domain has (almost) no points.
+        assert!(
+            empty as f64 > 0.35 * g.cell_count() as f64,
+            "only {empty} empty cells of {}",
+            g.cell_count()
+        );
+    }
+
+    #[test]
+    fn checkin_is_heavy_tailed() {
+        let ds = PaperDataset::Checkin.generate_n(2, 50_000).unwrap();
+        let g = DenseGrid::count(&ds, 36, 15).unwrap();
+        let mut v: Vec<f64> = g.values().to_vec();
+        v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let top_decile: f64 = v[..v.len() / 10].iter().sum();
+        let total: f64 = v.iter().sum();
+        assert!(
+            top_decile / total > 0.5,
+            "top decile holds {} of mass",
+            top_decile / total
+        );
+    }
+
+    #[test]
+    fn landmark_denser_in_east() {
+        let ds = PaperDataset::Landmark.generate_n(3, 30_000).unwrap();
+        let east = ds.points().iter().filter(|p| p.x > -95.0).count();
+        let frac = east as f64 / ds.len() as f64;
+        assert!(frac > 0.55, "east fraction {frac}");
+    }
+
+    #[test]
+    fn all_points_inside_domains() {
+        for d in PaperDataset::ALL {
+            let ds = d.generate_n(5, 3_000).unwrap();
+            for p in ds.points() {
+                assert!(d.domain().contains(p), "{:?}: {p:?}", d.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! d-dimensional grids — the substrate for testing §IV-C's prediction.
+//!
+//! The paper predicts that the (already small) 2-D benefit of
+//! hierarchies "would perform even worse with higher dimensions". The
+//! 2-D types of this crate are deliberately specialised; this module
+//! provides just enough const-generic d-dimensional machinery — points,
+//! boxes, equi-width grids with fractional range answering, block
+//! aggregation and a Gaussian-mixture generator — for the `dim`
+//! experiment to test that prediction at d = 3.
+//!
+//! The same half-open box conventions as the 2-D types apply.
+
+use rand::Rng;
+
+use crate::generators::standard_normal_pair;
+use crate::{GeoError, Result};
+
+/// A point in `D` dimensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NdPoint<const D: usize>(pub [f64; D]);
+
+/// An axis-aligned half-open box in `D` dimensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NdBox<const D: usize> {
+    lo: [f64; D],
+    hi: [f64; D],
+}
+
+impl<const D: usize> NdBox<D> {
+    /// Creates a box, validating finiteness and corner ordering.
+    pub fn new(lo: [f64; D], hi: [f64; D]) -> Result<Self> {
+        for k in 0..D {
+            if !lo[k].is_finite() || !hi[k].is_finite() {
+                return Err(GeoError::NonFiniteCoordinate {
+                    value: if lo[k].is_finite() { hi[k] } else { lo[k] },
+                    context: "nd box corner",
+                });
+            }
+            if lo[k] > hi[k] {
+                return Err(GeoError::InvertedRect {
+                    lo: (lo[k], k as f64),
+                    hi: (hi[k], k as f64),
+                });
+            }
+        }
+        Ok(NdBox { lo, hi })
+    }
+
+    /// Lower corner.
+    pub fn lo(&self) -> &[f64; D] {
+        &self.lo
+    }
+
+    /// Upper corner.
+    pub fn hi(&self) -> &[f64; D] {
+        &self.hi
+    }
+
+    /// Extent along axis `k`.
+    #[inline]
+    pub fn extent(&self, k: usize) -> f64 {
+        self.hi[k] - self.lo[k]
+    }
+
+    /// Volume of the box.
+    pub fn volume(&self) -> f64 {
+        (0..D).map(|k| self.extent(k)).product()
+    }
+
+    /// Half-open containment (closed on the upper face, mirroring the
+    /// 2-D domain convention, when `closed_upper` is set).
+    pub fn contains(&self, p: &NdPoint<D>, closed_upper: bool) -> bool {
+        (0..D).all(|k| {
+            p.0[k] >= self.lo[k]
+                && (p.0[k] < self.hi[k] || (closed_upper && p.0[k] <= self.hi[k]))
+        })
+    }
+
+    /// Intersection with another box, `None` when the overlap has zero
+    /// volume.
+    pub fn intersection(&self, other: &NdBox<D>) -> Option<NdBox<D>> {
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for k in 0..D {
+            lo[k] = self.lo[k].max(other.lo[k]);
+            hi[k] = self.hi[k].min(other.hi[k]);
+            if lo[k] >= hi[k] {
+                return None;
+            }
+        }
+        Some(NdBox { lo, hi })
+    }
+
+    /// Fraction of this box's volume covered by `query`.
+    pub fn overlap_fraction(&self, query: &NdBox<D>) -> f64 {
+        let v = self.volume();
+        if v <= 0.0 {
+            return 0.0;
+        }
+        match self.intersection(query) {
+            Some(i) => (i.volume() / v).clamp(0.0, 1.0),
+            None => 0.0,
+        }
+    }
+}
+
+/// A dense equi-width grid over a `D`-dimensional box: `m` cells per
+/// axis, `m^D` cells total, row-major with axis 0 fastest.
+#[derive(Debug, Clone)]
+pub struct NdGrid<const D: usize> {
+    domain: NdBox<D>,
+    m: usize,
+    data: Vec<f64>,
+}
+
+impl<const D: usize> NdGrid<D> {
+    /// Creates an all-zero grid with `m` cells per axis.
+    pub fn zeros(domain: NdBox<D>, m: usize) -> Result<Self> {
+        if m == 0 {
+            return Err(GeoError::ZeroGridSize);
+        }
+        let cells = m
+            .checked_pow(D as u32)
+            .filter(|&c| c <= crate::MAX_GRID_CELLS)
+            .ok_or(GeoError::GridTooLarge {
+                requested: usize::MAX,
+                max: crate::MAX_GRID_CELLS,
+            })?;
+        if domain.volume() <= 0.0 {
+            return Err(GeoError::EmptyRect);
+        }
+        Ok(NdGrid {
+            domain,
+            m,
+            data: vec![0.0; cells],
+        })
+    }
+
+    /// Counts points into the grid (points outside the closed domain are
+    /// rejected as an error — callers generate in-domain data).
+    pub fn count(domain: NdBox<D>, m: usize, points: &[NdPoint<D>]) -> Result<Self> {
+        let mut g = NdGrid::zeros(domain, m)?;
+        for (index, p) in points.iter().enumerate() {
+            let Some(idx) = g.cell_of(p) else {
+                return Err(GeoError::PointOutsideDomain {
+                    point: (p.0[0], p.0.get(1).copied().unwrap_or(0.0)),
+                    index,
+                });
+            };
+            g.data[idx] += 1.0;
+        }
+        Ok(g)
+    }
+
+    /// Cells per axis.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Total cell count `m^D`.
+    pub fn cell_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The domain box.
+    pub fn domain(&self) -> &NdBox<D> {
+        &self.domain
+    }
+
+    /// Raw cell values.
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw cell values.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Sum of all cells.
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Linear index of the cell containing `p` (closed upper faces).
+    pub fn cell_of(&self, p: &NdPoint<D>) -> Option<usize> {
+        if !self.domain.contains(p, true) {
+            return None;
+        }
+        let mut idx = 0usize;
+        let mut stride = 1usize;
+        for k in 0..D {
+            let f = (p.0[k] - self.domain.lo[k]) / self.domain.extent(k);
+            let c = ((f * self.m as f64) as usize).min(self.m - 1);
+            idx += c * stride;
+            stride *= self.m;
+        }
+        Some(idx)
+    }
+
+    /// The box of the cell with linear index `idx`.
+    pub fn cell_box(&self, idx: usize) -> NdBox<D> {
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        let mut rest = idx;
+        for k in 0..D {
+            let c = rest % self.m;
+            rest /= self.m;
+            lo[k] = self.domain.lo[k] + self.domain.extent(k) * (c as f64) / (self.m as f64);
+            hi[k] =
+                self.domain.lo[k] + self.domain.extent(k) * ((c + 1) as f64) / (self.m as f64);
+        }
+        NdBox { lo, hi }
+    }
+
+    /// Aggregates `b^D` blocks into a coarser grid (`m` must be
+    /// divisible by `b`).
+    pub fn aggregate(&self, b: usize) -> Result<NdGrid<D>> {
+        if b == 0 {
+            return Err(GeoError::ZeroGridSize);
+        }
+        if !self.m.is_multiple_of(b) {
+            return Err(GeoError::InvalidGeneratorSpec(format!(
+                "nd grid m={} not divisible by b={b}",
+                self.m
+            )));
+        }
+        let coarse_m = self.m / b;
+        let mut out = NdGrid::zeros(self.domain, coarse_m)?;
+        for (idx, &v) in self.data.iter().enumerate() {
+            // Map the fine multi-index to the coarse one.
+            let mut rest = idx;
+            let mut coarse_idx = 0usize;
+            let mut stride = 1usize;
+            for _ in 0..D {
+                let c = rest % self.m;
+                rest /= self.m;
+                coarse_idx += (c / b) * stride;
+                stride *= coarse_m;
+            }
+            out.data[coarse_idx] += v;
+        }
+        Ok(out)
+    }
+
+    /// Parent (coarse) linear index of fine cell `idx` under `b`-fold
+    /// aggregation.
+    pub fn parent_index(&self, idx: usize, b: usize) -> usize {
+        let coarse_m = self.m / b;
+        let mut rest = idx;
+        let mut coarse_idx = 0usize;
+        let mut stride = 1usize;
+        for _ in 0..D {
+            let c = rest % self.m;
+            rest /= self.m;
+            coarse_idx += (c / b) * stride;
+            stride *= coarse_m;
+        }
+        coarse_idx
+    }
+
+    /// Answers a box count query under the uniformity assumption by
+    /// iterating the touched cells with per-axis fractional weights.
+    ///
+    /// Complexity is the number of touched cells; fine for the modest
+    /// grids the dimensionality experiment uses (m ≤ 32).
+    pub fn answer_uniform(&self, query: &NdBox<D>) -> f64 {
+        let Some(q) = self.domain.intersection(query) else {
+            return 0.0;
+        };
+        // Per-axis touched index ranges and weights.
+        let mut ranges: [(usize, usize); D] = [(0, 0); D];
+        let mut weights: Vec<Vec<f64>> = Vec::with_capacity(D);
+        #[allow(clippy::needless_range_loop)] // k indexes three parallel arrays
+        for k in 0..D {
+            let mf = self.m as f64;
+            let u0 = ((q.lo[k] - self.domain.lo[k]) / self.domain.extent(k) * mf).clamp(0.0, mf);
+            let u1 = ((q.hi[k] - self.domain.lo[k]) / self.domain.extent(k) * mf).clamp(0.0, mf);
+            let i0 = (u0.floor() as usize).min(self.m - 1);
+            let i1 = ((u1 - f64::EPSILON).floor() as usize).clamp(i0, self.m - 1);
+            let mut w = Vec::with_capacity(i1 - i0 + 1);
+            for i in i0..=i1 {
+                let lo = (i as f64).max(u0);
+                let hi = ((i + 1) as f64).min(u1);
+                w.push((hi - lo).max(0.0));
+            }
+            ranges[k] = (i0, i1);
+            weights.push(w);
+        }
+        // Iterate the cartesian product of touched indices.
+        let mut sum = 0.0;
+        let mut cursor = [0usize; D];
+        'outer: loop {
+            let mut idx = 0usize;
+            let mut stride = 1usize;
+            let mut w = 1.0;
+            for k in 0..D {
+                let i = ranges[k].0 + cursor[k];
+                idx += i * stride;
+                stride *= self.m;
+                w *= weights[k][cursor[k]];
+            }
+            sum += w * self.data[idx];
+            // Advance the odometer.
+            for k in 0..D {
+                cursor[k] += 1;
+                if ranges[k].0 + cursor[k] <= ranges[k].1 {
+                    continue 'outer;
+                }
+                cursor[k] = 0;
+            }
+            break;
+        }
+        sum
+    }
+}
+
+/// Samples `n` points from a mixture of `clusters` spherical Gaussians
+/// (uniform-weighted, centers drawn uniformly, σ a fraction of the
+/// domain extent) plus a 20 % uniform background — the d-dimensional
+/// analogue of the 2-D cluster generators.
+pub fn gaussian_mixture<const D: usize>(
+    domain: NdBox<D>,
+    clusters: usize,
+    sigma_frac: f64,
+    n: usize,
+    rng: &mut impl Rng,
+) -> Result<Vec<NdPoint<D>>> {
+    if clusters == 0 || !(sigma_frac > 0.0 && sigma_frac.is_finite()) {
+        return Err(GeoError::InvalidGeneratorSpec(
+            "need ≥ 1 cluster and positive sigma".into(),
+        ));
+    }
+    let centers: Vec<[f64; D]> = (0..clusters)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for (k, v) in c.iter_mut().enumerate() {
+                *v = rng.random_range(domain.lo[k]..domain.hi[k]);
+            }
+            c
+        })
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let p = if rng.random::<f64>() < 0.2 {
+            // Uniform background.
+            let mut c = [0.0; D];
+            for (k, v) in c.iter_mut().enumerate() {
+                *v = rng.random_range(domain.lo[k]..domain.hi[k]);
+            }
+            NdPoint(c)
+        } else {
+            let center = centers[rng.random_range(0..clusters)];
+            let mut c = [0.0; D];
+            for (k, (v, ctr)) in c.iter_mut().zip(center).enumerate() {
+                let (z, _) = standard_normal_pair(rng);
+                *v = ctr + z * sigma_frac * domain.extent(k);
+            }
+            NdPoint(c)
+        };
+        if domain.contains(&p, false) {
+            out.push(p);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn unit_box<const D: usize>() -> NdBox<D> {
+        NdBox::new([0.0; D], [1.0; D]).unwrap()
+    }
+
+    #[test]
+    fn box_validation() {
+        assert!(NdBox::<3>::new([0.0, 0.0, 1.0], [1.0, 1.0, 0.0]).is_err());
+        assert!(NdBox::<2>::new([f64::NAN, 0.0], [1.0, 1.0]).is_err());
+        let b = unit_box::<3>();
+        assert_eq!(b.volume(), 1.0);
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let b = unit_box::<3>();
+        assert!(b.contains(&NdPoint([0.5, 0.5, 0.5]), false));
+        assert!(!b.contains(&NdPoint([1.0, 0.5, 0.5]), false));
+        assert!(b.contains(&NdPoint([1.0, 1.0, 1.0]), true));
+        let other = NdBox::new([0.5, 0.5, 0.5], [2.0, 2.0, 2.0]).unwrap();
+        let i = b.intersection(&other).unwrap();
+        assert!((i.volume() - 0.125).abs() < 1e-12);
+        assert!((b.overlap_fraction(&other) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counting_and_cells() {
+        let b = unit_box::<3>();
+        let points = vec![
+            NdPoint([0.1, 0.1, 0.1]),
+            NdPoint([0.9, 0.9, 0.9]),
+            NdPoint([1.0, 1.0, 1.0]), // closed upper corner
+        ];
+        let g = NdGrid::count(b, 2, &points).unwrap();
+        assert_eq!(g.cell_count(), 8);
+        assert_eq!(g.total(), 3.0);
+        assert_eq!(g.values()[0], 1.0); // (0,0,0)
+        assert_eq!(g.values()[7], 2.0); // (1,1,1)
+        // Out-of-domain point errors.
+        assert!(NdGrid::count(b, 2, &[NdPoint([2.0, 0.0, 0.0])]).is_err());
+    }
+
+    #[test]
+    fn cell_box_roundtrip() {
+        let b = NdBox::new([0.0, 10.0, -5.0], [4.0, 14.0, -1.0]).unwrap();
+        let g = NdGrid::<3>::zeros(b, 4).unwrap();
+        for idx in [0usize, 17, 35, 63] {
+            let cb = g.cell_box(idx);
+            // The cell's center maps back to the same index.
+            let mut center = [0.0; 3];
+            for (k, c) in center.iter_mut().enumerate() {
+                *c = (cb.lo()[k] + cb.hi()[k]) / 2.0;
+            }
+            assert_eq!(g.cell_of(&NdPoint(center)), Some(idx), "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn aggregate_preserves_total() {
+        let b = unit_box::<3>();
+        let mut r = rng(1);
+        let pts = gaussian_mixture(b, 3, 0.1, 500, &mut r).unwrap();
+        let fine = NdGrid::count(b, 4, &pts).unwrap();
+        let coarse = fine.aggregate(2).unwrap();
+        assert_eq!(coarse.m(), 2);
+        assert!((coarse.total() - fine.total()).abs() < 1e-9);
+        assert!(fine.aggregate(3).is_err());
+        // Parent index mapping is consistent with aggregation.
+        for idx in 0..fine.cell_count() {
+            let p = fine.parent_index(idx, 2);
+            assert!(p < coarse.cell_count());
+        }
+    }
+
+    #[test]
+    fn answer_matches_bruteforce() {
+        let b = unit_box::<3>();
+        let mut r = rng(2);
+        let pts = gaussian_mixture(b, 2, 0.15, 400, &mut r).unwrap();
+        let g = NdGrid::count(b, 5, &pts).unwrap();
+        for _ in 0..30 {
+            let mut lo = [0.0; 3];
+            let mut hi = [0.0; 3];
+            for k in 0..3 {
+                let a: f64 = r.random_range(-0.2..1.0);
+                let bb: f64 = r.random_range(a..1.2);
+                lo[k] = a;
+                hi[k] = bb;
+            }
+            let q = NdBox::new(lo, hi).unwrap();
+            let fast = g.answer_uniform(&q);
+            let brute: f64 = (0..g.cell_count())
+                .map(|i| g.values()[i] * g.cell_box(i).overlap_fraction(&q))
+                .sum();
+            assert!(
+                (fast - brute).abs() < 1e-9,
+                "query {q:?}: {fast} vs {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn answer_whole_domain_is_total() {
+        let b = unit_box::<4>();
+        let mut r = rng(3);
+        let pts = gaussian_mixture(b, 2, 0.2, 200, &mut r).unwrap();
+        let g = NdGrid::count(b, 3, &pts).unwrap();
+        assert!((g.answer_uniform(&b) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generator_stays_in_domain_and_clusters() {
+        let b = NdBox::new([0.0, 0.0, 0.0], [10.0, 10.0, 10.0]).unwrap();
+        let mut r = rng(4);
+        let pts = gaussian_mixture(b, 1, 0.02, 2_000, &mut r).unwrap();
+        assert_eq!(pts.len(), 2_000);
+        for p in &pts {
+            assert!(b.contains(p, false));
+        }
+        // Clustered: 80 % of the mass sits in a small fraction of cells
+        // (the 20 % uniform background touches many cells, so we measure
+        // concentration rather than occupancy).
+        let g = NdGrid::count(b, 5, &pts).unwrap();
+        let mut v: Vec<f64> = g.values().to_vec();
+        v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let (mut acc, mut cells80) = (0.0, 0usize);
+        for x in &v {
+            acc += x;
+            cells80 += 1;
+            if acc >= 0.8 * 2_000.0 {
+                break;
+            }
+        }
+        assert!(
+            cells80 < g.cell_count() / 5,
+            "{cells80} of {} cells hold 80% of mass",
+            g.cell_count()
+        );
+    }
+
+    #[test]
+    fn works_in_one_and_two_dims_too() {
+        // The const-generic code must not assume D = 3.
+        let b1 = unit_box::<1>();
+        let g1 = NdGrid::count(b1, 4, &[NdPoint([0.6])]).unwrap();
+        let q1 = NdBox::new([0.5], [1.0]).unwrap();
+        assert!((g1.answer_uniform(&q1) - 1.0).abs() < 1e-9);
+        let b2 = unit_box::<2>();
+        let g2 = NdGrid::count(b2, 4, &[NdPoint([0.1, 0.9])]).unwrap();
+        assert_eq!(g2.total(), 1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! A point in the plane.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GeoError, Result};
+
+/// A point in 2-D space.
+///
+/// Coordinates are `f64` and are required to be finite by every validated
+/// constructor in this crate ([`Point::try_new`], dataset loading, the
+/// synthetic generators). [`Point::new`] is provided for literals and test
+/// code where the values are known to be finite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate (longitude for geospatial data).
+    pub x: f64,
+    /// Vertical coordinate (latitude for geospatial data).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point without validation.
+    ///
+    /// Prefer [`Point::try_new`] for untrusted input.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Creates a point, rejecting NaN and infinite coordinates.
+    pub fn try_new(x: f64, y: f64) -> Result<Self> {
+        if !x.is_finite() {
+            return Err(GeoError::NonFiniteCoordinate {
+                value: x,
+                context: "point x",
+            });
+        }
+        if !y.is_finite() {
+            return Err(GeoError::NonFiniteCoordinate {
+                value: y,
+                context: "point y",
+            });
+        }
+        Ok(Point { x, y })
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_new_accepts_finite() {
+        let p = Point::try_new(1.5, -2.5).unwrap();
+        assert_eq!(p.x, 1.5);
+        assert_eq!(p.y, -2.5);
+    }
+
+    #[test]
+    fn try_new_rejects_nan() {
+        assert!(Point::try_new(f64::NAN, 0.0).is_err());
+        assert!(Point::try_new(0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn try_new_rejects_infinity() {
+        assert!(Point::try_new(f64::INFINITY, 0.0).is_err());
+        assert!(Point::try_new(0.0, f64::NEG_INFINITY).is_err());
+    }
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+    }
+
+    #[test]
+    fn tuple_conversions_roundtrip() {
+        let p: Point = (2.0, 3.0).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (2.0, 3.0));
+    }
+}

@@ -1,0 +1,361 @@
+//! Axis-aligned rectangles with half-open semantics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GeoError, Point, Result};
+
+/// An axis-aligned rectangle `[x0, x1) × [y0, y1)`.
+///
+/// Rectangles are the common currency of the synopsis framework: grid
+/// cells, query ranges and dataset domains are all `Rect`s. The half-open
+/// convention means a family of edge-adjacent rectangles tiles the plane
+/// without double counting, which is what the paper's cell partitions
+/// require.
+///
+/// Invariants enforced by [`Rect::new`]: all coordinates finite and
+/// `x0 <= x1`, `y0 <= y1` (degenerate zero-area rectangles are allowed;
+/// use [`Rect::new_nonempty`] to also reject those).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle, validating finiteness and corner ordering.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Result<Self> {
+        for (v, context) in [
+            (x0, "rect x0"),
+            (y0, "rect y0"),
+            (x1, "rect x1"),
+            (y1, "rect y1"),
+        ] {
+            if !v.is_finite() {
+                return Err(GeoError::NonFiniteCoordinate { value: v, context });
+            }
+        }
+        if x0 > x1 || y0 > y1 {
+            return Err(GeoError::InvertedRect {
+                lo: (x0, y0),
+                hi: (x1, y1),
+            });
+        }
+        Ok(Rect { x0, y0, x1, y1 })
+    }
+
+    /// Creates a rectangle that must have strictly positive area.
+    pub fn new_nonempty(x0: f64, y0: f64, x1: f64, y1: f64) -> Result<Self> {
+        let r = Rect::new(x0, y0, x1, y1)?;
+        if r.is_empty() {
+            return Err(GeoError::EmptyRect);
+        }
+        Ok(r)
+    }
+
+    /// Builds the bounding rectangle of a non-empty point slice.
+    pub fn bounding(points: &[Point]) -> Option<Self> {
+        let first = points.first()?;
+        let mut x0 = first.x;
+        let mut y0 = first.y;
+        let mut x1 = first.x;
+        let mut y1 = first.y;
+        for p in &points[1..] {
+            x0 = x0.min(p.x);
+            y0 = y0.min(p.y);
+            x1 = x1.max(p.x);
+            y1 = y1.max(p.y);
+        }
+        Rect::new(x0, y0, x1, y1).ok()
+    }
+
+    /// Lower x edge.
+    #[inline]
+    pub fn x0(&self) -> f64 {
+        self.x0
+    }
+
+    /// Lower y edge.
+    #[inline]
+    pub fn y0(&self) -> f64 {
+        self.y0
+    }
+
+    /// Upper x edge (exclusive).
+    #[inline]
+    pub fn x1(&self) -> f64 {
+        self.x1
+    }
+
+    /// Upper y edge (exclusive).
+    #[inline]
+    pub fn y1(&self) -> f64 {
+        self.y1
+    }
+
+    /// Width of the rectangle (`x1 - x0`).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height of the rectangle (`y1 - y0`).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Area of the rectangle.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Whether the rectangle has zero area.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.x0 >= self.x1 || self.y0 >= self.y1
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+
+    /// Half-open containment test: `x0 <= p.x < x1 && y0 <= p.y < y1`.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.x0 && p.x < self.x1 && p.y >= self.y0 && p.y < self.y1
+    }
+
+    /// Containment test that is closed on the upper edges.
+    ///
+    /// Used by the domain to admit points sitting exactly on the domain's
+    /// maximum coordinates (they are bucketed into the last cell).
+    #[inline]
+    pub fn contains_closed(&self, p: &Point) -> bool {
+        p.x >= self.x0 && p.x <= self.x1 && p.y >= self.y0 && p.y <= self.y1
+    }
+
+    /// Whether `other` is completely inside `self` (as point sets of the
+    /// half-open boxes).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.x0 >= self.x0 && other.x1 <= self.x1 && other.y0 >= self.y0 && other.y1 <= self.y1
+    }
+
+    /// Intersection of two rectangles, or `None` when the overlap has zero
+    /// area.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let x0 = self.x0.max(other.x0);
+        let y0 = self.y0.max(other.y0);
+        let x1 = self.x1.min(other.x1);
+        let y1 = self.y1.min(other.y1);
+        if x0 < x1 && y0 < y1 {
+            Some(Rect { x0, y0, x1, y1 })
+        } else {
+            None
+        }
+    }
+
+    /// Whether the two rectangles overlap with positive area.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// Fraction of this rectangle's area covered by `query`.
+    ///
+    /// This is the quantity the uniformity assumption turns into an
+    /// estimated count: a cell with noisy count `n` intersected by a query
+    /// contributes `n * cell.overlap_fraction(query)`. Returns a value in
+    /// `[0, 1]`; `0` for empty cells.
+    pub fn overlap_fraction(&self, query: &Rect) -> f64 {
+        let area = self.area();
+        if area <= 0.0 {
+            return 0.0;
+        }
+        match self.intersection(query) {
+            Some(i) => (i.area() / area).clamp(0.0, 1.0),
+            None => 0.0,
+        }
+    }
+
+    /// Splits the rectangle at `x`, returning the left and right parts.
+    ///
+    /// `x` is clamped into `[x0, x1]`, so either side may be empty.
+    pub fn split_x(&self, x: f64) -> (Rect, Rect) {
+        let x = x.clamp(self.x0, self.x1);
+        (
+            Rect {
+                x0: self.x0,
+                y0: self.y0,
+                x1: x,
+                y1: self.y1,
+            },
+            Rect {
+                x0: x,
+                y0: self.y0,
+                x1: self.x1,
+                y1: self.y1,
+            },
+        )
+    }
+
+    /// Splits the rectangle at `y`, returning the bottom and top parts.
+    pub fn split_y(&self, y: f64) -> (Rect, Rect) {
+        let y = y.clamp(self.y0, self.y1);
+        (
+            Rect {
+                x0: self.x0,
+                y0: self.y0,
+                x1: self.x1,
+                y1: y,
+            },
+            Rect {
+                x0: self.x0,
+                y0: y,
+                x1: self.x1,
+                y1: self.y1,
+            },
+        )
+    }
+
+    /// Sub-rectangle for cell `(col, row)` of an `cols × rows` equi-width
+    /// grid laid over this rectangle.
+    ///
+    /// Cell edges are computed as exact linear interpolations so that
+    /// adjacent cells share the same edge coordinate and the union of all
+    /// cells is exactly `self`.
+    pub fn grid_cell(&self, cols: usize, rows: usize, col: usize, row: usize) -> Rect {
+        debug_assert!(col < cols && row < rows);
+        let fx = |i: usize| self.x0 + (self.x1 - self.x0) * (i as f64) / (cols as f64);
+        let fy = |j: usize| self.y0 + (self.y1 - self.y0) * (j as f64) / (rows as f64);
+        Rect {
+            x0: fx(col),
+            y0: fy(row),
+            x1: fx(col + 1),
+            y1: fy(row + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(x0, y0, x1, y1).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_inverted() {
+        assert!(Rect::new(1.0, 0.0, 0.0, 1.0).is_err());
+        assert!(Rect::new(0.0, 1.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn new_rejects_nan() {
+        assert!(Rect::new(f64::NAN, 0.0, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn new_allows_degenerate_but_nonempty_rejects() {
+        assert!(Rect::new(0.0, 0.0, 0.0, 1.0).is_ok());
+        assert!(Rect::new_nonempty(0.0, 0.0, 0.0, 1.0).is_err());
+        assert!(Rect::new_nonempty(0.0, 0.0, 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn half_open_containment() {
+        let c = r(0.0, 0.0, 1.0, 1.0);
+        assert!(c.contains(&Point::new(0.0, 0.0)));
+        assert!(!c.contains(&Point::new(1.0, 0.5)));
+        assert!(!c.contains(&Point::new(0.5, 1.0)));
+        assert!(c.contains_closed(&Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn intersection_basic() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let b = r(1.0, 1.0, 3.0, 3.0);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, r(1.0, 1.0, 2.0, 2.0));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn intersection_disjoint_and_touching() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(2.0, 2.0, 3.0, 3.0);
+        assert!(a.intersection(&b).is_none());
+        // Touching along an edge has zero-area overlap.
+        let c = r(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersection(&c).is_none());
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn overlap_fraction_halves() {
+        let cell = r(0.0, 0.0, 2.0, 2.0);
+        let q = r(0.0, 0.0, 1.0, 2.0);
+        assert!((cell.overlap_fraction(&q) - 0.5).abs() < 1e-12);
+        // Query covering the whole cell.
+        let big = r(-1.0, -1.0, 5.0, 5.0);
+        assert_eq!(cell.overlap_fraction(&big), 1.0);
+        // Disjoint query.
+        let far = r(10.0, 10.0, 11.0, 11.0);
+        assert_eq!(cell.overlap_fraction(&far), 0.0);
+    }
+
+    #[test]
+    fn grid_cells_tile_exactly() {
+        let d = r(-3.0, 1.0, 7.0, 9.0);
+        let (cols, rows) = (7, 5);
+        let mut total_area = 0.0;
+        for row in 0..rows {
+            for col in 0..cols {
+                let cell = d.grid_cell(cols, rows, col, row);
+                total_area += cell.area();
+                // Adjacent cells share exact edges.
+                if col + 1 < cols {
+                    let right = d.grid_cell(cols, rows, col + 1, row);
+                    assert_eq!(cell.x1(), right.x0());
+                }
+                if row + 1 < rows {
+                    let up = d.grid_cell(cols, rows, col, row + 1);
+                    assert_eq!(cell.y1(), up.y0());
+                }
+            }
+        }
+        assert!((total_area - d.area()).abs() < 1e-9);
+        // Outermost edges coincide with the rect's edges.
+        assert_eq!(d.grid_cell(cols, rows, 0, 0).x0(), d.x0());
+        assert_eq!(d.grid_cell(cols, rows, cols - 1, rows - 1).x1(), d.x1());
+    }
+
+    #[test]
+    fn split_clamps() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let (l, rr) = a.split_x(-5.0);
+        assert!(l.is_empty());
+        assert_eq!(rr, a);
+        let (b, t) = a.split_y(1.0);
+        assert_eq!(b, r(0.0, 0.0, 2.0, 1.0));
+        assert_eq!(t, r(0.0, 1.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn bounding_box() {
+        let pts = vec![
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, -1.0),
+        ];
+        let b = Rect::bounding(&pts).unwrap();
+        assert_eq!(b, r(-2.0, -1.0, 4.0, 5.0));
+        assert!(Rect::bounding(&[]).is_none());
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the mechanism substrate.
+
+use std::fmt;
+
+/// Errors produced by privacy mechanism constructors and budget
+/// accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MechError {
+    /// ε was non-finite or not strictly positive.
+    InvalidEpsilon(f64),
+    /// Sensitivity was non-finite or not strictly positive.
+    InvalidSensitivity(f64),
+    /// A budget fraction was outside `(0, 1]` or a split did not sum to ≤ 1.
+    InvalidFraction(f64),
+    /// More budget was requested than remains.
+    BudgetExhausted {
+        /// Amount requested.
+        requested: f64,
+        /// Amount still available.
+        remaining: f64,
+    },
+    /// The exponential mechanism was invoked with no candidates.
+    EmptyCandidates,
+    /// A per-level allocation was requested for zero levels.
+    ZeroLevels,
+    /// A non-finite score was passed to the exponential mechanism.
+    NonFiniteScore {
+        /// Index of the offending candidate.
+        index: usize,
+        /// The score value.
+        score: f64,
+    },
+}
+
+impl fmt::Display for MechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MechError::InvalidEpsilon(e) => {
+                write!(f, "epsilon must be finite and positive, got {e}")
+            }
+            MechError::InvalidSensitivity(s) => {
+                write!(f, "sensitivity must be finite and positive, got {s}")
+            }
+            MechError::InvalidFraction(x) => {
+                write!(f, "budget fraction must lie in (0, 1], got {x}")
+            }
+            MechError::BudgetExhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested {requested}, remaining {remaining}"
+            ),
+            MechError::EmptyCandidates => {
+                write!(f, "exponential mechanism needs at least one candidate")
+            }
+            MechError::ZeroLevels => write!(f, "allocation needs at least one level"),
+            MechError::NonFiniteScore { index, score } => {
+                write!(f, "candidate #{index} has non-finite score {score}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MechError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert!(MechError::InvalidEpsilon(-1.0).to_string().contains("-1"));
+        assert!(MechError::BudgetExhausted {
+            requested: 2.0,
+            remaining: 0.5
+        }
+        .to_string()
+        .contains("exhausted"));
+    }
+}

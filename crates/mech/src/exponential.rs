@@ -1,0 +1,170 @@
+//! The exponential mechanism via Gumbel-max sampling.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{check_epsilon, check_sensitivity, MechError, Result};
+
+/// The exponential mechanism of McSherry & Talwar: selects candidate `i`
+/// with probability proportional to `exp(ε · q_i / (2·Δq))`, where `q_i`
+/// is the candidate's utility score and `Δq` its sensitivity.
+///
+/// The KD-tree baselines use this to choose split points privately: the
+/// candidates are the cell boundaries of a node's sub-histogram and the
+/// utility of a split is `−|rank(split) − n/2|` (distance of the split
+/// from the true median), which has sensitivity 1.
+///
+/// # Implementation
+///
+/// Sampling uses the **Gumbel-max trick**: adding independent standard
+/// Gumbel noise to each scaled score and taking the argmax is exactly
+/// equivalent to softmax sampling, but needs no normalisation and is
+/// numerically robust for large `ε · q / (2Δq)` magnitudes where
+/// `exp(...)` would overflow or underflow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExponentialMechanism {
+    epsilon: f64,
+    sensitivity: f64,
+}
+
+impl ExponentialMechanism {
+    /// Creates the mechanism with privacy parameter `epsilon` and utility
+    /// sensitivity `sensitivity`.
+    pub fn new(epsilon: f64, sensitivity: f64) -> Result<Self> {
+        Ok(ExponentialMechanism {
+            epsilon: check_epsilon(epsilon)?,
+            sensitivity: check_sensitivity(sensitivity)?,
+        })
+    }
+
+    /// The privacy parameter ε.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The utility sensitivity Δq.
+    #[inline]
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// Selects an index from `scores`, each score being the utility of
+    /// the corresponding candidate. Higher scores are exponentially more
+    /// likely to be chosen.
+    pub fn select(&self, scores: &[f64], rng: &mut impl Rng) -> Result<usize> {
+        if scores.is_empty() {
+            return Err(MechError::EmptyCandidates);
+        }
+        for (index, &score) in scores.iter().enumerate() {
+            if !score.is_finite() {
+                return Err(MechError::NonFiniteScore { index, score });
+            }
+        }
+        let factor = self.epsilon / (2.0 * self.sensitivity);
+        let mut best = 0usize;
+        let mut best_key = f64::NEG_INFINITY;
+        for (i, &score) in scores.iter().enumerate() {
+            let key = factor * score + standard_gumbel(rng);
+            if key > best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// Draws a standard Gumbel variate: `−ln(−ln U)` for `U ~ Uniform(0, 1)`.
+#[inline]
+fn standard_gumbel(rng: &mut impl Rng) -> f64 {
+    // Keep U strictly inside (0, 1) to avoid infinities.
+    let u: f64 = (1.0 - rng.random::<f64>()).max(f64::MIN_POSITIVE);
+    -(-u.ln()).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(ExponentialMechanism::new(0.0, 1.0).is_err());
+        assert!(ExponentialMechanism::new(1.0, -1.0).is_err());
+        let m = ExponentialMechanism::new(1.0, 1.0).unwrap();
+        assert!(matches!(
+            m.select(&[], &mut rng(0)),
+            Err(MechError::EmptyCandidates)
+        ));
+        assert!(matches!(
+            m.select(&[1.0, f64::NAN], &mut rng(0)),
+            Err(MechError::NonFiniteScore { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn huge_epsilon_picks_argmax() {
+        let m = ExponentialMechanism::new(1e6, 1.0).unwrap();
+        let scores = [0.0, 5.0, 3.0, 4.9];
+        let mut r = rng(1);
+        for _ in 0..100 {
+            assert_eq!(m.select(&scores, &mut r).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn tiny_epsilon_is_near_uniform() {
+        let m = ExponentialMechanism::new(1e-9, 1.0).unwrap();
+        let scores = [0.0, 100.0];
+        let mut r = rng(2);
+        let n = 20_000;
+        let ones = (0..n)
+            .filter(|_| m.select(&scores, &mut r).unwrap() == 1)
+            .count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn selection_frequencies_match_softmax() {
+        let m = ExponentialMechanism::new(2.0, 1.0).unwrap();
+        let scores = [0.0, 1.0, 2.0];
+        // P(i) ∝ exp(ε·q_i / 2) = exp(q_i) for ε = 2, Δq = 1.
+        let weights: Vec<f64> = scores.iter().map(|&s: &f64| s.exp()).collect();
+        let z: f64 = weights.iter().sum();
+        let mut counts = [0usize; 3];
+        let mut r = rng(3);
+        let n = 60_000;
+        for _ in 0..n {
+            counts[m.select(&scores, &mut r).unwrap()] += 1;
+        }
+        for i in 0..3 {
+            let expect = weights[i] / z;
+            let got = counts[i] as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "candidate {i}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_scores_do_not_overflow() {
+        let m = ExponentialMechanism::new(10.0, 1.0).unwrap();
+        let scores = [-1e6, 0.0, 1e6];
+        let mut r = rng(4);
+        // Plain softmax would overflow exp(5e6); Gumbel-max must not.
+        assert_eq!(m.select(&scores, &mut r).unwrap(), 2);
+    }
+
+    #[test]
+    fn single_candidate_always_selected() {
+        let m = ExponentialMechanism::new(1.0, 1.0).unwrap();
+        assert_eq!(m.select(&[-3.0], &mut rng(5)).unwrap(), 0);
+    }
+}

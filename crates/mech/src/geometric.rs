@@ -1,0 +1,180 @@
+//! The two-sided geometric ("discrete Laplace") mechanism.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{check_epsilon, Result};
+
+/// The two-sided geometric mechanism (Ghosh, Roughgarden & Sundararajan):
+/// releases `value + Z` where `Z` is integer noise with
+/// `Pr[Z = k] = (1 − α) / (1 + α) · α^|k|` and `α = e^(−ε / Δ)`.
+///
+/// It is the utility-optimal ε-DP mechanism for integer count queries and
+/// is offered as an alternative noise source for the grid methods when
+/// integer-valued synopses are desired (an extension beyond the paper,
+/// which uses Laplace noise throughout).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeometricMechanism {
+    epsilon: f64,
+    sensitivity: u64,
+    /// `α = e^(−ε / Δ)`, cached.
+    alpha: f64,
+}
+
+impl GeometricMechanism {
+    /// Creates the mechanism for integer queries of sensitivity
+    /// `sensitivity ≥ 1`.
+    pub fn new(epsilon: f64, sensitivity: u64) -> Result<Self> {
+        let epsilon = check_epsilon(epsilon)?;
+        let sensitivity = sensitivity.max(1);
+        Ok(GeometricMechanism {
+            epsilon,
+            sensitivity,
+            alpha: (-epsilon / sensitivity as f64).exp(),
+        })
+    }
+
+    /// The privacy parameter ε.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The noise parameter `α = e^(−ε / Δ)`.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Variance of the noise: `2α / (1 − α)²`.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        2.0 * self.alpha / ((1.0 - self.alpha) * (1.0 - self.alpha))
+    }
+
+    /// Probability mass of noise value `k`.
+    pub fn pmf(&self, k: i64) -> f64 {
+        (1.0 - self.alpha) / (1.0 + self.alpha) * self.alpha.powi(k.unsigned_abs() as i32)
+    }
+
+    /// Draws one integer noise sample.
+    pub fn sample_noise(&self, rng: &mut impl Rng) -> i64 {
+        // P(Z = 0) = (1 − α) / (1 + α); otherwise draw a sign and a
+        // geometric magnitude m ≥ 1 with P(m) ∝ α^m.
+        let p_zero = (1.0 - self.alpha) / (1.0 + self.alpha);
+        let u: f64 = rng.random();
+        if u < p_zero {
+            return 0;
+        }
+        // Geometric magnitude via inverse CDF: m = ⌈ln(u') / ln(α)⌉ for
+        // u' uniform in (0, 1).
+        let u2: f64 = (1.0 - rng.random::<f64>()).max(f64::MIN_POSITIVE);
+        let m = (u2.ln() / self.alpha.ln()).ceil().max(1.0);
+        let m = if m.is_finite() { m as i64 } else { i64::MAX };
+        if rng.random::<bool>() {
+            m
+        } else {
+            -m
+        }
+    }
+
+    /// Releases `value + Z`.
+    pub fn randomize(&self, value: i64, rng: &mut impl Rng) -> i64 {
+        value.saturating_add(self.sample_noise(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn validates_epsilon() {
+        assert!(GeometricMechanism::new(0.0, 1).is_err());
+        assert!(GeometricMechanism::new(f64::NAN, 1).is_err());
+        assert!(GeometricMechanism::new(1.0, 1).is_ok());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let m = GeometricMechanism::new(0.5, 1).unwrap();
+        let total: f64 = (-200..=200).map(|k| m.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "pmf total {total}");
+    }
+
+    #[test]
+    fn pmf_is_symmetric_and_decreasing() {
+        let m = GeometricMechanism::new(1.0, 1).unwrap();
+        for k in 1..20 {
+            assert!((m.pmf(k) - m.pmf(-k)).abs() < 1e-15);
+            assert!(m.pmf(k) < m.pmf(k - 1));
+        }
+    }
+
+    #[test]
+    fn sample_matches_pmf() {
+        let m = GeometricMechanism::new(1.0, 1).unwrap();
+        let mut r = rng(7);
+        let n = 200_000;
+        let mut zero = 0usize;
+        let mut one = 0usize;
+        let mut sum = 0i64;
+        for _ in 0..n {
+            let z = m.sample_noise(&mut r);
+            sum += z;
+            if z == 0 {
+                zero += 1;
+            }
+            if z == 1 {
+                one += 1;
+            }
+        }
+        let mean = sum as f64 / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        let p0 = zero as f64 / n as f64;
+        assert!((p0 - m.pmf(0)).abs() < 0.01, "p0 {p0} vs {}", m.pmf(0));
+        let p1 = one as f64 / n as f64;
+        assert!((p1 - m.pmf(1)).abs() < 0.01, "p1 {p1} vs {}", m.pmf(1));
+    }
+
+    #[test]
+    fn variance_matches_theory() {
+        let m = GeometricMechanism::new(0.8, 1).unwrap();
+        let mut r = rng(9);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let z = m.sample_noise(&mut r) as f64;
+            sum += z;
+            sum_sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(
+            (var - m.variance()).abs() / m.variance() < 0.05,
+            "sample var {var} vs theory {}",
+            m.variance()
+        );
+    }
+
+    #[test]
+    fn higher_epsilon_means_less_noise() {
+        let loose = GeometricMechanism::new(0.1, 1).unwrap();
+        let tight = GeometricMechanism::new(2.0, 1).unwrap();
+        assert!(tight.variance() < loose.variance());
+    }
+
+    #[test]
+    fn sensitivity_scales_alpha() {
+        let s1 = GeometricMechanism::new(1.0, 1).unwrap();
+        let s2 = GeometricMechanism::new(1.0, 2).unwrap();
+        assert!(s2.alpha() > s1.alpha());
+        assert!((s2.alpha() - (-0.5_f64).exp()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,245 @@
+//! The Laplace distribution and mechanism.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{check_epsilon, check_sensitivity, MechError, Result};
+
+/// The Laplace distribution `Lap(β)` with density
+/// `Pr[X = x] = (1 / 2β) · e^(−|x| / β)`.
+///
+/// Its variance is `2β²`, hence a standard deviation of `√2·β` — the
+/// quantities the paper's error analysis (§II-A) is phrased in.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Laplace {
+    scale: f64,
+}
+
+impl Laplace {
+    /// Creates a Laplace distribution with the given scale `β > 0`.
+    pub fn new(scale: f64) -> Result<Self> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(MechError::InvalidSensitivity(scale));
+        }
+        Ok(Laplace { scale })
+    }
+
+    /// The scale parameter β.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Variance `2β²`.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+
+    /// Standard deviation `√2·β`.
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        std::f64::consts::SQRT_2 * self.scale
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        (-x.abs() / self.scale).exp() / (2.0 * self.scale)
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.5 * (x / self.scale).exp()
+        } else {
+            1.0 - 0.5 * (-x / self.scale).exp()
+        }
+    }
+
+    /// Draws one sample by inverse-CDF transform.
+    #[inline]
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        // u uniform in (-0.5, 0.5]; the open lower end avoids ln(0).
+        let u: f64 = 0.5 - rng.random::<f64>();
+        -self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+}
+
+/// The Laplace mechanism `A(D) = g(D) + Lap(GS_g / ε)`.
+///
+/// `GS_g` is the global (L1) sensitivity of the query; for the per-cell
+/// count queries of this paper it is 1 (adding or removing one tuple
+/// changes exactly one cell count by one, so the whole *vector* of cell
+/// counts also has sensitivity 1 — this is why UG can spend the entire
+/// budget on each cell in parallel).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaplaceMechanism {
+    epsilon: f64,
+    sensitivity: f64,
+    noise: Laplace,
+}
+
+impl LaplaceMechanism {
+    /// Creates a mechanism with privacy parameter `epsilon` and query
+    /// sensitivity `sensitivity`.
+    pub fn new(epsilon: f64, sensitivity: f64) -> Result<Self> {
+        let epsilon = check_epsilon(epsilon)?;
+        let sensitivity = check_sensitivity(sensitivity)?;
+        Ok(LaplaceMechanism {
+            epsilon,
+            sensitivity,
+            noise: Laplace::new(sensitivity / epsilon)?,
+        })
+    }
+
+    /// Mechanism for a sensitivity-1 count query — the common case.
+    pub fn for_count(epsilon: f64) -> Result<Self> {
+        LaplaceMechanism::new(epsilon, 1.0)
+    }
+
+    /// The privacy parameter ε.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The assumed query sensitivity.
+    #[inline]
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// The noise distribution `Lap(sensitivity / ε)`.
+    #[inline]
+    pub fn noise(&self) -> &Laplace {
+        &self.noise
+    }
+
+    /// Standard deviation of the added noise (`√2 · sensitivity / ε`).
+    #[inline]
+    pub fn noise_std_dev(&self) -> f64 {
+        self.noise.std_dev()
+    }
+
+    /// Releases `value + Lap(sensitivity / ε)`.
+    #[inline]
+    pub fn randomize(&self, value: f64, rng: &mut impl Rng) -> f64 {
+        value + self.noise.sample(rng)
+    }
+
+    /// Randomizes a whole slice in place. Under parallel composition
+    /// (disjoint cells) this consumes ε once for the entire vector.
+    pub fn randomize_slice(&self, values: &mut [f64], rng: &mut impl Rng) {
+        for v in values {
+            *v += self.noise.sample(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Laplace::new(0.0).is_err());
+        assert!(Laplace::new(-1.0).is_err());
+        assert!(Laplace::new(f64::NAN).is_err());
+        assert!(LaplaceMechanism::new(0.0, 1.0).is_err());
+        assert!(LaplaceMechanism::new(1.0, 0.0).is_err());
+        assert!(LaplaceMechanism::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn moments_match_theory() {
+        let lap = Laplace::new(2.0).unwrap();
+        assert_eq!(lap.variance(), 8.0);
+        assert!((lap.std_dev() - 8.0f64.sqrt()).abs() < 1e-12);
+        let mut r = rng(99);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = lap.sample(&mut r);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "sample mean {mean}");
+        assert!((var - 8.0).abs() < 0.25, "sample variance {var}");
+    }
+
+    #[test]
+    fn cdf_pdf_consistency() {
+        let lap = Laplace::new(1.5).unwrap();
+        assert!((lap.cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!(lap.cdf(-100.0) < 1e-12);
+        assert!(lap.cdf(100.0) > 1.0 - 1e-12);
+        // Numeric derivative of the CDF approximates the PDF.
+        for x in [-3.0, -0.5, 0.25, 2.0] {
+            let h = 1e-6;
+            let deriv = (lap.cdf(x + h) - lap.cdf(x - h)) / (2.0 * h);
+            assert!((deriv - lap.pdf(x)).abs() < 1e-5, "x = {x}");
+        }
+        // PDF is symmetric.
+        assert!((lap.pdf(1.0) - lap.pdf(-1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empirical_cdf_matches() {
+        let lap = Laplace::new(1.0).unwrap();
+        let mut r = rng(5);
+        let n = 100_000;
+        let below_one = (0..n).filter(|_| lap.sample(&mut r) < 1.0).count();
+        let frac = below_one as f64 / n as f64;
+        assert!((frac - lap.cdf(1.0)).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn mechanism_scale_is_sensitivity_over_epsilon() {
+        let m = LaplaceMechanism::new(0.5, 2.0).unwrap();
+        assert_eq!(m.noise().scale(), 4.0);
+        assert!((m.noise_std_dev() - std::f64::consts::SQRT_2 * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn randomize_is_centered_on_value() {
+        let m = LaplaceMechanism::for_count(1.0).unwrap();
+        let mut r = rng(11);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| m.randomize(10.0, &mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn randomize_slice_perturbs_independently() {
+        let m = LaplaceMechanism::for_count(1.0).unwrap();
+        let mut values = vec![0.0; 1000];
+        let mut r = rng(3);
+        m.randomize_slice(&mut values, &mut r);
+        // All entries noisy, not all equal.
+        let distinct: std::collections::HashSet<u64> =
+            values.iter().map(|v| v.to_bits()).collect();
+        assert!(distinct.len() > 990);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let lap = Laplace::new(1.0).unwrap();
+        let a: Vec<f64> = {
+            let mut r = rng(42);
+            (0..10).map(|_| lap.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng(42);
+            (0..10).map(|_| lap.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

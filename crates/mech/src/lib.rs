@@ -1,0 +1,68 @@
+//! Differential-privacy mechanism substrate for the `dpgrid` workspace.
+//!
+//! Implements the primitives every synopsis method is built from:
+//!
+//! * the [`Laplace`] distribution and the [`LaplaceMechanism`] for noisy
+//!   counts (Dwork et al., "Calibrating noise to sensitivity");
+//! * the [`GeometricMechanism`], the discrete counterpart used when
+//!   integer-valued releases are preferred;
+//! * the [`ExponentialMechanism`] (McSherry & Talwar) via Gumbel-max
+//!   sampling, used by the KD-tree baselines to select noisy medians;
+//! * [`PrivacyBudget`] accounting with sequential composition, plus the
+//!   per-level allocation schemes (uniform and geometric) used by the
+//!   hierarchical baselines.
+//!
+//! # Conventions
+//!
+//! ε is a plain `f64`, validated to be finite and strictly positive at
+//! every construction site. All sampling takes `&mut impl Rng`, so callers
+//! control seeding and reproducibility; nothing in this crate touches a
+//! global RNG.
+//!
+//! # Example
+//!
+//! ```
+//! use dpgrid_mech::LaplaceMechanism;
+//! use rand::SeedableRng;
+//!
+//! let mech = LaplaceMechanism::new(1.0, 1.0).unwrap(); // ε = 1, sensitivity 1
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let noisy = mech.randomize(42.0, &mut rng);
+//! assert!((noisy - 42.0).abs() < 50.0); // noise has scale 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod error;
+mod exponential;
+mod geometric;
+mod laplace;
+
+pub use budget::{geometric_allocation, uniform_allocation, PrivacyBudget};
+pub use error::MechError;
+pub use exponential::ExponentialMechanism;
+pub use geometric::GeometricMechanism;
+pub use laplace::{Laplace, LaplaceMechanism};
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MechError>;
+
+/// Validates a privacy parameter: finite and strictly positive.
+pub(crate) fn check_epsilon(epsilon: f64) -> Result<f64> {
+    if epsilon.is_finite() && epsilon > 0.0 {
+        Ok(epsilon)
+    } else {
+        Err(MechError::InvalidEpsilon(epsilon))
+    }
+}
+
+/// Validates a sensitivity: finite and strictly positive.
+pub(crate) fn check_sensitivity(sensitivity: f64) -> Result<f64> {
+    if sensitivity.is_finite() && sensitivity > 0.0 {
+        Ok(sensitivity)
+    } else {
+        Err(MechError::InvalidSensitivity(sensitivity))
+    }
+}

@@ -1,0 +1,84 @@
+//! Guideline 1 in action: why `m = √(N·ε/c)` is the right grid size.
+//!
+//! Sweeps the UG grid size on a fixed dataset, prints the paper's
+//! closed-form error model next to the measured error, and shows both
+//! minimising at the suggested size.
+//!
+//! ```sh
+//! cargo run --release --example parameter_tuning
+//! ```
+
+use dpgrid::core::{analysis, guidelines};
+use dpgrid::eval::{
+    evaluate, truth::TruthTable, EvalConfig, Method, QueryWorkload, WorkloadSpec,
+};
+use dpgrid::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let which = PaperDataset::Landmark;
+    let n = 200_000;
+    let eps = 1.0;
+    let dataset = which.generate_n(21, n).expect("generate dataset");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+
+    let suggested = guidelines::guideline1(n, eps, guidelines::DEFAULT_C);
+    println!(
+        "N = {n}, ε = {eps}: Guideline 1 suggests m = {suggested} (c = {})",
+        guidelines::DEFAULT_C
+    );
+
+    // Workload and truth.
+    let spec = WorkloadSpec::paper(which).with_queries_per_size(100);
+    let workload =
+        QueryWorkload::generate(dataset.domain(), &spec, &mut rng).expect("workload");
+    let index = PointIndex::build(&dataset);
+    let truth = TruthTable::compute(&index, &workload);
+
+    // Sweep m across a wide ladder.
+    let sizes: Vec<usize> = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+        .iter()
+        .map(|f| ((suggested as f64 * f).round() as usize).max(2))
+        .collect();
+    let methods: Vec<Method> = sizes.iter().map(|&m| Method::ug(m)).collect();
+    let cfg = EvalConfig::new(eps).with_trials(3).with_seed(5);
+    let evals = evaluate(&dataset, &workload, &truth, &methods, &cfg).expect("evaluate");
+
+    // The model: evaluated at a representative query ratio r = 1/16
+    // (q4-like) with c0 = c/√2.
+    let r = 1.0 / 16.0;
+    let c0 = analysis::c0_from_c(guidelines::DEFAULT_C);
+    println!(
+        "\n{:>6} {:>14} {:>14} {:>14} {:>14}",
+        "m", "model noise", "model nonunif", "model total", "measured mean RE"
+    );
+    for (m, e) in sizes.iter().zip(&evals) {
+        let noise = analysis::noise_error_std(r, *m, eps);
+        let nonunif = analysis::nonuniformity_error(r, n, *m, c0);
+        println!(
+            "{:>6} {:>14.1} {:>14.1} {:>14.1} {:>14.4}",
+            m,
+            noise,
+            nonunif,
+            noise + nonunif,
+            e.rel_profile.mean
+        );
+    }
+
+    let best = evals
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1.rel_profile
+                .mean
+                .partial_cmp(&b.1.rel_profile.mean)
+                .unwrap()
+        })
+        .map(|(i, _)| sizes[i])
+        .unwrap();
+    println!(
+        "\nmeasured best m = {best}; Guideline 1 suggested {suggested} — \
+         within a factor of {:.2}",
+        best.max(suggested) as f64 / best.min(suggested) as f64
+    );
+}

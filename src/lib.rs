@@ -1,0 +1,61 @@
+//! # dpgrid — differentially private grids for geospatial data
+//!
+//! A faithful, production-quality Rust implementation of
+//! *"Differentially Private Grids for Geospatial Data"* (Qardaji, Yang,
+//! Li — ICDE 2013), including the paper's two contributions — the
+//! **Uniform Grid (UG)** method with its grid-size guideline and the
+//! **Adaptive Grid (AG)** method — plus every baseline the paper compares
+//! against (KD-standard, KD-hybrid, b-ary hierarchies with constrained
+//! inference, and the Privelet wavelet method) and the full evaluation
+//! harness that regenerates the paper's tables and figures.
+//!
+//! This crate is a facade: it re-exports the workspace members under
+//! stable module names.
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`geo`] | `dpgrid-geo` | points, rectangles, domains, datasets, dense histograms, synthetic generators |
+//! | [`mech`] | `dpgrid-mech` | Laplace / geometric / exponential mechanisms, budget accounting |
+//! | [`core`] | `dpgrid-core` | the `Synopsis` trait, UG, AG, the guidelines, error analysis |
+//! | [`baselines`] | `dpgrid-baselines` | KD-trees, hierarchies, constrained inference, Privelet |
+//! | [`eval`] | `dpgrid-eval` | query workloads, error metrics, the experiment harness |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dpgrid::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // A small synthetic dataset (checkin-like distribution).
+//! let dataset = PaperDataset::Storage.generate_n(42, 2_000).unwrap();
+//!
+//! // Release an adaptive-grid synopsis with a total budget of ε = 1.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let synopsis = AdaptiveGrid::build(&dataset, &AgConfig::guideline(1.0), &mut rng).unwrap();
+//!
+//! // Answer a rectangle count query from the private synopsis.
+//! let query = Rect::new(-100.0, 30.0, -80.0, 45.0).unwrap();
+//! let estimate = synopsis.answer(&query);
+//! let truth = dataset.count_in(&query) as f64;
+//! assert!((estimate - truth).abs() < truth.max(100.0));
+//! ```
+
+pub use dpgrid_baselines as baselines;
+pub use dpgrid_core as core;
+pub use dpgrid_eval as eval;
+pub use dpgrid_geo as geo;
+pub use dpgrid_mech as mech;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use dpgrid_baselines::{
+        HierarchicalGrid, HierarchyConfig, KdConfig, KdHybrid, KdStandard, Privelet,
+        PriveletConfig,
+    };
+    pub use dpgrid_core::{
+        AdaptiveGrid, AgConfig, GridSize, NoiseKind, Release, Synopsis, UgConfig, UniformGrid,
+    };
+    pub use dpgrid_geo::generators::PaperDataset;
+    pub use dpgrid_geo::{DenseGrid, Domain, GeoDataset, Point, PointIndex, Rect};
+    pub use dpgrid_mech::{LaplaceMechanism, PrivacyBudget};
+}

@@ -1,0 +1,74 @@
+//! Smoke tests of the experiment harness: every paper artifact runs end
+//! to end at a reduced scale and produces its outputs.
+
+use dpgrid::eval::experiments::{self, ExpContext};
+
+fn ctx(name: &str) -> ExpContext {
+    let mut c = ExpContext::smoke(std::env::temp_dir().join(format!("dpgrid_smoke_{name}")));
+    c.scale = 512;
+    c.queries_per_size = 6;
+    c
+}
+
+#[test]
+fn dim_runs() {
+    let c = ctx("dim");
+    let md = experiments::dim::run(&c).unwrap();
+    assert!(md.contains("0.08"));
+    let _ = std::fs::remove_dir_all(&c.out_dir);
+}
+
+#[test]
+fn fig1_runs() {
+    let c = ctx("fig1");
+    let md = experiments::fig1::run(&c).unwrap();
+    for name in ["road", "checkin", "landmark", "storage"] {
+        assert!(md.contains(name), "missing {name}");
+        assert!(c.dir("fig1").join(format!("{name}_density.csv")).exists());
+    }
+    let _ = std::fs::remove_dir_all(&c.out_dir);
+}
+
+#[test]
+fn table2_runs() {
+    let c = ctx("table2");
+    let md = experiments::table2::run(&c).unwrap();
+    assert!(md.contains("suggested"));
+    assert!(c.dir("table2").join("table2.csv").exists());
+    let _ = std::fs::remove_dir_all(&c.out_dir);
+}
+
+#[test]
+fn fig2_runs() {
+    let c = ctx("fig2");
+    let md = experiments::fig2::run(&c).unwrap();
+    assert!(md.contains("Kst"));
+    assert!(md.contains("Khy"));
+    let _ = std::fs::remove_dir_all(&c.out_dir);
+}
+
+#[test]
+fn fig3_runs() {
+    let c = ctx("fig3");
+    let md = experiments::fig3::run(&c).unwrap();
+    assert!(md.contains("W360"));
+    let _ = std::fs::remove_dir_all(&c.out_dir);
+}
+
+#[test]
+fn fig4_runs() {
+    let c = ctx("fig4");
+    let md = experiments::fig4::run(&c).unwrap();
+    assert!(md.contains("m1 sweep"));
+    let _ = std::fs::remove_dir_all(&c.out_dir);
+}
+
+#[test]
+fn fig5_and_fig6_run() {
+    let c = ctx("fig56");
+    let md5 = experiments::fig5::run(&c).unwrap();
+    assert!(md5.contains("final comparison"));
+    let md6 = experiments::fig6::run(&c).unwrap();
+    assert!(md6.contains("absolute error"));
+    let _ = std::fs::remove_dir_all(&c.out_dir);
+}

@@ -1,0 +1,190 @@
+//! Integration tests for the extension features: the portable release
+//! format, ablation method variants, noise sources, and the 1-D
+//! histograms.
+
+use dpgrid::baselines::oned::{project_x, Histogram1D};
+use dpgrid::core::{synthetic, Release};
+use dpgrid::eval::Method;
+use dpgrid::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn release_interop_across_all_methods() {
+    // Every method's synopsis can be exported, serialized, re-loaded by
+    // a consumer, and still answers identically.
+    let ds = PaperDataset::Landmark.generate_n(1, 4_000).unwrap();
+    let q = Rect::new(-100.0, 30.0, -85.0, 42.0).unwrap();
+    let methods = [
+        Method::ug(12),
+        Method::ag(6),
+        Method::privelet(12),
+        Method::KdHybrid,
+        Method::hierarchy(12, 2, 2),
+        Method::Flat,
+    ];
+    for m in methods {
+        let syn = m.build(&ds, 1.0, &mut rng(7)).unwrap();
+        let rel = Release::from_synopsis(format!("{m:?}"), &syn);
+        let mut buf = Vec::new();
+        rel.write_json(&mut buf).unwrap();
+        let back = Release::read_json(&buf[..]).unwrap();
+        assert!(
+            (back.answer(&q) - syn.answer(&q)).abs() < 1e-9,
+            "{m:?}: release answer diverges"
+        );
+        assert_eq!(back.epsilon(), 1.0);
+    }
+}
+
+#[test]
+fn ablation_variants_build_and_differ() {
+    let ds = PaperDataset::Checkin.generate_n(2, 20_000).unwrap();
+    let q = Rect::new(-30.0, 20.0, 60.0, 70.0).unwrap();
+    let base = Method::AgVariant {
+        m1: Some(8),
+        ci: true,
+        fixed_m2: None,
+    };
+    let no_ci = Method::AgVariant {
+        m1: Some(8),
+        ci: false,
+        fixed_m2: None,
+    };
+    let a = base.build(&ds, 0.5, &mut rng(3)).unwrap();
+    let b = no_ci.build(&ds, 0.5, &mut rng(3)).unwrap();
+    assert_ne!(a.answer(&q), b.answer(&q));
+
+    // Geometric UG answers are sums of integers on aligned queries.
+    let geo = Method::UgVariant {
+        m: Some(10),
+        geometric: true,
+        aspect: false,
+    };
+    let g = geo.build(&ds, 1.0, &mut rng(4)).unwrap();
+    let whole = *ds.domain().rect();
+    let total = g.answer(&whole);
+    assert!((total - total.round()).abs() < 1e-6);
+
+    // Aspect-aware variant builds and covers the domain.
+    let aspect = Method::UgVariant {
+        m: Some(10),
+        geometric: false,
+        aspect: true,
+    };
+    let a = aspect.build(&ds, 1.0, &mut rng(5)).unwrap();
+    let area: f64 = a.cells().iter().map(|(r, _)| r.area()).sum();
+    assert!((area - ds.domain().area()).abs() < 1e-6);
+
+    // Variant labels are distinguishable.
+    assert_eq!(no_ci.label(0, 1.0), "A8[noCI]");
+    assert_eq!(geo.label(0, 1.0), "U10[geo]");
+    assert_eq!(
+        Method::KdHybridVariant { stop_factor: 0.0 }.label(0, 1.0),
+        "Khy[stop=0]"
+    );
+}
+
+#[test]
+fn synthetic_from_any_release() {
+    let ds = PaperDataset::Storage.generate_n(3, 2_000).unwrap();
+    let syn = Method::KdHybrid.build(&ds, 2.0, &mut rng(6)).unwrap();
+    let rel = Release::from_synopsis("kd", &syn);
+    let out = synthetic::synthesize(&rel, 1_000, &mut rng(7)).unwrap();
+    assert_eq!(out.len(), 1_000);
+    for p in out.points() {
+        assert!(ds.domain().contains(p));
+    }
+}
+
+#[test]
+fn oned_projection_consistent_with_2d_counts() {
+    let ds = PaperDataset::Road.generate_n(4, 5_000).unwrap();
+    let bins = project_x(&ds, 50);
+    assert_eq!(bins.iter().sum::<f64>(), 5_000.0);
+    // Bin i's count equals the 2-D count of the corresponding strip.
+    let d = ds.domain().rect();
+    let w = d.width() / 50.0;
+    for i in [0usize, 13, 37, 49] {
+        let strip = Rect::new(
+            d.x0() + i as f64 * w,
+            d.y0(),
+            d.x0() + (i + 1) as f64 * w,
+            d.y1() + 1.0, // include the closed top edge
+        )
+        .unwrap();
+        let strip_count = ds.count_in(&strip) as f64;
+        // The last bin also holds points on the closed right edge.
+        let expect = if i == 49 {
+            let edge = ds
+                .points()
+                .iter()
+                .filter(|p| p.x == d.x1())
+                .count() as f64;
+            strip_count + edge
+        } else {
+            strip_count
+        };
+        assert_eq!(bins[i], expect, "bin {i}");
+    }
+}
+
+proptest! {
+    /// 1-D interval answers are additive under splitting.
+    #[test]
+    fn histogram1d_additivity(
+        seed in 0u64..500,
+        n_bins in 1usize..64,
+        split in 0.0f64..1.0,
+    ) {
+        let counts: Vec<f64> = (0..n_bins).map(|i| ((i * 7) % 5) as f64).collect();
+        let h = Histogram1D::flat(&counts, 1.0, &mut rng(seed)).unwrap();
+        let n = n_bins as f64;
+        let mid = split * n;
+        let whole = h.answer(0.0, n);
+        let parts = h.answer(0.0, mid) + h.answer(mid, n);
+        prop_assert!((whole - parts).abs() < 1e-9);
+    }
+
+    /// Hierarchical and flat 1-D histograms agree exactly at huge ε.
+    #[test]
+    fn histogram1d_methods_agree_noiseless(
+        n_bins in 2usize..40,
+        a_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let counts: Vec<f64> = (0..n_bins).map(|i| (i % 7) as f64).collect();
+        let f = Histogram1D::flat(&counts, 1e12, &mut rng(1)).unwrap();
+        let h = Histogram1D::hierarchical(&counts, 1e12, 2, &mut rng(2)).unwrap();
+        let n = n_bins as f64;
+        let a = a_frac * n;
+        let b = (a + len_frac * (n - a)).min(n);
+        prop_assert!((f.answer(a, b) - h.answer(a, b)).abs() < 1e-3);
+    }
+
+    /// Releases survive arbitrary valid-grid roundtrips.
+    #[test]
+    fn release_roundtrip_property(
+        cols in 1usize..8,
+        rows in 1usize..8,
+        seed in 0u64..200,
+    ) {
+        let domain = Domain::from_corners(0.0, 0.0, 4.0, 4.0).unwrap();
+        let ds = dpgrid::geo::generators::uniform(domain, 100, &mut rng(seed));
+        let grid = DenseGrid::count(&ds, cols, rows).unwrap();
+        let cells: Vec<(Rect, f64)> = grid
+            .iter_cells()
+            .map(|(_, _, r, v)| (r, v))
+            .collect();
+        let rel = Release::from_parts("prop", 1.0, domain, cells).unwrap();
+        let mut buf = Vec::new();
+        rel.write_json(&mut buf).unwrap();
+        let back = Release::read_json(&buf[..]).unwrap();
+        prop_assert_eq!(back.cell_count(), cols * rows);
+        prop_assert!((back.total_estimate() - 100.0).abs() < 1e-9);
+    }
+}

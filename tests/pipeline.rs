@@ -1,0 +1,168 @@
+//! End-to-end pipeline tests: every method over every paper dataset.
+
+use dpgrid::eval::Method;
+use dpgrid::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn all_methods() -> Vec<Method> {
+    vec![
+        Method::Flat,
+        Method::ug(16),
+        Method::ug_suggested(),
+        Method::ag(8),
+        Method::ag_suggested(),
+        Method::privelet(16),
+        Method::KdStandard,
+        Method::KdHybrid,
+        Method::hierarchy(16, 2, 2),
+    ]
+}
+
+#[test]
+fn every_method_on_every_dataset() {
+    for which in PaperDataset::ALL {
+        let dataset = which.generate_n(1, 5_000).unwrap();
+        let d = dataset.domain().rect();
+        // A handful of queries across scales.
+        let queries = [
+            Rect::new(d.x0(), d.y0(), d.x1(), d.y1()).unwrap(),
+            Rect::new(
+                d.x0() + d.width() * 0.25,
+                d.y0() + d.height() * 0.25,
+                d.x0() + d.width() * 0.75,
+                d.y0() + d.height() * 0.75,
+            )
+            .unwrap(),
+            Rect::new(
+                d.x0() + d.width() * 0.4,
+                d.y0() + d.height() * 0.4,
+                d.x0() + d.width() * 0.45,
+                d.y0() + d.height() * 0.45,
+            )
+            .unwrap(),
+        ];
+        for method in all_methods() {
+            let syn = method
+                .build(&dataset, 1.0, &mut rng(42))
+                .unwrap_or_else(|e| panic!("{method:?} on {}: {e}", which.name()));
+            for q in &queries {
+                let ans = syn.answer(q);
+                assert!(
+                    ans.is_finite(),
+                    "{method:?} on {} returned non-finite answer",
+                    which.name()
+                );
+            }
+            // Total estimate is within noise range of N.
+            let total = syn.total_estimate();
+            assert!(
+                (total - 5_000.0).abs() < 2_500.0,
+                "{method:?} on {}: total estimate {total} too far from 5000",
+                which.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn near_exact_at_large_epsilon() {
+    // At ε = 10⁴ every method's whole-domain estimate converges to N.
+    // (Much larger ε would make Guideline 1 request grids beyond the
+    // memory cap — that failure mode is itself covered in dpgrid-core's
+    // tests.)
+    let dataset = PaperDataset::Landmark.generate_n(2, 3_000).unwrap();
+    let whole = *dataset.domain().rect();
+    for method in all_methods() {
+        let syn = method.build(&dataset, 1e4, &mut rng(9)).unwrap();
+        let ans = syn.answer(&whole);
+        assert!(
+            (ans - 3_000.0).abs() < 1.5,
+            "{method:?}: whole-domain answer {ans}"
+        );
+    }
+}
+
+#[test]
+fn ag_beats_flat_on_clustered_data() {
+    // The whole point of adaptive partitioning: on clustered data the
+    // flat total-count release misestimates local ranges badly.
+    let dataset = PaperDataset::Checkin.generate_n(3, 50_000).unwrap();
+    let index = PointIndex::build(&dataset);
+    let d = dataset.domain().rect();
+    // 20 mid-size queries.
+    let mut queries = Vec::new();
+    let mut r = rng(5);
+    for _ in 0..20 {
+        let w = d.width() * 0.1;
+        let h = d.height() * 0.1;
+        let x0 = rand::Rng::random_range(&mut r, d.x0()..d.x1() - w);
+        let y0 = rand::Rng::random_range(&mut r, d.y0()..d.y1() - h);
+        queries.push(Rect::new(x0, y0, x0 + w, y0 + h).unwrap());
+    }
+    let flat = Method::Flat.build(&dataset, 1.0, &mut rng(6)).unwrap();
+    let ag = Method::ag_suggested().build(&dataset, 1.0, &mut rng(7)).unwrap();
+    let err = |syn: &dyn Synopsis| -> f64 {
+        queries
+            .iter()
+            .map(|q| (syn.answer(q) - index.count(q) as f64).abs())
+            .sum::<f64>()
+    };
+    let flat_err = err(flat.as_ref());
+    let ag_err = err(ag.as_ref());
+    assert!(
+        ag_err < flat_err * 0.5,
+        "AG total abs error {ag_err} not clearly below Flat {flat_err}"
+    );
+}
+
+#[test]
+fn epsilon_is_recorded_on_all_releases() {
+    let dataset = PaperDataset::Storage.generate_n(4, 1_000).unwrap();
+    for method in all_methods() {
+        let syn = method.build(&dataset, 0.25, &mut rng(11)).unwrap();
+        assert_eq!(syn.epsilon(), 0.25, "{method:?}");
+    }
+}
+
+#[test]
+fn cells_partition_domain_for_all_methods() {
+    let dataset = PaperDataset::Road.generate_n(5, 2_000).unwrap();
+    let domain_area = dataset.domain().area();
+    for method in all_methods() {
+        let syn = method.build(&dataset, 1.0, &mut rng(13)).unwrap();
+        let cells = syn.cells();
+        let area: f64 = cells.iter().map(|(r, _)| r.area()).sum();
+        assert!(
+            (area - domain_area).abs() < domain_area * 1e-9,
+            "{method:?}: cell area {area} vs domain {domain_area}"
+        );
+    }
+}
+
+#[test]
+fn synthetic_regeneration_roundtrip() {
+    use dpgrid::core::synthetic;
+    let dataset = PaperDataset::Landmark.generate_n(6, 20_000).unwrap();
+    let mut r = rng(15);
+    let ag = AdaptiveGrid::build(&dataset, &AgConfig::guideline(1.0), &mut r).unwrap();
+    let synth = synthetic::synthesize(&ag, 20_000, &mut r).unwrap();
+    assert_eq!(synth.len(), 20_000);
+    assert_eq!(synth.domain(), dataset.domain());
+    // Densities correlate: compare 8x8 histograms.
+    let g1 = DenseGrid::count(&dataset, 8, 8).unwrap();
+    let g2 = DenseGrid::count(&synth, 8, 8).unwrap();
+    let (mut dot, mut n1, mut n2) = (0.0, 0.0, 0.0);
+    for i in 0..64 {
+        let a = g1.values()[i];
+        let b = g2.values()[i];
+        dot += a * b;
+        n1 += a * a;
+        n2 += b * b;
+    }
+    let corr = dot / (n1.sqrt() * n2.sqrt());
+    assert!(corr > 0.9, "density correlation {corr}");
+}

@@ -1,0 +1,126 @@
+//! Statistical verification of the privacy accounting: released noise
+//! levels must match what the claimed ε implies.
+
+use dpgrid::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn empty_dataset(domain: Domain) -> GeoDataset {
+    GeoDataset::from_points(vec![], domain).unwrap()
+}
+
+/// Empirical standard deviation of a sample.
+fn std_dev(xs: &[f64]) -> f64 {
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[test]
+fn ug_cell_noise_matches_epsilon() {
+    // On an empty dataset every UG cell is a pure Lap(1/ε) draw:
+    // std = √2/ε.
+    let domain = Domain::from_corners(0.0, 0.0, 1.0, 1.0).unwrap();
+    let ds = empty_dataset(domain);
+    for eps in [0.1, 1.0] {
+        let ug = UniformGrid::build(&ds, &UgConfig::fixed(eps, 32), &mut rng(1)).unwrap();
+        let std = std_dev(ug.grid().values());
+        let expect = std::f64::consts::SQRT_2 / eps;
+        assert!(
+            (std - expect).abs() < expect * 0.1,
+            "ε={eps}: cell noise std {std}, expected {expect}"
+        );
+    }
+}
+
+#[test]
+fn ag_level_budgets_split_by_alpha() {
+    // AG's first-level observations carry Lap(1/(αε)) noise. With the
+    // leaves' (1−α)ε and constrained inference, the adjusted totals are
+    // *less* noisy than either observation alone — we check both the
+    // direction and the rough magnitude.
+    let domain = Domain::from_corners(0.0, 0.0, 1.0, 1.0).unwrap();
+    let ds = empty_dataset(domain);
+    let eps = 1.0;
+    let alpha = 0.5;
+    let mut totals = Vec::new();
+    let mut cfg = AgConfig::guideline(eps).with_alpha(alpha).with_m1(4);
+    cfg.m2_cap = 4;
+    for seed in 0..200 {
+        let ag = AdaptiveGrid::build(&ds, &cfg, &mut rng(seed)).unwrap();
+        for info in ag.cells_info() {
+            totals.push(info.adjusted_total);
+        }
+    }
+    let std = std_dev(&totals);
+    // Upper bound: the raw level-1 noise std √2/(αε) = 2.83.
+    let raw_l1 = std::f64::consts::SQRT_2 / (alpha * eps);
+    assert!(
+        std < raw_l1,
+        "CI-adjusted totals (std {std}) should beat raw level-1 noise ({raw_l1})"
+    );
+    // And the totals are unbiased around 0.
+    let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+    assert!(mean.abs() < 0.2, "mean {mean}");
+}
+
+#[test]
+fn noisy_n_consumes_budget() {
+    // With NEstimate::Noisy the cells must get strictly less than ε:
+    // their noise is larger than the exact-N variant's.
+    let domain = Domain::from_corners(0.0, 0.0, 1.0, 1.0).unwrap();
+    let ds = empty_dataset(domain);
+    let eps = 1.0;
+    let mut exact_noise = Vec::new();
+    let mut noisy_noise = Vec::new();
+    for seed in 0..100 {
+        let e = UniformGrid::build(&ds, &UgConfig::fixed(eps, 8), &mut rng(seed)).unwrap();
+        exact_noise.extend_from_slice(e.grid().values());
+        let cfg = UgConfig::fixed(eps, 8).with_noisy_n(0.5);
+        let n = UniformGrid::build(&ds, &cfg, &mut rng(seed + 1_000)).unwrap();
+        noisy_noise.extend_from_slice(n.grid().values());
+    }
+    let s_exact = std_dev(&exact_noise);
+    let s_noisy = std_dev(&noisy_noise);
+    // Half the budget went to N → cell noise doubles.
+    assert!(
+        s_noisy > s_exact * 1.5,
+        "exact-N noise {s_exact}, noisy-N noise {s_noisy}"
+    );
+}
+
+#[test]
+fn composition_rejects_overdraft() {
+    use dpgrid::mech::PrivacyBudget;
+    let mut b = PrivacyBudget::new(1.0).unwrap();
+    b.spend(0.5).unwrap();
+    b.spend(0.5).unwrap();
+    assert!(b.spend(0.1).is_err());
+    assert!(b.is_exhausted());
+}
+
+#[test]
+fn epsilon_scales_error_inversely() {
+    // Build UG at ε and 10ε over the same data; the bigger budget's
+    // answers must be roughly 10× closer on average (pure noise regime).
+    let domain = Domain::from_corners(0.0, 0.0, 1.0, 1.0).unwrap();
+    let ds = empty_dataset(domain);
+    let q = Rect::new(0.1, 0.1, 0.6, 0.6).unwrap();
+    let mut errs_small = Vec::new();
+    let mut errs_large = Vec::new();
+    for seed in 0..300 {
+        let a = UniformGrid::build(&ds, &UgConfig::fixed(0.1, 16), &mut rng(seed)).unwrap();
+        errs_small.push(a.answer(&q).abs());
+        let b = UniformGrid::build(&ds, &UgConfig::fixed(1.0, 16), &mut rng(seed)).unwrap();
+        errs_large.push(b.answer(&q).abs());
+    }
+    let mean_small = errs_small.iter().sum::<f64>() / errs_small.len() as f64;
+    let mean_large = errs_large.iter().sum::<f64>() / errs_large.len() as f64;
+    let ratio = mean_small / mean_large;
+    assert!(
+        (ratio - 10.0).abs() < 3.0,
+        "error ratio {ratio}, expected ≈ 10"
+    );
+}

@@ -1,0 +1,151 @@
+//! Cross-crate property-based tests (proptest) on the core invariants.
+
+use dpgrid::baselines::wavelet;
+use dpgrid::eval::{metrics, QueryWorkload, WorkloadSpec};
+use dpgrid::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+proptest! {
+    /// Haar round-trip is the identity for any power-of-two vector.
+    #[test]
+    fn haar_roundtrip(values in prop::collection::vec(-1e6f64..1e6, 1..=64), k in 0usize..=6) {
+        let n = 1usize << k;
+        let mut v: Vec<f64> = values.into_iter().cycle().take(n).collect();
+        let orig = v.clone();
+        wavelet::forward_1d(&mut v).unwrap();
+        wavelet::inverse_1d(&mut v).unwrap();
+        for (a, b) in v.iter().zip(&orig) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    /// The SAT-based fractional range answer equals the per-cell
+    /// brute-force sum for arbitrary grids and queries.
+    #[test]
+    fn grid_answer_matches_bruteforce(
+        cols in 1usize..12,
+        rows in 1usize..12,
+        vals in prop::collection::vec(-100f64..100.0, 144),
+        qx0 in -2f64..12.0,
+        qy0 in -2f64..12.0,
+        qw in 0.01f64..14.0,
+        qh in 0.01f64..14.0,
+    ) {
+        let domain = Domain::from_corners(0.0, 0.0, 10.0, 10.0).unwrap();
+        let g = DenseGrid::from_fn(domain, cols, rows, |c, r| vals[r * cols + c]).unwrap();
+        let q = Rect::new(qx0, qy0, qx0 + qw, qy0 + qh).unwrap();
+        let fast = g.answer_uniform(&g.sat(), &q);
+        let brute: f64 = g
+            .iter_cells()
+            .map(|(_, _, cell, v)| v * cell.overlap_fraction(&q))
+            .sum();
+        prop_assert!(
+            (fast - brute).abs() < 1e-6 * (1.0 + brute.abs()),
+            "fast {} vs brute {}", fast, brute
+        );
+    }
+
+    /// Range answers are additive: splitting a query at any interior x
+    /// coordinate preserves the total.
+    #[test]
+    fn query_additivity(
+        seed in 0u64..1000,
+        split_frac in 0.01f64..0.99,
+    ) {
+        let domain = Domain::from_corners(0.0, 0.0, 8.0, 8.0).unwrap();
+        let ds = dpgrid::geo::generators::uniform(domain, 500, &mut rng(seed));
+        let ug = UniformGrid::build(&ds, &UgConfig::fixed(1.0, 9), &mut rng(seed)).unwrap();
+        let q = Rect::new(1.0, 1.0, 7.0, 7.0).unwrap();
+        let split_x = 1.0 + 6.0 * split_frac;
+        let (l, r) = q.split_x(split_x);
+        let total = ug.answer(&q);
+        let parts = ug.answer(&l) + ug.answer(&r);
+        prop_assert!((total - parts).abs() < 1e-6, "{} vs {}", total, parts);
+    }
+
+    /// The exact point index agrees with a linear scan on arbitrary
+    /// queries and point sets.
+    #[test]
+    fn point_index_exactness(
+        pts in prop::collection::vec((0f64..10.0, 0f64..10.0), 0..200),
+        qx0 in -1f64..11.0,
+        qy0 in -1f64..11.0,
+        qw in 0f64..12.0,
+        qh in 0f64..12.0,
+        res in 1usize..20,
+    ) {
+        let domain = Domain::from_corners(0.0, 0.0, 10.0, 10.0).unwrap();
+        let points: Vec<Point> = pts.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+        let ds = GeoDataset::from_points(points, domain).unwrap();
+        let idx = dpgrid::geo::PointIndex::with_resolution(&ds, res);
+        let q = Rect::new(qx0, qy0, qx0 + qw, qy0 + qh).unwrap();
+        prop_assert_eq!(idx.count(&q), ds.count_in(&q) as u64);
+    }
+
+    /// Workload queries always lie inside the domain and have the
+    /// declared doubling sizes.
+    #[test]
+    fn workload_queries_in_domain(
+        seed in 0u64..500,
+        q1w in 0.1f64..2.0,
+        q1h in 0.1f64..2.0,
+        sizes in 1usize..6,
+    ) {
+        let domain = Domain::from_corners(-5.0, -5.0, 5.0, 5.0).unwrap();
+        let spec = WorkloadSpec {
+            q1_width: q1w,
+            q1_height: q1h,
+            num_sizes: sizes,
+            queries_per_size: 10,
+        };
+        let w = QueryWorkload::generate(&domain, &spec, &mut rng(seed)).unwrap();
+        for (i, q) in w.iter_flat() {
+            prop_assert!(domain.rect().contains_rect(q));
+            let expect_w = (q1w * 2f64.powi(i as i32)).min(10.0);
+            prop_assert!((q.width() - expect_w).abs() < 1e-9);
+        }
+    }
+
+    /// Relative error is non-negative, zero iff exact, and uses the ρ
+    /// floor correctly.
+    #[test]
+    fn relative_error_properties(
+        est in -1e4f64..1e4,
+        truth in 0f64..1e4,
+        rho in 0.001f64..100.0,
+    ) {
+        let re = metrics::relative_error(est, truth, rho);
+        prop_assert!(re >= 0.0);
+        if (est - truth).abs() < 1e-12 {
+            prop_assert!(re < 1e-9);
+        }
+        // Scaling both error and denominator floor keeps RE bounded.
+        prop_assert!(re <= (est - truth).abs() / rho.min(truth.max(rho)) + 1e-9);
+    }
+
+    /// AG leaf cells always tile the domain exactly, for arbitrary m1
+    /// and small datasets.
+    #[test]
+    fn ag_partition_invariant(
+        seed in 0u64..200,
+        m1 in 2usize..8,
+        n in 0usize..300,
+    ) {
+        let domain = Domain::from_corners(0.0, 0.0, 4.0, 4.0).unwrap();
+        let ds = dpgrid::geo::generators::uniform(domain, n.max(1), &mut rng(seed));
+        let mut cfg = AgConfig::guideline(1.0).with_m1(m1);
+        cfg.m2_cap = 6;
+        let ag = AdaptiveGrid::build(&ds, &cfg, &mut rng(seed ^ 0xFF)).unwrap();
+        let area: f64 = ag.cells().iter().map(|(r, _)| r.area()).sum();
+        prop_assert!((area - 16.0).abs() < 1e-6);
+        // Consistency: whole-domain answer equals leaf total.
+        let whole = Rect::new(0.0, 0.0, 4.0, 4.0).unwrap();
+        let leaf_total: f64 = ag.cells().iter().map(|(_, v)| v).sum();
+        prop_assert!((ag.answer(&whole) - leaf_total).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,116 @@
+//! Releases must survive serialization: a synopsis is meant to be
+//! published, stored and reloaded.
+
+use dpgrid::baselines::{
+    HierarchicalGrid, HierarchyConfig, KdConfig, KdHybrid, KdTreeSynopsis, Privelet,
+    PriveletConfig,
+};
+use dpgrid::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn dataset() -> GeoDataset {
+    PaperDataset::Storage.generate_n(8, 2_000).unwrap()
+}
+
+fn queries(ds: &GeoDataset) -> Vec<Rect> {
+    let d = ds.domain().rect();
+    vec![
+        *d,
+        Rect::new(
+            d.x0() + 1.0,
+            d.y0() + 1.0,
+            d.x0() + d.width() / 2.0,
+            d.y0() + d.height() / 3.0,
+        )
+        .unwrap(),
+    ]
+}
+
+#[test]
+fn uniform_grid_roundtrip() {
+    let ds = dataset();
+    let ug = UniformGrid::build(&ds, &UgConfig::guideline(1.0), &mut rng(1)).unwrap();
+    let json = serde_json::to_string(&ug).unwrap();
+    let back: UniformGrid = serde_json::from_str(&json).unwrap();
+    for q in queries(&ds) {
+        assert_eq!(ug.answer(&q), back.answer(&q));
+    }
+    assert_eq!(back.epsilon(), 1.0);
+}
+
+#[test]
+fn adaptive_grid_roundtrip() {
+    let ds = dataset();
+    let ag = AdaptiveGrid::build(&ds, &AgConfig::guideline(1.0), &mut rng(2)).unwrap();
+    let json = serde_json::to_string(&ag).unwrap();
+    let back: AdaptiveGrid = serde_json::from_str(&json).unwrap();
+    for q in queries(&ds) {
+        assert_eq!(ag.answer(&q), back.answer(&q));
+    }
+    assert_eq!(back.m1(), ag.m1());
+}
+
+#[test]
+fn privelet_roundtrip() {
+    let ds = dataset();
+    let w = Privelet::build(&ds, &PriveletConfig::new(1.0, 16), &mut rng(3)).unwrap();
+    let json = serde_json::to_string(&w).unwrap();
+    let back: Privelet = serde_json::from_str(&json).unwrap();
+    for q in queries(&ds) {
+        assert_eq!(w.answer(&q), back.answer(&q));
+    }
+}
+
+#[test]
+fn hierarchy_roundtrip() {
+    let ds = dataset();
+    let h =
+        HierarchicalGrid::build(&ds, &HierarchyConfig::new(1.0, 16, 2, 3), &mut rng(4)).unwrap();
+    let json = serde_json::to_string(&h).unwrap();
+    let back: HierarchicalGrid = serde_json::from_str(&json).unwrap();
+    for q in queries(&ds) {
+        assert_eq!(h.answer(&q), back.answer(&q));
+    }
+}
+
+#[test]
+fn kd_tree_roundtrip() {
+    let ds = dataset();
+    let mut cfg = KdConfig::new(1.0);
+    cfg.base_resolution = 32;
+    cfg.height = Some(6);
+    let t = KdHybrid::build(&ds, &cfg, &mut rng(5)).unwrap();
+    let json = serde_json::to_string(&t).unwrap();
+    let back: KdTreeSynopsis = serde_json::from_str(&json).unwrap();
+    for q in queries(&ds) {
+        assert_eq!(t.answer(&q), back.answer(&q));
+    }
+    assert_eq!(back.node_count(), t.node_count());
+}
+
+#[test]
+fn dataset_csv_roundtrip_through_disk() {
+    let ds = dataset();
+    let path = std::env::temp_dir().join("dpgrid_ser_test.csv");
+    ds.save_csv(&path).unwrap();
+    let back = GeoDataset::load_csv(&path).unwrap();
+    assert_eq!(back.len(), ds.len());
+    assert_eq!(back.domain(), ds.domain());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn released_cells_serialize_compactly() {
+    // The (rect, count) cell export — the minimal publishable format.
+    let ds = dataset();
+    let ug = UniformGrid::build(&ds, &UgConfig::fixed(1.0, 8), &mut rng(6)).unwrap();
+    let cells = ug.cells();
+    let json = serde_json::to_string(&cells).unwrap();
+    let back: Vec<(Rect, f64)> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), 64);
+    assert_eq!(back, cells);
+}
