@@ -57,6 +57,11 @@ impl Synopsis for FlatCount {
     fn cells(&self) -> Vec<(Rect, f64)> {
         vec![(*self.domain.rect(), self.noisy_total)]
     }
+
+    /// The stored total — no cell export needed.
+    fn total_estimate(&self) -> f64 {
+        self.noisy_total
+    }
 }
 
 #[cfg(test)]

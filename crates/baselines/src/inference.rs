@@ -208,7 +208,12 @@ mod tests {
 
     /// Builds a uniform b-ary tree of the given depth with all-equal
     /// noisy counts and variances; returns (tree, root, leaf ids).
-    fn uniform_tree(branching: usize, depth: usize, noisy: f64, var: f64) -> (CiTree, usize, Vec<usize>) {
+    fn uniform_tree(
+        branching: usize,
+        depth: usize,
+        noisy: f64,
+        var: f64,
+    ) -> (CiTree, usize, Vec<usize>) {
         let mut t = CiTree::new();
         fn build(
             t: &mut CiTree,
@@ -221,7 +226,16 @@ mod tests {
             let id = t.add_node(noisy, var).unwrap();
             if depth > 0 {
                 let children: Vec<usize> = (0..branching)
-                    .map(|_| build(t, branching, depth - 1, noisy / branching as f64, var, leaves))
+                    .map(|_| {
+                        build(
+                            t,
+                            branching,
+                            depth - 1,
+                            noisy / branching as f64,
+                            var,
+                            leaves,
+                        )
+                    })
                     .collect();
                 t.set_children(id, children).unwrap();
             } else {
@@ -402,9 +416,7 @@ mod tests {
             t.set_children(root, mids.clone()).unwrap();
             for &m in &mids {
                 let leaves: Vec<usize> = (0..2)
-                    .map(|_| {
-                        t.add_node(truth_leaf + lap.sample(&mut rng), 2.0).unwrap()
-                    })
+                    .map(|_| t.add_node(truth_leaf + lap.sample(&mut rng), 2.0).unwrap())
                     .collect();
                 t.set_children(m, leaves).unwrap();
             }

@@ -260,10 +260,7 @@ fn build_tree(
     };
     let (eps_median_per_level, eps_counts) = if kd_levels > 0 && config.median_fraction > 0.0 {
         let med_total = config.epsilon * config.median_fraction;
-        (
-            med_total / kd_levels as f64,
-            config.epsilon - med_total,
-        )
+        (med_total / kd_levels as f64, config.epsilon - med_total)
     } else {
         (0.0, config.epsilon)
     };
@@ -306,41 +303,34 @@ fn build_tree(
             }
         }
         let quad_split = matches!(strategy, SplitStrategy::Hybrid { quad } if depth < quad);
-        let child_cells: Vec<(usize, usize, usize, usize)> = if quad_split
-            && c1 - c0 >= 2
-            && r1 - r0 >= 2
-        {
-            // Midpoint quadtree split: 4 children, no budget consumed.
-            let cm = (c0 + c1) / 2;
-            let rm = (r0 + r1) / 2;
-            vec![
-                (c0, r0, cm, rm),
-                (cm, r0, c1, rm),
-                (c0, rm, cm, r1),
-                (cm, rm, c1, r1),
-            ]
-        } else {
-            // Binary KD split along the alternating axis.
-            let split_x = if c1 - c0 <= 1 {
-                false
-            } else if r1 - r0 <= 1 {
-                true
+        let child_cells: Vec<(usize, usize, usize, usize)> =
+            if quad_split && c1 - c0 >= 2 && r1 - r0 >= 2 {
+                // Midpoint quadtree split: 4 children, no budget consumed.
+                let cm = (c0 + c1) / 2;
+                let rm = (r0 + r1) / 2;
+                vec![
+                    (c0, r0, cm, rm),
+                    (cm, r0, c1, rm),
+                    (c0, rm, cm, r1),
+                    (cm, rm, c1, r1),
+                ]
             } else {
-                depth.is_multiple_of(2)
+                // Binary KD split along the alternating axis.
+                let split_x = if c1 - c0 <= 1 {
+                    false
+                } else if r1 - r0 <= 1 {
+                    true
+                } else {
+                    depth.is_multiple_of(2)
+                };
+                let split =
+                    choose_split(&sat, (c0, r0, c1, r1), split_x, eps_median_per_level, rng)?;
+                if split_x {
+                    vec![(c0, r0, split, r1), (split, r0, c1, r1)]
+                } else {
+                    vec![(c0, r0, c1, split), (c0, split, c1, r1)]
+                }
             };
-            let split = choose_split(
-                &sat,
-                (c0, r0, c1, r1),
-                split_x,
-                eps_median_per_level,
-                rng,
-            )?;
-            if split_x {
-                vec![(c0, r0, split, r1), (split, r0, c1, r1)]
-            } else {
-                vec![(c0, r0, c1, split), (c0, split, c1, r1)]
-            }
-        };
         let mut child_ids = Vec::with_capacity(child_cells.len());
         for cc in child_cells {
             let rect = cells_to_rect(&domain, res, cc);
@@ -427,8 +417,7 @@ fn cells_to_rect(domain: &Domain, res: usize, cells: (usize, usize, usize, usize
     let d = domain.rect();
     let fx = |i: usize| d.x0() + d.width() * (i as f64) / (res as f64);
     let fy = |j: usize| d.y0() + d.height() * (j as f64) / (res as f64);
-    Rect::new(fx(cells.0), fy(cells.1), fx(cells.2), fy(cells.3))
-        .expect("cell ranges are ordered")
+    Rect::new(fx(cells.0), fy(cells.1), fx(cells.2), fy(cells.3)).expect("cell ranges are ordered")
 }
 
 impl KdTreeSynopsis {
@@ -562,10 +551,14 @@ mod tests {
     #[test]
     fn tree_shape_standard_binary_hybrid_quad() {
         let ds = dataset(1_000, 5);
-        let st = KdStandard::build(&ds, &small_config(1.0), &mut rng(6)).unwrap();
+        // Adaptive stopping makes the tree shape depend on the noise
+        // draws; disable it so the shape assertions are deterministic.
+        let mut cfg = small_config(1.0);
+        cfg.stop_factor = 0.0;
+        let st = KdStandard::build(&ds, &cfg, &mut rng(6)).unwrap();
         // Root of a standard tree has 2 children.
         assert_eq!(st.nodes[0].children.len(), 2);
-        let hy = KdHybrid::build(&ds, &small_config(1.0), &mut rng(7)).unwrap();
+        let hy = KdHybrid::build(&ds, &cfg, &mut rng(7)).unwrap();
         // Root of a hybrid tree has 4 children (quadtree level).
         assert_eq!(hy.nodes[0].children.len(), 4);
         assert!(hy.node_count() > st.node_count());
@@ -577,8 +570,7 @@ mod tests {
         let t = KdHybrid::build(&ds, &small_config(0.5), &mut rng(9)).unwrap();
         for (id, node) in t.nodes.iter().enumerate() {
             if !node.children.is_empty() {
-                let child_sum: f64 =
-                    node.children.iter().map(|&c| t.nodes[c].estimate).sum();
+                let child_sum: f64 = node.children.iter().map(|&c| t.nodes[c].estimate).sum();
                 assert!(
                     (node.estimate - child_sum).abs() < 1e-6,
                     "node {id}: {} vs children {child_sum}",
@@ -641,12 +633,15 @@ mod tests {
         assert_eq!(cfg.resolved_height(1_000_000), 17usize.clamp(4, 16)); // = 16
         assert_eq!(cfg.resolved_height(9_000), 10); // ⌈log₂ 900⌉
         assert_eq!(cfg.resolved_height(2), 4); // clamped up
-        // Smaller ε → shallower tree (less budget to spread).
+                                               // Smaller ε → shallower tree (less budget to spread).
         let tight = KdConfig::new(0.1);
         assert_eq!(tight.resolved_height(1_000_000), 14); // ⌈log₂ 10⁴⌉
         assert!(tight.resolved_height(1_000_000) < cfg.resolved_height(1_000_000));
         // Explicit override wins.
-        assert_eq!(KdConfig::new(0.1).with_height(6).resolved_height(1_000_000), 6);
+        assert_eq!(
+            KdConfig::new(0.1).with_height(6).resolved_height(1_000_000),
+            6
+        );
     }
 
     #[test]

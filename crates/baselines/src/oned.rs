@@ -71,9 +71,7 @@ impl Histogram1D {
             ));
         }
         if branching < 2 {
-            return Err(BaselineError::InvalidConfig(
-                "branching must be ≥ 2".into(),
-            ));
+            return Err(BaselineError::InvalidConfig("branching must be ≥ 2".into()));
         }
         // Pad to a power of the branching factor.
         let mut n = 1usize;

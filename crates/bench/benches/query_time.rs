@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 use dpgrid_baselines::{KdConfig, KdHybrid, Privelet, PriveletConfig};
 use dpgrid_bench::{bench_dataset, bench_rng};
-use dpgrid_core::{AdaptiveGrid, AgConfig, Synopsis, UgConfig, UniformGrid};
+use dpgrid_core::{AdaptiveGrid, AgConfig, Release, Synopsis, UgConfig, UniformGrid};
 use dpgrid_geo::Rect;
 
 const N: usize = 100_000;
@@ -49,5 +49,51 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queries);
+/// The interchange format must be as fast to query as the producing
+/// method: compiled-surface answering vs the naive cell scan, per query
+/// and batched.
+fn bench_release_surface(c: &mut Criterion) {
+    let dataset = bench_dataset(N);
+    let mut rng = bench_rng();
+    let ag = AdaptiveGrid::build(&dataset, &AgConfig::guideline(EPS), &mut rng).unwrap();
+    let release = Release::from_synopsis("AG", &ag);
+    release.surface(); // compile outside the timed region
+
+    let mut group = c.benchmark_group("release");
+    for (qname, q) in queries() {
+        group.bench_function(format!("compiled/{qname}"), |b| {
+            b.iter(|| black_box(release.answer(black_box(&q))))
+        });
+        group.bench_function(format!("linear_scan/{qname}"), |b| {
+            b.iter(|| black_box(release.answer_linear_scan(black_box(&q))))
+        });
+    }
+
+    // Serving-style batch: 1024 mixed-size queries in one answer_all
+    // call (chunked across threads) vs a sequential map.
+    let domain = *dataset.domain().rect();
+    let batch: Vec<Rect> = (0..1024)
+        .map(|i| {
+            let fx = (i % 32) as f64 / 32.0;
+            let fy = (i / 32) as f64 / 32.0;
+            let w = domain.width() * (0.01 + 0.2 * fx);
+            let h = domain.height() * (0.01 + 0.2 * fy);
+            let x0 = domain.x0() + (domain.width() - w) * fx;
+            let y0 = domain.y0() + (domain.height() - h) * fy;
+            Rect::new(x0, y0, x0 + w, y0 + h).unwrap()
+        })
+        .collect();
+    group.bench_function("batch_1024/answer_all", |b| {
+        b.iter(|| black_box(release.answer_all(black_box(&batch))))
+    });
+    group.bench_function("batch_1024/sequential", |b| {
+        b.iter(|| {
+            let out: Vec<f64> = batch.iter().map(|q| release.answer(q)).collect();
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_release_surface);
 criterion_main!(benches);

@@ -198,11 +198,7 @@ pub struct AdaptiveGrid {
 
 impl AdaptiveGrid {
     /// Builds the synopsis over `dataset` with the given configuration.
-    pub fn build(
-        dataset: &GeoDataset,
-        config: &AgConfig,
-        rng: &mut impl Rng,
-    ) -> Result<Self> {
+    pub fn build(dataset: &GeoDataset, config: &AgConfig, rng: &mut impl Rng) -> Result<Self> {
         config.validate()?;
         let mut budget = PrivacyBudget::new(config.epsilon)?;
         let domain = *dataset.domain();
@@ -256,8 +252,7 @@ impl AdaptiveGrid {
         }
 
         // Second pass: count points into their leaf cells.
-        let mut leaf_counts: Vec<Vec<f64>> =
-            m2s.iter().map(|m| vec![0.0; m * m]).collect();
+        let mut leaf_counts: Vec<Vec<f64>> = m2s.iter().map(|m| vec![0.0; m * m]).collect();
         let d = domain.rect();
         for p in dataset.points() {
             let (c1, r1) = domain
@@ -284,8 +279,7 @@ impl AdaptiveGrid {
                 let mut leaves = std::mem::take(&mut leaf_counts[idx]);
                 noise_l2.randomize_slice(&mut leaves, rng);
                 let adjusted_total = if config.constrained_inference {
-                    two_level_inference(noisy_l1[idx], config.alpha, &mut leaves)
-                        .adjusted_total
+                    two_level_inference(noisy_l1[idx], config.alpha, &mut leaves).adjusted_total
                 } else {
                     // Ablation: ignore the first-level observation when
                     // answering; leaves stand alone and the cell total is
@@ -421,6 +415,13 @@ impl Synopsis for AdaptiveGrid {
         }
         out
     }
+
+    /// O(1) from the first-level prefix sums (adjusted totals equal the
+    /// leaf sums by the constrained-inference invariant) — no cell
+    /// export needed.
+    fn total_estimate(&self) -> f64 {
+        self.totals_sat.total()
+    }
 }
 
 #[cfg(test)]
@@ -461,12 +462,8 @@ mod tests {
         let ag = AdaptiveGrid::build(&ds, &AgConfig::guideline(1.0), &mut rng(2)).unwrap();
         // max(10, √(4000/10)/4) = max(10, 5) = 10.
         assert_eq!(ag.m1(), 10);
-        let ag2 = AdaptiveGrid::build(
-            &ds,
-            &AgConfig::guideline(1.0).with_m1(16),
-            &mut rng(2),
-        )
-        .unwrap();
+        let ag2 =
+            AdaptiveGrid::build(&ds, &AgConfig::guideline(1.0).with_m1(16), &mut rng(2)).unwrap();
         assert_eq!(ag2.m1(), 16);
     }
 
@@ -484,12 +481,8 @@ mod tests {
             ));
         }
         let ds = GeoDataset::from_points(points, domain).unwrap();
-        let ag = AdaptiveGrid::build(
-            &ds,
-            &AgConfig::guideline(1.0).with_m1(5),
-            &mut rng(4),
-        )
-        .unwrap();
+        let ag =
+            AdaptiveGrid::build(&ds, &AgConfig::guideline(1.0).with_m1(5), &mut rng(4)).unwrap();
         let dense = ag.cell_info(0, 0).unwrap();
         let empty = ag.cell_info(4, 4).unwrap();
         assert!(
@@ -546,12 +539,8 @@ mod tests {
         // The interior/border decomposition must agree with summing every
         // leaf's fractional overlap.
         let ds = uniform_dataset(1_000, 9);
-        let ag = AdaptiveGrid::build(
-            &ds,
-            &AgConfig::guideline(1.0).with_m1(6),
-            &mut rng(10),
-        )
-        .unwrap();
+        let ag =
+            AdaptiveGrid::build(&ds, &AgConfig::guideline(1.0).with_m1(6), &mut rng(10)).unwrap();
         let queries = [
             Rect::new(0.0, 0.0, 10.0, 10.0).unwrap(),
             Rect::new(0.7, 1.3, 9.2, 8.8).unwrap(),
@@ -576,12 +565,8 @@ mod tests {
     #[test]
     fn leaves_partition_domain() {
         let ds = uniform_dataset(500, 11);
-        let ag = AdaptiveGrid::build(
-            &ds,
-            &AgConfig::guideline(0.5).with_m1(4),
-            &mut rng(12),
-        )
-        .unwrap();
+        let ag =
+            AdaptiveGrid::build(&ds, &AgConfig::guideline(0.5).with_m1(4), &mut rng(12)).unwrap();
         let area: f64 = ag.cells().iter().map(|(r, _)| r.area()).sum();
         assert!((area - ds.domain().area()).abs() < 1e-6);
     }
@@ -617,12 +602,8 @@ mod tests {
     #[test]
     fn serde_roundtrip_preserves_answers() {
         let ds = uniform_dataset(400, 18);
-        let ag = AdaptiveGrid::build(
-            &ds,
-            &AgConfig::guideline(1.0).with_m1(5),
-            &mut rng(19),
-        )
-        .unwrap();
+        let ag =
+            AdaptiveGrid::build(&ds, &AgConfig::guideline(1.0).with_m1(5), &mut rng(19)).unwrap();
         let json = serde_json::to_string(&ag).unwrap();
         let back: AdaptiveGrid = serde_json::from_str(&json).unwrap();
         let q = Rect::new(0.5, 2.0, 7.7, 9.1).unwrap();
@@ -639,12 +620,8 @@ mod tests {
         let leaf_total: f64 = ag.cells().iter().map(|(_, v)| v).sum();
         assert!((ag.answer(&whole) - leaf_total).abs() < 1e-6);
         // And CI actually changes the release.
-        let with_ci = AdaptiveGrid::build(
-            &ds,
-            &AgConfig::guideline(1.0).with_m1(5),
-            &mut rng(31),
-        )
-        .unwrap();
+        let with_ci =
+            AdaptiveGrid::build(&ds, &AgConfig::guideline(1.0).with_m1(5), &mut rng(31)).unwrap();
         let q = Rect::new(1.0, 1.0, 7.0, 9.0).unwrap();
         assert_ne!(ag.answer(&q), with_ci.answer(&q));
     }
@@ -661,8 +638,7 @@ mod tests {
             let base = AgConfig::guideline(0.2).with_m1(6);
             let a = AdaptiveGrid::build(&ds, &base, &mut rng(seed)).unwrap();
             err_ci += (a.answer(&q) - truth).abs();
-            let b =
-                AdaptiveGrid::build(&ds, &base.without_inference(), &mut rng(seed)).unwrap();
+            let b = AdaptiveGrid::build(&ds, &base.without_inference(), &mut rng(seed)).unwrap();
             err_raw += (b.answer(&q) - truth).abs();
         }
         assert!(
@@ -699,7 +675,7 @@ mod tests {
     }
 
     #[test]
-    fn alpha_range_produces_similar_m1(){
+    fn alpha_range_produces_similar_m1() {
         // α only affects budgets, not m1 selection.
         let ds = uniform_dataset(10_000, 20);
         for alpha in [0.25, 0.5, 0.75] {

@@ -151,20 +151,16 @@ mod tests {
     fn guideline1_reproduces_table2() {
         // (N, ε, expected m)
         let cases = [
-            (1_600_000, 1.0, 400),  // road
-            (1_600_000, 0.1, 126),  // road    (√16000 ≈ 126.49)
-            (1_000_000, 1.0, 316),  // checkin (√100000 ≈ 316.23)
-            (1_000_000, 0.1, 100),  // checkin
-            (900_000, 1.0, 300),    // landmark
-            (900_000, 0.1, 95),     // landmark (√9000 ≈ 94.87)
-            (9_000, 1.0, 30),       // storage
+            (1_600_000, 1.0, 400), // road
+            (1_600_000, 0.1, 126), // road    (√16000 ≈ 126.49)
+            (1_000_000, 1.0, 316), // checkin (√100000 ≈ 316.23)
+            (1_000_000, 0.1, 100), // checkin
+            (900_000, 1.0, 300),   // landmark
+            (900_000, 0.1, 95),    // landmark (√9000 ≈ 94.87)
+            (9_000, 1.0, 30),      // storage
         ];
         for (n, eps, expect) in cases {
-            assert_eq!(
-                guideline1(n, eps, DEFAULT_C),
-                expect,
-                "N={n}, ε={eps}"
-            );
+            assert_eq!(guideline1(n, eps, DEFAULT_C), expect, "N={n}, ε={eps}");
         }
         // storage at ε = 0.1: √90 ≈ 9.49; the paper prints 10 (it rounds
         // up at the small end). We document the off-by-one: our rounding
@@ -215,10 +211,7 @@ mod tests {
 
     #[test]
     fn grid_size_resolution() {
-        assert_eq!(
-            GridSize::default().resolve(1_000_000, 1.0).unwrap(),
-            316
-        );
+        assert_eq!(GridSize::default().resolve(1_000_000, 1.0).unwrap(), 316);
         assert_eq!(GridSize::Fixed(64).resolve(1, 1.0).unwrap(), 64);
         assert!(GridSize::Fixed(0).resolve(1, 1.0).is_err());
         assert!(GridSize::Suggested { c: 0.0 }.resolve(1, 1.0).is_err());

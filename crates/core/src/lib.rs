@@ -13,6 +13,10 @@
 //!   constrained inference ([`inference`]);
 //! * the [`Synopsis`] trait — the release format: rectangle count queries
 //!   answered from noisy cells under the uniformity assumption;
+//! * the [`surface`] module — the compiled query surface:
+//!   [`CompiledSurface`] turns any synopsis's exported cells into an
+//!   O(log cells) index, so published releases answer as fast as the
+//!   native in-memory types;
 //! * [`analysis`] — the paper's closed-form error model (§II, §IV-C) as
 //!   executable code, including the dimensionality analysis of why
 //!   hierarchies stop paying off beyond one dimension;
@@ -58,6 +62,7 @@ pub mod guidelines;
 pub mod inference;
 mod noise;
 pub mod release;
+pub mod surface;
 mod synopsis;
 pub mod synthetic;
 mod uniform_grid;
@@ -67,6 +72,7 @@ pub use error::CoreError;
 pub use guidelines::{GridSize, NEstimate};
 pub use noise::{CountNoise, NoiseKind};
 pub use release::Release;
+pub use surface::{CompiledSurface, SurfaceKind};
 pub use synopsis::Synopsis;
 pub use uniform_grid::{UgConfig, UniformGrid};
 

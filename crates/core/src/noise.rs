@@ -38,9 +38,7 @@ impl CountNoise {
     pub fn new(kind: NoiseKind, epsilon: f64) -> Result<Self> {
         Ok(match kind {
             NoiseKind::Laplace => CountNoise::Laplace(LaplaceMechanism::for_count(epsilon)?),
-            NoiseKind::Geometric => {
-                CountNoise::Geometric(GeometricMechanism::new(epsilon, 1)?)
-            }
+            NoiseKind::Geometric => CountNoise::Geometric(GeometricMechanism::new(epsilon, 1)?),
         })
     }
 
@@ -113,8 +111,7 @@ mod tests {
         for kind in [NoiseKind::Laplace, NoiseKind::Geometric] {
             let noise = CountNoise::new(kind, 1.0).unwrap();
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| noise.randomize(100.0, &mut r)).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| noise.randomize(100.0, &mut r)).sum::<f64>() / n as f64;
             assert!((mean - 100.0).abs() < 0.2, "{kind:?}: mean {mean}");
         }
     }

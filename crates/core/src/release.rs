@@ -9,15 +9,30 @@
 //!
 //! Everything in a `Release` is ε-DP output; saving, sharing and
 //! re-loading are privacy-free post-processing.
+//!
+//! # Query architecture
+//!
+//! A release stores its cells as a flat list (that is the interchange
+//! format), but it never *answers* from that list: on the first call to
+//! [`Release::answer`] / [`Release::answer_all`] the cells are compiled
+//! — once, lazily — into a [`CompiledSurface`], and every query
+//! afterwards runs in O(log cells) against that surface (a dense
+//! lattice + summed-area table when the cells are grid-shaped, a sorted
+//! row-band index otherwise; see [`crate::surface`]). The compiled
+//! index is a cache, never serialised: a release loaded from JSON
+//! recompiles on first use. [`Release::answer_linear_scan`] keeps the
+//! naive O(cells) reference semantics available for verification and
+//! benchmarking.
 
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
 use dpgrid_geo::{Domain, GeoError, Rect};
 
-use crate::{CoreError, Result, Synopsis};
+use crate::{CompiledSurface, CoreError, Result, Synopsis};
 
 /// A serialisable, method-agnostic DP release.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -31,6 +46,11 @@ pub struct Release {
     /// Leaf cells and their released counts; the rectangles partition
     /// the domain.
     cells: Vec<(Rect, f64)>,
+    /// Query index compiled from `cells` on first answer; pure cache
+    /// (derived data), so it is skipped by serialisation and reset by
+    /// deserialisation.
+    #[serde(skip)]
+    surface: OnceLock<CompiledSurface>,
 }
 
 impl Release {
@@ -41,6 +61,7 @@ impl Release {
             epsilon: synopsis.epsilon(),
             domain: *synopsis.domain(),
             cells: synopsis.cells(),
+            surface: OnceLock::new(),
         }
     }
 
@@ -88,6 +109,7 @@ impl Release {
             epsilon,
             domain,
             cells,
+            surface: OnceLock::new(),
         })
     }
 
@@ -101,11 +123,36 @@ impl Release {
         self.cells.len()
     }
 
+    /// The compiled query surface, building it on first use.
+    ///
+    /// Compilation is pure post-processing of already-released values;
+    /// it costs O(cells·log cells) once and makes every subsequent
+    /// [`Release::answer`] O(log cells).
+    pub fn surface(&self) -> &CompiledSurface {
+        self.surface
+            .get_or_init(|| CompiledSurface::compile(self.domain, &self.cells))
+    }
+
+    /// Reference implementation of [`Release::answer`]: the naive
+    /// O(cells) scan over the stored cell list.
+    ///
+    /// Kept public so equivalence tests and benchmarks can compare the
+    /// compiled surface against the semantics it must reproduce; never
+    /// use this on a serving path.
+    pub fn answer_linear_scan(&self, query: &Rect) -> f64 {
+        let Some(q) = self.domain.clip(query) else {
+            return 0.0;
+        };
+        self.cells
+            .iter()
+            .map(|(rect, v)| v * rect.overlap_fraction(&q))
+            .sum()
+    }
+
     /// Serialises to JSON.
     pub fn write_json<W: Write>(&self, w: W) -> Result<()> {
         let w = BufWriter::new(w);
-        serde_json::to_writer(w, self)
-            .map_err(|e| CoreError::Geo(GeoError::Io(e.to_string())))?;
+        serde_json::to_writer(w, self).map_err(|e| CoreError::Geo(GeoError::Io(e.to_string())))?;
         Ok(())
     }
 
@@ -113,8 +160,8 @@ impl Release {
     /// from an untrusted source must not bypass [`Release::from_parts`]).
     pub fn read_json<R: Read>(r: R) -> Result<Self> {
         let r = BufReader::new(r);
-        let raw: Release = serde_json::from_reader(r)
-            .map_err(|e| CoreError::Geo(GeoError::Io(e.to_string())))?;
+        let raw: Release =
+            serde_json::from_reader(r).map_err(|e| CoreError::Geo(GeoError::Io(e.to_string())))?;
         Release::from_parts(raw.method, raw.epsilon, raw.domain, raw.cells)
     }
 
@@ -140,21 +187,26 @@ impl Synopsis for Release {
         self.epsilon
     }
 
-    /// Answers by scanning the cell list (releases are consumed far less
-    /// often than they are queried during experiments, where the native
-    /// synopsis types with their prefix-sum indexes are used instead).
+    /// Answers through the lazily compiled surface: O(log cells) per
+    /// query after a one-time O(cells·log cells) compilation.
     fn answer(&self, query: &Rect) -> f64 {
-        let Some(q) = self.domain.clip(query) else {
-            return 0.0;
-        };
-        self.cells
-            .iter()
-            .map(|(rect, v)| v * rect.overlap_fraction(&q))
-            .sum()
+        self.surface().answer(query)
     }
 
     fn cells(&self) -> Vec<(Rect, f64)> {
         self.cells.clone()
+    }
+
+    /// Batch answering through the compiled surface, chunked across
+    /// scoped threads for large batches.
+    fn answer_all(&self, queries: &[Rect]) -> Vec<f64> {
+        self.surface().answer_all(queries)
+    }
+
+    /// Reads the stored cells directly — no `cells()` clone, no
+    /// recompilation.
+    fn total_estimate(&self) -> f64 {
+        self.cells.iter().map(|(_, v)| v).sum()
     }
 }
 
@@ -193,12 +245,8 @@ mod tests {
     #[test]
     fn ag_export_roundtrips_through_json() {
         let ds = dataset();
-        let ag = AdaptiveGrid::build(
-            &ds,
-            &AgConfig::guideline(0.5).with_m1(4),
-            &mut rng(3),
-        )
-        .unwrap();
+        let ag =
+            AdaptiveGrid::build(&ds, &AgConfig::guideline(0.5).with_m1(4), &mut rng(3)).unwrap();
         let rel = Release::from_synopsis("AG", &ag);
         let mut buf = Vec::new();
         rel.write_json(&mut buf).unwrap();

@@ -1,0 +1,321 @@
+//! The compiled query surface: serving-speed answers from any synopsis.
+//!
+//! Every [`Synopsis`] can export its leaf cells; this module compiles
+//! that method-agnostic cell list into a [`CompiledSurface`] — the
+//! single structure all serving-side features (releases, caching,
+//! sharding, batch endpoints) are built against. Compilation picks the
+//! cheapest faithful index automatically:
+//!
+//! * cells forming a rectilinear lattice (UG, hierarchy and wavelet
+//!   leaves, most AG outputs) become a dense grid + summed-area table,
+//!   answering in O(log cells) — two binary searches plus O(1) prefix
+//!   sums;
+//! * irregular partitions (KD trees, adversarial releases) fall back to
+//!   a sorted row-band / interval index with per-band prefix sums.
+//!
+//! Either way the answers equal the naive linear scan
+//! `Σ vᵢ · cellᵢ.overlap_fraction(q)` up to floating-point roundoff, so
+//! compiling is pure post-processing: no privacy accounting is
+//! involved.
+//!
+//! Batched answering ([`CompiledSurface::answer_all`]) chunks the query
+//! slice across `std::thread::scope` threads, mirroring the evaluation
+//! runner's method-level parallelism.
+
+use dpgrid_geo::cell_index::CellIndex;
+use dpgrid_geo::{Domain, Rect};
+
+use crate::Synopsis;
+
+/// Minimum batch size per worker thread before
+/// [`CompiledSurface::answer_all`] (and the default
+/// [`Synopsis::answer_all`]) fan out; below this the spawn overhead
+/// outweighs the per-query work.
+pub(crate) const MIN_QUERIES_PER_THREAD: usize = 256;
+
+/// Which index a [`CompiledSurface`] compiled to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SurfaceKind {
+    /// Dense lattice + summed-area table (`cols × rows`).
+    Lattice {
+        /// Lattice columns.
+        cols: usize,
+        /// Lattice rows.
+        rows: usize,
+    },
+    /// Sorted row-band index with the given band count.
+    Bands {
+        /// Number of distinct y-extent bands.
+        bands: usize,
+    },
+}
+
+/// A query-optimised compilation of a synopsis's leaf cells.
+///
+/// Building is O(cells·log cells); afterwards [`CompiledSurface::answer`]
+/// costs O(log cells) regardless of the producing method, making a
+/// published release exactly as fast to query as the native in-memory
+/// synopsis types.
+#[derive(Debug, Clone)]
+pub struct CompiledSurface {
+    domain: Domain,
+    index: CellIndex,
+    cell_count: usize,
+    total: f64,
+    /// Whether every cell lies inside the domain. Only then does a
+    /// domain-spanning query equal `total` (cells poking outside — legal
+    /// for a raw `compile` call — contribute partially under clipping).
+    cells_inside_domain: bool,
+}
+
+impl CompiledSurface {
+    /// Compiles a cell list over `domain`. Infallible: degenerate cells
+    /// are ignored and an empty list answers `0` everywhere.
+    pub fn compile(domain: Domain, cells: &[(Rect, f64)]) -> Self {
+        let index = CellIndex::build(cells);
+        let cells_inside_domain = cells
+            .iter()
+            .all(|(rect, _)| rect.is_empty() || domain.rect().contains_rect(rect));
+        CompiledSurface {
+            domain,
+            total: index.total(),
+            cell_count: cells.len(),
+            index,
+            cells_inside_domain,
+        }
+    }
+
+    /// Compiles any synopsis's exported cells.
+    pub fn from_synopsis(synopsis: &impl Synopsis) -> Self {
+        CompiledSurface::compile(*synopsis.domain(), &synopsis.cells())
+    }
+
+    /// The domain the surface covers.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Number of leaf cells compiled in.
+    pub fn cell_count(&self) -> usize {
+        self.cell_count
+    }
+
+    /// Which index the compilation chose.
+    pub fn kind(&self) -> SurfaceKind {
+        match &self.index {
+            CellIndex::Lattice(l) => {
+                let (cols, rows) = l.shape();
+                SurfaceKind::Lattice { cols, rows }
+            }
+            CellIndex::Bands(b) => SurfaceKind::Bands {
+                bands: b.band_count(),
+            },
+        }
+    }
+
+    /// Sum of all cell values (the total-count estimate), O(1).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Estimated count inside `query` in O(log cells).
+    ///
+    /// Queries are clipped to the domain; a miss answers `0`, matching
+    /// [`Synopsis::answer`] semantics.
+    pub fn answer(&self, query: &Rect) -> f64 {
+        let Some(q) = self.domain.clip(query) else {
+            return 0.0;
+        };
+        // Domain-spanning queries (common in dashboards and the paper's
+        // q6 class) reduce to the precomputed total: O(1) even on the
+        // band path, where such a query would stab every band. Only
+        // valid when no cell pokes outside the domain, since clipping
+        // would truncate such a cell's contribution.
+        if self.cells_inside_domain && q == *self.domain.rect() {
+            return self.total;
+        }
+        self.index.answer(&q)
+    }
+
+    /// Answers a batch of queries, chunked across scoped threads when
+    /// the batch is large enough to amortise the spawns.
+    pub fn answer_all(&self, queries: &[Rect]) -> Vec<f64> {
+        answer_all_batched(queries, |q| self.answer(q))
+    }
+}
+
+/// Count of batched fan-outs currently inside their thread scope.
+/// Callers like the evaluation runner already parallelise one level up
+/// (a thread per method); dividing the worker budget by the number of
+/// concurrently active fan-outs keeps the total CPU-bound thread count
+/// near `available_parallelism` instead of multiplying the two levels.
+static ACTIVE_FANOUTS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Shared batched-answering driver: evaluates `answer` over `queries`,
+/// fanning out across `std::thread::scope` when the batch is large
+/// enough (mirroring `dpgrid-eval`'s runner, which parallelises at the
+/// method level the same way).
+pub(crate) fn answer_all_batched<F>(queries: &[Rect], answer: F) -> Vec<f64>
+where
+    F: Fn(&Rect) -> f64 + Sync,
+{
+    use std::sync::atomic::Ordering;
+    // Drop guard so every exit path (including a panicking answer
+    // closure) releases this call's slot in the counter.
+    struct FanoutGuard;
+    impl Drop for FanoutGuard {
+        fn drop(&mut self) {
+            ACTIVE_FANOUTS.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+    // Increment BEFORE reading the concurrency level: simultaneous
+    // callers (the eval runner's method threads) must see each other,
+    // which a load-then-add would miss.
+    let concurrent = ACTIVE_FANOUTS.fetch_add(1, Ordering::Relaxed) + 1;
+    let _guard = FanoutGuard;
+    let workers = (std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+        / concurrent)
+        .min(queries.len() / MIN_QUERIES_PER_THREAD);
+    answer_all_with_workers(queries, answer, workers)
+}
+
+/// The worker-count-explicit core of [`answer_all_batched`], split out
+/// so tests can exercise the scoped-thread path on any machine.
+fn answer_all_with_workers<F>(queries: &[Rect], answer: F, workers: usize) -> Vec<f64>
+where
+    F: Fn(&Rect) -> f64 + Sync,
+{
+    if workers <= 1 {
+        return queries.iter().map(&answer).collect();
+    }
+    let chunk = queries.len().div_ceil(workers);
+    let mut out = vec![0.0; queries.len()];
+    std::thread::scope(|scope| {
+        for (q_chunk, out_chunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let answer = &answer;
+            scope.spawn(move || {
+                for (q, slot) in q_chunk.iter().zip(out_chunk) {
+                    *slot = answer(q);
+                }
+            });
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdaptiveGrid, AgConfig, UgConfig, UniformGrid};
+    use dpgrid_geo::generators;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn dataset(seed: u64) -> dpgrid_geo::GeoDataset {
+        let domain = Domain::from_corners(0.0, 0.0, 8.0, 8.0).unwrap();
+        generators::uniform(domain, 2_000, &mut rng(seed))
+    }
+
+    fn linear_scan(cells: &[(Rect, f64)], q: &Rect) -> f64 {
+        cells.iter().map(|(r, v)| v * r.overlap_fraction(q)).sum()
+    }
+
+    #[test]
+    fn ug_compiles_to_lattice_and_matches_scan() {
+        let ds = dataset(1);
+        let ug = UniformGrid::build(&ds, &UgConfig::fixed(1.0, 16), &mut rng(2)).unwrap();
+        let surface = CompiledSurface::from_synopsis(&ug);
+        assert!(matches!(
+            surface.kind(),
+            SurfaceKind::Lattice { cols: 16, rows: 16 }
+        ));
+        let cells = ug.cells();
+        for q in [
+            Rect::new(0.0, 0.0, 8.0, 8.0).unwrap(),
+            Rect::new(1.3, 2.7, 5.9, 6.1).unwrap(),
+            Rect::new(3.99, 0.0, 4.01, 8.0).unwrap(),
+            Rect::new(9.0, 9.0, 10.0, 10.0).unwrap(),
+        ] {
+            let expect = linear_scan(&cells, &q);
+            assert!(
+                (surface.answer(&q) - expect).abs() <= 1e-9 * (1.0 + expect.abs()),
+                "query {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ag_compiles_and_matches_scan() {
+        let ds = dataset(3);
+        let ag =
+            AdaptiveGrid::build(&ds, &AgConfig::guideline(0.5).with_m1(6), &mut rng(4)).unwrap();
+        let surface = CompiledSurface::from_synopsis(&ag);
+        let cells = ag.cells();
+        assert_eq!(surface.cell_count(), cells.len());
+        let q = Rect::new(0.7, 0.7, 6.2, 4.9).unwrap();
+        let expect = linear_scan(&cells, &q);
+        assert!((surface.answer(&q) - expect).abs() <= 1e-9 * (1.0 + expect.abs()));
+        assert!((surface.total() - cells.iter().map(|(_, v)| v).sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn answer_all_matches_sequential() {
+        let ds = dataset(5);
+        let ug = UniformGrid::build(&ds, &UgConfig::fixed(1.0, 32), &mut rng(6)).unwrap();
+        let surface = CompiledSurface::from_synopsis(&ug);
+        // Enough queries to trigger the threaded path.
+        let mut rng = rng(7);
+        let queries: Vec<Rect> = (0..2_000)
+            .map(|_| {
+                use rand::Rng;
+                let x = rng.random_range(0.0..7.0);
+                let y = rng.random_range(0.0..7.0);
+                Rect::new(x, y, x + 1.0, y + 1.0).unwrap()
+            })
+            .collect();
+        let batched = surface.answer_all(&queries);
+        let sequential: Vec<f64> = queries.iter().map(|q| surface.answer(q)).collect();
+        assert_eq!(batched, sequential);
+        // Force the scoped-thread fan-out regardless of how many CPUs
+        // this machine reports (answer_all only engages it when
+        // available_parallelism allows).
+        let threaded = answer_all_with_workers(&queries, |q| surface.answer(q), 4);
+        assert_eq!(threaded, sequential);
+        // Chunk boundaries: worker counts that do not divide the batch.
+        let threaded = answer_all_with_workers(&queries[..1001], |q| surface.answer(q), 3);
+        assert_eq!(threaded, sequential[..1001]);
+    }
+
+    #[test]
+    fn cells_outside_domain_keep_scan_semantics() {
+        // `compile` accepts cells poking outside the domain (only
+        // `Release::from_parts` validates containment). A spanning
+        // query must then match the clipped linear scan, not the raw
+        // cell total.
+        let domain = Domain::from_corners(0.0, 0.0, 1.0, 1.0).unwrap();
+        let cells = vec![(Rect::new(0.0, 0.0, 2.0, 1.0).unwrap(), 10.0)];
+        let surface = CompiledSurface::compile(domain, &cells);
+        let spanning = Rect::new(0.0, 0.0, 1.0, 1.0).unwrap();
+        let expect = linear_scan(&cells, &spanning);
+        assert!((expect - 5.0).abs() < 1e-12);
+        assert!((surface.answer(&spanning) - expect).abs() < 1e-12);
+        // Fully-contained cells still take the O(1) total shortcut.
+        let inside = vec![(Rect::new(0.0, 0.0, 1.0, 1.0).unwrap(), 10.0)];
+        let surface = CompiledSurface::compile(domain, &inside);
+        assert_eq!(surface.answer(&spanning), 10.0);
+    }
+
+    #[test]
+    fn empty_surface_answers_zero() {
+        let domain = Domain::from_corners(0.0, 0.0, 1.0, 1.0).unwrap();
+        let surface = CompiledSurface::compile(domain, &[]);
+        assert_eq!(surface.answer(&Rect::new(0.0, 0.0, 1.0, 1.0).unwrap()), 0.0);
+        assert_eq!(surface.total(), 0.0);
+        assert_eq!(surface.cell_count(), 0);
+    }
+}

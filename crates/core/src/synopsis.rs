@@ -13,7 +13,12 @@ use dpgrid_geo::{Domain, Rect};
 /// Everything reachable through this trait is safe to publish: the
 /// implementations only store noisy (ε-differentially-private) values,
 /// never the raw data.
-pub trait Synopsis {
+///
+/// `Sync` is a supertrait so that synopses can be queried from many
+/// threads at once: the default [`Synopsis::answer_all`] chunks large
+/// batches across scoped threads, and the evaluation runner shares
+/// synopses across its method threads the same way.
+pub trait Synopsis: Sync {
     /// The domain the synopsis covers.
     fn domain(&self) -> &Domain;
 
@@ -30,24 +35,42 @@ pub trait Synopsis {
     /// The synopsis's leaf cells and their (post-processed) noisy counts.
     ///
     /// The rectangles partition the domain. Used for synthetic-data
-    /// regeneration and for serialising releases; not intended for the
-    /// per-query hot path.
+    /// regeneration, for serialising releases, and as the input of
+    /// [`crate::CompiledSurface`] compilation.
+    ///
+    /// **Allocates a fresh `Vec` on every call** — never call it on the
+    /// per-query hot path. Implementations that hold their cells should
+    /// override [`Synopsis::total_estimate`] (and any similar
+    /// aggregate) to read the stored cells directly instead of going
+    /// through this method.
     fn cells(&self) -> Vec<(Rect, f64)>;
 
-    /// Answers a batch of queries (convenience wrapper over
-    /// [`Synopsis::answer`]).
+    /// Answers a batch of queries.
+    ///
+    /// The default implementation evaluates [`Synopsis::answer`] per
+    /// query, chunking the batch across `std::thread::scope` threads
+    /// once it is large enough to amortise the spawns (mirroring the
+    /// evaluation runner's method-level parallelism). Implementations
+    /// with a cheaper batch path — e.g. [`crate::Release`], which
+    /// answers through its compiled surface — may override.
     fn answer_all(&self, queries: &[Rect]) -> Vec<f64> {
-        queries.iter().map(|q| self.answer(q)).collect()
+        crate::surface::answer_all_batched(queries, |q| self.answer(q))
     }
 
     /// Sum of all leaf-cell counts — the synopsis's estimate of the
     /// dataset cardinality.
+    ///
+    /// The default goes through [`Synopsis::cells`] and therefore
+    /// allocates; implementations that store their cells (or a prefix
+    /// sum) should override with a direct read.
     fn total_estimate(&self) -> f64 {
         self.cells().iter().map(|(_, v)| v).sum()
     }
 }
 
-/// Object-safe helpers for boxed synopses.
+/// Object-safe helpers for boxed synopses. `answer_all` and
+/// `total_estimate` forward too, so implementation overrides (like
+/// [`crate::Release`]'s surface-backed batch path) survive indirection.
 impl<S: Synopsis + ?Sized> Synopsis for &S {
     fn domain(&self) -> &Domain {
         (**self).domain()
@@ -60,6 +83,12 @@ impl<S: Synopsis + ?Sized> Synopsis for &S {
     }
     fn cells(&self) -> Vec<(Rect, f64)> {
         (**self).cells()
+    }
+    fn answer_all(&self, queries: &[Rect]) -> Vec<f64> {
+        (**self).answer_all(queries)
+    }
+    fn total_estimate(&self) -> f64 {
+        (**self).total_estimate()
     }
 }
 
@@ -75,6 +104,12 @@ impl<S: Synopsis + ?Sized> Synopsis for Box<S> {
     }
     fn cells(&self) -> Vec<(Rect, f64)> {
         (**self).cells()
+    }
+    fn answer_all(&self, queries: &[Rect]) -> Vec<f64> {
+        (**self).answer_all(queries)
+    }
+    fn total_estimate(&self) -> f64 {
+        (**self).total_estimate()
     }
 }
 

@@ -53,10 +53,7 @@ pub fn synthesize_from_cells(
         let y = rng.random_range(rect.y0()..rect.y1());
         // Clamp into the domain for numerical safety at shared edges.
         let d = domain.rect();
-        points.push(Point::new(
-            x.clamp(d.x0(), d.x1()),
-            y.clamp(d.y0(), d.y1()),
-        ));
+        points.push(Point::new(x.clamp(d.x0(), d.x1()), y.clamp(d.y0(), d.y1())));
     }
     Ok(GeoDataset::from_points(points, domain)?)
 }

@@ -119,11 +119,7 @@ pub struct UniformGrid {
 
 impl UniformGrid {
     /// Builds the synopsis over `dataset` with the given configuration.
-    pub fn build(
-        dataset: &GeoDataset,
-        config: &UgConfig,
-        rng: &mut impl Rng,
-    ) -> Result<Self> {
+    pub fn build(dataset: &GeoDataset, config: &UgConfig, rng: &mut impl Rng) -> Result<Self> {
         config.n_estimate.validate()?;
         let mut budget = PrivacyBudget::new(config.epsilon)?;
 
@@ -139,7 +135,9 @@ impl UniformGrid {
 
         // Step 2: resolve the grid size from Guideline 1 (or use the
         // fixed size), optionally reshaping to the domain's aspect.
-        let m = config.grid_size.resolve(n.round() as usize, config.epsilon)?;
+        let m = config
+            .grid_size
+            .resolve(n.round() as usize, config.epsilon)?;
         let (cols, rows) = if config.aspect_aware {
             aspect_dims(dataset.domain(), m)
         } else {
@@ -207,6 +205,11 @@ impl Synopsis for UniformGrid {
             .iter_cells()
             .map(|(_, _, rect, v)| (rect, v))
             .collect()
+    }
+
+    /// O(1) from the summed-area table — no cell export needed.
+    fn total_estimate(&self) -> f64 {
+        self.sat.total()
     }
 }
 
@@ -327,11 +330,9 @@ mod tests {
     fn answer_handles_edge_points() {
         // A dataset with a point exactly on the closed domain corner.
         let domain = Domain::from_corners(0.0, 0.0, 1.0, 1.0).unwrap();
-        let ds = GeoDataset::from_points(
-            vec![Point::new(1.0, 1.0), Point::new(0.25, 0.25)],
-            domain,
-        )
-        .unwrap();
+        let ds =
+            GeoDataset::from_points(vec![Point::new(1.0, 1.0), Point::new(0.25, 0.25)], domain)
+                .unwrap();
         let ug = UniformGrid::build(&ds, &UgConfig::fixed(1e9, 2), &mut rng(17)).unwrap();
         // The corner point is bucketed into the last cell.
         let q = Rect::new(0.5, 0.5, 1.0, 1.0).unwrap();
@@ -386,7 +387,7 @@ mod tests {
         assert_eq!(cols, 90);
         assert_eq!(rows, 10);
         assert_eq!(cols * rows, 900); // = 30²
-        // Extreme aspect never drops to zero rows.
+                                      // Extreme aspect never drops to zero rows.
         let thin = Domain::from_corners(0.0, 0.0, 1e6, 1.0).unwrap();
         let (_, rows) = aspect_dims(&thin, 4);
         assert!(rows >= 1);

@@ -28,10 +28,9 @@ fn hierarchy_benefit_3d(ctx: &ExpContext, trials: usize) -> Result<(f64, f64)> {
     let domain = NdBox::new([0.0; 3], [1.0; 3]).map_err(dpgrid_core::CoreError::Geo)?;
     let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x3D);
     let n = (ctx.n_for(PaperDataset::Checkin) / 4).max(1_000);
-    let points = gaussian_mixture(domain, 40, 0.05, n, &mut rng)
-        .map_err(dpgrid_core::CoreError::Geo)?;
-    let truth_grid =
-        NdGrid::count(domain, M, &points).map_err(dpgrid_core::CoreError::Geo)?;
+    let points =
+        gaussian_mixture(domain, 40, 0.05, n, &mut rng).map_err(dpgrid_core::CoreError::Geo)?;
+    let truth_grid = NdGrid::count(domain, M, &points).map_err(dpgrid_core::CoreError::Geo)?;
 
     // Random 3-D box queries.
     let mut q_rng = StdRng::seed_from_u64(ctx.seed ^ 0x3E);
@@ -48,7 +47,10 @@ fn hierarchy_benefit_3d(ctx: &ExpContext, trials: usize) -> Result<(f64, f64)> {
             NdBox::new(lo, hi).expect("query box ordered")
         })
         .collect();
-    let truths: Vec<f64> = queries.iter().map(|q| truth_grid.answer_uniform(q)).collect();
+    let truths: Vec<f64> = queries
+        .iter()
+        .map(|q| truth_grid.answer_uniform(q))
+        .collect();
 
     let eps = 1.0;
     let mid_grid = truth_grid
@@ -144,7 +146,10 @@ fn hierarchy_benefit(ctx: &ExpContext) -> Result<Table> {
         .collect();
     let truth_1d: Vec<f64> = {
         let exact = Histogram1D::flat(&counts, 1e12, &mut StdRng::seed_from_u64(0)).unwrap();
-        queries_1d.iter().map(|&(a, b)| exact.answer(a, b)).collect()
+        queries_1d
+            .iter()
+            .map(|&(a, b)| exact.answer(a, b))
+            .collect()
     };
     let (mut err_flat_1d, mut err_hier_1d) = (0.0f64, 0.0f64);
     for _ in 0..trials {
@@ -175,8 +180,11 @@ fn hierarchy_benefit(ctx: &ExpContext) -> Result<Table> {
     for trial in 0..trials {
         let seed = ctx.seed ^ 0xD4 ^ (trial as u64);
         let flat = Method::ug(32).build(&bundle.dataset, eps, &mut StdRng::seed_from_u64(seed))?;
-        let hier = Method::hierarchy(32, 2, 3)
-            .build(&bundle.dataset, eps, &mut StdRng::seed_from_u64(seed ^ 0xF))?;
+        let hier = Method::hierarchy(32, 2, 3).build(
+            &bundle.dataset,
+            eps,
+            &mut StdRng::seed_from_u64(seed ^ 0xF),
+        )?;
         for (q, t) in queries_2d.iter().zip(&truth_2d) {
             err_flat_2d += (flat.answer(q) - t).abs();
             err_hier_2d += (hier.answer(q) - t).abs();

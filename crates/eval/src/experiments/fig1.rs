@@ -19,11 +19,7 @@ const RAMP: &[u8] = b" .:-=+*#%@";
 /// Renders a density grid as ASCII art (log-scaled so heavy-tailed
 /// datasets stay legible), lowest row = southern edge.
 pub fn ascii_density(grid: &DenseGrid) -> String {
-    let max = grid
-        .values()
-        .iter()
-        .fold(0.0f64, |m, &v| m.max(v))
-        .max(1.0);
+    let max = grid.values().iter().fold(0.0f64, |m, &v| m.max(v)).max(1.0);
     let log_max = (1.0 + max).ln();
     let mut out = String::with_capacity((grid.cols() + 1) * grid.rows());
     for r in (0..grid.rows()).rev() {

@@ -137,11 +137,9 @@ impl DataBundle {
     ) -> Result<Vec<MethodEval>> {
         // Derive a panel-specific seed from the stem so different panels
         // draw independent noise while staying reproducible.
-        let stem_hash: u64 = stem
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
-            });
+        let stem_hash: u64 = stem.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+        });
         let cfg = EvalConfig {
             epsilon,
             trials: ctx.trials,
@@ -149,7 +147,8 @@ impl DataBundle {
         };
         let evals = evaluate(&self.dataset, &self.workload, &self.truth, methods, &cfg)?;
         let title = format!("{} (ε = {epsilon})", self.which.name());
-        report::by_size_table(&title, &evals).write_csv(&dir.join(format!("{stem}_by_size.csv")))?;
+        report::by_size_table(&title, &evals)
+            .write_csv(&dir.join(format!("{stem}_by_size.csv")))?;
         report::profile_table(&title, &evals).write_csv(&dir.join(format!("{stem}_rel.csv")))?;
         report::abs_profile_table(&title, &evals)
             .write_csv(&dir.join(format!("{stem}_abs.csv")))?;

@@ -144,7 +144,10 @@ impl Method {
         match self {
             Method::Ug { m: Some(m) } => format!("U{m}"),
             Method::Ug { m: None } => {
-                format!("U{}*", guidelines::guideline1(n, eps, guidelines::DEFAULT_C))
+                format!(
+                    "U{}*",
+                    guidelines::guideline1(n, eps, guidelines::DEFAULT_C)
+                )
             }
             Method::Ag {
                 m1: Some(m1),
@@ -163,7 +166,10 @@ impl Method {
             ),
             Method::Privelet { m: Some(m) } => format!("W{m}"),
             Method::Privelet { m: None } => {
-                format!("W{}*", guidelines::guideline1(n, eps, guidelines::DEFAULT_C))
+                format!(
+                    "W{}*",
+                    guidelines::guideline1(n, eps, guidelines::DEFAULT_C)
+                )
             }
             Method::KdStandard => "Kst".to_string(),
             Method::KdHybrid => "Khy".to_string(),
@@ -173,10 +179,12 @@ impl Method {
                 depth,
             } => format!("H{branching},{depth}@{base_m}"),
             Method::Flat => "Flat".to_string(),
-            Method::UgVariant { m, geometric, aspect } => {
-                let m = m.unwrap_or_else(|| {
-                    guidelines::guideline1(n, eps, guidelines::DEFAULT_C)
-                });
+            Method::UgVariant {
+                m,
+                geometric,
+                aspect,
+            } => {
+                let m = m.unwrap_or_else(|| guidelines::guideline1(n, eps, guidelines::DEFAULT_C));
                 let mut label = format!("U{m}");
                 if *geometric {
                     label.push_str("[geo]");
@@ -187,9 +195,8 @@ impl Method {
                 label
             }
             Method::AgVariant { m1, ci, fixed_m2 } => {
-                let m1 = m1.unwrap_or_else(|| {
-                    guidelines::suggested_m1(n, eps, guidelines::DEFAULT_C)
-                });
+                let m1 =
+                    m1.unwrap_or_else(|| guidelines::suggested_m1(n, eps, guidelines::DEFAULT_C));
                 let mut label = format!("A{m1}");
                 if !ci {
                     label.push_str("[noCI]");
@@ -233,9 +240,7 @@ impl Method {
                 });
                 Box::new(Privelet::build(dataset, &PriveletConfig::new(eps, m), rng)?)
             }
-            Method::KdStandard => {
-                Box::new(KdStandard::build(dataset, &KdConfig::new(eps), rng)?)
-            }
+            Method::KdStandard => Box::new(KdStandard::build(dataset, &KdConfig::new(eps), rng)?),
             Method::KdHybrid => Box::new(KdHybrid::build(dataset, &KdConfig::new(eps), rng)?),
             Method::Hierarchy {
                 base_m,
@@ -247,7 +252,11 @@ impl Method {
                 rng,
             )?),
             Method::Flat => Box::new(FlatCount::build(dataset, eps, rng)?),
-            Method::UgVariant { m, geometric, aspect } => {
+            Method::UgVariant {
+                m,
+                geometric,
+                aspect,
+            } => {
                 let mut cfg = match m {
                     Some(m) => UgConfig::fixed(eps, *m),
                     None => UgConfig::guideline(eps),

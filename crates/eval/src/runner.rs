@@ -80,9 +80,7 @@ pub fn evaluate(
     cfg: &EvalConfig,
 ) -> Result<Vec<MethodEval>> {
     if cfg.trials == 0 {
-        return Err(crate::EvalError::InvalidConfig(
-            "trials must be ≥ 1".into(),
-        ));
+        return Err(crate::EvalError::InvalidConfig("trials must be ≥ 1".into()));
     }
     let results: Vec<Result<MethodEval>> = std::thread::scope(|scope| {
         let handles: Vec<_> = methods
@@ -127,8 +125,12 @@ pub fn evaluate_one(
         let synopsis = method.build(dataset, cfg.epsilon, &mut rng)?;
         build_time += start.elapsed().as_secs_f64();
         for (i, batch) in rel_by_size.iter_mut().enumerate() {
-            for (j, q) in workload.queries(i).iter().enumerate() {
-                let est = synopsis.answer(q);
+            // One batched call per size class: synopses with a compiled
+            // surface (e.g. releases) answer the whole class through
+            // their index, and the default implementation fans the
+            // chunk out across scoped threads.
+            let estimates = synopsis.answer_all(workload.queries(i));
+            for (j, est) in estimates.into_iter().enumerate() {
                 let t = truth.answer(i, j);
                 batch.push(relative_error(est, t, rho));
                 abs_all.push(absolute_error(est, t));
@@ -207,22 +209,8 @@ mod tests {
     fn higher_epsilon_means_lower_error() {
         let (ds, w, t) = setup();
         let methods = [Method::ug(16)];
-        let loose = evaluate(
-            &ds,
-            &w,
-            &t,
-            &methods,
-            &EvalConfig::new(0.05).with_trials(3),
-        )
-        .unwrap();
-        let tight = evaluate(
-            &ds,
-            &w,
-            &t,
-            &methods,
-            &EvalConfig::new(5.0).with_trials(3),
-        )
-        .unwrap();
+        let loose = evaluate(&ds, &w, &t, &methods, &EvalConfig::new(0.05).with_trials(3)).unwrap();
+        let tight = evaluate(&ds, &w, &t, &methods, &EvalConfig::new(5.0).with_trials(3)).unwrap();
         assert!(
             tight[0].rel_profile.mean < loose[0].rel_profile.mean,
             "ε=5 mean {} should beat ε=0.05 mean {}",

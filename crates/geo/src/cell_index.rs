@@ -1,0 +1,650 @@
+//! Query-time indexes over arbitrary rectangle partitions.
+//!
+//! A published synopsis is just a list of `(Rect, f64)` leaf cells. The
+//! naive way to answer a rectangle count query from it — test every cell
+//! for overlap — is O(cells) per query, which makes large releases
+//! unusable at serving scale. This module compiles a cell list **once**
+//! into an index that answers in (poly)logarithmic time:
+//!
+//! * [`LatticeIndex`] — the fast path. When every cell edge lies on a
+//!   common rectilinear lattice (uniform grids, hierarchy / wavelet
+//!   leaves, and most adaptive grids after refinement), the cells are
+//!   scattered onto a [`DenseGrid`] over that lattice and summed through
+//!   a [`SummedAreaTable`]; a query is two binary searches over the edge
+//!   arrays plus O(1) prefix-sum lookups.
+//! * [`BandIndex`] — the general path. Cells are bucketed into *bands*
+//!   of identical y-extent, each band keeping its cells sorted by `x0`
+//!   with prefix sums; bands intersecting the query's y-range are found
+//!   through a segment tree over band start coordinates with max-end
+//!   pruning. A query costs O(log bands + stabbed·log cells-per-band),
+//!   where only bands genuinely overlapping the query are stabbed.
+//!
+//! Both indexes reproduce the *uniformity assumption* semantics of
+//! [`Rect::overlap_fraction`] exactly (up to floating-point roundoff):
+//! a cell with value `v` contributes `v · |cell ∩ query| / |cell|`.
+//! [`CellIndex::build`] picks the lattice path whenever it applies and
+//! is affordable, and falls back to bands otherwise, so callers never
+//! need to know which partition shape they are holding.
+
+use crate::{Domain, Rect, MAX_GRID_CELLS};
+
+/// Maximum blow-up factor the lattice path may pay: scattering `n`
+/// cells onto a lattice of more than `LATTICE_BLOWUP_CAP · n` slots
+/// falls back to the band index instead (an adversarially irregular
+/// partition can induce an O(n²) lattice).
+const LATTICE_BLOWUP_CAP: usize = 8;
+
+/// A compiled index over a rectangle partition, ready to answer
+/// uniformity-assumption range-count queries in sublinear time.
+#[derive(Debug, Clone)]
+pub enum CellIndex {
+    /// All cells align to a common rectilinear lattice.
+    Lattice(LatticeIndex),
+    /// Irregular partition: sorted row-band index.
+    Bands(BandIndex),
+}
+
+impl CellIndex {
+    /// Compiles a cell list. Infallible: any list (including empty or
+    /// degenerate cells, which can never contribute to an answer) gets
+    /// an index; the lattice path is chosen when it applies.
+    pub fn build(cells: &[(Rect, f64)]) -> CellIndex {
+        match LatticeIndex::try_build(cells) {
+            Some(lattice) => CellIndex::Lattice(lattice),
+            None => CellIndex::Bands(BandIndex::build(cells)),
+        }
+    }
+
+    /// Estimated count inside `query` under the uniformity assumption;
+    /// exactly the sum `Σ vᵢ · cellᵢ.overlap_fraction(query)` the linear
+    /// scan computes, up to floating-point roundoff.
+    pub fn answer(&self, query: &Rect) -> f64 {
+        match self {
+            CellIndex::Lattice(l) => l.answer(query),
+            CellIndex::Bands(b) => b.answer(query),
+        }
+    }
+
+    /// Sum of all cell values (the partition's total estimate), O(1).
+    pub fn total(&self) -> f64 {
+        match self {
+            CellIndex::Lattice(l) => l.total(),
+            CellIndex::Bands(b) => b.total(),
+        }
+    }
+}
+
+/// Sorted, deduplicated edge coordinates of one axis.
+fn collect_edges(
+    cells: &[&(Rect, f64)],
+    lo: impl Fn(&Rect) -> f64,
+    hi: impl Fn(&Rect) -> f64,
+) -> Vec<f64> {
+    let mut edges: Vec<f64> = Vec::with_capacity(cells.len() * 2);
+    for (rect, _) in cells {
+        edges.push(lo(rect));
+        edges.push(hi(rect));
+    }
+    edges.sort_by(f64::total_cmp);
+    edges.dedup_by(|a, b| a == b);
+    edges
+}
+
+/// Index of `x` in a sorted edge array, or `None` when `x` is not
+/// (bitwise) one of the edges.
+fn edge_index(edges: &[f64], x: f64) -> Option<usize> {
+    let i = edges.partition_point(|&e| e < x);
+    (i < edges.len() && edges[i] == x).then_some(i)
+}
+
+/// Per-axis decomposition of the continuous interval `[q0, q1]` against
+/// a sorted edge array: at most three segments of lattice slots
+/// `(first_slot, one_past_last_slot, weight)` — a partial leading slot,
+/// a run of fully covered slots, and a partial trailing slot.
+fn axis_segments(edges: &[f64], q0: f64, q1: f64) -> [Option<(usize, usize, f64)>; 3] {
+    let mut out = [None, None, None];
+    let n = edges.len() - 1; // number of slots
+    let q0 = q0.max(edges[0]);
+    let q1 = q1.min(edges[n]);
+    if q1 <= q0 {
+        return out;
+    }
+    // Slot containing q0: rightmost edge <= q0.
+    let i0 = edges
+        .partition_point(|&e| e <= q0)
+        .saturating_sub(1)
+        .min(n - 1);
+    // Slot containing q1 (as an exclusive upper bound).
+    let i1 = edges
+        .partition_point(|&e| e < q1)
+        .saturating_sub(1)
+        .min(n - 1)
+        .max(i0);
+    let frac = |i: usize| {
+        let w = edges[i + 1] - edges[i];
+        if w <= 0.0 {
+            return 0.0;
+        }
+        ((q1.min(edges[i + 1]) - q0.max(edges[i])) / w).clamp(0.0, 1.0)
+    };
+    if i0 == i1 {
+        out[0] = Some((i0, i0 + 1, frac(i0)));
+        return out;
+    }
+    out[0] = Some((i0, i0 + 1, frac(i0)));
+    if i0 + 1 < i1 {
+        out[1] = Some((i0 + 1, i1, 1.0));
+    }
+    out[2] = Some((i1, i1 + 1, frac(i1)));
+    out
+}
+
+/// The regular-lattice fast path: cells scattered onto the rectilinear
+/// lattice induced by their own edges, summed through a
+/// [`SummedAreaTable`].
+///
+/// Lattice slots need not be equi-width — only *shared*: every cell
+/// edge must coincide (bitwise) with a lattice line. Cells spanning
+/// several slots are split with their value distributed proportionally
+/// to area, which leaves every uniformity-assumption query answer
+/// unchanged.
+#[derive(Debug, Clone)]
+pub struct LatticeIndex {
+    /// `cols + 1` ascending x edge coordinates.
+    xs: Vec<f64>,
+    /// `rows + 1` ascending y edge coordinates.
+    ys: Vec<f64>,
+    /// Prefix sums over the scattered `cols × rows` value matrix.
+    sat: crate::SummedAreaTable,
+}
+
+impl LatticeIndex {
+    /// Attempts the lattice compilation; `None` when the cells do not
+    /// align to their induced lattice or the lattice would be more than
+    /// [`LATTICE_BLOWUP_CAP`] times larger than the cell list.
+    pub fn try_build(cells: &[(Rect, f64)]) -> Option<LatticeIndex> {
+        let live: Vec<&(Rect, f64)> = cells.iter().filter(|(r, _)| !r.is_empty()).collect();
+        if live.is_empty() {
+            return None;
+        }
+        // Edges come from the live cells only: a degenerate cell off the
+        // lattice must not inflate the slot grid or stretch its bounds.
+        let xs = collect_edges(&live, |r| r.x0(), |r| r.x1());
+        let ys = collect_edges(&live, |r| r.y0(), |r| r.y1());
+        if xs.len() < 2 || ys.len() < 2 {
+            return None;
+        }
+        let (cols, rows) = (xs.len() - 1, ys.len() - 1);
+        let slots = cols.checked_mul(rows)?;
+        if slots > MAX_GRID_CELLS || slots > live.len().saturating_mul(LATTICE_BLOWUP_CAP) {
+            return None;
+        }
+
+        // Scatter each cell onto its slot block, splitting the value by
+        // area share. A cell edge that is not a lattice line means the
+        // partition is not rectilinear after all -> give up.
+        let domain = Domain::from_corners(xs[0], ys[0], xs[cols], ys[rows]).ok()?;
+        let mut grid = crate::DenseGrid::zeros(domain, cols, rows).ok()?;
+        for (rect, v) in live {
+            let ix0 = edge_index(&xs, rect.x0())?;
+            let ix1 = edge_index(&xs, rect.x1())?;
+            let iy0 = edge_index(&ys, rect.y0())?;
+            let iy1 = edge_index(&ys, rect.y1())?;
+            debug_assert!(ix0 < ix1 && iy0 < iy1);
+            let area = rect.area();
+            for iy in iy0..iy1 {
+                let h = ys[iy + 1] - ys[iy];
+                for ix in ix0..ix1 {
+                    let w = xs[ix + 1] - xs[ix];
+                    grid.add(ix, iy, v * (w * h / area));
+                }
+            }
+        }
+        let sat = grid.sat();
+        Some(LatticeIndex { xs, ys, sat })
+    }
+
+    /// Lattice shape as `(cols, rows)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.xs.len() - 1, self.ys.len() - 1)
+    }
+
+    /// Answers a query in O(log cols + log rows).
+    pub fn answer(&self, query: &Rect) -> f64 {
+        let xsegs = axis_segments(&self.xs, query.x0(), query.x1());
+        let ysegs = axis_segments(&self.ys, query.y0(), query.y1());
+        let mut sum = 0.0;
+        for &(r0, r1, wy) in ysegs.iter().flatten() {
+            if wy <= 0.0 {
+                continue;
+            }
+            for &(c0, c1, wx) in xsegs.iter().flatten() {
+                let w = wx * wy;
+                if w > 0.0 {
+                    sum += w * self.sat.sum(c0, r0, c1, r1);
+                }
+            }
+        }
+        sum
+    }
+
+    /// Sum of all values.
+    pub fn total(&self) -> f64 {
+        self.sat.total()
+    }
+}
+
+/// One band: all cells sharing the same y-extent, sorted by `x0`.
+#[derive(Debug, Clone)]
+struct Band {
+    y0: f64,
+    y1: f64,
+    /// Ascending cell left edges.
+    x0s: Vec<f64>,
+    /// Ascending cell right edges (cells in a band are x-disjoint, so
+    /// sorting by `x0` sorts `x1` too).
+    x1s: Vec<f64>,
+    /// Cell values, same order.
+    values: Vec<f64>,
+    /// `values` prefix sums (`len + 1` entries).
+    prefix: Vec<f64>,
+    /// Set when the band's cells overlap in x (not a true partition):
+    /// answer this band by linear scan to stay faithful to the
+    /// reference semantics.
+    overlapping: bool,
+}
+
+impl Band {
+    /// Contribution of this band to `query`, already restricted to the
+    /// band's y-slab.
+    fn answer(&self, query: &Rect) -> f64 {
+        let fy = (query.y1().min(self.y1) - query.y0().max(self.y0)) / (self.y1 - self.y0);
+        if fy <= 0.0 {
+            return 0.0;
+        }
+        let (qx0, qx1) = (query.x0(), query.x1());
+        if self.overlapping {
+            let mut sum = 0.0;
+            for i in 0..self.values.len() {
+                let w = self.x1s[i] - self.x0s[i];
+                if w <= 0.0 {
+                    continue;
+                }
+                let ov = qx1.min(self.x1s[i]) - qx0.max(self.x0s[i]);
+                if ov > 0.0 {
+                    sum += self.values[i] * (ov / w).clamp(0.0, 1.0);
+                }
+            }
+            return sum * fy.clamp(0.0, 1.0);
+        }
+        // First cell whose right edge passes qx0, first cell starting at
+        // or after qx1: the query's x-span is exactly [lo, hi).
+        let lo = self.x1s.partition_point(|&x| x <= qx0);
+        let hi = self.x0s.partition_point(|&x| x < qx1);
+        if lo >= hi {
+            return 0.0;
+        }
+        let mut sum = self.prefix[hi] - self.prefix[lo];
+        // The two boundary cells may be partially covered.
+        for i in [lo, hi - 1] {
+            let w = self.x1s[i] - self.x0s[i];
+            if w <= 0.0 {
+                sum -= self.values[i];
+                continue;
+            }
+            let fx = ((qx1.min(self.x1s[i]) - qx0.max(self.x0s[i])) / w).clamp(0.0, 1.0);
+            sum -= self.values[i] * (1.0 - fx);
+            if lo == hi - 1 {
+                break; // single boundary cell: adjust once
+            }
+        }
+        sum * fy.clamp(0.0, 1.0)
+    }
+}
+
+/// The general path: a sorted row-bucket / interval index.
+///
+/// Bands are ordered by `y0`; a segment tree storing each subrange's
+/// maximum `y1` prunes whole subtrees that end before the query starts,
+/// so a stab visits O(log bands) tree nodes plus the bands actually
+/// intersecting the query's y-range.
+#[derive(Debug, Clone)]
+pub struct BandIndex {
+    bands: Vec<Band>,
+    /// Segment-tree (1-indexed, size `2·bands.len()` rounded up to a
+    /// power of two) of maximum `y1` per subrange.
+    max_y1: Vec<f64>,
+    /// Leaf count of the segment tree (power of two ≥ `bands.len()`).
+    tree_base: usize,
+    total: f64,
+}
+
+impl BandIndex {
+    /// Groups cells into bands and builds the stabbing tree. Degenerate
+    /// (zero-area) cells are dropped — they cannot contribute to any
+    /// query.
+    pub fn build(cells: &[(Rect, f64)]) -> BandIndex {
+        // Group by exact y-extent.
+        let mut sorted: Vec<&(Rect, f64)> = cells.iter().filter(|(r, _)| !r.is_empty()).collect();
+        sorted.sort_by(|a, b| {
+            a.0.y0()
+                .total_cmp(&b.0.y0())
+                .then(a.0.y1().total_cmp(&b.0.y1()))
+                .then(a.0.x0().total_cmp(&b.0.x0()))
+        });
+        let mut bands: Vec<Band> = Vec::new();
+        for (rect, v) in sorted {
+            let same_band = bands
+                .last()
+                .is_some_and(|b| b.y0 == rect.y0() && b.y1 == rect.y1());
+            if !same_band {
+                bands.push(Band {
+                    y0: rect.y0(),
+                    y1: rect.y1(),
+                    x0s: Vec::new(),
+                    x1s: Vec::new(),
+                    values: Vec::new(),
+                    prefix: vec![0.0],
+                    overlapping: false,
+                });
+            }
+            let band = bands.last_mut().expect("band exists");
+            if let Some(&prev_x1) = band.x1s.last() {
+                if rect.x0() < prev_x1 {
+                    band.overlapping = true;
+                }
+            }
+            band.x0s.push(rect.x0());
+            band.x1s.push(rect.x1());
+            band.values.push(*v);
+            band.prefix
+                .push(band.prefix.last().expect("non-empty prefix") + v);
+        }
+        let total = bands
+            .iter()
+            .map(|b| b.prefix.last().expect("non-empty prefix"))
+            .sum();
+
+        // Max-y1 segment tree over bands (which are sorted by y0).
+        let tree_base = bands.len().next_power_of_two().max(1);
+        let mut max_y1 = vec![f64::NEG_INFINITY; 2 * tree_base];
+        for (i, b) in bands.iter().enumerate() {
+            max_y1[tree_base + i] = b.y1;
+        }
+        for i in (1..tree_base).rev() {
+            max_y1[i] = max_y1[2 * i].max(max_y1[2 * i + 1]);
+        }
+        BandIndex {
+            bands,
+            max_y1,
+            tree_base,
+            total,
+        }
+    }
+
+    /// Number of bands.
+    pub fn band_count(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// Answers a query in O(log bands + k·log band-width) where `k` is
+    /// the number of bands intersecting the query's y-range.
+    pub fn answer(&self, query: &Rect) -> f64 {
+        if self.bands.is_empty() || query.is_empty() {
+            return 0.0;
+        }
+        // Candidate bands start before the query ends...
+        let ub = self.bands.partition_point(|b| b.y0 < query.y1());
+        if ub == 0 {
+            return 0.0;
+        }
+        // ...and the tree prunes those ending before the query starts.
+        let mut sum = 0.0;
+        self.stab(1, 0, self.tree_base, ub, query, &mut sum);
+        sum
+    }
+
+    /// Recursive pruned walk: node `node` covers band indices
+    /// `[lo, hi)`; only indices `< ub` are candidates.
+    fn stab(&self, node: usize, lo: usize, hi: usize, ub: usize, query: &Rect, sum: &mut f64) {
+        if lo >= ub || lo >= self.bands.len() || self.max_y1[node] <= query.y0() {
+            return;
+        }
+        if hi - lo == 1 {
+            *sum += self.bands[lo].answer(query);
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        self.stab(2 * node, lo, mid, ub, query, sum);
+        self.stab(2 * node + 1, mid, hi, ub, query, sum);
+    }
+
+    /// Sum of all values.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DenseGrid, Domain};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Reference semantics: the linear scan every index must match.
+    fn linear_scan(cells: &[(Rect, f64)], q: &Rect) -> f64 {
+        cells.iter().map(|(r, v)| v * r.overlap_fraction(q)).sum()
+    }
+
+    fn uniform_cells(cols: usize, rows: usize) -> Vec<(Rect, f64)> {
+        let domain = Domain::from_corners(0.0, 0.0, 10.0, 6.0).unwrap();
+        let grid = DenseGrid::from_fn(domain, cols, rows, |c, r| {
+            ((c * 31 + r * 17) % 13) as f64 - 4.0
+        })
+        .unwrap();
+        grid.iter_cells().map(|(_, _, rect, v)| (rect, v)).collect()
+    }
+
+    /// An AG-like two-level partition: a 4×4 top grid, each top cell
+    /// subdivided into its own k×k subgrid.
+    fn adaptive_cells() -> Vec<(Rect, f64)> {
+        let domain = Domain::from_corners(-2.0, 1.0, 6.0, 9.0).unwrap();
+        let mut cells = Vec::new();
+        for row in 0..4 {
+            for col in 0..4 {
+                let parent = domain.cell_rect(4, 4, col, row);
+                let k = 1 + (col * 5 + row * 3) % 4;
+                for sr in 0..k {
+                    for sc in 0..k {
+                        let cell = parent.grid_cell(k, k, sc, sr);
+                        cells.push((cell, ((sc + sr + col + row) as f64) - 2.5));
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    fn query_mix(domain: &Rect) -> Vec<Rect> {
+        let (x0, y0, x1, y1) = (domain.x0(), domain.y0(), domain.x1(), domain.y1());
+        let w = domain.width();
+        let h = domain.height();
+        vec![
+            // Domain-spanning.
+            *domain,
+            Rect::new(x0 - w, y0 - h, x1 + w, y1 + h).unwrap(),
+            // Slivers.
+            Rect::new(x0 + 0.499 * w, y0, x0 + 0.501 * w, y1).unwrap(),
+            Rect::new(x0, y0 + 0.1 * h, x1, y0 + 0.1001 * h).unwrap(),
+            // Interior boxes.
+            Rect::new(x0 + 0.25 * w, y0 + 0.25 * h, x0 + 0.75 * w, y0 + 0.5 * h).unwrap(),
+            Rect::new(x0 + 0.1 * w, y0 + 0.6 * h, x0 + 0.2 * w, y0 + 0.9 * h).unwrap(),
+            // Misses.
+            Rect::new(x1 + 1.0, y1 + 1.0, x1 + 2.0, y1 + 2.0).unwrap(),
+            Rect::new(x0 - 3.0, y0, x0 - 1.0, y1).unwrap(),
+        ]
+    }
+
+    fn assert_matches_scan(cells: &[(Rect, f64)], index: &CellIndex, queries: &[Rect]) {
+        for q in queries {
+            let expect = linear_scan(cells, q);
+            let got = index.answer(q);
+            assert!(
+                (got - expect).abs() <= 1e-9 * (1.0 + expect.abs()),
+                "query {q:?}: index {got} vs scan {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_grid_compiles_to_lattice() {
+        let cells = uniform_cells(16, 12);
+        let index = CellIndex::build(&cells);
+        assert!(matches!(index, CellIndex::Lattice(_)));
+        let domain = Rect::new(0.0, 0.0, 10.0, 6.0).unwrap();
+        assert_matches_scan(&cells, &index, &query_mix(&domain));
+        assert!((index.total() - linear_scan(&cells, &domain)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_partition_compiles_and_matches() {
+        let cells = adaptive_cells();
+        let index = CellIndex::build(&cells);
+        let domain = Rect::new(-2.0, 1.0, 6.0, 9.0).unwrap();
+        assert_matches_scan(&cells, &index, &query_mix(&domain));
+    }
+
+    #[test]
+    fn band_path_matches_on_irregular_partition() {
+        // KD-like vertical strips of differing heights: no common
+        // lattice small enough, so the band path must engage when the
+        // lattice path is skipped.
+        let cells = adaptive_cells();
+        let index = CellIndex::Bands(BandIndex::build(&cells));
+        let domain = Rect::new(-2.0, 1.0, 6.0, 9.0).unwrap();
+        assert_matches_scan(&cells, &index, &query_mix(&domain));
+    }
+
+    #[test]
+    fn random_queries_agree_on_both_paths() {
+        let cells = adaptive_cells();
+        let lattice = CellIndex::build(&cells);
+        let bands = CellIndex::Bands(BandIndex::build(&cells));
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..500 {
+            let ax = rng.random_range(-3.0..7.0);
+            let ay = rng.random_range(0.0..10.0);
+            let w = rng.random_range(0.0..8.0);
+            let h = rng.random_range(0.0..8.0);
+            let q = Rect::new(ax, ay, ax + w, ay + h).unwrap();
+            let expect = linear_scan(&cells, &q);
+            for index in [&lattice, &bands] {
+                let got = index.answer(&q);
+                assert!(
+                    (got - expect).abs() <= 1e-9 * (1.0 + expect.abs()),
+                    "query {q:?}: {got} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_cell_and_empty_inputs() {
+        let empty = CellIndex::build(&[]);
+        assert_eq!(empty.answer(&Rect::new(0.0, 0.0, 1.0, 1.0).unwrap()), 0.0);
+        assert_eq!(empty.total(), 0.0);
+
+        let one = vec![(Rect::new(0.0, 0.0, 2.0, 2.0).unwrap(), 8.0)];
+        let index = CellIndex::build(&one);
+        let q = Rect::new(0.0, 0.0, 1.0, 1.0).unwrap();
+        assert!((index.answer(&q) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cells_are_ignored() {
+        let cells = vec![
+            (Rect::new(0.0, 0.0, 1.0, 1.0).unwrap(), 4.0),
+            (Rect::new(1.0, 0.0, 1.0, 1.0).unwrap(), 99.0), // zero width
+        ];
+        let index = CellIndex::build(&cells);
+        let q = Rect::new(0.0, 0.0, 2.0, 1.0).unwrap();
+        assert!((index.answer(&q) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cells_do_not_inflate_the_lattice() {
+        // A zero-area cell with off-lattice coordinates (even outside
+        // the live bounding box) must not add lattice lines or stretch
+        // the slot grid.
+        let mut cells = uniform_cells(8, 8);
+        cells.push((Rect::new(-5.0, 3.33, -5.0, 7.77).unwrap(), 42.0));
+        match LatticeIndex::try_build(&cells) {
+            Some(lattice) => assert_eq!(lattice.shape(), (8, 8)),
+            None => panic!("lattice path must still engage"),
+        }
+    }
+
+    #[test]
+    fn overlapping_cells_fall_back_to_scan_semantics() {
+        // Not a partition: two cells overlap. The index must still match
+        // the linear scan (per-band linear fallback).
+        let cells = vec![
+            (Rect::new(0.0, 0.0, 2.0, 1.0).unwrap(), 4.0),
+            (Rect::new(1.0, 0.0, 3.0, 1.0).unwrap(), 2.0),
+        ];
+        let index = CellIndex::Bands(BandIndex::build(&cells));
+        let domain = Rect::new(0.0, 0.0, 3.0, 1.0).unwrap();
+        assert_matches_scan(&cells, &index, &query_mix(&domain));
+    }
+
+    #[test]
+    fn lattice_declines_oversized_blowup() {
+        // n cells whose edges induce an O(n²) lattice: staircase of
+        // offset rows. try_build must decline, CellIndex must fall back.
+        let n = 64;
+        let mut cells = Vec::new();
+        for i in 0..n {
+            let y0 = i as f64;
+            // Each row split at a unique offset.
+            let split = 0.3 + 9.0 * (i as f64) / n as f64;
+            cells.push((Rect::new(0.0, y0, split, y0 + 1.0).unwrap(), 1.0));
+            cells.push((Rect::new(split, y0, 10.0, y0 + 1.0).unwrap(), 2.0));
+        }
+        assert!(LatticeIndex::try_build(&cells).is_none());
+        let index = CellIndex::build(&cells);
+        assert!(matches!(index, CellIndex::Bands(_)));
+        let domain = Rect::new(0.0, 0.0, 10.0, n as f64).unwrap();
+        assert_matches_scan(&cells, &index, &query_mix(&domain));
+    }
+
+    #[test]
+    fn axis_segment_weights_cover_interval() {
+        let edges = vec![0.0, 1.0, 2.5, 2.5 + 1e-9, 7.0, 10.0];
+        for (q0, q1) in [
+            (0.0, 10.0),
+            (0.5, 9.0),
+            (1.2, 2.1),
+            (2.5, 7.0),
+            (-5.0, 50.0),
+        ] {
+            let segs = axis_segments(&edges, q0, q1);
+            let covered: f64 = segs
+                .iter()
+                .flatten()
+                .map(|&(a, b, w)| {
+                    if b - a == 1 {
+                        w * (edges[b] - edges[a])
+                    } else {
+                        edges[b] - edges[a]
+                    }
+                })
+                .sum();
+            let expect = (q1.min(10.0) - q0.max(0.0)).max(0.0);
+            assert!(
+                (covered - expect).abs() < 1e-9,
+                "({q0},{q1}): covered {covered} expect {expect}"
+            );
+        }
+    }
+}

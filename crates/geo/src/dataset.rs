@@ -128,14 +128,7 @@ impl GeoDataset {
     pub fn write_csv<W: Write>(&self, w: W) -> Result<()> {
         let mut w = BufWriter::new(w);
         let d = self.domain.rect();
-        writeln!(
-            w,
-            "# domain {} {} {} {}",
-            d.x0(),
-            d.y0(),
-            d.x1(),
-            d.y1()
-        )?;
+        writeln!(w, "# domain {} {} {} {}", d.x0(), d.y0(), d.x1(), d.y1())?;
         for p in &self.points {
             writeln!(w, "{},{}", p.x, p.y)?;
         }
@@ -238,8 +231,7 @@ mod tests {
     #[test]
     fn rejects_point_outside_domain() {
         let domain = Domain::from_corners(0.0, 0.0, 1.0, 1.0).unwrap();
-        let err =
-            GeoDataset::from_points(vec![Point::new(2.0, 0.5)], domain).unwrap_err();
+        let err = GeoDataset::from_points(vec![Point::new(2.0, 0.5)], domain).unwrap_err();
         assert!(matches!(err, GeoError::PointOutsideDomain { index: 0, .. }));
     }
 

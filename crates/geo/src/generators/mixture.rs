@@ -38,7 +38,11 @@ impl Component {
                         "gaussian center must be finite".into(),
                     ));
                 }
-                if !sigma_x.is_finite() || *sigma_x <= 0.0 || !sigma_y.is_finite() || *sigma_y <= 0.0 {
+                if !sigma_x.is_finite()
+                    || *sigma_x <= 0.0
+                    || !sigma_y.is_finite()
+                    || *sigma_y <= 0.0
+                {
                     return Err(GeoError::InvalidGeneratorSpec(format!(
                         "gaussian sigmas must be positive and finite, got ({sigma_x}, {sigma_y})"
                     )));

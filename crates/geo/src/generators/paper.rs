@@ -19,8 +19,8 @@
 //! Every generator is a pure function of `(seed, n)`, so experiments are
 //! reproducible bit for bit.
 
-use rand::{Rng, SeedableRng};
 use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use super::mixture::{ClusterMixture, Component};
@@ -224,7 +224,11 @@ fn landmark_mixture(seed: u64) -> Result<ClusterMixture> {
     for rank in 1..=n_clusters {
         // Eastern half gets three quarters of the clusters.
         let east = rng.random::<f64>() < 0.75;
-        let (x_lo, x_hi) = if east { (-95.0, -70.5) } else { (-124.5, -95.0) };
+        let (x_lo, x_hi) = if east {
+            (-95.0, -70.5)
+        } else {
+            (-124.5, -95.0)
+        };
         let center = Point::new(
             rng.random_range(x_lo..x_hi),
             rng.random_range(country.y0()..country.y1()),

@@ -9,6 +9,10 @@
 //!   [`SummedAreaTable`] for O(1) aligned range sums;
 //! * an exact range-count oracle [`PointIndex`] used to compute ground
 //!   truth answers for the error metrics of the evaluation harness;
+//! * compiled query indexes over arbitrary cell partitions
+//!   ([`cell_index`]): a regular-lattice fast path and a sorted
+//!   row-band / interval fallback, both answering uniformity-assumption
+//!   range queries in O(log cells) instead of O(cells);
 //! * deterministic synthetic [`generators`] reproducing the spatial
 //!   character of the four datasets used in the paper (road, checkin,
 //!   landmark, storage).
@@ -40,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cell_index;
 mod dataset;
 mod domain;
 mod error;
@@ -51,6 +56,7 @@ mod point_index;
 mod rect;
 mod sat;
 
+pub use cell_index::{BandIndex, CellIndex, LatticeIndex};
 pub use dataset::GeoDataset;
 pub use domain::Domain;
 pub use error::GeoError;

@@ -71,8 +71,7 @@ impl<const D: usize> NdBox<D> {
     /// 2-D domain convention, when `closed_upper` is set).
     pub fn contains(&self, p: &NdPoint<D>, closed_upper: bool) -> bool {
         (0..D).all(|k| {
-            p.0[k] >= self.lo[k]
-                && (p.0[k] < self.hi[k] || (closed_upper && p.0[k] <= self.hi[k]))
+            p.0[k] >= self.lo[k] && (p.0[k] < self.hi[k] || (closed_upper && p.0[k] <= self.hi[k]))
         })
     }
 
@@ -207,8 +206,7 @@ impl<const D: usize> NdGrid<D> {
             let c = rest % self.m;
             rest /= self.m;
             lo[k] = self.domain.lo[k] + self.domain.extent(k) * (c as f64) / (self.m as f64);
-            hi[k] =
-                self.domain.lo[k] + self.domain.extent(k) * ((c + 1) as f64) / (self.m as f64);
+            hi[k] = self.domain.lo[k] + self.domain.extent(k) * ((c + 1) as f64) / (self.m as f64);
         }
         NdBox { lo, hi }
     }
@@ -411,7 +409,7 @@ mod tests {
         assert_eq!(g.total(), 3.0);
         assert_eq!(g.values()[0], 1.0); // (0,0,0)
         assert_eq!(g.values()[7], 2.0); // (1,1,1)
-        // Out-of-domain point errors.
+                                        // Out-of-domain point errors.
         assert!(NdGrid::count(b, 2, &[NdPoint([2.0, 0.0, 0.0])]).is_err());
     }
 

@@ -209,12 +209,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let domain = Domain::from_corners(-3.0, 2.0, 11.0, 9.0).unwrap();
         let points = (0..n)
-            .map(|_| {
-                Point::new(
-                    rng.random_range(-3.0..11.0),
-                    rng.random_range(2.0..9.0),
-                )
-            })
+            .map(|_| Point::new(rng.random_range(-3.0..11.0), rng.random_range(2.0..9.0)))
             .collect();
         GeoDataset::from_points(points, domain).unwrap()
     }
@@ -272,11 +267,8 @@ mod tests {
     #[test]
     fn boundary_points_on_upper_domain_edge() {
         let domain = Domain::from_corners(0.0, 0.0, 1.0, 1.0).unwrap();
-        let ds = GeoDataset::from_points(
-            vec![Point::new(1.0, 1.0), Point::new(0.5, 0.5)],
-            domain,
-        )
-        .unwrap();
+        let ds = GeoDataset::from_points(vec![Point::new(1.0, 1.0), Point::new(0.5, 0.5)], domain)
+            .unwrap();
         let idx = PointIndex::with_resolution(&ds, 4);
         // Query extending past the domain captures the edge point.
         let q = Rect::new(0.9, 0.9, 2.0, 2.0).unwrap();

@@ -224,8 +224,7 @@ mod tests {
         let mut r = rng(3);
         m.randomize_slice(&mut values, &mut r);
         // All entries noisy, not all equal.
-        let distinct: std::collections::HashSet<u64> =
-            values.iter().map(|v| v.to_bits()).collect();
+        let distinct: std::collections::HashSet<u64> = values.iter().map(|v| v.to_bits()).collect();
         assert!(distinct.len() > 990);
     }
 

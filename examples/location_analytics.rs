@@ -10,9 +10,7 @@
 //! cargo run --release --example location_analytics
 //! ```
 
-use dpgrid::eval::{
-    evaluate, truth::TruthTable, EvalConfig, Method, QueryWorkload, WorkloadSpec,
-};
+use dpgrid::eval::{evaluate, truth::TruthTable, EvalConfig, Method, QueryWorkload, WorkloadSpec};
 use dpgrid::prelude::*;
 use rand::SeedableRng;
 
@@ -24,8 +22,7 @@ fn main() {
     // The paper's workload: 6 query sizes, doubling extents, 200 random
     // placements each.
     let spec = WorkloadSpec::paper(which);
-    let workload =
-        QueryWorkload::generate(dataset.domain(), &spec, &mut rng).expect("workload");
+    let workload = QueryWorkload::generate(dataset.domain(), &spec, &mut rng).expect("workload");
     let index = PointIndex::build(&dataset);
     let truth = TruthTable::compute(&index, &workload);
 

@@ -9,9 +9,7 @@
 //! ```
 
 use dpgrid::core::{analysis, guidelines};
-use dpgrid::eval::{
-    evaluate, truth::TruthTable, EvalConfig, Method, QueryWorkload, WorkloadSpec,
-};
+use dpgrid::eval::{evaluate, truth::TruthTable, EvalConfig, Method, QueryWorkload, WorkloadSpec};
 use dpgrid::prelude::*;
 use rand::SeedableRng;
 
@@ -30,8 +28,7 @@ fn main() {
 
     // Workload and truth.
     let spec = WorkloadSpec::paper(which).with_queries_per_size(100);
-    let workload =
-        QueryWorkload::generate(dataset.domain(), &spec, &mut rng).expect("workload");
+    let workload = QueryWorkload::generate(dataset.domain(), &spec, &mut rng).expect("workload");
     let index = PointIndex::build(&dataset);
     let truth = TruthTable::compute(&index, &workload);
 

@@ -11,6 +11,7 @@
 //! ```
 
 use dpgrid::core::synthetic;
+use dpgrid::core::CompiledSurface;
 use dpgrid::prelude::*;
 use rand::SeedableRng;
 
@@ -18,28 +19,23 @@ const RAMP: &[u8] = b" .:-=+*#%@";
 
 /// Log-scaled ASCII rendering of a cell decomposition rasterised onto a
 /// character grid.
+///
+/// The cells are compiled into a query surface once, and the whole
+/// raster is answered as a single `answer_all` batch — exactly the
+/// serving path a tile server would use, instead of the O(cells ×
+/// pixels) paint loop this example shipped with originally.
 fn render(cells: &[(Rect, f64)], domain: &Domain, cols: usize, rows: usize) -> String {
-    let mut raster = vec![0.0f64; cols * rows];
-    for (rect, v) in cells {
-        if *v <= 0.0 {
-            continue;
-        }
-        let density = v / rect.area();
-        // Paint every raster pixel whose center falls in the cell.
-        let d = domain.rect();
-        for r in 0..rows {
-            let y = d.y0() + d.height() * (r as f64 + 0.5) / rows as f64;
-            if y < rect.y0() || y >= rect.y1() {
-                continue;
-            }
-            for c in 0..cols {
-                let x = d.x0() + d.width() * (c as f64 + 0.5) / cols as f64;
-                if x >= rect.x0() && x < rect.x1() {
-                    raster[r * cols + c] += density;
-                }
-            }
-        }
-    }
+    let surface = CompiledSurface::compile(*domain, cells);
+    let d = domain.rect();
+    let tiles: Vec<Rect> = (0..rows)
+        .flat_map(|r| (0..cols).map(move |c| d.grid_cell(cols, rows, c, r)))
+        .collect();
+    let estimates = surface.answer_all(&tiles);
+    let raster: Vec<f64> = estimates
+        .iter()
+        .zip(&tiles)
+        .map(|(est, tile)| (est / tile.area()).max(0.0))
+        .collect();
     let max = raster.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
     let mut out = String::new();
     for r in (0..rows).rev() {
@@ -67,8 +63,7 @@ fn main() {
         .collect();
 
     // Released density: ε = 0.5 adaptive grid.
-    let ag = AdaptiveGrid::build(&dataset, &AgConfig::guideline(0.5), &mut rng)
-        .expect("build AG");
+    let ag = AdaptiveGrid::build(&dataset, &AgConfig::guideline(0.5), &mut rng).expect("build AG");
 
     println!("true density ({} check-ins):", dataset.len());
     println!("{}", render(&true_cells, dataset.domain(), 72, 24));

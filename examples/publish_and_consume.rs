@@ -20,10 +20,7 @@ fn main() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let ag = AdaptiveGrid::build(&private_data, &AgConfig::guideline(1.0), &mut rng)
             .expect("build AG");
-        let release = Release::from_synopsis(
-            format!("AG(eps=1, m1={})", ag.m1()),
-            &ag,
-        );
+        let release = Release::from_synopsis(format!("AG(eps=1, m1={})", ag.m1()), &ag);
         release.save(&path).expect("save release");
         println!(
             "owner: published {} cells ({} bytes) consuming ε = {}",
@@ -44,13 +41,33 @@ fn main() {
             release.domain().height()
         );
 
-        // Ask questions directly...
+        // Ask questions directly. The first answer compiles the cells
+        // into a query surface; every answer after that is O(log cells).
         let europe = Rect::new(-10.0, 36.0, 30.0, 60.0).unwrap();
         let na = Rect::new(-125.0, 25.0, -65.0, 55.0).unwrap();
         println!(
             "analyst: estimated check-ins — Europe {:.0}, North America {:.0}",
             release.answer(&europe),
             release.answer(&na)
+        );
+        println!(
+            "analyst: release compiled to {:?} over {} cells",
+            release.surface().kind(),
+            release.cell_count()
+        );
+
+        // Serving-style batch: a whole dashboard of tiles in one call,
+        // chunked across threads by the compiled surface.
+        let d = *release.domain().rect();
+        let tiles: Vec<Rect> = (0..40)
+            .flat_map(|i| (0..20).map(move |j| d.grid_cell(40, 20, i, j)))
+            .collect();
+        let estimates = release.answer_all(&tiles);
+        let busiest = estimates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "analyst: answered {} dashboard tiles in one batch; busiest tile ≈ {:.0} check-ins",
+            tiles.len(),
+            busiest
         );
 
         // ...or regenerate a synthetic dataset for tools that need points.

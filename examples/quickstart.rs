@@ -25,10 +25,8 @@ fn main() {
     //    UG: single-level uniform grid, size from Guideline 1.
     //    AG: two-level adaptive grid (the paper's best method).
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let ug = UniformGrid::build(&dataset, &UgConfig::guideline(1.0), &mut rng)
-        .expect("build UG");
-    let ag = AdaptiveGrid::build(&dataset, &AgConfig::guideline(1.0), &mut rng)
-        .expect("build AG");
+    let ug = UniformGrid::build(&dataset, &UgConfig::guideline(1.0), &mut rng).expect("build UG");
+    let ag = AdaptiveGrid::build(&dataset, &AgConfig::guideline(1.0), &mut rng).expect("build AG");
     println!(
         "released: UG with {}x{} cells, AG with m1={} and {} leaf cells",
         ug.m(),
@@ -39,11 +37,23 @@ fn main() {
 
     // 3. Answer count queries from the private releases only.
     let queries = [
-        ("east coast strip", Rect::new(-80.0, 30.0, -70.0, 45.0).unwrap()),
-        ("mid-west block", Rect::new(-105.0, 35.0, -95.0, 45.0).unwrap()),
-        ("small city window", Rect::new(-88.0, 41.0, -87.0, 42.0).unwrap()),
+        (
+            "east coast strip",
+            Rect::new(-80.0, 30.0, -70.0, 45.0).unwrap(),
+        ),
+        (
+            "mid-west block",
+            Rect::new(-105.0, 35.0, -95.0, 45.0).unwrap(),
+        ),
+        (
+            "small city window",
+            Rect::new(-88.0, 41.0, -87.0, 42.0).unwrap(),
+        ),
     ];
-    println!("\n{:<20} {:>10} {:>12} {:>12}", "query", "truth", "UG", "AG");
+    println!(
+        "\n{:<20} {:>10} {:>12} {:>12}",
+        "query", "truth", "UG", "AG"
+    );
     for (name, q) in &queries {
         let truth = dataset.count_in(q) as f64;
         println!(

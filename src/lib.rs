@@ -14,11 +14,25 @@
 //!
 //! | Module | Crate | Contents |
 //! |--------|-------|----------|
-//! | [`geo`] | `dpgrid-geo` | points, rectangles, domains, datasets, dense histograms, synthetic generators |
+//! | [`geo`] | `dpgrid-geo` | points, rectangles, domains, datasets, dense histograms, synthetic generators, compiled cell indexes (`cell_index`) |
 //! | [`mech`] | `dpgrid-mech` | Laplace / geometric / exponential mechanisms, budget accounting |
-//! | [`core`] | `dpgrid-core` | the `Synopsis` trait, UG, AG, the guidelines, error analysis |
+//! | [`core`] | `dpgrid-core` | the `Synopsis` trait, UG, AG, the guidelines, error analysis, the compiled query surface (`surface`) and the portable `Release` format |
 //! | [`baselines`] | `dpgrid-baselines` | KD-trees, hierarchies, constrained inference, Privelet |
 //! | [`eval`] | `dpgrid-eval` | query workloads, error metrics, the experiment harness |
+//!
+//! # Serving architecture: the compiled query surface
+//!
+//! Synopses are *built* by their methods but *served* through one seam:
+//! [`core::CompiledSurface`]. Any synopsis's exported cells compile —
+//! once — into either a dense lattice + summed-area table (grid-shaped
+//! partitions: O(log cells) per query via two edge binary searches) or
+//! a sorted row-band / interval index (irregular partitions such as KD
+//! trees). A [`core::Release`] compiles lazily on first answer, so a
+//! JSON release loaded from disk is exactly as fast to query as the
+//! in-memory type that produced it. Batch endpoints
+//! (`Synopsis::answer_all`) chunk large query slices across scoped
+//! threads; caching, sharding and async frontends are expected to plug
+//! into this surface rather than into individual methods.
 //!
 //! # Quickstart
 //!
@@ -49,8 +63,7 @@ pub use dpgrid_mech as mech;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use dpgrid_baselines::{
-        HierarchicalGrid, HierarchyConfig, KdConfig, KdHybrid, KdStandard, Privelet,
-        PriveletConfig,
+        HierarchicalGrid, HierarchyConfig, KdConfig, KdHybrid, KdStandard, Privelet, PriveletConfig,
     };
     pub use dpgrid_core::{
         AdaptiveGrid, AgConfig, GridSize, NoiseKind, Release, Synopsis, UgConfig, UniformGrid,

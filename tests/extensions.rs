@@ -120,11 +120,7 @@ fn oned_projection_consistent_with_2d_counts() {
         let strip_count = ds.count_in(&strip) as f64;
         // The last bin also holds points on the closed right edge.
         let expect = if i == 49 {
-            let edge = ds
-                .points()
-                .iter()
-                .filter(|p| p.x == d.x1())
-                .count() as f64;
+            let edge = ds.points().iter().filter(|p| p.x == d.x1()).count() as f64;
             strip_count + edge
         } else {
             strip_count

@@ -104,7 +104,9 @@ fn ag_beats_flat_on_clustered_data() {
         queries.push(Rect::new(x0, y0, x0 + w, y0 + h).unwrap());
     }
     let flat = Method::Flat.build(&dataset, 1.0, &mut rng(6)).unwrap();
-    let ag = Method::ag_suggested().build(&dataset, 1.0, &mut rng(7)).unwrap();
+    let ag = Method::ag_suggested()
+        .build(&dataset, 1.0, &mut rng(7))
+        .unwrap();
     let err = |syn: &dyn Synopsis| -> f64 {
         queries
             .iter()

@@ -2,8 +2,7 @@
 //! published, stored and reloaded.
 
 use dpgrid::baselines::{
-    HierarchicalGrid, HierarchyConfig, KdConfig, KdHybrid, KdTreeSynopsis, Privelet,
-    PriveletConfig,
+    HierarchicalGrid, HierarchyConfig, KdConfig, KdHybrid, KdTreeSynopsis, Privelet, PriveletConfig,
 };
 use dpgrid::prelude::*;
 use rand::SeedableRng;

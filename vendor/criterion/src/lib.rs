@@ -1,0 +1,297 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro and type surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `Bencher::iter` / `iter_batched` — over a simple adaptive wall-clock
+//! timer. Statistics are deliberately minimal (median of timed batches);
+//! the point is stable relative comparisons, not criterion's full
+//! bootstrap analysis.
+//!
+//! Environment knobs:
+//!
+//! * `CRITERION_QUICK=1` — cut measurement time ~10× (used by CI smoke
+//!   runs);
+//! * results are printed as `<id> ... time: <t> per iter` lines and
+//!   collected in [`Criterion::results`] so harness code can export
+//!   them.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost; accepted for API
+/// compatibility, the stub times every batch individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine inputs: large batches.
+    SmallInput,
+    /// Large routine inputs: batch per iteration.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function`).
+    pub id: String,
+    /// Median seconds per iteration.
+    pub seconds_per_iter: f64,
+    /// Iterations contributing to the measurement.
+    pub iterations: u64,
+}
+
+/// Timing engine handed to benchmark closures.
+pub struct Bencher {
+    target_time: Duration,
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    fn new(target_time: Duration) -> Self {
+        Bencher {
+            target_time,
+            result: None,
+        }
+    }
+
+    /// Times `routine`, storing the median per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a batch size targeting ~1 ms per batch.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed()
+            < self
+                .target_time
+                .mul_f64(0.2)
+                .min(Duration::from_millis(200))
+            || warmup_iters < 1
+        {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let batch = ((1e-3 / per_iter.max(1e-12)) as u64).clamp(1, 10_000_000);
+
+        let mut samples = Vec::new();
+        let mut total_iters = 0u64;
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.target_time || samples.len() < 5 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() / batch as f64);
+            total_iters += batch;
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some((samples[samples.len() / 2], total_iters));
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::new();
+        let mut total_iters = 0u64;
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.target_time || samples.len() < 3 {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(t.elapsed().as_secs_f64());
+            total_iters += 1;
+            if samples.len() >= 100 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some((samples[samples.len() / 2], total_iters));
+    }
+
+    /// Like [`Bencher::iter_batched`] with a by-reference routine.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+fn default_target_time() -> Duration {
+    if std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0") {
+        Duration::from_millis(30)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+/// The benchmark manager: entry point handed to `criterion_group!`
+/// functions.
+pub struct Criterion {
+    target_time: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target_time: default_target_time(),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(id, f);
+        self
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut bencher = Bencher::new(self.target_time);
+        f(&mut bencher);
+        let (seconds, iterations) = bencher.result.unwrap_or((f64::NAN, 0));
+        println!(
+            "{id:<40} time: {:>12} per iter ({iterations} iterations)",
+            format_time(seconds)
+        );
+        self.results.push(Measurement {
+            id,
+            seconds_per_iter: seconds,
+            iterations,
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion API compatibility; the stub's sampling is
+    /// time-driven rather than count-driven.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Overrides the per-benchmark measurement time.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.target_time = t;
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(id, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Mirrors `criterion::black_box` (re-export of the std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, like upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, like upstream criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_a_closure() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(5),
+            results: Vec::new(),
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].seconds_per_iter >= 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(5),
+            results: Vec::new(),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("x", |b| {
+            b.iter_batched(|| 41, |v| v + 1, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(c.results()[0].id, "g/x");
+    }
+}

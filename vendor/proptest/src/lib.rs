@@ -1,0 +1,213 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! `proptest!` macro over functions with `arg in strategy` parameters,
+//! range and tuple strategies, `prop::collection::vec`, and the
+//! `prop_assert!` family.
+//!
+//! Differences from upstream: failing cases are *not* shrunk (the
+//! failing input values are printed as-is), and generation is driven by
+//! a fixed-seed deterministic RNG so CI failures reproduce locally.
+//! The case count defaults to 64 and can be overridden with
+//! `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+use std::ops::{Range, RangeInclusive};
+
+/// RNG handed to strategies during generation.
+pub type TestRng = StdRng;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + Copy> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+/// Length specifications accepted by [`prop::collection::vec`].
+pub trait IntoSizeRange {
+    /// Converts to inclusive `(min, max)` lengths.
+    fn into_size_range(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn into_size_range(self) -> (usize, usize) {
+        (self, self)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn into_size_range(self) -> (usize, usize) {
+        (self.start, self.end.saturating_sub(1))
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn into_size_range(self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy combinators, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{IntoSizeRange, Strategy, TestRng};
+        use rand::Rng;
+
+        /// Generates `Vec`s whose elements come from `element` and whose
+        /// length lies in `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            min: usize,
+            max: usize,
+        }
+
+        /// Builds a [`VecStrategy`].
+        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (min, max) = size.into_size_range();
+            VecStrategy { element, min, max }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = if self.min >= self.max {
+                    self.min
+                } else {
+                    rng.random_range(self.min..=self.max)
+                };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything the `proptest!` macro and its callers need in scope.
+pub mod prelude {
+    pub use super::prop;
+    pub use super::Strategy as _;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Number of cases per property (`PROPTEST_CASES`, default 64).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Defines property tests: each function runs [`cases`] times over
+/// freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let mut __rng: $crate::TestRng =
+                ::rand::SeedableRng::seed_from_u64(0xC0FFEE ^ stringify!($name).len() as u64);
+            for __case in 0..$crate::cases() {
+                $(let $arg = ($strat).generate(&mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, "),+),
+                    $(&$arg),+
+                );
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let ::std::result::Result::Err(e) = __result {
+                    eprintln!(
+                        "proptest case {}/{} failed for {}: {}",
+                        __case + 1,
+                        $crate::cases(),
+                        stringify!($name),
+                        __inputs
+                    );
+                    ::std::panic::resume_unwind(e);
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that reports the failing generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` that reports the failing generated inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0f64..1.0, n in 1usize..10) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vecs_hit_requested_lengths(v in prop::collection::vec(0u64..5, 2..=4)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 4);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuples_generate(p in (0f64..1.0, 0f64..1.0)) {
+            let (a, b) = p;
+            prop_assert!(a < 1.0 && b < 1.0);
+        }
+    }
+}

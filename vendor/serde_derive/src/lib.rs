@@ -1,0 +1,476 @@
+//! Derive macros for the vendored `serde` stub.
+//!
+//! `syn` and `quote` are unavailable offline, so the item is parsed
+//! directly from the `proc_macro` token stream. Supported input shapes —
+//! exactly what this workspace defines:
+//!
+//! * structs with named fields (optionally `#[serde(skip)]` per field);
+//! * tuple structs;
+//! * enums with unit, tuple and struct variants (externally tagged,
+//!   matching upstream serde's JSON encoding).
+//!
+//! Generics are not supported; the macro panics with a clear message if
+//! it meets a shape it cannot handle, which turns into a compile error
+//! at the derive site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed `#[derive]` input.
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct: `(field, skipped)` pairs in declaration order.
+    Struct(Vec<(String, bool)>),
+    /// Tuple struct with the given arity.
+    TupleStruct(usize),
+    /// Enum.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// True when the attribute group (the `[...]` after `#`) is
+/// `serde(... skip ...)`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut trees = group.stream().into_iter();
+    match trees.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match trees.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes leading `#[...]` attributes; returns whether any was
+/// `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *pos += 1;
+                match &tokens[*pos] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {
+                        skip |= attr_is_serde_skip(g);
+                        *pos += 1;
+                    }
+                    other => panic!("expected [...] after #, got {other}"),
+                }
+            }
+            _ => break,
+        }
+    }
+    skip
+}
+
+/// Consumes a `pub` / `pub(...)` visibility prefix if present.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Consumes tokens up to (and including) the next comma at angle-bracket
+/// depth zero. Groups count as single trees, so only `<`/`>` puncts need
+/// depth tracking.
+fn skip_to_top_level_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut depth = 0i32;
+    while *pos < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*pos] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts top-level comma-separated items in a token stream (tuple
+/// fields), ignoring a trailing comma.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_to_top_level_comma(&tokens, &mut pos);
+        count += 1;
+    }
+    count
+}
+
+/// Parses the `{ ... }` body of a named-field struct (or struct
+/// variant) into `(name, skipped)` pairs.
+fn parse_named_fields(stream: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let skipped = skip_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other}"),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, got {other}"),
+        }
+        skip_to_top_level_comma(&tokens, &mut pos);
+        fields.push((name, skipped));
+    }
+    fields
+}
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("vendored serde derive does not support generic type `{name}`");
+        }
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::TupleStruct(0),
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream(), &name))
+            }
+            other => panic!("expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other} {name}`"),
+    };
+    Input { name, kind }
+}
+
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name in `{enum_name}`, got {other}"),
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Shape::Named(
+                    parse_named_fields(g.stream())
+                        .into_iter()
+                        .map(|(n, skipped)| {
+                            assert!(
+                                !skipped,
+                                "#[serde(skip)] unsupported on enum variant fields"
+                            );
+                            n
+                        })
+                        .collect(),
+                )
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Shape::Tuple(count_top_level_items(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip a possible `= discriminant` and the trailing comma.
+        skip_to_top_level_comma(&tokens, &mut pos);
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation (built as strings, parsed back into a TokenStream)
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut s = String::from(
+                "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for (f, skipped) in fields {
+                if *skipped {
+                    continue;
+                }
+                s.push_str(&format!(
+                    "__obj.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize_value(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Obj(__obj)");
+            s
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => s.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+                        };
+                        s.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Obj(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from(
+                            "{ let mut __vobj: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__vobj.push((::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::serialize_value({f})));\n"
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Obj(__vobj) }");
+                        s.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Obj(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), {inner})]),\n"
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut s = format!(
+                "let __obj = __v.as_obj().ok_or_else(|| ::serde::Error::msg(\
+                 format!(\"{name}: expected object, got {{}}\", __v.kind())))?;\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            );
+            for (f, skipped) in fields {
+                if *skipped {
+                    s.push_str(&format!("{f}: ::core::default::Default::default(),\n"));
+                } else {
+                    s.push_str(&format!(
+                        "{f}: ::serde::field(__obj, \"{f}\", \"{name}\")?,\n"
+                    ));
+                }
+            }
+            s.push_str("})");
+            s
+        }
+        Kind::TupleStruct(0) => format!("::core::result::Result::Ok({name})"),
+        Kind::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let mut s = format!(
+                "let __arr = __v.as_arr().ok_or_else(|| ::serde::Error::msg(\
+                 format!(\"{name}: expected array, got {{}}\", __v.kind())))?;\n\
+                 if __arr.len() != {n} {{ return ::core::result::Result::Err(\
+                 ::serde::Error::msg(format!(\"{name}: expected {n} elements, got {{}}\", \
+                 __arr.len()))); }}\n\
+                 ::core::result::Result::Ok({name}(\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "::serde::Deserialize::deserialize_value(&__arr[{i}])?,\n"
+                ));
+            }
+            s.push_str("))");
+            s
+        }
+        Kind::Enum(variants) => {
+            // Unit variants arrive as strings; data variants as
+            // single-key objects (externally tagged).
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize_value(__inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{vn}\" => {{ let __arr = __inner.as_arr().ok_or_else(|| \
+                             ::serde::Error::msg(\"{name}::{vn}: expected array\"))?;\n\
+                             if __arr.len() != {n} {{ return ::core::result::Result::Err(\
+                             ::serde::Error::msg(\"{name}::{vn}: wrong arity\")); }}\n\
+                             ::core::result::Result::Ok({name}::{vn}(\n"
+                        );
+                        for i in 0..*n {
+                            arm.push_str(&format!(
+                                "::serde::Deserialize::deserialize_value(&__arr[{i}])?,\n"
+                            ));
+                        }
+                        arm.push_str(")) },\n");
+                        data_arms.push_str(&arm);
+                    }
+                    Shape::Named(fields) => {
+                        let mut arm = format!(
+                            "\"{vn}\" => {{ let __vobj = __inner.as_obj().ok_or_else(|| \
+                             ::serde::Error::msg(\"{name}::{vn}: expected object\"))?;\n\
+                             ::core::result::Result::Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "{f}: ::serde::field(__vobj, \"{f}\", \"{name}::{vn}\")?,\n"
+                            ));
+                        }
+                        arm.push_str("}) },\n");
+                        data_arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::Error::msg(\
+                 format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Obj(__o) if __o.len() == 1 => {{\n\
+                 let (__tag, __inner) = (&__o[0].0, &__o[0].1);\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::core::result::Result::Err(::serde::Error::msg(\
+                 format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::core::result::Result::Err(::serde::Error::msg(\
+                 format!(\"{name}: expected string or single-key object, got {{}}\", \
+                 __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__v: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
