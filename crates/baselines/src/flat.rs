@@ -3,8 +3,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use dpgrid_core::Synopsis;
-use dpgrid_geo::{Domain, GeoDataset, Rect};
+use dpgrid_geo::{Build, Domain, GeoDataset, Rect, Synopsis};
 use dpgrid_mech::LaplaceMechanism;
 
 use crate::Result;
@@ -25,19 +24,29 @@ pub struct FlatCount {
 }
 
 impl FlatCount {
-    /// Builds the synopsis: a single Laplace-noised total.
+    /// Builds the synopsis: a single Laplace-noised total. Thin
+    /// delegation to the uniform [`Build`] trait.
     pub fn build(dataset: &GeoDataset, epsilon: f64, rng: &mut impl Rng) -> Result<Self> {
-        let mech = LaplaceMechanism::for_count(epsilon)?;
-        Ok(FlatCount {
-            domain: *dataset.domain(),
-            epsilon,
-            noisy_total: mech.randomize(dataset.len() as f64, rng),
-        })
+        <FlatCount as Build>::build(dataset, &epsilon, rng)
     }
 
     /// The released noisy total.
     pub fn noisy_total(&self) -> f64 {
         self.noisy_total
+    }
+}
+
+impl Build for FlatCount {
+    /// The flat synopsis has no parameters beyond the budget ε itself.
+    type Config = f64;
+
+    fn build(dataset: &GeoDataset, epsilon: &f64, rng: &mut impl Rng) -> Result<Self> {
+        let mech = LaplaceMechanism::for_count(*epsilon)?;
+        Ok(FlatCount {
+            domain: *dataset.domain(),
+            epsilon: *epsilon,
+            noisy_total: mech.randomize(dataset.len() as f64, rng),
+        })
     }
 }
 

@@ -3,8 +3,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use dpgrid_core::Synopsis;
-use dpgrid_geo::{DenseGrid, Domain, GeoDataset, Rect, SummedAreaTable};
+use dpgrid_geo::{Build, DenseGrid, Domain, GeoDataset, Rect, SummedAreaTable, Synopsis};
 use dpgrid_mech::{geometric_allocation, uniform_allocation, LaplaceMechanism};
 
 use crate::inference::CiTree;
@@ -123,12 +122,21 @@ pub struct HierarchicalGrid {
 }
 
 impl HierarchicalGrid {
-    /// Builds the synopsis over `dataset`.
+    /// Builds the synopsis over `dataset`. Thin delegation to the
+    /// uniform [`Build`] trait.
     pub fn build(
         dataset: &GeoDataset,
         config: &HierarchyConfig,
         rng: &mut impl Rng,
     ) -> Result<Self> {
+        <HierarchicalGrid as Build>::build(dataset, config, rng)
+    }
+}
+
+impl Build for HierarchicalGrid {
+    type Config = HierarchyConfig;
+
+    fn build(dataset: &GeoDataset, config: &HierarchyConfig, rng: &mut impl Rng) -> Result<Self> {
         config.validate()?;
         let d = config.depth;
         let b = config.branching;
@@ -215,7 +223,9 @@ impl HierarchicalGrid {
             config: *config,
         })
     }
+}
 
+impl HierarchicalGrid {
     /// The configuration the synopsis was built with.
     pub fn config(&self) -> &HierarchyConfig {
         &self.config

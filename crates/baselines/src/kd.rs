@@ -26,8 +26,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use dpgrid_core::Synopsis;
-use dpgrid_geo::{DenseGrid, Domain, GeoDataset, Rect, SummedAreaTable};
+use dpgrid_geo::{Build, DenseGrid, Domain, GeoDataset, Rect, SummedAreaTable, Synopsis};
 use dpgrid_mech::{ExponentialMechanism, LaplaceMechanism};
 
 use crate::hierarchy::Allocation;
@@ -197,35 +196,82 @@ enum SplitStrategy {
     Hybrid { quad: usize },
 }
 
+/// Strategy-complete configuration for building a [`KdTreeSynopsis`]
+/// through the uniform [`Build`] trait: the shared [`KdConfig`] plus
+/// which split strategy to run. The [`KdStandard`] / [`KdHybrid`]
+/// marker entry points pick the strategy implicitly and delegate here.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KdTreeConfig {
+    /// Shared tree parameters (budget, height, allocation, …).
+    pub params: KdConfig,
+    /// `true` runs midpoint-quadtree top levels with KD splits below
+    /// (\[3\]'s best configuration); `false` runs noisy-median KD
+    /// splits at every level.
+    pub hybrid: bool,
+}
+
+impl KdTreeConfig {
+    /// KD-standard configuration (the paper's `Kst`).
+    pub fn standard(params: KdConfig) -> Self {
+        KdTreeConfig {
+            params,
+            hybrid: false,
+        }
+    }
+
+    /// KD-hybrid configuration (the paper's `Khy`).
+    pub fn hybrid(params: KdConfig) -> Self {
+        KdTreeConfig {
+            params,
+            hybrid: true,
+        }
+    }
+}
+
+impl Build for KdTreeSynopsis {
+    type Config = KdTreeConfig;
+
+    fn build(dataset: &GeoDataset, config: &KdTreeConfig, rng: &mut impl Rng) -> Result<Self> {
+        let params = &config.params;
+        let strategy = if config.hybrid {
+            // Default quadtree depth: half the axis halvings of the
+            // base matrix, leaving genuine KD levels below (e.g. 4 quad
+            // + up to 8 KD levels over a 256 matrix).
+            let height = params.resolved_height(dataset.len());
+            let axis_halvings = (params.base_resolution.max(2) as f64).log2().floor() as usize;
+            let quad = params
+                .quad_levels
+                .unwrap_or((axis_halvings / 2).max(1))
+                .min(height);
+            SplitStrategy::Hybrid { quad }
+        } else {
+            SplitStrategy::Standard
+        };
+        build_tree(dataset, params, strategy, rng)
+    }
+}
+
 impl KdStandard {
-    /// Builds a KD-standard synopsis over `dataset`.
+    /// Builds a KD-standard synopsis over `dataset`. Thin delegation to
+    /// [`KdTreeSynopsis`]'s [`Build`] implementation.
     pub fn build(
         dataset: &GeoDataset,
         config: &KdConfig,
         rng: &mut impl Rng,
     ) -> Result<KdTreeSynopsis> {
-        build_tree(dataset, config, SplitStrategy::Standard, rng)
+        <KdTreeSynopsis as Build>::build(dataset, &KdTreeConfig::standard(*config), rng)
     }
 }
 
 impl KdHybrid {
-    /// Builds a KD-hybrid synopsis over `dataset`.
-    ///
-    /// Default quadtree depth: half the axis halvings of the base
-    /// matrix, leaving genuine KD levels below (e.g. 4 quad + up to 8 KD
-    /// levels over a 256 matrix).
+    /// Builds a KD-hybrid synopsis over `dataset`. Thin delegation to
+    /// [`KdTreeSynopsis`]'s [`Build`] implementation.
     pub fn build(
         dataset: &GeoDataset,
         config: &KdConfig,
         rng: &mut impl Rng,
     ) -> Result<KdTreeSynopsis> {
-        let height = config.resolved_height(dataset.len());
-        let axis_halvings = (config.base_resolution.max(2) as f64).log2().floor() as usize;
-        let quad = config
-            .quad_levels
-            .unwrap_or((axis_halvings / 2).max(1))
-            .min(height);
-        build_tree(dataset, config, SplitStrategy::Hybrid { quad }, rng)
+        <KdTreeSynopsis as Build>::build(dataset, &KdTreeConfig::hybrid(*config), rng)
     }
 }
 

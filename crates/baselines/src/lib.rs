@@ -21,8 +21,9 @@
 //! * [`oned`] — 1-D flat and hierarchical histograms, the control side
 //!   of §IV-C's dimensionality contrast.
 //!
-//! All types implement [`dpgrid_core::Synopsis`], so the evaluation
-//! harness treats them interchangeably with UG/AG.
+//! All types implement [`dpgrid_geo::Synopsis`] and construct through
+//! the uniform [`dpgrid_geo::Build`] trait, so the method registry and
+//! the evaluation harness treat them interchangeably with UG/AG.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,12 +38,13 @@ pub mod wavelet;
 
 pub use flat::FlatCount;
 pub use hierarchy::{Allocation, HierarchicalGrid, HierarchyConfig};
-pub use kd::{KdConfig, KdHybrid, KdStandard, KdTreeSynopsis};
+pub use kd::{KdConfig, KdHybrid, KdStandard, KdTreeConfig, KdTreeSynopsis};
 pub use privelet::{Privelet, PriveletConfig};
 
-/// Baselines reuse the core crate's error type: the failure modes
-/// (invalid config, geometry, mechanism) are identical.
-pub use dpgrid_core::CoreError as BaselineError;
+/// Baselines use the workspace's unified construction error: the
+/// failure modes (invalid config, geometry, mechanism) are identical
+/// for every method.
+pub use dpgrid_geo::DpError as BaselineError;
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, BaselineError>;

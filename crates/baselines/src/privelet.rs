@@ -3,8 +3,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use dpgrid_core::Synopsis;
-use dpgrid_geo::{DenseGrid, Domain, GeoDataset, Rect, SummedAreaTable};
+use dpgrid_geo::{Build, DenseGrid, Domain, GeoDataset, Rect, SummedAreaTable, Synopsis};
 use dpgrid_mech::Laplace;
 
 use crate::wavelet;
@@ -63,12 +62,21 @@ pub struct Privelet {
 }
 
 impl Privelet {
-    /// Builds the synopsis over `dataset`.
+    /// Builds the synopsis over `dataset`. Thin delegation to the
+    /// uniform [`Build`] trait.
     pub fn build(
         dataset: &GeoDataset,
         config: &PriveletConfig,
         rng: &mut impl Rng,
     ) -> Result<Self> {
+        <Privelet as Build>::build(dataset, config, rng)
+    }
+}
+
+impl Build for Privelet {
+    type Config = PriveletConfig;
+
+    fn build(dataset: &GeoDataset, config: &PriveletConfig, rng: &mut impl Rng) -> Result<Self> {
         config.validate()?;
         let m = config.m;
         let p = wavelet::next_pow2(m);
@@ -110,7 +118,9 @@ impl Privelet {
             padded: p,
         })
     }
+}
 
+impl Privelet {
     /// The grid size `m`.
     #[inline]
     pub fn m(&self) -> usize {

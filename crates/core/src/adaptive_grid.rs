@@ -9,7 +9,7 @@ use dpgrid_mech::{LaplaceMechanism, PrivacyBudget};
 use crate::guidelines::{self, NEstimate, DEFAULT_ALPHA, DEFAULT_C, DEFAULT_C2};
 use crate::inference::two_level_inference;
 use crate::noise::{CountNoise, NoiseKind};
-use crate::{CoreError, Result, Synopsis};
+use crate::{Build, CoreError, Result, Synopsis};
 
 /// Configuration for [`AdaptiveGrid`].
 ///
@@ -198,7 +198,16 @@ pub struct AdaptiveGrid {
 
 impl AdaptiveGrid {
     /// Builds the synopsis over `dataset` with the given configuration.
+    /// Thin delegation to the uniform [`Build`] trait.
     pub fn build(dataset: &GeoDataset, config: &AgConfig, rng: &mut impl Rng) -> Result<Self> {
+        <AdaptiveGrid as Build>::build(dataset, config, rng)
+    }
+}
+
+impl Build for AdaptiveGrid {
+    type Config = AgConfig;
+
+    fn build(dataset: &GeoDataset, config: &AgConfig, rng: &mut impl Rng) -> Result<Self> {
         config.validate()?;
         let mut budget = PrivacyBudget::new(config.epsilon)?;
         let domain = *dataset.domain();
@@ -313,7 +322,9 @@ impl AdaptiveGrid {
             totals_sat,
         })
     }
+}
 
+impl AdaptiveGrid {
     /// The first-level grid size `m₁`.
     #[inline]
     pub fn m1(&self) -> usize {

@@ -1,71 +1,11 @@
 //! Error type for the core synopsis crate.
+//!
+//! Since the `Build` trait moved into the substrate, the workspace
+//! shares one construction error — [`dpgrid_geo::DpError`] — and this
+//! module keeps the crate's historical `CoreError` name alive as a
+//! re-export. Variant names (`InvalidConfig`, `Geo`, `Mech`) and
+//! `From` conversions are unchanged, so existing matches and `?` uses
+//! keep compiling.
 
-use std::fmt;
-
-use dpgrid_geo::GeoError;
-use dpgrid_mech::MechError;
-
-/// Errors produced when building or querying grid synopses.
-#[derive(Debug, Clone, PartialEq)]
-pub enum CoreError {
-    /// A configuration value was out of range.
-    InvalidConfig(String),
-    /// Underlying geometry/histogram failure.
-    Geo(GeoError),
-    /// Underlying privacy-mechanism failure.
-    Mech(MechError),
-}
-
-impl fmt::Display for CoreError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
-            CoreError::Geo(e) => write!(f, "geometry error: {e}"),
-            CoreError::Mech(e) => write!(f, "mechanism error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for CoreError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            CoreError::Geo(e) => Some(e),
-            CoreError::Mech(e) => Some(e),
-            CoreError::InvalidConfig(_) => None,
-        }
-    }
-}
-
-impl From<GeoError> for CoreError {
-    fn from(e: GeoError) -> Self {
-        CoreError::Geo(e)
-    }
-}
-
-impl From<MechError> for CoreError {
-    fn from(e: MechError) -> Self {
-        CoreError::Mech(e)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn wraps_substrate_errors() {
-        let g: CoreError = GeoError::EmptyRect.into();
-        assert!(matches!(g, CoreError::Geo(_)));
-        let m: CoreError = MechError::InvalidEpsilon(-1.0).into();
-        assert!(matches!(m, CoreError::Mech(_)));
-        assert!(m.to_string().contains("epsilon"));
-    }
-
-    #[test]
-    fn source_chain() {
-        use std::error::Error;
-        let e: CoreError = GeoError::EmptyRect.into();
-        assert!(e.source().is_some());
-        assert!(CoreError::InvalidConfig("x".into()).source().is_none());
-    }
-}
+/// The unified construction error under its historical core name.
+pub use dpgrid_geo::DpError as CoreError;

@@ -11,8 +11,18 @@
 //!   leaves according to their noisy counts (**Guideline 2**,
 //!   [`guidelines::guideline2`]), glued together with two-level
 //!   constrained inference ([`inference`]);
-//! * the [`Synopsis`] trait — the release format: rectangle count queries
-//!   answered from noisy cells under the uniformity assumption;
+//! * the [`Synopsis`] and [`Build`] traits — the release format:
+//!   rectangle count queries answered from noisy cells under the
+//!   uniformity assumption, and the uniform construction seam (both
+//!   defined in `dpgrid-geo`, re-exported here);
+//! * the [`Method`] registry — every buildable method of the paper
+//!   (UG, AG, the baselines and their ablation variants) as one typed
+//!   enum, with [`Method::build_boxed`] as the single construction
+//!   path;
+//! * the [`Pipeline`] — the one-stop publishing API:
+//!   `Pipeline::new(&data).epsilon(1.0).method(Method::ag_suggested())
+//!   .seed(7).publish()?` builds a synopsis and exports it as a
+//!   [`Release`] carrying typed [`ReleaseMetadata`];
 //! * the [`surface`] module — the compiled query surface:
 //!   [`CompiledSurface`] turns any synopsis's exported cells into an
 //!   O(log cells) index, so published releases answer as fast as the
@@ -60,21 +70,28 @@ pub mod analysis;
 mod error;
 pub mod guidelines;
 pub mod inference;
+pub mod method;
 mod noise;
+pub mod pipeline;
 pub mod release;
 pub mod surface;
-mod synopsis;
 pub mod synthetic;
 mod uniform_grid;
 
 pub use adaptive_grid::{AdaptiveGrid, AgCellInfo, AgConfig};
 pub use error::CoreError;
 pub use guidelines::{GridSize, NEstimate};
+pub use method::Method;
 pub use noise::{CountNoise, NoiseKind};
-pub use release::Release;
+pub use pipeline::Pipeline;
+pub use release::{Release, ReleaseMetadata};
 pub use surface::{CompiledSurface, SurfaceKind};
-pub use synopsis::Synopsis;
 pub use uniform_grid::{UgConfig, UniformGrid};
+
+/// The release-format traits, re-exported from the substrate crate
+/// (where they moved so that core and the baselines can both implement
+/// them without depending on each other).
+pub use dpgrid_geo::{Build, Synopsis};
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,467 @@
+//! The canonical registry of synopsis methods.
+//!
+//! The paper's workflow is always the same — pick a method, spend ε,
+//! publish a synopsis, answer rectangle queries — so the workspace
+//! exposes method choice as *data*, not as seven unrelated entry
+//! points: [`Method`] enumerates every buildable method (UG, AG, the
+//! baselines, and the ablation variants) with its distinguishing
+//! parameters, and [`Method::build_boxed`] is the single construction
+//! path everything routes through — the publishing [`crate::Pipeline`],
+//! the evaluation runner, and the examples alike.
+//!
+//! Labels follow the paper's Table I notation (`U64`, `Khy`, `A16,5`,
+//! `H2,3`, `W360`, …), and `None`-valued sizes mean "apply the paper's
+//! guideline for this dataset and ε" — resolvable ahead of time with
+//! [`Method::resolved`], which is how releases record the
+//! guideline-resolved parameters they were actually built with.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use dpgrid_baselines::{
+    FlatCount, HierarchicalGrid, HierarchyConfig, KdConfig, KdHybrid, KdStandard, Privelet,
+    PriveletConfig,
+};
+use dpgrid_geo::{GeoDataset, Synopsis};
+
+use crate::{guidelines, AdaptiveGrid, AgConfig, NoiseKind, UgConfig, UniformGrid};
+use crate::{Build, Result};
+
+/// A boxed, thread-shareable synopsis — what [`Method::build_boxed`]
+/// returns and every registry-driven consumer holds.
+pub type BoxedSynopsis = Box<dyn Synopsis + Send + Sync>;
+
+/// A buildable synopsis method with its distinguishing parameters.
+///
+/// `None` sizes mean "use the paper's guideline for this dataset and ε"
+/// — the paper's `U_sugg` / `A_sugg` configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Method {
+    /// Uniform grid; `m = None` applies Guideline 1.
+    Ug {
+        /// Fixed grid size, or `None` for Guideline 1.
+        m: Option<usize>,
+    },
+    /// Adaptive grid; `m1 = None` applies the paper's `m₁` formula.
+    Ag {
+        /// Fixed first-level size, or `None` for the formula.
+        m1: Option<usize>,
+        /// Budget split (paper default 0.5).
+        alpha: f64,
+        /// Guideline-2 constant (paper default 5).
+        c2: f64,
+    },
+    /// Privelet wavelets on an `m × m` grid; `None` sizes like UG.
+    Privelet {
+        /// Grid size, or `None` for Guideline 1.
+        m: Option<usize>,
+    },
+    /// Cormode et al.'s KD-tree with noisy medians at every level.
+    KdStandard,
+    /// Cormode et al.'s best configuration: quadtree top + KD below.
+    KdHybrid,
+    /// `H_{b,d}` hierarchy over a `base_m` grid.
+    Hierarchy {
+        /// Finest grid size.
+        base_m: usize,
+        /// Branching per axis.
+        branching: usize,
+        /// Number of levels.
+        depth: usize,
+    },
+    /// Single noisy total count.
+    Flat,
+    /// UG variant for the ablation experiment: geometric (integer)
+    /// noise and/or aspect-ratio-aware cells.
+    UgVariant {
+        /// Fixed grid size, or `None` for Guideline 1.
+        m: Option<usize>,
+        /// Use the two-sided geometric mechanism instead of Laplace.
+        geometric: bool,
+        /// Shape cells to the domain aspect ratio.
+        aspect: bool,
+    },
+    /// AG variant for the ablation experiment: constrained inference
+    /// and Guideline-2 adaptivity can be switched off.
+    AgVariant {
+        /// Fixed first-level size, or `None` for the formula.
+        m1: Option<usize>,
+        /// Run the two-level constrained inference.
+        ci: bool,
+        /// Force the same `m₂` everywhere instead of adapting.
+        fixed_m2: Option<usize>,
+    },
+    /// KD-hybrid with an explicit adaptive-stopping factor (0 disables
+    /// \[3\]'s data-dependent stopping).
+    KdHybridVariant {
+        /// Stop-splitting threshold in child-level noise std-devs.
+        stop_factor: f64,
+    },
+}
+
+impl Method {
+    /// UG with Guideline 1 (the paper's "UG with suggested size").
+    pub fn ug_suggested() -> Self {
+        Method::Ug { m: None }
+    }
+
+    /// UG with a fixed size (the paper's `U_m`).
+    pub fn ug(m: usize) -> Self {
+        Method::Ug { m: Some(m) }
+    }
+
+    /// AG with all guideline parameters (the paper's "AG with suggested
+    /// size").
+    pub fn ag_suggested() -> Self {
+        Method::Ag {
+            m1: None,
+            alpha: guidelines::DEFAULT_ALPHA,
+            c2: guidelines::DEFAULT_C2,
+        }
+    }
+
+    /// AG with a fixed first-level size (the paper's `A_{m1,5}`).
+    pub fn ag(m1: usize) -> Self {
+        Method::Ag {
+            m1: Some(m1),
+            alpha: guidelines::DEFAULT_ALPHA,
+            c2: guidelines::DEFAULT_C2,
+        }
+    }
+
+    /// AG with explicit `α` and `c₂` (the Figure 4 parameter sweeps).
+    pub fn ag_with(m1: usize, alpha: f64, c2: f64) -> Self {
+        Method::Ag {
+            m1: Some(m1),
+            alpha,
+            c2,
+        }
+    }
+
+    /// Privelet at a fixed grid size (the paper's `W_m`).
+    pub fn privelet(m: usize) -> Self {
+        Method::Privelet { m: Some(m) }
+    }
+
+    /// `H_{b,d}` over a `base_m` grid.
+    pub fn hierarchy(base_m: usize, branching: usize, depth: usize) -> Self {
+        Method::Hierarchy {
+            base_m,
+            branching,
+            depth,
+        }
+    }
+
+    /// The method's label in the paper's notation, with guideline sizes
+    /// resolved against the dataset cardinality `n` and budget `eps`.
+    pub fn label(&self, n: usize, eps: f64) -> String {
+        match self {
+            Method::Ug { m: Some(m) } => format!("U{m}"),
+            Method::Ug { m: None } => {
+                format!(
+                    "U{}*",
+                    guidelines::guideline1(n, eps, guidelines::DEFAULT_C)
+                )
+            }
+            Method::Ag {
+                m1: Some(m1),
+                alpha,
+                c2,
+            } => {
+                if (*alpha - guidelines::DEFAULT_ALPHA).abs() < 1e-12 {
+                    format!("A{m1},{c2}")
+                } else {
+                    format!("A{m1},{c2}(a{alpha})")
+                }
+            }
+            Method::Ag { m1: None, .. } => format!(
+                "A{}*",
+                guidelines::suggested_m1(n, eps, guidelines::DEFAULT_C)
+            ),
+            Method::Privelet { m: Some(m) } => format!("W{m}"),
+            Method::Privelet { m: None } => {
+                format!(
+                    "W{}*",
+                    guidelines::guideline1(n, eps, guidelines::DEFAULT_C)
+                )
+            }
+            Method::KdStandard => "Kst".to_string(),
+            Method::KdHybrid => "Khy".to_string(),
+            Method::Hierarchy {
+                base_m,
+                branching,
+                depth,
+            } => format!("H{branching},{depth}@{base_m}"),
+            Method::Flat => "Flat".to_string(),
+            Method::UgVariant {
+                m,
+                geometric,
+                aspect,
+            } => {
+                let m = m.unwrap_or_else(|| guidelines::guideline1(n, eps, guidelines::DEFAULT_C));
+                let mut label = format!("U{m}");
+                if *geometric {
+                    label.push_str("[geo]");
+                }
+                if *aspect {
+                    label.push_str("[aspect]");
+                }
+                label
+            }
+            Method::AgVariant { m1, ci, fixed_m2 } => {
+                let m1 =
+                    m1.unwrap_or_else(|| guidelines::suggested_m1(n, eps, guidelines::DEFAULT_C));
+                let mut label = format!("A{m1}");
+                if !ci {
+                    label.push_str("[noCI]");
+                }
+                if let Some(m2) = fixed_m2 {
+                    label.push_str(&format!("[m2={m2}]"));
+                }
+                label
+            }
+            Method::KdHybridVariant { stop_factor } => {
+                format!("Khy[stop={stop_factor}]")
+            }
+        }
+    }
+
+    /// The same method with every guideline-derived hole filled in
+    /// against the dataset cardinality `n` and budget `eps`: `Ug { m:
+    /// None }` becomes `Ug { m: Some(guideline1(n, ε)) }`, and so on.
+    ///
+    /// Releases record this alongside the declarative method, so a
+    /// consumer can see both "what was asked for" (Guideline 1) and
+    /// "what was actually built" (a 316 × 316 grid) without re-running
+    /// the guideline math.
+    pub fn resolved(&self, n: usize, eps: f64) -> Method {
+        let g1 = || guidelines::guideline1(n, eps, guidelines::DEFAULT_C);
+        let m1_formula = || guidelines::suggested_m1(n, eps, guidelines::DEFAULT_C);
+        match *self {
+            Method::Ug { m } => Method::Ug {
+                m: Some(m.unwrap_or_else(g1)),
+            },
+            Method::Ag { m1, alpha, c2 } => Method::Ag {
+                m1: Some(m1.unwrap_or_else(m1_formula)),
+                alpha,
+                c2,
+            },
+            Method::Privelet { m } => Method::Privelet {
+                m: Some(m.unwrap_or_else(g1)),
+            },
+            Method::UgVariant {
+                m,
+                geometric,
+                aspect,
+            } => Method::UgVariant {
+                m: Some(m.unwrap_or_else(g1)),
+                geometric,
+                aspect,
+            },
+            Method::AgVariant { m1, ci, fixed_m2 } => Method::AgVariant {
+                m1: Some(m1.unwrap_or_else(m1_formula)),
+                ci,
+                fixed_m2,
+            },
+            other => other,
+        }
+    }
+
+    /// Builds a synopsis of this method over `dataset` with budget
+    /// `eps`: **the** construction path of the workspace.
+    ///
+    /// Every registry-driven consumer — [`crate::Pipeline::publish`],
+    /// the evaluation runner, the examples — funnels through this
+    /// method, which dispatches to the per-type [`Build`]
+    /// implementations and erases the result behind a boxed
+    /// [`Synopsis`].
+    pub fn build_boxed(
+        &self,
+        dataset: &GeoDataset,
+        eps: f64,
+        rng: &mut impl Rng,
+    ) -> Result<BoxedSynopsis> {
+        Ok(match self {
+            Method::Ug { m } => {
+                let cfg = match m {
+                    Some(m) => UgConfig::fixed(eps, *m),
+                    None => UgConfig::guideline(eps),
+                };
+                Box::new(UniformGrid::build(dataset, &cfg, rng)?)
+            }
+            Method::Ag { m1, alpha, c2 } => {
+                let mut cfg = AgConfig::guideline(eps).with_alpha(*alpha).with_c2(*c2);
+                if let Some(m1) = m1 {
+                    cfg = cfg.with_m1(*m1);
+                }
+                Box::new(AdaptiveGrid::build(dataset, &cfg, rng)?)
+            }
+            Method::Privelet { m } => {
+                let m = m.unwrap_or_else(|| {
+                    guidelines::guideline1(dataset.len(), eps, guidelines::DEFAULT_C)
+                });
+                Box::new(Privelet::build(dataset, &PriveletConfig::new(eps, m), rng)?)
+            }
+            Method::KdStandard => Box::new(KdStandard::build(dataset, &KdConfig::new(eps), rng)?),
+            Method::KdHybrid => Box::new(KdHybrid::build(dataset, &KdConfig::new(eps), rng)?),
+            Method::Hierarchy {
+                base_m,
+                branching,
+                depth,
+            } => Box::new(HierarchicalGrid::build(
+                dataset,
+                &HierarchyConfig::new(eps, *base_m, *branching, *depth),
+                rng,
+            )?),
+            Method::Flat => Box::new(<FlatCount as Build>::build(dataset, &eps, rng)?),
+            Method::UgVariant {
+                m,
+                geometric,
+                aspect,
+            } => {
+                let mut cfg = match m {
+                    Some(m) => UgConfig::fixed(eps, *m),
+                    None => UgConfig::guideline(eps),
+                };
+                if *geometric {
+                    cfg = cfg.with_noise(NoiseKind::Geometric);
+                }
+                if *aspect {
+                    cfg = cfg.with_aspect_aware();
+                }
+                Box::new(UniformGrid::build(dataset, &cfg, rng)?)
+            }
+            Method::AgVariant { m1, ci, fixed_m2 } => {
+                let mut cfg = AgConfig::guideline(eps);
+                if let Some(m1) = m1 {
+                    cfg = cfg.with_m1(*m1);
+                }
+                if !ci {
+                    cfg = cfg.without_inference();
+                }
+                if let Some(m2) = fixed_m2 {
+                    cfg = cfg.with_fixed_m2(*m2);
+                }
+                Box::new(AdaptiveGrid::build(dataset, &cfg, rng)?)
+            }
+            Method::KdHybridVariant { stop_factor } => {
+                let mut cfg = KdConfig::new(eps);
+                cfg.stop_factor = *stop_factor;
+                Box::new(KdHybrid::build(dataset, &cfg, rng)?)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpgrid_geo::{generators, Domain};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn dataset() -> GeoDataset {
+        let domain = Domain::from_corners(0.0, 0.0, 10.0, 10.0).unwrap();
+        generators::uniform(domain, 2_000, &mut rng(1))
+    }
+
+    #[test]
+    fn labels_follow_paper_notation() {
+        assert_eq!(Method::ug(64).label(0, 1.0), "U64");
+        assert_eq!(Method::ug_suggested().label(1_000_000, 1.0), "U316*");
+        assert_eq!(Method::ag(16).label(0, 1.0), "A16,5");
+        assert_eq!(Method::ag_suggested().label(1_000_000, 1.0), "A79*");
+        assert_eq!(Method::privelet(360).label(0, 1.0), "W360");
+        assert_eq!(Method::KdStandard.label(0, 1.0), "Kst");
+        assert_eq!(Method::KdHybrid.label(0, 1.0), "Khy");
+        assert_eq!(Method::hierarchy(360, 2, 3).label(0, 1.0), "H2,3@360");
+        assert_eq!(Method::Flat.label(0, 1.0), "Flat");
+        assert_eq!(
+            Method::ag_with(32, 0.25, 10.0).label(0, 1.0),
+            "A32,10(a0.25)"
+        );
+    }
+
+    #[test]
+    fn every_method_builds_and_answers() {
+        let ds = dataset();
+        let methods = [
+            Method::ug(8),
+            Method::ug_suggested(),
+            Method::ag(4),
+            Method::ag_suggested(),
+            Method::privelet(8),
+            Method::KdStandard,
+            Method::KdHybrid,
+            Method::hierarchy(8, 2, 2),
+            Method::Flat,
+        ];
+        let q = dpgrid_geo::Rect::new(1.0, 1.0, 6.0, 6.0).unwrap();
+        let truth = ds.count_in(&q) as f64;
+        for m in methods {
+            let syn = m.build_boxed(&ds, 1.0, &mut rng(7)).unwrap();
+            let ans = syn.answer(&q);
+            assert!(ans.is_finite(), "{m:?}");
+            assert!(
+                (ans - truth).abs() < 2_000.0,
+                "{m:?}: answer {ans} truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic_per_seed() {
+        let ds = dataset();
+        let q = dpgrid_geo::Rect::new(0.0, 0.0, 5.0, 5.0).unwrap();
+        for m in [Method::ug(8), Method::ag(4), Method::KdHybrid] {
+            let a = m.build_boxed(&ds, 1.0, &mut rng(9)).unwrap().answer(&q);
+            let b = m.build_boxed(&ds, 1.0, &mut rng(9)).unwrap().answer(&q);
+            assert_eq!(a, b, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn resolved_fills_guideline_holes() {
+        let n = 1_000_000;
+        let g1 = guidelines::guideline1(n, 1.0, guidelines::DEFAULT_C);
+        let m1 = guidelines::suggested_m1(n, 1.0, guidelines::DEFAULT_C);
+        assert_eq!(
+            Method::ug_suggested().resolved(n, 1.0),
+            Method::Ug { m: Some(g1) }
+        );
+        assert_eq!(
+            Method::ag_suggested().resolved(n, 1.0),
+            Method::Ag {
+                m1: Some(m1),
+                alpha: guidelines::DEFAULT_ALPHA,
+                c2: guidelines::DEFAULT_C2,
+            }
+        );
+        // Already-fixed parameters and parameterless methods are
+        // untouched.
+        assert_eq!(Method::ug(64).resolved(n, 1.0), Method::ug(64));
+        assert_eq!(Method::KdHybrid.resolved(n, 1.0), Method::KdHybrid);
+    }
+
+    #[test]
+    fn method_serde_roundtrip() {
+        for m in [
+            Method::ug_suggested(),
+            Method::ag(16),
+            Method::KdHybrid,
+            Method::hierarchy(16, 2, 2),
+            Method::UgVariant {
+                m: None,
+                geometric: true,
+                aspect: false,
+            },
+        ] {
+            let json = serde_json::to_string(&m).unwrap();
+            let back: Method = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, m, "{json}");
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! The one-stop publishing API: build → publish in one fluent chain.
+//!
+//! The paper's workflow is always the same — pick a [`Method`], spend
+//! ε over a dataset, publish the result, answer rectangle queries —
+//! and [`Pipeline`] is that workflow as a type:
+//!
+//! ```
+//! use dpgrid_core::{Method, Pipeline, Synopsis};
+//! use dpgrid_geo::{generators::PaperDataset, Rect};
+//!
+//! let dataset = PaperDataset::Storage.generate_n(1, 3_000).unwrap();
+//! let release = Pipeline::new(&dataset)
+//!     .epsilon(1.0)
+//!     .method(Method::ag_suggested())
+//!     .seed(7)
+//!     .publish()
+//!     .unwrap();
+//!
+//! // The release is self-describing…
+//! assert_eq!(release.method_kind(), Some(&Method::ag_suggested()));
+//! // …and queryable through its compiled surface.
+//! let q = Rect::new(-100.0, 30.0, -90.0, 40.0).unwrap();
+//! assert!(release.answer(&q).is_finite());
+//! ```
+//!
+//! Everything the pipeline produces went through
+//! [`Method::build_boxed`] — the same single construction path the
+//! evaluation runner uses — so a method evaluated by the harness and a
+//! method published to consumers are guaranteed to be the same code.
+
+use std::hash::{BuildHasher, Hasher};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dpgrid_geo::GeoDataset;
+
+use crate::method::BoxedSynopsis;
+use crate::release::ReleaseMetadata;
+use crate::{Method, Release, Result};
+
+/// Fluent builder for publishing a differentially private release of a
+/// dataset.
+///
+/// Defaults: ε = 1.0, [`Method::ag_suggested`] (the paper's
+/// recommended method), unseeded (fresh process-local entropy per
+/// publish).
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a Pipeline does nothing until `publish()` or `build()` is called"]
+pub struct Pipeline<'a> {
+    dataset: &'a GeoDataset,
+    epsilon: f64,
+    method: Method,
+    seed: Option<u64>,
+}
+
+impl<'a> Pipeline<'a> {
+    /// Starts a pipeline over `dataset` with the default ε = 1.0 and
+    /// the paper's suggested adaptive grid.
+    pub fn new(dataset: &'a GeoDataset) -> Self {
+        Pipeline {
+            dataset,
+            epsilon: 1.0,
+            method: Method::ag_suggested(),
+            seed: None,
+        }
+    }
+
+    /// Sets the total privacy budget ε the build may consume.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the synopsis method (see the [`Method`] registry).
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Seeds the build RNG, making the publish fully deterministic:
+    /// the same dataset, ε, method and seed yield a byte-identical
+    /// release.
+    ///
+    /// The seed is recorded in the release's [`ReleaseMetadata`].
+    /// **A release whose seed is public is not private**: the noise
+    /// can be regenerated and subtracted. Seed only what you publish
+    /// to yourself — experiments, regression tests, reproducibility
+    /// archives — never a production release.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Builds the synopsis and keeps it as an in-memory boxed
+    /// [`crate::Synopsis`] without exporting a release — for callers
+    /// that only want to answer queries locally.
+    pub fn build(&self) -> Result<BoxedSynopsis> {
+        let mut rng = StdRng::seed_from_u64(self.seed.unwrap_or_else(entropy_seed));
+        self.method
+            .build_boxed(self.dataset, self.epsilon, &mut rng)
+    }
+
+    /// Builds the synopsis and publishes it as a portable [`Release`]
+    /// carrying typed metadata: the declarative method, its
+    /// guideline-resolved parameters, the paper-notation label, ε, and
+    /// (for seeded pipelines) the seed.
+    pub fn publish(&self) -> Result<Release> {
+        let mut rng = StdRng::seed_from_u64(self.seed.unwrap_or_else(entropy_seed));
+        let synopsis = self
+            .method
+            .build_boxed(self.dataset, self.epsilon, &mut rng)?;
+        let n = self.dataset.len();
+        let metadata = ReleaseMetadata {
+            method: Some(self.method),
+            resolved: Some(self.method.resolved(n, self.epsilon)),
+            label: self.method.label(n, self.epsilon),
+            epsilon: self.epsilon,
+            seed: self.seed,
+        };
+        Ok(Release::from_synopsis_with_metadata(metadata, &synopsis))
+    }
+}
+
+/// Process-local entropy for unseeded publishes: `RandomState` is
+/// randomly keyed per process, which is the only entropy source the
+/// vendored offline `rand` stub environment guarantees. Two unseeded
+/// publishes draw different hasher states and therefore different
+/// noise.
+fn entropy_seed() -> u64 {
+    let mut hasher = std::collections::hash_map::RandomState::new().build_hasher();
+    hasher.write_u64(0x5EED);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Synopsis;
+    use dpgrid_geo::{generators, Domain, Rect};
+
+    fn dataset() -> GeoDataset {
+        let domain = Domain::from_corners(0.0, 0.0, 10.0, 10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        generators::uniform(domain, 2_000, &mut rng)
+    }
+
+    #[test]
+    fn seeded_publish_is_deterministic() {
+        let ds = dataset();
+        let publish = || {
+            Pipeline::new(&ds)
+                .epsilon(0.5)
+                .method(Method::ug(8))
+                .seed(42)
+                .publish()
+                .unwrap()
+        };
+        let (a, b) = (publish(), publish());
+        let (mut ja, mut jb) = (Vec::new(), Vec::new());
+        a.write_json(&mut ja).unwrap();
+        b.write_json(&mut jb).unwrap();
+        assert_eq!(ja, jb, "same seed must publish byte-identical JSON");
+    }
+
+    #[test]
+    fn unseeded_publishes_differ() {
+        let ds = dataset();
+        let publish = || {
+            Pipeline::new(&ds)
+                .epsilon(0.5)
+                .method(Method::ug(8))
+                .publish()
+                .unwrap()
+        };
+        let q = Rect::new(0.0, 0.0, 5.0, 5.0).unwrap();
+        // Noise is continuous: two independent draws collide with
+        // probability 0.
+        assert_ne!(publish().answer(&q), publish().answer(&q));
+    }
+
+    #[test]
+    fn metadata_records_method_resolution_and_seed() {
+        let ds = dataset();
+        let rel = Pipeline::new(&ds)
+            .epsilon(1.0)
+            .method(Method::ag_suggested())
+            .seed(7)
+            .publish()
+            .unwrap();
+        let md = rel.metadata();
+        assert_eq!(md.method, Some(Method::ag_suggested()));
+        assert_eq!(md.seed, Some(7));
+        assert_eq!(md.epsilon, 1.0);
+        // The resolved twin has the guideline hole filled.
+        match md.resolved {
+            Some(Method::Ag { m1: Some(m1), .. }) => assert!(m1 >= 1),
+            other => panic!("expected resolved AG, got {other:?}"),
+        }
+        assert_eq!(md.label, rel.method());
+        assert!(md.label.starts_with('A'));
+    }
+
+    #[test]
+    fn unseeded_publish_records_no_seed() {
+        let ds = dataset();
+        let rel = Pipeline::new(&ds).method(Method::Flat).publish().unwrap();
+        assert_eq!(rel.metadata().seed, None);
+    }
+
+    #[test]
+    fn build_returns_queryable_synopsis() {
+        let ds = dataset();
+        let syn = Pipeline::new(&ds)
+            .epsilon(2.0)
+            .method(Method::KdHybrid)
+            .seed(3)
+            .build()
+            .unwrap();
+        assert_eq!(syn.epsilon(), 2.0);
+        let whole = Rect::new(0.0, 0.0, 10.0, 10.0).unwrap();
+        assert!((syn.answer(&whole) - 2_000.0).abs() < 500.0);
+    }
+
+    #[test]
+    fn invalid_epsilon_is_rejected() {
+        let ds = dataset();
+        assert!(Pipeline::new(&ds).epsilon(0.0).publish().is_err());
+        assert!(Pipeline::new(&ds).epsilon(f64::NAN).publish().is_err());
+    }
+}

@@ -2,13 +2,26 @@
 //!
 //! A differentially private synopsis is meant to be *published*. This
 //! module defines the method-agnostic interchange format: the domain,
-//! the consumed ε, a method tag, and the leaf cells with their noisy
-//! counts. Any [`Synopsis`] can be exported ([`Release::from_synopsis`])
-//! and the result is itself a queryable `Synopsis`, so consumers do not
+//! the consumed ε, typed [`ReleaseMetadata`] describing how the
+//! release was produced, and the leaf cells with their noisy counts.
+//! Any [`Synopsis`] can be exported ([`Release::from_synopsis`]) and
+//! the result is itself a queryable `Synopsis`, so consumers do not
 //! need the producing method's code (or its Rust types) at all.
 //!
 //! Everything in a `Release` is ε-DP output; saving, sharing and
 //! re-loading are privacy-free post-processing.
+//!
+//! # Metadata and backwards compatibility
+//!
+//! A release built through [`crate::Pipeline`] carries the producing
+//! [`Method`] as a typed enum, its guideline-**resolved** twin (every
+//! `None` size filled in against the dataset), the paper-notation
+//! label, ε, and — for reproducible experiment releases only — the
+//! build seed. Releases serialised by earlier versions carried a
+//! free-form `"method"` string instead; those still load: the
+//! `metadata` field accepts the legacy key via a serde alias, and a
+//! bare string deserialises into label-only metadata
+//! ([`ReleaseMetadata::legacy`]).
 //!
 //! # Query architecture
 //!
@@ -32,13 +45,121 @@ use serde::{Deserialize, Serialize};
 
 use dpgrid_geo::{Domain, GeoError, Rect};
 
-use crate::{CompiledSurface, CoreError, Result, Synopsis};
+use crate::{CompiledSurface, CoreError, Method, Result, Synopsis};
+
+/// Typed provenance of a [`Release`]: what was built, how the
+/// guidelines resolved, and under which budget.
+///
+/// The seed travels as a decimal *string* on the wire: the JSON number
+/// carrier is `f64` (the vendored interchange stub's lossy mode, and
+/// real `serde_json` readers in other languages behave the same), and
+/// a seed rounded to the nearest representable double would silently
+/// break the recorded-reproducibility guarantee for values ≥ 2⁵³.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReleaseMetadata {
+    /// The declarative registry entry the release was built from, with
+    /// guideline sizes still unresolved (`None` where a guideline was
+    /// requested). `None` for legacy or externally produced releases
+    /// that only carry a label.
+    pub method: Option<Method>,
+    /// [`Method::resolved`] against the dataset: the parameters the
+    /// build actually used (e.g. the concrete Guideline-1 grid size).
+    pub resolved: Option<Method>,
+    /// Human-readable method tag in the paper's notation (or the
+    /// free-form string of a legacy release).
+    pub label: String,
+    /// Privacy budget consumed; kept equal to [`Release::epsilon`].
+    pub epsilon: f64,
+    /// RNG seed of the build, recorded **only** for explicitly seeded
+    /// [`crate::Pipeline`] publishes. A recorded seed makes the noise
+    /// reproducible — and therefore removable — by anyone holding the
+    /// dataset schema, so seeded releases are for reproducible
+    /// experiments, not for production publication.
+    pub seed: Option<u64>,
+}
+
+impl ReleaseMetadata {
+    /// Label-only metadata, as produced for legacy string-tagged
+    /// releases and direct [`Release::from_synopsis`] exports.
+    pub fn legacy(label: impl Into<String>, epsilon: f64) -> Self {
+        ReleaseMetadata {
+            method: None,
+            resolved: None,
+            label: label.into(),
+            epsilon,
+            seed: None,
+        }
+    }
+}
+
+/// Hand-written (not derived) so the seed can cross the wire as a
+/// lossless decimal string instead of a rounding `f64` number.
+impl Serialize for ReleaseMetadata {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![
+            ("method".into(), self.method.serialize_value()),
+            ("resolved".into(), self.resolved.serialize_value()),
+            ("label".into(), self.label.serialize_value()),
+            ("epsilon".into(), self.epsilon.serialize_value()),
+            (
+                "seed".into(),
+                match self.seed {
+                    Some(seed) => serde::Value::Str(seed.to_string()),
+                    None => serde::Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Untagged fallback: current releases carry a metadata *object*,
+/// PR-1-era releases a bare method *string* (reached through the
+/// `#[serde(alias = "method")]` on [`Release`]'s field). A string
+/// becomes label-only metadata whose ε is patched from the release's
+/// top-level field during validation. The seed field accepts both the
+/// canonical decimal string and a plain (2⁵³-bounded) number.
+impl Deserialize for ReleaseMetadata {
+    fn deserialize_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(label) => Ok(ReleaseMetadata::legacy(label.clone(), f64::NAN)),
+            serde::Value::Obj(obj) => {
+                let seed = match obj.iter().find(|(k, _)| k == "seed").map(|(_, v)| v) {
+                    None | Some(serde::Value::Null) => None,
+                    Some(serde::Value::Str(s)) => Some(s.parse::<u64>().map_err(|e| {
+                        serde::Error::msg(format!("ReleaseMetadata.seed: `{s}` is not a u64: {e}"))
+                    })?),
+                    Some(num) => Some(
+                        u64::deserialize_value(num)
+                            .map_err(|e| serde::Error::msg(format!("ReleaseMetadata.seed: {e}")))?,
+                    ),
+                };
+                Ok(ReleaseMetadata {
+                    method: serde::field_aliased_or_default(obj, &["method"], "ReleaseMetadata")?,
+                    resolved: serde::field_aliased_or_default(
+                        obj,
+                        &["resolved"],
+                        "ReleaseMetadata",
+                    )?,
+                    label: serde::field(obj, "label", "ReleaseMetadata")?,
+                    epsilon: serde::field(obj, "epsilon", "ReleaseMetadata")?,
+                    seed,
+                })
+            }
+            other => Err(serde::Error::msg(format!(
+                "ReleaseMetadata: expected object or legacy method string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
 
 /// A serialisable, method-agnostic DP release.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Release {
-    /// Producing method, free-form (e.g. `"AG(eps=1, m1=79)"`).
-    method: String,
+    /// Typed provenance. The alias accepts PR-1-era JSON, where this
+    /// slot was a free-form `"method"` string.
+    #[serde(alias = "method")]
+    metadata: ReleaseMetadata,
     /// Privacy budget consumed.
     epsilon: f64,
     /// The public domain.
@@ -54,10 +175,24 @@ pub struct Release {
 }
 
 impl Release {
-    /// Exports any synopsis into the interchange format.
+    /// Exports any synopsis into the interchange format with a
+    /// free-form label. Pipeline-published releases carry full typed
+    /// metadata instead — see [`Release::from_synopsis_with_metadata`].
     pub fn from_synopsis(method: impl Into<String>, synopsis: &impl Synopsis) -> Self {
+        let metadata = ReleaseMetadata::legacy(method, synopsis.epsilon());
+        Release::from_synopsis_with_metadata(metadata, synopsis)
+    }
+
+    /// Exports any synopsis with explicit typed metadata (the
+    /// [`crate::Pipeline::publish`] path). The metadata's ε is forced
+    /// to the synopsis's ε, which is authoritative.
+    pub fn from_synopsis_with_metadata(
+        mut metadata: ReleaseMetadata,
+        synopsis: &impl Synopsis,
+    ) -> Self {
+        metadata.epsilon = synopsis.epsilon();
         Release {
-            method: method.into(),
+            metadata,
             epsilon: synopsis.epsilon(),
             domain: *synopsis.domain(),
             cells: synopsis.cells(),
@@ -70,6 +205,21 @@ impl Release {
     /// total area matching the domain to within 0.1 %).
     pub fn from_parts(
         method: impl Into<String>,
+        epsilon: f64,
+        domain: Domain,
+        cells: Vec<(Rect, f64)>,
+    ) -> Result<Self> {
+        Release::from_parts_with_metadata(
+            ReleaseMetadata::legacy(method, epsilon),
+            epsilon,
+            domain,
+            cells,
+        )
+    }
+
+    /// [`Release::from_parts`] with full typed metadata.
+    pub fn from_parts_with_metadata(
+        mut metadata: ReleaseMetadata,
         epsilon: f64,
         domain: Domain,
         cells: Vec<(Rect, f64)>,
@@ -104,8 +254,11 @@ impl Release {
                 domain.area()
             )));
         }
+        // The top-level ε is authoritative; legacy metadata arrives
+        // with a NaN placeholder to be patched here.
+        metadata.epsilon = epsilon;
         Ok(Release {
-            method: method.into(),
+            metadata,
             epsilon,
             domain,
             cells,
@@ -113,9 +266,21 @@ impl Release {
         })
     }
 
-    /// The producing method tag.
+    /// The producing method tag (the metadata label) — for legacy
+    /// releases, exactly the string they were published with.
     pub fn method(&self) -> &str {
-        &self.method
+        &self.metadata.label
+    }
+
+    /// The full typed provenance of the release.
+    pub fn metadata(&self) -> &ReleaseMetadata {
+        &self.metadata
+    }
+
+    /// The typed registry entry the release was built from, when the
+    /// release was published through the registry ([`crate::Pipeline`]).
+    pub fn method_kind(&self) -> Option<&Method> {
+        self.metadata.method.as_ref()
     }
 
     /// Number of leaf cells.
@@ -158,11 +323,13 @@ impl Release {
 
     /// Deserialises from JSON, re-validating the invariants (a release
     /// from an untrusted source must not bypass [`Release::from_parts`]).
+    /// Accepts both the current typed-metadata format and PR-1-era
+    /// string-tagged releases.
     pub fn read_json<R: Read>(r: R) -> Result<Self> {
         let r = BufReader::new(r);
         let raw: Release =
             serde_json::from_reader(r).map_err(|e| CoreError::Geo(GeoError::Io(e.to_string())))?;
-        Release::from_parts(raw.method, raw.epsilon, raw.domain, raw.cells)
+        Release::from_parts_with_metadata(raw.metadata, raw.epsilon, raw.domain, raw.cells)
     }
 
     /// Saves to a JSON file.
@@ -233,6 +400,8 @@ mod tests {
         let rel = Release::from_synopsis("UG", &ug);
         assert_eq!(rel.method(), "UG");
         assert_eq!(rel.epsilon(), 1.0);
+        assert_eq!(rel.metadata().epsilon, 1.0);
+        assert_eq!(rel.method_kind(), None);
         assert_eq!(rel.cell_count(), 64);
         for q in [
             Rect::new(0.0, 0.0, 8.0, 8.0).unwrap(),
@@ -254,6 +423,77 @@ mod tests {
         let q = Rect::new(0.5, 0.5, 7.5, 3.5).unwrap();
         assert!((back.answer(&q) - ag.answer(&q)).abs() < 1e-9);
         assert_eq!(back.cell_count(), rel.cell_count());
+    }
+
+    #[test]
+    fn typed_metadata_roundtrips_through_json() {
+        let ds = dataset();
+        let ug = UniformGrid::build(&ds, &UgConfig::fixed(1.0, 8), &mut rng(7)).unwrap();
+        let metadata = ReleaseMetadata {
+            method: Some(Method::ug_suggested()),
+            resolved: Some(Method::ug(8)),
+            label: "U8*".into(),
+            epsilon: 1.0,
+            seed: Some(7),
+        };
+        let rel = Release::from_synopsis_with_metadata(metadata.clone(), &ug);
+        let mut buf = Vec::new();
+        rel.write_json(&mut buf).unwrap();
+        let back = Release::read_json(&buf[..]).unwrap();
+        assert_eq!(back.metadata(), &metadata);
+        assert_eq!(back.method_kind(), Some(&Method::ug_suggested()));
+        assert_eq!(back.method(), "U8*");
+    }
+
+    #[test]
+    fn huge_seeds_roundtrip_losslessly() {
+        // Seeds ≥ 2⁵³ are not representable as f64; the string wire
+        // encoding must carry them exactly.
+        let ds = dataset();
+        let ug = UniformGrid::build(&ds, &UgConfig::fixed(1.0, 4), &mut rng(9)).unwrap();
+        for seed in [u64::MAX, (1 << 53) + 1, 0] {
+            let metadata = ReleaseMetadata {
+                seed: Some(seed),
+                ..ReleaseMetadata::legacy("U4", 1.0)
+            };
+            let rel = Release::from_synopsis_with_metadata(metadata, &ug);
+            let mut buf = Vec::new();
+            rel.write_json(&mut buf).unwrap();
+            let back = Release::read_json(&buf[..]).unwrap();
+            assert_eq!(back.metadata().seed, Some(seed));
+        }
+        // A numeric seed (hand-written JSON) is accepted too.
+        let json = r#"{
+            "metadata": {"method": null, "resolved": null, "label": "x",
+                         "epsilon": 1.0, "seed": 41},
+            "epsilon": 1.0,
+            "domain": {"rect": {"x0": 0.0, "y0": 0.0, "x1": 1.0, "y1": 1.0}},
+            "cells": [[{"x0": 0.0, "y0": 0.0, "x1": 1.0, "y1": 1.0}, 2.0]]
+        }"#;
+        let rel = Release::read_json(json.as_bytes()).unwrap();
+        assert_eq!(rel.metadata().seed, Some(41));
+    }
+
+    #[test]
+    fn legacy_string_method_json_still_loads() {
+        // The exact shape PR-1 wrote: a top-level string "method".
+        let json = r#"{
+            "method": "AG(eps=1, m1=4)",
+            "epsilon": 1.0,
+            "domain": {"rect": {"x0": 0.0, "y0": 0.0, "x1": 2.0, "y1": 1.0}},
+            "cells": [
+                [{"x0": 0.0, "y0": 0.0, "x1": 1.0, "y1": 1.0}, 3.0],
+                [{"x0": 1.0, "y0": 0.0, "x1": 2.0, "y1": 1.0}, 4.0]
+            ]
+        }"#;
+        let rel = Release::read_json(json.as_bytes()).unwrap();
+        assert_eq!(rel.method(), "AG(eps=1, m1=4)");
+        assert_eq!(rel.method_kind(), None);
+        // Legacy metadata inherits the top-level ε.
+        assert_eq!(rel.metadata().epsilon, 1.0);
+        assert_eq!(rel.metadata().seed, None);
+        let q = Rect::new(0.0, 0.0, 2.0, 1.0).unwrap();
+        assert!((rel.answer(&q) - 7.0).abs() < 1e-12);
     }
 
     #[test]

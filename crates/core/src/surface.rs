@@ -19,19 +19,14 @@
 //! involved.
 //!
 //! Batched answering ([`CompiledSurface::answer_all`]) chunks the query
-//! slice across `std::thread::scope` threads, mirroring the evaluation
+//! slice across `std::thread::scope` threads through the shared
+//! [`dpgrid_geo::answer_all_batched`] driver, mirroring the evaluation
 //! runner's method-level parallelism.
 
 use dpgrid_geo::cell_index::CellIndex;
-use dpgrid_geo::{Domain, Rect};
+use dpgrid_geo::{answer_all_batched, Domain, Rect};
 
 use crate::Synopsis;
-
-/// Minimum batch size per worker thread before
-/// [`CompiledSurface::answer_all`] (and the default
-/// [`Synopsis::answer_all`]) fan out; below this the spawn overhead
-/// outweighs the per-query work.
-pub(crate) const MIN_QUERIES_PER_THREAD: usize = 256;
 
 /// Which index a [`CompiledSurface`] compiled to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,71 +133,11 @@ impl CompiledSurface {
     }
 
     /// Answers a batch of queries, chunked across scoped threads when
-    /// the batch is large enough to amortise the spawns.
+    /// the batch is large enough to amortise the spawns (the shared
+    /// [`dpgrid_geo::answer_all_batched`] driver).
     pub fn answer_all(&self, queries: &[Rect]) -> Vec<f64> {
         answer_all_batched(queries, |q| self.answer(q))
     }
-}
-
-/// Count of batched fan-outs currently inside their thread scope.
-/// Callers like the evaluation runner already parallelise one level up
-/// (a thread per method); dividing the worker budget by the number of
-/// concurrently active fan-outs keeps the total CPU-bound thread count
-/// near `available_parallelism` instead of multiplying the two levels.
-static ACTIVE_FANOUTS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-
-/// Shared batched-answering driver: evaluates `answer` over `queries`,
-/// fanning out across `std::thread::scope` when the batch is large
-/// enough (mirroring `dpgrid-eval`'s runner, which parallelises at the
-/// method level the same way).
-pub(crate) fn answer_all_batched<F>(queries: &[Rect], answer: F) -> Vec<f64>
-where
-    F: Fn(&Rect) -> f64 + Sync,
-{
-    use std::sync::atomic::Ordering;
-    // Drop guard so every exit path (including a panicking answer
-    // closure) releases this call's slot in the counter.
-    struct FanoutGuard;
-    impl Drop for FanoutGuard {
-        fn drop(&mut self) {
-            ACTIVE_FANOUTS.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
-        }
-    }
-    // Increment BEFORE reading the concurrency level: simultaneous
-    // callers (the eval runner's method threads) must see each other,
-    // which a load-then-add would miss.
-    let concurrent = ACTIVE_FANOUTS.fetch_add(1, Ordering::Relaxed) + 1;
-    let _guard = FanoutGuard;
-    let workers = (std::thread::available_parallelism()
-        .map(usize::from)
-        .unwrap_or(1)
-        / concurrent)
-        .min(queries.len() / MIN_QUERIES_PER_THREAD);
-    answer_all_with_workers(queries, answer, workers)
-}
-
-/// The worker-count-explicit core of [`answer_all_batched`], split out
-/// so tests can exercise the scoped-thread path on any machine.
-fn answer_all_with_workers<F>(queries: &[Rect], answer: F, workers: usize) -> Vec<f64>
-where
-    F: Fn(&Rect) -> f64 + Sync,
-{
-    if workers <= 1 {
-        return queries.iter().map(&answer).collect();
-    }
-    let chunk = queries.len().div_ceil(workers);
-    let mut out = vec![0.0; queries.len()];
-    std::thread::scope(|scope| {
-        for (q_chunk, out_chunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            let answer = &answer;
-            scope.spawn(move || {
-                for (q, slot) in q_chunk.iter().zip(out_chunk) {
-                    *slot = answer(q);
-                }
-            });
-        }
-    });
-    out
 }
 
 #[cfg(test)]
@@ -284,6 +219,7 @@ mod tests {
         // Force the scoped-thread fan-out regardless of how many CPUs
         // this machine reports (answer_all only engages it when
         // available_parallelism allows).
+        use dpgrid_geo::answer_all_with_workers;
         let threaded = answer_all_with_workers(&queries, |q| surface.answer(q), 4);
         assert_eq!(threaded, sequential);
         // Chunk boundaries: worker counts that do not divide the batch.

@@ -8,7 +8,7 @@ use dpgrid_mech::{LaplaceMechanism, PrivacyBudget};
 
 use crate::guidelines::{GridSize, NEstimate};
 use crate::noise::{CountNoise, NoiseKind};
-use crate::{CoreError, Result, Synopsis};
+use crate::{Build, CoreError, Result, Synopsis};
 
 /// Configuration for [`UniformGrid`].
 ///
@@ -119,7 +119,16 @@ pub struct UniformGrid {
 
 impl UniformGrid {
     /// Builds the synopsis over `dataset` with the given configuration.
+    /// Thin delegation to the uniform [`Build`] trait.
     pub fn build(dataset: &GeoDataset, config: &UgConfig, rng: &mut impl Rng) -> Result<Self> {
+        <UniformGrid as Build>::build(dataset, config, rng)
+    }
+}
+
+impl Build for UniformGrid {
+    type Config = UgConfig;
+
+    fn build(dataset: &GeoDataset, config: &UgConfig, rng: &mut impl Rng) -> Result<Self> {
         config.n_estimate.validate()?;
         let mut budget = PrivacyBudget::new(config.epsilon)?;
 
@@ -167,7 +176,9 @@ impl UniformGrid {
             m,
         })
     }
+}
 
+impl UniformGrid {
     /// The grid size `m`.
     #[inline]
     pub fn m(&self) -> usize {

@@ -179,8 +179,9 @@ fn hierarchy_benefit(ctx: &ExpContext) -> Result<Table> {
     let (mut err_flat_2d, mut err_hier_2d) = (0.0f64, 0.0f64);
     for trial in 0..trials {
         let seed = ctx.seed ^ 0xD4 ^ (trial as u64);
-        let flat = Method::ug(32).build(&bundle.dataset, eps, &mut StdRng::seed_from_u64(seed))?;
-        let hier = Method::hierarchy(32, 2, 3).build(
+        let flat =
+            Method::ug(32).build_boxed(&bundle.dataset, eps, &mut StdRng::seed_from_u64(seed))?;
+        let hier = Method::hierarchy(32, 2, 3).build_boxed(
             &bundle.dataset,
             eps,
             &mut StdRng::seed_from_u64(seed ^ 0xF),

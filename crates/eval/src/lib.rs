@@ -10,9 +10,11 @@
 //!   error, and candlestick summaries (25th/50th/75th/95th percentile
 //!   plus arithmetic mean);
 //! * [`truth`] — exact query answers via [`dpgrid_geo::PointIndex`];
-//! * [`method`] — a uniform registry over UG, AG, Privelet, KD-standard,
+//! * [`method`] — the canonical [`Method`] registry (re-exported from
+//!   `dpgrid_core::method`) over UG, AG, Privelet, KD-standard,
 //!   KD-hybrid, hierarchies and the flat baseline, so experiments are
-//!   declarative lists of method configurations;
+//!   declarative lists of method configurations built through the same
+//!   `Method::build_boxed` path the publishing pipeline uses;
 //! * [`runner`] — multi-threaded (method × trial) evaluation;
 //! * [`experiments`] — one module per paper artifact (`table2`, `fig1`
 //!   … `fig6`, `dim`), each writing CSV series and a markdown summary

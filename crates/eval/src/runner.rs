@@ -122,7 +122,10 @@ pub fn evaluate_one(
             .wrapping_add(trial as u64);
         let mut rng = StdRng::seed_from_u64(seed);
         let start = std::time::Instant::now();
-        let synopsis = method.build(dataset, cfg.epsilon, &mut rng)?;
+        // The registry's single construction path — the same code the
+        // publishing pipeline runs, so evaluated and published methods
+        // cannot drift apart.
+        let synopsis = method.build_boxed(dataset, cfg.epsilon, &mut rng)?;
         build_time += start.elapsed().as_secs_f64();
         for (i, batch) in rel_by_size.iter_mut().enumerate() {
             // One batched call per size class: synopses with a compiled

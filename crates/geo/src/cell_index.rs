@@ -9,8 +9,8 @@
 //! * [`LatticeIndex`] — the fast path. When every cell edge lies on a
 //!   common rectilinear lattice (uniform grids, hierarchy / wavelet
 //!   leaves, and most adaptive grids after refinement), the cells are
-//!   scattered onto a [`DenseGrid`] over that lattice and summed through
-//!   a [`SummedAreaTable`]; a query is two binary searches over the edge
+//!   scattered onto a [`crate::DenseGrid`] over that lattice and summed
+//!   through a [`crate::SummedAreaTable`]; a query is two binary searches over the edge
 //!   arrays plus O(1) prefix-sum lookups.
 //! * [`BandIndex`] — the general path. Cells are bucketed into *bands*
 //!   of identical y-extent, each band keeping its cells sorted by `x0`
@@ -33,6 +33,25 @@ use crate::{Domain, Rect, MAX_GRID_CELLS};
 /// falls back to the band index instead (an adversarially irregular
 /// partition can induce an O(n²) lattice).
 const LATTICE_BLOWUP_CAP: usize = 8;
+
+/// Relative tolerance for merging near-equal y-extents into one band.
+///
+/// Adaptive-grid level-2 subdivision computes cell edges as
+/// `parent_y0 + i · (height / m₂)`, so two cells meant to share a row
+/// can disagree by a few ULPs of float drift. Snapping such extents
+/// into the first-seen band keeps the index tight (one band per
+/// logical row instead of one per drifted bit pattern) while
+/// perturbing any answer by at most the same relative amount — far
+/// below the 1e-9 equivalence budget the compiled surface is tested
+/// against.
+///
+/// The tolerance scales with `max(band height, |y|)`: ULP drift is
+/// relative to the coordinate's *magnitude*, so a thin band far from
+/// the origin (projected coordinates, e.g. UTM metres around 10⁶)
+/// drifts by far more than its own height. At 1e-12 (~4 ULPs of the
+/// magnitude) genuinely distinct rows — separated by at least a cell
+/// height — stay far outside the snap.
+const BAND_Y_SNAP_REL: f64 = 1e-12;
 
 /// A compiled index over a rectangle partition, ready to answer
 /// uniformity-assumption range-count queries in sublinear time.
@@ -141,7 +160,7 @@ fn axis_segments(edges: &[f64], q0: f64, q1: f64) -> [Option<(usize, usize, f64)
 
 /// The regular-lattice fast path: cells scattered onto the rectilinear
 /// lattice induced by their own edges, summed through a
-/// [`SummedAreaTable`].
+/// [`crate::SummedAreaTable`].
 ///
 /// Lattice slots need not be equi-width — only *shared*: every cell
 /// edge must coincide (bitwise) with a lattice line. Cells spanning
@@ -161,7 +180,7 @@ pub struct LatticeIndex {
 impl LatticeIndex {
     /// Attempts the lattice compilation; `None` when the cells do not
     /// align to their induced lattice or the lattice would be more than
-    /// [`LATTICE_BLOWUP_CAP`] times larger than the cell list.
+    /// `LATTICE_BLOWUP_CAP` (8) times larger than the cell list.
     pub fn try_build(cells: &[(Rect, f64)]) -> Option<LatticeIndex> {
         let live: Vec<&(Rect, f64)> = cells.iter().filter(|(r, _)| !r.is_empty()).collect();
         if live.is_empty() {
@@ -233,6 +252,10 @@ impl LatticeIndex {
         self.sat.total()
     }
 }
+
+/// A snap group under construction: the band's y-extent plus the
+/// member cells collected before the per-band x-sort.
+type BandGroup<'a> = (f64, f64, Vec<&'a (Rect, f64)>);
 
 /// One band: all cells sharing the same y-extent, sorted by `x0`.
 #[derive(Debug, Clone)]
@@ -332,33 +355,51 @@ impl BandIndex {
                 .then(a.0.y1().total_cmp(&b.0.y1()))
                 .then(a.0.x0().total_cmp(&b.0.x0()))
         });
-        let mut bands: Vec<Band> = Vec::new();
-        for (rect, v) in sorted {
-            let same_band = bands
-                .last()
-                .is_some_and(|b| b.y0 == rect.y0() && b.y1 == rect.y1());
+        // Group into bands. The tolerance snap treats y-extents within a
+        // few ULPs of the current band (float drift from derived
+        // subdivision edges) as the same row; sorting by (y0, y1) makes
+        // drifted twins adjacent, so comparing against the last group
+        // suffices. Snapped members may arrive out of x-order (the sort
+        // key ranked their drifted y0 first), so cells are grouped
+        // first and each band x-sorted afterwards.
+        let mut groups: Vec<BandGroup> = Vec::new();
+        for cell in sorted {
+            let rect = &cell.0;
+            let same_band = groups.last().is_some_and(|(y0, y1, _)| {
+                let scale = (y1 - y0).abs().max(y0.abs()).max(y1.abs());
+                let tol = scale * BAND_Y_SNAP_REL;
+                (y0 - rect.y0()).abs() <= tol && (y1 - rect.y1()).abs() <= tol
+            });
             if !same_band {
-                bands.push(Band {
-                    y0: rect.y0(),
-                    y1: rect.y1(),
-                    x0s: Vec::new(),
-                    x1s: Vec::new(),
-                    values: Vec::new(),
-                    prefix: vec![0.0],
-                    overlapping: false,
-                });
+                groups.push((rect.y0(), rect.y1(), Vec::new()));
             }
-            let band = bands.last_mut().expect("band exists");
-            if let Some(&prev_x1) = band.x1s.last() {
-                if rect.x0() < prev_x1 {
-                    band.overlapping = true;
+            groups.last_mut().expect("group exists").2.push(cell);
+        }
+        let mut bands: Vec<Band> = Vec::with_capacity(groups.len());
+        for (y0, y1, mut members) in groups {
+            members.sort_by(|a, b| a.0.x0().total_cmp(&b.0.x0()));
+            let mut band = Band {
+                y0,
+                y1,
+                x0s: Vec::with_capacity(members.len()),
+                x1s: Vec::with_capacity(members.len()),
+                values: Vec::with_capacity(members.len()),
+                prefix: vec![0.0],
+                overlapping: false,
+            };
+            for (rect, v) in members {
+                if let Some(&prev_x1) = band.x1s.last() {
+                    if rect.x0() < prev_x1 {
+                        band.overlapping = true;
+                    }
                 }
+                band.x0s.push(rect.x0());
+                band.x1s.push(rect.x1());
+                band.values.push(*v);
+                band.prefix
+                    .push(band.prefix.last().expect("non-empty prefix") + v);
             }
-            band.x0s.push(rect.x0());
-            band.x1s.push(rect.x1());
-            band.values.push(*v);
-            band.prefix
-                .push(band.prefix.last().expect("non-empty prefix") + v);
+            bands.push(band);
         }
         let total = bands
             .iter()
@@ -583,6 +624,84 @@ mod tests {
             Some(lattice) => assert_eq!(lattice.shape(), (8, 8)),
             None => panic!("lattice path must still engage"),
         }
+    }
+
+    #[test]
+    fn near_equal_bands_snap_into_one() {
+        // AG level-2 subdivision derives row edges as
+        // `y0 + i · (h / m₂)`, so logically identical rows drift by a
+        // few ULPs. The band index must snap them together instead of
+        // opening one band per drifted bit pattern — and must keep its
+        // sorted-x invariant even though drifted twins arrive out of
+        // x-order from the (y0, y1, x0) sort.
+        let rows = 6;
+        let cols = 8;
+        let mut cells = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                // Per-cell drift of ~1 ULP on both row edges, varying
+                // with the column so x-order and y-order disagree.
+                let drift = ((c % 3) as f64 - 1.0) * 2e-16;
+                let y0 = r as f64 * (1.0 + drift);
+                let y1 = (r + 1) as f64 * (1.0 + drift);
+                let x0 = c as f64;
+                cells.push((
+                    Rect::new(x0, y0, x0 + 1.0, y1.max(y0 + 0.5)).unwrap(),
+                    (r * cols + c) as f64 - 10.0,
+                ));
+            }
+        }
+        let index = BandIndex::build(&cells);
+        assert_eq!(
+            index.band_count(),
+            rows,
+            "drifted rows must merge into one band each"
+        );
+        // Row 0 drifts multiplicatively from y0 = 0, so its members all
+        // share y0 = 0 exactly: the merge there exercises the x-resort,
+        // while later rows exercise the y-tolerance.
+        let wrapped = CellIndex::Bands(index);
+        let domain = Rect::new(0.0, 0.0, cols as f64, rows as f64).unwrap();
+        assert_matches_scan(&cells, &wrapped, &query_mix(&domain));
+    }
+
+    #[test]
+    fn thin_bands_far_from_origin_still_snap() {
+        // Projected coordinates (UTM-like): rows of height 0.1 around
+        // y = 10⁶. ULP drift there is ~1.2e-10 — larger than a
+        // height-relative tolerance would allow, so the snap must
+        // scale with the coordinate magnitude.
+        let base = 1.0e6;
+        let rows = 4;
+        let mut cells = Vec::new();
+        for r in 0..rows {
+            for c in 0..6 {
+                let drift = ((c % 3) as f64 - 1.0) * 2.0e-10;
+                let y0 = base + r as f64 * 0.1 + drift;
+                let x0 = c as f64;
+                cells.push((
+                    Rect::new(x0, y0, x0 + 1.0, y0 + 0.1).unwrap(),
+                    (r + c) as f64,
+                ));
+            }
+        }
+        let index = BandIndex::build(&cells);
+        assert_eq!(index.band_count(), rows, "ULP-drifted UTM rows must merge");
+        let wrapped = CellIndex::Bands(index);
+        let domain = Rect::new(0.0, base, 6.0, base + 0.1 * rows as f64).unwrap();
+        assert_matches_scan(&cells, &wrapped, &query_mix(&domain));
+    }
+
+    #[test]
+    fn clearly_distinct_bands_do_not_snap() {
+        // The tolerance is relative and tiny: rows 1e-6 apart (huge
+        // compared to ULP drift) must stay separate bands.
+        let cells = vec![
+            (Rect::new(0.0, 0.0, 1.0, 1.0).unwrap(), 1.0),
+            (Rect::new(0.0, 1e-6, 1.0, 1.0 + 1e-6).unwrap(), 2.0),
+        ];
+        let index = BandIndex::build(&cells);
+        assert_eq!(index.band_count(), 2);
     }
 
     #[test]

@@ -1,6 +1,9 @@
-//! Error type for the geometry substrate.
+//! Error types for the geometry substrate and the workspace-wide
+//! unified build error.
 
 use std::fmt;
+
+use dpgrid_mech::MechError;
 
 /// Errors produced by geometry, dataset and histogram constructors.
 ///
@@ -95,6 +98,60 @@ impl From<std::io::Error> for GeoError {
     }
 }
 
+/// The unified error of every synopsis construction path.
+///
+/// Building a differentially private synopsis can fail for exactly
+/// three reasons — an out-of-range configuration value, a geometry /
+/// histogram failure, or a privacy-mechanism failure — regardless of
+/// which method is being built. All [`crate::Build`] implementations
+/// (and everything layered on top of them: the method registry, the
+/// publishing pipeline, the release format) share this one type, so
+/// config validation reads identically across the workspace.
+///
+/// `dpgrid-core` re-exports it as `CoreError` and `dpgrid-baselines`
+/// as `BaselineError`; both names refer to this enum.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// A configuration value was out of range.
+    InvalidConfig(String),
+    /// Underlying geometry/histogram failure.
+    Geo(GeoError),
+    /// Underlying privacy-mechanism failure.
+    Mech(MechError),
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DpError::Geo(e) => write!(f, "geometry error: {e}"),
+            DpError::Mech(e) => write!(f, "mechanism error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DpError::Geo(e) => Some(e),
+            DpError::Mech(e) => Some(e),
+            DpError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<GeoError> for DpError {
+    fn from(e: GeoError) -> Self {
+        DpError::Geo(e)
+    }
+}
+
+impl From<MechError> for DpError {
+    fn from(e: MechError) -> Self {
+        DpError::Mech(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +181,22 @@ mod tests {
         let a = GeoError::EmptyRect;
         let b = a.clone();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unified_error_wraps_substrate_errors() {
+        let g: DpError = GeoError::EmptyRect.into();
+        assert!(matches!(g, DpError::Geo(_)));
+        let m: DpError = MechError::InvalidEpsilon(-1.0).into();
+        assert!(matches!(m, DpError::Mech(_)));
+        assert!(m.to_string().contains("epsilon"));
+    }
+
+    #[test]
+    fn unified_error_source_chain() {
+        use std::error::Error;
+        let e: DpError = GeoError::EmptyRect.into();
+        assert!(e.source().is_some());
+        assert!(DpError::InvalidConfig("x".into()).source().is_none());
     }
 }

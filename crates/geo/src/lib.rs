@@ -15,7 +15,12 @@
 //!   range queries in O(log cells) instead of O(cells);
 //! * deterministic synthetic [`generators`] reproducing the spatial
 //!   character of the four datasets used in the paper (road, checkin,
-//!   landmark, storage).
+//!   landmark, storage);
+//! * the workspace-wide release-format traits [`Synopsis`] and
+//!   [`Build`], plus the unified construction error [`DpError`] — they
+//!   live here (the lowest crate that knows [`GeoDataset`] and
+//!   [`Rect`]) so that every synopsis crate can implement them without
+//!   depending on the others.
 //!
 //! # Geometry conventions
 //!
@@ -55,16 +60,20 @@ mod point;
 mod point_index;
 mod rect;
 mod sat;
+mod synopsis;
 
 pub use cell_index::{BandIndex, CellIndex, LatticeIndex};
 pub use dataset::GeoDataset;
 pub use domain::Domain;
-pub use error::GeoError;
+pub use error::{DpError, GeoError};
 pub use grid::{DenseGrid, MAX_GRID_CELLS};
 pub use point::Point;
 pub use point_index::PointIndex;
 pub use rect::Rect;
 pub use sat::SummedAreaTable;
+pub use synopsis::{
+    answer_all_batched, answer_all_with_workers, Build, Synopsis, MIN_QUERIES_PER_THREAD,
+};
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, GeoError>;

@@ -10,7 +10,7 @@
 //! cargo run --release --example location_analytics
 //! ```
 
-use dpgrid::eval::{evaluate, truth::TruthTable, EvalConfig, Method, QueryWorkload, WorkloadSpec};
+use dpgrid::eval::{evaluate, truth::TruthTable, EvalConfig, QueryWorkload, WorkloadSpec};
 use dpgrid::prelude::*;
 use rand::SeedableRng;
 
@@ -71,5 +71,31 @@ fn main() {
         } else {
             "does not win on this draw (try more trials)"
         }
+    );
+
+    // The harness and the publishing pipeline share one construction
+    // path (`Method::build_boxed`), so shipping whichever method won
+    // this evaluation is the same registry entry it just measured.
+    let winner = evals
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1.rel_profile
+                .mean
+                .partial_cmp(&b.1.rel_profile.mean)
+                .expect("finite errors")
+        })
+        .map(|(i, _)| methods[i])
+        .expect("at least one method");
+    let release = Pipeline::new(&dataset)
+        .epsilon(cfg.epsilon)
+        .method(winner)
+        .publish()
+        .expect("publish winner");
+    println!(
+        "published this run's winner: `{}` with {} cells (metadata: {:?})",
+        release.method(),
+        release.cell_count(),
+        release.metadata().resolved
     );
 }

@@ -9,7 +9,7 @@
 //! ```
 
 use dpgrid::core::{analysis, guidelines};
-use dpgrid::eval::{evaluate, truth::TruthTable, EvalConfig, Method, QueryWorkload, WorkloadSpec};
+use dpgrid::eval::{evaluate, truth::TruthTable, EvalConfig, QueryWorkload, WorkloadSpec};
 use dpgrid::prelude::*;
 use rand::SeedableRng;
 
@@ -77,5 +77,20 @@ fn main() {
         "\nmeasured best m = {best}; Guideline 1 suggested {suggested} — \
          within a factor of {:.2}",
         best.max(suggested) as f64 / best.min(suggested) as f64
+    );
+
+    // `Method::ug_suggested()` is the registry spelling of that
+    // guideline: publishing it records the resolved size in the
+    // release metadata, so consumers see the m the build actually used.
+    let release = Pipeline::new(&dataset)
+        .epsilon(eps)
+        .method(Method::ug_suggested())
+        .seed(23)
+        .publish()
+        .expect("publish suggested UG");
+    println!(
+        "published `{}` — metadata resolved method: {:?}",
+        release.method(),
+        release.metadata().resolved
     );
 }

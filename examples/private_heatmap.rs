@@ -53,7 +53,6 @@ fn main() {
     let dataset = PaperDataset::Checkin
         .generate_n(11, 200_000)
         .expect("generate dataset");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
 
     // True density (never leaves the data owner).
     let true_grid = DenseGrid::count(&dataset, 72, 30).expect("count");
@@ -62,17 +61,24 @@ fn main() {
         .map(|(_, _, rect, v)| (rect, v))
         .collect();
 
-    // Released density: ε = 0.5 adaptive grid.
-    let ag = AdaptiveGrid::build(&dataset, &AgConfig::guideline(0.5), &mut rng).expect("build AG");
+    // Released density: ε = 0.5 adaptive grid, published through the
+    // pipeline (seeded so the rendered heatmap is reproducible).
+    let release = Pipeline::new(&dataset)
+        .epsilon(0.5)
+        .method(Method::ag_suggested())
+        .seed(3)
+        .publish()
+        .expect("publish AG");
 
     println!("true density ({} check-ins):", dataset.len());
     println!("{}", render(&true_cells, dataset.domain(), 72, 24));
-    println!("released density (ε = 0.5, m1 = {}):", ag.m1());
-    println!("{}", render(&ag.cells(), dataset.domain(), 72, 24));
+    println!("released density (ε = 0.5, {}):", release.method());
+    println!("{}", render(&release.cells(), dataset.domain(), 72, 24));
 
     // Bonus: the release supports DP synthetic data for downstream
     // tooling that wants points, not grids.
-    let synth = synthetic::synthesize(&ag, 10_000, &mut rng).expect("synthesize");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let synth = synthetic::synthesize(&release, 10_000, &mut rng).expect("synthesize");
     println!(
         "generated {} synthetic points from the release (privacy-free post-processing)",
         synth.len()

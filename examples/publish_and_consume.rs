@@ -17,13 +17,18 @@ fn main() {
         let private_data = PaperDataset::Checkin
             .generate_n(99, 150_000)
             .expect("generate dataset");
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let ag = AdaptiveGrid::build(&private_data, &AgConfig::guideline(1.0), &mut rng)
-            .expect("build AG");
-        let release = Release::from_synopsis(format!("AG(eps=1, m1={})", ag.m1()), &ag);
+        // One fluent chain: pick the method from the registry, spend
+        // ε = 1, publish. (Unseeded: a production release must draw
+        // unpredictable noise.)
+        let release = Pipeline::new(&private_data)
+            .epsilon(1.0)
+            .method(Method::ag_suggested())
+            .publish()
+            .expect("publish AG");
         release.save(&path).expect("save release");
         println!(
-            "owner: published {} cells ({} bytes) consuming ε = {}",
+            "owner: published `{}` — {} cells ({} bytes) consuming ε = {}",
+            release.method(),
             release.cell_count(),
             std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
             release.epsilon(),
@@ -39,6 +44,13 @@ fn main() {
             release.method(),
             release.domain().width(),
             release.domain().height()
+        );
+        // The typed metadata says exactly how it was produced — the
+        // declarative method and the guideline-resolved parameters.
+        println!(
+            "analyst: declarative method {:?}, resolved {:?}",
+            release.metadata().method,
+            release.metadata().resolved
         );
 
         // Ask questions directly. The first answer compiles the cells

@@ -1,12 +1,11 @@
-//! Quickstart: release a differentially private synopsis of a location
-//! dataset and answer range queries from it.
+//! Quickstart: publish a differentially private release of a location
+//! dataset through the `Pipeline` and answer range queries from it.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use dpgrid::prelude::*;
-use rand::SeedableRng;
 
 fn main() {
     // 1. A location dataset. In production this is your private data;
@@ -21,21 +20,33 @@ fn main() {
         dataset.domain().height()
     );
 
-    // 2. Release synopses under ε = 1 differential privacy.
-    //    UG: single-level uniform grid, size from Guideline 1.
-    //    AG: two-level adaptive grid (the paper's best method).
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let ug = UniformGrid::build(&dataset, &UgConfig::guideline(1.0), &mut rng).expect("build UG");
-    let ag = AdaptiveGrid::build(&dataset, &AgConfig::guideline(1.0), &mut rng).expect("build AG");
+    // 2. Publish releases under ε = 1 differential privacy. One fluent
+    //    chain per method: pick it from the registry, spend the budget,
+    //    get a portable `Release` back. (The seed makes this example
+    //    reproducible; unseeded pipelines draw fresh noise each run.)
+    let ug = Pipeline::new(&dataset)
+        .epsilon(1.0)
+        .method(Method::ug_suggested())
+        .seed(7)
+        .publish()
+        .expect("publish UG");
+    let ag = Pipeline::new(&dataset)
+        .epsilon(1.0)
+        .method(Method::ag_suggested())
+        .seed(8)
+        .publish()
+        .expect("publish AG");
     println!(
-        "released: UG with {}x{} cells, AG with m1={} and {} leaf cells",
-        ug.m(),
-        ug.m(),
-        ag.m1(),
-        ag.leaf_count()
+        "released: {} with {} cells, {} with {} cells",
+        ug.method(),
+        ug.cell_count(),
+        ag.method(),
+        ag.cell_count()
     );
 
-    // 3. Answer count queries from the private releases only.
+    // 3. Answer count queries from the private releases only. The
+    //    first answer compiles each release into its query surface;
+    //    every answer after that is O(log cells).
     let queries = [
         (
             "east coast strip",
@@ -65,9 +76,16 @@ fn main() {
         );
     }
 
-    // 4. The synopsis is safe to share: serialize the release. Every
-    //    value inside is ε-DP, so post-processing (storage, publication,
-    //    synthetic data generation) incurs no further privacy cost.
-    let json = serde_json::to_string(&ag).expect("serialize release");
-    println!("\nAG release serializes to {} bytes of JSON", json.len());
+    // 4. The release is safe to share: every value inside is ε-DP, so
+    //    post-processing (storage, publication, synthetic data
+    //    generation) incurs no further privacy cost — and the typed
+    //    metadata tells the consumer exactly how it was produced.
+    let mut json = Vec::new();
+    ag.write_json(&mut json).expect("serialize release");
+    println!(
+        "\nAG release: {} bytes of JSON; metadata records method {:?}, resolved {:?}",
+        json.len(),
+        ag.metadata().method,
+        ag.metadata().resolved,
+    );
 }

@@ -14,44 +14,63 @@
 //!
 //! | Module | Crate | Contents |
 //! |--------|-------|----------|
-//! | [`geo`] | `dpgrid-geo` | points, rectangles, domains, datasets, dense histograms, synthetic generators, compiled cell indexes (`cell_index`) |
+//! | [`geo`] | `dpgrid-geo` | points, rectangles, domains, datasets, dense histograms, synthetic generators, compiled cell indexes (`cell_index`), the `Synopsis`/`Build` traits and the unified `DpError` |
 //! | [`mech`] | `dpgrid-mech` | Laplace / geometric / exponential mechanisms, budget accounting |
-//! | [`core`] | `dpgrid-core` | the `Synopsis` trait, UG, AG, the guidelines, error analysis, the compiled query surface (`surface`) and the portable `Release` format |
+//! | [`core`] | `dpgrid-core` | UG, AG, the guidelines, error analysis, the `Method` registry, the publishing `Pipeline`, the compiled query surface (`surface`) and the portable `Release` format |
 //! | [`baselines`] | `dpgrid-baselines` | KD-trees, hierarchies, constrained inference, Privelet |
 //! | [`eval`] | `dpgrid-eval` | query workloads, error metrics, the experiment harness |
 //!
-//! # Serving architecture: the compiled query surface
+//! # One publishing API: build → publish → serve
 //!
-//! Synopses are *built* by their methods but *served* through one seam:
+//! Every method is one entry in the [`core::Method`] registry, every
+//! build funnels through `Method::build_boxed`, and the
+//! [`core::Pipeline`] chains the whole workflow: pick a method, spend
+//! ε, publish a [`core::Release`] carrying typed
+//! [`core::ReleaseMetadata`] (the declarative method, its
+//! guideline-resolved parameters, ε, and — for seeded experiment
+//! releases — the seed). Serving then goes through one seam:
 //! [`core::CompiledSurface`]. Any synopsis's exported cells compile —
-//! once — into either a dense lattice + summed-area table (grid-shaped
-//! partitions: O(log cells) per query via two edge binary searches) or
-//! a sorted row-band / interval index (irregular partitions such as KD
-//! trees). A [`core::Release`] compiles lazily on first answer, so a
-//! JSON release loaded from disk is exactly as fast to query as the
-//! in-memory type that produced it. Batch endpoints
+//! once, lazily on first answer — into either a dense lattice +
+//! summed-area table (grid-shaped partitions: O(log cells) per query)
+//! or a sorted row-band / interval index (irregular partitions such as
+//! KD trees), so a JSON release loaded from disk is exactly as fast to
+//! query as the in-memory type that produced it. Batch endpoints
 //! (`Synopsis::answer_all`) chunk large query slices across scoped
 //! threads; caching, sharding and async frontends are expected to plug
-//! into this surface rather than into individual methods.
+//! into `Pipeline`/`CompiledSurface` rather than into individual
+//! methods.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use dpgrid::prelude::*;
-//! use rand::SeedableRng;
 //!
-//! // A small synthetic dataset (checkin-like distribution).
+//! // A small synthetic dataset (storage-facility-like distribution).
 //! let dataset = PaperDataset::Storage.generate_n(42, 2_000).unwrap();
 //!
-//! // Release an adaptive-grid synopsis with a total budget of ε = 1.
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let synopsis = AdaptiveGrid::build(&dataset, &AgConfig::guideline(1.0), &mut rng).unwrap();
+//! // Publish an adaptive-grid release under a total budget of ε = 1.
+//! // (`seed` makes the example reproducible; leave it off — and the
+//! // noise unpredictable — for production releases.)
+//! let release = Pipeline::new(&dataset)
+//!     .epsilon(1.0)
+//!     .method(Method::ag_suggested())
+//!     .seed(7)
+//!     .publish()
+//!     .unwrap();
 //!
-//! // Answer a rectangle count query from the private synopsis.
+//! // The release knows what it is…
+//! assert_eq!(release.method_kind(), Some(&Method::ag_suggested()));
+//! assert_eq!(release.epsilon(), 1.0);
+//!
+//! // …answers rectangle count queries through its compiled surface…
 //! let query = Rect::new(-100.0, 30.0, -80.0, 45.0).unwrap();
-//! let estimate = synopsis.answer(&query);
+//! let estimate = release.answer(&query);
 //! let truth = dataset.count_in(&query) as f64;
 //! assert!((estimate - truth).abs() < truth.max(100.0));
+//!
+//! // …and is safe to share: every value inside is ε-DP output.
+//! let mut json = Vec::new();
+//! release.write_json(&mut json).unwrap();
 //! ```
 
 pub use dpgrid_baselines as baselines;
@@ -66,9 +85,12 @@ pub mod prelude {
         HierarchicalGrid, HierarchyConfig, KdConfig, KdHybrid, KdStandard, Privelet, PriveletConfig,
     };
     pub use dpgrid_core::{
-        AdaptiveGrid, AgConfig, GridSize, NoiseKind, Release, Synopsis, UgConfig, UniformGrid,
+        AdaptiveGrid, AgConfig, CompiledSurface, GridSize, Method, NoiseKind, Pipeline, Release,
+        ReleaseMetadata, UgConfig, UniformGrid,
     };
     pub use dpgrid_geo::generators::PaperDataset;
-    pub use dpgrid_geo::{DenseGrid, Domain, GeoDataset, Point, PointIndex, Rect};
+    pub use dpgrid_geo::{
+        Build, DenseGrid, Domain, DpError, GeoDataset, Point, PointIndex, Rect, Synopsis,
+    };
     pub use dpgrid_mech::{LaplaceMechanism, PrivacyBudget};
 }

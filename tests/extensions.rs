@@ -28,7 +28,7 @@ fn release_interop_across_all_methods() {
         Method::Flat,
     ];
     for m in methods {
-        let syn = m.build(&ds, 1.0, &mut rng(7)).unwrap();
+        let syn = m.build_boxed(&ds, 1.0, &mut rng(7)).unwrap();
         let rel = Release::from_synopsis(format!("{m:?}"), &syn);
         let mut buf = Vec::new();
         rel.write_json(&mut buf).unwrap();
@@ -55,8 +55,8 @@ fn ablation_variants_build_and_differ() {
         ci: false,
         fixed_m2: None,
     };
-    let a = base.build(&ds, 0.5, &mut rng(3)).unwrap();
-    let b = no_ci.build(&ds, 0.5, &mut rng(3)).unwrap();
+    let a = base.build_boxed(&ds, 0.5, &mut rng(3)).unwrap();
+    let b = no_ci.build_boxed(&ds, 0.5, &mut rng(3)).unwrap();
     assert_ne!(a.answer(&q), b.answer(&q));
 
     // Geometric UG answers are sums of integers on aligned queries.
@@ -65,7 +65,7 @@ fn ablation_variants_build_and_differ() {
         geometric: true,
         aspect: false,
     };
-    let g = geo.build(&ds, 1.0, &mut rng(4)).unwrap();
+    let g = geo.build_boxed(&ds, 1.0, &mut rng(4)).unwrap();
     let whole = *ds.domain().rect();
     let total = g.answer(&whole);
     assert!((total - total.round()).abs() < 1e-6);
@@ -76,7 +76,7 @@ fn ablation_variants_build_and_differ() {
         geometric: false,
         aspect: true,
     };
-    let a = aspect.build(&ds, 1.0, &mut rng(5)).unwrap();
+    let a = aspect.build_boxed(&ds, 1.0, &mut rng(5)).unwrap();
     let area: f64 = a.cells().iter().map(|(r, _)| r.area()).sum();
     assert!((area - ds.domain().area()).abs() < 1e-6);
 
@@ -92,7 +92,7 @@ fn ablation_variants_build_and_differ() {
 #[test]
 fn synthetic_from_any_release() {
     let ds = PaperDataset::Storage.generate_n(3, 2_000).unwrap();
-    let syn = Method::KdHybrid.build(&ds, 2.0, &mut rng(6)).unwrap();
+    let syn = Method::KdHybrid.build_boxed(&ds, 2.0, &mut rng(6)).unwrap();
     let rel = Release::from_synopsis("kd", &syn);
     let out = synthetic::synthesize(&rel, 1_000, &mut rng(7)).unwrap();
     assert_eq!(out.len(), 1_000);

@@ -1,7 +1,9 @@
-//! End-to-end pipeline tests: every method over every paper dataset.
+//! End-to-end publishing-pipeline tests: every method over every paper
+//! dataset, driven through the one construction path
+//! (`Method::build_boxed` / `Pipeline::publish`).
 
-use dpgrid::eval::Method;
 use dpgrid::prelude::*;
+use proptest::prelude::*;
 use rand::SeedableRng;
 
 fn rng(seed: u64) -> rand::rngs::StdRng {
@@ -20,6 +22,26 @@ fn all_methods() -> Vec<Method> {
         Method::KdHybrid,
         Method::hierarchy(16, 2, 2),
     ]
+}
+
+/// The full registry, ablation variants included — the list the
+/// determinism tests sweep.
+fn all_method_variants() -> Vec<Method> {
+    let mut methods = all_methods();
+    methods.extend([
+        Method::UgVariant {
+            m: Some(12),
+            geometric: true,
+            aspect: true,
+        },
+        Method::AgVariant {
+            m1: Some(6),
+            ci: false,
+            fixed_m2: Some(3),
+        },
+        Method::KdHybridVariant { stop_factor: 0.0 },
+    ]);
+    methods
 }
 
 #[test]
@@ -47,7 +69,7 @@ fn every_method_on_every_dataset() {
         ];
         for method in all_methods() {
             let syn = method
-                .build(&dataset, 1.0, &mut rng(42))
+                .build_boxed(&dataset, 1.0, &mut rng(42))
                 .unwrap_or_else(|e| panic!("{method:?} on {}: {e}", which.name()));
             for q in &queries {
                 let ans = syn.answer(q);
@@ -77,7 +99,7 @@ fn near_exact_at_large_epsilon() {
     let dataset = PaperDataset::Landmark.generate_n(2, 3_000).unwrap();
     let whole = *dataset.domain().rect();
     for method in all_methods() {
-        let syn = method.build(&dataset, 1e4, &mut rng(9)).unwrap();
+        let syn = method.build_boxed(&dataset, 1e4, &mut rng(9)).unwrap();
         let ans = syn.answer(&whole);
         assert!(
             (ans - 3_000.0).abs() < 1.5,
@@ -103,9 +125,19 @@ fn ag_beats_flat_on_clustered_data() {
         let y0 = rand::Rng::random_range(&mut r, d.y0()..d.y1() - h);
         queries.push(Rect::new(x0, y0, x0 + w, y0 + h).unwrap());
     }
-    let flat = Method::Flat.build(&dataset, 1.0, &mut rng(6)).unwrap();
-    let ag = Method::ag_suggested()
-        .build(&dataset, 1.0, &mut rng(7))
+    // Published through the pipeline: both methods go through exactly
+    // the same path a data owner would use.
+    let flat = Pipeline::new(&dataset)
+        .epsilon(1.0)
+        .method(Method::Flat)
+        .seed(6)
+        .publish()
+        .unwrap();
+    let ag = Pipeline::new(&dataset)
+        .epsilon(1.0)
+        .method(Method::ag_suggested())
+        .seed(7)
+        .publish()
         .unwrap();
     let err = |syn: &dyn Synopsis| -> f64 {
         queries
@@ -113,8 +145,8 @@ fn ag_beats_flat_on_clustered_data() {
             .map(|q| (syn.answer(q) - index.count(q) as f64).abs())
             .sum::<f64>()
     };
-    let flat_err = err(flat.as_ref());
-    let ag_err = err(ag.as_ref());
+    let flat_err = err(&flat);
+    let ag_err = err(&ag);
     assert!(
         ag_err < flat_err * 0.5,
         "AG total abs error {ag_err} not clearly below Flat {flat_err}"
@@ -125,8 +157,16 @@ fn ag_beats_flat_on_clustered_data() {
 fn epsilon_is_recorded_on_all_releases() {
     let dataset = PaperDataset::Storage.generate_n(4, 1_000).unwrap();
     for method in all_methods() {
-        let syn = method.build(&dataset, 0.25, &mut rng(11)).unwrap();
-        assert_eq!(syn.epsilon(), 0.25, "{method:?}");
+        let rel = Pipeline::new(&dataset)
+            .epsilon(0.25)
+            .method(method)
+            .seed(11)
+            .publish()
+            .unwrap();
+        assert_eq!(rel.epsilon(), 0.25, "{method:?}");
+        assert_eq!(rel.metadata().epsilon, 0.25, "{method:?}");
+        assert_eq!(rel.method_kind(), Some(&method), "{method:?}");
+        assert_eq!(rel.metadata().seed, Some(11), "{method:?}");
     }
 }
 
@@ -135,7 +175,7 @@ fn cells_partition_domain_for_all_methods() {
     let dataset = PaperDataset::Road.generate_n(5, 2_000).unwrap();
     let domain_area = dataset.domain().area();
     for method in all_methods() {
-        let syn = method.build(&dataset, 1.0, &mut rng(13)).unwrap();
+        let syn = method.build_boxed(&dataset, 1.0, &mut rng(13)).unwrap();
         let cells = syn.cells();
         let area: f64 = cells.iter().map(|(r, _)| r.area()).sum();
         assert!(
@@ -149,9 +189,13 @@ fn cells_partition_domain_for_all_methods() {
 fn synthetic_regeneration_roundtrip() {
     use dpgrid::core::synthetic;
     let dataset = PaperDataset::Landmark.generate_n(6, 20_000).unwrap();
-    let mut r = rng(15);
-    let ag = AdaptiveGrid::build(&dataset, &AgConfig::guideline(1.0), &mut r).unwrap();
-    let synth = synthetic::synthesize(&ag, 20_000, &mut r).unwrap();
+    let release = Pipeline::new(&dataset)
+        .epsilon(1.0)
+        .method(Method::ag_suggested())
+        .seed(15)
+        .publish()
+        .unwrap();
+    let synth = synthetic::synthesize(&release, 20_000, &mut rng(16)).unwrap();
     assert_eq!(synth.len(), 20_000);
     assert_eq!(synth.domain(), dataset.domain());
     // Densities correlate: compare 8x8 histograms.
@@ -167,4 +211,64 @@ fn synthetic_regeneration_roundtrip() {
     }
     let corr = dot / (n1.sqrt() * n2.sqrt());
     assert!(corr > 0.9, "density correlation {corr}");
+}
+
+/// Serialises a release to its canonical JSON bytes.
+fn json_bytes(rel: &Release) -> Vec<u8> {
+    let mut buf = Vec::new();
+    rel.write_json(&mut buf).unwrap();
+    buf
+}
+
+#[test]
+fn seeded_pipeline_is_byte_identical_across_all_variants() {
+    // Every registry entry, ablation variants included: publishing
+    // twice with the same seed must produce byte-identical JSON.
+    let dataset = PaperDataset::Storage.generate_n(7, 1_500).unwrap();
+    for method in all_method_variants() {
+        let publish = || {
+            Pipeline::new(&dataset)
+                .epsilon(0.8)
+                .method(method)
+                .seed(99)
+                .publish()
+                .unwrap()
+        };
+        assert_eq!(
+            json_bytes(&publish()),
+            json_bytes(&publish()),
+            "{method:?}: same seed must give identical releases"
+        );
+    }
+}
+
+proptest! {
+    /// Determinism is seed- and method-independent: any seed (the
+    /// metadata's string wire encoding is lossless over the full u64
+    /// range), any registry entry — the same publish twice is the same
+    /// bytes.
+    #[test]
+    fn pipeline_determinism_property(
+        seed in any::<u64>(),
+        method_idx in 0usize..12,
+        eps_scale in 1u32..40,
+    ) {
+        let dataset = PaperDataset::Checkin.generate_n(8, 1_200).unwrap();
+        let method = all_method_variants()[method_idx];
+        let epsilon = eps_scale as f64 * 0.05;
+        let publish = || {
+            Pipeline::new(&dataset)
+                .epsilon(epsilon)
+                .method(method)
+                .seed(seed)
+                .publish()
+                .unwrap()
+        };
+        let (a, b) = (publish(), publish());
+        prop_assert_eq!(json_bytes(&a), json_bytes(&b));
+        // And the recorded metadata survives a JSON round-trip intact.
+        let back = Release::read_json(&json_bytes(&a)[..]).unwrap();
+        prop_assert_eq!(back.metadata(), a.metadata());
+        prop_assert_eq!(back.metadata().seed, Some(seed));
+    }
 }

@@ -87,6 +87,25 @@ impl IntoSizeRange for RangeInclusive<usize> {
     }
 }
 
+/// Upstream's `any::<T>()`: the type's full-range standard
+/// distribution — every type the vendored `rand` can standard-sample
+/// (the integer widths over their whole range, `f32`/`f64` in
+/// `[0, 1)`, `bool`).
+pub fn any<T: rand::StandardSample>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::StandardSample> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random::<T>()
+    }
+}
+
 /// Strategy combinators, mirroring `proptest::prelude::prop`.
 pub mod prop {
     /// Collection strategies.
@@ -125,8 +144,8 @@ pub mod prop {
 
 /// Everything the `proptest!` macro and its callers need in scope.
 pub mod prelude {
-    pub use super::prop;
     pub use super::Strategy as _;
+    pub use super::{any, prop};
     pub use crate::{prop_assert, prop_assert_eq, proptest};
 }
 

@@ -319,12 +319,54 @@ impl_tuple! {
 // Derive-macro support
 // ---------------------------------------------------------------------
 
+/// Finds the first of `names` present in `obj` and deserialises it,
+/// or `None` when no name matches: the shared core of every struct
+/// field lookup the derive macro emits.
+fn lookup<T: Deserialize>(
+    obj: &[(String, Value)],
+    names: &[&str],
+    ty: &str,
+) -> Option<Result<T, Error>> {
+    for name in names {
+        if let Some((_, v)) = obj.iter().find(|(k, _)| k == name) {
+            return Some(
+                T::deserialize_value(v).map_err(|e| Error::msg(format!("{ty}.{name}: {e}"))),
+            );
+        }
+    }
+    None
+}
+
 /// Looks up and deserialises a struct field; used by the derive macro.
 pub fn field<T: Deserialize>(obj: &[(String, Value)], key: &str, ty: &str) -> Result<T, Error> {
-    match obj.iter().find(|(k, _)| k == key) {
-        Some((_, v)) => T::deserialize_value(v).map_err(|e| Error::msg(format!("{ty}.{key}: {e}"))),
-        None => Err(Error::msg(format!("{ty}: missing field `{key}`"))),
-    }
+    field_aliased(obj, &[key], ty)
+}
+
+/// Looks up a struct field under any of `names` (declaration name
+/// first, then its `#[serde(alias = "…")]` names, in order); used by
+/// the derive macro for aliased fields.
+pub fn field_aliased<T: Deserialize>(
+    obj: &[(String, Value)],
+    names: &[&str],
+    ty: &str,
+) -> Result<T, Error> {
+    lookup(obj, names, ty).unwrap_or_else(|| {
+        Err(Error::msg(format!(
+            "{ty}: missing field `{}`",
+            names.first().copied().unwrap_or("?")
+        )))
+    })
+}
+
+/// [`field_aliased`] for `#[serde(default)]` fields: a key that is
+/// present under none of `names` yields `T::default()` instead of an
+/// error (matching upstream serde's `default` semantics).
+pub fn field_aliased_or_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    names: &[&str],
+    ty: &str,
+) -> Result<T, Error> {
+    lookup(obj, names, ty).unwrap_or_else(|| Ok(T::default()))
 }
 
 #[cfg(test)]

@@ -4,7 +4,10 @@
 //! directly from the `proc_macro` token stream. Supported input shapes —
 //! exactly what this workspace defines:
 //!
-//! * structs with named fields (optionally `#[serde(skip)]` per field);
+//! * structs with named fields, with per-field `#[serde(skip)]`,
+//!   `#[serde(default)]` and `#[serde(alias = "…")]` (deserialization
+//!   accepts the alias names in addition to the field name, matching
+//!   upstream serde);
 //! * tuple structs;
 //! * enums with unit, tuple and struct variants (externally tagged,
 //!   matching upstream serde's JSON encoding).
@@ -22,12 +25,32 @@ struct Input {
 }
 
 enum Kind {
-    /// Named-field struct: `(field, skipped)` pairs in declaration order.
-    Struct(Vec<(String, bool)>),
+    /// Named-field struct: fields in declaration order.
+    Struct(Vec<Field>),
     /// Tuple struct with the given arity.
     TupleStruct(usize),
     /// Enum.
     Enum(Vec<Variant>),
+}
+
+/// One named struct field with its parsed `#[serde(...)]` attributes.
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+/// Field-level serde attributes this stub understands.
+#[derive(Default)]
+struct FieldAttrs {
+    /// `#[serde(skip)]`: never serialised, `Default::default()` on
+    /// deserialisation.
+    skip: bool,
+    /// `#[serde(default)]`: missing key deserialises to
+    /// `Default::default()` instead of erroring.
+    default: bool,
+    /// `#[serde(alias = "…")]` names accepted on deserialisation in
+    /// addition to the field name.
+    aliases: Vec<String>,
 }
 
 struct Variant {
@@ -63,34 +86,65 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 // Parsing
 // ---------------------------------------------------------------------
 
-/// True when the attribute group (the `[...]` after `#`) is
-/// `serde(... skip ...)`.
-fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+/// Parses the contents of a `serde(...)` attribute group into `attrs`.
+/// Understood entries: `skip`, `default`, `alias = "name"`; anything
+/// else panics (a compile error at the derive site) rather than being
+/// silently dropped.
+fn parse_serde_attr(group: &proc_macro::Group, attrs: &mut FieldAttrs) {
     let mut trees = group.stream().into_iter();
     match trees.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return false,
+        _ => return, // not a serde attribute (e.g. #[doc])
     }
-    match trees.next() {
-        Some(TokenTree::Group(inner)) => inner
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
-        _ => false,
+    let Some(TokenTree::Group(inner)) = trees.next() else {
+        return;
+    };
+    let tokens: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        match &tokens[pos] {
+            TokenTree::Ident(id) if id.to_string() == "skip" => {
+                attrs.skip = true;
+                pos += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                attrs.default = true;
+                pos += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "alias" => {
+                match (tokens.get(pos + 1), tokens.get(pos + 2)) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let raw = lit.to_string();
+                        let name = raw.trim_matches('"').to_string();
+                        assert!(
+                            raw.starts_with('"') && raw.ends_with('"') && !name.is_empty(),
+                            "#[serde(alias = ...)] expects a non-empty string literal, got {raw}"
+                        );
+                        attrs.aliases.push(name);
+                        pos += 3;
+                    }
+                    other => panic!("#[serde(alias = \"...\")] malformed near {other:?}"),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => pos += 1,
+            other => panic!("unsupported serde attribute entry: {other}"),
+        }
     }
 }
 
-/// Consumes leading `#[...]` attributes; returns whether any was
-/// `#[serde(skip)]`.
-fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
-    let mut skip = false;
+/// Consumes leading `#[...]` attributes, collecting any serde field
+/// attributes.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     while *pos < tokens.len() {
         match &tokens[*pos] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
                 *pos += 1;
                 match &tokens[*pos] {
                     TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {
-                        skip |= attr_is_serde_skip(g);
+                        parse_serde_attr(g, &mut attrs);
                         *pos += 1;
                     }
                     other => panic!("expected [...] after #, got {other}"),
@@ -99,7 +153,7 @@ fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
             _ => break,
         }
     }
-    skip
+    attrs
 }
 
 /// Consumes a `pub` / `pub(...)` visibility prefix if present.
@@ -154,13 +208,13 @@ fn count_top_level_items(stream: TokenStream) -> usize {
 }
 
 /// Parses the `{ ... }` body of a named-field struct (or struct
-/// variant) into `(name, skipped)` pairs.
-fn parse_named_fields(stream: TokenStream) -> Vec<(String, bool)> {
+/// variant) into [`Field`]s.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut pos = 0;
     while pos < tokens.len() {
-        let skipped = skip_attrs(&tokens, &mut pos);
+        let attrs = skip_attrs(&tokens, &mut pos);
         if pos >= tokens.len() {
             break;
         }
@@ -175,7 +229,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<(String, bool)> {
             other => panic!("expected `:` after field `{name}`, got {other}"),
         }
         skip_to_top_level_comma(&tokens, &mut pos);
-        fields.push((name, skipped));
+        fields.push(Field { name, attrs });
     }
     fields
 }
@@ -244,12 +298,12 @@ fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<Variant> {
                 Shape::Named(
                     parse_named_fields(g.stream())
                         .into_iter()
-                        .map(|(n, skipped)| {
+                        .map(|f| {
                             assert!(
-                                !skipped,
-                                "#[serde(skip)] unsupported on enum variant fields"
+                                !f.attrs.skip && !f.attrs.default && f.attrs.aliases.is_empty(),
+                                "serde field attributes unsupported on enum variant fields"
                             );
-                            n
+                            f.name
                         })
                         .collect(),
                 )
@@ -279,13 +333,14 @@ fn gen_serialize(item: &Input) -> String {
                 "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
                  ::std::vec::Vec::new();\n",
             );
-            for (f, skipped) in fields {
-                if *skipped {
+            for f in fields {
+                if f.attrs.skip {
                     continue;
                 }
+                let name = &f.name;
                 s.push_str(&format!(
-                    "__obj.push((::std::string::String::from(\"{f}\"), \
-                     ::serde::Serialize::serialize_value(&self.{f})));\n"
+                    "__obj.push((::std::string::String::from(\"{name}\"), \
+                     ::serde::Serialize::serialize_value(&self.{name})));\n"
                 ));
             }
             s.push_str("::serde::Value::Obj(__obj)");
@@ -364,12 +419,27 @@ fn gen_deserialize(item: &Input) -> String {
                  format!(\"{name}: expected object, got {{}}\", __v.kind())))?;\n\
                  ::core::result::Result::Ok({name} {{\n"
             );
-            for (f, skipped) in fields {
-                if *skipped {
-                    s.push_str(&format!("{f}: ::core::default::Default::default(),\n"));
+            for f in fields {
+                let fname = &f.name;
+                if f.attrs.skip {
+                    s.push_str(&format!("{fname}: ::core::default::Default::default(),\n"));
+                } else if f.attrs.default || !f.attrs.aliases.is_empty() {
+                    let names: Vec<String> = std::iter::once(fname.clone())
+                        .chain(f.attrs.aliases.iter().cloned())
+                        .map(|n| format!("\"{n}\""))
+                        .collect();
+                    let helper = if f.attrs.default {
+                        "field_aliased_or_default"
+                    } else {
+                        "field_aliased"
+                    };
+                    s.push_str(&format!(
+                        "{fname}: ::serde::{helper}(__obj, &[{}], \"{name}\")?,\n",
+                        names.join(", ")
+                    ));
                 } else {
                     s.push_str(&format!(
-                        "{f}: ::serde::field(__obj, \"{f}\", \"{name}\")?,\n"
+                        "{fname}: ::serde::field(__obj, \"{fname}\", \"{name}\")?,\n"
                     ));
                 }
             }
