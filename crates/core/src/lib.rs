@@ -83,7 +83,7 @@ pub use error::CoreError;
 pub use guidelines::{GridSize, NEstimate};
 pub use method::Method;
 pub use noise::{CountNoise, NoiseKind};
-pub use pipeline::Pipeline;
+pub use pipeline::{Pipeline, ReleaseSink};
 pub use release::{Release, ReleaseMetadata};
 pub use surface::{CompiledSurface, SurfaceKind};
 pub use uniform_grid::{UgConfig, UniformGrid};

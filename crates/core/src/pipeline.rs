@@ -39,6 +39,35 @@ use crate::method::BoxedSynopsis;
 use crate::release::ReleaseMetadata;
 use crate::{Method, Release, Result};
 
+/// A destination that takes ownership of published releases under a
+/// caller-chosen key — the zero-copy handoff seam between the
+/// publishing [`Pipeline`] and serving-side containers (a release
+/// catalog, a test harness, a plain map).
+///
+/// [`Pipeline::publish_into`] moves the freshly built [`Release`]
+/// straight into the sink: no clone, no re-serialisation, and the
+/// release's lazily compiled surface cache travels with it.
+pub trait ReleaseSink {
+    /// Takes ownership of `release`, registering it under `key`.
+    /// Accepting the same key again replaces (re-versions) the earlier
+    /// release — sinks that version keys define how.
+    fn accept_release(&mut self, key: String, release: Release);
+}
+
+/// The identity sink: collect published releases in insertion order.
+impl ReleaseSink for Vec<(String, Release)> {
+    fn accept_release(&mut self, key: String, release: Release) {
+        self.push((key, release));
+    }
+}
+
+/// Keyed sink with last-write-wins semantics.
+impl ReleaseSink for std::collections::HashMap<String, Release> {
+    fn accept_release(&mut self, key: String, release: Release) {
+        self.insert(key, release);
+    }
+}
+
 /// Fluent builder for publishing a differentially private release of a
 /// dataset.
 ///
@@ -119,6 +148,30 @@ impl<'a> Pipeline<'a> {
             seed: self.seed,
         };
         Ok(Release::from_synopsis_with_metadata(metadata, &synopsis))
+    }
+
+    /// Publishes and hands the release straight to `sink` under `key`
+    /// — the zero-copy path into serving-side containers such as
+    /// `dpgrid-serve`'s `Catalog`.
+    ///
+    /// ```
+    /// use dpgrid_core::{Method, Pipeline};
+    /// use dpgrid_geo::generators::PaperDataset;
+    /// use std::collections::HashMap;
+    ///
+    /// let dataset = PaperDataset::Storage.generate_n(1, 2_000).unwrap();
+    /// let mut sink: HashMap<String, dpgrid_core::Release> = HashMap::new();
+    /// Pipeline::new(&dataset)
+    ///     .method(Method::ug(8))
+    ///     .seed(7)
+    ///     .publish_into(&mut sink, "storage-v1")
+    ///     .unwrap();
+    /// assert!(sink.contains_key("storage-v1"));
+    /// ```
+    pub fn publish_into<S: ReleaseSink>(&self, sink: &mut S, key: impl Into<String>) -> Result<()> {
+        let release = self.publish()?;
+        sink.accept_release(key.into(), release);
+        Ok(())
     }
 }
 
@@ -220,6 +273,26 @@ mod tests {
         assert_eq!(syn.epsilon(), 2.0);
         let whole = Rect::new(0.0, 0.0, 10.0, 10.0).unwrap();
         assert!((syn.answer(&whole) - 2_000.0).abs() < 500.0);
+    }
+
+    #[test]
+    fn publish_into_moves_releases_in_order() {
+        let ds = dataset();
+        let mut sink: Vec<(String, Release)> = Vec::new();
+        for (key, seed) in [("a", 1u64), ("b", 2)] {
+            Pipeline::new(&ds)
+                .method(Method::ug(8))
+                .seed(seed)
+                .publish_into(&mut sink, key)
+                .unwrap();
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink[0].0, "a");
+        assert_eq!(sink[1].0, "b");
+        assert_eq!(sink[0].1.metadata().seed, Some(1));
+        // The sink owns real releases, not copies of a shared one.
+        let q = Rect::new(0.0, 0.0, 5.0, 5.0).unwrap();
+        assert_ne!(sink[0].1.answer(&q), sink[1].1.answer(&q));
     }
 
     #[test]

@@ -39,7 +39,7 @@
 
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -169,9 +169,12 @@ pub struct Release {
     cells: Vec<(Rect, f64)>,
     /// Query index compiled from `cells` on first answer; pure cache
     /// (derived data), so it is skipped by serialisation and reset by
-    /// deserialisation.
+    /// deserialisation. Held behind an [`Arc`] so clones of the release
+    /// — and serving-side containers such as a release catalog — share
+    /// one compilation instead of each recompiling (or deep-copying)
+    /// the index.
     #[serde(skip)]
-    surface: OnceLock<CompiledSurface>,
+    surface: OnceLock<Arc<CompiledSurface>>,
 }
 
 impl Release {
@@ -292,10 +295,46 @@ impl Release {
     ///
     /// Compilation is pure post-processing of already-released values;
     /// it costs O(cells·log cells) once and makes every subsequent
-    /// [`Release::answer`] O(log cells).
+    /// [`Release::answer`] O(log cells). The compilation is shared:
+    /// clones of this release (and every [`Release::shared_surface`]
+    /// handle) reuse the same index — a release is compiled at most
+    /// once for its lifetime in memory.
     pub fn surface(&self) -> &CompiledSurface {
+        self.init_surface()
+    }
+
+    /// A shared, reference-counted handle to the compiled surface,
+    /// building it on first use.
+    ///
+    /// This is the serving-side seam: a catalog or query engine can
+    /// hand the `Arc` to worker threads (the surface is `Send + Sync`)
+    /// without cloning cell lists, and [`Arc::ptr_eq`] witnesses that
+    /// no path recompiled an already-compiled release.
+    pub fn shared_surface(&self) -> Arc<CompiledSurface> {
+        Arc::clone(self.init_surface())
+    }
+
+    /// Whether the surface cache is currently populated (compilation
+    /// already happened and was not evicted).
+    pub fn surface_is_compiled(&self) -> bool {
+        self.surface.get().is_some()
+    }
+
+    /// Drops the cached compiled surface, returning the evicted handle
+    /// if one was resident.
+    ///
+    /// Existing [`Release::shared_surface`] handles stay valid — the
+    /// index is reference-counted — but the *next* answer through this
+    /// release recompiles. Capacity-bounded serving caches use this to
+    /// bound the number of resident compiled indexes; it never touches
+    /// the released cells, so it is pure cache management.
+    pub fn evict_surface(&mut self) -> Option<Arc<CompiledSurface>> {
+        self.surface.take()
+    }
+
+    fn init_surface(&self) -> &Arc<CompiledSurface> {
         self.surface
-            .get_or_init(|| CompiledSurface::compile(self.domain, &self.cells))
+            .get_or_init(|| Arc::new(CompiledSurface::compile(self.domain, &self.cells)))
     }
 
     /// Reference implementation of [`Release::answer`]: the naive
@@ -542,6 +581,42 @@ mod tests {
         let back = Release::load(&path).unwrap();
         assert_eq!(back.method(), "UG-file");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn clones_share_one_compiled_surface() {
+        let ds = dataset();
+        let ug = UniformGrid::build(&ds, &UgConfig::fixed(1.0, 8), &mut rng(11)).unwrap();
+        let rel = Release::from_synopsis("UG", &ug);
+        assert!(!rel.surface_is_compiled());
+        let s1 = rel.shared_surface();
+        assert!(rel.surface_is_compiled());
+        // A clone taken after compilation carries the same Arc — no
+        // recompilation, no deep copy of the index.
+        let cloned = rel.clone();
+        assert!(cloned.surface_is_compiled());
+        assert!(Arc::ptr_eq(&s1, &cloned.shared_surface()));
+        assert!(Arc::ptr_eq(&s1, &rel.shared_surface()));
+    }
+
+    #[test]
+    fn evicted_surface_recompiles_fresh() {
+        let ds = dataset();
+        let ug = UniformGrid::build(&ds, &UgConfig::fixed(1.0, 8), &mut rng(12)).unwrap();
+        let mut rel = Release::from_synopsis("UG", &ug);
+        let q = Rect::new(1.0, 1.0, 5.0, 5.0).unwrap();
+        let before = rel.answer(&q);
+        let s1 = rel.shared_surface();
+        let evicted = rel.evict_surface().expect("surface was resident");
+        assert!(Arc::ptr_eq(&s1, &evicted));
+        assert!(!rel.surface_is_compiled());
+        assert!(rel.evict_surface().is_none());
+        // The evicted handle still answers; the release recompiles to a
+        // distinct but equivalent index.
+        let s2 = rel.shared_surface();
+        assert!(!Arc::ptr_eq(&s1, &s2));
+        assert_eq!(s1.answer(&q), before);
+        assert_eq!(rel.answer(&q), before);
     }
 
     #[test]

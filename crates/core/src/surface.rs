@@ -23,10 +23,27 @@
 //! [`dpgrid_geo::answer_all_batched`] driver, mirroring the evaluation
 //! runner's method-level parallelism.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use dpgrid_geo::cell_index::CellIndex;
 use dpgrid_geo::{answer_all_batched, Domain, Rect};
 
 use crate::Synopsis;
+
+/// Process-wide count of [`CompiledSurface::compile`] runs.
+static COMPILE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Number of surface compilations this process has performed, ever.
+///
+/// Compilation is the expensive once-per-release step the serving
+/// layer is built to amortise, so this counter is the ground truth for
+/// "no code path recompiles an already-compiled surface" regression
+/// tests and for serving-side diagnostics. The single relaxed atomic
+/// increment per compilation is noise next to the O(cells·log cells)
+/// build it counts.
+pub fn compile_count() -> u64 {
+    COMPILE_COUNT.load(Ordering::Relaxed)
+}
 
 /// Which index a [`CompiledSurface`] compiled to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +84,7 @@ impl CompiledSurface {
     /// Compiles a cell list over `domain`. Infallible: degenerate cells
     /// are ignored and an empty list answers `0` everywhere.
     pub fn compile(domain: Domain, cells: &[(Rect, f64)]) -> Self {
+        COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
         let index = CellIndex::build(cells);
         let cells_inside_domain = cells
             .iter()

@@ -16,8 +16,14 @@
 //!   of identical y-extent, each band keeping its cells sorted by `x0`
 //!   with prefix sums; bands intersecting the query's y-range are found
 //!   through a segment tree over band start coordinates with max-end
-//!   pruning. A query costs O(log bands + stabbed·log cells-per-band),
-//!   where only bands genuinely overlapping the query are stabbed.
+//!   pruning, and every tree node doubles as a level of a coarse
+//!   y-skip-list: it pre-aggregates its subtree's bounding extents and
+//!   value sum, so a subtree lying entirely inside the query is
+//!   absorbed in O(1) instead of stabbing each band. A query costs
+//!   O(log bands + boundary·log cells-per-band), where only the bands
+//!   *partially* covered at the query's rim are stabbed — wide
+//!   dashboard-style queries touch O(log bands) nodes total instead of
+//!   O(bands).
 //!
 //! Both indexes reproduce the *uniformity assumption* semantics of
 //! [`Rect::overlap_fraction`] exactly (up to floating-point roundoff):
@@ -325,21 +331,87 @@ impl Band {
     }
 }
 
-/// The general path: a sorted row-bucket / interval index.
+/// Traversal statistics of one [`BandIndex`] query — how much of the
+/// band structure the answer actually touched.
+///
+/// Exposed so regression tests (and capacity planning) can assert the
+/// skip-list bound: a query fully covering `k` interior bands must
+/// absorb them through O(log bands) aggregated nodes
+/// (`nodes_absorbed`) and stab only the O(1) partially covered rim
+/// bands (`bands_stabbed`), never scale with `k`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BandStabStats {
+    /// Segment-tree nodes visited (including absorbed and pruned ones).
+    pub nodes_visited: usize,
+    /// Bands answered individually (partial overlap at the query rim).
+    pub bands_stabbed: usize,
+    /// Subtrees absorbed whole through their pre-aggregated sum.
+    pub nodes_absorbed: usize,
+}
+
+/// The general path: a sorted row-bucket / interval index with a
+/// coarse y-skip-list over the bands.
 ///
 /// Bands are ordered by `y0`; a segment tree storing each subrange's
 /// maximum `y1` prunes whole subtrees that end before the query starts,
 /// so a stab visits O(log bands) tree nodes plus the bands actually
-/// intersecting the query's y-range.
+/// intersecting the query's y-range. Each node additionally carries its
+/// subtree's bounding y/x extents and total value — the coarse levels
+/// of a deterministic skip list — so a subtree *fully contained* in the
+/// query contributes its precomputed sum in O(1) instead of being
+/// walked band by band. Wide queries therefore decompose canonically:
+/// O(log bands) absorbed nodes plus the partially covered rim bands.
 #[derive(Debug, Clone)]
 pub struct BandIndex {
     bands: Vec<Band>,
-    /// Segment-tree (1-indexed, size `2·bands.len()` rounded up to a
-    /// power of two) of maximum `y1` per subrange.
-    max_y1: Vec<f64>,
+    /// Segment-tree node aggregates (1-indexed, size `2·bands.len()`
+    /// rounded up to a power of two). One struct per node keeps the
+    /// prune *and* absorb tests on a single cache line — the stab walk
+    /// is memory-bound, so split parallel arrays would cost one miss
+    /// per field instead of one per node.
+    nodes: Vec<NodeAgg>,
     /// Leaf count of the segment tree (power of two ≥ `bands.len()`).
     tree_base: usize,
     total: f64,
+}
+
+/// Per-subtree aggregates: the pruning bound plus the skip-list
+/// payload. Empty slots hold sign-appropriate infinities (and sum 0)
+/// so they prune and absorb vacuously without edge guards.
+#[derive(Debug, Clone, Copy)]
+struct NodeAgg {
+    /// Maximum band `y1` (`-inf` when empty) — the pruning bound.
+    max_y1: f64,
+    /// Minimum band `y0` (`+inf` when empty). Bands are y0-sorted, so
+    /// this equals the leftmost live band's `y0`.
+    min_y0: f64,
+    /// Minimum cell `x0` (`+inf` when empty).
+    min_x0: f64,
+    /// Maximum cell `x1` (`-inf` when empty).
+    max_x1: f64,
+    /// Total cell value — the sum absorbed when the subtree is fully
+    /// inside the query.
+    sum: f64,
+}
+
+impl NodeAgg {
+    const EMPTY: NodeAgg = NodeAgg {
+        max_y1: f64::NEG_INFINITY,
+        min_y0: f64::INFINITY,
+        min_x0: f64::INFINITY,
+        max_x1: f64::NEG_INFINITY,
+        sum: 0.0,
+    };
+
+    fn merge(a: &NodeAgg, b: &NodeAgg) -> NodeAgg {
+        NodeAgg {
+            max_y1: a.max_y1.max(b.max_y1),
+            min_y0: a.min_y0.min(b.min_y0),
+            min_x0: a.min_x0.min(b.min_x0),
+            max_x1: a.max_x1.max(b.max_x1),
+            sum: a.sum + b.sum,
+        }
+    }
 }
 
 impl BandIndex {
@@ -406,18 +478,30 @@ impl BandIndex {
             .map(|b| b.prefix.last().expect("non-empty prefix"))
             .sum();
 
-        // Max-y1 segment tree over bands (which are sorted by y0).
+        // Aggregate segment tree over bands (which are sorted by y0):
+        // max y1 for pruning, plus the skip-list payload — subtree
+        // bounding extents and value sums — for O(1) absorption of
+        // fully covered subtrees.
         let tree_base = bands.len().next_power_of_two().max(1);
-        let mut max_y1 = vec![f64::NEG_INFINITY; 2 * tree_base];
+        let mut nodes = vec![NodeAgg::EMPTY; 2 * tree_base];
         for (i, b) in bands.iter().enumerate() {
-            max_y1[tree_base + i] = b.y1;
+            nodes[tree_base + i] = NodeAgg {
+                max_y1: b.y1,
+                min_y0: b.y0,
+                // Cells are x0-sorted, so the band's leftmost edge is
+                // the first x0; right edges are only co-sorted for
+                // disjoint bands, so take the explicit max.
+                min_x0: b.x0s.first().copied().unwrap_or(f64::INFINITY),
+                max_x1: b.x1s.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                sum: *b.prefix.last().expect("non-empty prefix"),
+            };
         }
         for i in (1..tree_base).rev() {
-            max_y1[i] = max_y1[2 * i].max(max_y1[2 * i + 1]);
+            nodes[i] = NodeAgg::merge(&nodes[2 * i], &nodes[2 * i + 1]);
         }
         BandIndex {
             bands,
-            max_y1,
+            nodes,
             tree_base,
             total,
         }
@@ -428,36 +512,79 @@ impl BandIndex {
         self.bands.len()
     }
 
-    /// Answers a query in O(log bands + k·log band-width) where `k` is
-    /// the number of bands intersecting the query's y-range.
+    /// Answers a query in O(log bands + boundary·log band-width) where
+    /// `boundary` is the number of bands only *partially* covered by
+    /// the query; fully covered interior runs are absorbed through the
+    /// skip-list aggregates without being stabbed.
     pub fn answer(&self, query: &Rect) -> f64 {
+        self.answer_with_stats(query).0
+    }
+
+    /// [`BandIndex::answer`] plus the [`BandStabStats`] describing how
+    /// the tree walk decomposed the query — for skip-list regression
+    /// tests and serving-side diagnostics.
+    pub fn answer_with_stats(&self, query: &Rect) -> (f64, BandStabStats) {
+        let mut stats = BandStabStats::default();
         if self.bands.is_empty() || query.is_empty() {
-            return 0.0;
+            return (0.0, stats);
         }
         // Candidate bands start before the query ends...
         let ub = self.bands.partition_point(|b| b.y0 < query.y1());
         if ub == 0 {
-            return 0.0;
+            return (0.0, stats);
         }
         // ...and the tree prunes those ending before the query starts.
         let mut sum = 0.0;
-        self.stab(1, 0, self.tree_base, ub, query, &mut sum);
-        sum
+        self.stab(1, 0, self.tree_base, ub, query, &mut sum, &mut stats);
+        (sum, stats)
     }
 
     /// Recursive pruned walk: node `node` covers band indices
     /// `[lo, hi)`; only indices `< ub` are candidates.
-    fn stab(&self, node: usize, lo: usize, hi: usize, ub: usize, query: &Rect, sum: &mut f64) {
-        if lo >= ub || lo >= self.bands.len() || self.max_y1[node] <= query.y0() {
+    #[allow(clippy::too_many_arguments)]
+    fn stab(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        ub: usize,
+        query: &Rect,
+        sum: &mut f64,
+        stats: &mut BandStabStats,
+    ) {
+        stats.nodes_visited += 1;
+        let agg = &self.nodes[node];
+        if lo >= ub || lo >= self.bands.len() || agg.max_y1 <= query.y0() {
+            return;
+        }
+        // Coarse skip: every band in this subtree lies fully inside the
+        // query (its y-extent inside [qy0, qy1], every cell's x-extent
+        // inside [qx0, qx1]), so each contributes exactly its total and
+        // the precomputed subtree sum is the exact answer share. A band
+        // beyond `ub` can never pass this test — it would need
+        // y1 ≤ qy1 ≤ y0, impossible for a non-degenerate band — and
+        // empty slots pass vacuously with sum 0, so neither needs a
+        // separate guard.
+        // The x-conditions lead the chain: stab-heavy queries (narrow
+        // in x, tall in y) fail them at every node, so they
+        // short-circuit the test where it runs most often.
+        if agg.min_x0 >= query.x0()
+            && agg.max_x1 <= query.x1()
+            && agg.min_y0 >= query.y0()
+            && agg.max_y1 <= query.y1()
+        {
+            *sum += agg.sum;
+            stats.nodes_absorbed += 1;
             return;
         }
         if hi - lo == 1 {
             *sum += self.bands[lo].answer(query);
+            stats.bands_stabbed += 1;
             return;
         }
         let mid = (lo + hi) / 2;
-        self.stab(2 * node, lo, mid, ub, query, sum);
-        self.stab(2 * node + 1, mid, hi, ub, query, sum);
+        self.stab(2 * node, lo, mid, ub, query, sum, stats);
+        self.stab(2 * node + 1, mid, hi, ub, query, sum, stats);
     }
 
     /// Sum of all values.
@@ -735,6 +862,126 @@ mod tests {
         assert!(matches!(index, CellIndex::Bands(_)));
         let domain = Rect::new(0.0, 0.0, 10.0, n as f64).unwrap();
         assert_matches_scan(&cells, &index, &query_mix(&domain));
+    }
+
+    /// KD-like staircase partition: `n` rows, each split at a unique x
+    /// offset, so no affordable lattice exists and every row is its own
+    /// band.
+    fn staircase_cells(n: usize) -> Vec<(Rect, f64)> {
+        let mut cells = Vec::new();
+        for i in 0..n {
+            let y0 = i as f64;
+            let split = 0.3 + 9.0 * (i as f64) / n as f64;
+            cells.push((
+                Rect::new(0.0, y0, split, y0 + 1.0).unwrap(),
+                (i % 7) as f64 - 2.0,
+            ));
+            cells.push((Rect::new(split, y0, 10.0, y0 + 1.0).unwrap(), 2.0));
+        }
+        cells
+    }
+
+    #[test]
+    fn skip_list_absorbs_wide_queries() {
+        // A query fully covering interior bands and half-covering the
+        // first and last one: the interior run must be absorbed through
+        // aggregated nodes, leaving exactly the two rim bands stabbed.
+        let n = 256;
+        let cells = staircase_cells(n);
+        let index = BandIndex::build(&cells);
+        assert_eq!(index.band_count(), n);
+        let wide = Rect::new(-1.0, 0.5, 11.0, n as f64 - 0.5).unwrap();
+        let (got, stats) = index.answer_with_stats(&wide);
+        let expect = linear_scan(&cells, &wide);
+        assert!(
+            (got - expect).abs() <= 1e-9 * (1.0 + expect.abs()),
+            "wide query: {got} vs {expect}"
+        );
+        assert_eq!(stats.bands_stabbed, 2, "only the rim bands may be stabbed");
+        assert!(
+            stats.nodes_absorbed >= 2,
+            "interior bands must be absorbed through aggregate nodes"
+        );
+        // A query covering everything absorbs at the root: one visit.
+        let all = Rect::new(-1.0, -1.0, 11.0, n as f64 + 1.0).unwrap();
+        let (got, stats) = index.answer_with_stats(&all);
+        assert!((got - index.total()).abs() <= 1e-9 * (1.0 + index.total().abs()));
+        assert_eq!(stats.nodes_visited, 1);
+        assert_eq!(stats.nodes_absorbed, 1);
+        assert_eq!(stats.bands_stabbed, 0);
+    }
+
+    #[test]
+    fn skip_list_scales_logarithmically_with_band_count() {
+        // Quadrupling the band count must grow the visited-node count
+        // by O(log) — a handful of extra tree levels — while the
+        // stabbed-band count stays constant at the two rim bands.
+        let mut visited_by_n = Vec::new();
+        for n in [64usize, 256, 1024] {
+            let cells = staircase_cells(n);
+            let index = BandIndex::build(&cells);
+            let wide = Rect::new(-1.0, 0.5, 11.0, n as f64 - 0.5).unwrap();
+            let (got, stats) = index.answer_with_stats(&wide);
+            let expect = linear_scan(&cells, &wide);
+            assert!((got - expect).abs() <= 1e-9 * (1.0 + expect.abs()));
+            assert_eq!(stats.bands_stabbed, 2, "n = {n}");
+            let log2n = n.ilog2() as usize;
+            assert!(
+                stats.nodes_visited <= 6 * log2n,
+                "n = {n}: visited {} nodes, want O(log n)",
+                stats.nodes_visited
+            );
+            visited_by_n.push(stats.nodes_visited);
+        }
+        // Each 4x step in bands may add at most ~4 levels of the walk
+        // (two root-to-rim paths, two levels per 4x).
+        for w in visited_by_n.windows(2) {
+            assert!(
+                w[1] <= w[0] + 16,
+                "visited counts {visited_by_n:?} grow super-logarithmically"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_list_matches_scan_on_adversarial_sets() {
+        // The absorb path must stay faithful on irregular and
+        // overlapping (non-partition) inputs, including queries whose
+        // edges coincide with band and cell boundaries.
+        let mut adversarial = staircase_cells(48);
+        // Overlapping extras: break the disjointness invariant.
+        adversarial.push((Rect::new(2.0, 3.0, 9.0, 11.5).unwrap(), 5.0));
+        adversarial.push((Rect::new(1.0, 3.0, 4.0, 11.5).unwrap(), -3.0));
+        for cells in [adaptive_cells(), adversarial] {
+            let index = BandIndex::build(&cells);
+            let bbox = cells
+                .iter()
+                .fold(None::<Rect>, |acc, (r, _)| {
+                    Some(match acc {
+                        None => *r,
+                        Some(b) => Rect::new(
+                            b.x0().min(r.x0()),
+                            b.y0().min(r.y0()),
+                            b.x1().max(r.x1()),
+                            b.y1().max(r.y1()),
+                        )
+                        .unwrap(),
+                    })
+                })
+                .unwrap();
+            let (x0, y0, x1, y1) = (bbox.x0(), bbox.y0(), bbox.x1(), bbox.y1());
+            let (w, h) = (bbox.width(), bbox.height());
+            let wrapped = CellIndex::Bands(index);
+            let mut queries = query_mix(&bbox);
+            queries.extend([
+                // Wide interiors hitting the absorb path.
+                Rect::new(x0 - 1.0, y0 + 0.1 * h, x1 + 1.0, y1 - 0.1 * h).unwrap(),
+                Rect::new(x0 + 0.05 * w, y0 - 1.0, x1 - 0.05 * w, y1 + 1.0).unwrap(),
+                // Band-aligned edges: absorb boundaries exactly on y0/y1.
+                Rect::new(x0, y0 + 1.0, x1, y1 - 1.0).unwrap(),
+            ]);
+            assert_matches_scan(&cells, &wrapped, &queries);
+        }
     }
 
     #[test]

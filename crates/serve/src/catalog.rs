@@ -1,0 +1,645 @@
+//! The release catalog: keyed, versioned releases plus a
+//! capacity-bounded LRU of compiled surfaces.
+//!
+//! A [`Catalog`] owns [`Release`]s under string keys. Releases arrive
+//! from memory ([`Catalog::insert`], or zero-copy from a publishing
+//! pipeline via [`dpgrid_core::Pipeline::publish_into`]) or from a
+//! directory of release JSON files ([`Catalog::load_dir`]). Inserting
+//! under an existing key *re-versions* it: the version counter bumps
+//! and the stale compiled surface is dropped.
+//!
+//! Compiled surfaces — the O(cells) indexes releases answer through —
+//! are the memory-heavy part, so the catalog keeps at most
+//! [`Catalog::capacity`] of them resident, evicting the
+//! least-recently-used one ([`Release::evict_surface`]) when a lookup
+//! compiles past the bound. Eviction is pure cache management: leased
+//! [`SurfaceHandle`]s stay valid (the index is reference-counted), and
+//! a later lookup of an evicted key recompiles from the retained
+//! cells. A resident surface is never recompiled — lookups hand out
+//! clones of the same `Arc`.
+//!
+//! Lookups are two-phase so a catalog behind a lock never compiles
+//! while holding it: [`Catalog::lease`] resolves warm hits or hands
+//! out a [`ColdLease`], the caller runs [`ColdLease::compile`] outside
+//! the lock (per-release `OnceLock` serialisation keeps it
+//! exactly-once), and [`Catalog::note_compiled`] folds the new
+//! resident surface into the LRU. [`Catalog::surface`] bundles both
+//! phases for direct (unlocked) owners.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use dpgrid_core::{CompiledSurface, Release, ReleaseSink};
+
+use crate::error::{Result, ServeError};
+
+/// Default bound on resident compiled surfaces.
+pub const DEFAULT_SURFACE_CAPACITY: usize = 64;
+
+/// Whether a surface lookup was served from the resident cache or had
+/// to compile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheState {
+    /// The compiled surface was already resident.
+    Warm,
+    /// The surface was compiled (first touch, or refetch after
+    /// eviction / re-versioning) during this lookup.
+    Cold,
+}
+
+/// A leased compiled surface plus the lookup's provenance, as returned
+/// by [`Catalog::surface`].
+#[derive(Debug, Clone)]
+pub struct SurfaceHandle {
+    /// The shared compiled surface; valid even after the catalog
+    /// evicts or replaces the release.
+    pub surface: Arc<CompiledSurface>,
+    /// Whether this lookup hit the resident cache.
+    pub cache: CacheState,
+    /// Version of the release answered (1 on first insert, bumped by
+    /// every re-insert of the key).
+    pub version: u64,
+}
+
+/// Point-in-time catalog counters (see [`Catalog::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Releases currently held.
+    pub releases: usize,
+    /// Compiled surfaces currently resident.
+    pub warm: usize,
+    /// Residency bound.
+    pub capacity: usize,
+    /// Surface lookups served since creation.
+    pub lookups: u64,
+    /// Lookups that found the surface resident.
+    pub warm_hits: u64,
+    /// Surface compilations performed.
+    pub compilations: u64,
+    /// Surfaces evicted by the LRU bound.
+    pub evictions: u64,
+}
+
+/// A leased release awaiting its surface compilation — phase one of
+/// the two-phase cold lookup (see [`Catalog::lease`]).
+///
+/// The holder compiles **outside** the catalog lock via
+/// [`ColdLease::compile`] (the release's own `OnceLock` serialises
+/// concurrent compiles of the same release), then reports back with
+/// [`Catalog::note_compiled`] so the LRU can account for the new
+/// resident surface.
+#[derive(Debug, Clone)]
+pub struct ColdLease {
+    release: Arc<Release>,
+    version: u64,
+}
+
+impl ColdLease {
+    /// Compiles (or joins an in-flight compilation of) the release's
+    /// surface. Run this without holding any catalog lock.
+    pub fn compile(&self) -> SurfaceHandle {
+        SurfaceHandle {
+            surface: self.release.shared_surface(),
+            cache: CacheState::Cold,
+            version: self.version,
+        }
+    }
+
+    /// Version of the leased release.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// One [`Catalog::lease`] outcome: resident surface or a cold lease to
+/// compile outside the lock.
+#[derive(Debug, Clone)]
+pub enum Lease {
+    /// The surface was resident; the handle is ready.
+    Warm(SurfaceHandle),
+    /// The surface must be compiled; see [`ColdLease`].
+    Cold(ColdLease),
+}
+
+#[derive(Debug)]
+struct CatalogEntry {
+    /// Shared so cold compilations can run outside the catalog lock;
+    /// the catalog itself holds the only long-lived reference (leases
+    /// hold a second one just for the duration of a compile).
+    release: Arc<Release>,
+    version: u64,
+    hits: u64,
+    /// Version whose compilation was last counted (0 = none since the
+    /// last insert/eviction) — keeps `compilations` exact when racing
+    /// reporters or late `note_compiled` calls arrive for work the
+    /// counter already recorded.
+    counted_version: u64,
+}
+
+/// Keyed, versioned releases with a capacity-bounded LRU of compiled
+/// surfaces.
+#[derive(Debug)]
+pub struct Catalog {
+    entries: HashMap<String, CatalogEntry>,
+    /// Keys whose surfaces are resident, least-recently-used first.
+    /// Catalogs hold few enough releases that the O(warm) touch is
+    /// noise next to one surface compilation.
+    lru: Vec<String>,
+    capacity: usize,
+    lookups: u64,
+    warm_hits: u64,
+    compilations: u64,
+    evictions: u64,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
+}
+
+impl Catalog {
+    /// An empty catalog bounded at [`DEFAULT_SURFACE_CAPACITY`]
+    /// resident surfaces.
+    pub fn new() -> Self {
+        Catalog::with_capacity(DEFAULT_SURFACE_CAPACITY)
+    }
+
+    /// An empty catalog keeping at most `capacity` (≥ 1) compiled
+    /// surfaces resident.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Catalog {
+            entries: HashMap::new(),
+            lru: Vec::new(),
+            capacity: capacity.max(1),
+            lookups: 0,
+            warm_hits: 0,
+            compilations: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Loads every `*.json` release in `dir` into a fresh catalog,
+    /// keyed by file stem (see [`Catalog::load_dir`]).
+    pub fn from_dir(dir: impl AsRef<Path>) -> Result<Self> {
+        let mut catalog = Catalog::new();
+        catalog.load_dir(dir)?;
+        Ok(catalog)
+    }
+
+    /// Loads every `*.json` file in `dir` as a release keyed by its
+    /// file stem, in lexicographic order (so re-versioned dumps load
+    /// deterministically). Returns the keys inserted.
+    ///
+    /// Each file goes through [`Release::load`], which re-validates the
+    /// release invariants — a directory of untrusted dumps cannot
+    /// smuggle malformed cells into the serving path.
+    pub fn load_dir(&mut self, dir: impl AsRef<Path>) -> Result<Vec<String>> {
+        let dir = dir.as_ref();
+        let io_err = |e: std::io::Error| ServeError::Io {
+            path: dir.to_path_buf(),
+            source: e,
+        };
+        let mut paths: Vec<_> = std::fs::read_dir(dir)
+            .map_err(io_err)?
+            .collect::<std::io::Result<Vec<_>>>()
+            .map_err(io_err)?
+            .into_iter()
+            .map(|entry| entry.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        paths.sort();
+        let mut keys = Vec::with_capacity(paths.len());
+        for path in paths {
+            let stem = path.file_stem().and_then(|s| s.to_str()).ok_or_else(|| {
+                ServeError::InvalidKey(format!(
+                    "release file {} has a non-UTF-8 stem",
+                    path.display()
+                ))
+            })?;
+            let release = Release::load(&path)?;
+            self.insert(stem, release);
+            keys.push(stem.to_string());
+        }
+        Ok(keys)
+    }
+
+    /// Inserts (or re-versions) `release` under `key`, returning the
+    /// assigned version: 1 for a new key, previous + 1 when replacing.
+    /// Replacing drops the stale compiled surface from the LRU. A
+    /// release arriving *already compiled* (e.g. a clone of a warm
+    /// release — clones share their surface) counts against the
+    /// residency bound immediately, so inserts cannot smuggle resident
+    /// surfaces past the LRU.
+    pub fn insert(&mut self, key: impl Into<String>, release: Release) -> u64 {
+        let key = key.into();
+        let version = match self.entries.get(&key) {
+            Some(old) => old.version + 1,
+            None => 1,
+        };
+        self.lru.retain(|k| k != &key);
+        let compiled = release.surface_is_compiled();
+        self.entries.insert(
+            key.clone(),
+            CatalogEntry {
+                release: Arc::new(release),
+                version,
+                hits: 0,
+                counted_version: 0,
+            },
+        );
+        if compiled {
+            self.touch(&key);
+        } else {
+            // Inserts are also collection points for overflow left by
+            // eviction attempts that had to defer (victims mid-compile
+            // elsewhere) — the bound must not wait for the next lookup.
+            self.enforce_capacity();
+        }
+        version
+    }
+
+    /// Removes `key` and returns its release, if held.
+    pub fn remove(&mut self, key: &str) -> Option<Release> {
+        self.lru.retain(|k| k != key);
+        self.entries.remove(key).map(|e| {
+            // Unshared in the common case; a clone (sharing the
+            // compiled surface, copying cells) covers a remove racing
+            // an in-flight cold lease.
+            Arc::try_unwrap(e.release).unwrap_or_else(|arc| (*arc).clone())
+        })
+    }
+
+    /// The release under `key`, if held. Does not touch the LRU.
+    pub fn release(&self, key: &str) -> Option<&Release> {
+        self.entries.get(key).map(|e| e.release.as_ref())
+    }
+
+    /// The current version of `key`, if held.
+    pub fn version(&self, key: &str) -> Option<u64> {
+        self.entries.get(key).map(|e| e.version)
+    }
+
+    /// Surface lookups served for `key` since it was (re-)inserted.
+    pub fn hits(&self, key: &str) -> Option<u64> {
+        self.entries.get(key).map(|e| e.hits)
+    }
+
+    /// Phase one of a surface lookup: lease without compiling.
+    ///
+    /// A warm key returns its resident surface (and becomes most
+    /// recently used); a cold key returns a [`ColdLease`] for the
+    /// caller to [`ColdLease::compile`] **after releasing any lock
+    /// around this catalog** — compilation is O(cells·log cells) and
+    /// must not serialise unrelated lookups — and then report back
+    /// through [`Catalog::note_compiled`]. [`Catalog::surface`] wraps
+    /// the two phases for callers that hold the catalog directly.
+    pub fn lease(&mut self, key: &str) -> Result<Lease> {
+        let entry = self
+            .entries
+            .get_mut(key)
+            .ok_or_else(|| ServeError::UnknownRelease(key.to_string()))?;
+        entry.hits += 1;
+        self.lookups += 1;
+        if entry.release.surface_is_compiled() {
+            let handle = SurfaceHandle {
+                surface: entry.release.shared_surface(),
+                cache: CacheState::Warm,
+                version: entry.version,
+            };
+            self.warm_hits += 1;
+            self.touch(key);
+            Ok(Lease::Warm(handle))
+        } else {
+            Ok(Lease::Cold(ColdLease {
+                release: Arc::clone(&entry.release),
+                version: entry.version,
+            }))
+        }
+    }
+
+    /// Phase two of a cold lookup: accounts for a surface compiled
+    /// outside the lock (residency, LRU order, eviction pressure).
+    ///
+    /// No-op when the key was meanwhile removed or re-versioned — the
+    /// compiled surface then lives only as long as its leases. When
+    /// several lookups raced on the same cold key, the release's
+    /// `OnceLock` compiled once and exactly one reporter counts the
+    /// compilation (tracked per version, so a warm lease slipping in
+    /// between the compile and this report cannot suppress the count).
+    pub fn note_compiled(&mut self, key: &str, version: u64) {
+        let Some(entry) = self.entries.get_mut(key) else {
+            return;
+        };
+        if entry.version != version || !entry.release.surface_is_compiled() {
+            return;
+        }
+        if entry.counted_version != version {
+            entry.counted_version = version;
+            self.compilations += 1;
+        }
+        self.touch(key);
+    }
+
+    /// Leases the compiled surface for `key`, compiling inline if it
+    /// is not resident — both lookup phases in one call, for callers
+    /// that own the catalog directly (no lock to hold open).
+    pub fn surface(&mut self, key: &str) -> Result<SurfaceHandle> {
+        match self.lease(key)? {
+            Lease::Warm(handle) => Ok(handle),
+            Lease::Cold(lease) => {
+                let handle = lease.compile();
+                self.note_compiled(key, handle.version);
+                Ok(handle)
+            }
+        }
+    }
+
+    /// Marks `key` most recently used and enforces the residency
+    /// bound. A victim whose release is mid-compilation elsewhere (its
+    /// `Arc` is leased) is skipped — evicting it would free nothing
+    /// while the lease lives — and retried on later pressure.
+    fn touch(&mut self, key: &str) {
+        if self.lru.last().map(String::as_str) != Some(key) {
+            self.lru.retain(|k| k != key);
+            self.lru.push(key.to_string());
+        }
+        self.enforce_capacity();
+    }
+
+    /// Evicts least-recently-used surfaces until the residency bound
+    /// holds, sparing the most-recently-used key. Deferred victims
+    /// (mid-compile elsewhere) leave transient overflow; every caller
+    /// — lookups *and* inserts — retries the sweep, so the bound is
+    /// restored by whichever catalog operation comes next.
+    fn enforce_capacity(&mut self) {
+        let mut victim = 0;
+        while self.lru.len() > self.capacity && victim + 1 < self.lru.len() {
+            let evicted = match self.entries.get_mut(&self.lru[victim]) {
+                Some(entry) => match Arc::get_mut(&mut entry.release) {
+                    Some(release) => {
+                        release.evict_surface();
+                        // A later recompile of this same version is new
+                        // work; let it count again.
+                        entry.counted_version = 0;
+                        true
+                    }
+                    None => false,
+                },
+                // LRU keys always have entries; stay safe if not.
+                None => true,
+            };
+            if evicted {
+                self.lru.remove(victim);
+                self.evictions += 1;
+            } else {
+                victim += 1;
+            }
+        }
+    }
+
+    /// Number of releases held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog holds no releases.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `key` is held.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// All keys, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.entries.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Number of compiled surfaces currently resident.
+    pub fn warm_len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// The residency bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> CatalogStats {
+        CatalogStats {
+            releases: self.entries.len(),
+            warm: self.lru.len(),
+            capacity: self.capacity,
+            lookups: self.lookups,
+            warm_hits: self.warm_hits,
+            compilations: self.compilations,
+            evictions: self.evictions,
+        }
+    }
+}
+
+/// Zero-copy handoff from [`dpgrid_core::Pipeline::publish_into`].
+impl ReleaseSink for Catalog {
+    fn accept_release(&mut self, key: String, release: Release) {
+        self.insert(key, release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpgrid_core::{Method, Pipeline, Synopsis};
+    use dpgrid_geo::generators::PaperDataset;
+    use dpgrid_geo::Rect;
+
+    fn release(seed: u64, m: usize) -> Release {
+        let ds = PaperDataset::Storage.generate_n(seed, 1_500).unwrap();
+        Pipeline::new(&ds)
+            .method(Method::ug(m))
+            .seed(seed)
+            .publish()
+            .unwrap()
+    }
+
+    #[test]
+    fn insert_versions_and_lookup() {
+        let mut catalog = Catalog::new();
+        assert!(catalog.is_empty());
+        assert_eq!(catalog.insert("a", release(1, 8)), 1);
+        assert_eq!(catalog.insert("b", release(2, 8)), 1);
+        assert_eq!(catalog.insert("a", release(3, 8)), 2);
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.keys(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(catalog.version("a"), Some(2));
+        assert_eq!(catalog.version("c"), None);
+        assert!(matches!(
+            catalog.surface("missing"),
+            Err(ServeError::UnknownRelease(_))
+        ));
+    }
+
+    #[test]
+    fn warm_surfaces_are_shared_not_recompiled() {
+        let mut catalog = Catalog::new();
+        catalog.insert("a", release(1, 16));
+        let first = catalog.surface("a").unwrap();
+        assert_eq!(first.cache, CacheState::Cold);
+        let second = catalog.surface("a").unwrap();
+        assert_eq!(second.cache, CacheState::Warm);
+        assert!(Arc::ptr_eq(&first.surface, &second.surface));
+        assert_eq!(catalog.hits("a"), Some(2));
+        let stats = catalog.stats();
+        assert_eq!(stats.lookups, 2);
+        assert_eq!(stats.compilations, 1);
+        assert_eq!(stats.warm_hits, 1);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn lru_evicts_past_capacity_and_leases_stay_valid() {
+        let mut catalog = Catalog::with_capacity(2);
+        for (key, seed) in [("a", 1u64), ("b", 2), ("c", 3)] {
+            catalog.insert(key, release(seed, 8));
+        }
+        let a = catalog.surface("a").unwrap();
+        catalog.surface("b").unwrap();
+        assert_eq!(catalog.warm_len(), 2);
+        // Touch "a" so "b" is the LRU victim when "c" compiles.
+        catalog.surface("a").unwrap();
+        catalog.surface("c").unwrap();
+        assert_eq!(catalog.warm_len(), 2);
+        assert_eq!(catalog.stats().evictions, 1);
+        assert!(catalog
+            .release("b")
+            .is_some_and(|r| !r.surface_is_compiled()));
+        assert!(catalog
+            .release("a")
+            .is_some_and(Release::surface_is_compiled));
+        // "a" is still resident: a new lookup leases the same index.
+        assert!(Arc::ptr_eq(
+            &a.surface,
+            &catalog.surface("a").unwrap().surface
+        ));
+        // The evicted key recompiles on next touch (evicting "c", the
+        // new LRU victim, in turn); the old lease answers regardless.
+        assert_eq!(catalog.surface("b").unwrap().cache, CacheState::Cold);
+        assert_eq!(catalog.stats().evictions, 2);
+        assert!(catalog
+            .release("c")
+            .is_some_and(|r| !r.surface_is_compiled()));
+        let q = Rect::new(-130.0, 10.0, -70.0, 50.0).unwrap();
+        assert!(a.surface.answer(&q).is_finite());
+    }
+
+    #[test]
+    fn precompiled_inserts_count_against_the_residency_bound() {
+        // A release can arrive already compiled (clones share their
+        // surface); the LRU must account for it at insert time, not
+        // let it bypass the capacity bound until first lookup.
+        let mut catalog = Catalog::with_capacity(2);
+        for (key, seed) in [("a", 1u64), ("b", 2), ("c", 3)] {
+            let rel = release(seed, 8);
+            rel.answer(&Rect::new(-100.0, 20.0, -90.0, 30.0).unwrap());
+            assert!(rel.surface_is_compiled());
+            catalog.insert(key, rel);
+        }
+        assert_eq!(catalog.warm_len(), 2, "bound enforced at insert");
+        assert_eq!(catalog.stats().evictions, 1);
+        assert!(catalog
+            .release("a")
+            .is_some_and(|r| !r.surface_is_compiled()));
+        // The registered surfaces really are warm on first lookup.
+        assert_eq!(catalog.surface("c").unwrap().cache, CacheState::Warm);
+        assert_eq!(catalog.surface("a").unwrap().cache, CacheState::Cold);
+    }
+
+    #[test]
+    fn two_phase_lease_compiles_outside_and_reports_back() {
+        let mut catalog = Catalog::with_capacity(2);
+        catalog.insert("a", release(1, 16));
+        let Lease::Cold(cold) = catalog.lease("a").unwrap() else {
+            panic!("first lookup must be cold");
+        };
+        // Nothing resident until the compile is reported back.
+        assert_eq!(catalog.warm_len(), 0);
+        let handle = cold.compile();
+        assert_eq!(handle.cache, CacheState::Cold);
+        assert_eq!(handle.version, 1);
+        catalog.note_compiled("a", handle.version);
+        assert_eq!(catalog.warm_len(), 1);
+        assert_eq!(catalog.stats().compilations, 1);
+        // A racing second reporter does not double-count.
+        catalog.note_compiled("a", handle.version);
+        assert_eq!(catalog.stats().compilations, 1);
+        assert!(matches!(catalog.lease("a").unwrap(), Lease::Warm(_)));
+        // A stale report (key re-versioned meanwhile) is a no-op.
+        catalog.insert("a", release(9, 16));
+        catalog.note_compiled("a", handle.version);
+        assert_eq!(catalog.warm_len(), 0);
+    }
+
+    #[test]
+    fn reinsert_drops_stale_surface_and_bumps_version() {
+        let mut catalog = Catalog::new();
+        catalog.insert("a", release(1, 8));
+        let v1 = catalog.surface("a").unwrap();
+        assert_eq!(v1.version, 1);
+        catalog.insert("a", release(9, 8));
+        let v2 = catalog.surface("a").unwrap();
+        assert_eq!(v2.version, 2);
+        assert_eq!(v2.cache, CacheState::Cold);
+        assert!(!Arc::ptr_eq(&v1.surface, &v2.surface));
+        // Per-key hit counters reset with the new version.
+        assert_eq!(catalog.hits("a"), Some(1));
+    }
+
+    #[test]
+    fn publish_into_lands_in_catalog() {
+        let ds = PaperDataset::Storage.generate_n(7, 1_500).unwrap();
+        let mut catalog = Catalog::new();
+        Pipeline::new(&ds)
+            .method(Method::ug(8))
+            .seed(7)
+            .publish_into(&mut catalog, "storage")
+            .unwrap();
+        assert!(catalog.contains("storage"));
+        assert_eq!(catalog.version("storage"), Some(1));
+        let handle = catalog.surface("storage").unwrap();
+        let q = Rect::new(-130.0, 10.0, -70.0, 50.0).unwrap();
+        let direct = catalog.release("storage").unwrap().answer(&q);
+        assert_eq!(handle.surface.answer(&q), direct);
+    }
+
+    #[test]
+    fn load_dir_roundtrips_releases() {
+        let dir = std::env::temp_dir().join("dpgrid_catalog_dir_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let rel_a = release(1, 8);
+        let rel_b = release(2, 16);
+        rel_a.save(dir.join("alpha.json")).unwrap();
+        rel_b.save(dir.join("beta.json")).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+
+        let mut catalog = Catalog::from_dir(&dir).unwrap();
+        assert_eq!(
+            catalog.keys(),
+            vec!["alpha".to_string(), "beta".to_string()]
+        );
+        let q = Rect::new(-130.0, 10.0, -70.0, 50.0).unwrap();
+        let handle = catalog.surface("alpha").unwrap();
+        assert!((handle.surface.answer(&q) - rel_a.answer(&q)).abs() <= 1e-9);
+
+        // A malformed file fails the load loudly.
+        std::fs::write(dir.join("zz_bad.json"), "{not json").unwrap();
+        assert!(Catalog::from_dir(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,453 @@
+//! The batched query frontend over a release catalog.
+//!
+//! A [`QueryEngine`] wraps a [`Catalog`] behind interior locking so any
+//! number of threads can answer queries and insert releases
+//! concurrently. The serving discipline:
+//!
+//! 1. **Resolve under the lock, compile and answer outside it.** A
+//!    request (or a whole batch) takes the catalog lock only long
+//!    enough to lease warm `Arc<CompiledSurface>` handles or cold
+//!    release leases; O(cells·log cells) surface compilations run
+//!    *unlocked* (each release's `OnceLock` keeps them exactly-once)
+//!    and answering holds no lock either, so neither slow queries nor
+//!    cold compiles block inserts or other requests.
+//! 2. **Shard over scoped threads.** Batches fan out across
+//!    `std::thread::scope` workers, and each request's rectangles run
+//!    through the same [`dpgrid_geo::answer_all_batched`] driver the
+//!    rest of the workspace uses (or a pinned worker count via
+//!    [`QueryEngine::with_workers`]).
+//! 3. **Typed responses.** Every [`QueryResponse`] carries the release
+//!    version it answered against and whether the surface was warm,
+//!    so callers can reason about staleness and cache behaviour.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use dpgrid_core::{Release, ReleaseSink};
+use dpgrid_geo::{answer_all_with_workers, Rect};
+
+use crate::catalog::{CacheState, Catalog, CatalogStats, Lease, SurfaceHandle};
+use crate::error::Result;
+
+/// A batch of rectangle count queries addressed to one release.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Catalog key of the release to answer from.
+    pub release_key: String,
+    /// The query rectangles, answered in order.
+    pub rects: Vec<Rect>,
+}
+
+impl QueryRequest {
+    /// A request for `rects` against the release under `key`.
+    pub fn new(key: impl Into<String>, rects: Vec<Rect>) -> Self {
+        QueryRequest {
+            release_key: key.into(),
+            rects,
+        }
+    }
+}
+
+/// The typed answer to one [`QueryRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// Key the request was routed to.
+    pub release_key: String,
+    /// Version of the release that answered (see [`Catalog::version`]).
+    pub version: u64,
+    /// Whether the compiled surface was resident when the request
+    /// arrived.
+    pub cache: CacheState,
+    /// One answer per requested rectangle, same order.
+    pub answers: Vec<f64>,
+}
+
+/// Point-in-time engine counters: request traffic on top of the
+/// catalog's surface-cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests routed (successful or not).
+    pub requests: u64,
+    /// Individual rectangle queries answered.
+    pub answers: u64,
+    /// Requests that named an unknown release key.
+    pub unknown_keys: u64,
+    /// The wrapped catalog's counters.
+    pub catalog: CatalogStats,
+}
+
+/// A thread-safe, batched, multi-release query frontend.
+///
+/// ```
+/// use dpgrid_core::{Method, Pipeline};
+/// use dpgrid_geo::generators::PaperDataset;
+/// use dpgrid_geo::Rect;
+/// use dpgrid_serve::{Catalog, QueryEngine, QueryRequest};
+///
+/// let dataset = PaperDataset::Storage.generate_n(1, 2_000).unwrap();
+/// let mut catalog = Catalog::new();
+/// Pipeline::new(&dataset)
+///     .method(Method::ug(16))
+///     .seed(7)
+///     .publish_into(&mut catalog, "storage")
+///     .unwrap();
+///
+/// let engine = QueryEngine::new(catalog);
+/// let q = Rect::new(-100.0, 30.0, -90.0, 40.0).unwrap();
+/// let response = engine
+///     .answer(&QueryRequest::new("storage", vec![q]))
+///     .unwrap();
+/// assert_eq!(response.answers.len(), 1);
+/// assert_eq!(response.version, 1);
+/// ```
+#[derive(Debug)]
+pub struct QueryEngine {
+    catalog: Mutex<Catalog>,
+    /// Worker budget for one batch: 0 means adaptive (the
+    /// `answer_all_batched` driver decides per batch).
+    workers: usize,
+    requests: AtomicU64,
+    answers: AtomicU64,
+    unknown_keys: AtomicU64,
+}
+
+impl QueryEngine {
+    /// Wraps `catalog` with the adaptive worker policy.
+    pub fn new(catalog: Catalog) -> Self {
+        QueryEngine {
+            catalog: Mutex::new(catalog),
+            workers: 0,
+            requests: AtomicU64::new(0),
+            answers: AtomicU64::new(0),
+            unknown_keys: AtomicU64::new(0),
+        }
+    }
+
+    /// Pins the total worker budget per batch. `1` answers strictly
+    /// sequentially (the benchmarking baseline); `0` restores the
+    /// adaptive policy.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The configured worker budget (0 = adaptive).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Inserts (or re-versions) a release, returning its version.
+    /// Concurrent queries keep answering against the surface they
+    /// already leased.
+    pub fn insert(&self, key: impl Into<String>, release: Release) -> u64 {
+        self.lock().insert(key, release)
+    }
+
+    /// Runs `f` with exclusive access to the wrapped catalog — the
+    /// escape hatch for maintenance (directory loads, removals,
+    /// capacity inspection) without tearing the engine down.
+    pub fn with_catalog<R>(&self, f: impl FnOnce(&mut Catalog) -> R) -> R {
+        f(&mut self.lock())
+    }
+
+    /// Answers one request: resolves the release's compiled surface
+    /// (compiling outside the catalog lock if cold), then answers
+    /// every rectangle with no lock held.
+    pub fn answer(&self, request: &QueryRequest) -> Result<QueryResponse> {
+        let resolved = self.resolve(&request.release_key);
+        self.respond(request, resolved, self.workers)
+    }
+
+    /// Routes a batch of requests across releases: warm surfaces are
+    /// leased under one short catalog lock, then the requests are
+    /// sharded over `std::thread::scope` workers — cold compilations
+    /// run on the workers with no lock held (concurrently across
+    /// distinct releases, exactly once per release whatever the batch
+    /// shape) — and each request's rectangles are answered through the
+    /// shared batched driver.
+    ///
+    /// Responses come back in request order; a request for an unknown
+    /// key fails alone without poisoning the rest of the batch.
+    pub fn answer_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse>> {
+        // Phase one under one short lock: warm handles and cold leases.
+        let leases: Vec<Result<Lease>> = {
+            let mut catalog = self.lock();
+            requests
+                .iter()
+                .map(|r| catalog.lease(&r.release_key))
+                .collect()
+        };
+        // Phase two runs inside the shards: each worker finishes its
+        // requests' leases (cold compiles execute on the worker, so a
+        // batch over K cold releases compiles them concurrently — the
+        // per-release `OnceLock` dedups same-key races) and answers.
+        // Other threads keep leasing and inserting meanwhile.
+        let mut leases: Vec<Option<Result<Lease>>> = leases.into_iter().map(Some).collect();
+        let budget = self.budget();
+        let shards = requests.len().min(budget).max(1);
+        if shards <= 1 {
+            return requests
+                .iter()
+                .zip(&mut leases)
+                .map(|(req, lease)| {
+                    let resolved =
+                        self.finish_lease(&req.release_key, lease.take().expect("leased once"));
+                    self.respond(req, resolved, self.workers)
+                })
+                .collect();
+        }
+        // Shard requests across scoped workers. With a pinned budget,
+        // divide it so the per-request fan-out keeps the total thread
+        // count near the budget instead of multiplying the two levels;
+        // the adaptive policy (0) needs no division — the shared
+        // driver already counts concurrent fan-outs and sizes itself.
+        let per_request = if self.workers == 0 {
+            0
+        } else {
+            (self.workers / shards).max(1)
+        };
+        let chunk = requests.len().div_ceil(shards);
+        let mut out: Vec<Option<Result<QueryResponse>>> = requests.iter().map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for ((req_chunk, lease_chunk), out_chunk) in requests
+                .chunks(chunk)
+                .zip(leases.chunks_mut(chunk))
+                .zip(out.chunks_mut(chunk))
+            {
+                scope.spawn(move || {
+                    for ((req, lease), slot) in req_chunk.iter().zip(lease_chunk).zip(out_chunk) {
+                        let resolved =
+                            self.finish_lease(&req.release_key, lease.take().expect("leased once"));
+                        *slot = Some(self.respond(req, resolved, per_request));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("every shard fills its slots"))
+            .collect()
+    }
+
+    /// Point-in-time counters (takes the catalog lock briefly).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            answers: self.answers.load(Ordering::Relaxed),
+            unknown_keys: self.unknown_keys.load(Ordering::Relaxed),
+            catalog: self.lock().stats(),
+        }
+    }
+
+    /// Resolves one key to a surface handle: lease under the lock,
+    /// compile (if cold) outside it, report back for LRU accounting.
+    fn resolve(&self, key: &str) -> Result<SurfaceHandle> {
+        let lease = self.lock().lease(key);
+        self.finish_lease(key, lease)
+    }
+
+    /// Turns a phase-one lease into a handle, running any compilation
+    /// with no lock held.
+    fn finish_lease(&self, key: &str, lease: Result<Lease>) -> Result<SurfaceHandle> {
+        match lease? {
+            Lease::Warm(handle) => Ok(handle),
+            Lease::Cold(cold) => {
+                let handle = cold.compile();
+                self.lock().note_compiled(key, handle.version);
+                Ok(handle)
+            }
+        }
+    }
+
+    /// Answers `request` against an already-resolved surface handle,
+    /// with `workers` = 0 meaning the adaptive driver.
+    fn respond(
+        &self,
+        request: &QueryRequest,
+        resolved: Result<SurfaceHandle>,
+        workers: usize,
+    ) -> Result<QueryResponse> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let handle = match resolved {
+            Ok(handle) => handle,
+            Err(e) => {
+                self.unknown_keys.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        let answers = if workers == 0 {
+            // Adaptive: the shared driver sizes the fan-out against the
+            // machine and the other fan-outs currently in flight.
+            handle.surface.answer_all(&request.rects)
+        } else {
+            answer_all_with_workers(&request.rects, |q| handle.surface.answer(q), workers)
+        };
+        self.answers
+            .fetch_add(answers.len() as u64, Ordering::Relaxed);
+        Ok(QueryResponse {
+            release_key: request.release_key.clone(),
+            version: handle.version,
+            cache: handle.cache,
+            answers,
+        })
+    }
+
+    /// Total worker budget for one batch.
+    fn budget(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+
+    /// The catalog lock, surviving panics in other lock holders: the
+    /// catalog's state stays consistent under poisoning because every
+    /// mutation (insert, touch, evict) completes or never started.
+    fn lock(&self) -> MutexGuard<'_, Catalog> {
+        self.catalog
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Zero-copy handoff from [`dpgrid_core::Pipeline::publish_into`].
+impl ReleaseSink for QueryEngine {
+    fn accept_release(&mut self, key: String, release: Release) {
+        self.insert(key, release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ServeError;
+    use dpgrid_core::{Method, Pipeline};
+    use dpgrid_geo::generators::PaperDataset;
+
+    fn engine_with(keys: &[(&str, u64)]) -> QueryEngine {
+        let ds = PaperDataset::Storage.generate_n(3, 2_000).unwrap();
+        let mut catalog = Catalog::new();
+        for (key, seed) in keys {
+            Pipeline::new(&ds)
+                .method(Method::ug(12))
+                .seed(*seed)
+                .publish_into(&mut catalog, *key)
+                .unwrap();
+        }
+        QueryEngine::new(catalog)
+    }
+
+    fn rects(n: usize) -> Vec<Rect> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                Rect::new(
+                    -120.0 + 30.0 * t,
+                    15.0 + 20.0 * t,
+                    -90.0 + 10.0 * t,
+                    40.0 + 5.0 * t,
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn answer_routes_and_reports_cache_state() {
+        let engine = engine_with(&[("a", 1), ("b", 2)]);
+        let req = QueryRequest::new("a", rects(5));
+        let cold = engine.answer(&req).unwrap();
+        assert_eq!(cold.cache, CacheState::Cold);
+        assert_eq!(cold.answers.len(), 5);
+        assert_eq!(cold.version, 1);
+        let warm = engine.answer(&req).unwrap();
+        assert_eq!(warm.cache, CacheState::Warm);
+        assert_eq!(warm.answers, cold.answers);
+        assert!(matches!(
+            engine.answer(&QueryRequest::new("zz", rects(1))),
+            Err(ServeError::UnknownRelease(_))
+        ));
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.answers, 10);
+        assert_eq!(stats.unknown_keys, 1);
+        assert_eq!(stats.catalog.compilations, 1);
+    }
+
+    #[test]
+    fn answer_batch_keeps_request_order_and_isolates_failures() {
+        let engine = engine_with(&[("a", 1), ("b", 2), ("c", 3)]);
+        let requests = vec![
+            QueryRequest::new("c", rects(4)),
+            QueryRequest::new("missing", rects(2)),
+            QueryRequest::new("a", rects(3)),
+            QueryRequest::new("c", rects(4)),
+        ];
+        let responses = engine.answer_batch(&requests);
+        assert_eq!(responses.len(), 4);
+        assert_eq!(responses[0].as_ref().unwrap().release_key, "c");
+        assert!(matches!(
+            responses[1],
+            Err(ServeError::UnknownRelease(ref k)) if k == "missing"
+        ));
+        assert_eq!(responses[2].as_ref().unwrap().release_key, "a");
+        // Same release twice in one batch: both leases predate the
+        // compile so both report cold, but the release's `OnceLock`
+        // compiled once and the catalog counted once.
+        assert_eq!(responses[0].as_ref().unwrap().cache, CacheState::Cold);
+        assert_eq!(responses[3].as_ref().unwrap().cache, CacheState::Cold);
+        assert_eq!(
+            responses[0].as_ref().unwrap().answers,
+            responses[3].as_ref().unwrap().answers
+        );
+        assert_eq!(engine.stats().catalog.compilations, 2);
+        // The next batch runs entirely warm.
+        for response in engine.answer_batch(&requests[2..]) {
+            assert_eq!(response.unwrap().cache, CacheState::Warm);
+        }
+        assert_eq!(engine.stats().catalog.compilations, 2);
+    }
+
+    #[test]
+    fn batch_matches_per_request_answers_across_worker_policies() {
+        let requests: Vec<QueryRequest> = [("a", 40), ("b", 7), ("a", 1)]
+            .iter()
+            .map(|(k, n)| QueryRequest::new(*k, rects(*n)))
+            .collect();
+        let sequential = engine_with(&[("a", 1), ("b", 2)]).with_workers(1);
+        let expected: Vec<Vec<f64>> = requests
+            .iter()
+            .map(|r| sequential.answer(r).unwrap().answers)
+            .collect();
+        for workers in [0usize, 1, 2, 4] {
+            let engine = engine_with(&[("a", 1), ("b", 2)]).with_workers(workers);
+            let responses = engine.answer_batch(&requests);
+            for (resp, expect) in responses.iter().zip(&expected) {
+                assert_eq!(&resp.as_ref().unwrap().answers, expect, "workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_through_engine_reversions_live_keys() {
+        let engine = engine_with(&[("a", 1)]);
+        let req = QueryRequest::new("a", rects(3));
+        let before = engine.answer(&req).unwrap();
+        let ds = PaperDataset::Storage.generate_n(3, 2_000).unwrap();
+        let v2 = engine.insert(
+            "a",
+            Pipeline::new(&ds)
+                .method(Method::ug(12))
+                .seed(99)
+                .publish()
+                .unwrap(),
+        );
+        assert_eq!(v2, 2);
+        let after = engine.answer(&req).unwrap();
+        assert_eq!(after.version, 2);
+        assert_eq!(after.cache, CacheState::Cold);
+        assert_ne!(before.answers, after.answers);
+    }
+}

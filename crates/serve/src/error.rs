@@ -1,0 +1,62 @@
+//! Error type of the serving layer.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use dpgrid_core::CoreError;
+
+/// Everything that can go wrong while serving releases.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A query named a release key the catalog does not hold.
+    UnknownRelease(String),
+    /// A release file's name cannot serve as a catalog key (e.g. a
+    /// non-UTF-8 file stem in a loaded directory).
+    InvalidKey(String),
+    /// Filesystem access failed while loading releases. The original
+    /// [`std::io::Error`] is preserved so callers can branch on its
+    /// [`std::io::ErrorKind`].
+    Io {
+        /// The path being read when the error occurred.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Loading or validating a release failed (malformed JSON,
+    /// invariant violations — see [`dpgrid_core::CoreError`]).
+    Core(CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownRelease(key) => {
+                write!(f, "no release under key `{key}` in the catalog")
+            }
+            ServeError::InvalidKey(why) => write!(f, "invalid release key: {why}"),
+            ServeError::Io { path, source } => {
+                write!(f, "reading {}: {source}", path.display())
+            }
+            ServeError::Core(e) => write!(f, "release error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::UnknownRelease(_) | ServeError::InvalidKey(_) => None,
+            ServeError::Io { source, .. } => Some(source),
+            ServeError::Core(e) => Some(e),
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

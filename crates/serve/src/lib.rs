@@ -1,0 +1,75 @@
+//! Multi-release serving engine for differentially private grid
+//! releases.
+//!
+//! The paper's synopses are publish-once artefacts; the serving
+//! problem starts *after* publication: hold many releases at once,
+//! answer heavy batched query traffic against any of them, and keep
+//! the expensive part — each release's compiled query surface — built
+//! exactly once and bounded in number. This crate is that layer, built
+//! on the two seams below it (`dpgrid_core::Pipeline` publishes typed
+//! releases, `dpgrid_core::CompiledSurface` answers one release fast):
+//!
+//! * [`Catalog`] — keyed, versioned releases, loaded from memory
+//!   ([`Catalog::insert`], or zero-copy from a pipeline via
+//!   [`dpgrid_core::Pipeline::publish_into`]) or from a directory of
+//!   release JSON dumps ([`Catalog::load_dir`]), with a
+//!   capacity-bounded LRU of compiled surfaces: at most
+//!   [`Catalog::capacity`] indexes stay resident, the
+//!   least-recently-used one is evicted when a compile overflows the
+//!   bound, and a resident surface is *never* recompiled — lookups
+//!   lease `Arc` clones of the same index.
+//! * [`QueryEngine`] — the batched frontend: routes
+//!   [`QueryRequest`]`{ release_key, rects }` batches across releases,
+//!   leases every surface under one catalog lock, answers with no lock
+//!   held, shards batches over `std::thread::scope` workers through
+//!   the shared `answer_all_batched` driver, and returns typed
+//!   [`QueryResponse`]s carrying the release version and cache state.
+//!   Interior locking makes the engine `Sync`: query threads and
+//!   catalog inserts interleave freely.
+//!
+//! # Example
+//!
+//! ```
+//! use dpgrid_core::{Method, Pipeline};
+//! use dpgrid_geo::generators::PaperDataset;
+//! use dpgrid_geo::Rect;
+//! use dpgrid_serve::{Catalog, QueryEngine, QueryRequest};
+//!
+//! // Publish two releases straight into a catalog.
+//! let mut catalog = Catalog::with_capacity(8);
+//! for (key, seed) in [("storage", 1u64), ("landmark", 2)] {
+//!     let data = PaperDataset::Storage.generate_n(seed, 2_000).unwrap();
+//!     Pipeline::new(&data)
+//!         .epsilon(1.0)
+//!         .method(Method::ag_suggested())
+//!         .seed(seed)
+//!         .publish_into(&mut catalog, key)
+//!         .unwrap();
+//! }
+//!
+//! // Serve batched queries across both.
+//! let engine = QueryEngine::new(catalog);
+//! let q = Rect::new(-100.0, 30.0, -90.0, 40.0).unwrap();
+//! let responses = engine.answer_batch(&[
+//!     QueryRequest::new("storage", vec![q]),
+//!     QueryRequest::new("landmark", vec![q, q]),
+//! ]);
+//! assert_eq!(responses[0].as_ref().unwrap().answers.len(), 1);
+//! assert_eq!(responses[1].as_ref().unwrap().answers.len(), 2);
+//! ```
+//!
+//! Everything served is ε-DP released output; catalog management,
+//! compilation and eviction are privacy-free post-processing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod engine;
+mod error;
+
+pub use catalog::{
+    CacheState, Catalog, CatalogStats, ColdLease, Lease, SurfaceHandle, DEFAULT_SURFACE_CAPACITY,
+};
+pub use engine::{EngineStats, QueryEngine, QueryRequest, QueryResponse};
+pub use error::{Result, ServeError};

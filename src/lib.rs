@@ -19,6 +19,7 @@
 //! | [`core`] | `dpgrid-core` | UG, AG, the guidelines, error analysis, the `Method` registry, the publishing `Pipeline`, the compiled query surface (`surface`) and the portable `Release` format |
 //! | [`baselines`] | `dpgrid-baselines` | KD-trees, hierarchies, constrained inference, Privelet |
 //! | [`eval`] | `dpgrid-eval` | query workloads, error metrics, the experiment harness |
+//! | [`serve`] | `dpgrid-serve` | the multi-release serving engine: the release `Catalog` (LRU of compiled surfaces) and the batched `QueryEngine` frontend |
 //!
 //! # One publishing API: build → publish → serve
 //!
@@ -33,12 +34,39 @@
 //! once, lazily on first answer — into either a dense lattice +
 //! summed-area table (grid-shaped partitions: O(log cells) per query)
 //! or a sorted row-band / interval index (irregular partitions such as
-//! KD trees), so a JSON release loaded from disk is exactly as fast to
-//! query as the in-memory type that produced it. Batch endpoints
-//! (`Synopsis::answer_all`) chunk large query slices across scoped
-//! threads; caching, sharding and async frontends are expected to plug
-//! into `Pipeline`/`CompiledSurface` rather than into individual
-//! methods.
+//! KD trees; its band segment tree doubles as a coarse y-skip-list, so
+//! wide queries absorb whole fully-covered band runs in O(log bands)
+//! instead of stabbing each band), so a JSON release loaded from disk
+//! is exactly as fast to query as the in-memory type that produced it.
+//! Batch endpoints (`Synopsis::answer_all`) chunk large query slices
+//! across scoped threads.
+//!
+//! # The serving stack: many releases, one engine
+//!
+//! Above the per-release surface sits the multi-release serving layer
+//! ([`serve`], crate `dpgrid-serve`):
+//!
+//! * a [`serve::Catalog`] holds keyed, **versioned** releases —
+//!   inserted from memory, handed over zero-copy from a pipeline via
+//!   [`core::Pipeline::publish_into`], or bulk-loaded from a directory
+//!   of release JSON dumps — and bounds memory with an LRU of compiled
+//!   surfaces: at most `capacity` indexes stay resident, and a
+//!   resident index is never recompiled (releases share their
+//!   compilation behind `Arc`, so clones and leases all point at the
+//!   same index);
+//! * a [`serve::QueryEngine`] is the thread-safe batched frontend: it
+//!   routes [`serve::QueryRequest`] batches across releases, leases
+//!   every compiled surface under one short catalog lock, answers with
+//!   no lock held, shards work over `std::thread::scope` workers
+//!   through the same batched driver the evaluation harness uses, and
+//!   returns typed [`serve::QueryResponse`]s carrying the release
+//!   version and cache state. Inserts and queries interleave freely —
+//!   the concurrency regression tests hammer one engine from eight
+//!   threads while re-versioning keys.
+//!
+//! The next layer up (an async/network transport) plugs into
+//! `QueryEngine` the same way `QueryEngine` plugs into
+//! `CompiledSurface`.
 //!
 //! # Quickstart
 //!
@@ -78,6 +106,7 @@ pub use dpgrid_core as core;
 pub use dpgrid_eval as eval;
 pub use dpgrid_geo as geo;
 pub use dpgrid_mech as mech;
+pub use dpgrid_serve as serve;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -86,11 +115,12 @@ pub mod prelude {
     };
     pub use dpgrid_core::{
         AdaptiveGrid, AgConfig, CompiledSurface, GridSize, Method, NoiseKind, Pipeline, Release,
-        ReleaseMetadata, UgConfig, UniformGrid,
+        ReleaseMetadata, ReleaseSink, UgConfig, UniformGrid,
     };
     pub use dpgrid_geo::generators::PaperDataset;
     pub use dpgrid_geo::{
         Build, DenseGrid, Domain, DpError, GeoDataset, Point, PointIndex, Rect, Synopsis,
     };
     pub use dpgrid_mech::{LaplaceMechanism, PrivacyBudget};
+    pub use dpgrid_serve::{Catalog, QueryEngine, QueryRequest, QueryResponse};
 }

@@ -1,0 +1,99 @@
+//! Double-compilation regression: a release's surface is compiled
+//! exactly once per residency, however it is reached.
+//!
+//! Counted through `dpgrid::core::surface::compile_count()`, which
+//! tallies every `CompiledSurface::compile` in the process — so this
+//! file deliberately holds a SINGLE test: it is the only test binary
+//! whose counter deltas are race-free by construction (one process,
+//! one test, no concurrent compilations). Do not add further `#[test]`
+//! functions here; they would run in parallel and corrupt the deltas.
+
+use std::sync::Arc;
+
+use dpgrid::core::surface::compile_count;
+use dpgrid::prelude::*;
+use dpgrid::serve::CacheState;
+
+/// Asserts `f` performs exactly `expected` surface compilations.
+fn counting<T>(expected: u64, what: &str, f: impl FnOnce() -> T) -> T {
+    let before = compile_count();
+    let out = f();
+    let compiled = compile_count() - before;
+    assert_eq!(compiled, expected, "{what}: {compiled} compilations");
+    out
+}
+
+#[test]
+fn every_path_compiles_exactly_once() {
+    let dataset = PaperDataset::Storage.generate_n(5, 3_000).unwrap();
+    let release = Pipeline::new(&dataset)
+        .epsilon(1.0)
+        .method(Method::ag_suggested())
+        .seed(5)
+        .publish()
+        .unwrap();
+    let path = std::env::temp_dir().join("dpgrid_compile_once.json");
+    release.save(&path).unwrap();
+    let q = Rect::new(-100.0, 30.0, -90.0, 40.0).unwrap();
+
+    // The satellite regression itself: load -> surface -> clone ->
+    // surface compiles exactly once, and both handles are one index.
+    let (loaded, first) = counting(1, "load -> surface", || {
+        let loaded = Release::load(&path).unwrap();
+        let first = loaded.shared_surface();
+        (loaded, first)
+    });
+    counting(0, "clone -> surface reuses the shared index", || {
+        let cloned = loaded.clone();
+        assert!(Arc::ptr_eq(&first, &cloned.shared_surface()));
+        assert!(Arc::ptr_eq(&first, &loaded.shared_surface()));
+        assert_eq!(cloned.answer(&q), loaded.answer(&q));
+    });
+
+    // Pre-Arc, `Release::answer`, `answer_all` and `surface()` each
+    // worked off the same cache but a *cloned* release recompiled.
+    // Now every read path shares one compilation.
+    counting(0, "answer/answer_all/surface on a warm release", || {
+        loaded.answer(&q);
+        loaded.answer_all(&[q, q]);
+        loaded.surface();
+    });
+
+    // Serving stack: a catalog lookup compiles a cold release once;
+    // warm lookups, engine answers and batches never recompile.
+    let mut catalog = Catalog::with_capacity(4);
+    counting(0, "insert moves the release without compiling", || {
+        catalog.insert("fresh", Release::load(&path).unwrap());
+    });
+    counting(1, "first catalog lookup", || {
+        assert_eq!(catalog.surface("fresh").unwrap().cache, CacheState::Cold);
+    });
+    let engine = counting(0, "warm lookups and engine answers", || {
+        assert_eq!(catalog.surface("fresh").unwrap().cache, CacheState::Warm);
+        let engine = QueryEngine::new(catalog);
+        let req = QueryRequest::new("fresh", vec![q, q, q]);
+        engine.answer(&req).unwrap();
+        let batch: Vec<QueryRequest> = (0..6).map(|_| req.clone()).collect();
+        for response in engine.answer_batch(&batch) {
+            assert_eq!(response.unwrap().cache, CacheState::Warm);
+        }
+        engine
+    });
+
+    // Eviction is the only way back to cold: shrink residency by
+    // inserting and touching a second release, then confirm the
+    // recompile happens once, on the next touch only.
+    counting(1, "evicted key recompiles once", || {
+        engine.with_catalog(|catalog| {
+            let mut release = catalog.remove("fresh").unwrap();
+            assert!(release.evict_surface().is_some());
+            catalog.insert("fresh", release);
+        });
+        let handle = engine
+            .with_catalog(|catalog| catalog.surface("fresh"))
+            .unwrap();
+        assert_eq!(handle.cache, CacheState::Cold);
+    });
+
+    let _ = std::fs::remove_file(&path);
+}

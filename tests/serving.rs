@@ -1,0 +1,182 @@
+//! Concurrency regression for the multi-release serving engine.
+//!
+//! Eight threads hammer one `QueryEngine` over four releases (three
+//! queried, one churned) while writers interleave catalog inserts,
+//! re-versioning and LRU pressure. Every concurrent answer must match
+//! the single-threaded `CompiledSurface::answer` reference to ≤ 1e-9
+//! — under cache eviction, recompilation and key replacement alike.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dpgrid::prelude::*;
+use dpgrid::serve::ServeError;
+
+const QUERY_THREADS: usize = 8;
+const ITERATIONS: usize = 40;
+
+/// The three queried releases: distinct methods so both the lattice
+/// and the band surface paths are under concurrent fire.
+fn methods() -> Vec<(&'static str, Method, u64)> {
+    vec![
+        ("ug", Method::ug(24), 11),
+        ("ag", Method::ag_suggested(), 12),
+        ("kd", Method::KdHybrid, 13),
+    ]
+}
+
+fn publish(dataset: &GeoDataset, method: Method, seed: u64) -> Release {
+    Pipeline::new(dataset)
+        .epsilon(1.0)
+        .method(method)
+        .seed(seed)
+        .publish()
+        .unwrap()
+}
+
+/// A mixed per-release workload: spanning, wide, interior, sliver and
+/// miss queries.
+fn workload(domain: &Rect) -> Vec<Rect> {
+    let (x0, y0) = (domain.x0(), domain.y0());
+    let (w, h) = (domain.width(), domain.height());
+    let mut rects = vec![
+        *domain,
+        Rect::new(x0 - w, y0 - h, x0 + 2.0 * w, y0 + 2.0 * h).unwrap(),
+        Rect::new(x0 - 1.0, y0 + 0.1 * h, x0 + w + 1.0, y0 + 0.9 * h).unwrap(),
+        Rect::new(x0 + 0.37 * w, y0, x0 + 0.3701 * w, y0 + h).unwrap(),
+        Rect::new(x0 + 2.0 * w, y0, x0 + 3.0 * w, y0 + h).unwrap(),
+    ];
+    for i in 0..25 {
+        let t = i as f64 / 25.0;
+        rects.push(
+            Rect::new(
+                x0 + 0.4 * w * t,
+                y0 + 0.3 * h * t,
+                x0 + 0.2 * w + 0.7 * w * t,
+                y0 + 0.25 * h + 0.6 * h * t,
+            )
+            .unwrap(),
+        );
+    }
+    rects
+}
+
+#[test]
+fn concurrent_hammer_matches_single_threaded_answers() {
+    let dataset = PaperDataset::Storage.generate_n(21, 4_000).unwrap();
+    let rects = workload(dataset.domain().rect());
+
+    // Reference answers from an identically seeded publish, compiled
+    // and answered strictly single-threaded. Seeded pipelines are
+    // deterministic, so the engine's copies hold identical cells.
+    let expected: Vec<(String, Vec<f64>)> = methods()
+        .iter()
+        .map(|(key, method, seed)| {
+            let surface = CompiledSurface::from_synopsis(&publish(&dataset, *method, *seed));
+            (
+                key.to_string(),
+                rects.iter().map(|q| surface.answer(q)).collect(),
+            )
+        })
+        .collect();
+
+    // Capacity 2 < 3 queried releases: the LRU churns (evict +
+    // recompile) for the whole test while answers must stay exact.
+    let mut catalog = Catalog::with_capacity(2);
+    for (key, method, seed) in methods() {
+        Pipeline::new(&dataset)
+            .epsilon(1.0)
+            .method(method)
+            .seed(seed)
+            .publish_into(&mut catalog, key)
+            .unwrap();
+    }
+    let engine = Arc::new(QueryEngine::new(catalog));
+    let checked = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        // 8 reader threads: alternate single requests and multi-release
+        // batches, each answer checked against the reference.
+        for t in 0..QUERY_THREADS {
+            let engine = &engine;
+            let expected = &expected;
+            let rects = &rects;
+            let checked = &checked;
+            scope.spawn(move || {
+                for i in 0..ITERATIONS {
+                    let (key, expect) = &expected[(t + i) % expected.len()];
+                    let verify = |key: &str, answers: &[f64], expect: &[f64]| {
+                        assert_eq!(answers.len(), expect.len());
+                        for (a, e) in answers.iter().zip(expect) {
+                            assert!(
+                                (a - e).abs() <= 1e-9 * (1.0 + e.abs()),
+                                "release {key}: {a} vs reference {e}"
+                            );
+                        }
+                        checked.fetch_add(answers.len() as u64, Ordering::Relaxed);
+                    };
+                    if i % 2 == 0 {
+                        let response = engine
+                            .answer(&QueryRequest::new(key.clone(), rects.clone()))
+                            .unwrap();
+                        verify(key, &response.answers, expect);
+                    } else {
+                        // A batch across every release at once.
+                        let batch: Vec<QueryRequest> = expected
+                            .iter()
+                            .map(|(k, _)| QueryRequest::new(k.clone(), rects.clone()))
+                            .collect();
+                        for (response, (k, e)) in
+                            engine.answer_batch(&batch).into_iter().zip(expected)
+                        {
+                            let response = response.unwrap();
+                            assert_eq!(&response.release_key, k);
+                            verify(k, &response.answers, e);
+                        }
+                    }
+                }
+            });
+        }
+        // 2 writer threads: interleave inserts of brand-new keys,
+        // identical re-publishes of the queried keys (version bumps
+        // that must not change any answer), and extra LRU pressure.
+        for w in 0..2u64 {
+            let engine = &engine;
+            let dataset = &dataset;
+            scope.spawn(move || {
+                for i in 0..ITERATIONS as u64 {
+                    let fresh = publish(dataset, Method::ug(8), 1_000 + w * 100 + i);
+                    engine.insert(format!("extra-{w}-{i}"), fresh);
+                    // Re-publish an identical release over a live key:
+                    // readers see a version bump, never a value change.
+                    let churn = methods();
+                    let (key, method, seed) = &churn[(i % 3) as usize];
+                    engine.insert(*key, publish(dataset, *method, *seed));
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        checked.load(Ordering::Relaxed),
+        (QUERY_THREADS * ITERATIONS * 2 * rects.len()) as u64,
+        "every reader iteration verifies one single or one triple batch"
+    );
+    // One post-scope lookup lets the LRU settle: eviction defers
+    // victims whose releases were mid-compile on other threads, and
+    // with every thread joined the next touch collects the overflow.
+    engine
+        .answer(&QueryRequest::new("ug", vec![rects[0]]))
+        .unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.unknown_keys, 0);
+    assert!(stats.catalog.releases >= 3 + 2 * ITERATIONS);
+    assert!(stats.catalog.warm <= stats.catalog.capacity);
+    // Churn really happened: recompilations beyond the three releases.
+    assert!(stats.catalog.evictions > 0, "LRU never engaged");
+    assert!(matches!(
+        engine.answer(&QueryRequest::new("nope", vec![rects[0]])),
+        Err(ServeError::UnknownRelease(_))
+    ));
+}

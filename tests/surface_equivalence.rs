@@ -142,6 +142,44 @@ fn kd_tree_equivalence() {
     }
 }
 
+/// Wide queries over band-path releases: the y-skip-list absorbs whole
+/// fully-covered band runs through aggregated tree nodes, and must do
+/// so without drifting from the linear-scan semantics.
+#[test]
+fn band_skip_list_wide_query_equivalence() {
+    for seed in [1u64, 2, 3] {
+        let ds = dataset(seed);
+        let mut cfg = KdConfig::new(1.0);
+        cfg.base_resolution = 64;
+        cfg.height = Some(8);
+        let kd = KdStandard::build(&ds, &cfg, &mut rng(seed ^ 0xD)).unwrap();
+        let release = Release::from_synopsis("Kst", &kd);
+        // KD leaves are irregular: the surface must be on the band path
+        // for this test to exercise the skip list at all.
+        assert!(matches!(
+            release.surface().kind(),
+            SurfaceKind::Bands { .. }
+        ));
+        let domain = ds.domain().rect();
+        let (x0, y0) = (domain.x0(), domain.y0());
+        let (w, h) = (domain.width(), domain.height());
+        let wide = vec![
+            // Full domain and beyond (absorbs at or near the root).
+            *domain,
+            Rect::new(x0 - w, y0 - h, x0 + 2.0 * w, y0 + 2.0 * h).unwrap(),
+            // Full-x strips: interior bands fully covered, rim partial.
+            Rect::new(x0 - 1.0, y0 + 0.05 * h, x0 + w + 1.0, y0 + 0.95 * h).unwrap(),
+            Rect::new(x0 - 1.0, y0 + 0.3 * h, x0 + w + 1.0, y0 + 0.7 * h).unwrap(),
+            // Full-y strips: every band partially covered in x.
+            Rect::new(x0 + 0.1 * w, y0 - 1.0, x0 + 0.9 * w, y0 + h + 1.0).unwrap(),
+            // Large interior boxes (mixed absorb + stab).
+            Rect::new(x0 + 0.05 * w, y0 + 0.05 * h, x0 + 0.95 * w, y0 + 0.95 * h).unwrap(),
+            Rect::new(x0 + 0.2 * w, y0 + 0.1 * h, x0 + 0.8 * w, y0 + 0.9 * h).unwrap(),
+        ];
+        assert_equivalent(&release, &wide);
+    }
+}
+
 #[test]
 fn untrusted_irregular_release_equivalence() {
     // A hand-built irregular partition (no common lattice): vertical
