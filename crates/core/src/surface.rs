@@ -131,6 +131,20 @@ impl CompiledSurface {
         self.total
     }
 
+    /// Estimated resident size of the compiled surface in bytes (the
+    /// struct plus the owned index arrays).
+    ///
+    /// This is the serving layer's accounting currency: a
+    /// memory-budgeted catalog bounds the *sum of resident surface
+    /// bytes* rather than a surface count, because surfaces vary by
+    /// orders of magnitude (a 16×16 uniform grid vs a 10⁶-cell
+    /// adaptive release). The figure is an estimate of owned memory —
+    /// allocator slack and `Arc` headers are not modelled — but it is
+    /// exact for the dominant index arrays.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() - std::mem::size_of::<CellIndex>() + self.index.memory_bytes()
+    }
+
     /// Estimated count inside `query` in O(log cells).
     ///
     /// Queries are clipped to the domain; a miss answers `0`, matching
@@ -262,6 +276,21 @@ mod tests {
         let inside = vec![(Rect::new(0.0, 0.0, 1.0, 1.0).unwrap(), 10.0)];
         let surface = CompiledSurface::compile(domain, &inside);
         assert_eq!(surface.answer(&spanning), 10.0);
+    }
+
+    #[test]
+    fn memory_bytes_scales_with_index_size() {
+        let ds = dataset(9);
+        let small = CompiledSurface::from_synopsis(
+            &UniformGrid::build(&ds, &UgConfig::fixed(1.0, 8), &mut rng(10)).unwrap(),
+        );
+        let large = CompiledSurface::from_synopsis(
+            &UniformGrid::build(&ds, &UgConfig::fixed(1.0, 64), &mut rng(10)).unwrap(),
+        );
+        assert!(small.memory_bytes() > std::mem::size_of::<CompiledSurface>());
+        // 64× the cells must cost strictly more resident bytes; the
+        // lattice path is dominated by its (m+1)² prefix sums.
+        assert!(large.memory_bytes() > 8 * small.memory_bytes());
     }
 
     #[test]

@@ -97,6 +97,19 @@ impl CellIndex {
             CellIndex::Bands(b) => b.total(),
         }
     }
+
+    /// Estimated resident size in bytes (struct plus owned arrays).
+    ///
+    /// This is the quantity serving-side memory budgets account for: it
+    /// is dominated by the heap arrays (edge coordinates and prefix
+    /// sums for the lattice path, bands and tree aggregates for the
+    /// band path), so the enum discriminant padding is ignored.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            CellIndex::Lattice(l) => l.memory_bytes(),
+            CellIndex::Bands(b) => b.memory_bytes(),
+        }
+    }
 }
 
 /// Sorted, deduplicated edge coordinates of one axis.
@@ -256,6 +269,16 @@ impl LatticeIndex {
     /// Sum of all values.
     pub fn total(&self) -> f64 {
         self.sat.total()
+    }
+
+    /// Estimated resident size in bytes: the struct, both edge arrays
+    /// and the summed-area table.
+    pub fn memory_bytes(&self) -> usize {
+        // `size_of::<Self>()` already counts the inline SAT header, so
+        // only the SAT's heap share is added on top.
+        std::mem::size_of::<Self>()
+            + (self.xs.len() + self.ys.len()) * std::mem::size_of::<f64>()
+            + (self.sat.memory_bytes() - std::mem::size_of::<crate::SummedAreaTable>())
     }
 }
 
@@ -590,6 +613,21 @@ impl BandIndex {
     /// Sum of all values.
     pub fn total(&self) -> f64 {
         self.total
+    }
+
+    /// Estimated resident size in bytes: the struct, the per-band cell
+    /// arrays and the segment-tree aggregates.
+    pub fn memory_bytes(&self) -> usize {
+        let bands: usize = self
+            .bands
+            .iter()
+            .map(|b| {
+                std::mem::size_of::<Band>()
+                    + (b.x0s.len() + b.x1s.len() + b.values.len() + b.prefix.len())
+                        * std::mem::size_of::<f64>()
+            })
+            .sum();
+        std::mem::size_of::<Self>() + bands + self.nodes.len() * std::mem::size_of::<NodeAgg>()
     }
 }
 

@@ -76,6 +76,12 @@ impl SummedAreaTable {
     pub fn total(&self) -> f64 {
         self.sum(0, 0, self.cols, self.rows)
     }
+
+    /// Estimated resident size in bytes: the struct itself plus the
+    /// owned prefix-sum array. Used by serving-side memory budgets.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.prefix.len() * std::mem::size_of::<f64>()
+    }
 }
 
 #[cfg(test)]

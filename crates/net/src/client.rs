@@ -1,0 +1,135 @@
+//! The blocking client: one TCP connection speaking the wire protocol.
+//!
+//! A [`TcpClient`] issues one request frame at a time and blocks for
+//! the matching response (ids are checked, so a desynchronised
+//! connection fails loudly instead of mismatching answers). It is
+//! deliberately not `Sync` — open one client per thread; the server
+//! side is built for many cheap connections.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use dpgrid_geo::Rect;
+use dpgrid_serve::wire::{
+    RequestBody, ResponseBody, WireError, WireQuery, WireRect, WireRequest, WireResponse,
+};
+use dpgrid_serve::{EngineStats, QueryRequest, QueryResponse};
+
+use crate::error::{NetError, Result};
+
+/// A blocking connection to a [`crate::TcpServer`] (or anything else
+/// speaking the wire protocol over newline-delimited JSON).
+#[derive(Debug)]
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl TcpClient {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Round-trips a liveness check.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call(RequestBody::Ping)? {
+            ResponseBody::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Fetches the server's engine counters.
+    pub fn stats(&mut self) -> Result<EngineStats> {
+        match self.call(RequestBody::Stats)? {
+            ResponseBody::Stats(stats) => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Answers `rects` against the release under `key`. Server-side
+    /// failures (unknown key, invalid rect, overload) come back as
+    /// [`NetError::Server`] with a stable error code.
+    pub fn query(&mut self, key: &str, rects: &[Rect]) -> Result<QueryResponse> {
+        let query = WireQuery {
+            release_key: key.to_string(),
+            rects: rects.iter().map(WireRect::from).collect(),
+        };
+        match self.call(RequestBody::Query(query))? {
+            ResponseBody::Answers(answers) => Ok(answers.into_response()),
+            other => Err(unexpected("Answers", &other)),
+        }
+    }
+
+    /// Answers several requests (possibly across releases) in one
+    /// round trip. The outer `Result` is the transport; each inner
+    /// result is that query's own outcome, failures isolated exactly
+    /// as in [`dpgrid_serve::QueryEngine::answer_batch`].
+    pub fn query_batch(
+        &mut self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<std::result::Result<QueryResponse, WireError>>> {
+        let queries = requests.iter().map(WireQuery::from_request).collect();
+        match self.call(RequestBody::Batch(queries))? {
+            ResponseBody::Batch(outcomes) => {
+                if outcomes.len() != requests.len() {
+                    return Err(NetError::Protocol(format!(
+                        "batch of {} queries got {} outcomes",
+                        requests.len(),
+                        outcomes.len()
+                    )));
+                }
+                Ok(outcomes
+                    .into_iter()
+                    .map(|outcome| match outcome {
+                        dpgrid_serve::wire::WireOutcome::Answered(a) => Ok(a.into_response()),
+                        dpgrid_serve::wire::WireOutcome::Failed(e) => Err(e),
+                    })
+                    .collect())
+            }
+            other => Err(unexpected("Batch", &other)),
+        }
+    }
+
+    /// Sends one frame and blocks for its response, enforcing id
+    /// correlation and unwrapping whole-frame errors.
+    fn call(&mut self, body: RequestBody) -> Result<ResponseBody> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = WireRequest::new(id, body).encode();
+        self.writer.write_all(frame.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(NetError::Disconnected);
+        }
+        let response = WireResponse::decode(line.trim_end_matches(['\r', '\n']))
+            .map_err(|e| NetError::Protocol(e.error.to_string()))?;
+        // Typed server errors win over the id check: a frame the
+        // server could not attribute (oversized, unparseable) is
+        // reported under id 0, and this client is strictly
+        // request-response, so any error frame belongs to the
+        // in-flight request.
+        match response.body {
+            ResponseBody::Error(e) => Err(NetError::Server(e)),
+            body if response.id == id => Ok(body),
+            _ => Err(NetError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                response.id
+            ))),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &ResponseBody) -> NetError {
+    NetError::Protocol(format!("expected {wanted} response, got {got:?}"))
+}

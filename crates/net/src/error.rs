@@ -1,0 +1,52 @@
+//! Error type of the TCP transport.
+
+use std::fmt;
+
+use dpgrid_serve::wire::WireError;
+
+/// Everything that can go wrong on the network path.
+#[derive(Debug)]
+pub enum NetError {
+    /// The underlying socket failed (connect, read, write, bind).
+    Io(std::io::Error),
+    /// The peer sent bytes this protocol cannot understand: an
+    /// unparseable frame, a response whose id does not match the
+    /// request, or an unexpected response kind.
+    Protocol(String),
+    /// The server answered with a typed wire error; branch on
+    /// [`WireError::code`] (e.g. `Overloaded` means back off and
+    /// retry, `UnknownKey` means the release is not published).
+    Server(WireError),
+    /// The connection closed while a response was pending.
+    Disconnected,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            NetError::Server(e) => write!(f, "server error: {e}"),
+            NetError::Disconnected => write!(f, "connection closed mid-request"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Server(e) => Some(e),
+            NetError::Protocol(_) | NetError::Disconnected => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NetError>;

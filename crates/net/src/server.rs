@@ -1,0 +1,318 @@
+//! The TCP frontend: a thread-per-connection frame server over any
+//! [`QueryService`].
+//!
+//! The server owns only transport concerns — accepting sockets,
+//! newline framing, connection lifecycle, graceful shutdown. Protocol
+//! work (decoding, validation, dispatch, error mapping) is entirely
+//! [`dpgrid_serve::wire::handle_frame`], so the transport and the
+//! protocol evolve independently.
+//!
+//! Concurrency model: one OS thread per connection, all sharing one
+//! `Arc<S: QueryService>`. The engine underneath is built for exactly
+//! this (short catalog lock, lock-free answering), and the engine's
+//! admission control — not the transport — is the backpressure seam:
+//! an overloaded engine sheds with a typed `Overloaded` frame the
+//! client can branch on, instead of the listener queueing unboundedly.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dpgrid_serve::{wire, QueryService};
+
+use crate::error::Result;
+
+/// How often parked connection reads re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Upper bound on one request frame's size. A connection whose frame
+/// grows past this without a newline is answered with a typed
+/// `MalformedRequest` and closed — a newline-free stream must not
+/// grow the server's buffer unboundedly. Generous: the largest
+/// legitimate frames (multi-thousand-rect batches) are well under
+/// 1 MiB.
+const MAX_FRAME_BYTES: u64 = 16 << 20;
+
+/// One live connection: its worker thread plus a socket handle the
+/// shutdown path uses to sever the connection (unblocking any stuck
+/// blocking write) before joining the thread.
+type Connection = (JoinHandle<()>, TcpStream);
+
+/// A running TCP query server.
+///
+/// Dropping the handle shuts the server down gracefully: the listener
+/// stops accepting, every connection thread drains its current frame
+/// and exits, and all threads are joined. Use [`TcpServer::shutdown`]
+/// to do the same explicitly.
+#[derive(Debug)]
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<Connection>>>,
+    frames: Arc<AtomicU64>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port — the bound
+    /// address is [`TcpServer::local_addr`]) and starts serving
+    /// `service` on a background accept thread, one thread per
+    /// connection.
+    pub fn bind<S>(service: Arc<S>, addr: impl ToSocketAddrs) -> Result<TcpServer>
+    where
+        S: QueryService + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<Connection>>> = Arc::new(Mutex::new(Vec::new()));
+        let frames = Arc::new(AtomicU64::new(0));
+
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let connections = Arc::clone(&connections);
+            let frames = Arc::clone(&frames);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else {
+                        // Transient accept failures (EMFILE under
+                        // connection floods, ECONNABORTED) come back
+                        // immediately — back off briefly instead of
+                        // busy-spinning the accept thread.
+                        std::thread::sleep(Duration::from_millis(20));
+                        continue;
+                    };
+                    let Ok(socket) = stream.try_clone() else {
+                        continue;
+                    };
+                    let service = Arc::clone(&service);
+                    let conn_shutdown = Arc::clone(&shutdown);
+                    let conn_frames = Arc::clone(&frames);
+                    let conn_registry = Arc::clone(&connections);
+                    let handle = std::thread::spawn(move || {
+                        // Transport errors just end this connection.
+                        let _ = serve_connection(&stream, &*service, &conn_shutdown, &conn_frames);
+                        // Sever at TCP level, not just by dropping:
+                        // the registry still holds a clone of this
+                        // socket, and the peer must observe the close
+                        // now — e.g. a client blocked writing a
+                        // rejected oversized frame.
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        // Prune finished peers so a long-idle server
+                        // does not pin a burst's worth of dead sockets
+                        // and join handles until the next accept. Our
+                        // own entry still reads as unfinished here; a
+                        // later exit or accept collects it.
+                        conn_registry
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .retain(|(h, _)| !h.is_finished());
+                    });
+                    let mut held = connections.lock().unwrap_or_else(|e| e.into_inner());
+                    held.retain(|(h, _)| !h.is_finished());
+                    held.push((handle, socket));
+                }
+            })
+        };
+
+        Ok(TcpServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            connections,
+            frames,
+        })
+    }
+
+    /// The address the server actually listens on (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Frames answered since the server started (all connections).
+    pub fn frames_served(&self) -> u64 {
+        self.frames.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, drains and joins every connection thread, and
+    /// joins the accept thread. In-flight frames finish answering;
+    /// parked connections notice within the poll interval (100 ms).
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection; the
+        // accept loop re-checks the flag before handling it. A
+        // wildcard bind address (0.0.0.0 / ::) is not connectable, so
+        // the wake goes to the same-family loopback at the bound port.
+        let wake_addr = if self.addr.ip().is_unspecified() {
+            let loopback: std::net::IpAddr = match self.addr {
+                SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            };
+            SocketAddr::new(loopback, self.addr.port())
+        } else {
+            self.addr
+        };
+        let woke = TcpStream::connect_timeout(&wake_addr, Duration::from_secs(1)).is_ok();
+        if let Some(handle) = self.accept_thread.take() {
+            if woke {
+                let _ = handle.join();
+            }
+            // If the wake connection could not be made (e.g. a
+            // firewall forbids self-connects), the accept thread stays
+            // parked in accept() with no portable way to interrupt it;
+            // leaving it detached beats hanging shutdown forever — it
+            // exits with the process, and the flag stops it from
+            // serving any connection it might still accept.
+        }
+        let connections =
+            std::mem::take(&mut *self.connections.lock().unwrap_or_else(|e| e.into_inner()));
+        // Sever every socket before joining: a worker stuck in a
+        // blocking write (its client stopped reading responses) only
+        // unblocks when the connection dies — the read-timeout poll
+        // cannot reach it.
+        for (_, socket) in &connections {
+            let _ = socket.shutdown(std::net::Shutdown::Both);
+        }
+        for (handle, _) in connections {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Serves one connection: newline-delimited request frames in,
+/// response frames out, until EOF, a transport error, or shutdown.
+///
+/// Frames are read as raw bytes through a [`MAX_FRAME_BYTES`]-capped
+/// `Take`, so a connection can neither grow the buffer unboundedly
+/// with a newline-free stream nor lose bytes when a read timeout
+/// lands inside a multibyte character (UTF-8 is only checked once a
+/// complete line is assembled).
+fn serve_connection<S: QueryService + ?Sized>(
+    stream: &TcpStream,
+    service: &S,
+    shutdown: &AtomicBool,
+    frames: &AtomicU64,
+) -> std::io::Result<()> {
+    // Frames are small and latency-bound: answer each immediately.
+    stream.set_nodelay(true)?;
+    // Reads time out so parked connections poll the shutdown flag.
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut reader = BufReader::new(stream.try_clone()?).take(MAX_FRAME_BYTES);
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(_) => {
+                if buf.last() == Some(&b'\n') {
+                    // Complete frame.
+                    handle_raw_frame(service, &mut writer, frames, &buf)?;
+                    buf.clear();
+                    reader.set_limit(MAX_FRAME_BYTES);
+                } else if reader.limit() == 0 {
+                    // The frame hit the byte cap without a newline:
+                    // reject it and drop the connection — resyncing on
+                    // a stream this far gone is not worth it.
+                    respond(
+                        &mut writer,
+                        frames,
+                        wire::WireResponse::error(
+                            0,
+                            wire::WireError::new(
+                                wire::ErrorCode::MalformedRequest,
+                                format!("frame exceeds {MAX_FRAME_BYTES} bytes"),
+                            ),
+                        ),
+                    )?;
+                    return Ok(());
+                } else {
+                    // EOF (no newline arrived and the byte cap was not
+                    // hit). A final frame missing only its trailing
+                    // newline is answered before closing —
+                    // deterministically, whether or not a read-timeout
+                    // tick separated its bytes from the EOF (timeouts
+                    // keep partial bytes in `buf`).
+                    if !buf.is_empty() {
+                        handle_raw_frame(service, &mut writer, frames, &buf)?;
+                    }
+                    return Ok(());
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Timed out mid-wait; any partial frame bytes stay in
+                // `buf` (byte reads lose nothing, even when the
+                // timeout splits a multibyte character). Exit on
+                // shutdown, else keep listening.
+                if shutdown.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Answers one raw frame: UTF-8 check, blank-line tolerance, protocol
+/// dispatch, framed reply.
+fn handle_raw_frame<S: QueryService + ?Sized>(
+    service: &S,
+    writer: &mut BufWriter<TcpStream>,
+    frames: &AtomicU64,
+    raw: &[u8],
+) -> std::io::Result<()> {
+    let Ok(frame) = std::str::from_utf8(raw) else {
+        return respond(
+            writer,
+            frames,
+            wire::WireResponse::error(
+                0,
+                wire::WireError::new(
+                    wire::ErrorCode::MalformedRequest,
+                    "frame is not valid UTF-8",
+                ),
+            ),
+        );
+    };
+    let frame = frame.trim_end_matches(['\r', '\n']);
+    // Tolerate blank keep-alive lines.
+    if frame.is_empty() {
+        return Ok(());
+    }
+    respond(writer, frames, wire::handle_frame(service, frame))
+}
+
+/// Writes one response frame and counts it (before the write, so the
+/// total is visible by the time any client has read the response).
+fn respond(
+    writer: &mut BufWriter<TcpStream>,
+    frames: &AtomicU64,
+    response: wire::WireResponse,
+) -> std::io::Result<()> {
+    frames.fetch_add(1, Ordering::Relaxed);
+    writer.write_all(response.encode().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}

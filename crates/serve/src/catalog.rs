@@ -1,5 +1,5 @@
 //! The release catalog: keyed, versioned releases plus a
-//! capacity-bounded LRU of compiled surfaces.
+//! memory-budgeted LRU of compiled surfaces.
 //!
 //! A [`Catalog`] owns [`Release`]s under string keys. Releases arrive
 //! from memory ([`Catalog::insert`], or zero-copy from a publishing
@@ -9,14 +9,18 @@
 //! and the stale compiled surface is dropped.
 //!
 //! Compiled surfaces — the O(cells) indexes releases answer through —
-//! are the memory-heavy part, so the catalog keeps at most
-//! [`Catalog::capacity`] of them resident, evicting the
-//! least-recently-used one ([`Release::evict_surface`]) when a lookup
-//! compiles past the bound. Eviction is pure cache management: leased
-//! [`SurfaceHandle`]s stay valid (the index is reference-counted), and
-//! a later lookup of an evicted key recompiles from the retained
-//! cells. A resident surface is never recompiled — lookups hand out
-//! clones of the same `Arc`.
+//! are the memory-heavy part, so the catalog bounds **their total
+//! resident bytes** ([`Catalog::with_memory_budget`], accounted through
+//! [`dpgrid_core::CompiledSurface::memory_bytes`]): when a compile
+//! pushes the resident sum past the budget, least-recently-used
+//! surfaces are evicted ([`Release::evict_surface`]) until it fits.
+//! Surfaces vary by orders of magnitude across releases, which is why
+//! the budget is in bytes; the older *count* bound survives as a
+//! deprecated shim ([`Catalog::with_capacity`]). Eviction is pure cache
+//! management: leased [`SurfaceHandle`]s stay valid (the index is
+//! reference-counted), and a later lookup of an evicted key recompiles
+//! from the retained cells. A resident surface is never recompiled —
+//! lookups lease clones of the same `Arc`.
 //!
 //! Lookups are two-phase so a catalog behind a lock never compiles
 //! while holding it: [`Catalog::lease`] resolves warm hits or hands
@@ -31,15 +35,26 @@ use std::path::Path;
 use std::sync::Arc;
 
 use dpgrid_core::{CompiledSurface, Release, ReleaseSink};
+use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, ServeError};
 
-/// Default bound on resident compiled surfaces.
+/// Default bound on resident compiled surfaces for the deprecated
+/// count-bounded constructor ([`Catalog::with_capacity`]).
 pub const DEFAULT_SURFACE_CAPACITY: usize = 64;
+
+/// Default resident-surface memory budget (256 MiB) used by
+/// [`Catalog::new`]. Production catalogs should size this explicitly
+/// with [`Catalog::with_memory_budget`].
+pub const DEFAULT_MEMORY_BUDGET_BYTES: usize = 256 << 20;
 
 /// Whether a surface lookup was served from the resident cache or had
 /// to compile.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serialisable so the cache state travels on the wire protocol (as
+/// the strings `"Warm"` / `"Cold"`), making staleness and cache
+/// behaviour observable by remote clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CacheState {
     /// The compiled surface was already resident.
     Warm,
@@ -63,21 +78,33 @@ pub struct SurfaceHandle {
 }
 
 /// Point-in-time catalog counters (see [`Catalog::stats`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serialisable: the serving layer exposes these over the wire
+/// protocol's `Stats` request so operators can watch warm/cold ratios,
+/// evictions and the resident-byte budget over the same connection
+/// they query through. Unbounded limits serialise as `usize::MAX`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CatalogStats {
     /// Releases currently held.
     pub releases: usize,
     /// Compiled surfaces currently resident.
     pub warm: usize,
-    /// Residency bound.
+    /// Residency count bound (`usize::MAX` when unbounded — the
+    /// default for memory-budgeted catalogs).
     pub capacity: usize,
+    /// Resident-surface byte budget (`usize::MAX` when unbounded —
+    /// only via the deprecated count-capacity shim).
+    pub budget_bytes: usize,
+    /// Bytes of compiled surface currently resident, as accounted by
+    /// [`dpgrid_core::CompiledSurface::memory_bytes`].
+    pub resident_bytes: usize,
     /// Surface lookups served since creation.
     pub lookups: u64,
     /// Lookups that found the surface resident.
     pub warm_hits: u64,
     /// Surface compilations performed.
     pub compilations: u64,
-    /// Surfaces evicted by the LRU bound.
+    /// Surfaces evicted by the residency bounds.
     pub evictions: u64,
 }
 
@@ -135,9 +162,12 @@ struct CatalogEntry {
     /// reporters or late `note_compiled` calls arrive for work the
     /// counter already recorded.
     counted_version: u64,
+    /// Bytes this entry's resident surface contributes to the
+    /// catalog-wide sum (0 = not currently accounted as resident).
+    resident_bytes: usize,
 }
 
-/// Keyed, versioned releases with a capacity-bounded LRU of compiled
+/// Keyed, versioned releases with a memory-budgeted LRU of compiled
 /// surfaces.
 #[derive(Debug)]
 pub struct Catalog {
@@ -146,7 +176,19 @@ pub struct Catalog {
     /// Catalogs hold few enough releases that the O(warm) touch is
     /// noise next to one surface compilation.
     lru: Vec<String>,
+    /// Residency count bound (`usize::MAX` = unbounded).
     capacity: usize,
+    /// Resident-surface byte budget (`usize::MAX` = unbounded).
+    budget_bytes: usize,
+    /// Current resident-surface byte total.
+    resident_bytes: usize,
+    /// Set whenever [`Catalog::release`] hands out a shared reference:
+    /// the holder may compile a surface the catalog cannot observe, so
+    /// the next bounds enforcement must sweep for unaccounted
+    /// residency. `Cell` so the `&self` accessor can raise it; the
+    /// catalog lives behind the engine's mutex, never shared `&self`
+    /// across threads.
+    escaped_release: std::cell::Cell<bool>,
     lookups: u64,
     warm_hits: u64,
     compilations: u64,
@@ -160,19 +202,44 @@ impl Default for Catalog {
 }
 
 impl Catalog {
-    /// An empty catalog bounded at [`DEFAULT_SURFACE_CAPACITY`]
-    /// resident surfaces.
+    /// An empty catalog with the [`DEFAULT_MEMORY_BUDGET_BYTES`]
+    /// resident-surface byte budget and no count bound.
     pub fn new() -> Self {
-        Catalog::with_capacity(DEFAULT_SURFACE_CAPACITY)
+        Catalog::with_memory_budget(DEFAULT_MEMORY_BUDGET_BYTES)
+    }
+
+    /// An empty catalog keeping at most `budget_bytes` (≥ 1) of
+    /// compiled surface resident, as accounted by
+    /// [`dpgrid_core::CompiledSurface::memory_bytes`].
+    ///
+    /// The budget is enforced at every catalog operation, with one
+    /// documented exception: the most-recently-used surface is never
+    /// evicted (its lease is live — evicting it would free nothing
+    /// while making the next lookup recompile), so a *single* surface
+    /// larger than the whole budget stays resident alone.
+    pub fn with_memory_budget(budget_bytes: usize) -> Self {
+        Catalog::bounded(usize::MAX, budget_bytes.max(1))
     }
 
     /// An empty catalog keeping at most `capacity` (≥ 1) compiled
-    /// surfaces resident.
+    /// surfaces resident, with no byte budget.
+    #[deprecated(
+        since = "0.1.0",
+        note = "count bounds ignore how unevenly surfaces weigh; size catalogs in bytes with \
+                `Catalog::with_memory_budget`"
+    )]
     pub fn with_capacity(capacity: usize) -> Self {
+        Catalog::bounded(capacity.max(1), usize::MAX)
+    }
+
+    fn bounded(capacity: usize, budget_bytes: usize) -> Self {
         Catalog {
             entries: HashMap::new(),
             lru: Vec::new(),
-            capacity: capacity.max(1),
+            capacity,
+            budget_bytes,
+            resident_bytes: 0,
+            escaped_release: std::cell::Cell::new(false),
             lookups: 0,
             warm_hits: 0,
             compilations: 0,
@@ -230,8 +297,8 @@ impl Catalog {
     /// Replacing drops the stale compiled surface from the LRU. A
     /// release arriving *already compiled* (e.g. a clone of a warm
     /// release — clones share their surface) counts against the
-    /// residency bound immediately, so inserts cannot smuggle resident
-    /// surfaces past the LRU.
+    /// residency bounds immediately, so inserts cannot smuggle resident
+    /// surfaces past the budget.
     pub fn insert(&mut self, key: impl Into<String>, release: Release) -> u64 {
         let key = key.into();
         let version = match self.entries.get(&key) {
@@ -240,22 +307,26 @@ impl Catalog {
         };
         self.lru.retain(|k| k != &key);
         let compiled = release.surface_is_compiled();
-        self.entries.insert(
+        if let Some(old) = self.entries.insert(
             key.clone(),
             CatalogEntry {
                 release: Arc::new(release),
                 version,
                 hits: 0,
                 counted_version: 0,
+                resident_bytes: 0,
             },
-        );
+        ) {
+            // The replaced entry's surface (if resident) is gone with it.
+            self.resident_bytes -= old.resident_bytes;
+        }
         if compiled {
-            self.touch(&key);
+            self.mark_resident(&key);
         } else {
             // Inserts are also collection points for overflow left by
             // eviction attempts that had to defer (victims mid-compile
-            // elsewhere) — the bound must not wait for the next lookup.
-            self.enforce_capacity();
+            // elsewhere) — the bounds must not wait for the next lookup.
+            self.enforce_bounds();
         }
         version
     }
@@ -264,6 +335,7 @@ impl Catalog {
     pub fn remove(&mut self, key: &str) -> Option<Release> {
         self.lru.retain(|k| k != key);
         self.entries.remove(key).map(|e| {
+            self.resident_bytes -= e.resident_bytes;
             // Unshared in the common case; a clone (sharing the
             // compiled surface, copying cells) covers a remove racing
             // an in-flight cold lease.
@@ -272,8 +344,16 @@ impl Catalog {
     }
 
     /// The release under `key`, if held. Does not touch the LRU.
+    ///
+    /// The returned reference can compile the release's surface behind
+    /// the catalog's back (answering through it fills the shared
+    /// `OnceLock`); the next catalog operation sweeps such surfaces
+    /// into the byte budget, so the escape hatch cannot smuggle
+    /// residency past the bound.
     pub fn release(&self, key: &str) -> Option<&Release> {
-        self.entries.get(key).map(|e| e.release.as_ref())
+        let entry = self.entries.get(key)?;
+        self.escaped_release.set(true);
+        Some(entry.release.as_ref())
     }
 
     /// The current version of `key`, if held.
@@ -309,7 +389,7 @@ impl Catalog {
                 version: entry.version,
             };
             self.warm_hits += 1;
-            self.touch(key);
+            self.mark_resident(key);
             Ok(Lease::Warm(handle))
         } else {
             Ok(Lease::Cold(ColdLease {
@@ -320,7 +400,8 @@ impl Catalog {
     }
 
     /// Phase two of a cold lookup: accounts for a surface compiled
-    /// outside the lock (residency, LRU order, eviction pressure).
+    /// outside the lock (resident bytes, LRU order, eviction
+    /// pressure).
     ///
     /// No-op when the key was meanwhile removed or re-versioned — the
     /// compiled surface then lives only as long as its leases. When
@@ -339,7 +420,7 @@ impl Catalog {
             entry.counted_version = version;
             self.compilations += 1;
         }
-        self.touch(key);
+        self.mark_resident(key);
     }
 
     /// Leases the compiled surface for `key`, compiling inline if it
@@ -356,30 +437,78 @@ impl Catalog {
         }
     }
 
-    /// Marks `key` most recently used and enforces the residency
-    /// bound. A victim whose release is mid-compilation elsewhere (its
-    /// `Arc` is leased) is skipped — evicting it would free nothing
-    /// while the lease lives — and retried on later pressure.
-    fn touch(&mut self, key: &str) {
+    /// Accounts `key`'s resident surface bytes (once per residency),
+    /// marks it most recently used and enforces the residency bounds.
+    fn mark_resident(&mut self, key: &str) {
+        if let Some(entry) = self.entries.get_mut(key) {
+            if entry.resident_bytes == 0 && entry.release.surface_is_compiled() {
+                let bytes = entry.release.shared_surface().memory_bytes();
+                entry.resident_bytes = bytes;
+                self.resident_bytes += bytes;
+            }
+        }
         if self.lru.last().map(String::as_str) != Some(key) {
             self.lru.retain(|k| k != key);
             self.lru.push(key.to_string());
         }
-        self.enforce_capacity();
+        self.enforce_bounds();
     }
 
-    /// Evicts least-recently-used surfaces until the residency bound
-    /// holds, sparing the most-recently-used key. Deferred victims
-    /// (mid-compile elsewhere) leave transient overflow; every caller
-    /// — lookups *and* inserts — retries the sweep, so the bound is
+    /// Accounts surfaces compiled *out of band* — through the shared
+    /// reference [`Catalog::release`] hands out, whose `OnceLock`
+    /// compile the catalog cannot intercept — so no code path smuggles
+    /// resident bytes past the budget. Collected keys enter the LRU at
+    /// the least-recently-used end: the catalog never served a lookup
+    /// for them, so they are the first legitimate victims.
+    ///
+    /// The O(releases) scan runs only when a [`Catalog::release`]
+    /// reference actually escaped since the last sweep, so the serving
+    /// hot path (pure lease traffic) never pays it. Entries with an
+    /// outstanding lease `Arc` (a [`ColdLease`] between compile and
+    /// [`Catalog::note_compiled`]) are skipped: that compile is
+    /// in-band and its own report will account it as most recently
+    /// used.
+    fn collect_out_of_band(&mut self) {
+        if !self.escaped_release.replace(false) {
+            return;
+        }
+        let resident_bytes = &mut self.resident_bytes;
+        let mut collected: Vec<String> = Vec::new();
+        for (key, entry) in &mut self.entries {
+            if entry.resident_bytes == 0
+                && Arc::strong_count(&entry.release) == 1
+                && entry.release.surface_is_compiled()
+            {
+                let bytes = entry.release.shared_surface().memory_bytes();
+                entry.resident_bytes = bytes;
+                *resident_bytes += bytes;
+                collected.push(key.clone());
+            }
+        }
+        collected.retain(|key| !self.lru.contains(key));
+        self.lru.splice(0..0, collected);
+    }
+
+    /// Evicts least-recently-used surfaces until both residency bounds
+    /// (count and bytes) hold, sparing the most-recently-used key — it
+    /// is the surface a live lease is answering through, so evicting
+    /// it would free nothing. A victim whose release is mid-compile
+    /// elsewhere (its `Arc` is leased) is skipped for the same reason;
+    /// deferred victims leave transient overflow, and every caller —
+    /// lookups *and* inserts — retries the sweep, so the bounds are
     /// restored by whichever catalog operation comes next.
-    fn enforce_capacity(&mut self) {
+    fn enforce_bounds(&mut self) {
+        self.collect_out_of_band();
         let mut victim = 0;
-        while self.lru.len() > self.capacity && victim + 1 < self.lru.len() {
+        while (self.lru.len() > self.capacity || self.resident_bytes > self.budget_bytes)
+            && victim + 1 < self.lru.len()
+        {
             let evicted = match self.entries.get_mut(&self.lru[victim]) {
                 Some(entry) => match Arc::get_mut(&mut entry.release) {
                     Some(release) => {
                         release.evict_surface();
+                        self.resident_bytes -= entry.resident_bytes;
+                        entry.resident_bytes = 0;
                         // A later recompile of this same version is new
                         // work; let it count again.
                         entry.counted_version = 0;
@@ -426,9 +555,29 @@ impl Catalog {
         self.lru.len()
     }
 
-    /// The residency bound.
+    /// The residency count bound (`usize::MAX` when unbounded).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The resident-surface byte budget (`usize::MAX` when unbounded).
+    pub fn memory_budget(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Bytes of compiled surface currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Sweeps any out-of-band compiles (surfaces filled through
+    /// [`Catalog::release`] references) into the byte budget and
+    /// enforces the residency bounds — without waiting for the next
+    /// lookup or insert to do it. Call before reading
+    /// [`Catalog::stats`] when the counters must reflect escape-hatch
+    /// activity; the query engine does this on every stats read.
+    pub fn reconcile(&mut self) {
+        self.enforce_bounds();
     }
 
     /// Point-in-time counters.
@@ -437,6 +586,8 @@ impl Catalog {
             releases: self.entries.len(),
             warm: self.lru.len(),
             capacity: self.capacity,
+            budget_bytes: self.budget_bytes,
+            resident_bytes: self.resident_bytes,
             lookups: self.lookups,
             warm_hits: self.warm_hits,
             compilations: self.compilations,
@@ -466,6 +617,12 @@ mod tests {
             .seed(seed)
             .publish()
             .unwrap()
+    }
+
+    /// Resident bytes of one freshly compiled m×m release surface.
+    fn surface_bytes(seed: u64, m: usize) -> usize {
+        let rel = release(seed, m);
+        rel.shared_surface().memory_bytes()
     }
 
     #[test]
@@ -500,10 +657,12 @@ mod tests {
         assert_eq!(stats.compilations, 1);
         assert_eq!(stats.warm_hits, 1);
         assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.resident_bytes, first.surface.memory_bytes());
     }
 
     #[test]
-    fn lru_evicts_past_capacity_and_leases_stay_valid() {
+    #[allow(deprecated)]
+    fn count_capacity_shim_evicts_past_capacity_and_leases_stay_valid() {
         let mut catalog = Catalog::with_capacity(2);
         for (key, seed) in [("a", 1u64), ("b", 2), ("c", 3)] {
             catalog.insert(key, release(seed, 8));
@@ -539,18 +698,98 @@ mod tests {
     }
 
     #[test]
-    fn precompiled_inserts_count_against_the_residency_bound() {
+    fn memory_budget_bounds_resident_bytes() {
+        // Budget sized to hold two 8×8 surfaces but not three.
+        let one = surface_bytes(1, 8);
+        let budget = one * 2 + one / 2;
+        let mut catalog = Catalog::with_memory_budget(budget);
+        for (key, seed) in [("a", 1u64), ("b", 2), ("c", 3)] {
+            catalog.insert(key, release(seed, 8));
+        }
+        for key in ["a", "b", "c", "a", "c", "b"] {
+            catalog.surface(key).unwrap();
+            let stats = catalog.stats();
+            assert!(
+                stats.resident_bytes <= budget,
+                "resident {} exceeds budget {budget}",
+                stats.resident_bytes
+            );
+        }
+        assert!(catalog.stats().evictions >= 2, "budget had to evict");
+        assert_eq!(catalog.memory_budget(), budget);
+        // Evicted keys recompile on demand and answer identically.
+        let q = Rect::new(-130.0, 10.0, -70.0, 50.0).unwrap();
+        let direct = catalog.release("a").unwrap().answer_linear_scan(&q);
+        let served = catalog.surface("a").unwrap().surface.answer(&q);
+        assert!((served - direct).abs() <= 1e-9 * (1.0 + direct.abs()));
+    }
+
+    #[test]
+    fn oversized_surface_stays_resident_alone() {
+        // One surface larger than the whole budget: the MRU exemption
+        // keeps it resident (evicting it frees nothing — the lease
+        // holds the Arc), but everything else is evicted around it.
+        let mut catalog = Catalog::with_memory_budget(1);
+        catalog.insert("big", release(1, 16));
+        catalog.insert("small", release(2, 8));
+        catalog.surface("small").unwrap();
+        catalog.surface("big").unwrap();
+        assert_eq!(catalog.warm_len(), 1);
+        assert!(catalog
+            .release("big")
+            .is_some_and(Release::surface_is_compiled));
+        assert!(catalog
+            .release("small")
+            .is_some_and(|r| !r.surface_is_compiled()));
+    }
+
+    #[test]
+    fn out_of_band_compiles_are_collected_into_the_budget() {
+        // `Catalog::release` hands out a shared reference whose
+        // `OnceLock` compile the catalog cannot see happen; the next
+        // catalog operation must collect those surfaces into the
+        // budget instead of letting them stay resident unaccounted.
+        let one = surface_bytes(1, 8);
+        let budget = one * 2 + one / 2;
+        let mut catalog = Catalog::with_memory_budget(budget);
+        for (key, seed) in [("a", 1u64), ("b", 2), ("c", 3)] {
+            catalog.insert(key, release(seed, 8));
+        }
+        let q = Rect::new(-100.0, 20.0, -90.0, 30.0).unwrap();
+        for key in ["a", "b", "c"] {
+            catalog.release(key).unwrap().answer(&q);
+        }
+        // Any budget-relevant operation sweeps the smuggled surfaces
+        // in and enforces the bound.
+        catalog.surface("c").unwrap();
+        let stats = catalog.stats();
+        assert!(
+            stats.resident_bytes <= budget,
+            "resident {} exceeds budget {budget}",
+            stats.resident_bytes
+        );
+        assert!(stats.evictions >= 1, "collection had to evict");
+        // The never-leased keys were the victims, not the one the
+        // catalog actually served.
+        assert!(catalog
+            .release("c")
+            .is_some_and(Release::surface_is_compiled));
+    }
+
+    #[test]
+    fn precompiled_inserts_count_against_the_budget() {
         // A release can arrive already compiled (clones share their
-        // surface); the LRU must account for it at insert time, not
-        // let it bypass the capacity bound until first lookup.
-        let mut catalog = Catalog::with_capacity(2);
+        // surface); the budget must account for it at insert time, not
+        // let it bypass the bound until first lookup.
+        let one = surface_bytes(1, 8);
+        let mut catalog = Catalog::with_memory_budget(one * 2 + one / 2);
         for (key, seed) in [("a", 1u64), ("b", 2), ("c", 3)] {
             let rel = release(seed, 8);
             rel.answer(&Rect::new(-100.0, 20.0, -90.0, 30.0).unwrap());
             assert!(rel.surface_is_compiled());
             catalog.insert(key, rel);
         }
-        assert_eq!(catalog.warm_len(), 2, "bound enforced at insert");
+        assert_eq!(catalog.warm_len(), 2, "budget enforced at insert");
         assert_eq!(catalog.stats().evictions, 1);
         assert!(catalog
             .release("a")
@@ -562,27 +801,31 @@ mod tests {
 
     #[test]
     fn two_phase_lease_compiles_outside_and_reports_back() {
-        let mut catalog = Catalog::with_capacity(2);
+        let mut catalog = Catalog::new();
         catalog.insert("a", release(1, 16));
         let Lease::Cold(cold) = catalog.lease("a").unwrap() else {
             panic!("first lookup must be cold");
         };
         // Nothing resident until the compile is reported back.
         assert_eq!(catalog.warm_len(), 0);
+        assert_eq!(catalog.resident_bytes(), 0);
         let handle = cold.compile();
         assert_eq!(handle.cache, CacheState::Cold);
         assert_eq!(handle.version, 1);
         catalog.note_compiled("a", handle.version);
         assert_eq!(catalog.warm_len(), 1);
+        assert_eq!(catalog.resident_bytes(), handle.surface.memory_bytes());
         assert_eq!(catalog.stats().compilations, 1);
         // A racing second reporter does not double-count.
         catalog.note_compiled("a", handle.version);
         assert_eq!(catalog.stats().compilations, 1);
+        assert_eq!(catalog.resident_bytes(), handle.surface.memory_bytes());
         assert!(matches!(catalog.lease("a").unwrap(), Lease::Warm(_)));
         // A stale report (key re-versioned meanwhile) is a no-op.
         catalog.insert("a", release(9, 16));
         catalog.note_compiled("a", handle.version);
         assert_eq!(catalog.warm_len(), 0);
+        assert_eq!(catalog.resident_bytes(), 0);
     }
 
     #[test]
@@ -592,12 +835,28 @@ mod tests {
         let v1 = catalog.surface("a").unwrap();
         assert_eq!(v1.version, 1);
         catalog.insert("a", release(9, 8));
+        assert_eq!(catalog.resident_bytes(), 0, "stale surface deaccounted");
         let v2 = catalog.surface("a").unwrap();
         assert_eq!(v2.version, 2);
         assert_eq!(v2.cache, CacheState::Cold);
         assert!(!Arc::ptr_eq(&v1.surface, &v2.surface));
         // Per-key hit counters reset with the new version.
         assert_eq!(catalog.hits("a"), Some(1));
+    }
+
+    #[test]
+    fn remove_deaccounts_resident_bytes() {
+        let mut catalog = Catalog::new();
+        catalog.insert("a", release(1, 8));
+        catalog.insert("b", release(2, 8));
+        catalog.surface("a").unwrap();
+        catalog.surface("b").unwrap();
+        let before = catalog.resident_bytes();
+        let removed = catalog.remove("a").unwrap();
+        assert!(removed.surface_is_compiled());
+        assert!(catalog.resident_bytes() < before);
+        assert_eq!(catalog.warm_len(), 1);
+        assert!(catalog.remove("a").is_none());
     }
 
     #[test]

@@ -4,19 +4,26 @@
 //! number of threads can answer queries and insert releases
 //! concurrently. The serving discipline:
 //!
-//! 1. **Resolve under the lock, compile and answer outside it.** A
+//! 1. **Admit before touching anything.** Every request first reserves
+//!    its rectangles against a bounded in-flight budget
+//!    ([`QueryEngine::with_admission_limit`]); a request that does not
+//!    fit is *shed* with a typed [`ServeError::Overloaded`] instead of
+//!    queueing unboundedly — overload degrades into fast, explicit
+//!    rejections rather than latency collapse, and a transport can
+//!    surface the error code for client backoff.
+//! 2. **Resolve under the lock, compile and answer outside it.** A
 //!    request (or a whole batch) takes the catalog lock only long
 //!    enough to lease warm `Arc<CompiledSurface>` handles or cold
 //!    release leases; O(cells·log cells) surface compilations run
 //!    *unlocked* (each release's `OnceLock` keeps them exactly-once)
 //!    and answering holds no lock either, so neither slow queries nor
 //!    cold compiles block inserts or other requests.
-//! 2. **Shard over scoped threads.** Batches fan out across
+//! 3. **Shard over scoped threads.** Batches fan out across
 //!    `std::thread::scope` workers, and each request's rectangles run
 //!    through the same [`dpgrid_geo::answer_all_batched`] driver the
 //!    rest of the workspace uses (or a pinned worker count via
 //!    [`QueryEngine::with_workers`]).
-//! 3. **Typed responses.** Every [`QueryResponse`] carries the release
+//! 4. **Typed responses.** Every [`QueryResponse`] carries the release
 //!    version it answered against and whether the surface was warm,
 //!    so callers can reason about staleness and cache behaviour.
 
@@ -25,9 +32,14 @@ use std::sync::{Mutex, MutexGuard};
 
 use dpgrid_core::{Release, ReleaseSink};
 use dpgrid_geo::{answer_all_with_workers, Rect};
+use serde::{Deserialize, Serialize};
 
 use crate::catalog::{CacheState, Catalog, CatalogStats, Lease, SurfaceHandle};
-use crate::error::Result;
+use crate::error::{Result, ServeError};
+
+/// Default in-flight rectangle budget: generous enough that only a
+/// genuine overload (thousands of concurrent heavy batches) sheds.
+pub const DEFAULT_ADMISSION_LIMIT: usize = 1 << 20;
 
 /// A batch of rectangle count queries addressed to one release.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,14 +76,24 @@ pub struct QueryResponse {
 
 /// Point-in-time engine counters: request traffic on top of the
 /// catalog's surface-cache counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serialisable: exposed over the wire protocol's `Stats` request so
+/// operators can watch traffic, shedding and cache behaviour through
+/// the same connection they query over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
-    /// Requests routed (successful or not).
+    /// Requests routed (successful or not, including shed ones).
     pub requests: u64,
     /// Individual rectangle queries answered.
     pub answers: u64,
     /// Requests that named an unknown release key.
     pub unknown_keys: u64,
+    /// Requests shed by admission control ([`ServeError::Overloaded`]).
+    pub shed: u64,
+    /// Rectangles currently being answered (admitted, not yet done).
+    pub inflight_rects: u64,
+    /// The in-flight rectangle budget admission control enforces.
+    pub admission_limit: u64,
     /// The wrapped catalog's counters.
     pub catalog: CatalogStats,
 }
@@ -106,20 +128,55 @@ pub struct QueryEngine {
     /// Worker budget for one batch: 0 means adaptive (the
     /// `answer_all_batched` driver decides per batch).
     workers: usize,
+    /// In-flight rectangle budget; requests that would exceed it shed.
+    admission_limit: usize,
+    inflight_rects: AtomicU64,
     requests: AtomicU64,
     answers: AtomicU64,
     unknown_keys: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// An admission reservation: `rects` rectangles counted in flight
+/// until the permit drops (response computed or request failed).
+#[derive(Debug)]
+struct RectPermit<'a> {
+    engine: &'a QueryEngine,
+    rects: u64,
+}
+
+impl Drop for RectPermit<'_> {
+    fn drop(&mut self) {
+        self.engine
+            .inflight_rects
+            .fetch_sub(self.rects, Ordering::Relaxed);
+    }
+}
+
+/// Phase-one outcome for one request of a batch: shed at admission, or
+/// admitted with its catalog lease.
+enum Prepared<'a> {
+    Shed(ServeError),
+    Admitted {
+        /// Held (in flight) until the request's answers are computed.
+        permit: RectPermit<'a>,
+        lease: Result<Lease>,
+    },
 }
 
 impl QueryEngine {
-    /// Wraps `catalog` with the adaptive worker policy.
+    /// Wraps `catalog` with the adaptive worker policy and the
+    /// [`DEFAULT_ADMISSION_LIMIT`] in-flight rectangle budget.
     pub fn new(catalog: Catalog) -> Self {
         QueryEngine {
             catalog: Mutex::new(catalog),
             workers: 0,
+            admission_limit: DEFAULT_ADMISSION_LIMIT,
+            inflight_rects: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             answers: AtomicU64::new(0),
             unknown_keys: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         }
     }
 
@@ -131,9 +188,27 @@ impl QueryEngine {
         self
     }
 
+    /// Bounds the number of rectangles the engine answers concurrently.
+    ///
+    /// A request whose rectangles do not fit under the budget —
+    /// including a single request larger than the whole budget — is
+    /// shed with [`ServeError::Overloaded`] instead of queueing. This
+    /// is the engine's backpressure seam: transports map the error to
+    /// a retryable wire code rather than letting load queue
+    /// unboundedly behind the listener.
+    pub fn with_admission_limit(mut self, rects: usize) -> Self {
+        self.admission_limit = rects;
+        self
+    }
+
     /// The configured worker budget (0 = adaptive).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The in-flight rectangle budget.
+    pub fn admission_limit(&self) -> usize {
+        self.admission_limit
     }
 
     /// Inserts (or re-versions) a release, returning its version.
@@ -145,36 +220,63 @@ impl QueryEngine {
 
     /// Runs `f` with exclusive access to the wrapped catalog — the
     /// escape hatch for maintenance (directory loads, removals,
-    /// capacity inspection) without tearing the engine down.
+    /// budget inspection) without tearing the engine down.
     pub fn with_catalog<R>(&self, f: impl FnOnce(&mut Catalog) -> R) -> R {
         f(&mut self.lock())
     }
 
-    /// Answers one request: resolves the release's compiled surface
+    /// Answers one request: admits its rectangles against the
+    /// in-flight budget, resolves the release's compiled surface
     /// (compiling outside the catalog lock if cold), then answers
-    /// every rectangle with no lock held.
+    /// every rectangle with no lock held — the same
+    /// admit → lease → finish flow as one slot of [`answer_batch`],
+    /// so both paths share their accounting.
+    ///
+    /// [`answer_batch`]: QueryEngine::answer_batch
     pub fn answer(&self, request: &QueryRequest) -> Result<QueryResponse> {
-        let resolved = self.resolve(&request.release_key);
-        self.respond(request, resolved, self.workers)
+        let prepared = match self.admit(request.rects.len()) {
+            Err(e) => Prepared::Shed(e),
+            Ok(permit) => Prepared::Admitted {
+                permit,
+                lease: self.lock().lease(&request.release_key),
+            },
+        };
+        self.finish_prepared(request, prepared, self.workers)
     }
 
-    /// Routes a batch of requests across releases: warm surfaces are
-    /// leased under one short catalog lock, then the requests are
-    /// sharded over `std::thread::scope` workers — cold compilations
-    /// run on the workers with no lock held (concurrently across
-    /// distinct releases, exactly once per release whatever the batch
-    /// shape) — and each request's rectangles are answered through the
-    /// shared batched driver.
+    /// Routes a batch of requests across releases: every request is
+    /// admitted against the in-flight rectangle budget (those that do
+    /// not fit are shed with [`ServeError::Overloaded`], without
+    /// touching the catalog), warm surfaces are leased under one short
+    /// catalog lock, then the requests are sharded over
+    /// `std::thread::scope` workers — cold compilations run on the
+    /// workers with no lock held (concurrently across distinct
+    /// releases, exactly once per release whatever the batch shape) —
+    /// and each request's rectangles are answered through the shared
+    /// batched driver.
     ///
     /// Responses come back in request order; a request for an unknown
-    /// key fails alone without poisoning the rest of the batch.
+    /// key (or one shed by admission control) fails alone without
+    /// poisoning the rest of the batch.
     pub fn answer_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse>> {
-        // Phase one under one short lock: warm handles and cold leases.
-        let leases: Vec<Result<Lease>> = {
+        // Phase one: admission (lock-free), then warm handles and cold
+        // leases for the admitted requests under one short lock.
+        let permits: Vec<Result<RectPermit>> =
+            requests.iter().map(|r| self.admit(r.rects.len())).collect();
+        let mut prepared: Vec<Option<Prepared>> = {
             let mut catalog = self.lock();
             requests
                 .iter()
-                .map(|r| catalog.lease(&r.release_key))
+                .zip(permits)
+                .map(|(r, permit)| {
+                    Some(match permit {
+                        Err(e) => Prepared::Shed(e),
+                        Ok(permit) => Prepared::Admitted {
+                            permit,
+                            lease: catalog.lease(&r.release_key),
+                        },
+                    })
+                })
                 .collect()
         };
         // Phase two runs inside the shards: each worker finishes its
@@ -182,17 +284,14 @@ impl QueryEngine {
         // batch over K cold releases compiles them concurrently — the
         // per-release `OnceLock` dedups same-key races) and answers.
         // Other threads keep leasing and inserting meanwhile.
-        let mut leases: Vec<Option<Result<Lease>>> = leases.into_iter().map(Some).collect();
         let budget = self.budget();
         let shards = requests.len().min(budget).max(1);
         if shards <= 1 {
             return requests
                 .iter()
-                .zip(&mut leases)
-                .map(|(req, lease)| {
-                    let resolved =
-                        self.finish_lease(&req.release_key, lease.take().expect("leased once"));
-                    self.respond(req, resolved, self.workers)
+                .zip(&mut prepared)
+                .map(|(req, slot)| {
+                    self.finish_prepared(req, slot.take().expect("prepared once"), self.workers)
                 })
                 .collect();
         }
@@ -209,16 +308,18 @@ impl QueryEngine {
         let chunk = requests.len().div_ceil(shards);
         let mut out: Vec<Option<Result<QueryResponse>>> = requests.iter().map(|_| None).collect();
         std::thread::scope(|scope| {
-            for ((req_chunk, lease_chunk), out_chunk) in requests
+            for ((req_chunk, prep_chunk), out_chunk) in requests
                 .chunks(chunk)
-                .zip(leases.chunks_mut(chunk))
+                .zip(prepared.chunks_mut(chunk))
                 .zip(out.chunks_mut(chunk))
             {
                 scope.spawn(move || {
-                    for ((req, lease), slot) in req_chunk.iter().zip(lease_chunk).zip(out_chunk) {
-                        let resolved =
-                            self.finish_lease(&req.release_key, lease.take().expect("leased once"));
-                        *slot = Some(self.respond(req, resolved, per_request));
+                    for ((req, prep), slot) in req_chunk.iter().zip(prep_chunk).zip(out_chunk) {
+                        *slot = Some(self.finish_prepared(
+                            req,
+                            prep.take().expect("prepared once"),
+                            per_request,
+                        ));
                     }
                 });
             }
@@ -229,20 +330,87 @@ impl QueryEngine {
     }
 
     /// Point-in-time counters (takes the catalog lock briefly).
+    ///
+    /// Reconciles the catalog first, so surfaces compiled through the
+    /// [`QueryEngine::with_catalog`] escape hatch are swept into the
+    /// byte budget before the counters are read — an idle engine's
+    /// stats never under-report residency or leave the budget sitting
+    /// violated until the next query arrives.
     pub fn stats(&self) -> EngineStats {
+        let catalog = {
+            let mut catalog = self.lock();
+            catalog.reconcile();
+            catalog.stats()
+        };
         EngineStats {
             requests: self.requests.load(Ordering::Relaxed),
             answers: self.answers.load(Ordering::Relaxed),
             unknown_keys: self.unknown_keys.load(Ordering::Relaxed),
-            catalog: self.lock().stats(),
+            shed: self.shed.load(Ordering::Relaxed),
+            inflight_rects: self.inflight_rects.load(Ordering::Relaxed),
+            admission_limit: self.admission_limit as u64,
+            catalog,
         }
     }
 
-    /// Resolves one key to a surface handle: lease under the lock,
-    /// compile (if cold) outside it, report back for LRU accounting.
-    fn resolve(&self, key: &str) -> Result<SurfaceHandle> {
-        let lease = self.lock().lease(key);
-        self.finish_lease(key, lease)
+    /// Reserves `rects` rectangles against the in-flight budget, or
+    /// sheds with [`ServeError::Overloaded`]. The returned permit
+    /// releases the reservation on drop.
+    ///
+    /// The reservation commits only when it fits (compare-exchange),
+    /// so an oversized request that can never be admitted leaves no
+    /// transient spike in the counter — concurrent requests that do
+    /// fit are never spuriously shed by a rejected one.
+    fn admit(&self, rects: usize) -> Result<RectPermit<'_>> {
+        let rects = rects as u64;
+        let limit = self.admission_limit as u64;
+        let mut inflight = self.inflight_rects.load(Ordering::Relaxed);
+        loop {
+            if inflight + rects > limit {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    inflight_rects: inflight,
+                    limit,
+                });
+            }
+            match self.inflight_rects.compare_exchange_weak(
+                inflight,
+                inflight + rects,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Ok(RectPermit {
+                        engine: self,
+                        rects,
+                    })
+                }
+                Err(current) => inflight = current,
+            }
+        }
+    }
+
+    /// Completes one prepared batch slot: shed requests fail typed,
+    /// admitted ones finish their lease and answer (the permit stays
+    /// alive — rects count as in flight — until the answers exist).
+    fn finish_prepared(
+        &self,
+        req: &QueryRequest,
+        prepared: Prepared<'_>,
+        workers: usize,
+    ) -> Result<QueryResponse> {
+        match prepared {
+            Prepared::Shed(e) => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+            Prepared::Admitted { permit, lease } => {
+                let resolved = self.finish_lease(&req.release_key, lease);
+                let response = self.respond(req, resolved, workers);
+                drop(permit);
+                response
+            }
+        }
     }
 
     /// Turns a phase-one lease into a handle, running any compilation
@@ -270,7 +438,9 @@ impl QueryEngine {
         let handle = match resolved {
             Ok(handle) => handle,
             Err(e) => {
-                self.unknown_keys.fetch_add(1, Ordering::Relaxed);
+                if matches!(e, ServeError::UnknownRelease(_)) {
+                    self.unknown_keys.fetch_add(1, Ordering::Relaxed);
+                }
                 return Err(e);
             }
         };
@@ -373,6 +543,8 @@ mod tests {
         assert_eq!(stats.requests, 3);
         assert_eq!(stats.answers, 10);
         assert_eq!(stats.unknown_keys, 1);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.inflight_rects, 0);
         assert_eq!(stats.catalog.compilations, 1);
     }
 
@@ -428,6 +600,56 @@ mod tests {
                 assert_eq!(&resp.as_ref().unwrap().answers, expect, "workers {workers}");
             }
         }
+    }
+
+    #[test]
+    fn admission_sheds_oversized_requests_with_typed_overload() {
+        let engine = engine_with(&[("a", 1)]).with_admission_limit(8);
+        assert_eq!(engine.admission_limit(), 8);
+        // Within budget: answered normally.
+        assert!(engine.answer(&QueryRequest::new("a", rects(8))).is_ok());
+        // A single request larger than the whole budget sheds — it can
+        // never be admitted, and typed rejection beats a silent hang.
+        let big = QueryRequest::new("a", rects(9));
+        match engine.answer(&big) {
+            Err(ServeError::Overloaded {
+                inflight_rects,
+                limit,
+            }) => {
+                assert_eq!(inflight_rects, 0);
+                assert_eq!(limit, 8);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.requests, 2);
+        // The budget fully recovers: nothing leaked in flight.
+        assert_eq!(stats.inflight_rects, 0);
+        assert!(engine.answer(&QueryRequest::new("a", rects(8))).is_ok());
+    }
+
+    #[test]
+    fn batch_sheds_excess_load_without_poisoning_admitted_requests() {
+        let engine = engine_with(&[("a", 1), ("b", 2)]).with_admission_limit(10);
+        // 4 + 4 fit; the third request (4 more) exceeds 10 and sheds;
+        // the last fits again only if the earlier permits were still
+        // held — within one batch they are, so it sheds too.
+        let requests = vec![
+            QueryRequest::new("a", rects(4)),
+            QueryRequest::new("b", rects(4)),
+            QueryRequest::new("a", rects(4)),
+            QueryRequest::new("b", rects(4)),
+        ];
+        let responses = engine.answer_batch(&requests);
+        assert!(responses[0].is_ok());
+        assert!(responses[1].is_ok());
+        assert!(matches!(responses[2], Err(ServeError::Overloaded { .. })));
+        assert!(matches!(responses[3], Err(ServeError::Overloaded { .. })));
+        assert_eq!(engine.stats().shed, 2);
+        assert_eq!(engine.stats().inflight_rects, 0);
+        // After the batch, the shed requests go through alone.
+        assert!(engine.answer(&requests[2]).is_ok());
     }
 
     #[test]

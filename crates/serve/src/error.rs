@@ -6,10 +6,28 @@ use std::path::PathBuf;
 use dpgrid_core::CoreError;
 
 /// Everything that can go wrong while serving releases.
+///
+/// The first three variants are the *typed client errors* of the
+/// service API — the wire protocol maps each onto a stable
+/// [`crate::wire::ErrorCode`] so remote callers can branch on them
+/// exactly as in-process callers match on this enum.
 #[derive(Debug)]
 pub enum ServeError {
     /// A query named a release key the catalog does not hold.
     UnknownRelease(String),
+    /// A query was rejected at the API boundary: NaN / infinite
+    /// coordinates, an inverted rectangle, or any other shape the
+    /// serving layer refuses to route further down.
+    InvalidQuery(String),
+    /// Admission control shed the request: admitting its rectangles
+    /// would have pushed the engine past its in-flight budget. The
+    /// caller should back off and retry; nothing was queued.
+    Overloaded {
+        /// Rectangles already in flight when the request arrived.
+        inflight_rects: u64,
+        /// The configured in-flight rectangle budget.
+        limit: u64,
+    },
     /// A release file's name cannot serve as a catalog key (e.g. a
     /// non-UTF-8 file stem in a loaded directory).
     InvalidKey(String),
@@ -33,6 +51,14 @@ impl fmt::Display for ServeError {
             ServeError::UnknownRelease(key) => {
                 write!(f, "no release under key `{key}` in the catalog")
             }
+            ServeError::InvalidQuery(why) => write!(f, "invalid query: {why}"),
+            ServeError::Overloaded {
+                inflight_rects,
+                limit,
+            } => write!(
+                f,
+                "engine overloaded: {inflight_rects} rects in flight against a budget of {limit}"
+            ),
             ServeError::InvalidKey(why) => write!(f, "invalid release key: {why}"),
             ServeError::Io { path, source } => {
                 write!(f, "reading {}: {source}", path.display())
@@ -45,7 +71,10 @@ impl fmt::Display for ServeError {
 impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ServeError::UnknownRelease(_) | ServeError::InvalidKey(_) => None,
+            ServeError::UnknownRelease(_)
+            | ServeError::InvalidQuery(_)
+            | ServeError::Overloaded { .. }
+            | ServeError::InvalidKey(_) => None,
             ServeError::Io { source, .. } => Some(source),
             ServeError::Core(e) => Some(e),
         }

@@ -5,7 +5,7 @@
 //! problem starts *after* publication: hold many releases at once,
 //! answer heavy batched query traffic against any of them, and keep
 //! the expensive part — each release's compiled query surface — built
-//! exactly once and bounded in number. This crate is that layer, built
+//! exactly once and bounded in memory. This crate is that layer, built
 //! on the two seams below it (`dpgrid_core::Pipeline` publishes typed
 //! releases, `dpgrid_core::CompiledSurface` answers one release fast):
 //!
@@ -13,19 +13,34 @@
 //!   ([`Catalog::insert`], or zero-copy from a pipeline via
 //!   [`dpgrid_core::Pipeline::publish_into`]) or from a directory of
 //!   release JSON dumps ([`Catalog::load_dir`]), with a
-//!   capacity-bounded LRU of compiled surfaces: at most
-//!   [`Catalog::capacity`] indexes stay resident, the
-//!   least-recently-used one is evicted when a compile overflows the
-//!   bound, and a resident surface is *never* recompiled — lookups
-//!   lease `Arc` clones of the same index.
-//! * [`QueryEngine`] — the batched frontend: routes
-//!   [`QueryRequest`]`{ release_key, rects }` batches across releases,
-//!   leases every surface under one catalog lock, answers with no lock
-//!   held, shards batches over `std::thread::scope` workers through
-//!   the shared `answer_all_batched` driver, and returns typed
-//!   [`QueryResponse`]s carrying the release version and cache state.
-//!   Interior locking makes the engine `Sync`: query threads and
-//!   catalog inserts interleave freely.
+//!   **memory-budgeted** LRU of compiled surfaces: at most
+//!   [`Catalog::memory_budget`] bytes of compiled index stay resident
+//!   (accounted through
+//!   [`dpgrid_core::CompiledSurface::memory_bytes`]), least-recently
+//!   used surfaces are evicted when a compile overflows the budget,
+//!   and a resident surface is *never* recompiled — lookups lease
+//!   `Arc` clones of the same index.
+//! * [`QueryEngine`] — the batched frontend: admits requests against a
+//!   bounded in-flight rectangle budget (overload sheds with a typed
+//!   [`ServeError::Overloaded`] instead of queueing unboundedly),
+//!   routes [`QueryRequest`]`{ release_key, rects }` batches across
+//!   releases, leases every surface under one catalog lock, answers
+//!   with no lock held, shards batches over `std::thread::scope`
+//!   workers, and returns typed [`QueryResponse`]s carrying the
+//!   release version and cache state. Interior locking makes the
+//!   engine `Sync`: query threads and catalog inserts interleave
+//!   freely.
+//! * [`QueryService`] — the transport seam: the object-safe trait
+//!   (`answer_batch` + `stats`) transports are written against, so a
+//!   TCP frontend, a mock, or a future sharding proxy all plug in the
+//!   same way. [`QueryEngine`] implements it.
+//! * [`wire`] — the versioned wire protocol: single-line JSON
+//!   [`wire::WireRequest`]/[`wire::WireResponse`] frames with boundary
+//!   rectangle validation and stable [`wire::ErrorCode`]s
+//!   (unknown-key / invalid-query / overloaded …), plus
+//!   [`wire::handle_frame`] dispatching one frame against any
+//!   [`QueryService`]. The `dpgrid-net` crate supplies TCP framing
+//!   around it.
 //!
 //! # Example
 //!
@@ -35,8 +50,9 @@
 //! use dpgrid_geo::Rect;
 //! use dpgrid_serve::{Catalog, QueryEngine, QueryRequest};
 //!
-//! // Publish two releases straight into a catalog.
-//! let mut catalog = Catalog::with_capacity(8);
+//! // Publish two releases straight into a catalog bounded at 64 MiB
+//! // of resident compiled surface.
+//! let mut catalog = Catalog::with_memory_budget(64 << 20);
 //! for (key, seed) in [("storage", 1u64), ("landmark", 2)] {
 //!     let data = PaperDataset::Storage.generate_n(seed, 2_000).unwrap();
 //!     Pipeline::new(&data)
@@ -67,9 +83,13 @@
 mod catalog;
 mod engine;
 mod error;
+mod service;
+pub mod wire;
 
 pub use catalog::{
-    CacheState, Catalog, CatalogStats, ColdLease, Lease, SurfaceHandle, DEFAULT_SURFACE_CAPACITY,
+    CacheState, Catalog, CatalogStats, ColdLease, Lease, SurfaceHandle,
+    DEFAULT_MEMORY_BUDGET_BYTES, DEFAULT_SURFACE_CAPACITY,
 };
-pub use engine::{EngineStats, QueryEngine, QueryRequest, QueryResponse};
+pub use engine::{EngineStats, QueryEngine, QueryRequest, QueryResponse, DEFAULT_ADMISSION_LIMIT};
 pub use error::{Result, ServeError};
+pub use service::QueryService;

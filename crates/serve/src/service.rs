@@ -1,0 +1,82 @@
+//! The transport-facing service abstraction.
+//!
+//! A transport (TCP frontend, HTTP handler, in-process test double…)
+//! should not care *which* engine answers its queries — only that
+//! something can take [`QueryRequest`] batches and report stats. The
+//! [`QueryService`] trait is that seam: [`QueryEngine`] implements it,
+//! and the wire protocol ([`crate::wire`]) and every transport built
+//! on it (e.g. the `dpgrid-net` TCP server) are written against the
+//! trait, so a mock service, a sharding proxy or a future engine
+//! swap in without touching transport code.
+
+use std::sync::Arc;
+
+use crate::engine::{EngineStats, QueryEngine, QueryRequest, QueryResponse};
+use crate::error::Result;
+
+/// Anything that can answer batched release queries.
+///
+/// `Send + Sync` is a supertrait bound because transports hand one
+/// service instance to many connection threads; implementations are
+/// expected to use interior locking the way [`QueryEngine`] does.
+///
+/// Implementations must uphold the engine's response contract:
+/// responses come back in request order, one per request, and a
+/// failing request (unknown key, shed by admission control) fails
+/// alone without poisoning the rest of the batch.
+pub trait QueryService: Send + Sync {
+    /// Answers a batch of requests, one result per request, in order.
+    fn answer_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse>>;
+
+    /// Point-in-time traffic and cache counters.
+    fn stats(&self) -> EngineStats;
+}
+
+impl QueryService for QueryEngine {
+    fn answer_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse>> {
+        QueryEngine::answer_batch(self, requests)
+    }
+
+    fn stats(&self) -> EngineStats {
+        QueryEngine::stats(self)
+    }
+}
+
+/// Shared services forward transparently, so transports can hold an
+/// `Arc<QueryEngine>` (or `Arc<dyn QueryService>`) per connection
+/// thread.
+impl<S: QueryService + ?Sized> QueryService for Arc<S> {
+    fn answer_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse>> {
+        (**self).answer_batch(requests)
+    }
+
+    fn stats(&self) -> EngineStats {
+        (**self).stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Catalog;
+    use dpgrid_core::{Method, Pipeline};
+    use dpgrid_geo::generators::PaperDataset;
+    use dpgrid_geo::Rect;
+
+    #[test]
+    fn engine_serves_through_the_trait_object() {
+        let ds = PaperDataset::Storage.generate_n(5, 1_500).unwrap();
+        let mut catalog = Catalog::new();
+        Pipeline::new(&ds)
+            .method(Method::ug(8))
+            .seed(5)
+            .publish_into(&mut catalog, "k")
+            .unwrap();
+        let service: Arc<dyn QueryService> = Arc::new(QueryEngine::new(catalog));
+        let q = Rect::new(-120.0, 20.0, -90.0, 40.0).unwrap();
+        let responses = service.answer_batch(&[QueryRequest::new("k", vec![q])]);
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].as_ref().unwrap().answers.len(), 1);
+        assert_eq!(service.stats().requests, 1);
+    }
+}

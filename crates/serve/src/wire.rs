@@ -1,0 +1,780 @@
+//! The versioned wire protocol of the serving API.
+//!
+//! Transports exchange single-line JSON frames: a [`WireRequest`] in,
+//! a [`WireResponse`] out, both carrying [`PROTOCOL_VERSION`] so
+//! incompatible peers fail fast with a typed error instead of
+//! mis-decoding each other. The module is transport-agnostic — it
+//! defines the frame types, their validation, and
+//! [`handle_frame`], which dispatches one decoded frame against any
+//! [`QueryService`]; the `dpgrid-net` crate supplies the TCP framing
+//! around it.
+//!
+//! # Boundary validation
+//!
+//! Query rectangles arrive as raw [`WireRect`] coordinates and are
+//! validated **here**, at the API boundary: NaN or infinite
+//! coordinates and inverted (`min > max`) rectangles are rejected with
+//! [`ErrorCode::InvalidQuery`] before anything reaches the engine, so
+//! the serving core only ever sees well-formed [`Rect`]s.
+//!
+//! # Error codes
+//!
+//! Failures travel as [`WireError`] with a stable [`ErrorCode`], so
+//! clients can branch without parsing messages: `UnknownKey` (wrong
+//! release), `InvalidQuery` (malformed rectangle), `Overloaded`
+//! (admission control shed the request — back off and retry),
+//! `MalformedRequest` (frame did not parse), `UnsupportedVersion`
+//! (protocol mismatch) and `Internal` (server-side failure). Codes are
+//! serialised as their variant names; new codes may be added, but
+//! existing names never change meaning.
+//!
+//! # Versioning policy
+//!
+//! [`PROTOCOL_VERSION`] bumps on any incompatible change (renamed
+//! fields, changed semantics, removed variants). Peers reject frames
+//! from other versions with `UnsupportedVersion`; additive request
+//! kinds within a version are decoded as `MalformedRequest` by older
+//! servers, which clients must treat as "feature unsupported".
+
+use dpgrid_geo::Rect;
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::CacheState;
+use crate::engine::{EngineStats, QueryRequest, QueryResponse};
+use crate::error::ServeError;
+use crate::service::QueryService;
+
+/// Version of the frame format defined by this module. Incompatible
+/// changes bump it; both sides reject other versions.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A rectangle as raw wire coordinates, **not yet validated**.
+///
+/// The half-open `[x0, x1) × [y0, y1)` convention matches [`Rect`];
+/// [`WireRect::validate`] is the only path from the wire into the
+/// typed geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireRect {
+    /// Lower x edge.
+    pub x0: f64,
+    /// Lower y edge.
+    pub y0: f64,
+    /// Upper x edge (exclusive).
+    pub x1: f64,
+    /// Upper y edge (exclusive).
+    pub y1: f64,
+}
+
+impl WireRect {
+    /// Validates the raw coordinates into a [`Rect`], rejecting NaN,
+    /// infinite and inverted (`min > max`) rectangles with
+    /// [`ServeError::InvalidQuery`].
+    pub fn validate(&self) -> crate::Result<Rect> {
+        Rect::new(self.x0, self.y0, self.x1, self.y1)
+            .map_err(|e| ServeError::InvalidQuery(e.to_string()))
+    }
+}
+
+impl From<&Rect> for WireRect {
+    fn from(r: &Rect) -> Self {
+        WireRect {
+            x0: r.x0(),
+            y0: r.y0(),
+            x1: r.x1(),
+            y1: r.y1(),
+        }
+    }
+}
+
+/// One release query as it travels on the wire: a key plus raw
+/// rectangles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireQuery {
+    /// Catalog key of the release to answer from.
+    pub release_key: String,
+    /// Query rectangles, answered in order.
+    pub rects: Vec<WireRect>,
+}
+
+impl WireQuery {
+    /// Builds the wire form of an in-process [`QueryRequest`].
+    pub fn from_request(request: &QueryRequest) -> Self {
+        WireQuery {
+            release_key: request.release_key.clone(),
+            rects: request.rects.iter().map(WireRect::from).collect(),
+        }
+    }
+
+    /// Validates every rectangle, producing the typed in-process
+    /// request. Fails on the first invalid rectangle with its index.
+    pub fn validate(&self) -> crate::Result<QueryRequest> {
+        let mut rects = Vec::with_capacity(self.rects.len());
+        for (i, r) in self.rects.iter().enumerate() {
+            rects.push(r.validate().map_err(|e| match e {
+                // Re-wrap the inner detail with the rect index rather
+                // than nesting two "invalid query:" display prefixes.
+                ServeError::InvalidQuery(why) => {
+                    ServeError::InvalidQuery(format!("rect #{i}: {why}"))
+                }
+                other => other,
+            })?);
+        }
+        Ok(QueryRequest::new(self.release_key.clone(), rects))
+    }
+}
+
+/// The payload of one request frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RequestBody {
+    /// Answer one release query.
+    Query(WireQuery),
+    /// Answer several queries (possibly across releases) in one round
+    /// trip; per-query failures are isolated in the response.
+    Batch(Vec<WireQuery>),
+    /// Report [`EngineStats`].
+    Stats,
+    /// Liveness / protocol check; answered with
+    /// [`ResponseBody::Pong`].
+    Ping,
+}
+
+/// One request frame: version, client-chosen correlation id, payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// Must equal [`PROTOCOL_VERSION`].
+    pub protocol_version: u32,
+    /// Echoed verbatim in the response so clients can correlate over
+    /// pipelined connections. Must stay within the JSON safe-integer
+    /// range (`0 ..= 2⁵³`): JSON numbers travel as IEEE-754 doubles —
+    /// here and in JavaScript peers alike — so larger ids would round
+    /// in transit and fail the echo check. Sequential ids (what
+    /// `dpgrid-net`'s client uses) never get anywhere near the limit.
+    pub id: u64,
+    /// The payload.
+    pub body: RequestBody,
+}
+
+/// The answers to one [`WireQuery`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireAnswers {
+    /// Key the query was routed to.
+    pub release_key: String,
+    /// Version of the release that answered.
+    pub version: u64,
+    /// Whether the compiled surface was resident on arrival.
+    pub cache: CacheState,
+    /// One estimate per requested rectangle, same order.
+    pub answers: Vec<f64>,
+}
+
+impl WireAnswers {
+    /// Builds the wire form of an in-process [`QueryResponse`].
+    pub fn from_response(response: &QueryResponse) -> Self {
+        WireAnswers {
+            release_key: response.release_key.clone(),
+            version: response.version,
+            cache: response.cache,
+            answers: response.answers.clone(),
+        }
+    }
+
+    /// The in-process response this frame carries.
+    pub fn into_response(self) -> QueryResponse {
+        QueryResponse {
+            release_key: self.release_key,
+            version: self.version,
+            cache: self.cache,
+            answers: self.answers,
+        }
+    }
+}
+
+/// Outcome of one query inside a [`RequestBody::Batch`] — failures are
+/// isolated per query, mirroring the engine's batch contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireOutcome {
+    /// The query was answered.
+    Answered(WireAnswers),
+    /// The query failed with a typed error.
+    Failed(WireError),
+}
+
+/// The payload of one response frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResponseBody {
+    /// Answers to a [`RequestBody::Query`].
+    Answers(WireAnswers),
+    /// Per-query outcomes of a [`RequestBody::Batch`], in order.
+    Batch(Vec<WireOutcome>),
+    /// The service's counters ([`RequestBody::Stats`]).
+    Stats(EngineStats),
+    /// Reply to [`RequestBody::Ping`].
+    Pong,
+    /// The whole frame failed.
+    Error(WireError),
+}
+
+/// One response frame: version, echoed request id, payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireResponse {
+    /// The server's [`PROTOCOL_VERSION`].
+    pub protocol_version: u32,
+    /// The request's id (0 when the request was too malformed to carry
+    /// one). Subject to the same JSON safe-integer range as
+    /// [`WireRequest::id`].
+    pub id: u64,
+    /// The payload.
+    pub body: ResponseBody,
+}
+
+/// Stable, machine-readable failure categories. Serialised as the
+/// variant names; meanings never change within a protocol version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The named release key is not in the catalog.
+    UnknownKey,
+    /// A query rectangle failed boundary validation (NaN, infinite or
+    /// inverted coordinates).
+    InvalidQuery,
+    /// Admission control shed the request; back off and retry.
+    Overloaded,
+    /// The frame was not a valid request of this protocol.
+    MalformedRequest,
+    /// The frame's `protocol_version` differs from the peer's.
+    UnsupportedVersion,
+    /// A server-side failure unrelated to the request's content.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire name of the code (identical to the serialised
+    /// form — the `error_codes_have_stable_wire_names` regression in
+    /// `tests/wire_protocol.rs` pins the two against each other, so a
+    /// variant rename cannot silently diverge from these strings).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::UnknownKey => "UnknownKey",
+            ErrorCode::InvalidQuery => "InvalidQuery",
+            ErrorCode::Overloaded => "Overloaded",
+            ErrorCode::MalformedRequest => "MalformedRequest",
+            ErrorCode::UnsupportedVersion => "UnsupportedVersion",
+            ErrorCode::Internal => "Internal",
+        }
+    }
+}
+
+/// A typed wire-level failure: a stable [`ErrorCode`] for branching
+/// plus a human-readable message for logs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    /// The stable failure category.
+    pub code: ErrorCode,
+    /// Human-readable detail; not part of the stability contract.
+    pub message: String,
+}
+
+impl WireError {
+    /// A new error with the given code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Maps a service-side [`ServeError`] onto its wire code. Errors a
+    /// remote client cannot act on (I/O, release validation) collapse
+    /// into [`ErrorCode::Internal`].
+    pub fn from_serve(e: &ServeError) -> Self {
+        let code = match e {
+            ServeError::UnknownRelease(_) => ErrorCode::UnknownKey,
+            ServeError::InvalidQuery(_) => ErrorCode::InvalidQuery,
+            ServeError::Overloaded { .. } => ErrorCode::Overloaded,
+            ServeError::InvalidKey(_) | ServeError::Io { .. } | ServeError::Core(_) => {
+                ErrorCode::Internal
+            }
+        };
+        WireError::new(code, e.to_string())
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decode failure plus the best-effort request id salvaged from the
+/// frame, so the error response still correlates when possible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeError {
+    /// The frame's `id` field when it could be read, 0 otherwise.
+    pub id: u64,
+    /// The typed failure.
+    pub error: WireError,
+}
+
+/// Best-effort envelope probe used to salvage `id`/`protocol_version`
+/// from frames that fail full decoding. `protocol_version` is an
+/// `Option` so a frame that simply *omits* the field is classified as
+/// malformed, not as a version mismatch — only a frame that actually
+/// declares a different version earns `UnsupportedVersion`.
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct EnvelopeProbe {
+    #[serde(default)]
+    protocol_version: Option<u32>,
+    #[serde(default)]
+    id: u64,
+}
+
+/// Salvages the envelope of a frame whose full decode failed. An
+/// unparseable line yields the defaults (id 0, no declared version —
+/// reported as malformed, not as a version mismatch, because nothing
+/// was read).
+fn probe(line: &str) -> EnvelopeProbe {
+    serde_json::from_str(line).unwrap_or_default()
+}
+
+/// Checks a decoded frame's version, classifying mismatches.
+fn check_version(version: u32, id: u64) -> Result<(), DecodeError> {
+    if version == PROTOCOL_VERSION {
+        Ok(())
+    } else {
+        Err(DecodeError {
+            id,
+            error: WireError::new(
+                ErrorCode::UnsupportedVersion,
+                format!("frame speaks protocol {version}, this peer speaks {PROTOCOL_VERSION}"),
+            ),
+        })
+    }
+}
+
+/// The shared decode policy of both frame directions: full parse, then
+/// version check; on parse failure salvage the envelope, classify a
+/// *declared* foreign version as `UnsupportedVersion`, and report
+/// everything else as `MalformedRequest` under the given frame kind.
+fn decode_frame<T: serde::Deserialize>(
+    line: &str,
+    kind: &str,
+    envelope: impl Fn(&T) -> (u32, u64),
+) -> Result<T, DecodeError> {
+    match serde_json::from_str::<T>(line) {
+        Ok(frame) => {
+            let (version, id) = envelope(&frame);
+            check_version(version, id)?;
+            Ok(frame)
+        }
+        Err(e) => {
+            let salvaged = probe(line);
+            if let Some(version) = salvaged.protocol_version {
+                check_version(version, salvaged.id)?;
+            }
+            Err(DecodeError {
+                id: salvaged.id,
+                error: WireError::new(
+                    ErrorCode::MalformedRequest,
+                    format!("unparseable {kind} frame: {e}"),
+                ),
+            })
+        }
+    }
+}
+
+impl WireRequest {
+    /// A request frame at the current [`PROTOCOL_VERSION`].
+    pub fn new(id: u64, body: RequestBody) -> Self {
+        WireRequest {
+            protocol_version: PROTOCOL_VERSION,
+            id,
+            body,
+        }
+    }
+
+    /// Serialises to a single JSON line (no trailing newline). JSON
+    /// string escaping guarantees the output contains no raw newline,
+    /// so frames stay newline-delimited whatever keys they carry.
+    pub fn encode(&self) -> String {
+        serde_json::to_string(self).expect("wire frames always serialise")
+    }
+
+    /// Parses one frame, distinguishing malformed JSON
+    /// ([`ErrorCode::MalformedRequest`]) from a version mismatch
+    /// ([`ErrorCode::UnsupportedVersion`]).
+    pub fn decode(line: &str) -> Result<Self, DecodeError> {
+        decode_frame(line, "request", |req: &WireRequest| {
+            (req.protocol_version, req.id)
+        })
+    }
+}
+
+impl WireResponse {
+    /// A response frame at the current [`PROTOCOL_VERSION`].
+    pub fn new(id: u64, body: ResponseBody) -> Self {
+        WireResponse {
+            protocol_version: PROTOCOL_VERSION,
+            id,
+            body,
+        }
+    }
+
+    /// An error frame.
+    pub fn error(id: u64, error: WireError) -> Self {
+        WireResponse::new(id, ResponseBody::Error(error))
+    }
+
+    /// Serialises to a single JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        serde_json::to_string(self).expect("wire frames always serialise")
+    }
+
+    /// Parses one response frame (the client side of
+    /// [`WireRequest::decode`]).
+    pub fn decode(line: &str) -> Result<Self, DecodeError> {
+        decode_frame(line, "response", |resp: &WireResponse| {
+            (resp.protocol_version, resp.id)
+        })
+    }
+}
+
+/// Decodes one request line, dispatches it against `service`, and
+/// produces the response frame — the complete server-side protocol
+/// step minus transport framing. Every failure becomes a typed
+/// [`ResponseBody::Error`]; this function never panics on untrusted
+/// input.
+pub fn handle_frame<S: QueryService + ?Sized>(service: &S, line: &str) -> WireResponse {
+    let request = match WireRequest::decode(line) {
+        Ok(request) => request,
+        Err(e) => return WireResponse::error(e.id, e.error),
+    };
+    let id = request.id;
+    match request.body {
+        RequestBody::Ping => WireResponse::new(id, ResponseBody::Pong),
+        RequestBody::Stats => WireResponse::new(id, ResponseBody::Stats(service.stats())),
+        RequestBody::Query(query) => match query.validate() {
+            Err(e) => WireResponse::error(id, WireError::from_serve(&e)),
+            Ok(request) => {
+                let mut results = service.answer_batch(std::slice::from_ref(&request));
+                match results.pop() {
+                    Some(Ok(response)) => WireResponse::new(
+                        id,
+                        ResponseBody::Answers(WireAnswers::from_response(&response)),
+                    ),
+                    Some(Err(e)) => WireResponse::error(id, WireError::from_serve(&e)),
+                    None => WireResponse::error(
+                        id,
+                        WireError::new(ErrorCode::Internal, "service returned no response"),
+                    ),
+                }
+            }
+        },
+        RequestBody::Batch(queries) => {
+            // Invalid queries fail in place; the valid remainder goes
+            // to the service as one batch, preserving order.
+            let mut outcomes: Vec<Option<WireOutcome>> = Vec::with_capacity(queries.len());
+            let mut admitted = Vec::new();
+            for query in &queries {
+                match query.validate() {
+                    Ok(request) => {
+                        outcomes.push(None);
+                        admitted.push(request);
+                    }
+                    Err(e) => {
+                        outcomes.push(Some(WireOutcome::Failed(WireError::from_serve(&e))));
+                    }
+                }
+            }
+            let mut results = service.answer_batch(&admitted).into_iter();
+            for slot in &mut outcomes {
+                if slot.is_none() {
+                    *slot = Some(match results.next() {
+                        Some(Ok(response)) => {
+                            WireOutcome::Answered(WireAnswers::from_response(&response))
+                        }
+                        Some(Err(e)) => WireOutcome::Failed(WireError::from_serve(&e)),
+                        None => WireOutcome::Failed(WireError::new(
+                            ErrorCode::Internal,
+                            "service returned too few responses",
+                        )),
+                    });
+                }
+            }
+            WireResponse::new(
+                id,
+                ResponseBody::Batch(
+                    outcomes
+                        .into_iter()
+                        .map(|o| o.expect("every slot filled"))
+                        .collect(),
+                ),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Catalog, QueryEngine};
+    use dpgrid_core::{Method, Pipeline};
+    use dpgrid_geo::generators::PaperDataset;
+
+    fn engine() -> QueryEngine {
+        let ds = PaperDataset::Storage.generate_n(11, 1_500).unwrap();
+        let mut catalog = Catalog::new();
+        for (key, seed) in [("a", 1u64), ("b", 2)] {
+            Pipeline::new(&ds)
+                .method(Method::ug(8))
+                .seed(seed)
+                .publish_into(&mut catalog, key)
+                .unwrap();
+        }
+        QueryEngine::new(catalog)
+    }
+
+    fn query(key: &str, rects: &[(f64, f64, f64, f64)]) -> WireQuery {
+        WireQuery {
+            release_key: key.into(),
+            rects: rects
+                .iter()
+                .map(|&(x0, y0, x1, y1)| WireRect { x0, y0, x1, y1 })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_through_json_lines() {
+        let request = WireRequest::new(
+            7,
+            RequestBody::Query(query("a", &[(-120.0, 20.0, -90.0, 40.0)])),
+        );
+        let line = request.encode();
+        assert!(!line.contains('\n'), "frames must stay single-line");
+        assert_eq!(WireRequest::decode(&line).unwrap(), request);
+
+        let response = WireResponse::new(
+            7,
+            ResponseBody::Answers(WireAnswers {
+                release_key: "a".into(),
+                version: 3,
+                cache: CacheState::Warm,
+                answers: vec![1.5, 0.25],
+            }),
+        );
+        let line = response.encode();
+        assert_eq!(WireResponse::decode(&line).unwrap(), response);
+    }
+
+    #[test]
+    fn version_mismatch_and_malformed_frames_are_distinguished() {
+        let mut request = WireRequest::new(1, RequestBody::Ping);
+        request.protocol_version = 999;
+        let err = WireRequest::decode(&request.encode()).unwrap_err();
+        assert_eq!(err.error.code, ErrorCode::UnsupportedVersion);
+        assert_eq!(err.id, 1);
+
+        let err = WireRequest::decode("{not json").unwrap_err();
+        assert_eq!(err.error.code, ErrorCode::MalformedRequest);
+        assert_eq!(err.id, 0);
+
+        // A parseable envelope with an unparseable body salvages the id.
+        let err = WireRequest::decode(r#"{"protocol_version": 1, "id": 42, "body": "Nonsense"}"#)
+            .unwrap_err();
+        assert_eq!(err.error.code, ErrorCode::MalformedRequest);
+        assert_eq!(err.id, 42);
+
+        // A frame that *omits* the version is malformed — only a frame
+        // declaring a different version is a version mismatch. Sending
+        // operators to chase version skew for a missing field would be
+        // wrong on both the request and the response side.
+        let err = WireRequest::decode(r#"{"id": 9, "body": "Ping"}"#).unwrap_err();
+        assert_eq!(err.error.code, ErrorCode::MalformedRequest);
+        assert_eq!(err.id, 9);
+        let err = WireResponse::decode(r#"{"id": 9, "body": "Pong"}"#).unwrap_err();
+        assert_eq!(err.error.code, ErrorCode::MalformedRequest);
+        assert_eq!(err.id, 9);
+    }
+
+    #[test]
+    fn rect_validation_rejects_each_malformed_shape() {
+        for (rect, what) in [
+            (
+                WireRect {
+                    x0: f64::NAN,
+                    y0: 0.0,
+                    x1: 1.0,
+                    y1: 1.0,
+                },
+                "NaN x0",
+            ),
+            (
+                WireRect {
+                    x0: 0.0,
+                    y0: f64::NEG_INFINITY,
+                    x1: 1.0,
+                    y1: 1.0,
+                },
+                "-inf y0",
+            ),
+            (
+                WireRect {
+                    x0: 0.0,
+                    y0: 0.0,
+                    x1: f64::INFINITY,
+                    y1: 1.0,
+                },
+                "+inf x1",
+            ),
+            (
+                WireRect {
+                    x0: 0.0,
+                    y0: 0.0,
+                    x1: 1.0,
+                    y1: f64::NAN,
+                },
+                "NaN y1",
+            ),
+            (
+                WireRect {
+                    x0: 2.0,
+                    y0: 0.0,
+                    x1: 1.0,
+                    y1: 1.0,
+                },
+                "x0 > x1",
+            ),
+            (
+                WireRect {
+                    x0: 0.0,
+                    y0: 2.0,
+                    x1: 1.0,
+                    y1: 1.0,
+                },
+                "y0 > y1",
+            ),
+        ] {
+            assert!(
+                matches!(rect.validate(), Err(ServeError::InvalidQuery(_))),
+                "{what} must be rejected"
+            );
+        }
+        // Degenerate-but-ordered rects are legal queries (zero answer).
+        assert!(WireRect {
+            x0: 1.0,
+            y0: 0.0,
+            x1: 1.0,
+            y1: 1.0,
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn handle_frame_dispatches_query_stats_ping() {
+        let engine = engine();
+        let frame = WireRequest::new(
+            1,
+            RequestBody::Query(query("a", &[(-130.0, 10.0, -70.0, 50.0)])),
+        )
+        .encode();
+        let response = handle_frame(&engine, &frame);
+        assert_eq!(response.id, 1);
+        let ResponseBody::Answers(answers) = response.body else {
+            panic!("expected answers, got {:?}", response.body);
+        };
+        assert_eq!(answers.release_key, "a");
+        assert_eq!(answers.version, 1);
+        assert_eq!(answers.answers.len(), 1);
+
+        let response = handle_frame(&engine, &WireRequest::new(2, RequestBody::Stats).encode());
+        let ResponseBody::Stats(stats) = response.body else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.catalog.releases, 2);
+
+        let response = handle_frame(&engine, &WireRequest::new(3, RequestBody::Ping).encode());
+        assert_eq!(response.body, ResponseBody::Pong);
+    }
+
+    #[test]
+    fn handle_frame_maps_typed_errors_onto_stable_codes() {
+        let engine = engine();
+        // Unknown key.
+        let response = handle_frame(
+            &engine,
+            &WireRequest::new(
+                1,
+                RequestBody::Query(query("nope", &[(-100.0, 20.0, -90.0, 30.0)])),
+            )
+            .encode(),
+        );
+        let ResponseBody::Error(e) = response.body else {
+            panic!("expected error");
+        };
+        assert_eq!(e.code, ErrorCode::UnknownKey);
+
+        // Invalid rect: rejected at the boundary, engine untouched.
+        let before = QueryService::stats(&engine).requests;
+        let response = handle_frame(
+            &engine,
+            &WireRequest::new(2, RequestBody::Query(query("a", &[(5.0, 0.0, -5.0, 1.0)]))).encode(),
+        );
+        let ResponseBody::Error(e) = response.body else {
+            panic!("expected error");
+        };
+        assert_eq!(e.code, ErrorCode::InvalidQuery);
+        assert!(e.message.contains("rect #0"));
+        assert_eq!(QueryService::stats(&engine).requests, before);
+    }
+
+    #[test]
+    fn handle_frame_batch_isolates_invalid_and_unknown_queries() {
+        let engine = engine();
+        let frame = WireRequest::new(
+            9,
+            RequestBody::Batch(vec![
+                query("a", &[(-130.0, 10.0, -70.0, 50.0)]),
+                query("a", &[(f64::NAN, 0.0, 1.0, 1.0)]),
+                query("missing", &[(-100.0, 20.0, -90.0, 30.0)]),
+                query("b", &[(-130.0, 10.0, -70.0, 50.0)]),
+            ]),
+        )
+        .encode();
+        let response = handle_frame(&engine, &frame);
+        let ResponseBody::Batch(outcomes) = response.body else {
+            panic!("expected batch");
+        };
+        assert_eq!(outcomes.len(), 4);
+        assert!(matches!(&outcomes[0], WireOutcome::Answered(a) if a.release_key == "a"));
+        assert!(
+            matches!(&outcomes[1], WireOutcome::Failed(e) if e.code == ErrorCode::InvalidQuery)
+        );
+        assert!(matches!(&outcomes[2], WireOutcome::Failed(e) if e.code == ErrorCode::UnknownKey));
+        assert!(matches!(&outcomes[3], WireOutcome::Answered(a) if a.release_key == "b"));
+    }
+
+    #[test]
+    fn overload_travels_as_its_own_code() {
+        let engine = engine().with_admission_limit(2);
+        let frame = WireRequest::new(
+            4,
+            RequestBody::Query(query(
+                "a",
+                &[
+                    (-130.0, 10.0, -70.0, 50.0),
+                    (-120.0, 15.0, -80.0, 45.0),
+                    (-110.0, 20.0, -90.0, 40.0),
+                ],
+            )),
+        )
+        .encode();
+        let response = handle_frame(&engine, &frame);
+        let ResponseBody::Error(e) = response.body else {
+            panic!("expected error");
+        };
+        assert_eq!(e.code, ErrorCode::Overloaded);
+    }
+}

@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Demonstrates the full serving stack: zero-copy publish into the
-//! catalog (`Pipeline::publish_into`), the capacity-bounded LRU of
+//! catalog (`Pipeline::publish_into`), the memory-budgeted LRU of
 //! compiled surfaces (watch the cache states flip between cold and
 //! warm), batched multi-release routing, and live re-versioning of a
 //! key while the engine keeps serving.
@@ -16,32 +16,46 @@ use dpgrid::prelude::*;
 use dpgrid::serve::CacheState;
 
 fn main() {
-    // 1. Publish one release per dataset straight into a catalog.
-    //    Capacity 2 < 3 releases, so the LRU has to juggle surfaces —
-    //    production catalogs would size this to their memory budget.
-    let mut catalog = Catalog::with_capacity(2);
+    // 1. Publish one release per dataset. The catalog's resident
+    //    compiled-surface bytes are bounded; the budget below is sized
+    //    (via `CompiledSurface::memory_bytes` on a probe) to hold two
+    //    of the three surfaces, so the LRU has to juggle them.
     let datasets = [
         ("storage", PaperDataset::Storage),
         ("landmark", PaperDataset::Landmark),
         ("checkin", PaperDataset::Checkin),
     ];
-    for (i, (key, dataset)) in datasets.iter().enumerate() {
-        let data = dataset
-            .generate_n(100 + i as u64, 30_000)
-            .expect("generate dataset");
-        Pipeline::new(&data)
-            .epsilon(1.0)
-            .method(Method::ag_suggested())
-            .seed(7 + i as u64)
-            .publish_into(&mut catalog, *key)
-            .expect("publish release");
-        let release = catalog.release(key).expect("just inserted");
-        println!(
-            "published {key:>8}: {} cells under {} (eps = {})",
-            release.cell_count(),
-            release.method(),
-            release.epsilon()
-        );
+    let releases: Vec<_> = datasets
+        .iter()
+        .enumerate()
+        .map(|(i, (key, dataset))| {
+            let data = dataset
+                .generate_n(100 + i as u64, 30_000)
+                .expect("generate dataset");
+            let release = Pipeline::new(&data)
+                .epsilon(1.0)
+                .method(Method::ag_suggested())
+                .seed(7 + i as u64)
+                .publish()
+                .expect("publish release");
+            println!(
+                "published {key:>8}: {} cells under {} (eps = {})",
+                release.cell_count(),
+                release.method(),
+                release.epsilon()
+            );
+            (*key, release)
+        })
+        .collect();
+
+    // Size the budget off a throwaway probe compile (a clone compiles
+    // its own surface; the original stays cold for the demo).
+    let probe_bytes = releases[0].1.clone().shared_surface().memory_bytes();
+    let budget = probe_bytes * 2 + probe_bytes / 2;
+    println!("surface ~{probe_bytes} B each; catalog budget {budget} B (fits 2 of 3)");
+    let mut catalog = Catalog::with_memory_budget(budget);
+    for (key, release) in releases {
+        catalog.insert(key, release);
     }
 
     // 2. Wrap the catalog in the thread-safe batched frontend.
@@ -113,14 +127,15 @@ fn main() {
     let stats = engine.stats();
     println!(
         "stats: {} requests, {} answers, {} compilations, {} warm hits, \
-         {} evictions, {}/{} surfaces resident",
+         {} evictions, {} surfaces / {} of {} budget bytes resident",
         stats.requests,
         stats.answers,
         stats.catalog.compilations,
         stats.catalog.warm_hits,
         stats.catalog.evictions,
         stats.catalog.warm,
-        stats.catalog.capacity
+        stats.catalog.resident_bytes,
+        stats.catalog.budget_bytes
     );
-    assert!(stats.catalog.warm <= stats.catalog.capacity);
+    assert!(stats.catalog.resident_bytes <= stats.catalog.budget_bytes);
 }

@@ -19,7 +19,8 @@
 //! | [`core`] | `dpgrid-core` | UG, AG, the guidelines, error analysis, the `Method` registry, the publishing `Pipeline`, the compiled query surface (`surface`) and the portable `Release` format |
 //! | [`baselines`] | `dpgrid-baselines` | KD-trees, hierarchies, constrained inference, Privelet |
 //! | [`eval`] | `dpgrid-eval` | query workloads, error metrics, the experiment harness |
-//! | [`serve`] | `dpgrid-serve` | the multi-release serving engine: the release `Catalog` (LRU of compiled surfaces) and the batched `QueryEngine` frontend |
+//! | [`serve`] | `dpgrid-serve` | the multi-release serving engine: the memory-budgeted release `Catalog`, the batched `QueryEngine` frontend with admission control, the transport-facing `QueryService` trait and the versioned wire protocol (`serve::wire`) |
+//! | [`net`] | `dpgrid-net` | the TCP transport: thread-per-connection `TcpServer` and blocking `TcpClient` over newline-delimited JSON frames |
 //!
 //! # One publishing API: build → publish → serve
 //!
@@ -41,7 +42,7 @@
 //! Batch endpoints (`Synopsis::answer_all`) chunk large query slices
 //! across scoped threads.
 //!
-//! # The serving stack: many releases, one engine
+//! # The serving stack: many releases, one engine, any transport
 //!
 //! Above the per-release surface sits the multi-release serving layer
 //! ([`serve`], crate `dpgrid-serve`):
@@ -49,24 +50,37 @@
 //! * a [`serve::Catalog`] holds keyed, **versioned** releases —
 //!   inserted from memory, handed over zero-copy from a pipeline via
 //!   [`core::Pipeline::publish_into`], or bulk-loaded from a directory
-//!   of release JSON dumps — and bounds memory with an LRU of compiled
-//!   surfaces: at most `capacity` indexes stay resident, and a
-//!   resident index is never recompiled (releases share their
+//!   of release JSON dumps — and bounds memory with a **byte-budgeted
+//!   LRU** of compiled surfaces: at most
+//!   [`serve::Catalog::memory_budget`] bytes of compiled index stay
+//!   resident (sized via [`core::CompiledSurface::memory_bytes`]), and
+//!   a resident index is never recompiled (releases share their
 //!   compilation behind `Arc`, so clones and leases all point at the
 //!   same index);
 //! * a [`serve::QueryEngine`] is the thread-safe batched frontend: it
-//!   routes [`serve::QueryRequest`] batches across releases, leases
-//!   every compiled surface under one short catalog lock, answers with
-//!   no lock held, shards work over `std::thread::scope` workers
-//!   through the same batched driver the evaluation harness uses, and
-//!   returns typed [`serve::QueryResponse`]s carrying the release
-//!   version and cache state. Inserts and queries interleave freely —
-//!   the concurrency regression tests hammer one engine from eight
-//!   threads while re-versioning keys.
+//!   admits every request against a bounded in-flight rectangle budget
+//!   (overload sheds with a typed `Overloaded` error instead of
+//!   queueing unboundedly), routes [`serve::QueryRequest`] batches
+//!   across releases, leases every compiled surface under one short
+//!   catalog lock, answers with no lock held, shards work over
+//!   `std::thread::scope` workers through the same batched driver the
+//!   evaluation harness uses, and returns typed
+//!   [`serve::QueryResponse`]s carrying the release version and cache
+//!   state. Inserts and queries interleave freely — the concurrency
+//!   regression tests hammer one engine from eight threads while
+//!   re-versioning keys.
 //!
-//! The next layer up (an async/network transport) plugs into
-//! `QueryEngine` the same way `QueryEngine` plugs into
-//! `CompiledSurface`.
+//! Transports plug into the engine through one seam, the
+//! [`serve::QueryService`] trait, and speak the versioned wire
+//! protocol of [`serve::wire`]: single-line JSON frames, rectangle
+//! validation at the boundary (NaN / inverted rects never reach the
+//! engine), and stable error codes (`UnknownKey`, `InvalidQuery`,
+//! `Overloaded`, …). The first transport ships in [`net`]
+//! (crate `dpgrid-net`): a std-only TCP server
+//! ([`net::TcpServer`], thread-per-connection over newline-delimited
+//! frames, graceful shutdown) and a blocking [`net::TcpClient`] —
+//! see `examples/net_roundtrip.rs` for the full publish → serve →
+//! query-over-TCP loop.
 //!
 //! # Quickstart
 //!
@@ -106,6 +120,7 @@ pub use dpgrid_core as core;
 pub use dpgrid_eval as eval;
 pub use dpgrid_geo as geo;
 pub use dpgrid_mech as mech;
+pub use dpgrid_net as net;
 pub use dpgrid_serve as serve;
 
 /// The most commonly used items, re-exported flat.
@@ -122,5 +137,8 @@ pub mod prelude {
         Build, DenseGrid, Domain, DpError, GeoDataset, Point, PointIndex, Rect, Synopsis,
     };
     pub use dpgrid_mech::{LaplaceMechanism, PrivacyBudget};
-    pub use dpgrid_serve::{Catalog, QueryEngine, QueryRequest, QueryResponse};
+    pub use dpgrid_net::{TcpClient, TcpServer};
+    pub use dpgrid_serve::{
+        Catalog, QueryEngine, QueryRequest, QueryResponse, QueryService, ServeError,
+    };
 }

@@ -61,7 +61,7 @@ fn every_path_compiles_exactly_once() {
 
     // Serving stack: a catalog lookup compiles a cold release once;
     // warm lookups, engine answers and batches never recompile.
-    let mut catalog = Catalog::with_capacity(4);
+    let mut catalog = Catalog::new();
     counting(0, "insert moves the release without compiling", || {
         catalog.insert("fresh", Release::load(&path).unwrap());
     });

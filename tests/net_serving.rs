@@ -1,0 +1,314 @@
+//! End-to-end TCP serving regression.
+//!
+//! Publishes three releases (lattice and band surface paths), serves
+//! them over a real loopback TCP server, and hammers it from four
+//! client threads: every remote answer must match the single-threaded
+//! `CompiledSurface::answer` reference to ≤ 1e-9 while the engine's
+//! memory-budgeted catalog churns below its byte budget. A second
+//! server demonstrates that an over-budget burst is shed with typed
+//! `Overloaded` frames instead of hanging, and a raw socket checks the
+//! protocol-version guard.
+
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dpgrid::net::{NetError, TcpClient, TcpServer};
+use dpgrid::prelude::*;
+use dpgrid::serve::wire::ErrorCode;
+
+const CLIENT_THREADS: usize = 4;
+const ITERATIONS: usize = 20;
+
+fn methods() -> Vec<(&'static str, Method, u64)> {
+    vec![
+        ("ug", Method::ug(24), 31),
+        ("ag", Method::ag_suggested(), 32),
+        ("kd", Method::KdHybrid, 33),
+    ]
+}
+
+fn publish(dataset: &GeoDataset, method: Method, seed: u64) -> Release {
+    Pipeline::new(dataset)
+        .epsilon(1.0)
+        .method(method)
+        .seed(seed)
+        .publish()
+        .unwrap()
+}
+
+fn workload(domain: &Rect) -> Vec<Rect> {
+    let (x0, y0) = (domain.x0(), domain.y0());
+    let (w, h) = (domain.width(), domain.height());
+    let mut rects = vec![
+        *domain,
+        Rect::new(x0 - 1.0, y0 + 0.1 * h, x0 + w + 1.0, y0 + 0.9 * h).unwrap(),
+        Rect::new(x0 + 0.37 * w, y0, x0 + 0.3701 * w, y0 + h).unwrap(),
+    ];
+    for i in 0..12 {
+        let t = i as f64 / 12.0;
+        rects.push(
+            Rect::new(
+                x0 + 0.4 * w * t,
+                y0 + 0.3 * h * t,
+                x0 + 0.2 * w + 0.7 * w * t,
+                y0 + 0.25 * h + 0.6 * h * t,
+            )
+            .unwrap(),
+        );
+    }
+    rects
+}
+
+#[test]
+fn four_clients_three_releases_match_reference_within_budget() {
+    let dataset = PaperDataset::Storage.generate_n(41, 4_000).unwrap();
+    let rects = workload(dataset.domain().rect());
+
+    // Single-threaded reference surfaces (identical seeds => identical
+    // cells) plus their byte sizes for the catalog budget.
+    let mut surface_bytes = 0usize;
+    let expected: Vec<(String, Vec<f64>)> = methods()
+        .iter()
+        .map(|(key, method, seed)| {
+            let surface = CompiledSurface::from_synopsis(&publish(&dataset, *method, *seed));
+            surface_bytes += surface.memory_bytes();
+            (
+                key.to_string(),
+                rects.iter().map(|q| surface.answer(q)).collect(),
+            )
+        })
+        .collect();
+
+    // One byte short of all three surfaces: the LRU must churn while
+    // every served answer stays exact.
+    let budget = surface_bytes - 1;
+    let mut catalog = Catalog::with_memory_budget(budget);
+    for (key, method, seed) in methods() {
+        Pipeline::new(&dataset)
+            .epsilon(1.0)
+            .method(method)
+            .seed(seed)
+            .publish_into(&mut catalog, key)
+            .unwrap();
+    }
+    let engine = Arc::new(QueryEngine::new(catalog));
+    let server = TcpServer::bind(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let checked = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..CLIENT_THREADS {
+            let expected = &expected;
+            let rects = &rects;
+            let engine = &engine;
+            let checked = &checked;
+            scope.spawn(move || {
+                let mut client = TcpClient::connect(addr).unwrap();
+                client.ping().unwrap();
+                for i in 0..ITERATIONS {
+                    let verify = |key: &str, answers: &[f64], expect: &[f64]| {
+                        assert_eq!(answers.len(), expect.len());
+                        for (a, e) in answers.iter().zip(expect) {
+                            assert!(
+                                (a - e).abs() <= 1e-9 * (1.0 + e.abs()),
+                                "release {key}: remote {a} vs reference {e}"
+                            );
+                        }
+                        checked.fetch_add(answers.len() as u64, Ordering::Relaxed);
+                    };
+                    if i % 2 == 0 {
+                        // Single query against a rotating release.
+                        let (key, expect) = &expected[(t + i) % expected.len()];
+                        let response = client.query(key, rects).unwrap();
+                        assert_eq!(&response.release_key, key);
+                        verify(key, &response.answers, expect);
+                    } else {
+                        // One batch frame across all three releases.
+                        let batch: Vec<QueryRequest> = expected
+                            .iter()
+                            .map(|(k, _)| QueryRequest::new(k.clone(), rects.clone()))
+                            .collect();
+                        for (outcome, (k, e)) in client
+                            .query_batch(&batch)
+                            .unwrap()
+                            .into_iter()
+                            .zip(expected)
+                        {
+                            verify(k, &outcome.unwrap().answers, e);
+                        }
+                    }
+                    // The configured byte budget holds. Eviction may
+                    // defer a victim whose release is mid-compile on
+                    // another thread (documented transient), and under
+                    // concurrent churn a fresh deferral can follow the
+                    // previous one — so a sampled overflow only counts
+                    // as a violation if it persists for a full second
+                    // of resampling (real transients are microseconds;
+                    // an accounting leak would never settle).
+                    if engine.stats().catalog.resident_bytes > budget {
+                        let settled = (0..50).any(|_| {
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            engine.stats().catalog.resident_bytes <= budget
+                        });
+                        assert!(
+                            settled,
+                            "resident bytes stayed over budget {budget} for 1s: {}",
+                            engine.stats().catalog.resident_bytes
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        checked.load(Ordering::Relaxed),
+        (CLIENT_THREADS * ITERATIONS * 2 * rects.len()) as u64,
+        "every iteration verifies one single query or one triple batch"
+    );
+    // Quiesced: no lease can defer a victim, so the bound is strict.
+    let stats = engine.stats();
+    assert!(
+        stats.catalog.resident_bytes <= budget,
+        "resident bytes {} exceed budget {budget}",
+        stats.catalog.resident_bytes
+    );
+    assert!(stats.catalog.evictions > 0, "the byte budget never engaged");
+    assert_eq!(stats.unknown_keys, 0);
+    assert!(server.frames_served() >= (CLIENT_THREADS * (ITERATIONS + 1)) as u64);
+    server.shutdown();
+}
+
+#[test]
+fn over_budget_burst_sheds_typed_overloaded_without_hanging() {
+    let dataset = PaperDataset::Storage.generate_n(42, 2_000).unwrap();
+    let mut catalog = Catalog::new();
+    Pipeline::new(&dataset)
+        .epsilon(1.0)
+        .method(Method::ug(16))
+        .seed(1)
+        .publish_into(&mut catalog, "storage")
+        .unwrap();
+    // Budget of 10 in-flight rects; every burst request carries 16.
+    let engine = Arc::new(QueryEngine::new(catalog).with_admission_limit(10));
+    let server = TcpServer::bind(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let rects = workload(dataset.domain().rect());
+    assert!(rects.len() >= 15);
+
+    let shed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENT_THREADS {
+            let rects = &rects;
+            let shed = &shed;
+            scope.spawn(move || {
+                let mut client = TcpClient::connect(addr).unwrap();
+                for _ in 0..4 {
+                    // 15 rects > the 10-rect budget: must shed, typed.
+                    match client.query("storage", &rects[..15]) {
+                        Err(NetError::Server(e)) => {
+                            assert_eq!(e.code, ErrorCode::Overloaded, "{e}");
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!("expected Overloaded, got {other:?}"),
+                    }
+                    // Within budget goes straight through afterwards —
+                    // shedding leaked nothing into the in-flight count.
+                    // (2 rects × 4 threads = 8 fits the budget even
+                    // when every client lands at once.)
+                    let ok = client.query("storage", &rects[..2]).unwrap();
+                    assert_eq!(ok.answers.len(), 2);
+                }
+            });
+        }
+    });
+    assert_eq!(shed.load(Ordering::Relaxed), (CLIENT_THREADS * 4) as u64);
+    let stats = engine.stats();
+    assert_eq!(stats.shed, (CLIENT_THREADS * 4) as u64);
+    assert_eq!(stats.inflight_rects, 0);
+    server.shutdown();
+}
+
+#[test]
+fn raw_socket_version_mismatch_and_garbage_get_typed_errors() {
+    let dataset = PaperDataset::Storage.generate_n(43, 1_500).unwrap();
+    let mut catalog = Catalog::new();
+    Pipeline::new(&dataset)
+        .epsilon(1.0)
+        .method(Method::ug(8))
+        .seed(1)
+        .publish_into(&mut catalog, "k")
+        .unwrap();
+    let engine = Arc::new(QueryEngine::new(catalog));
+    let server = TcpServer::bind(engine, "127.0.0.1:0").unwrap();
+
+    fn roundtrip(
+        reader: &mut BufReader<std::net::TcpStream>,
+        writer: &mut std::net::TcpStream,
+        frame: &[u8],
+    ) -> String {
+        writer.write_all(frame).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line
+    }
+
+    let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // Wrong protocol version: typed UnsupportedVersion, id echoed.
+    let reply = roundtrip(
+        &mut reader,
+        &mut writer,
+        br#"{"protocol_version": 99, "id": 7, "body": "Ping"}"#,
+    );
+    assert!(reply.contains("\"UnsupportedVersion\""), "{reply}");
+    assert!(reply.contains("\"id\":7"), "{reply}");
+
+    // Garbage: typed MalformedRequest, connection stays usable.
+    let reply = roundtrip(&mut reader, &mut writer, b"this is not json");
+    assert!(reply.contains("\"MalformedRequest\""), "{reply}");
+    // Invalid UTF-8 bytes: typed error too, and still usable — byte
+    // framing means a bad frame never desynchronises the stream.
+    let reply = roundtrip(&mut reader, &mut writer, &[0xFF, 0xFE, 0x80]);
+    assert!(reply.contains("\"MalformedRequest\""), "{reply}");
+    let reply = roundtrip(
+        &mut reader,
+        &mut writer,
+        br#"{"protocol_version": 1, "id": 9, "body": "Ping"}"#,
+    );
+    assert!(reply.contains("\"Pong\""), "{reply}");
+
+    // A newline-free flood larger than the 16 MiB frame cap: the
+    // server rejects and terminates the connection instead of
+    // buffering without bound. The server's close may RST while the
+    // flood is still in flight, so the client legitimately observes
+    // either the typed error frame, a clean EOF, or a reset — never a
+    // hang and never an accepted frame.
+    let flood = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let mut flood_reader = BufReader::new(flood.try_clone().unwrap());
+    let mut flood_writer = flood;
+    let chunk = vec![b'x'; 1 << 20];
+    for _ in 0..17 {
+        if flood_writer.write_all(&chunk).is_err() {
+            break; // server already slammed the door
+        }
+    }
+    let _ = flood_writer.flush();
+    let mut line = String::new();
+    match flood_reader.read_line(&mut line) {
+        Ok(0) | Err(_) => {} // connection terminated; error frame lost to the reset
+        Ok(_) => {
+            assert!(line.contains("\"MalformedRequest\""), "{line}");
+            assert!(line.contains("exceeds"), "{line}");
+            line.clear();
+            // Nothing more follows the rejection.
+            assert!(matches!(flood_reader.read_line(&mut line), Ok(0) | Err(_)));
+        }
+    }
+    server.shutdown();
+}

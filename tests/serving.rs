@@ -68,11 +68,14 @@ fn concurrent_hammer_matches_single_threaded_answers() {
 
     // Reference answers from an identically seeded publish, compiled
     // and answered strictly single-threaded. Seeded pipelines are
-    // deterministic, so the engine's copies hold identical cells.
+    // deterministic, so the engine's copies hold identical cells (and
+    // identically sized surfaces, which the byte budget below uses).
+    let mut surface_bytes = 0usize;
     let expected: Vec<(String, Vec<f64>)> = methods()
         .iter()
         .map(|(key, method, seed)| {
             let surface = CompiledSurface::from_synopsis(&publish(&dataset, *method, *seed));
+            surface_bytes += surface.memory_bytes();
             (
                 key.to_string(),
                 rects.iter().map(|q| surface.answer(q)).collect(),
@@ -80,9 +83,11 @@ fn concurrent_hammer_matches_single_threaded_answers() {
         })
         .collect();
 
-    // Capacity 2 < 3 queried releases: the LRU churns (evict +
-    // recompile) for the whole test while answers must stay exact.
-    let mut catalog = Catalog::with_capacity(2);
+    // A byte budget one short of all three queried surfaces: the LRU
+    // churns (evict + recompile) for the whole test while answers must
+    // stay exact.
+    let budget = surface_bytes - 1;
+    let mut catalog = Catalog::with_memory_budget(budget);
     for (key, method, seed) in methods() {
         Pipeline::new(&dataset)
             .epsilon(1.0)
@@ -172,7 +177,13 @@ fn concurrent_hammer_matches_single_threaded_answers() {
     let stats = engine.stats();
     assert_eq!(stats.unknown_keys, 0);
     assert!(stats.catalog.releases >= 3 + 2 * ITERATIONS);
-    assert!(stats.catalog.warm <= stats.catalog.capacity);
+    // With every thread joined (no lease can defer a victim), the
+    // resident bytes obey the configured budget.
+    assert!(
+        stats.catalog.resident_bytes <= budget,
+        "resident {} exceeds budget {budget}",
+        stats.catalog.resident_bytes
+    );
     // Churn really happened: recompilations beyond the three releases.
     assert!(stats.catalog.evictions > 0, "LRU never engaged");
     assert!(matches!(

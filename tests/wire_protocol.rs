@@ -1,0 +1,302 @@
+//! Wire-protocol regression: proptest round-trips of every frame
+//! variant, single-line framing under adversarial strings, and the
+//! boundary validation that keeps malformed rectangles out of the
+//! engine.
+
+use dpgrid::serve::wire::{
+    ErrorCode, RequestBody, ResponseBody, WireAnswers, WireError, WireOutcome, WireQuery, WireRect,
+    WireRequest, WireResponse, PROTOCOL_VERSION,
+};
+use dpgrid::serve::CacheState;
+use dpgrid::serve::{CatalogStats, EngineStats, ServeError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Keys stress framing: quotes, backslashes, newlines, unicode,
+/// embedded JSON — all must survive one-line encoding.
+const NASTY_KEYS: &[&str] = &[
+    "storage",
+    "key with spaces",
+    "quo\"te",
+    "back\\slash",
+    "new\nline",
+    "tab\there",
+    "ünïcødé-κλειδί-鍵",
+    "{\"looks\":\"like json\"}",
+    "",
+];
+
+fn arb_key(rng: &mut StdRng) -> String {
+    NASTY_KEYS[rng.random_range(0..NASTY_KEYS.len())].to_string()
+}
+
+/// Finite but awkward coordinates: subnormals, huge magnitudes,
+/// negative zero, high-precision fractions.
+fn arb_coord(rng: &mut StdRng) -> f64 {
+    match rng.random_range(0..6u32) {
+        0 => -0.0,
+        1 => f64::MIN_POSITIVE,
+        2 => -1e300,
+        3 => 1e300,
+        4 => rng.random_range(-1e6..1e6),
+        _ => rng.random_range(-1.0..1.0) / 3.0,
+    }
+}
+
+fn arb_rect(rng: &mut StdRng) -> WireRect {
+    WireRect {
+        x0: arb_coord(rng),
+        y0: arb_coord(rng),
+        x1: arb_coord(rng),
+        y1: arb_coord(rng),
+    }
+}
+
+fn arb_query(rng: &mut StdRng) -> WireQuery {
+    let n = rng.random_range(0..5usize);
+    WireQuery {
+        release_key: arb_key(rng),
+        rects: (0..n).map(|_| arb_rect(rng)).collect(),
+    }
+}
+
+/// An id inside the documented JSON safe-integer range (`<= 2⁵³`);
+/// ids beyond it are out of contract (JSON numbers are doubles).
+fn arb_id(rng: &mut StdRng) -> u64 {
+    rng.random::<u64>() >> 12
+}
+
+fn arb_request(rng: &mut StdRng) -> WireRequest {
+    let body = match rng.random_range(0..4u32) {
+        0 => RequestBody::Query(arb_query(rng)),
+        1 => {
+            let n = rng.random_range(0..4usize);
+            RequestBody::Batch((0..n).map(|_| arb_query(rng)).collect())
+        }
+        2 => RequestBody::Stats,
+        _ => RequestBody::Ping,
+    };
+    WireRequest::new(arb_id(rng), body)
+}
+
+fn arb_error(rng: &mut StdRng) -> WireError {
+    let code = match rng.random_range(0..6u32) {
+        0 => ErrorCode::UnknownKey,
+        1 => ErrorCode::InvalidQuery,
+        2 => ErrorCode::Overloaded,
+        3 => ErrorCode::MalformedRequest,
+        4 => ErrorCode::UnsupportedVersion,
+        _ => ErrorCode::Internal,
+    };
+    WireError::new(code, arb_key(rng))
+}
+
+fn arb_answers(rng: &mut StdRng) -> WireAnswers {
+    let n = rng.random_range(0..5usize);
+    WireAnswers {
+        release_key: arb_key(rng),
+        version: arb_id(rng),
+        cache: if rng.random::<bool>() {
+            CacheState::Warm
+        } else {
+            CacheState::Cold
+        },
+        answers: (0..n).map(|_| arb_coord(rng)).collect(),
+    }
+}
+
+fn arb_stats(rng: &mut StdRng) -> EngineStats {
+    EngineStats {
+        requests: rng.random::<u64>() >> 12,
+        answers: rng.random::<u64>() >> 12,
+        unknown_keys: rng.random::<u64>() >> 12,
+        shed: rng.random::<u64>() >> 12,
+        inflight_rects: rng.random::<u64>() >> 12,
+        admission_limit: rng.random::<u64>() >> 12,
+        catalog: CatalogStats {
+            releases: rng.random_range(0..1_000_000usize),
+            warm: rng.random_range(0..1_000usize),
+            capacity: if rng.random::<bool>() {
+                usize::MAX
+            } else {
+                rng.random_range(1..1_000usize)
+            },
+            budget_bytes: if rng.random::<bool>() {
+                usize::MAX
+            } else {
+                rng.random_range(1..1_000_000_000usize)
+            },
+            resident_bytes: rng.random_range(0..1_000_000_000usize),
+            lookups: rng.random::<u64>() >> 12,
+            warm_hits: rng.random::<u64>() >> 12,
+            compilations: rng.random::<u64>() >> 12,
+            evictions: rng.random::<u64>() >> 12,
+        },
+    }
+}
+
+fn arb_response(rng: &mut StdRng) -> WireResponse {
+    let body = match rng.random_range(0..5u32) {
+        0 => ResponseBody::Answers(arb_answers(rng)),
+        1 => {
+            let n = rng.random_range(0..4usize);
+            ResponseBody::Batch(
+                (0..n)
+                    .map(|_| {
+                        if rng.random::<bool>() {
+                            WireOutcome::Answered(arb_answers(rng))
+                        } else {
+                            WireOutcome::Failed(arb_error(rng))
+                        }
+                    })
+                    .collect(),
+            )
+        }
+        2 => ResponseBody::Stats(arb_stats(rng)),
+        3 => ResponseBody::Pong,
+        _ => ResponseBody::Error(arb_error(rng)),
+    };
+    WireResponse::new(arb_id(rng), body)
+}
+
+proptest! {
+    /// Every request frame round-trips bit-exactly through its
+    /// one-line JSON encoding, whatever variant and key content.
+    #[test]
+    fn request_frames_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let request = arb_request(&mut rng);
+        let line = request.encode();
+        prop_assert!(!line.contains('\n'), "frame must be one line: {}", line);
+        let back = WireRequest::decode(&line)
+            .unwrap_or_else(|e| panic!("{line}: {}", e.error));
+        prop_assert_eq!(back, request);
+    }
+
+    /// Every response frame round-trips bit-exactly, including stats
+    /// with unbounded (`usize::MAX`) limits and error payloads.
+    #[test]
+    fn response_frames_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let response = arb_response(&mut rng);
+        let line = response.encode();
+        prop_assert!(!line.contains('\n'), "frame must be one line: {}", line);
+        let back = WireResponse::decode(&line)
+            .unwrap_or_else(|e| panic!("{line}: {}", e.error));
+        prop_assert_eq!(back, response);
+    }
+
+    /// Validated wire rectangles preserve the exact coordinates of the
+    /// typed `Rect` they came from.
+    #[test]
+    fn validated_rects_are_lossless(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = (arb_coord(&mut rng), arb_coord(&mut rng));
+        let (c, d) = (arb_coord(&mut rng), arb_coord(&mut rng));
+        let rect = dpgrid::geo::Rect::new(a.min(c), b.min(d), a.max(c), b.max(d)).unwrap();
+        let wire = WireRect::from(&rect);
+        let line = WireRequest::new(1, RequestBody::Query(WireQuery {
+            release_key: "k".into(),
+            rects: vec![wire],
+        }))
+        .encode();
+        let back = WireRequest::decode(&line).unwrap();
+        let RequestBody::Query(q) = back.body else { panic!("query survives") };
+        let validated = q.rects[0].validate().unwrap();
+        prop_assert_eq!(validated, rect);
+    }
+}
+
+#[test]
+fn frames_carry_the_current_protocol_version() {
+    let line = WireRequest::new(5, RequestBody::Ping).encode();
+    assert!(line.contains(&format!("\"protocol_version\":{PROTOCOL_VERSION}")));
+    let response = WireResponse::new(5, ResponseBody::Pong);
+    assert_eq!(response.protocol_version, PROTOCOL_VERSION);
+}
+
+#[test]
+fn rejection_paths_cover_every_malformed_rect_shape() {
+    let cases: &[(f64, f64, f64, f64, &str)] = &[
+        (f64::NAN, 0.0, 1.0, 1.0, "NaN x0"),
+        (0.0, f64::NAN, 1.0, 1.0, "NaN y0"),
+        (0.0, 0.0, f64::NAN, 1.0, "NaN x1"),
+        (0.0, 0.0, 1.0, f64::NAN, "NaN y1"),
+        (f64::INFINITY, 0.0, 1.0, 1.0, "+inf x0"),
+        (f64::NEG_INFINITY, 0.0, 1.0, 1.0, "-inf x0"),
+        (0.0, 0.0, f64::INFINITY, 1.0, "+inf x1"),
+        (0.0, 0.0, 1.0, f64::NEG_INFINITY, "-inf y1"),
+        (2.0, 0.0, 1.0, 1.0, "x0 > x1"),
+        (0.0, 2.0, 1.0, 1.0, "y0 > y1"),
+    ];
+    for &(x0, y0, x1, y1, what) in cases {
+        let rect = WireRect { x0, y0, x1, y1 };
+        match rect.validate() {
+            Err(ServeError::InvalidQuery(_)) => {}
+            other => panic!("{what}: expected InvalidQuery, got {other:?}"),
+        }
+        // The same rejection at the query level names the rect index.
+        let query = WireQuery {
+            release_key: "k".into(),
+            rects: vec![
+                WireRect {
+                    x0: 0.0,
+                    y0: 0.0,
+                    x1: 1.0,
+                    y1: 1.0,
+                },
+                rect,
+            ],
+        };
+        match query.validate() {
+            Err(ServeError::InvalidQuery(msg)) => {
+                assert!(msg.contains("rect #1"), "{what}: message was {msg}")
+            }
+            other => panic!("{what}: expected InvalidQuery, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn non_finite_coordinates_on_the_wire_are_rejected_not_smuggled() {
+    // JSON cannot carry NaN/inf: the encoder writes null, the decoder
+    // reads NaN back. Boundary validation must therefore reject what
+    // arrives, so no non-finite rect ever reaches an engine.
+    let request = WireRequest::new(
+        1,
+        RequestBody::Query(WireQuery {
+            release_key: "k".into(),
+            rects: vec![WireRect {
+                x0: f64::NAN,
+                y0: 0.0,
+                x1: f64::INFINITY,
+                y1: 1.0,
+            }],
+        }),
+    );
+    let line = request.encode();
+    assert!(line.contains("null"), "non-finite floats serialise as null");
+    let back = WireRequest::decode(&line).unwrap();
+    let RequestBody::Query(query) = back.body else {
+        panic!("query survives");
+    };
+    assert!(matches!(query.validate(), Err(ServeError::InvalidQuery(_))));
+}
+
+#[test]
+fn error_codes_have_stable_wire_names() {
+    // The stability contract: these exact strings are the wire form.
+    for (code, name) in [
+        (ErrorCode::UnknownKey, "\"UnknownKey\""),
+        (ErrorCode::InvalidQuery, "\"InvalidQuery\""),
+        (ErrorCode::Overloaded, "\"Overloaded\""),
+        (ErrorCode::MalformedRequest, "\"MalformedRequest\""),
+        (ErrorCode::UnsupportedVersion, "\"UnsupportedVersion\""),
+        (ErrorCode::Internal, "\"Internal\""),
+    ] {
+        let line = WireResponse::error(1, WireError::new(code, "x")).encode();
+        assert!(line.contains(name), "{line} must carry {name}");
+        assert_eq!(format!("\"{}\"", code.as_str()), name);
+    }
+}
