@@ -74,6 +74,7 @@ pub mod method;
 mod noise;
 pub mod pipeline;
 pub mod release;
+pub mod routing;
 pub mod surface;
 pub mod synthetic;
 mod uniform_grid;
@@ -85,6 +86,7 @@ pub use method::Method;
 pub use noise::{CountNoise, NoiseKind};
 pub use pipeline::{Pipeline, ReleaseSink};
 pub use release::{Release, ReleaseMetadata};
+pub use routing::{rendezvous_route, rendezvous_score, ShardedSink};
 pub use surface::{CompiledSurface, SurfaceKind};
 pub use uniform_grid::{UgConfig, UniformGrid};
 

@@ -3,11 +3,25 @@
 //! A [`TcpClient`] issues one request frame at a time and blocks for
 //! the matching response (ids are checked, so a desynchronised
 //! connection fails loudly instead of mismatching answers). It is
-//! deliberately not `Sync` — open one client per thread; the server
-//! side is built for many cheap connections.
+//! deliberately not `Sync` — open one client per thread (or pool
+//! clients with [`crate::TcpClientPool`]); the server side is built
+//! for many cheap connections.
+//!
+//! # Reconnection
+//!
+//! The client remembers the address it connected to and, when a call
+//! finds the connection *stale* — broken pipe, reset, or EOF where a
+//! response was due, the signature of a server restart or an idle
+//! timeout — it reconnects and resends that frame **once** before
+//! surfacing a [`NetError`]. One retry is safe because every request
+//! in the protocol is an idempotent read (queries, stats, keys, ping);
+//! it is capped at one so a dead server fails fast instead of
+//! retry-looping. A client that has surfaced an error reconnects
+//! lazily on its next call, so long-lived clients ride out server
+//! restarts without being rebuilt.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 use dpgrid_geo::Rect;
 use dpgrid_serve::wire::{
@@ -15,27 +29,106 @@ use dpgrid_serve::wire::{
 };
 use dpgrid_serve::{EngineStats, QueryRequest, QueryResponse};
 
+use std::time::Duration;
+
 use crate::error::{NetError, Result};
 
-/// A blocking connection to a [`crate::TcpServer`] (or anything else
-/// speaking the wire protocol over newline-delimited JSON).
+/// How long a dial may block before it fails — a silently dropping
+/// host (no RST) must not hang callers for the OS default of minutes.
+pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default bound on one response wait (and one blocking write). A hung
+/// server surfaces a timeout error instead of stalling the caller —
+/// and with it every router batch scattered through this connection.
+/// Generous: the slowest legitimate responses (a cold compile of a
+/// huge surface behind a multi-thousand-rect batch) finish well under
+/// it. Tune or disable per client with [`TcpClient::with_io_timeout`].
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One live connection: buffered reader/writer halves of a stream.
 #[derive(Debug)]
-pub struct TcpClient {
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr, io_timeout: Option<Duration>) -> Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
+        Ok(Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+}
+
+/// A blocking connection to a [`crate::TcpServer`] (or anything else
+/// speaking the wire protocol over newline-delimited JSON), with
+/// one-shot reconnection on stale connections and bounded waits
+/// (see [`CONNECT_TIMEOUT`] / [`DEFAULT_IO_TIMEOUT`]).
+#[derive(Debug)]
+pub struct TcpClient {
+    peer: SocketAddr,
+    conn: Option<Conn>,
+    io_timeout: Option<Duration>,
     next_id: u64,
 }
 
 impl TcpClient {
-    /// Connects to `addr`.
+    /// Connects to `addr`. When `addr` resolves to several addresses
+    /// the first that connects wins, and that concrete address is what
+    /// reconnection later dials.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(TcpClient {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-            next_id: 1,
-        })
+        let io_timeout = Some(DEFAULT_IO_TIMEOUT);
+        let mut last_err: Option<NetError> = None;
+        for candidate in addr.to_socket_addrs()? {
+            match Conn::open(candidate, io_timeout) {
+                Ok(conn) => {
+                    return Ok(TcpClient {
+                        peer: candidate,
+                        conn: Some(conn),
+                        io_timeout,
+                        next_id: 1,
+                    })
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            NetError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ))
+        }))
+    }
+
+    /// Bounds each blocking read/write (`None` waits forever, the
+    /// pre-timeout behaviour). A wait that exceeds the bound surfaces
+    /// a timeout [`NetError::Io`] and poisons the connection — it is
+    /// *not* retried, since the server may be alive but slow and a
+    /// retry would just wait again.
+    pub fn with_io_timeout(mut self, timeout: Option<Duration>) -> Result<Self> {
+        self.io_timeout = timeout;
+        if let Some(conn) = &self.conn {
+            let stream = conn.reader.get_ref();
+            stream.set_read_timeout(timeout)?;
+            stream.set_write_timeout(timeout)?;
+        }
+        Ok(self)
+    }
+
+    /// The concrete peer address this client dials (and redials).
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Whether a connection is currently open (a client that surfaced
+    /// a transport error holds none until its next call reconnects).
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
     }
 
     /// Round-trips a liveness check.
@@ -51,6 +144,16 @@ impl TcpClient {
         match self.call(RequestBody::Stats)? {
             ResponseBody::Stats(stats) => Ok(stats),
             other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Fetches the server's advertised release keys (sorted). A
+    /// pre-`Keys` server answers with a `MalformedRequest` wire error —
+    /// treat it as "feature unsupported", per the versioning policy.
+    pub fn keys(&mut self) -> Result<Vec<String>> {
+        match self.call(RequestBody::Keys)? {
+            ResponseBody::Keys(keys) => Ok(keys),
+            other => Err(unexpected("Keys", &other)),
         }
     }
 
@@ -98,18 +201,60 @@ impl TcpClient {
         }
     }
 
-    /// Sends one frame and blocks for its response, enforcing id
-    /// correlation and unwrapping whole-frame errors.
+    /// Sends one frame and blocks for its response. A *stale*
+    /// connection (the server went away between calls: broken pipe,
+    /// reset, EOF in place of a response) is redialed and the frame
+    /// resent exactly once; every request is an idempotent read, so
+    /// the retry cannot double-apply anything.
     fn call(&mut self, body: RequestBody) -> Result<ResponseBody> {
         let id = self.next_id;
         self.next_id += 1;
         let frame = WireRequest::new(id, body).encode();
-        self.writer.write_all(frame.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+        // Refuse to send a frame the server is guaranteed to reject
+        // (and punish with a mid-write close the retry would only run
+        // into again): fail typed and attributable, connection intact.
+        if frame.len() + 1 > dpgrid_serve::wire::MAX_FRAME_BYTES {
+            return Err(NetError::Protocol(format!(
+                "request frame of {} bytes exceeds the protocol's {} byte cap; split the batch",
+                frame.len() + 1,
+                dpgrid_serve::wire::MAX_FRAME_BYTES
+            )));
+        }
+        match self.exchange(&frame, id) {
+            Err(e) if is_stale_connection(&e) => {
+                self.conn = None;
+                let retried = self.exchange(&frame, id);
+                if matches!(retried, Err(ref e) if !matches!(e, NetError::Server(_))) {
+                    self.conn = None;
+                }
+                retried
+            }
+            Err(e) => {
+                // Transport and framing errors poison the connection
+                // (a desynchronised stream must not serve the next
+                // call); typed server errors leave it healthy.
+                if !matches!(e, NetError::Server(_)) {
+                    self.conn = None;
+                }
+                Err(e)
+            }
+            ok => ok,
+        }
+    }
+
+    /// One write/read round trip on the current connection, opening a
+    /// fresh one if none is held.
+    fn exchange(&mut self, frame: &str, id: u64) -> Result<ResponseBody> {
+        if self.conn.is_none() {
+            self.conn = Some(Conn::open(self.peer, self.io_timeout)?);
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        conn.writer.write_all(frame.as_bytes())?;
+        conn.writer.write_all(b"\n")?;
+        conn.writer.flush()?;
 
         let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
+        if conn.reader.read_line(&mut line)? == 0 {
             return Err(NetError::Disconnected);
         }
         let response = WireResponse::decode(line.trim_end_matches(['\r', '\n']))
@@ -127,6 +272,24 @@ impl TcpClient {
                 response.id
             ))),
         }
+    }
+}
+
+/// Whether an error means "the connection died under us" — the cases a
+/// single redial-and-resend can fix (server restart, idle reap), as
+/// opposed to a live server actively answering with an error.
+fn is_stale_connection(e: &NetError) -> bool {
+    match e {
+        NetError::Disconnected => true,
+        NetError::Io(io) => matches!(
+            io.kind(),
+            std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::NotConnected
+                | std::io::ErrorKind::UnexpectedEof
+        ),
+        NetError::Protocol(_) | NetError::Server(_) => false,
     }
 }
 

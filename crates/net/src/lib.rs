@@ -1,14 +1,48 @@
 //! TCP transport for the dpgrid serving API.
 //!
-//! This crate is the first network layer over
+//! This crate is the network layer over
 //! [`dpgrid_serve::QueryService`]: a std-only TCP server
-//! ([`TcpServer`], thread-per-connection, graceful shutdown) and a
-//! blocking client ([`TcpClient`]), both speaking the versioned wire
-//! protocol defined in [`dpgrid_serve::wire`]. It deliberately uses no
-//! async runtime and no external networking dependencies — everything
-//! is `std::net` + `std::thread`, consistent with the workspace's
-//! vendored-stubs constraint, and the protocol layer is shared so an
-//! async transport can later reuse it unchanged.
+//! ([`TcpServer`], thread-per-connection, graceful shutdown), a
+//! blocking client ([`TcpClient`], with one-shot reconnection), a
+//! reconnecting connection pool ([`TcpClientPool`]) and the remote leg
+//! of the sharded serving tier ([`RemoteShard`]) — all speaking the
+//! versioned wire protocol defined in [`dpgrid_serve::wire`]. It
+//! deliberately uses no async runtime and no external networking
+//! dependencies — everything is `std::net` + `std::thread`, consistent
+//! with the workspace's vendored-stubs constraint, and the protocol
+//! layer is shared so an async transport can later reuse it unchanged.
+//!
+//! # Deployment topologies
+//!
+//! Every box below is the same binary; what changes is which
+//! [`dpgrid_serve::QueryService`] the [`TcpServer`] is bound to.
+//!
+//! * **Single node** — one [`dpgrid_serve::QueryEngine`] behind one
+//!   [`TcpServer`]. Clients connect directly; scaling is vertical
+//!   (cores, catalog memory budget). This is `examples/net_roundtrip`.
+//! * **Front-door router** — one node binds its `TcpServer` to a
+//!   [`dpgrid_serve::ShardRouter`] whose shards are [`RemoteShard`]s
+//!   dialing N backend nodes (each a plain single node). Clients speak
+//!   to the front door exactly as to a single node — the router *is* a
+//!   `QueryService` — while mixed-key batches scatter over the
+//!   backends and reassemble in order. Placement is deterministic
+//!   rendezvous hashing over shard names
+//!   (`dpgrid_core::rendezvous_route`), the same function the
+//!   publishing side uses via `dpgrid_core::ShardedSink`, so a
+//!   release published to "shard-b" is always routed to "shard-b".
+//! * **Mixed local/remote** — the router holds some shards in-process
+//!   ([`dpgrid_serve::LocalShard`]) and some remote. This is the
+//!   migration path: start with every shard local on one host, then
+//!   move hot shards to their own hosts by swapping `LocalShard` for
+//!   [`RemoteShard`] under the *same name* — no key moves, because
+//!   placement follows names, not transports. This is
+//!   `examples/sharded_serving`.
+//!
+//! Failure semantics across all three: a dead backend fails only the
+//! requests routed to it (typed `Internal`/`Unavailable`), an
+//! overloaded backend sheds its sub-batch with `Overloaded`, and
+//! clients/pools redial stale connections once before surfacing
+//! errors.
 //!
 //! # Frame format
 //!
@@ -22,10 +56,11 @@
 //!   larger ids round in transit); `body` is externally
 //!   tagged, one of
 //!   `{"Query": {"release_key": "…", "rects": [{"x0":…,"y0":…,"x1":…,"y1":…}, …]}}`,
-//!   `{"Batch": [query, …]}`, `"Stats"` or `"Ping"`.
+//!   `{"Batch": [query, …]}`, `"Stats"`, `"Keys"` or `"Ping"`.
 //! * response: `{"protocol_version": 1, "id": 7, "body": …}` — see
 //!   [`dpgrid_serve::wire::WireResponse`]; `body` is one of
-//!   `{"Answers": …}`, `{"Batch": […]}`, `{"Stats": …}`, `"Pong"` or
+//!   `{"Answers": …}`, `{"Batch": […]}`, `{"Stats": …}`,
+//!   `{"Keys": […]}`, `"Pong"` or
 //!   `{"Error": {"code": "…", "message": "…"}}`.
 //!
 //! JSON string escaping guarantees a frame never contains a raw
@@ -96,10 +131,14 @@
 
 mod client;
 mod error;
+mod pool;
+mod remote;
 mod server;
 
-pub use client::TcpClient;
+pub use client::{TcpClient, CONNECT_TIMEOUT, DEFAULT_IO_TIMEOUT};
 pub use error::{NetError, Result};
+pub use pool::{TcpClientPool, DEFAULT_MAX_IDLE};
+pub use remote::RemoteShard;
 pub use server::TcpServer;
 
 #[cfg(test)]
@@ -213,14 +252,150 @@ mod tests {
     }
 
     #[test]
-    fn disconnect_is_reported_after_shutdown() {
+    fn disconnect_is_reported_when_no_server_comes_back() {
         let engine = Arc::new(engine(&[("a", 1)]));
         let server = TcpServer::bind(Arc::clone(&engine), "127.0.0.1:0").unwrap();
         let mut client = TcpClient::connect(server.local_addr()).unwrap();
         client.ping().unwrap();
         server.shutdown();
-        // The next call fails with a transport error, not a hang.
+        // The next call fails with a transport error, not a hang: the
+        // one-shot reconnect finds nothing listening.
         let err = client.ping().unwrap_err();
         assert!(matches!(err, NetError::Disconnected | NetError::Io(_)));
+        assert!(!client.is_connected());
+    }
+
+    #[test]
+    fn client_reconnects_once_across_a_server_restart() {
+        let engine = Arc::new(engine(&[("a", 1)]));
+        let server = TcpServer::bind(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let mut client = TcpClient::connect(addr).unwrap();
+        client.ping().unwrap();
+        server.shutdown();
+        // Kill-and-restart on the same (previously ephemeral) port: the
+        // stranded client's next call hits a dead connection, redials
+        // once, and succeeds — no rebuild, no error surfaced.
+        let server = TcpServer::bind(Arc::clone(&engine), addr).unwrap();
+        client.ping().unwrap();
+        let q = Rect::new(-120.0, 20.0, -90.0, 40.0).unwrap();
+        let remote = client.query("a", &[q]).unwrap();
+        let local = engine.answer(&QueryRequest::new("a", vec![q])).unwrap();
+        assert_eq!(remote.answers, local.answers);
+        assert!(client.is_connected());
+
+        // A restart *while disconnected* also heals lazily: kill,
+        // surface one error, restart, next call redials.
+        server.shutdown();
+        assert!(client.ping().is_err());
+        let server = TcpServer::bind(Arc::clone(&engine), addr).unwrap();
+        client.ping().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn keys_travel_over_the_wire() {
+        let engine = Arc::new(engine(&[("b", 2), ("a", 1)]));
+        let server = TcpServer::bind(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+        let mut client = TcpClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.keys().unwrap(), vec!["a", "b"]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pool_reuses_parked_connections_and_survives_restart() {
+        let engine = Arc::new(engine(&[("a", 1)]));
+        let server = TcpServer::bind(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let pool = TcpClientPool::connect(addr).unwrap().with_max_idle(2);
+        assert_eq!(pool.addr(), addr);
+        // The verification connection was parked; a call reuses it.
+        assert_eq!(pool.idle_connections(), 1);
+        pool.with_client(|c| c.ping()).unwrap();
+        assert_eq!(pool.idle_connections(), 1);
+        // Concurrent checkouts dial extra connections, parked up to
+        // the cap afterwards.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| pool.with_client(|c| c.ping()).unwrap());
+            }
+        });
+        assert!(pool.idle_connections() <= 2);
+        // Restart: parked connections are stale; each client's
+        // one-shot reconnect heals them transparently.
+        server.shutdown();
+        let server = TcpServer::bind(Arc::clone(&engine), addr).unwrap();
+        pool.with_client(|c| c.ping()).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_overload_recovers_the_servers_counters() {
+        use dpgrid_serve::{QueryService, ServeError};
+        let engine = Arc::new(engine(&[("a", 1)]).with_admission_limit(2));
+        let server = TcpServer::bind(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+        let shard = RemoteShard::connect(server.local_addr()).unwrap();
+        let rects: Vec<Rect> = (0..3)
+            .map(|i| Rect::new(-120.0 + i as f64, 20.0, -90.0, 40.0).unwrap())
+            .collect();
+        // 3 rects against a budget of 2: shed remotely, and the typed
+        // error carries the server's counters, not zeroed placeholders.
+        let result = shard
+            .answer_batch(&[QueryRequest::new("a", rects)])
+            .remove(0);
+        match result {
+            Err(ServeError::Overloaded {
+                inflight_rects,
+                limit,
+            }) => {
+                assert_eq!(inflight_rects, 0);
+                assert_eq!(limit, 2);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_shard_serves_and_degrades_typed() {
+        use dpgrid_serve::shard::Shard;
+        use dpgrid_serve::{QueryService, ServeError};
+        let engine = Arc::new(engine(&[("a", 1), ("b", 2)]));
+        let server = TcpServer::bind(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+        let shard = RemoteShard::connect(server.local_addr()).unwrap();
+        assert_eq!(shard.addr(), server.local_addr());
+        assert_eq!(QueryService::keys(&shard), vec!["a", "b"]);
+        assert!(shard.contains_key("a"));
+        assert!(!shard.contains_key("zz"));
+
+        let q = Rect::new(-120.0, 20.0, -90.0, 40.0).unwrap();
+        let results = shard.answer_batch(&[
+            QueryRequest::new("a", vec![q]),
+            QueryRequest::new("missing", vec![q]),
+        ]);
+        let local = engine.answer(&QueryRequest::new("a", vec![q])).unwrap();
+        assert_eq!(results[0].as_ref().unwrap().answers, local.answers);
+        assert!(matches!(
+            results[1],
+            Err(ServeError::UnknownRelease(ref k)) if k == "missing"
+        ));
+        assert_eq!(
+            QueryService::stats(&shard).requests,
+            engine.stats().requests
+        );
+
+        // Server gone: the whole sub-batch fails Unavailable, stats
+        // and keys degrade to zero/empty instead of panicking.
+        server.shutdown();
+        let results = shard.answer_batch(&[QueryRequest::new("a", vec![q])]);
+        assert!(matches!(
+            results[0],
+            Err(ServeError::Unavailable { ref shard, .. }) if !shard.is_empty()
+        ));
+        assert_eq!(
+            QueryService::stats(&shard),
+            dpgrid_serve::EngineStats::zeroed()
+        );
+        assert!(QueryService::keys(&shard).is_empty());
     }
 }

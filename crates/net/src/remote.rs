@@ -1,0 +1,150 @@
+//! A shard on the far side of a TCP connection.
+//!
+//! [`RemoteShard`] implements [`dpgrid_serve::QueryService`] and
+//! [`dpgrid_serve::shard::Shard`] over a [`TcpClientPool`], so a
+//! [`dpgrid_serve::ShardRouter`] mixes in-process engines and engines
+//! on other hosts transparently: the router scatter–gathers, each
+//! remote sub-batch travels as one `Batch` wire frame, and the
+//! answers come back as the same typed results an in-process shard
+//! produces.
+//!
+//! # Error mapping
+//!
+//! Per-query wire errors map back onto the typed [`ServeError`]s the
+//! engine itself raises, so callers match one enum whether the shard
+//! was local or remote — a remote `Overloaded` even keeps the
+//! server's in-flight/limit counters (they travel structured in the
+//! wire error's `overload` field; only a pre-`overload` peer degrades
+//! to zeroes). One honest loss of fidelity: unexpected codes
+//! (`Internal`, `MalformedRequest`, …) collapse into
+//! [`ServeError::Unavailable`]. A *transport* failure — the host is
+//! unreachable, the pool's dial failed — fails the whole sub-batch
+//! with [`ServeError::Unavailable`], which the router isolates to
+//! exactly the requests routed here.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+
+use dpgrid_serve::shard::Shard;
+use dpgrid_serve::wire::{ErrorCode, OverloadInfo, WireError};
+use dpgrid_serve::{EngineStats, QueryRequest, QueryResponse, QueryService, ServeError};
+
+use crate::error::Result;
+use crate::pool::TcpClientPool;
+
+/// A [`Shard`] served by a remote `TcpServer`, reached through a
+/// reconnecting connection pool.
+#[derive(Debug)]
+pub struct RemoteShard {
+    pool: TcpClientPool,
+    /// How the shard names itself in errors: the dialed address.
+    label: String,
+}
+
+impl RemoteShard {
+    /// Dials `addr` (verifying reachability with a ping) and wraps it
+    /// as a routable shard.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        Ok(RemoteShard::with_pool(TcpClientPool::connect(addr)?))
+    }
+
+    /// Wraps an existing pool (e.g. one with a custom idle cap).
+    pub fn with_pool(pool: TcpClientPool) -> Self {
+        let label = pool.addr().to_string();
+        RemoteShard { pool, label }
+    }
+
+    /// The remote address this shard dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.pool.addr()
+    }
+
+    /// The connection pool (for idle-cap tuning or diagnostics).
+    pub fn pool(&self) -> &TcpClientPool {
+        &self.pool
+    }
+
+    /// The whole-sub-batch failure for an unreachable host.
+    fn unavailable(&self, reason: &impl std::fmt::Display) -> ServeError {
+        ServeError::Unavailable {
+            shard: self.label.clone(),
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Maps one per-query wire error back onto the typed in-process
+    /// error a local shard would have returned.
+    fn wire_to_serve(&self, e: WireError, key: &str) -> ServeError {
+        match e.code {
+            ErrorCode::UnknownKey => ServeError::UnknownRelease(key.to_string()),
+            ErrorCode::InvalidQuery => ServeError::InvalidQuery(e.message),
+            // The server sends its counters structured (the
+            // `overload` field, additive within protocol v1); a
+            // pre-`overload` peer's error simply carries zeroes.
+            ErrorCode::Overloaded => {
+                let info = e.overload.unwrap_or(OverloadInfo {
+                    inflight_rects: 0,
+                    limit: 0,
+                });
+                ServeError::Overloaded {
+                    inflight_rects: info.inflight_rects,
+                    limit: info.limit,
+                }
+            }
+            ErrorCode::MalformedRequest | ErrorCode::UnsupportedVersion | ErrorCode::Internal => {
+                self.unavailable(&e)
+            }
+        }
+    }
+}
+
+impl QueryService for RemoteShard {
+    /// One wire `Batch` round trip on a pooled connection. Transport
+    /// failure fails every request in the sub-batch with
+    /// [`ServeError::Unavailable`]; per-query failures come back
+    /// typed, exactly as a local shard isolates them.
+    fn answer_batch(&self, requests: &[QueryRequest]) -> Vec<dpgrid_serve::Result<QueryResponse>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        match self.pool.with_client(|client| client.query_batch(requests)) {
+            Ok(outcomes) => outcomes
+                .into_iter()
+                .zip(requests)
+                .map(|(outcome, request)| {
+                    outcome.map_err(|e| self.wire_to_serve(e, &request.release_key))
+                })
+                .collect(),
+            Err(e) => {
+                let reason = e.to_string();
+                requests
+                    .iter()
+                    .map(|_| {
+                        Err(ServeError::Unavailable {
+                            shard: self.label.clone(),
+                            reason: reason.clone(),
+                        })
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The remote engine's counters; an unreachable host reports
+    /// zeroes (the router's own per-shard `routed`/`failed` counters
+    /// stay exact regardless).
+    fn stats(&self) -> EngineStats {
+        self.pool
+            .with_client(|client| client.stats())
+            .unwrap_or_else(|_| EngineStats::zeroed())
+    }
+
+    /// The remote's advertised keys; empty when unreachable (or when
+    /// the remote predates the `Keys` request).
+    fn keys(&self) -> Vec<String> {
+        self.pool
+            .with_client(|client| client.keys())
+            .unwrap_or_default()
+    }
+}
+
+impl Shard for RemoteShard {}

@@ -28,13 +28,13 @@ use crate::error::Result;
 /// How often parked connection reads re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
-/// Upper bound on one request frame's size. A connection whose frame
-/// grows past this without a newline is answered with a typed
-/// `MalformedRequest` and closed — a newline-free stream must not
-/// grow the server's buffer unboundedly. Generous: the largest
-/// legitimate frames (multi-thousand-rect batches) are well under
-/// 1 MiB.
-const MAX_FRAME_BYTES: u64 = 16 << 20;
+/// Upper bound on one request frame's size — the protocol-wide
+/// [`wire::MAX_FRAME_BYTES`], shared with the client so senders refuse
+/// oversized frames before this server has to slam the connection. A
+/// connection whose frame grows past it without a newline is answered
+/// with a typed `MalformedRequest` and closed — a newline-free stream
+/// must not grow the server's buffer unboundedly.
+const MAX_FRAME_BYTES: u64 = wire::MAX_FRAME_BYTES as u64;
 
 /// One live connection: its worker thread plus a socket handle the
 /// shutdown path uses to sever the connection (unblocking any stuck

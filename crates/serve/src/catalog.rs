@@ -83,7 +83,7 @@ pub struct SurfaceHandle {
 /// protocol's `Stats` request so operators can watch warm/cold ratios,
 /// evictions and the resident-byte budget over the same connection
 /// they query through. Unbounded limits serialise as `usize::MAX`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CatalogStats {
     /// Releases currently held.
     pub releases: usize,
@@ -106,6 +106,46 @@ pub struct CatalogStats {
     pub compilations: u64,
     /// Surfaces evicted by the residency bounds.
     pub evictions: u64,
+}
+
+impl CatalogStats {
+    /// All-zero counters: the identity of [`CatalogStats::merge`].
+    pub fn zeroed() -> Self {
+        CatalogStats::default()
+    }
+
+    /// Element-wise aggregation of two catalogs' counters — the exact
+    /// stats of a tier holding both (a shard router sums its backends'
+    /// catalogs this way). Counts and traffic add; the bounds
+    /// (`capacity`, `budget_bytes`) add **saturating**, so one
+    /// unbounded (`usize::MAX`) member keeps the aggregate unbounded
+    /// instead of wrapping.
+    #[must_use]
+    pub fn merge(&self, other: &CatalogStats) -> CatalogStats {
+        CatalogStats {
+            releases: self.releases + other.releases,
+            warm: self.warm + other.warm,
+            capacity: self.capacity.saturating_add(other.capacity),
+            budget_bytes: self.budget_bytes.saturating_add(other.budget_bytes),
+            resident_bytes: self.resident_bytes + other.resident_bytes,
+            lookups: self.lookups + other.lookups,
+            warm_hits: self.warm_hits + other.warm_hits,
+            compilations: self.compilations + other.compilations,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+}
+
+impl std::iter::Sum for CatalogStats {
+    fn sum<I: Iterator<Item = CatalogStats>>(iter: I) -> Self {
+        iter.fold(CatalogStats::zeroed(), |acc, s| acc.merge(&s))
+    }
+}
+
+impl<'a> std::iter::Sum<&'a CatalogStats> for CatalogStats {
+    fn sum<I: Iterator<Item = &'a CatalogStats>>(iter: I) -> Self {
+        iter.fold(CatalogStats::zeroed(), |acc, s| acc.merge(s))
+    }
 }
 
 /// A leased release awaiting its surface compilation — phase one of
@@ -285,7 +325,13 @@ impl Catalog {
                     path.display()
                 ))
             })?;
-            let release = Release::load(&path)?;
+            // Name the offending file: a directory of dumps can hold
+            // dozens of releases, and a bare serde error does not say
+            // which one is bad.
+            let release = Release::load(&path).map_err(|source| ServeError::Load {
+                path: path.clone(),
+                source,
+            })?;
             self.insert(stem, release);
             keys.push(stem.to_string());
         }
@@ -896,9 +942,15 @@ mod tests {
         let handle = catalog.surface("alpha").unwrap();
         assert!((handle.surface.answer(&q) - rel_a.answer(&q)).abs() <= 1e-9);
 
-        // A malformed file fails the load loudly.
+        // A malformed file fails the load loudly — and the error names
+        // the offending path, not just the serde failure.
         std::fs::write(dir.join("zz_bad.json"), "{not json").unwrap();
-        assert!(Catalog::from_dir(&dir).is_err());
+        let err = Catalog::from_dir(&dir).unwrap_err();
+        assert!(matches!(err, ServeError::Load { ref path, .. } if path.ends_with("zz_bad.json")));
+        assert!(
+            err.to_string().contains("zz_bad.json"),
+            "message must name the file: {err}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -80,7 +80,7 @@ pub struct QueryResponse {
 /// Serialisable: exposed over the wire protocol's `Stats` request so
 /// operators can watch traffic, shedding and cache behaviour through
 /// the same connection they query over.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Requests routed (successful or not, including shed ones).
     pub requests: u64,
@@ -96,6 +96,49 @@ pub struct EngineStats {
     pub admission_limit: u64,
     /// The wrapped catalog's counters.
     pub catalog: CatalogStats,
+}
+
+impl EngineStats {
+    /// All-zero counters: the identity of [`EngineStats::merge`] and
+    /// the honest placeholder a router reports for a shard it cannot
+    /// reach.
+    pub fn zeroed() -> Self {
+        EngineStats::default()
+    }
+
+    /// Element-wise aggregation of two engines' counters — the exact
+    /// stats of a tier serving through both (a shard router sums its
+    /// backends this way).
+    ///
+    /// Traffic counters add. The *bounds* (`admission_limit`, and the
+    /// catalog's `capacity`/`budget_bytes`) add **saturating**, so an
+    /// unbounded member (`u64::MAX`/`usize::MAX`) keeps the aggregate
+    /// unbounded instead of wrapping — the sum reads as "total
+    /// capacity of the tier".
+    #[must_use]
+    pub fn merge(&self, other: &EngineStats) -> EngineStats {
+        EngineStats {
+            requests: self.requests + other.requests,
+            answers: self.answers + other.answers,
+            unknown_keys: self.unknown_keys + other.unknown_keys,
+            shed: self.shed + other.shed,
+            inflight_rects: self.inflight_rects + other.inflight_rects,
+            admission_limit: self.admission_limit.saturating_add(other.admission_limit),
+            catalog: self.catalog.merge(&other.catalog),
+        }
+    }
+}
+
+impl std::iter::Sum for EngineStats {
+    fn sum<I: Iterator<Item = EngineStats>>(iter: I) -> Self {
+        iter.fold(EngineStats::zeroed(), |acc, s| acc.merge(&s))
+    }
+}
+
+impl<'a> std::iter::Sum<&'a EngineStats> for EngineStats {
+    fn sum<I: Iterator<Item = &'a EngineStats>>(iter: I) -> Self {
+        iter.fold(EngineStats::zeroed(), |acc, s| acc.merge(s))
+    }
 }
 
 /// A thread-safe, batched, multi-release query frontend.
@@ -223,6 +266,12 @@ impl QueryEngine {
     /// budget inspection) without tearing the engine down.
     pub fn with_catalog<R>(&self, f: impl FnOnce(&mut Catalog) -> R) -> R {
         f(&mut self.lock())
+    }
+
+    /// The sorted release keys currently held (the engine's advertised
+    /// keyspace; takes the catalog lock briefly).
+    pub fn keys(&self) -> Vec<String> {
+        self.lock().keys()
     }
 
     /// Answers one request: admits its rectangles against the

@@ -7,10 +7,14 @@ use dpgrid_core::CoreError;
 
 /// Everything that can go wrong while serving releases.
 ///
-/// The first three variants are the *typed client errors* of the
+/// The first four variants are the *typed client errors* of the
 /// service API — the wire protocol maps each onto a stable
 /// [`crate::wire::ErrorCode`] so remote callers can branch on them
-/// exactly as in-process callers match on this enum.
+/// exactly as in-process callers match on this enum
+/// ([`ServeError::Unavailable`] collapses into `Internal` on the wire:
+/// a remote client cannot distinguish a dead shard behind the router
+/// from any other server-side failure, and retry is the action for
+/// both).
 #[derive(Debug)]
 pub enum ServeError {
     /// A query named a release key the catalog does not hold.
@@ -28,9 +32,32 @@ pub enum ServeError {
         /// The configured in-flight rectangle budget.
         limit: u64,
     },
+    /// A backing shard could not serve the request at all — the
+    /// router could not reach it (remote transport failure), or no
+    /// shard exists to route to. Unlike [`ServeError::Overloaded`]
+    /// this is not the backend saying "later"; it is the routing tier
+    /// saying "unreachable". Fails only the requests routed to that
+    /// shard; the rest of a batch is unaffected.
+    Unavailable {
+        /// The shard (router-registered name, or the remote address)
+        /// that could not be reached.
+        shard: String,
+        /// Human-readable transport detail.
+        reason: String,
+    },
     /// A release file's name cannot serve as a catalog key (e.g. a
     /// non-UTF-8 file stem in a loaded directory).
     InvalidKey(String),
+    /// A release file failed to load or validate. Unlike the bare
+    /// [`ServeError::Core`] this names the offending path, so a bad
+    /// dump in a [`crate::Catalog::load_dir`] directory is
+    /// identifiable from the message alone.
+    Load {
+        /// The release file that failed.
+        path: PathBuf,
+        /// The underlying parse/validation failure.
+        source: CoreError,
+    },
     /// Filesystem access failed while loading releases. The original
     /// [`std::io::Error`] is preserved so callers can branch on its
     /// [`std::io::ErrorKind`].
@@ -59,7 +86,13 @@ impl fmt::Display for ServeError {
                 f,
                 "engine overloaded: {inflight_rects} rects in flight against a budget of {limit}"
             ),
+            ServeError::Unavailable { shard, reason } => {
+                write!(f, "shard `{shard}` unavailable: {reason}")
+            }
             ServeError::InvalidKey(why) => write!(f, "invalid release key: {why}"),
+            ServeError::Load { path, source } => {
+                write!(f, "loading release {}: {source}", path.display())
+            }
             ServeError::Io { path, source } => {
                 write!(f, "reading {}: {source}", path.display())
             }
@@ -74,8 +107,10 @@ impl std::error::Error for ServeError {
             ServeError::UnknownRelease(_)
             | ServeError::InvalidQuery(_)
             | ServeError::Overloaded { .. }
+            | ServeError::Unavailable { .. }
             | ServeError::InvalidKey(_) => None,
             ServeError::Io { source, .. } => Some(source),
+            ServeError::Load { source, .. } => Some(source),
             ServeError::Core(e) => Some(e),
         }
     }

@@ -31,9 +31,16 @@
 //!   engine `Sync`: query threads and catalog inserts interleave
 //!   freely.
 //! * [`QueryService`] — the transport seam: the object-safe trait
-//!   (`answer_batch` + `stats`) transports are written against, so a
-//!   TCP frontend, a mock, or a future sharding proxy all plug in the
-//!   same way. [`QueryEngine`] implements it.
+//!   (`answer_batch` + `stats` + the advertised `keys`) transports are
+//!   written against, so a TCP frontend, a mock, or a sharding router
+//!   all plug in the same way. [`QueryEngine`] implements it.
+//! * [`shard`] — the horizontal-scaling tier: the [`Shard`] backend
+//!   trait ([`LocalShard`] in-process, `dpgrid-net`'s `RemoteShard`
+//!   over TCP) and the [`ShardRouter`], a [`QueryService`] that
+//!   rendezvous-routes one keyspace over many shards with
+//!   scatter–gather batching, per-shard error isolation and exact
+//!   merged stats. Publishing places releases with the same hash via
+//!   [`dpgrid_core::ShardedSink`], so build → publish → route agree.
 //! * [`wire`] — the versioned wire protocol: single-line JSON
 //!   [`wire::WireRequest`]/[`wire::WireResponse`] frames with boundary
 //!   rectangle validation and stable [`wire::ErrorCode`]s
@@ -84,6 +91,7 @@ mod catalog;
 mod engine;
 mod error;
 mod service;
+pub mod shard;
 pub mod wire;
 
 pub use catalog::{
@@ -93,3 +101,4 @@ pub use catalog::{
 pub use engine::{EngineStats, QueryEngine, QueryRequest, QueryResponse, DEFAULT_ADMISSION_LIMIT};
 pub use error::{Result, ServeError};
 pub use service::QueryService;
+pub use shard::{LocalShard, RouterStats, Shard, ShardRouter, ShardStats};

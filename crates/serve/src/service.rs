@@ -30,6 +30,15 @@ pub trait QueryService: Send + Sync {
 
     /// Point-in-time traffic and cache counters.
     fn stats(&self) -> EngineStats;
+
+    /// The advertised keyspace: sorted release keys this service can
+    /// currently answer for. Travels on the wire as the `Keys`
+    /// request, and the sharded serving tier uses it to verify
+    /// placement (see [`crate::shard::Shard`]). A service may
+    /// legitimately advertise a snapshot that is already stale by the
+    /// time the caller acts on it — keys are serving metadata, not a
+    /// consistency guarantee.
+    fn keys(&self) -> Vec<String>;
 }
 
 impl QueryService for QueryEngine {
@@ -39,6 +48,10 @@ impl QueryService for QueryEngine {
 
     fn stats(&self) -> EngineStats {
         QueryEngine::stats(self)
+    }
+
+    fn keys(&self) -> Vec<String> {
+        QueryEngine::keys(self)
     }
 }
 
@@ -52,6 +65,10 @@ impl<S: QueryService + ?Sized> QueryService for Arc<S> {
 
     fn stats(&self) -> EngineStats {
         (**self).stats()
+    }
+
+    fn keys(&self) -> Vec<String> {
+        (**self).keys()
     }
 }
 
@@ -78,5 +95,6 @@ mod tests {
         assert_eq!(responses.len(), 1);
         assert_eq!(responses[0].as_ref().unwrap().answers.len(), 1);
         assert_eq!(service.stats().requests, 1);
+        assert_eq!(service.keys(), vec!["k".to_string()]);
     }
 }

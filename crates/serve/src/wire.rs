@@ -48,6 +48,16 @@ use crate::service::QueryService;
 /// changes bump it; both sides reject other versions.
 pub const PROTOCOL_VERSION: u32 = 1;
 
+/// Upper bound on one encoded frame's bytes (newline included), in
+/// both directions. Servers reject (and close) connections whose
+/// inbound frame grows past it; clients refuse to *send* a larger
+/// frame with a typed error instead of letting the server slam the
+/// door mid-write — the two sides share this constant so an
+/// admissible-but-huge batch fails fast and attributably at the
+/// sender. Generous: the largest legitimate frames (multi-thousand-
+/// rect batches) are well under 1 MiB.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
 /// A rectangle as raw wire coordinates, **not yet validated**.
 ///
 /// The half-open `[x0, x1) × [y0, y1)` convention matches [`Rect`];
@@ -133,6 +143,12 @@ pub enum RequestBody {
     Batch(Vec<WireQuery>),
     /// Report [`EngineStats`].
     Stats,
+    /// List the service's advertised release keys (sorted), answered
+    /// with [`ResponseBody::Keys`]. Added within protocol version 1:
+    /// per the versioning policy, a pre-`Keys` server answers it with
+    /// `MalformedRequest`, which clients treat as "feature
+    /// unsupported".
+    Keys,
     /// Liveness / protocol check; answered with
     /// [`ResponseBody::Pong`].
     Ping,
@@ -208,6 +224,8 @@ pub enum ResponseBody {
     Batch(Vec<WireOutcome>),
     /// The service's counters ([`RequestBody::Stats`]).
     Stats(EngineStats),
+    /// The service's advertised release keys ([`RequestBody::Keys`]).
+    Keys(Vec<String>),
     /// Reply to [`RequestBody::Ping`].
     Pong,
     /// The whole frame failed.
@@ -263,6 +281,18 @@ impl ErrorCode {
     }
 }
 
+/// Machine-readable overload pressure attached to
+/// [`ErrorCode::Overloaded`] errors, so remote callers (and the shard
+/// router's error mapping) see the server's real counters instead of
+/// scraping them out of the message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverloadInfo {
+    /// Rectangles in flight when the request was shed.
+    pub inflight_rects: u64,
+    /// The shedding engine's in-flight rectangle budget.
+    pub limit: u64,
+}
+
 /// A typed wire-level failure: a stable [`ErrorCode`] for branching
 /// plus a human-readable message for logs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -271,6 +301,13 @@ pub struct WireError {
     pub code: ErrorCode,
     /// Human-readable detail; not part of the stability contract.
     pub message: String,
+    /// Structured counters, present when `code` is
+    /// [`ErrorCode::Overloaded`]. Added within protocol version 1:
+    /// struct decoding ignores unknown fields and defaults missing
+    /// ones, so frames exchange cleanly with pre-`overload` peers
+    /// (whose errors simply carry `None`).
+    #[serde(default)]
+    pub overload: Option<OverloadInfo>,
 }
 
 impl WireError {
@@ -279,22 +316,40 @@ impl WireError {
         WireError {
             code,
             message: message.into(),
+            overload: None,
         }
     }
 
     /// Maps a service-side [`ServeError`] onto its wire code. Errors a
     /// remote client cannot act on (I/O, release validation) collapse
-    /// into [`ErrorCode::Internal`].
+    /// into [`ErrorCode::Internal`]; overload errors carry their
+    /// counters structured (see [`OverloadInfo`]).
     pub fn from_serve(e: &ServeError) -> Self {
         let code = match e {
             ServeError::UnknownRelease(_) => ErrorCode::UnknownKey,
             ServeError::InvalidQuery(_) => ErrorCode::InvalidQuery,
             ServeError::Overloaded { .. } => ErrorCode::Overloaded,
-            ServeError::InvalidKey(_) | ServeError::Io { .. } | ServeError::Core(_) => {
-                ErrorCode::Internal
-            }
+            // An unreachable shard behind a router is, to a remote
+            // client, indistinguishable from any other server-side
+            // failure; the message keeps the detail.
+            ServeError::Unavailable { .. }
+            | ServeError::InvalidKey(_)
+            | ServeError::Io { .. }
+            | ServeError::Load { .. }
+            | ServeError::Core(_) => ErrorCode::Internal,
         };
-        WireError::new(code, e.to_string())
+        let mut error = WireError::new(code, e.to_string());
+        if let ServeError::Overloaded {
+            inflight_rects,
+            limit,
+        } = e
+        {
+            error.overload = Some(OverloadInfo {
+                inflight_rects: *inflight_rects,
+                limit: *limit,
+            });
+        }
+        error
     }
 }
 
@@ -453,6 +508,7 @@ pub fn handle_frame<S: QueryService + ?Sized>(service: &S, line: &str) -> WireRe
     match request.body {
         RequestBody::Ping => WireResponse::new(id, ResponseBody::Pong),
         RequestBody::Stats => WireResponse::new(id, ResponseBody::Stats(service.stats())),
+        RequestBody::Keys => WireResponse::new(id, ResponseBody::Keys(service.keys())),
         RequestBody::Query(query) => match query.validate() {
             Err(e) => WireResponse::error(id, WireError::from_serve(&e)),
             Ok(request) => {
@@ -697,6 +753,12 @@ mod tests {
 
         let response = handle_frame(&engine, &WireRequest::new(3, RequestBody::Ping).encode());
         assert_eq!(response.body, ResponseBody::Pong);
+
+        let response = handle_frame(&engine, &WireRequest::new(4, RequestBody::Keys).encode());
+        assert_eq!(
+            response.body,
+            ResponseBody::Keys(vec!["a".to_string(), "b".to_string()])
+        );
     }
 
     #[test]
@@ -776,5 +838,17 @@ mod tests {
             panic!("expected error");
         };
         assert_eq!(e.code, ErrorCode::Overloaded);
+        // The counters travel structured, not only inside the prose —
+        // and survive a wire round trip.
+        assert_eq!(
+            e.overload,
+            Some(OverloadInfo {
+                inflight_rects: 0,
+                limit: 2
+            })
+        );
+        let line = WireResponse::error(4, e.clone()).encode();
+        let back = WireResponse::decode(&line).unwrap();
+        assert_eq!(back.body, ResponseBody::Error(e));
     }
 }

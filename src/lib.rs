@@ -19,8 +19,8 @@
 //! | [`core`] | `dpgrid-core` | UG, AG, the guidelines, error analysis, the `Method` registry, the publishing `Pipeline`, the compiled query surface (`surface`) and the portable `Release` format |
 //! | [`baselines`] | `dpgrid-baselines` | KD-trees, hierarchies, constrained inference, Privelet |
 //! | [`eval`] | `dpgrid-eval` | query workloads, error metrics, the experiment harness |
-//! | [`serve`] | `dpgrid-serve` | the multi-release serving engine: the memory-budgeted release `Catalog`, the batched `QueryEngine` frontend with admission control, the transport-facing `QueryService` trait and the versioned wire protocol (`serve::wire`) |
-//! | [`net`] | `dpgrid-net` | the TCP transport: thread-per-connection `TcpServer` and blocking `TcpClient` over newline-delimited JSON frames |
+//! | [`serve`] | `dpgrid-serve` | the multi-release serving engine: the memory-budgeted release `Catalog`, the batched `QueryEngine` frontend with admission control, the transport-facing `QueryService` trait, the versioned wire protocol (`serve::wire`) and the sharded serving tier (`serve::shard`) |
+//! | [`net`] | `dpgrid-net` | the TCP transport: thread-per-connection `TcpServer`, reconnecting `TcpClient`/`TcpClientPool`, and the `RemoteShard` leg of the sharded tier |
 //!
 //! # One publishing API: build → publish → serve
 //!
@@ -78,9 +78,42 @@
 //! `Overloaded`, …). The first transport ships in [`net`]
 //! (crate `dpgrid-net`): a std-only TCP server
 //! ([`net::TcpServer`], thread-per-connection over newline-delimited
-//! frames, graceful shutdown) and a blocking [`net::TcpClient`] —
-//! see `examples/net_roundtrip.rs` for the full publish → serve →
-//! query-over-TCP loop.
+//! frames, graceful shutdown) and a blocking [`net::TcpClient`] that
+//! redials stale connections once (server restarts don't strand
+//! long-lived clients) — see `examples/net_roundtrip.rs` for the full
+//! publish → serve → query-over-TCP loop.
+//!
+//! # The sharded tier: one keyspace over many engines
+//!
+//! When one engine's host runs out of cores or memory, the serving
+//! tier scales *horizontally* through [`serve::shard`]
+//! (`dpgrid::serve::shard`):
+//!
+//! * a [`serve::ShardRouter`] routes every release key to the shard
+//!   that owns it by deterministic **rendezvous hashing** over shard
+//!   names ([`core::rendezvous_route`] — no coordination, no lookup
+//!   table, minimal remapping on topology changes), scatter–gathers
+//!   mixed-key batches across the owning shards with order-preserving
+//!   reassembly, isolates failures per shard (one backend's
+//!   `Overloaded` or unreachability fails only its sub-batch), and
+//!   reports exact merged [`serve::EngineStats`] plus a per-shard
+//!   [`serve::RouterStats`] breakdown;
+//! * shards are [`serve::Shard`]s — [`serve::LocalShard`] wraps an
+//!   in-process engine, [`net::RemoteShard`] dials an engine on
+//!   another host through a reconnecting [`net::TcpClientPool`] — and
+//!   a router mixes both transparently;
+//! * the router is itself a [`serve::QueryService`], so a
+//!   [`net::TcpServer`] bound to it becomes a **front-door node**
+//!   proxying N backends with the unchanged wire protocol;
+//! * publishing agrees with routing by construction: a
+//!   [`core::ShardedSink`] fans [`core::Pipeline::publish_into`]
+//!   across named sinks with the same hash, so build → publish →
+//!   route place every key identically.
+//!
+//! See `examples/sharded_serving.rs` for the full fleet — local and
+//! remote shards behind one front door — and `tests/sharded_serving.rs`
+//! for the equivalence guarantee (a 4-shard router answers mixed
+//! batches identically to one engine holding everything).
 //!
 //! # Quickstart
 //!
@@ -130,15 +163,16 @@ pub mod prelude {
     };
     pub use dpgrid_core::{
         AdaptiveGrid, AgConfig, CompiledSurface, GridSize, Method, NoiseKind, Pipeline, Release,
-        ReleaseMetadata, ReleaseSink, UgConfig, UniformGrid,
+        ReleaseMetadata, ReleaseSink, ShardedSink, UgConfig, UniformGrid,
     };
     pub use dpgrid_geo::generators::PaperDataset;
     pub use dpgrid_geo::{
         Build, DenseGrid, Domain, DpError, GeoDataset, Point, PointIndex, Rect, Synopsis,
     };
     pub use dpgrid_mech::{LaplaceMechanism, PrivacyBudget};
-    pub use dpgrid_net::{TcpClient, TcpServer};
+    pub use dpgrid_net::{RemoteShard, TcpClient, TcpClientPool, TcpServer};
     pub use dpgrid_serve::{
-        Catalog, QueryEngine, QueryRequest, QueryResponse, QueryService, ServeError,
+        Catalog, EngineStats, LocalShard, QueryEngine, QueryRequest, QueryResponse, QueryService,
+        RouterStats, ServeError, Shard, ShardRouter,
     };
 }

@@ -1,0 +1,120 @@
+//! Property tests for the rendezvous placement the sharded tier is
+//! built on: determinism (across processes — no `RandomState`, pinned
+//! fixtures), balance (within 2x of ideal), and minimal disruption
+//! (removing one of k shards remaps exactly the keys it owned, ~1/k).
+
+use std::collections::HashMap;
+
+use dpgrid::core::{rendezvous_route, rendezvous_score};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn shard_names(rng: &mut StdRng, k: usize) -> Vec<String> {
+    (0..k)
+        .map(|i| format!("shard-{i}-{:x}", rng.random::<u32>()))
+        .collect()
+}
+
+fn keys(rng: &mut StdRng, n: usize) -> Vec<String> {
+    (0..n)
+        .map(|_| format!("key-{:016x}", rng.random::<u64>()))
+        .collect()
+}
+
+/// Cross-process determinism: the hash consults nothing per-process,
+/// so these literal values hold in every build on every host. (A
+/// same-process double call proves nothing — `RandomState` is stable
+/// within a process; only pinned constants catch it.)
+#[test]
+fn scores_are_process_independent_constants() {
+    assert_eq!(rendezvous_score("alpha", "storage"), 14084156026146814010);
+    assert_eq!(rendezvous_score("beta", "storage"), 4985210857555750811);
+    assert_eq!(rendezvous_score("alpha", ""), 10491324824080500766);
+    assert_eq!(rendezvous_score("", "storage"), 14816588118878888080);
+    assert_eq!(rendezvous_score("", ""), 134870256705401553);
+}
+
+proptest! {
+    /// Routing is a pure function: same names + same key → same shard,
+    /// call after call, and independent of every *other* name's
+    /// presence order (renaming the vector order must not matter
+    /// beyond tie-breaks, which distinct names never hit).
+    #[test]
+    fn routing_is_deterministic(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let names = shard_names(&mut rng, 2 + (seed % 7) as usize);
+        for key in keys(&mut rng, 50) {
+            let owner = rendezvous_route(&names, &key).unwrap();
+            prop_assert_eq!(rendezvous_route(&names, &key), Some(owner));
+            // Reversing the registration order moves the winner's
+            // index but not its identity.
+            let reversed: Vec<String> = names.iter().rev().cloned().collect();
+            let owner_rev = rendezvous_route(&reversed, &key).unwrap();
+            prop_assert_eq!(&reversed[owner_rev], &names[owner]);
+        }
+    }
+
+    /// Over 1k random keys the busiest shard stays within 2x of the
+    /// ideal share and the emptiest within half of it, at 2, 4 and 8
+    /// shards — the guarantee that one shard never silently becomes
+    /// the hot spot.
+    #[test]
+    fn placement_is_balanced_within_2x_of_ideal(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for k in [2usize, 4, 8] {
+            let names = shard_names(&mut rng, k);
+            let keys = keys(&mut rng, 1_000);
+            let mut counts: HashMap<usize, usize> = HashMap::new();
+            for key in &keys {
+                *counts.entry(rendezvous_route(&names, key).unwrap()).or_default() += 1;
+            }
+            let ideal = keys.len() / k;
+            for i in 0..k {
+                let count = counts.get(&i).copied().unwrap_or(0);
+                prop_assert!(
+                    count <= 2 * ideal,
+                    "shard {i}/{k} owns {count} keys, ideal {ideal}"
+                );
+                prop_assert!(
+                    count >= ideal / 2,
+                    "shard {i}/{k} owns only {count} keys, ideal {ideal}"
+                );
+            }
+        }
+    }
+
+    /// Removing one of k shards remaps exactly the keys it owned —
+    /// every other key keeps its shard — and that moved set is ~1/k of
+    /// the keyspace (≤ 2/k by the balance bound).
+    #[test]
+    fn removing_a_shard_is_minimally_disruptive(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = 2 + (seed % 7) as usize;
+        let names = shard_names(&mut rng, k);
+        let keys = keys(&mut rng, 1_000);
+        let removed = rng.random_range(0..k);
+        let survivors: Vec<String> = names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != removed)
+            .map(|(_, n)| n.clone())
+            .collect();
+        let mut moved = 0usize;
+        for key in &keys {
+            let before = &names[rendezvous_route(&names, key).unwrap()];
+            let after = &survivors[rendezvous_route(&survivors, key).unwrap()];
+            if before == &names[removed] {
+                moved += 1;
+                prop_assert!(after != before, "{} stayed on the removed shard", key);
+            } else {
+                prop_assert_eq!(after, before, "{} moved off a surviving shard", key);
+            }
+        }
+        prop_assert!(
+            moved <= 2 * keys.len() / k,
+            "removing 1/{k} shards moved {moved}/{} keys",
+            keys.len()
+        );
+    }
+}

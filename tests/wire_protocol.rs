@@ -68,13 +68,14 @@ fn arb_id(rng: &mut StdRng) -> u64 {
 }
 
 fn arb_request(rng: &mut StdRng) -> WireRequest {
-    let body = match rng.random_range(0..4u32) {
+    let body = match rng.random_range(0..5u32) {
         0 => RequestBody::Query(arb_query(rng)),
         1 => {
             let n = rng.random_range(0..4usize);
             RequestBody::Batch((0..n).map(|_| arb_query(rng)).collect())
         }
         2 => RequestBody::Stats,
+        3 => RequestBody::Keys,
         _ => RequestBody::Ping,
     };
     WireRequest::new(arb_id(rng), body)
@@ -89,7 +90,16 @@ fn arb_error(rng: &mut StdRng) -> WireError {
         4 => ErrorCode::UnsupportedVersion,
         _ => ErrorCode::Internal,
     };
-    WireError::new(code, arb_key(rng))
+    let mut error = WireError::new(code, arb_key(rng));
+    if code == ErrorCode::Overloaded {
+        // Overload errors carry structured counters (additive field);
+        // they must survive the round trip bit-exactly too.
+        error.overload = Some(dpgrid::serve::wire::OverloadInfo {
+            inflight_rects: rng.random::<u64>() >> 12,
+            limit: rng.random::<u64>() >> 12,
+        });
+    }
+    error
 }
 
 fn arb_answers(rng: &mut StdRng) -> WireAnswers {
@@ -137,7 +147,7 @@ fn arb_stats(rng: &mut StdRng) -> EngineStats {
 }
 
 fn arb_response(rng: &mut StdRng) -> WireResponse {
-    let body = match rng.random_range(0..5u32) {
+    let body = match rng.random_range(0..6u32) {
         0 => ResponseBody::Answers(arb_answers(rng)),
         1 => {
             let n = rng.random_range(0..4usize);
@@ -154,7 +164,11 @@ fn arb_response(rng: &mut StdRng) -> WireResponse {
             )
         }
         2 => ResponseBody::Stats(arb_stats(rng)),
-        3 => ResponseBody::Pong,
+        3 => {
+            let n = rng.random_range(0..5usize);
+            ResponseBody::Keys((0..n).map(|_| arb_key(rng)).collect())
+        }
+        4 => ResponseBody::Pong,
         _ => ResponseBody::Error(arb_error(rng)),
     };
     WireResponse::new(arb_id(rng), body)
@@ -185,6 +199,70 @@ proptest! {
         let back = WireResponse::decode(&line)
             .unwrap_or_else(|e| panic!("{line}: {}", e.error));
         prop_assert_eq!(back, response);
+    }
+
+    /// Merged stats — what a shard router reports for a whole fleet —
+    /// are exact element-wise sums (saturating only on the bound
+    /// fields, so an unbounded member keeps the aggregate unbounded)
+    /// and survive the wire like any other stats payload.
+    #[test]
+    fn merged_stats_are_exact_and_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Scale each member's traffic counters down so the *sums* stay
+        // inside the JSON safe-integer range (numbers travel as IEEE
+        // doubles — the same documented contract as frame ids); the
+        // usize::MAX bound fields stay as-is to exercise saturation.
+        let shrink = |mut s: EngineStats| {
+            s.requests >>= 2;
+            s.answers >>= 2;
+            s.unknown_keys >>= 2;
+            s.shed >>= 2;
+            s.inflight_rects >>= 2;
+            s.admission_limit >>= 2;
+            s.catalog.lookups >>= 2;
+            s.catalog.warm_hits >>= 2;
+            s.catalog.compilations >>= 2;
+            s.catalog.evictions >>= 2;
+            s
+        };
+        let parts: Vec<EngineStats> = (0..rng.random_range(2..5usize))
+            .map(|_| shrink(arb_stats(&mut rng)))
+            .collect();
+        let merged: EngineStats = parts.iter().sum();
+        prop_assert_eq!(merged.requests, parts.iter().map(|s| s.requests).sum::<u64>());
+        prop_assert_eq!(merged.answers, parts.iter().map(|s| s.answers).sum::<u64>());
+        prop_assert_eq!(merged.shed, parts.iter().map(|s| s.shed).sum::<u64>());
+        prop_assert_eq!(
+            merged.catalog.releases,
+            parts.iter().map(|s| s.catalog.releases).sum::<usize>()
+        );
+        prop_assert_eq!(
+            merged.catalog.resident_bytes,
+            parts.iter().map(|s| s.catalog.resident_bytes).sum::<usize>()
+        );
+        // Bounds saturate: any unbounded member keeps the aggregate
+        // unbounded; otherwise the aggregate is the plain sum.
+        let budgets: Vec<usize> = parts.iter().map(|s| s.catalog.budget_bytes).collect();
+        if budgets.contains(&usize::MAX) {
+            prop_assert_eq!(merged.catalog.budget_bytes, usize::MAX);
+        } else {
+            prop_assert_eq!(merged.catalog.budget_bytes, budgets.iter().sum::<usize>());
+        }
+        let caps: Vec<usize> = parts.iter().map(|s| s.catalog.capacity).collect();
+        if caps.contains(&usize::MAX) {
+            prop_assert_eq!(merged.catalog.capacity, usize::MAX);
+        } else {
+            prop_assert_eq!(merged.catalog.capacity, caps.iter().sum::<usize>());
+        }
+        // Merging is order-independent and zero is its identity.
+        let reversed: EngineStats = parts.iter().rev().sum();
+        prop_assert_eq!(merged, reversed);
+        prop_assert_eq!(EngineStats::zeroed().merge(&merged), merged);
+        // The aggregate travels the wire bit-exactly, saturated
+        // (usize::MAX) bounds included.
+        let frame = WireResponse::new(9, ResponseBody::Stats(merged)).encode();
+        let back = WireResponse::decode(&frame).unwrap();
+        prop_assert_eq!(back.body, ResponseBody::Stats(merged));
     }
 
     /// Validated wire rectangles preserve the exact coordinates of the
