@@ -6,8 +6,12 @@
 //! serves them through a `TcpServer` over a `QueryEngine`, and
 //! measures end-to-end queries/sec through real loopback sockets —
 //! frame encode, TCP round trip, boundary validation, engine answer,
-//! frame decode — under the axis that matters for a thread-per-
-//! connection transport: **1 vs N concurrent client connections**.
+//! frame decode — under the two axes that matter for a thread-per-
+//! connection transport: **1 vs N concurrent client connections**, and
+//! **codec × pipelining** (JSON v1 frames, binary v2 frames, binary v2
+//! with all of a connection's frames written in one pipelined burst).
+//! Every row records the protocol version its clients actually
+//! negotiated.
 //!
 //! Medians are recorded to `BENCH_net_throughput.json` at the
 //! workspace root (same shape as `BENCH_serve_throughput.json`) so the
@@ -23,7 +27,7 @@ use dpgrid_bench::{bench_dataset, bench_rng};
 use dpgrid_core::{AdaptiveGrid, AgConfig, Release, UgConfig, UniformGrid};
 use dpgrid_geo::Rect;
 use dpgrid_net::{TcpClient, TcpServer};
-use dpgrid_serve::{Catalog, QueryEngine};
+use dpgrid_serve::{Catalog, QueryEngine, QueryRequest};
 use rand::Rng;
 
 const N: usize = 100_000;
@@ -64,19 +68,66 @@ fn request_rects() -> Vec<Rect> {
         .collect()
 }
 
+/// One measured configuration: which protocol the clients offer and
+/// whether a connection's frames go out one-at-a-time or as one
+/// pipelined burst.
+#[derive(Clone, Copy)]
+struct Variant {
+    tag: &'static str,
+    max_protocol: u32,
+    pipelined: bool,
+}
+
+const VARIANTS: [Variant; 3] = [
+    Variant {
+        tag: "v1",
+        max_protocol: 1,
+        pipelined: false,
+    },
+    Variant {
+        tag: "v2",
+        max_protocol: 2,
+        pipelined: false,
+    },
+    Variant {
+        tag: "v2_pipe",
+        max_protocol: 2,
+        pipelined: true,
+    },
+];
+
 /// One pass: `conns` client threads, each sending `FRAMES_PER_CONN`
-/// query frames round-robin across the release keys. Returns elapsed
+/// query frames round-robin across the release keys — one round trip
+/// per frame, or all frames in one pipelined burst. Returns elapsed
 /// nanoseconds for the whole pass.
-fn pass_ns(addr: std::net::SocketAddr, keys: &[String], rects: &[Rect], conns: usize) -> f64 {
+fn pass_ns(
+    addr: std::net::SocketAddr,
+    keys: &[String],
+    rects: &[Rect],
+    conns: usize,
+    variant: Variant,
+) -> f64 {
     let t = Instant::now();
     std::thread::scope(|scope| {
         for c in 0..conns {
             scope.spawn(move || {
-                let mut client = TcpClient::connect(addr).expect("connect");
-                for i in 0..FRAMES_PER_CONN {
-                    let key = &keys[(c + i) % keys.len()];
-                    let response = client.query(key, rects).expect("answered");
-                    assert_eq!(response.answers.len(), rects.len());
+                let mut client =
+                    TcpClient::connect_with_protocol(addr, variant.max_protocol).expect("connect");
+                if variant.pipelined {
+                    let requests: Vec<QueryRequest> = (0..FRAMES_PER_CONN)
+                        .map(|i| {
+                            QueryRequest::new(keys[(c + i) % keys.len()].clone(), rects.to_vec())
+                        })
+                        .collect();
+                    for outcome in client.query_pipelined(&requests).expect("pipelined") {
+                        assert_eq!(outcome.expect("answered").answers.len(), rects.len());
+                    }
+                } else {
+                    for i in 0..FRAMES_PER_CONN {
+                        let key = &keys[(c + i) % keys.len()];
+                        let response = client.query(key, rects).expect("answered");
+                        assert_eq!(response.answers.len(), rects.len());
+                    }
                 }
             });
         }
@@ -85,12 +136,18 @@ fn pass_ns(addr: std::net::SocketAddr, keys: &[String], rects: &[Rect], conns: u
 }
 
 /// Median nanoseconds per pass within a small time budget.
-fn measure_ns(addr: std::net::SocketAddr, keys: &[String], rects: &[Rect], conns: usize) -> f64 {
+fn measure_ns(
+    addr: std::net::SocketAddr,
+    keys: &[String],
+    rects: &[Rect],
+    conns: usize,
+    variant: Variant,
+) -> f64 {
     let mut samples = Vec::new();
     let budget = std::time::Duration::from_millis(1_500);
     let start = Instant::now();
     while start.elapsed() < budget || samples.len() < 5 {
-        samples.push(pass_ns(addr, keys, rects, conns));
+        samples.push(pass_ns(addr, keys, rects, conns, variant));
         if samples.len() >= 40 {
             break;
         }
@@ -102,6 +159,8 @@ fn measure_ns(addr: std::net::SocketAddr, keys: &[String], rects: &[Rect], conns
 struct Row {
     label: String,
     conns: usize,
+    protocol: u32,
+    pipelined: bool,
     qps: f64,
     elapsed_ms: f64,
 }
@@ -122,35 +181,47 @@ fn bench_net_throughput(c: &mut Criterion) {
     let rects = request_rects();
 
     // Warmup: compile every surface once so all rows measure warm.
-    pass_ns(addr, &keys, &rects, 1);
+    pass_ns(addr, &keys, &rects, 1, VARIANTS[0]);
 
     let mut conn_settings = vec![1usize, 2, parallelism.max(2)];
     conn_settings.dedup();
     let mut rows = Vec::new();
     let mut group = c.benchmark_group("net_throughput");
     for conns in conn_settings {
-        let label = format!("tcp_c{conns}");
-        let ns = measure_ns(addr, &keys, &rects, conns);
-        group.bench_function(&label, |b| {
-            b.iter(|| pass_ns(addr, &keys, &rects, conns));
-        });
-        let rects_per_pass = (conns * FRAMES_PER_CONN * RECTS_PER_REQUEST) as f64;
-        rows.push(Row {
-            label,
-            conns,
-            qps: rects_per_pass / (ns / 1e9),
-            elapsed_ms: ns / 1e6,
-        });
+        for variant in VARIANTS {
+            // Record what a client under this cap actually negotiates —
+            // the row is honest even against a downgrading server.
+            let protocol = TcpClient::connect_with_protocol(addr, variant.max_protocol)
+                .expect("connect")
+                .protocol_version()
+                .unwrap_or(1);
+            let label = format!("{}_c{conns}", variant.tag);
+            let ns = measure_ns(addr, &keys, &rects, conns, variant);
+            group.bench_function(&label, |b| {
+                b.iter(|| pass_ns(addr, &keys, &rects, conns, variant));
+            });
+            let rects_per_pass = (conns * FRAMES_PER_CONN * RECTS_PER_REQUEST) as f64;
+            rows.push(Row {
+                label,
+                conns,
+                protocol,
+                pipelined: variant.pipelined,
+                qps: rects_per_pass / (ns / 1e9),
+                elapsed_ms: ns / 1e6,
+            });
+        }
     }
     group.finish();
 
     let c1 = rows.first().map(|r| r.qps).unwrap_or(f64::NAN);
     for r in &rows {
         println!(
-            "net_throughput/{}: {} conns, {} frames x {} rects, {:.1} ms/pass, \
-             {:.0} q/s ({:.2}x vs tcp_c1)",
+            "net_throughput/{}: {} conns, proto v{}{}, {} frames x {} rects, {:.1} ms/pass, \
+             {:.0} q/s ({:.2}x vs v1_c1)",
             r.label,
             r.conns,
+            r.protocol,
+            if r.pipelined { " pipelined" } else { "" },
             r.conns * FRAMES_PER_CONN,
             RECTS_PER_REQUEST,
             r.elapsed_ms,
@@ -171,17 +242,19 @@ fn write_json(rows: &[Row], releases: usize, parallelism: usize, c1: f64, frames
     );
     let mut out = format!(
         "{{\n  \"bench\": \"net_throughput\",\n  \"unit\": \"queries_per_sec\",\n  \
-         \"transport\": \"tcp_loopback_ndjson\",\n  \"releases\": {releases},\n  \
+         \"transport\": \"tcp_loopback\",\n  \"releases\": {releases},\n  \
          \"rects_per_request\": {RECTS_PER_REQUEST},\n  \
          \"frames_per_conn\": {FRAMES_PER_CONN},\n  \
          \"parallelism\": {parallelism},\n  \"frames_served\": {frames},\n  \"rows\": [\n"
     );
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"label\": \"{}\", \"conns\": {}, \"elapsed_ms\": {:.2}, \
-             \"qps\": {:.0}, \"speedup_vs_c1\": {:.2}}}{}\n",
+            "    {{\"label\": \"{}\", \"conns\": {}, \"protocol\": {}, \"pipelined\": {}, \
+             \"elapsed_ms\": {:.2}, \"qps\": {:.0}, \"speedup_vs_v1_c1\": {:.2}}}{}\n",
             r.label,
             r.conns,
+            r.protocol,
+            r.pipelined,
             r.elapsed_ms,
             r.qps,
             r.qps / c1,

@@ -2,30 +2,46 @@
 //!
 //! A [`TcpClient`] issues one request frame at a time and blocks for
 //! the matching response (ids are checked, so a desynchronised
-//! connection fails loudly instead of mismatching answers). It is
+//! connection fails loudly instead of mismatching answers) — or, over
+//! the binary codec, pipelines many id-correlated frames before
+//! draining their responses ([`TcpClient::query_pipelined`]). It is
 //! deliberately not `Sync` — open one client per thread (or pool
 //! clients with [`crate::TcpClientPool`]); the server side is built
 //! for many cheap connections.
+//!
+//! # Protocol negotiation
+//!
+//! Every fresh connection starts in JSON v1 and immediately offers
+//! the binary codec with a `Hello` frame (unless capped to v1 via
+//! [`TcpClient::connect_with_protocol`]). A v2-capable server acks and
+//! the connection switches to binary framing; an old server rejects
+//! the unknown request kind as `MalformedRequest`, which per the
+//! versioning policy means "v1 only" — the client falls back
+//! silently. The negotiated version is per *connection*, not per
+//! client: reconnection always re-handshakes, so a client that
+//! negotiated v2 against one server instance cannot desync framing
+//! against a restarted v1-only instance.
 //!
 //! # Reconnection
 //!
 //! The client remembers the address it connected to and, when a call
 //! finds the connection *stale* — broken pipe, reset, or EOF where a
 //! response was due, the signature of a server restart or an idle
-//! timeout — it reconnects and resends that frame **once** before
-//! surfacing a [`NetError`]. One retry is safe because every request
-//! in the protocol is an idempotent read (queries, stats, keys, ping);
-//! it is capped at one so a dead server fails fast instead of
-//! retry-looping. A client that has surfaced an error reconnects
-//! lazily on its next call, so long-lived clients ride out server
-//! restarts without being rebuilt.
+//! timeout — it reconnects (re-negotiating the protocol from scratch)
+//! and resends that frame **once** before surfacing a [`NetError`].
+//! One retry is safe because every request in the protocol is an
+//! idempotent read (queries, stats, keys, ping); it is capped at one
+//! so a dead server fails fast instead of retry-looping. A client
+//! that has surfaced an error reconnects lazily on its next call, so
+//! long-lived clients ride out server restarts without being rebuilt.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 use dpgrid_geo::Rect;
 use dpgrid_serve::wire::{
-    RequestBody, ResponseBody, WireError, WireQuery, WireRect, WireRequest, WireResponse,
+    binary, ErrorCode, HelloOffer, RequestBody, ResponseBody, WireError, WireQuery, WireRect,
+    WireRequest, WireResponse,
 };
 use dpgrid_serve::{EngineStats, QueryRequest, QueryResponse};
 
@@ -45,52 +61,258 @@ pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
 /// it. Tune or disable per client with [`TcpClient::with_io_timeout`].
 pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// One live connection: buffered reader/writer halves of a stream.
+/// The request id negotiation frames travel under. Connection-level,
+/// never allocated to an application request (those start at 1).
+const HELLO_ID: u64 = 0;
+
+/// One live connection: buffered reader/writer halves of a stream,
+/// the protocol version its `Hello` exchange negotiated, and the
+/// reusable buffers binary framing encodes into (cleared, never
+/// shrunk — steady-state encoding allocates nothing).
 #[derive(Debug)]
 struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// The codec this connection speaks: [`wire::PROTOCOL_VERSION`]
+    /// (JSON lines) or [`binary::PROTOCOL_VERSION`] (length-prefixed
+    /// binary). Lives here, not on the client, so a redial can never
+    /// carry a stale negotiation onto a fresh connection.
+    ///
+    /// [`wire::PROTOCOL_VERSION`]: dpgrid_serve::wire::PROTOCOL_VERSION
+    protocol: u32,
+    /// Outbound frame bytes (payload of one frame, or many whole
+    /// frames when pipelining).
+    out_buf: Vec<u8>,
+    /// Inbound payload bytes of the response being decoded.
+    in_buf: Vec<u8>,
+    /// Scratch for converting `Rect`s to wire rects without a fresh
+    /// allocation per pipelined frame.
+    rect_scratch: Vec<WireRect>,
 }
 
 impl Conn {
-    fn open(addr: SocketAddr, io_timeout: Option<Duration>) -> Result<Self> {
+    fn open(addr: SocketAddr, io_timeout: Option<Duration>, max_protocol: u32) -> Result<Self> {
         let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(io_timeout)?;
         stream.set_write_timeout(io_timeout)?;
-        Ok(Conn {
+        let mut conn = Conn {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
-        })
+            protocol: dpgrid_serve::wire::PROTOCOL_VERSION,
+            out_buf: Vec::new(),
+            in_buf: Vec::new(),
+            rect_scratch: Vec::new(),
+        };
+        if max_protocol >= binary::PROTOCOL_VERSION {
+            conn.negotiate(max_protocol)?;
+        }
+        Ok(conn)
+    }
+
+    /// Offers the binary codec and adopts whatever the server acks.
+    /// A pre-`Hello` server rejects the unknown request kind as
+    /// `MalformedRequest` — per the versioning policy that means
+    /// "v1 only", so it is a successful (if modest) negotiation, not
+    /// an error.
+    fn negotiate(&mut self, max_protocol: u32) -> Result<()> {
+        let offer = WireRequest::new(
+            HELLO_ID,
+            RequestBody::Hello(HelloOffer {
+                max_version: max_protocol,
+            }),
+        );
+        let response = self.roundtrip_json(&offer.encode())?;
+        match response.body {
+            ResponseBody::Hello(ack) => {
+                if ack.version > max_protocol || ack.version < dpgrid_serve::wire::PROTOCOL_VERSION
+                {
+                    return Err(NetError::Protocol(format!(
+                        "server acked protocol {} outside the offered range 1..={max_protocol}",
+                        ack.version
+                    )));
+                }
+                self.protocol = ack.version;
+                Ok(())
+            }
+            ResponseBody::Error(e) if e.code == ErrorCode::MalformedRequest => Ok(()),
+            ResponseBody::Error(e) => Err(NetError::Server(e)),
+            other => Err(unexpected("Hello", &other)),
+        }
+    }
+
+    /// One frame exchange over whichever codec this connection speaks.
+    fn exchange(&mut self, body: &RequestBody, id: u64) -> Result<ResponseBody> {
+        let response = if self.protocol == binary::PROTOCOL_VERSION {
+            self.roundtrip_binary(body, id)?
+        } else {
+            let frame = WireRequest::new(id, body.clone()).encode();
+            // Refuse to send a frame the server is guaranteed to
+            // reject (and punish with a mid-write close a retry would
+            // only run into again): fail typed and attributable,
+            // connection intact.
+            if frame.len() + 1 > dpgrid_serve::wire::MAX_FRAME_BYTES {
+                return Err(NetError::Protocol(format!(
+                    "request frame of {} bytes exceeds the protocol's {} byte cap; \
+                     split the batch",
+                    frame.len() + 1,
+                    dpgrid_serve::wire::MAX_FRAME_BYTES
+                )));
+            }
+            self.roundtrip_json(&frame)?
+        };
+        // Typed server errors win over the id check: a frame the
+        // server could not attribute (oversized, unparseable) is
+        // reported under id 0, and this path is strictly
+        // request-response, so any error frame belongs to the
+        // in-flight request.
+        match response.body {
+            ResponseBody::Error(e) => Err(NetError::Server(e)),
+            body if response.id == id => Ok(body),
+            _ => Err(NetError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                response.id
+            ))),
+        }
+    }
+
+    /// Writes one JSON line and reads the response line.
+    fn roundtrip_json(&mut self, frame: &str) -> Result<WireResponse> {
+        self.writer.write_all(frame.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(NetError::Disconnected);
+        }
+        WireResponse::decode(line.trim_end_matches(['\r', '\n']))
+            .map_err(|e| NetError::Protocol(e.error.to_string()))
+    }
+
+    /// Writes one binary frame and reads the binary response.
+    fn roundtrip_binary(&mut self, body: &RequestBody, id: u64) -> Result<WireResponse> {
+        let frame_type = binary::encode_request_payload(body, &mut self.out_buf)
+            .map_err(|e| NetError::Protocol(e.to_string()))?;
+        let header = binary::encode_header(frame_type, id, self.out_buf.len());
+        self.writer.write_all(&header)?;
+        self.writer.write_all(&self.out_buf)?;
+        self.writer.flush()?;
+        self.read_binary_response()
+    }
+
+    /// Reads one binary response frame (header, then exactly the
+    /// declared payload) into the reusable inbound buffer.
+    fn read_binary_response(&mut self) -> Result<WireResponse> {
+        let mut header_buf = [0u8; binary::HEADER_BYTES];
+        self.reader.read_exact(&mut header_buf)?;
+        let header =
+            binary::decode_header(&header_buf).map_err(|e| NetError::Protocol(e.to_string()))?;
+        self.in_buf.clear();
+        self.in_buf.resize(header.payload_len, 0);
+        self.reader.read_exact(&mut self.in_buf)?;
+        binary::decode_response(&header, &self.in_buf)
+            .map_err(|e| NetError::Protocol(e.to_string()))
+    }
+
+    /// Encodes all `requests` as id-correlated Query frames into one
+    /// buffer, ships them with a single write, then drains the
+    /// responses in order. Sound because the server answers each
+    /// connection's frames sequentially, in arrival order — response
+    /// `i` is always the answer to frame `i`.
+    fn pipeline_binary(
+        &mut self,
+        requests: &[QueryRequest],
+        first_id: u64,
+    ) -> Result<Vec<std::result::Result<QueryResponse, WireError>>> {
+        self.out_buf.clear();
+        for (i, request) in requests.iter().enumerate() {
+            self.rect_scratch.clear();
+            self.rect_scratch
+                .extend(request.rects.iter().map(WireRect::from));
+            binary::append_query(
+                first_id + i as u64,
+                &request.release_key,
+                &self.rect_scratch,
+                &mut self.out_buf,
+            )
+            .map_err(|e| NetError::Protocol(e.to_string()))?;
+        }
+        self.writer.get_mut().write_all(&self.out_buf)?;
+
+        let mut results = Vec::with_capacity(requests.len());
+        for i in 0..requests.len() {
+            let expect = first_id + i as u64;
+            let response = self.read_binary_response()?;
+            match response.body {
+                // A per-frame failure under the frame's own id fails
+                // only its slot; the drain continues in lockstep.
+                ResponseBody::Error(e) if response.id == expect => results.push(Err(e)),
+                // An error the server could not attribute (id 0 or
+                // otherwise off-sequence) means the lockstep is gone:
+                // fail the whole call as a framing problem so the
+                // connection is poisoned, not reused desynchronised.
+                ResponseBody::Error(e) => {
+                    return Err(NetError::Protocol(format!(
+                        "pipelined frame {expect} got server error under id {}: {e}",
+                        response.id
+                    )));
+                }
+                ResponseBody::Answers(a) if response.id == expect => {
+                    results.push(Ok(a.into_response()));
+                }
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "pipelined frame {expect} got {other:?} under id {}",
+                        response.id
+                    )));
+                }
+            }
+        }
+        Ok(results)
     }
 }
 
 /// A blocking connection to a [`crate::TcpServer`] (or anything else
-/// speaking the wire protocol over newline-delimited JSON), with
-/// one-shot reconnection on stale connections and bounded waits
-/// (see [`CONNECT_TIMEOUT`] / [`DEFAULT_IO_TIMEOUT`]).
+/// speaking the wire protocol), with per-connection protocol
+/// negotiation (binary v2 where the server supports it, JSON v1
+/// otherwise), one-shot reconnection on stale connections and bounded
+/// waits (see [`CONNECT_TIMEOUT`] / [`DEFAULT_IO_TIMEOUT`]).
 #[derive(Debug)]
 pub struct TcpClient {
     peer: SocketAddr,
     conn: Option<Conn>,
     io_timeout: Option<Duration>,
+    max_protocol: u32,
     next_id: u64,
 }
 
 impl TcpClient {
-    /// Connects to `addr`. When `addr` resolves to several addresses
-    /// the first that connects wins, and that concrete address is what
-    /// reconnection later dials.
+    /// Connects to `addr`, offering the binary codec (the server may
+    /// negotiate down to JSON v1). When `addr` resolves to several
+    /// addresses the first that connects wins, and that concrete
+    /// address is what reconnection later dials.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        Self::connect_with_protocol(addr, binary::PROTOCOL_VERSION)
+    }
+
+    /// Connects offering at most `max_protocol` —
+    /// `connect_with_protocol(addr, 1)` pins a pure JSON v1 client
+    /// (no `Hello` is sent at all, exactly like a pre-negotiation
+    /// client), which is also what to use against servers that
+    /// predate the `Keys` request (their `MalformedRequest` reply to
+    /// `Hello` is indistinguishable from "v1 only").
+    pub fn connect_with_protocol(addr: impl ToSocketAddrs, max_protocol: u32) -> Result<Self> {
         let io_timeout = Some(DEFAULT_IO_TIMEOUT);
         let mut last_err: Option<NetError> = None;
         for candidate in addr.to_socket_addrs()? {
-            match Conn::open(candidate, io_timeout) {
+            match Conn::open(candidate, io_timeout, max_protocol) {
                 Ok(conn) => {
                     return Ok(TcpClient {
                         peer: candidate,
                         conn: Some(conn),
                         io_timeout,
+                        max_protocol,
                         next_id: 1,
                     })
                 }
@@ -129,6 +351,14 @@ impl TcpClient {
     /// a transport error holds none until its next call reconnects).
     pub fn is_connected(&self) -> bool {
         self.conn.is_some()
+    }
+
+    /// The protocol version the current connection negotiated: 1
+    /// (JSON) or 2 (binary). `None` when no connection is held — the
+    /// next call's fresh connection negotiates from scratch, so a
+    /// past connection's version says nothing about the next one.
+    pub fn protocol_version(&self) -> Option<u32> {
+        self.conn.as_ref().map(|c| c.protocol)
     }
 
     /// Round-trips a liveness check.
@@ -201,29 +431,94 @@ impl TcpClient {
         }
     }
 
+    /// Answers several requests by **pipelining** one Query frame per
+    /// request: all frames are encoded into one buffer and shipped in
+    /// a single write, then the responses are drained in order — the
+    /// socket stays busy instead of ping-ponging per request, which
+    /// is what keeps a shard router's scatter leg fed. Failures are
+    /// isolated per request exactly as in [`TcpClient::query_batch`].
+    ///
+    /// Pipelining needs the binary codec's id-correlated frames; on a
+    /// connection that negotiated down to JSON v1 this degrades to
+    /// one `Batch` frame (same semantics, still one round trip). The
+    /// stale-connection retry covers the whole pipeline: ids are
+    /// re-issued on the fresh connection, and reads are idempotent.
+    pub fn query_pipelined(
+        &mut self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<std::result::Result<QueryResponse, WireError>>> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let first_id = self.next_id;
+        self.next_id += requests.len() as u64;
+        match self.pipeline_exchange(requests, first_id) {
+            Err(e) if is_stale_connection(&e) => {
+                self.conn = None;
+                let retried = self.pipeline_exchange(requests, first_id);
+                if matches!(retried, Err(ref e) if !matches!(e, NetError::Server(_))) {
+                    self.conn = None;
+                }
+                retried
+            }
+            Err(e) => {
+                if !matches!(e, NetError::Server(_)) {
+                    self.conn = None;
+                }
+                Err(e)
+            }
+            ok => ok,
+        }
+    }
+
+    fn pipeline_exchange(
+        &mut self,
+        requests: &[QueryRequest],
+        first_id: u64,
+    ) -> Result<Vec<std::result::Result<QueryResponse, WireError>>> {
+        if self.conn.is_none() {
+            self.conn = Some(Conn::open(self.peer, self.io_timeout, self.max_protocol)?);
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        if conn.protocol == binary::PROTOCOL_VERSION {
+            return conn.pipeline_binary(requests, first_id);
+        }
+        // JSON v1 fallback: one batch frame under the first id.
+        let queries = requests.iter().map(WireQuery::from_request).collect();
+        match conn.exchange(&RequestBody::Batch(queries), first_id)? {
+            ResponseBody::Batch(outcomes) => {
+                if outcomes.len() != requests.len() {
+                    return Err(NetError::Protocol(format!(
+                        "batch of {} queries got {} outcomes",
+                        requests.len(),
+                        outcomes.len()
+                    )));
+                }
+                Ok(outcomes
+                    .into_iter()
+                    .map(|outcome| match outcome {
+                        dpgrid_serve::wire::WireOutcome::Answered(a) => Ok(a.into_response()),
+                        dpgrid_serve::wire::WireOutcome::Failed(e) => Err(e),
+                    })
+                    .collect())
+            }
+            other => Err(unexpected("Batch", &other)),
+        }
+    }
+
     /// Sends one frame and blocks for its response. A *stale*
     /// connection (the server went away between calls: broken pipe,
-    /// reset, EOF in place of a response) is redialed and the frame
-    /// resent exactly once; every request is an idempotent read, so
-    /// the retry cannot double-apply anything.
+    /// reset, EOF in place of a response) is redialed — which
+    /// re-negotiates the protocol from scratch — and the frame resent
+    /// exactly once; every request is an idempotent read, so the
+    /// retry cannot double-apply anything.
     fn call(&mut self, body: RequestBody) -> Result<ResponseBody> {
         let id = self.next_id;
         self.next_id += 1;
-        let frame = WireRequest::new(id, body).encode();
-        // Refuse to send a frame the server is guaranteed to reject
-        // (and punish with a mid-write close the retry would only run
-        // into again): fail typed and attributable, connection intact.
-        if frame.len() + 1 > dpgrid_serve::wire::MAX_FRAME_BYTES {
-            return Err(NetError::Protocol(format!(
-                "request frame of {} bytes exceeds the protocol's {} byte cap; split the batch",
-                frame.len() + 1,
-                dpgrid_serve::wire::MAX_FRAME_BYTES
-            )));
-        }
-        match self.exchange(&frame, id) {
+        match self.exchange(&body, id) {
             Err(e) if is_stale_connection(&e) => {
                 self.conn = None;
-                let retried = self.exchange(&frame, id);
+                let retried = self.exchange(&body, id);
                 if matches!(retried, Err(ref e) if !matches!(e, NetError::Server(_))) {
                     self.conn = None;
                 }
@@ -242,36 +537,14 @@ impl TcpClient {
         }
     }
 
-    /// One write/read round trip on the current connection, opening a
-    /// fresh one if none is held.
-    fn exchange(&mut self, frame: &str, id: u64) -> Result<ResponseBody> {
+    /// One round trip on the current connection, opening (and
+    /// negotiating) a fresh one if none is held.
+    fn exchange(&mut self, body: &RequestBody, id: u64) -> Result<ResponseBody> {
         if self.conn.is_none() {
-            self.conn = Some(Conn::open(self.peer, self.io_timeout)?);
+            self.conn = Some(Conn::open(self.peer, self.io_timeout, self.max_protocol)?);
         }
         let conn = self.conn.as_mut().expect("connection just ensured");
-        conn.writer.write_all(frame.as_bytes())?;
-        conn.writer.write_all(b"\n")?;
-        conn.writer.flush()?;
-
-        let mut line = String::new();
-        if conn.reader.read_line(&mut line)? == 0 {
-            return Err(NetError::Disconnected);
-        }
-        let response = WireResponse::decode(line.trim_end_matches(['\r', '\n']))
-            .map_err(|e| NetError::Protocol(e.error.to_string()))?;
-        // Typed server errors win over the id check: a frame the
-        // server could not attribute (oversized, unparseable) is
-        // reported under id 0, and this client is strictly
-        // request-response, so any error frame belongs to the
-        // in-flight request.
-        match response.body {
-            ResponseBody::Error(e) => Err(NetError::Server(e)),
-            body if response.id == id => Ok(body),
-            _ => Err(NetError::Protocol(format!(
-                "response id {} does not match request id {id}",
-                response.id
-            ))),
-        }
+        conn.exchange(body, id)
     }
 }
 

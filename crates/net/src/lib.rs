@@ -3,10 +3,12 @@
 //! This crate is the network layer over
 //! [`dpgrid_serve::QueryService`]: a std-only TCP server
 //! ([`TcpServer`], thread-per-connection, graceful shutdown), a
-//! blocking client ([`TcpClient`], with one-shot reconnection), a
-//! reconnecting connection pool ([`TcpClientPool`]) and the remote leg
-//! of the sharded serving tier ([`RemoteShard`]) — all speaking the
-//! versioned wire protocol defined in [`dpgrid_serve::wire`]. It
+//! blocking client ([`TcpClient`], with one-shot reconnection and
+//! request pipelining), a reconnecting connection pool
+//! ([`TcpClientPool`]) and the remote leg of the sharded serving tier
+//! ([`RemoteShard`]) — all speaking the versioned wire protocol
+//! defined in [`dpgrid_serve::wire`], negotiating its binary v2 codec
+//! per connection and falling back to JSON v1 against old peers. It
 //! deliberately uses no async runtime and no external networking
 //! dependencies — everything is `std::net` + `std::thread`, consistent
 //! with the workspace's vendored-stubs constraint, and the protocol
@@ -44,7 +46,13 @@
 //! clients/pools redial stale connections once before surfacing
 //! errors.
 //!
-//! # Frame format
+//! # Frame formats
+//!
+//! Two codecs share one request/response vocabulary (the types in
+//! [`dpgrid_serve::wire`]); which one a connection speaks is decided
+//! once, at connect time (see *Versioning and negotiation* below).
+//!
+//! ## JSON v1 (the bootstrap codec)
 //!
 //! One frame per line, newline-delimited (`\n`; a trailing `\r` is
 //! tolerated). Each line is a single JSON object:
@@ -56,11 +64,12 @@
 //!   larger ids round in transit); `body` is externally
 //!   tagged, one of
 //!   `{"Query": {"release_key": "…", "rects": [{"x0":…,"y0":…,"x1":…,"y1":…}, …]}}`,
-//!   `{"Batch": [query, …]}`, `"Stats"`, `"Keys"` or `"Ping"`.
+//!   `{"Batch": [query, …]}`, `"Stats"`, `"Keys"`, `"Ping"` or
+//!   `{"Hello": {"max_version": …}}` (negotiation, below).
 //! * response: `{"protocol_version": 1, "id": 7, "body": …}` — see
 //!   [`dpgrid_serve::wire::WireResponse`]; `body` is one of
 //!   `{"Answers": …}`, `{"Batch": […]}`, `{"Stats": …}`,
-//!   `{"Keys": […]}`, `"Pong"` or
+//!   `{"Keys": […]}`, `"Pong"`, `{"Hello": {"version": …}}` or
 //!   `{"Error": {"code": "…", "message": "…"}}`.
 //!
 //! JSON string escaping guarantees a frame never contains a raw
@@ -71,6 +80,36 @@
 //! closed, so a newline-free stream cannot grow server memory
 //! unboundedly. A frame that is not valid UTF-8 also gets a typed
 //! `MalformedRequest` reply (the connection stays open).
+//!
+//! ## Binary v2 (the fast codec)
+//!
+//! Length-prefixed binary frames ([`dpgrid_serve::wire::binary`]): a
+//! fixed 16-byte little-endian header followed by `payload_len` bytes
+//! of payload —
+//!
+//! | bytes   | field        | value                                        |
+//! |---------|--------------|----------------------------------------------|
+//! | 0–1     | magic        | `0xD6 0xB2` (can never begin a JSON frame)   |
+//! | 2       | version      | `2`                                          |
+//! | 3       | frame type   | requests `0x01..=0x05`, responses `0x81..=0x86` |
+//! | 4–11    | id           | `u64` LE — full range, no `2⁵³` ceiling      |
+//! | 12–15   | payload len  | `u32` LE, capped at 16 MiB − 16 B            |
+//!
+//! Payloads carry rectangles and answers as raw `f64` arrays (no text
+//! round-trip — the dominant cost of v1 at serving batch sizes) and
+//! strings as length-prefixed UTF-8; both sides encode into reusable
+//! per-connection buffers, the server writes header + payload with one
+//! vectored write, and clients may **pipeline**: write N id-correlated
+//! request frames in one burst, then read the N responses in order
+//! ([`TcpClient::query_pipelined`], used by [`RemoteShard`] for every
+//! scattered sub-batch). Malformed *payloads* under intact framing get
+//! typed `MalformedRequest` replies and the connection survives;
+//! anything that destroys byte framing — wrong magic, an over-cap
+//! length prefix, a truncated frame — is answered typed and the
+//! connection closed, exactly as v1 treats its 16 MiB flood guard.
+//! NaN/infinite coordinates travel bit-exactly in v2 (unlike JSON's
+//! `null` detour) and are rejected by the same boundary validation, so
+//! codec choice never changes what reaches an engine.
 //!
 //! # Error codes
 //!
@@ -86,15 +125,38 @@
 //! | `UnsupportedVersion` | `protocol_version` mismatch                | upgrade one side |
 //! | `Internal`           | server-side failure                        | report / retry |
 //!
-//! # Versioning policy
+//! # Versioning and negotiation
 //!
-//! `protocol_version` (currently
-//! [`dpgrid_serve::wire::PROTOCOL_VERSION`] = 1) bumps on any
+//! Every connection starts in JSON v1 — the codec any peer of any age
+//! can parse. A client that supports v2 sends one JSON
+//! `Hello {max_version}` frame (id 0) as its first message:
+//!
+//! * a v2-capable server replies `Hello {version: min(client_max,
+//!   server_max)}` and, when that lands on 2, the **same connection**
+//!   switches to binary frames — both directions, no reconnect;
+//! * an old server has no `Hello` variant, so the offer decodes as a
+//!   `MalformedRequest` error — the exact additive-request-kind
+//!   signal defined below — and the client silently stays on v1.
+//!
+//! The reverse direction needs no handshake at all: a v1-only client
+//! simply never offers, and the server keeps speaking JSON. Negotiated
+//! state lives and dies with the connection — a reconnecting client
+//! ([`TcpClient`]'s one-shot redial, every pool checkout) re-offers
+//! from scratch, so a server downgrade or replacement mid-session
+//! renegotiates instead of writing binary frames at a peer that only
+//! reads lines.
+//!
+//! Within one codec, `protocol_version` (JSON:
+//! [`dpgrid_serve::wire::PROTOCOL_VERSION`] = 1, binary:
+//! [`dpgrid_serve::wire::binary::PROTOCOL_VERSION`] = 2) bumps on any
 //! incompatible change; both peers reject other versions with
 //! `UnsupportedVersion` rather than guessing. Additive request kinds
 //! within a version decode as `MalformedRequest` on older servers,
-//! which clients must treat as "feature unsupported". Error-code
-//! *names* are append-only and never change meaning.
+//! which clients must treat as "feature unsupported" (`Hello` itself
+//! rides on that rule). The [`dpgrid_serve::wire::ErrorCode`] table is
+//! shared by both codecs: JSON spells the *names*, binary carries one
+//! stable byte per code ([`dpgrid_serve::wire::binary::code_byte`]) —
+//! both append-only, never changing meaning.
 //!
 //! # Example
 //!
@@ -224,7 +286,8 @@ mod tests {
             stream.write_all(frame.as_bytes()).unwrap();
             stream.write_all(b"\n").unwrap();
         });
-        let mut client = TcpClient::connect(addr).unwrap();
+        // Pinned to v1 so no Hello consumes the fake's single frame.
+        let mut client = TcpClient::connect_with_protocol(addr, 1).unwrap();
         match client.ping() {
             Err(NetError::Server(e)) => assert_eq!(e.code, ErrorCode::MalformedRequest),
             other => panic!("expected typed server error, got {other:?}"),

@@ -4,9 +4,10 @@
 //! [`dpgrid_serve::shard::Shard`] over a [`TcpClientPool`], so a
 //! [`dpgrid_serve::ShardRouter`] mixes in-process engines and engines
 //! on other hosts transparently: the router scatter–gathers, each
-//! remote sub-batch travels as one `Batch` wire frame, and the
-//! answers come back as the same typed results an in-process shard
-//! produces.
+//! remote sub-batch travels as pipelined binary frames on one pooled
+//! connection (one `Batch` frame when the peer only speaks JSON v1),
+//! and the answers come back as the same typed results an in-process
+//! shard produces.
 //!
 //! # Error mapping
 //!
@@ -98,15 +99,21 @@ impl RemoteShard {
 }
 
 impl QueryService for RemoteShard {
-    /// One wire `Batch` round trip on a pooled connection. Transport
-    /// failure fails every request in the sub-batch with
-    /// [`ServeError::Unavailable`]; per-query failures come back
-    /// typed, exactly as a local shard isolates them.
+    /// One pipelined round trip on a pooled connection: every request
+    /// travels as its own id-correlated binary frame, written in one
+    /// burst so the socket stays busy while the server answers (a
+    /// JSON-v1-only peer gets one `Batch` frame instead — same
+    /// semantics). Transport failure fails every request in the
+    /// sub-batch with [`ServeError::Unavailable`]; per-query failures
+    /// come back typed, exactly as a local shard isolates them.
     fn answer_batch(&self, requests: &[QueryRequest]) -> Vec<dpgrid_serve::Result<QueryResponse>> {
         if requests.is_empty() {
             return Vec::new();
         }
-        match self.pool.with_client(|client| client.query_batch(requests)) {
+        match self
+            .pool
+            .with_client(|client| client.query_pipelined(requests))
+        {
             Ok(outcomes) => outcomes
                 .into_iter()
                 .zip(requests)

@@ -2,10 +2,14 @@
 //! [`QueryService`].
 //!
 //! The server owns only transport concerns — accepting sockets,
-//! newline framing, connection lifecycle, graceful shutdown. Protocol
-//! work (decoding, validation, dispatch, error mapping) is entirely
-//! [`dpgrid_serve::wire::handle_frame`], so the transport and the
-//! protocol evolve independently.
+//! framing (newline-delimited JSON v1, or length-prefixed binary v2
+//! after a `Hello` negotiation), connection lifecycle, graceful
+//! shutdown. Protocol work (decoding, validation, dispatch, error
+//! mapping) is entirely `dpgrid_serve::wire` — every connection starts
+//! in JSON v1, and when a client's `Hello` offer negotiates to v2 the
+//! same connection switches to the binary codec for all subsequent
+//! frames, with responses leaving as one vectored write (header +
+//! payload, no intermediate copy).
 //!
 //! Concurrency model: one OS thread per connection, all sharing one
 //! `Arc<S: QueryService>`. The engine underneath is built for exactly
@@ -14,13 +18,14 @@
 //! an overloaded engine sheds with a typed `Overloaded` frame the
 //! client can branch on, instead of the listener queueing unboundedly.
 
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use dpgrid_serve::wire::binary;
 use dpgrid_serve::{wire, QueryService};
 
 use crate::error::Result;
@@ -197,8 +202,10 @@ impl Drop for TcpServer {
     }
 }
 
-/// Serves one connection: newline-delimited request frames in,
-/// response frames out, until EOF, a transport error, or shutdown.
+/// Serves one connection: newline-delimited JSON request frames in,
+/// response frames out, until EOF, a transport error, or shutdown —
+/// or until a `Hello` frame negotiates protocol v2, after which the
+/// same connection continues in [`serve_binary`].
 ///
 /// Frames are read as raw bytes through a [`MAX_FRAME_BYTES`]-capped
 /// `Take`, so a connection can neither grow the buffer unboundedly
@@ -211,7 +218,8 @@ fn serve_connection<S: QueryService + ?Sized>(
     shutdown: &AtomicBool,
     frames: &AtomicU64,
 ) -> std::io::Result<()> {
-    // Frames are small and latency-bound: answer each immediately.
+    // Frames are small and latency-bound: answer each immediately,
+    // whichever codec the connection ends up speaking.
     stream.set_nodelay(true)?;
     // Reads time out so parked connections poll the shutdown flag.
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
@@ -223,9 +231,12 @@ fn serve_connection<S: QueryService + ?Sized>(
             Ok(_) => {
                 if buf.last() == Some(&b'\n') {
                     // Complete frame.
-                    handle_raw_frame(service, &mut writer, frames, &buf)?;
+                    let upgraded = handle_raw_frame(service, &mut writer, frames, &buf)?;
                     buf.clear();
                     reader.set_limit(MAX_FRAME_BYTES);
+                    if upgraded {
+                        break;
+                    }
                 } else if reader.limit() == 0 {
                     // The frame hit the byte cap without a newline:
                     // reject it and drop the connection — resyncing on
@@ -248,7 +259,8 @@ fn serve_connection<S: QueryService + ?Sized>(
                     // newline is answered before closing —
                     // deterministically, whether or not a read-timeout
                     // tick separated its bytes from the EOF (timeouts
-                    // keep partial bytes in `buf`).
+                    // keep partial bytes in `buf`). An upgrade on the
+                    // final frame is moot: the peer already closed.
                     if !buf.is_empty() {
                         handle_raw_frame(service, &mut writer, frames, &buf)?;
                     }
@@ -273,18 +285,220 @@ fn serve_connection<S: QueryService + ?Sized>(
             Err(e) => return Err(e),
         }
     }
+    // Negotiated up to binary. The ack left through the (per-frame
+    // flushed) BufWriter, so nothing is buffered on the write side;
+    // the BufReader keeps any bytes an optimistic client already sent.
+    drop(writer);
+    let mut reader = reader.into_inner();
+    serve_binary(&mut reader, stream, service, shutdown, frames)
 }
 
-/// Answers one raw frame: UTF-8 check, blank-line tolerance, protocol
-/// dispatch, framed reply.
+/// How one binary read ended.
+enum Fill {
+    /// The buffer was filled completely.
+    Complete,
+    /// EOF before the first byte — the peer closed between frames.
+    CleanEof,
+    /// EOF with the buffer partly filled — a truncated frame.
+    TruncatedEof,
+    /// The shutdown flag was raised while waiting.
+    Shutdown,
+}
+
+/// Reads exactly `buf.len()` bytes, polling the shutdown flag on every
+/// read-timeout tick (the socket's [`POLL_INTERVAL`] read timeout is
+/// what makes blocking reads interruptible).
+fn read_full(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> std::io::Result<Fill> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    Fill::CleanEof
+                } else {
+                    Fill::TruncatedEof
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::Acquire) {
+                    return Ok(Fill::Shutdown);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Fill::Complete)
+}
+
+/// Serves the binary half of an upgraded connection: fixed-size
+/// headers and length-prefixed payloads in, vectored header+payload
+/// writes out, all through per-connection buffers that are reused
+/// frame over frame (zero steady-state allocation).
+///
+/// Rejection policy mirrors the JSON loop's: violations that lose
+/// byte framing (bad magic, foreign version, oversized length prefix,
+/// truncated frame) get a typed error and the connection is closed;
+/// a payload that decodes badly under intact framing gets a typed
+/// error and the connection stays usable.
+fn serve_binary<S: QueryService + ?Sized>(
+    reader: &mut BufReader<TcpStream>,
+    stream: &TcpStream,
+    service: &S,
+    shutdown: &AtomicBool,
+    frames: &AtomicU64,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut header_buf = [0u8; binary::HEADER_BYTES];
+    let mut payload: Vec<u8> = Vec::new();
+    let mut out_payload: Vec<u8> = Vec::new();
+    loop {
+        match read_full(reader, &mut header_buf, shutdown)? {
+            Fill::CleanEof | Fill::Shutdown => return Ok(()),
+            Fill::TruncatedEof => {
+                // Half a header can never be resynchronized; the peer
+                // is gone anyway.
+                return respond_binary(
+                    &mut writer,
+                    frames,
+                    &wire::WireResponse::error(
+                        0,
+                        wire::WireError::new(
+                            wire::ErrorCode::MalformedRequest,
+                            "connection closed mid-header",
+                        ),
+                    ),
+                    &mut out_payload,
+                );
+            }
+            Fill::Complete => {}
+        }
+        let header = match binary::decode_header(&header_buf) {
+            Ok(header) => header,
+            Err(e) => {
+                // Bad magic / foreign version / oversized length: byte
+                // framing is lost, so reject typed and close.
+                return respond_binary(
+                    &mut writer,
+                    frames,
+                    &wire::WireResponse::error(0, e),
+                    &mut out_payload,
+                );
+            }
+        };
+        payload.clear();
+        payload.resize(header.payload_len, 0);
+        if header.payload_len > 0 {
+            match read_full(reader, &mut payload, shutdown)? {
+                Fill::CleanEof | Fill::TruncatedEof => {
+                    // The header promised more bytes than arrived.
+                    return respond_binary(
+                        &mut writer,
+                        frames,
+                        &wire::WireResponse::error(
+                            header.id,
+                            wire::WireError::new(
+                                wire::ErrorCode::MalformedRequest,
+                                "connection closed mid-payload",
+                            ),
+                        ),
+                        &mut out_payload,
+                    );
+                }
+                Fill::Shutdown => return Ok(()),
+                Fill::Complete => {}
+            }
+        }
+        let response = match binary::decode_request(&header, &payload) {
+            Ok(request) => wire::dispatch(service, request.id, request.body),
+            // Framing held (the declared payload arrived in full), so
+            // a payload that decodes badly only fails its own frame.
+            Err(e) => wire::WireResponse::error(header.id, e),
+        };
+        respond_binary(&mut writer, frames, &response, &mut out_payload)?;
+    }
+}
+
+/// Writes one binary response frame as a single vectored write
+/// (header + payload, no concatenation copy) and counts it.
+fn respond_binary(
+    writer: &mut TcpStream,
+    frames: &AtomicU64,
+    response: &wire::WireResponse,
+    payload: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    frames.fetch_add(1, Ordering::Relaxed);
+    let frame_type = match binary::encode_response_payload(&response.body, payload) {
+        Ok(frame_type) => frame_type,
+        Err(_) => {
+            // The response itself exceeds the frame cap (an enormous
+            // batch of answers): the request was answerable but not
+            // shippable, which is the server's problem — Internal.
+            let oversized = wire::WireResponse::error(
+                response.id,
+                wire::WireError::new(
+                    wire::ErrorCode::Internal,
+                    "response exceeds the frame byte cap; split the batch",
+                ),
+            );
+            binary::encode_response_payload(&oversized.body, payload)
+                .expect("error frames are far below the frame cap")
+        }
+    };
+    let header = binary::encode_header(frame_type, response.id, payload.len());
+    write_all_vectored(writer, &header, payload)
+}
+
+/// `write_all` over two buffers with one gather syscall per attempt,
+/// restarting on partial writes without copying the buffers together.
+fn write_all_vectored(writer: &mut TcpStream, head: &[u8], tail: &[u8]) -> std::io::Result<()> {
+    let total = head.len() + tail.len();
+    let mut written = 0;
+    while written < total {
+        let attempt = if written < head.len() {
+            writer.write_vectored(&[IoSlice::new(&head[written..]), IoSlice::new(tail)])
+        } else {
+            writer.write(&tail[written - head.len()..])
+        };
+        match attempt {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Answers one raw JSON frame: UTF-8 check, blank-line tolerance,
+/// protocol dispatch, framed reply. Returns whether the frame was a
+/// `Hello` that negotiated the connection up to the binary codec —
+/// this transport *can* switch framing, so it intercepts `Hello`
+/// before [`wire::dispatch`] (whose own `Hello` arm conservatively
+/// acks v1 for transports that cannot).
 fn handle_raw_frame<S: QueryService + ?Sized>(
     service: &S,
     writer: &mut BufWriter<TcpStream>,
     frames: &AtomicU64,
     raw: &[u8],
-) -> std::io::Result<()> {
+) -> std::io::Result<bool> {
     let Ok(frame) = std::str::from_utf8(raw) else {
-        return respond(
+        respond(
             writer,
             frames,
             wire::WireResponse::error(
@@ -294,14 +508,21 @@ fn handle_raw_frame<S: QueryService + ?Sized>(
                     "frame is not valid UTF-8",
                 ),
             ),
-        );
+        )?;
+        return Ok(false);
     };
     let frame = frame.trim_end_matches(['\r', '\n']);
     // Tolerate blank keep-alive lines.
     if frame.is_empty() {
-        return Ok(());
+        return Ok(false);
     }
-    respond(writer, frames, wire::handle_frame(service, frame))
+    if let Some((id, client_max)) = wire::parse_hello(frame) {
+        let version = wire::negotiate(client_max, binary::PROTOCOL_VERSION);
+        respond(writer, frames, wire::hello_ack(id, version))?;
+        return Ok(version == binary::PROTOCOL_VERSION);
+    }
+    respond(writer, frames, wire::handle_frame(service, frame))?;
+    Ok(false)
 }
 
 /// Writes one response frame and counts it (before the write, so the

@@ -35,6 +35,30 @@
 //! from other versions with `UnsupportedVersion`; additive request
 //! kinds within a version are decoded as `MalformedRequest` by older
 //! servers, which clients must treat as "feature unsupported".
+//!
+//! # Two codecs, one protocol
+//!
+//! The frame *types* above are codec-agnostic. Two encodings carry
+//! them:
+//!
+//! * **JSON v1** — single-line JSON frames (this module's
+//!   `encode`/`decode`), the format every peer speaks on connect.
+//! * **Binary v2** — length-prefixed binary frames ([`binary`]),
+//!   negotiated per connection: a client offers v2 with a
+//!   [`RequestBody::Hello`] JSON frame, the server answers
+//!   [`ResponseBody::Hello`] with the version both sides will speak
+//!   (see [`negotiate`]), and when that is 2 the *same connection*
+//!   switches to binary framing for every subsequent frame. `Hello` is
+//!   additive within v1: a pre-`Hello` server answers it with
+//!   `MalformedRequest`, which clients treat as "v1 only" and fall
+//!   back — old clients and old servers interoperate with new ones in
+//!   both directions. Negotiation frames themselves always travel as
+//!   JSON v1.
+//!
+//! Dispatch is codec-generic: both codecs decode into the same
+//! [`RequestBody`], go through the same [`dispatch`] (one validation
+//! path, one [`ErrorCode`] table), and encode the same
+//! [`ResponseBody`].
 
 use dpgrid_geo::Rect;
 use serde::{Deserialize, Serialize};
@@ -44,8 +68,15 @@ use crate::engine::{EngineStats, QueryRequest, QueryResponse};
 use crate::error::ServeError;
 use crate::service::QueryService;
 
-/// Version of the frame format defined by this module. Incompatible
-/// changes bump it; both sides reject other versions.
+pub mod binary;
+
+/// Version of the JSON line frame format defined by this module —
+/// the codec every peer speaks on connect. Incompatible changes bump
+/// it; both sides reject other versions. The binary codec is
+/// [`binary::PROTOCOL_VERSION`] (2), reached only through [`Hello`]
+/// negotiation.
+///
+/// [`Hello`]: RequestBody::Hello
 pub const PROTOCOL_VERSION: u32 = 1;
 
 /// Upper bound on one encoded frame's bytes (newline included), in
@@ -133,6 +164,23 @@ impl WireQuery {
     }
 }
 
+/// A client's codec offer: the highest protocol version it speaks.
+/// Travels inside [`RequestBody::Hello`], always as JSON v1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HelloOffer {
+    /// Highest protocol version the client can speak (≥ 1).
+    pub max_version: u32,
+}
+
+/// The server's negotiation answer: the version both sides will speak
+/// from the next frame on. Travels inside [`ResponseBody::Hello`],
+/// always as JSON v1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HelloAck {
+    /// The negotiated protocol version (see [`negotiate`]).
+    pub version: u32,
+}
+
 /// The payload of one request frame.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum RequestBody {
@@ -152,6 +200,14 @@ pub enum RequestBody {
     /// Liveness / protocol check; answered with
     /// [`ResponseBody::Pong`].
     Ping,
+    /// Offer to upgrade this connection's codec, answered with
+    /// [`ResponseBody::Hello`]. Added within protocol version 1: a
+    /// pre-`Hello` server answers it with `MalformedRequest`, which
+    /// clients treat as "v1 only". Transports that support binary
+    /// framing intercept this frame themselves (the negotiated codec
+    /// is connection state, which [`dispatch`] does not hold); at the
+    /// dispatch layer it always acks version 1.
+    Hello(HelloOffer),
 }
 
 /// One request frame: version, client-chosen correlation id, payload.
@@ -228,6 +284,8 @@ pub enum ResponseBody {
     Keys(Vec<String>),
     /// Reply to [`RequestBody::Ping`].
     Pong,
+    /// The negotiation answer to a [`RequestBody::Hello`].
+    Hello(HelloAck),
     /// The whole frame failed.
     Error(WireError),
 }
@@ -494,6 +552,35 @@ impl WireResponse {
     }
 }
 
+/// Picks the protocol version two peers will speak: the highest both
+/// support, never below the baseline [`PROTOCOL_VERSION`] every peer
+/// speaks (a nonsense offer of 0 still negotiates to 1).
+pub fn negotiate(client_max: u32, server_max: u32) -> u32 {
+    client_max.min(server_max).max(PROTOCOL_VERSION)
+}
+
+/// Decodes `line` as a [`RequestBody::Hello`] offer, returning its
+/// `(id, max_version)`. `None` for anything else — including frames
+/// that fail to decode, which the caller hands to [`handle_frame`] for
+/// the usual typed error. Transports with a binary mode call this on
+/// each JSON line *before* [`handle_frame`], because switching codecs
+/// is connection state only the transport holds.
+pub fn parse_hello(line: &str) -> Option<(u64, u32)> {
+    match WireRequest::decode(line) {
+        Ok(WireRequest {
+            id,
+            body: RequestBody::Hello(offer),
+            ..
+        }) => Some((id, offer.max_version)),
+        _ => None,
+    }
+}
+
+/// The negotiation answer a transport sends after [`parse_hello`].
+pub fn hello_ack(id: u64, version: u32) -> WireResponse {
+    WireResponse::new(id, ResponseBody::Hello(HelloAck { version }))
+}
+
 /// Decodes one request line, dispatches it against `service`, and
 /// produces the response frame — the complete server-side protocol
 /// step minus transport framing. Every failure becomes a typed
@@ -504,9 +591,20 @@ pub fn handle_frame<S: QueryService + ?Sized>(service: &S, line: &str) -> WireRe
         Ok(request) => request,
         Err(e) => return WireResponse::error(e.id, e.error),
     };
-    let id = request.id;
-    match request.body {
+    dispatch(service, request.id, request.body)
+}
+
+/// Dispatches one decoded request body against `service` — the
+/// codec-generic core shared by the JSON ([`handle_frame`]) and binary
+/// ([`binary`]) paths, so both codecs validate, answer, and map errors
+/// identically. Never panics on untrusted input.
+pub fn dispatch<S: QueryService + ?Sized>(service: &S, id: u64, body: RequestBody) -> WireResponse {
+    match body {
         RequestBody::Ping => WireResponse::new(id, ResponseBody::Pong),
+        // The dispatch layer cannot switch framing, so it caps the
+        // negotiation at the JSON baseline; binary-capable transports
+        // intercept Hello before dispatch ever sees it.
+        RequestBody::Hello(offer) => hello_ack(id, negotiate(offer.max_version, PROTOCOL_VERSION)),
         RequestBody::Stats => WireResponse::new(id, ResponseBody::Stats(service.stats())),
         RequestBody::Keys => WireResponse::new(id, ResponseBody::Keys(service.keys())),
         RequestBody::Query(query) => match query.validate() {

@@ -9,13 +9,17 @@
 //! `Overloaded` frames instead of hanging, and a raw socket checks the
 //! protocol-version guard.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dpgrid::net::{NetError, TcpClient, TcpServer};
 use dpgrid::prelude::*;
-use dpgrid::serve::wire::ErrorCode;
+use dpgrid::serve::wire::{
+    self, binary, ErrorCode, HelloAck, HelloOffer, RequestBody, ResponseBody, WireError,
+    WireRequest, WireResponse,
+};
 
 const CLIENT_THREADS: usize = 4;
 const ITERATIONS: usize = 20;
@@ -311,4 +315,262 @@ fn raw_socket_version_mismatch_and_garbage_get_typed_errors() {
         }
     }
     server.shutdown();
+}
+
+/// Performs the JSON `Hello` handshake on a raw socket and asserts the
+/// server upgrades the connection to binary v2.
+fn hello_upgrade(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let offer = WireRequest::new(0, RequestBody::Hello(HelloOffer { max_version: 2 }));
+    writer.write_all(offer.encode().as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let ack = WireResponse::decode(line.trim_end()).unwrap();
+    assert_eq!(
+        ack.body,
+        ResponseBody::Hello(HelloAck { version: 2 }),
+        "{line}"
+    );
+    (reader, writer)
+}
+
+/// Reads one binary frame off the socket and decodes it as a response.
+fn read_binary_response(reader: &mut impl Read) -> WireResponse {
+    let mut head = [0u8; binary::HEADER_BYTES];
+    reader.read_exact(&mut head).unwrap();
+    let header = binary::decode_header(&head).unwrap();
+    let mut payload = vec![0u8; header.payload_len];
+    reader.read_exact(&mut payload).unwrap();
+    binary::decode_response(&header, &payload).unwrap()
+}
+
+/// Unwraps a response into its error body.
+fn expect_error(response: WireResponse) -> WireError {
+    match response.body {
+        ResponseBody::Error(e) => e,
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+}
+
+/// Asserts the server closed the connection cleanly after a reject.
+fn expect_eof(reader: &mut impl Read) {
+    let mut byte = [0u8; 1];
+    match reader.read(&mut byte) {
+        Ok(0) | Err(_) => {}
+        Ok(_) => panic!("server kept the connection open after losing byte framing"),
+    }
+}
+
+#[test]
+fn raw_socket_binary_garbage_probes_get_typed_rejects_and_clean_close() {
+    let dataset = PaperDataset::Storage.generate_n(45, 1_500).unwrap();
+    let mut catalog = Catalog::new();
+    Pipeline::new(&dataset)
+        .epsilon(1.0)
+        .method(Method::ug(8))
+        .seed(1)
+        .publish_into(&mut catalog, "k")
+        .unwrap();
+    let engine = Arc::new(QueryEngine::new(catalog));
+    let server = TcpServer::bind(engine, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    // Bad magic after a real upgrade: byte framing is unrecoverable, so
+    // the server rejects typed (id 0 — the header is untrusted) and
+    // closes.
+    {
+        let (mut reader, mut writer) = hello_upgrade(addr);
+        writer.write_all(&[0xFFu8; binary::HEADER_BYTES]).unwrap();
+        writer.flush().unwrap();
+        let reply = read_binary_response(&mut reader);
+        assert_eq!(reply.id, 0);
+        let e = expect_error(reply);
+        assert_eq!(e.code, ErrorCode::MalformedRequest);
+        assert!(e.message.contains("magic"), "{}", e.message);
+        expect_eof(&mut reader);
+    }
+
+    // A foreign version byte in an otherwise well-formed header: typed
+    // UnsupportedVersion, then close.
+    {
+        let (mut reader, mut writer) = hello_upgrade(addr);
+        let mut head = binary::encode_header(binary::frame_type::PING, 5, 0);
+        head[2] = 9;
+        writer.write_all(&head).unwrap();
+        writer.flush().unwrap();
+        let e = expect_error(read_binary_response(&mut reader));
+        assert_eq!(e.code, ErrorCode::UnsupportedVersion);
+        expect_eof(&mut reader);
+    }
+
+    // A length prefix past the frame cap: rejected from the header
+    // alone — the server never tries to buffer the claimed payload.
+    {
+        let (mut reader, mut writer) = hello_upgrade(addr);
+        let mut head = binary::encode_header(binary::frame_type::QUERY, 5, 0);
+        head[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        writer.write_all(&head).unwrap();
+        writer.flush().unwrap();
+        let e = expect_error(read_binary_response(&mut reader));
+        assert_eq!(e.code, ErrorCode::MalformedRequest);
+        assert!(e.message.contains("exceeds"), "{}", e.message);
+        expect_eof(&mut reader);
+    }
+
+    // A truncated payload (header promises 64 bytes, the peer hangs up
+    // after 8): typed reject under the header's id, then close.
+    {
+        let (mut reader, mut writer) = hello_upgrade(addr);
+        let head = binary::encode_header(binary::frame_type::QUERY, 9, 64);
+        writer.write_all(&head).unwrap();
+        writer.write_all(&[0u8; 8]).unwrap();
+        writer.flush().unwrap();
+        writer.shutdown(std::net::Shutdown::Write).unwrap();
+        let reply = read_binary_response(&mut reader);
+        assert_eq!(reply.id, 9);
+        let e = expect_error(reply);
+        assert_eq!(e.code, ErrorCode::MalformedRequest);
+        assert!(e.message.contains("mid-payload"), "{}", e.message);
+        expect_eof(&mut reader);
+    }
+
+    // Garbage *payload* under intact framing: typed reject, and the
+    // connection stays usable — exactly like a garbage JSON line under
+    // v1, a bad frame never desynchronises the stream.
+    {
+        let (mut reader, mut writer) = hello_upgrade(addr);
+        let mut frame = Vec::from(binary::encode_header(binary::frame_type::QUERY, 3, 4));
+        frame.extend_from_slice(&[0xAA; 4]);
+        writer.write_all(&frame).unwrap();
+        writer.flush().unwrap();
+        let reply = read_binary_response(&mut reader);
+        assert_eq!(reply.id, 3);
+        assert_eq!(expect_error(reply).code, ErrorCode::MalformedRequest);
+        let mut ping = Vec::new();
+        binary::encode_request(&WireRequest::new(4, RequestBody::Ping), &mut ping).unwrap();
+        writer.write_all(&ping).unwrap();
+        writer.flush().unwrap();
+        let reply = read_binary_response(&mut reader);
+        assert_eq!(reply.id, 4);
+        assert_eq!(reply.body, ResponseBody::Pong);
+    }
+    server.shutdown();
+}
+
+/// A minimal JSON-v1-only server on one accepted connection. Like any
+/// server that predates the handshake, its decoder has no `Hello`
+/// variant — the offer comes back as a `MalformedRequest` error, which
+/// is exactly the signal a v2 client falls back on.
+fn spawn_v1_only_server(
+    listener: TcpListener,
+    engine: Arc<QueryEngine>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+            let trimmed = line.trim_end();
+            let response = if trimmed.contains("Hello") {
+                WireResponse::error(
+                    0,
+                    WireError::new(ErrorCode::MalformedRequest, "unknown variant `Hello`"),
+                )
+            } else {
+                wire::handle_frame(engine.as_ref(), trimmed)
+            };
+            writer.write_all(response.encode().as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            writer.flush().unwrap();
+        }
+    })
+}
+
+#[test]
+fn version_negotiation_works_both_directions() {
+    let dataset = PaperDataset::Storage.generate_n(46, 1_500).unwrap();
+    let rects = workload(dataset.domain().rect());
+    let mut catalog = Catalog::new();
+    Pipeline::new(&dataset)
+        .epsilon(1.0)
+        .method(Method::ug(8))
+        .seed(2)
+        .publish_into(&mut catalog, "storage")
+        .unwrap();
+    let engine = Arc::new(QueryEngine::new(catalog));
+
+    // A v2-capable server answers a pinned v1-only client (no Hello
+    // sent at all) and a default v2 client identically.
+    let server = TcpServer::bind(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+    let mut v2 = TcpClient::connect(server.local_addr()).unwrap();
+    assert_eq!(v2.protocol_version(), Some(2));
+    let reference = v2.query("storage", &rects).unwrap();
+    let mut v1 = TcpClient::connect_with_protocol(server.local_addr(), 1).unwrap();
+    assert_eq!(v1.protocol_version(), Some(1));
+    let answers = v1.query("storage", &rects).unwrap();
+    assert_eq!(answers.answers, reference.answers);
+    server.shutdown();
+
+    // A v2-offering client against a v1-only server: the Hello comes
+    // back MalformedRequest, the client silently falls back to JSON v1,
+    // and both single queries and the pipelined path (one Batch frame
+    // under v1) still answer correctly.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let v1_server = spawn_v1_only_server(listener, Arc::clone(&engine));
+    let mut client = TcpClient::connect(addr).unwrap();
+    assert_eq!(client.protocol_version(), Some(1));
+    let fallback = client.query("storage", &rects).unwrap();
+    assert_eq!(fallback.answers, reference.answers);
+    let batch = vec![QueryRequest::new("storage", rects.clone()); 3];
+    for outcome in client.query_pipelined(&batch).unwrap() {
+        assert_eq!(outcome.unwrap().answers, reference.answers);
+    }
+    drop(client);
+    v1_server.join().unwrap();
+}
+
+#[test]
+fn reconnect_renegotiates_instead_of_reusing_stale_protocol_state() {
+    let dataset = PaperDataset::Storage.generate_n(47, 1_500).unwrap();
+    let rects = workload(dataset.domain().rect());
+    let mut catalog = Catalog::new();
+    Pipeline::new(&dataset)
+        .epsilon(1.0)
+        .method(Method::ug(8))
+        .seed(3)
+        .publish_into(&mut catalog, "storage")
+        .unwrap();
+    let engine = Arc::new(QueryEngine::new(catalog));
+
+    // Negotiate binary v2 against a real server...
+    let server = TcpServer::bind(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let mut client = TcpClient::connect(addr).unwrap();
+    assert_eq!(client.protocol_version(), Some(2));
+    let reference = client.query("storage", &rects).unwrap();
+    server.shutdown();
+
+    // ...then restart the same port as a v1-only server. The stranded
+    // client's one-shot reconnect must re-handshake from scratch — a
+    // client that replayed its remembered v2 state would write binary
+    // frames at a peer that only reads JSON lines and hang or poison
+    // the connection. Instead the redial renegotiates down to v1 and
+    // the resent query succeeds.
+    let v1_server = spawn_v1_only_server(TcpListener::bind(addr).unwrap(), Arc::clone(&engine));
+    let healed = client.query("storage", &rects).unwrap();
+    assert_eq!(client.protocol_version(), Some(1));
+    assert_eq!(healed.answers, reference.answers);
+    drop(client);
+    v1_server.join().unwrap();
 }

@@ -1,11 +1,13 @@
 //! Wire-protocol regression: proptest round-trips of every frame
-//! variant, single-line framing under adversarial strings, and the
-//! boundary validation that keeps malformed rectangles out of the
-//! engine.
+//! variant through *both* codecs (one-line JSON v1 and the binary v2
+//! frame format), single-line framing under adversarial strings,
+//! cross-codec dispatch equivalence, and the boundary validation that
+//! keeps malformed rectangles out of the engine.
 
+use dpgrid::prelude::*;
 use dpgrid::serve::wire::{
-    ErrorCode, RequestBody, ResponseBody, WireAnswers, WireError, WireOutcome, WireQuery, WireRect,
-    WireRequest, WireResponse, PROTOCOL_VERSION,
+    self, binary, ErrorCode, RequestBody, ResponseBody, WireAnswers, WireError, WireOutcome,
+    WireQuery, WireRect, WireRequest, WireResponse, PROTOCOL_VERSION,
 };
 use dpgrid::serve::CacheState;
 use dpgrid::serve::{CatalogStats, EngineStats, ServeError};
@@ -174,6 +176,27 @@ fn arb_response(rng: &mut StdRng) -> WireResponse {
     WireResponse::new(arb_id(rng), body)
 }
 
+/// Encodes `request` as one binary v2 frame and decodes it back
+/// through the same header/payload split the transport uses.
+fn binary_roundtrip_request(request: &WireRequest) -> WireRequest {
+    let mut buf = Vec::new();
+    binary::encode_request(request, &mut buf).unwrap();
+    let head: [u8; binary::HEADER_BYTES] = buf[..binary::HEADER_BYTES].try_into().unwrap();
+    let header = binary::decode_header(&head).unwrap();
+    assert_eq!(header.payload_len, buf.len() - binary::HEADER_BYTES);
+    binary::decode_request(&header, &buf[binary::HEADER_BYTES..]).unwrap()
+}
+
+/// Encodes `response` as one binary v2 frame and decodes it back.
+fn binary_roundtrip_response(response: &WireResponse) -> WireResponse {
+    let mut buf = Vec::new();
+    binary::encode_response(response, &mut buf).unwrap();
+    let head: [u8; binary::HEADER_BYTES] = buf[..binary::HEADER_BYTES].try_into().unwrap();
+    let header = binary::decode_header(&head).unwrap();
+    assert_eq!(header.payload_len, buf.len() - binary::HEADER_BYTES);
+    binary::decode_response(&header, &buf[binary::HEADER_BYTES..]).unwrap()
+}
+
 proptest! {
     /// Every request frame round-trips bit-exactly through its
     /// one-line JSON encoding, whatever variant and key content.
@@ -263,6 +286,51 @@ proptest! {
         let frame = WireResponse::new(9, ResponseBody::Stats(merged)).encode();
         let back = WireResponse::decode(&frame).unwrap();
         prop_assert_eq!(back.body, ResponseBody::Stats(merged));
+    }
+
+    /// Every request variant also round-trips bit-exactly through the
+    /// binary v2 codec — nasty keys included — and binary ids span the
+    /// full `u64` range (no JSON safe-integer ceiling).
+    #[test]
+    fn binary_request_frames_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let body = arb_request(&mut rng).body;
+        let request = WireRequest::new(rng.random::<u64>(), body);
+        let back = binary_roundtrip_request(&request);
+        prop_assert_eq!(back.id, request.id);
+        prop_assert_eq!(back.body, request.body);
+        prop_assert_eq!(back.protocol_version, binary::PROTOCOL_VERSION);
+    }
+
+    /// Every response variant round-trips bit-exactly through the
+    /// binary v2 codec, including stats whose unbounded fields carry
+    /// `usize::MAX` (fixed-width `u64` on the wire — no doubles).
+    #[test]
+    fn binary_response_frames_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let body = arb_response(&mut rng).body;
+        let response = WireResponse::new(rng.random::<u64>(), body);
+        let back = binary_roundtrip_response(&response);
+        prop_assert_eq!(back.id, response.id);
+        prop_assert_eq!(back.body, response.body);
+        prop_assert_eq!(back.protocol_version, binary::PROTOCOL_VERSION);
+    }
+
+    /// The two codecs agree: a frame encoded through JSON v1 and the
+    /// same frame encoded through binary v2 decode to the same body.
+    #[test]
+    fn codecs_decode_to_identical_bodies(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let request = arb_request(&mut rng);
+        let via_json = WireRequest::decode(&request.encode()).unwrap();
+        let via_binary = binary_roundtrip_request(&request);
+        prop_assert_eq!(via_json.body, via_binary.body);
+        prop_assert_eq!(via_json.id, via_binary.id);
+        let response = arb_response(&mut rng);
+        let via_json = WireResponse::decode(&response.encode()).unwrap();
+        let via_binary = binary_roundtrip_response(&response);
+        prop_assert_eq!(via_json.body, via_binary.body);
+        prop_assert_eq!(via_json.id, via_binary.id);
     }
 
     /// Validated wire rectangles preserve the exact coordinates of the
@@ -360,6 +428,131 @@ fn non_finite_coordinates_on_the_wire_are_rejected_not_smuggled() {
         panic!("query survives");
     };
     assert!(matches!(query.validate(), Err(ServeError::InvalidQuery(_))));
+}
+
+#[test]
+fn non_finite_coordinates_in_binary_frames_are_rejected_not_smuggled() {
+    // The binary codec carries f64 bits verbatim, so NaN *arrives* as
+    // NaN (unlike JSON's null detour) — and the same boundary
+    // validation that guards v1 must reject it before any engine sees
+    // it. Codec choice must not change what gets through.
+    let request = WireRequest::new(
+        1,
+        RequestBody::Query(WireQuery {
+            release_key: "k".into(),
+            rects: vec![WireRect {
+                x0: f64::NAN,
+                y0: 0.0,
+                x1: f64::INFINITY,
+                y1: 1.0,
+            }],
+        }),
+    );
+    let back = binary_roundtrip_request(&request);
+    let RequestBody::Query(query) = back.body else {
+        panic!("query survives");
+    };
+    assert!(query.rects[0].x0.is_nan(), "binary carries NaN bit-exactly");
+    assert!(query.rects[0].x1.is_infinite());
+    assert!(matches!(query.validate(), Err(ServeError::InvalidQuery(_))));
+}
+
+#[test]
+fn binary_error_codes_have_stable_wire_bytes() {
+    // The v2 counterpart of the JSON name-stability contract: these
+    // exact bytes are the wire form, and the encoded error payload
+    // leads with them.
+    for (code, byte) in [
+        (ErrorCode::UnknownKey, 0u8),
+        (ErrorCode::InvalidQuery, 1),
+        (ErrorCode::Overloaded, 2),
+        (ErrorCode::MalformedRequest, 3),
+        (ErrorCode::UnsupportedVersion, 4),
+        (ErrorCode::Internal, 5),
+    ] {
+        assert_eq!(binary::code_byte(code), byte, "{}", code.as_str());
+        let mut buf = Vec::new();
+        binary::encode_response(&WireResponse::error(1, WireError::new(code, "x")), &mut buf)
+            .unwrap();
+        assert_eq!(
+            buf[binary::HEADER_BYTES],
+            byte,
+            "{} error payload must lead with its code byte",
+            code.as_str()
+        );
+    }
+}
+
+/// The acceptance gate for the two-codec design: the same requests
+/// dispatched against the same engine produce identical
+/// `QueryResponse`s (and identical typed failures) whether they
+/// travelled as JSON v1 or binary v2 frames.
+#[test]
+fn both_codecs_dispatch_to_identical_query_responses() {
+    let dataset = PaperDataset::Storage.generate_n(44, 1_000).unwrap();
+    let mut catalog = Catalog::new();
+    Pipeline::new(&dataset)
+        .epsilon(1.0)
+        .method(Method::ug(8))
+        .seed(7)
+        .publish_into(&mut catalog, "storage")
+        .unwrap();
+    let engine = QueryEngine::new(catalog);
+    let domain = *dataset.domain().rect();
+    let inner = Rect::new(
+        domain.x0() + 0.2 * domain.width(),
+        domain.y0() + 0.1 * domain.height(),
+        domain.x0() + 0.8 * domain.width(),
+        domain.y0() + 0.7 * domain.height(),
+    )
+    .unwrap();
+    let rects: Vec<WireRect> = [&domain, &inner].into_iter().map(WireRect::from).collect();
+    // Warm the surface first so both dispatches below see the same
+    // cache state (`Warm`) — the equivalence claim is about the codec,
+    // not about who pays the one-time compile.
+    let warm = wire::dispatch(
+        &engine,
+        1,
+        RequestBody::Query(WireQuery {
+            release_key: "storage".into(),
+            rects: rects.clone(),
+        }),
+    );
+    assert!(matches!(warm.body, ResponseBody::Answers(_)), "{warm:?}");
+
+    let bodies = [
+        RequestBody::Query(WireQuery {
+            release_key: "storage".into(),
+            rects: rects.clone(),
+        }),
+        // A batch mixing a served release with an unknown key: the
+        // per-query failure must come back identically typed too.
+        RequestBody::Batch(vec![
+            WireQuery {
+                release_key: "storage".into(),
+                rects: rects.clone(),
+            },
+            WireQuery {
+                release_key: "missing".into(),
+                rects: rects.clone(),
+            },
+        ]),
+        RequestBody::Keys,
+        RequestBody::Ping,
+    ];
+    for body in bodies {
+        let request = WireRequest::new(11, body);
+        // v1: the full JSON path, exactly as the server's line loop
+        // runs it.
+        let v1 = wire::handle_frame(&engine, &request.encode());
+        // v2: decode the binary frame, dispatch the decoded body.
+        let decoded = binary_roundtrip_request(&request);
+        let v2 = wire::dispatch(&engine, decoded.id, decoded.body);
+        assert_eq!(v1.id, v2.id);
+        assert_eq!(v1.body, v2.body, "codecs disagree on {request:?}");
+        // And the response itself survives the binary codec intact.
+        assert_eq!(binary_roundtrip_response(&v2).body, v2.body);
+    }
 }
 
 #[test]
