@@ -77,6 +77,7 @@ pub mod release;
 pub mod routing;
 pub mod surface;
 pub mod synthetic;
+pub mod temporal;
 mod uniform_grid;
 
 pub use adaptive_grid::{AdaptiveGrid, AgCellInfo, AgConfig};
@@ -88,6 +89,7 @@ pub use pipeline::{Pipeline, ReleaseSink};
 pub use release::{Release, ReleaseMetadata};
 pub use routing::{rendezvous_route, rendezvous_score, ShardedSink};
 pub use surface::{CompiledSurface, SurfaceKind};
+pub use temporal::{epoch_key, merge_releases, parse_epoch_key, EpochLayout, EpochRange};
 pub use uniform_grid::{UgConfig, UniformGrid};
 
 /// The release-format traits, re-exported from the substrate crate

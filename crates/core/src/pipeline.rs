@@ -52,6 +52,18 @@ pub trait ReleaseSink {
     /// Accepting the same key again replaces (re-versions) the earlier
     /// release — sinks that version keys define how.
     fn accept_release(&mut self, key: String, release: Release);
+
+    /// Withdraws the release under `key`, returning whether one was
+    /// held — the retention seam: a compactor that merged fine epochs
+    /// into a coarser tier evicts the fine keys through the same sink
+    /// it published through.
+    ///
+    /// The default is a no-op returning `false`, so append-only sinks
+    /// (logs, test collectors) stay correct without opting in.
+    fn evict_release(&mut self, key: &str) -> bool {
+        let _ = key;
+        false
+    }
 }
 
 /// The identity sink: collect published releases in insertion order.
@@ -59,12 +71,23 @@ impl ReleaseSink for Vec<(String, Release)> {
     fn accept_release(&mut self, key: String, release: Release) {
         self.push((key, release));
     }
+
+    /// Removes every entry under `key` (duplicates included).
+    fn evict_release(&mut self, key: &str) -> bool {
+        let before = self.len();
+        self.retain(|(k, _)| k != key);
+        self.len() != before
+    }
 }
 
 /// Keyed sink with last-write-wins semantics.
 impl ReleaseSink for std::collections::HashMap<String, Release> {
     fn accept_release(&mut self, key: String, release: Release) {
         self.insert(key, release);
+    }
+
+    fn evict_release(&mut self, key: &str) -> bool {
+        self.remove(key).is_some()
     }
 }
 

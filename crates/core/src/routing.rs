@@ -164,6 +164,13 @@ impl<S: ReleaseSink> ReleaseSink for ShardedSink<S> {
         let i = rendezvous_route(&self.shard_names(), &key).expect("sink has at least one shard");
         self.shards[i].1.accept_release(key, release);
     }
+
+    /// Evicts from the shard that owns `key` — the same rendezvous
+    /// winner the release was published to.
+    fn evict_release(&mut self, key: &str) -> bool {
+        let i = rendezvous_route(&self.shard_names(), key).expect("sink has at least one shard");
+        self.shards[i].1.evict_release(key)
+    }
 }
 
 #[cfg(test)]

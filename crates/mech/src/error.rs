@@ -23,6 +23,12 @@ pub enum MechError {
     EmptyCandidates,
     /// A per-level allocation was requested for zero levels.
     ZeroLevels,
+    /// A budget schedule was asked to charge an epoch it already
+    /// charged (re-publishing an epoch would double-spend its share).
+    EpochAlreadyCharged {
+        /// The epoch index that was already charged.
+        epoch: u64,
+    },
     /// A non-finite score was passed to the exponential mechanism.
     NonFiniteScore {
         /// Index of the offending candidate.
@@ -55,6 +61,9 @@ impl fmt::Display for MechError {
                 write!(f, "exponential mechanism needs at least one candidate")
             }
             MechError::ZeroLevels => write!(f, "allocation needs at least one level"),
+            MechError::EpochAlreadyCharged { epoch } => {
+                write!(f, "epoch {epoch} was already charged against the schedule")
+            }
             MechError::NonFiniteScore { index, score } => {
                 write!(f, "candidate #{index} has non-finite score {score}")
             }

@@ -10,7 +10,11 @@
 //!   sampling, used by the KD-tree baselines to select noisy medians;
 //! * [`PrivacyBudget`] accounting with sequential composition, plus the
 //!   per-level allocation schemes (uniform and geometric) used by the
-//!   hierarchical baselines.
+//!   hierarchical baselines;
+//! * [`BudgetSchedule`] — per-epoch ε allocation for streaming release
+//!   pipelines (uniform over a fixed horizon, or infinite-horizon
+//!   exponential decay), with each epoch charged at most once against
+//!   hard budget accounting.
 //!
 //! # Conventions
 //!
@@ -39,12 +43,14 @@ mod error;
 mod exponential;
 mod geometric;
 mod laplace;
+mod schedule;
 
 pub use budget::{geometric_allocation, uniform_allocation, PrivacyBudget};
 pub use error::MechError;
 pub use exponential::ExponentialMechanism;
 pub use geometric::GeometricMechanism;
 pub use laplace::{Laplace, LaplaceMechanism};
+pub use schedule::{BudgetSchedule, SchedulePolicy};
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, MechError>;

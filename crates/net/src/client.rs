@@ -41,9 +41,9 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use dpgrid_geo::Rect;
 use dpgrid_serve::wire::{
     binary, ErrorCode, HelloOffer, RequestBody, ResponseBody, WireError, WireQuery, WireRect,
-    WireRequest, WireResponse,
+    WireRequest, WireResponse, WireWindow,
 };
-use dpgrid_serve::{EngineStats, QueryRequest, QueryResponse};
+use dpgrid_serve::{EngineStats, QueryRequest, QueryResponse, WindowAnswer};
 
 use std::time::Duration;
 
@@ -398,6 +398,36 @@ impl TcpClient {
         match self.call(RequestBody::Query(query))? {
             ResponseBody::Answers(answers) => Ok(answers.into_response()),
             other => Err(unexpected("Answers", &other)),
+        }
+    }
+
+    /// Answers a sliding-window query: the server sums `keyspace`'s
+    /// released epoch surfaces over the half-open epoch range
+    /// `[epoch_start, epoch_end)` for each rectangle — see
+    /// [`dpgrid_serve::window`] for the coverage contract. The answer
+    /// reports exactly which epoch ranges were summed (compacted
+    /// tiers widen coverage visibly). A window touching no retained
+    /// epoch fails with an `UnknownKey` wire error naming the missing
+    /// range; a pre-`Window` server answers `MalformedRequest` —
+    /// treat it as "feature unsupported", per the versioning policy.
+    pub fn window(
+        &mut self,
+        keyspace: &str,
+        epoch_start: u64,
+        epoch_end: u64,
+        rects: &[Rect],
+    ) -> Result<WindowAnswer> {
+        let window = WireWindow {
+            keyspace: keyspace.to_string(),
+            epoch_start,
+            epoch_end,
+            rects: rects.iter().map(WireRect::from).collect(),
+        };
+        match self.call(RequestBody::Window(window))? {
+            ResponseBody::Window(answers) => answers
+                .into_answer()
+                .map_err(|e| NetError::Protocol(e.to_string())),
+            other => Err(unexpected("Window", &other)),
         }
     }
 

@@ -64,12 +64,16 @@
 //!   larger ids round in transit); `body` is externally
 //!   tagged, one of
 //!   `{"Query": {"release_key": "…", "rects": [{"x0":…,"y0":…,"x1":…,"y1":…}, …]}}`,
-//!   `{"Batch": [query, …]}`, `"Stats"`, `"Keys"`, `"Ping"` or
-//!   `{"Hello": {"max_version": …}}` (negotiation, below).
+//!   `{"Batch": [query, …]}`, `"Stats"`, `"Keys"`, `"Ping"`,
+//!   `{"Hello": {"max_version": …}}` (negotiation, below) or
+//!   `{"Window": {"keyspace": "…", "epoch_start": …, "epoch_end": …,
+//!   "rects": […]}}` (sliding-window sum over epoch releases, below).
 //! * response: `{"protocol_version": 1, "id": 7, "body": …}` — see
 //!   [`dpgrid_serve::wire::WireResponse`]; `body` is one of
 //!   `{"Answers": …}`, `{"Batch": […]}`, `{"Stats": …}`,
-//!   `{"Keys": […]}`, `"Pong"`, `{"Hello": {"version": …}}` or
+//!   `{"Keys": […]}`, `"Pong"`, `{"Hello": {"version": …}}`,
+//!   `{"Window": {"keyspace": "…", "covered": [{"start": …, "end": …},
+//!   …], "answers": […]}}` or
 //!   `{"Error": {"code": "…", "message": "…"}}`.
 //!
 //! JSON string escaping guarantees a frame never contains a raw
@@ -91,7 +95,7 @@
 //! |---------|--------------|----------------------------------------------|
 //! | 0–1     | magic        | `0xD6 0xB2` (can never begin a JSON frame)   |
 //! | 2       | version      | `2`                                          |
-//! | 3       | frame type   | requests `0x01..=0x05`, responses `0x81..=0x86` |
+//! | 3       | frame type   | requests `0x01..=0x06`, responses `0x81..=0x87` |
 //! | 4–11    | id           | `u64` LE — full range, no `2⁵³` ceiling      |
 //! | 12–15   | payload len  | `u32` LE, capped at 16 MiB − 16 B            |
 //!
@@ -110,6 +114,22 @@
 //! NaN/infinite coordinates travel bit-exactly in v2 (unlike JSON's
 //! `null` detour) and are rejected by the same boundary validation, so
 //! codec choice never changes what reaches an engine.
+//!
+//! # Temporal keys and window queries
+//!
+//! Streaming ingestion (`dpgrid-stream`) publishes one release per
+//! time epoch under the key grammar of `dpgrid_core::temporal`:
+//! `{keyspace}@epoch:{i}` for a fine epoch, `{keyspace}@epoch:{s}-{e}`
+//! for a compacted half-open tier. These are ordinary release keys —
+//! they travel through `Query`/`Batch`/`Keys` unchanged, place on
+//! shards by the same rendezvous hash, and `Keys` enumerates every
+//! epoch of a keyspace. The `Window` request kind (JSON `{"Window":…}`
+//! / binary `0x06`, additive within each codec version) asks the
+//! server to resolve and sum the surfaces covering an epoch range in
+//! one round trip: [`TcpClient::window`] on the client side,
+//! `dpgrid_serve::answer_window` behind any server. A pre-`Window`
+//! server rejects the kind as `MalformedRequest` — the standard
+//! "feature unsupported" signal.
 //!
 //! # Error codes
 //!
@@ -353,6 +373,48 @@ mod tests {
         assert!(client.ping().is_err());
         let server = TcpServer::bind(Arc::clone(&engine), addr).unwrap();
         client.ping().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn window_queries_travel_over_both_codecs() {
+        use dpgrid_core::{epoch_key, EpochRange};
+        let keys: Vec<String> = (0..3)
+            .map(|e| epoch_key("taxi", EpochRange::single(e)))
+            .collect();
+        let engine = Arc::new(engine(&[
+            (keys[0].as_str(), 1),
+            (keys[1].as_str(), 2),
+            (keys[2].as_str(), 3),
+        ]));
+        let server = TcpServer::bind(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+        let q = Rect::new(-120.0, 20.0, -90.0, 40.0).unwrap();
+        let expected: f64 = (1..3)
+            .map(|e| {
+                engine
+                    .answer(&QueryRequest::new(keys[e].clone(), vec![q]))
+                    .unwrap()
+                    .answers[0]
+            })
+            .sum();
+        // Binary v2 (negotiated) and pinned JSON v1 must agree.
+        for max_protocol in [2u32, 1] {
+            let mut client =
+                TcpClient::connect_with_protocol(server.local_addr(), max_protocol).unwrap();
+            assert_eq!(client.protocol_version(), Some(max_protocol));
+            let answer = client.window("taxi", 1, 3, &[q]).unwrap();
+            assert_eq!(answer.keyspace, "taxi");
+            assert_eq!(
+                answer.covered,
+                vec![EpochRange::single(1), EpochRange::single(2)]
+            );
+            assert!((answer.answers[0] - expected).abs() <= 1e-9 * (1.0 + expected.abs()));
+            // Uncovered windows come back as typed UnknownKey errors.
+            match client.window("taxi", 10, 12, &[q]) {
+                Err(NetError::Server(e)) => assert_eq!(e.code, ErrorCode::UnknownKey),
+                other => panic!("expected UnknownKey, got {other:?}"),
+            }
+        }
         server.shutdown();
     }
 

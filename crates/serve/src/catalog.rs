@@ -647,6 +647,12 @@ impl ReleaseSink for Catalog {
     fn accept_release(&mut self, key: String, release: Release) {
         self.insert(key, release);
     }
+
+    /// Removes `key` (and de-accounts its resident surface) — the
+    /// retention seam compactors evict expired epoch releases through.
+    fn evict_release(&mut self, key: &str) -> bool {
+        self.remove(key).is_some()
+    }
 }
 
 #[cfg(test)]

@@ -536,6 +536,12 @@ impl ReleaseSink for QueryEngine {
     fn accept_release(&mut self, key: String, release: Release) {
         self.insert(key, release);
     }
+
+    /// Removes `key` from the wrapped catalog; in-flight queries that
+    /// already leased its surface keep answering through their `Arc`.
+    fn evict_release(&mut self, key: &str) -> bool {
+        self.with_catalog(|catalog| catalog.remove(key).is_some())
+    }
 }
 
 #[cfg(test)]

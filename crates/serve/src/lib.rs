@@ -41,6 +41,12 @@
 //!   scatter–gather batching, per-shard error isolation and exact
 //!   merged stats. Publishing places releases with the same hash via
 //!   [`dpgrid_core::ShardedSink`], so build → publish → route agree.
+//! * [`window`] — sliding-window queries over epoch-sliced releases:
+//!   [`window::answer_window`] resolves the `{keyspace}@epoch:{i}`
+//!   surfaces covering a half-open epoch range from any
+//!   [`QueryService`]'s advertised keys, sums them element-wise, and
+//!   reports exactly which epoch ranges were covered (compacted tiers
+//!   widen coverage visibly; uncovered windows fail typed).
 //! * [`wire`] — the versioned wire protocol: single-line JSON
 //!   [`wire::WireRequest`]/[`wire::WireResponse`] frames with boundary
 //!   rectangle validation and stable [`wire::ErrorCode`]s
@@ -92,6 +98,7 @@ mod engine;
 mod error;
 mod service;
 pub mod shard;
+pub mod window;
 pub mod wire;
 
 pub use catalog::{
@@ -102,3 +109,4 @@ pub use engine::{EngineStats, QueryEngine, QueryRequest, QueryResponse, DEFAULT_
 pub use error::{Result, ServeError};
 pub use service::QueryService;
 pub use shard::{LocalShard, RouterStats, Shard, ShardRouter, ShardStats};
+pub use window::{answer_window, WindowAnswer, WindowQuery};

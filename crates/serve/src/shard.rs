@@ -129,6 +129,14 @@ impl dpgrid_core::ReleaseSink for LocalShard {
     fn accept_release(&mut self, key: String, release: dpgrid_core::Release) {
         self.engine.insert(key, release);
     }
+
+    /// Evicts from the wrapped engine's catalog — so a compactor
+    /// publishing through a `ShardedSink` of `LocalShard`s retires
+    /// expired epochs from the same engines a router serves from.
+    fn evict_release(&mut self, key: &str) -> bool {
+        self.engine
+            .with_catalog(|catalog| catalog.remove(key).is_some())
+    }
 }
 
 /// One registered shard plus the router's per-shard traffic counters.

@@ -1,0 +1,297 @@
+//! Sliding-window queries over epoch-sliced releases.
+//!
+//! A streaming ingestor (`dpgrid-stream`) publishes one release per
+//! time epoch under the key grammar of [`dpgrid_core::temporal`]:
+//! `{keyspace}@epoch:{i}` for fine epochs, `{keyspace}@epoch:{s}-{e}`
+//! for compacted tiers. Nothing else about those releases is special —
+//! so a window query needs no new storage, no new engine, and no new
+//! transport: [`answer_window`] resolves the covering epoch surfaces
+//! from the service's *advertised keys*, fans one batch over them, and
+//! sums the per-epoch answers element-wise. It runs identically
+//! against a [`QueryEngine`], a `ShardRouter` fronting a fleet, or a
+//! remote shard — anything implementing [`QueryService`].
+//!
+//! # Window semantics (the epoch-granularity contract)
+//!
+//! Windows are **half-open epoch ranges** `[start, end)`. Callers with
+//! wall-clock windows convert at the edge via
+//! [`dpgrid_core::EpochLayout::window`], which widens partial-epoch
+//! edges *outward* — released surfaces exist only per epoch, so that
+//! is the finest answerable granularity. The response's
+//! [`WindowAnswer::covered`] lists the epoch ranges actually summed:
+//!
+//! * a window overlapping only fine epochs covers exactly those
+//!   epochs;
+//! * a window straddling a **compacted tier** visibly widens to the
+//!   whole tier (the fine surfaces were merged away — the coarser
+//!   tier release is all that exists);
+//! * epochs inside the window that never published (empty at ingest,
+//!   or evicted) simply do not appear in `covered` — absence is
+//!   explicit, not a silent zero;
+//! * a window touching **no** retained epoch of the keyspace fails
+//!   typed with [`ServeError::UnknownRelease`], exactly like querying
+//!   a key that does not exist.
+
+use dpgrid_core::{epoch_key, parse_epoch_key, EpochRange};
+use dpgrid_geo::Rect;
+
+use crate::engine::QueryRequest;
+use crate::error::{Result, ServeError};
+use crate::service::QueryService;
+
+#[allow(unused_imports)] // rustdoc links
+use crate::engine::QueryEngine;
+
+/// A sliding-window query: sum the `keyspace`'s released epoch
+/// surfaces over `[range.start, range.end)` for each rectangle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowQuery {
+    /// The keyspace whose epoch releases are summed (the part of the
+    /// key before `@epoch:`).
+    pub keyspace: String,
+    /// The half-open epoch range the window covers.
+    pub range: EpochRange,
+    /// Query rectangles, answered in order.
+    pub rects: Vec<Rect>,
+}
+
+impl WindowQuery {
+    /// A window over `[start, end)` epochs; `None` unless
+    /// `start < end`.
+    pub fn new(
+        keyspace: impl Into<String>,
+        start: u64,
+        end: u64,
+        rects: Vec<Rect>,
+    ) -> Option<Self> {
+        Some(WindowQuery {
+            keyspace: keyspace.into(),
+            range: EpochRange::new(start, end)?,
+            rects,
+        })
+    }
+}
+
+/// The answer to a [`WindowQuery`]: element-wise sums over the covered
+/// epoch surfaces, plus exactly which surfaces those were.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowAnswer {
+    /// The queried keyspace.
+    pub keyspace: String,
+    /// The epoch ranges actually summed, ascending and disjoint. A
+    /// compacted tier appears as its full range even when the window
+    /// only straddles part of it — coverage coarsens with age, and
+    /// this field is where that becomes visible.
+    pub covered: Vec<EpochRange>,
+    /// One summed estimate per requested rectangle, same order.
+    pub answers: Vec<f64>,
+}
+
+/// Answers a window query against any [`QueryService`] by summing the
+/// covering epoch surfaces — see the [module docs](self) for the
+/// coverage contract.
+///
+/// The service's advertised keys are the source of truth for which
+/// epochs exist; selection is deterministic when retained surfaces
+/// overlap (mid-compaction, a tier and one of its fine epochs can
+/// coexist briefly): wider ranges win, and overlapped fine surfaces
+/// are skipped so no epoch is ever counted twice. Any covering
+/// surface failing to answer (evicted in flight, shed by admission
+/// control) fails the whole window with that surface's typed error —
+/// a partial sum would be indistinguishable from a complete one.
+pub fn answer_window<S: QueryService + ?Sized>(
+    service: &S,
+    query: &WindowQuery,
+) -> Result<WindowAnswer> {
+    let mut covering: Vec<(EpochRange, String)> = service
+        .keys()
+        .into_iter()
+        .filter_map(|key| match parse_epoch_key(&key) {
+            Some((keyspace, range))
+                if keyspace == query.keyspace && range.intersects(&query.range) =>
+            {
+                Some((range, key))
+            }
+            _ => None,
+        })
+        .collect();
+    // Ascending by start; on equal starts the widest first, so the
+    // greedy pass below prefers tiers over not-yet-evicted fine epochs.
+    covering.sort_by(|(a, _), (b, _)| a.start.cmp(&b.start).then(b.end.cmp(&a.end)));
+    let mut selected: Vec<(EpochRange, String)> = Vec::with_capacity(covering.len());
+    for (range, key) in covering {
+        if selected
+            .last()
+            .is_none_or(|(prev, _)| prev.end <= range.start)
+        {
+            selected.push((range, key));
+        }
+    }
+    if selected.is_empty() {
+        return Err(ServeError::UnknownRelease(epoch_key(
+            &query.keyspace,
+            query.range,
+        )));
+    }
+    let requests: Vec<QueryRequest> = selected
+        .iter()
+        .map(|(_, key)| QueryRequest::new(key.clone(), query.rects.clone()))
+        .collect();
+    let mut answers = vec![0.0f64; query.rects.len()];
+    for result in service.answer_batch(&requests) {
+        let response = result?;
+        for (sum, x) in answers.iter_mut().zip(&response.answers) {
+            *sum += x;
+        }
+    }
+    Ok(WindowAnswer {
+        keyspace: query.keyspace.clone(),
+        covered: selected.into_iter().map(|(range, _)| range).collect(),
+        answers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Catalog, QueryEngine};
+    use dpgrid_core::{merge_releases, Method, Pipeline, Release, ReleaseSink, Synopsis};
+    use dpgrid_geo::{generators, Domain};
+    use rand::SeedableRng;
+
+    fn dataset(seed: u64) -> dpgrid_geo::GeoDataset {
+        let domain = Domain::from_corners(0.0, 0.0, 10.0, 10.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        generators::uniform(domain, 1_200, &mut rng)
+    }
+
+    fn publish_epoch(catalog: &mut Catalog, keyspace: &str, epoch: u64) -> Release {
+        let release = Pipeline::new(&dataset(epoch))
+            .epsilon(0.25)
+            .method(Method::ug(8))
+            .seed(100 + epoch)
+            .publish()
+            .unwrap();
+        catalog.insert(
+            epoch_key(keyspace, EpochRange::single(epoch)),
+            release.clone(),
+        );
+        release
+    }
+
+    fn rects() -> Vec<Rect> {
+        vec![
+            Rect::new(0.0, 0.0, 10.0, 10.0).unwrap(),
+            Rect::new(1.3, 2.7, 6.9, 8.1).unwrap(),
+            Rect::new(0.05, 9.0, 9.95, 9.5).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn windows_sum_the_covering_fine_epochs() {
+        let mut catalog = Catalog::new();
+        let fine: Vec<Release> = (0..5)
+            .map(|e| publish_epoch(&mut catalog, "taxi", e))
+            .collect();
+        // An unrelated keyspace and a non-temporal key must not leak in.
+        publish_epoch(&mut catalog, "other", 2);
+        Pipeline::new(&dataset(9))
+            .seed(9)
+            .publish_into(&mut catalog, "taxi")
+            .unwrap();
+        let engine = QueryEngine::new(catalog);
+
+        let query = WindowQuery::new("taxi", 1, 4, rects()).unwrap();
+        let answer = answer_window(&engine, &query).unwrap();
+        assert_eq!(
+            answer.covered,
+            vec![
+                EpochRange::single(1),
+                EpochRange::single(2),
+                EpochRange::single(3)
+            ]
+        );
+        for (i, q) in rects().iter().enumerate() {
+            let expected: f64 = (1..4).map(|e| fine[e as usize].answer(q)).sum();
+            assert!(
+                (answer.answers[i] - expected).abs() <= 1e-9 * (1.0 + expected.abs()),
+                "rect #{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn straddling_a_compacted_tier_widens_coverage_visibly() {
+        let mut catalog = Catalog::new();
+        let fine: Vec<Release> = (0..4)
+            .map(|e| publish_epoch(&mut catalog, "k", e))
+            .collect();
+        // Compact epochs 0..2 into a tier, evicting the fine keys.
+        let tier = merge_releases("tier", &[&fine[0], &fine[1]]).unwrap();
+        catalog.accept_release(epoch_key("k", EpochRange::new(0, 2).unwrap()), tier.clone());
+        assert!(catalog.evict_release(&epoch_key("k", EpochRange::single(0))));
+        assert!(catalog.evict_release(&epoch_key("k", EpochRange::single(1))));
+        let engine = QueryEngine::new(catalog);
+
+        // The window [1, 3) straddles the tier: coverage widens to
+        // [0, 2) ∪ [2, 3) and the answer includes all of epoch 0.
+        let query = WindowQuery::new("k", 1, 3, rects()).unwrap();
+        let answer = answer_window(&engine, &query).unwrap();
+        assert_eq!(
+            answer.covered,
+            vec![EpochRange::new(0, 2).unwrap(), EpochRange::single(2)]
+        );
+        for (i, q) in rects().iter().enumerate() {
+            let expected = tier.answer(q) + fine[2].answer(q);
+            assert!(
+                (answer.answers[i] - expected).abs() <= 1e-9 * (1.0 + expected.abs()),
+                "rect #{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlapping_surfaces_never_double_count() {
+        let mut catalog = Catalog::new();
+        let fine: Vec<Release> = (0..3)
+            .map(|e| publish_epoch(&mut catalog, "k", e))
+            .collect();
+        // Mid-compaction: the tier exists but fine epoch 1 has not
+        // been evicted yet. The wider tier must win; epoch 1 must not
+        // be summed twice.
+        let tier = merge_releases("tier", &[&fine[0], &fine[1]]).unwrap();
+        catalog.accept_release(epoch_key("k", EpochRange::new(0, 2).unwrap()), tier.clone());
+        let engine = QueryEngine::new(catalog);
+        let query = WindowQuery::new("k", 0, 3, rects()).unwrap();
+        let answer = answer_window(&engine, &query).unwrap();
+        assert_eq!(
+            answer.covered,
+            vec![EpochRange::new(0, 2).unwrap(), EpochRange::single(2)]
+        );
+        let q = &rects()[0];
+        let expected = tier.answer(q) + fine[2].answer(q);
+        assert!((answer.answers[0] - expected).abs() <= 1e-9 * (1.0 + expected.abs()));
+    }
+
+    #[test]
+    fn uncovered_windows_fail_typed_not_zero() {
+        let mut catalog = Catalog::new();
+        publish_epoch(&mut catalog, "k", 5);
+        publish_epoch(&mut catalog, "k", 6);
+        let engine = QueryEngine::new(catalog);
+        // Entirely before, entirely after, and wrong-keyspace windows
+        // all fail with UnknownRelease naming the missing epoch key.
+        for (keyspace, start, end) in [("k", 0, 5), ("k", 7, 20), ("nope", 5, 7)] {
+            let query = WindowQuery::new(keyspace, start, end, rects()).unwrap();
+            match answer_window(&engine, &query) {
+                Err(ServeError::UnknownRelease(key)) => {
+                    assert_eq!(key, format!("{keyspace}@epoch:{start}-{end}"));
+                }
+                other => panic!("window [{start},{end}) on {keyspace}: {other:?}"),
+            }
+        }
+        // Empty windows cannot even be constructed.
+        assert!(WindowQuery::new("k", 3, 3, rects()).is_none());
+        assert!(WindowQuery::new("k", 4, 3, rects()).is_none());
+    }
+}

@@ -137,6 +137,128 @@ pub struct WireQuery {
     pub rects: Vec<WireRect>,
 }
 
+/// A sliding-window query as it travels on the wire: a keyspace, a
+/// half-open epoch range, and raw rectangles. Epoch indices — not raw
+/// timestamps — cross the wire; clients convert wall-clock windows at
+/// the edge via [`dpgrid_core::EpochLayout::window`], which implements
+/// the outward-widening epoch-granularity contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireWindow {
+    /// The keyspace whose epoch releases are summed.
+    pub keyspace: String,
+    /// First epoch of the window.
+    pub epoch_start: u64,
+    /// One past the last epoch of the window (must be `> epoch_start`).
+    pub epoch_end: u64,
+    /// Query rectangles, answered in order.
+    pub rects: Vec<WireRect>,
+}
+
+impl WireWindow {
+    /// Builds the wire form of an in-process
+    /// [`WindowQuery`](crate::window::WindowQuery).
+    pub fn from_query(query: &crate::window::WindowQuery) -> Self {
+        WireWindow {
+            keyspace: query.keyspace.clone(),
+            epoch_start: query.range.start,
+            epoch_end: query.range.end,
+            rects: query.rects.iter().map(WireRect::from).collect(),
+        }
+    }
+
+    /// Validates the raw window into a typed
+    /// [`WindowQuery`](crate::window::WindowQuery): the epoch range
+    /// must be non-empty and every rectangle well-formed, rejected
+    /// with [`ServeError::InvalidQuery`] otherwise.
+    pub fn validate(&self) -> crate::Result<crate::window::WindowQuery> {
+        let range =
+            dpgrid_core::EpochRange::new(self.epoch_start, self.epoch_end).ok_or_else(|| {
+                ServeError::InvalidQuery(format!(
+                    "window epoch range [{}, {}) is empty",
+                    self.epoch_start, self.epoch_end
+                ))
+            })?;
+        let mut rects = Vec::with_capacity(self.rects.len());
+        for (i, r) in self.rects.iter().enumerate() {
+            rects.push(r.validate().map_err(|e| match e {
+                ServeError::InvalidQuery(why) => {
+                    ServeError::InvalidQuery(format!("rect #{i}: {why}"))
+                }
+                other => other,
+            })?);
+        }
+        Ok(crate::window::WindowQuery {
+            keyspace: self.keyspace.clone(),
+            range,
+            rects,
+        })
+    }
+}
+
+/// One covered epoch range inside a [`WireWindowAnswers`], as plain
+/// wire integers (half-open, `start < end`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireEpochSpan {
+    /// First epoch covered.
+    pub start: u64,
+    /// One past the last epoch covered.
+    pub end: u64,
+}
+
+/// The answers to one [`WireWindow`]: element-wise sums over the
+/// covered epoch surfaces plus exactly which ranges those were (a
+/// window straddling a compacted tier visibly widens here).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireWindowAnswers {
+    /// The queried keyspace.
+    pub keyspace: String,
+    /// Epoch ranges actually summed, ascending and disjoint.
+    pub covered: Vec<WireEpochSpan>,
+    /// One summed estimate per requested rectangle, same order.
+    pub answers: Vec<f64>,
+}
+
+impl WireWindowAnswers {
+    /// Builds the wire form of an in-process
+    /// [`WindowAnswer`](crate::window::WindowAnswer).
+    pub fn from_answer(answer: &crate::window::WindowAnswer) -> Self {
+        WireWindowAnswers {
+            keyspace: answer.keyspace.clone(),
+            covered: answer
+                .covered
+                .iter()
+                .map(|r| WireEpochSpan {
+                    start: r.start,
+                    end: r.end,
+                })
+                .collect(),
+            answers: answer.answers.clone(),
+        }
+    }
+
+    /// The in-process answer this frame carries. Fails with
+    /// [`ServeError::InvalidQuery`] when a span is empty or inverted
+    /// (a malformed peer; typed ranges cannot represent it).
+    pub fn into_answer(self) -> crate::Result<crate::window::WindowAnswer> {
+        let mut covered = Vec::with_capacity(self.covered.len());
+        for span in &self.covered {
+            covered.push(
+                dpgrid_core::EpochRange::new(span.start, span.end).ok_or_else(|| {
+                    ServeError::InvalidQuery(format!(
+                        "covered span [{}, {}) is empty",
+                        span.start, span.end
+                    ))
+                })?,
+            );
+        }
+        Ok(crate::window::WindowAnswer {
+            keyspace: self.keyspace,
+            covered,
+            answers: self.answers,
+        })
+    }
+}
+
 impl WireQuery {
     /// Builds the wire form of an in-process [`QueryRequest`].
     pub fn from_request(request: &QueryRequest) -> Self {
@@ -197,6 +319,12 @@ pub enum RequestBody {
     /// `MalformedRequest`, which clients treat as "feature
     /// unsupported".
     Keys,
+    /// Answer a sliding-window query over a keyspace's epoch-sliced
+    /// releases (see [`crate::window`]), answered with
+    /// [`ResponseBody::Window`]. Added within protocol version 1,
+    /// same policy as `Keys`: a pre-`Window` server answers it with
+    /// `MalformedRequest`.
+    Window(WireWindow),
     /// Liveness / protocol check; answered with
     /// [`ResponseBody::Pong`].
     Ping,
@@ -282,6 +410,8 @@ pub enum ResponseBody {
     Stats(EngineStats),
     /// The service's advertised release keys ([`RequestBody::Keys`]).
     Keys(Vec<String>),
+    /// Summed window answers to a [`RequestBody::Window`].
+    Window(WireWindowAnswers),
     /// Reply to [`RequestBody::Ping`].
     Pong,
     /// The negotiation answer to a [`RequestBody::Hello`].
@@ -607,6 +737,16 @@ pub fn dispatch<S: QueryService + ?Sized>(service: &S, id: u64, body: RequestBod
         RequestBody::Hello(offer) => hello_ack(id, negotiate(offer.max_version, PROTOCOL_VERSION)),
         RequestBody::Stats => WireResponse::new(id, ResponseBody::Stats(service.stats())),
         RequestBody::Keys => WireResponse::new(id, ResponseBody::Keys(service.keys())),
+        RequestBody::Window(window) => match window.validate() {
+            Err(e) => WireResponse::error(id, WireError::from_serve(&e)),
+            Ok(query) => match crate::window::answer_window(service, &query) {
+                Ok(answer) => WireResponse::new(
+                    id,
+                    ResponseBody::Window(WireWindowAnswers::from_answer(&answer)),
+                ),
+                Err(e) => WireResponse::error(id, WireError::from_serve(&e)),
+            },
+        },
         RequestBody::Query(query) => match query.validate() {
             Err(e) => WireResponse::error(id, WireError::from_serve(&e)),
             Ok(request) => {
@@ -948,5 +1088,131 @@ mod tests {
         let line = WireResponse::error(4, e.clone()).encode();
         let back = WireResponse::decode(&line).unwrap();
         assert_eq!(back.body, ResponseBody::Error(e));
+    }
+
+    fn epoch_engine() -> QueryEngine {
+        let ds = PaperDataset::Storage.generate_n(11, 1_500).unwrap();
+        let mut catalog = Catalog::new();
+        for epoch in 0..4u64 {
+            Pipeline::new(&ds)
+                .method(Method::ug(8))
+                .seed(epoch)
+                .publish_into(
+                    &mut catalog,
+                    dpgrid_core::epoch_key("taxi", dpgrid_core::EpochRange::single(epoch)),
+                )
+                .unwrap();
+        }
+        QueryEngine::new(catalog)
+    }
+
+    #[test]
+    fn window_frames_roundtrip_and_dispatch() {
+        let request = WireRequest::new(
+            5,
+            RequestBody::Window(WireWindow {
+                keyspace: "taxi".into(),
+                epoch_start: 1,
+                epoch_end: 3,
+                rects: vec![WireRect {
+                    x0: -130.0,
+                    y0: 10.0,
+                    x1: -70.0,
+                    y1: 50.0,
+                }],
+            }),
+        );
+        let line = request.encode();
+        assert!(!line.contains('\n'));
+        assert_eq!(WireRequest::decode(&line).unwrap(), request);
+
+        let engine = epoch_engine();
+        let response = handle_frame(&engine, &line);
+        assert_eq!(response.id, 5);
+        let ResponseBody::Window(answers) = response.body else {
+            panic!("expected window answers, got {:?}", response.body);
+        };
+        assert_eq!(answers.keyspace, "taxi");
+        assert_eq!(
+            answers.covered,
+            vec![
+                WireEpochSpan { start: 1, end: 2 },
+                WireEpochSpan { start: 2, end: 3 }
+            ]
+        );
+        assert_eq!(answers.answers.len(), 1);
+        // The summed answer survives its own wire round trip.
+        let line = WireResponse::new(5, ResponseBody::Window(answers.clone())).encode();
+        let back = WireResponse::decode(&line).unwrap();
+        assert_eq!(back.body, ResponseBody::Window(answers));
+    }
+
+    #[test]
+    fn window_errors_travel_as_stable_codes() {
+        let engine = epoch_engine();
+        // Empty epoch range: rejected at the boundary as InvalidQuery.
+        let response = handle_frame(
+            &engine,
+            &WireRequest::new(
+                6,
+                RequestBody::Window(WireWindow {
+                    keyspace: "taxi".into(),
+                    epoch_start: 3,
+                    epoch_end: 3,
+                    rects: vec![],
+                }),
+            )
+            .encode(),
+        );
+        let ResponseBody::Error(e) = response.body else {
+            panic!("expected error");
+        };
+        assert_eq!(e.code, ErrorCode::InvalidQuery);
+
+        // A window past every retained epoch is UnknownKey, naming the
+        // missing epoch range.
+        let response = handle_frame(
+            &engine,
+            &WireRequest::new(
+                7,
+                RequestBody::Window(WireWindow {
+                    keyspace: "taxi".into(),
+                    epoch_start: 10,
+                    epoch_end: 12,
+                    rects: vec![],
+                }),
+            )
+            .encode(),
+        );
+        let ResponseBody::Error(e) = response.body else {
+            panic!("expected error");
+        };
+        assert_eq!(e.code, ErrorCode::UnknownKey);
+        assert!(e.message.contains("taxi@epoch:10-12"), "{}", e.message);
+
+        // Malformed rects fail validation before touching the engine.
+        let response = handle_frame(
+            &engine,
+            &WireRequest::new(
+                8,
+                RequestBody::Window(WireWindow {
+                    keyspace: "taxi".into(),
+                    epoch_start: 0,
+                    epoch_end: 4,
+                    rects: vec![WireRect {
+                        x0: 5.0,
+                        y0: 0.0,
+                        x1: -5.0,
+                        y1: 1.0,
+                    }],
+                }),
+            )
+            .encode(),
+        );
+        let ResponseBody::Error(e) = response.body else {
+            panic!("expected error");
+        };
+        assert_eq!(e.code, ErrorCode::InvalidQuery);
+        assert!(e.message.contains("rect #0"), "{}", e.message);
     }
 }

@@ -38,17 +38,23 @@
 //! | `0x03` | Stats request    | empty                              |
 //! | `0x04` | Keys request     | empty                              |
 //! | `0x05` | Ping             | empty                              |
+//! | `0x06` | Window           | window                             |
 //! | `0x81` | Answers          | answers                            |
 //! | `0x82` | Batch response   | `u32` n, n × outcome               |
 //! | `0x83` | Stats response   | 15 × `u64` counters                |
 //! | `0x84` | Keys response    | `u32` n, n × string                |
 //! | `0x85` | Pong             | empty                              |
 //! | `0x86` | Error            | error                              |
+//! | `0x87` | Window response  | window answers                     |
 //!
 //! Composite payload grammar (`str` = `u32` length + UTF-8 bytes,
 //! `rect` = 4 × `f64` as `x0 y0 x1 y1`):
 //!
 //! * query   = `str` key, `u32` n, n × rect
+//! * window  = `str` keyspace, `u64` epoch_start, `u64` epoch_end,
+//!   `u32` n, n × rect
+//! * window answers = `str` keyspace, `u32` m, m × (`u64` start,
+//!   `u64` end), `u32` n, n × `f64`
 //! * answers = `str` key, `u64` version, `u8` cache (0 warm, 1 cold),
 //!   `u32` n, n × `f64`
 //! * outcome = `u8` tag (0 answered, 1 failed) + answers / error
@@ -78,8 +84,9 @@
 //! back ([`append_request`]) to pipeline many requests into one write.
 
 use super::{
-    ErrorCode, OverloadInfo, RequestBody, ResponseBody, WireAnswers, WireError, WireOutcome,
-    WireQuery, WireRect, WireRequest, WireResponse, MAX_FRAME_BYTES,
+    ErrorCode, OverloadInfo, RequestBody, ResponseBody, WireAnswers, WireEpochSpan, WireError,
+    WireOutcome, WireQuery, WireRect, WireRequest, WireResponse, WireWindow, WireWindowAnswers,
+    MAX_FRAME_BYTES,
 };
 use crate::catalog::{CacheState, CatalogStats};
 use crate::engine::EngineStats;
@@ -116,6 +123,8 @@ pub mod frame_type {
     pub const KEYS: u8 = 0x04;
     /// [`crate::wire::RequestBody::Ping`].
     pub const PING: u8 = 0x05;
+    /// [`crate::wire::RequestBody::Window`].
+    pub const WINDOW: u8 = 0x06;
     /// [`crate::wire::ResponseBody::Answers`].
     pub const ANSWERS: u8 = 0x81;
     /// [`crate::wire::ResponseBody::Batch`].
@@ -128,6 +137,8 @@ pub mod frame_type {
     pub const PONG: u8 = 0x85;
     /// [`crate::wire::ResponseBody::Error`].
     pub const ERROR: u8 = 0x86;
+    /// [`crate::wire::ResponseBody::Window`].
+    pub const WINDOW_RESPONSE: u8 = 0x87;
 }
 
 /// The stable wire byte of each [`ErrorCode`] — append-only, the
@@ -330,6 +341,16 @@ fn append_request_payload(body: &RequestBody, out: &mut Vec<u8>) -> Result<u8, W
         RequestBody::Stats => frame_type::STATS,
         RequestBody::Keys => frame_type::KEYS,
         RequestBody::Ping => frame_type::PING,
+        RequestBody::Window(window) => {
+            put_str(out, &window.keyspace);
+            put_u64(out, window.epoch_start);
+            put_u64(out, window.epoch_end);
+            put_u32(out, window.rects.len());
+            for rect in &window.rects {
+                put_rect(out, rect);
+            }
+            frame_type::WINDOW
+        }
         RequestBody::Hello(_) => {
             return Err(malformed(
                 "Hello frames negotiate the codec and always travel as JSON v1",
@@ -376,6 +397,19 @@ fn append_response_payload(body: &ResponseBody, out: &mut Vec<u8>) -> Result<u8,
             put_error(out, error);
             frame_type::ERROR
         }
+        ResponseBody::Window(answers) => {
+            put_str(out, &answers.keyspace);
+            put_u32(out, answers.covered.len());
+            for span in &answers.covered {
+                put_u64(out, span.start);
+                put_u64(out, span.end);
+            }
+            put_u32(out, answers.answers.len());
+            for &x in &answers.answers {
+                put_f64(out, x);
+            }
+            frame_type::WINDOW_RESPONSE
+        }
         ResponseBody::Hello(_) => {
             return Err(malformed(
                 "Hello frames negotiate the codec and always travel as JSON v1",
@@ -404,6 +438,22 @@ pub fn decode_request(header: &FrameHeader, payload: &[u8]) -> Result<WireReques
         frame_type::STATS => RequestBody::Stats,
         frame_type::KEYS => RequestBody::Keys,
         frame_type::PING => RequestBody::Ping,
+        frame_type::WINDOW => {
+            let keyspace = r.string()?;
+            let epoch_start = r.u64()?;
+            let epoch_end = r.u64()?;
+            let n = r.len_prefix_of("rect", 32)?;
+            let mut rects = Vec::with_capacity(n);
+            for _ in 0..n {
+                rects.push(r.rect()?);
+            }
+            RequestBody::Window(WireWindow {
+                keyspace,
+                epoch_start,
+                epoch_end,
+                rects,
+            })
+        }
         other => {
             return Err(malformed(format!(
                 "frame type {other:#04x} is not a request"
@@ -447,6 +497,27 @@ pub fn decode_response(header: &FrameHeader, payload: &[u8]) -> Result<WireRespo
         }
         frame_type::PONG => ResponseBody::Pong,
         frame_type::ERROR => ResponseBody::Error(r.error()?),
+        frame_type::WINDOW_RESPONSE => {
+            let keyspace = r.string()?;
+            let m = r.len_prefix_of("covered span", 16)?;
+            let mut covered = Vec::with_capacity(m);
+            for _ in 0..m {
+                covered.push(WireEpochSpan {
+                    start: r.u64()?,
+                    end: r.u64()?,
+                });
+            }
+            let n = r.len_prefix_of("answer", 8)?;
+            let mut answers = Vec::with_capacity(n);
+            for _ in 0..n {
+                answers.push(r.f64()?);
+            }
+            ResponseBody::Window(WireWindowAnswers {
+                keyspace,
+                covered,
+                answers,
+            })
+        }
         other => {
             return Err(malformed(format!(
                 "frame type {other:#04x} is not a response"
@@ -789,6 +860,56 @@ mod tests {
         }
         let response = WireResponse::new(7, ResponseBody::Pong);
         assert_eq!(roundtrip_response(&response).body, response.body);
+    }
+
+    #[test]
+    fn window_frames_roundtrip() {
+        let request = WireRequest::new(
+            41,
+            RequestBody::Window(WireWindow {
+                keyspace: "taxi@西".into(),
+                epoch_start: 3,
+                epoch_end: u64::MAX - 1,
+                rects: vec![WireRect {
+                    x0: -130.0,
+                    y0: 10.0,
+                    x1: -70.0,
+                    y1: 50.0,
+                }],
+            }),
+        );
+        assert_eq!(roundtrip_request(&request).body, request.body);
+
+        let response = WireResponse::new(
+            41,
+            ResponseBody::Window(WireWindowAnswers {
+                keyspace: "taxi@西".into(),
+                covered: vec![
+                    WireEpochSpan { start: 0, end: 4 },
+                    WireEpochSpan { start: 4, end: 5 },
+                ],
+                answers: vec![12.5, -0.25, 0.0],
+            }),
+        );
+        assert_eq!(roundtrip_response(&response).body, response.body);
+
+        // Hostile span counts are rejected before allocation, like
+        // every other length prefix in this codec.
+        let mut payload = Vec::new();
+        put_str(&mut payload, "k");
+        put_u32(&mut payload, 1 << 30);
+        let header = FrameHeader {
+            frame_type: frame_type::WINDOW_RESPONSE,
+            id: 1,
+            payload_len: payload.len(),
+        };
+        let err = decode_response(&header, &payload).unwrap_err();
+        assert_eq!(err.code, ErrorCode::MalformedRequest);
+        assert!(
+            err.message.contains("covered span count"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`eval`] | `dpgrid-eval` | query workloads, error metrics, the experiment harness |
 //! | [`serve`] | `dpgrid-serve` | the multi-release serving engine: the memory-budgeted release `Catalog`, the batched `QueryEngine` frontend with admission control, the transport-facing `QueryService` trait, the versioned wire protocol (`serve::wire`) and the sharded serving tier (`serve::shard`) |
 //! | [`net`] | `dpgrid-net` | the TCP transport: thread-per-connection `TcpServer`, reconnecting `TcpClient`/`TcpClientPool`, and the `RemoteShard` leg of the sharded tier |
+//! | [`stream`] | `dpgrid-stream` | the temporal subsystem: streaming ingestion into epoch-sliced releases under a `BudgetSchedule`, plus tiered compaction of expired epochs |
 //!
 //! # One publishing API: build → publish → serve
 //!
@@ -115,6 +116,39 @@
 //! for the equivalence guarantee (a 4-shard router answers mixed
 //! batches identically to one engine holding everything).
 //!
+//! # The temporal subsystem: streams, epochs, windows
+//!
+//! Timestamped point streams enter through [`stream`]
+//! (crate `dpgrid-stream`) and come out the same serving stack as
+//! static releases:
+//!
+//! * a [`stream::StreamIngestor`] stages points into bounded
+//!   per-epoch buffers (an [`core::EpochLayout`] maps timestamps to
+//!   epoch indices), tracks an event-time watermark with configurable
+//!   allowed lateness, and — as epochs seal — publishes **one release
+//!   per epoch** through the ordinary [`core::Pipeline`] into any
+//!   [`core::ReleaseSink`], under the epoch-key grammar
+//!   `{keyspace}@epoch:{i}` of [`core::temporal`];
+//! * each epoch's ε comes from a [`mech::BudgetSchedule`] — uniform
+//!   shares over a fixed horizon, or exponentially decaying shares
+//!   summing to the total over an infinite stream — charged exactly
+//!   once per epoch (late arrivals and exhausted budgets fail typed,
+//!   never silently overspend);
+//! * a [`stream::Compactor`] merges expired fine epochs into coarser
+//!   tiers (`{keyspace}@epoch:{s}-{e}`) via [`core::merge_releases`]
+//!   — pure post-processing, ε-free — publishing the tier before
+//!   evicting the fine releases so coverage never transiently drops;
+//! * sliding-window queries resolve and sum the covering epoch
+//!   surfaces through [`serve::answer_window`] against any
+//!   [`serve::QueryService`], or in one round trip over TCP via
+//!   [`net::TcpClient::window`] (wire kind `Window`, additive in both
+//!   codecs). Answers report exactly which epoch ranges were summed,
+//!   so compaction's coarsening stays visible.
+//!
+//! See `examples/streaming_window.rs` for the loop (ingest → seal →
+//! window ≡ per-epoch sums) and `tests/streaming_temporal.rs` for the
+//! end-to-end guarantee over the full TCP front door.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -155,6 +189,7 @@ pub use dpgrid_geo as geo;
 pub use dpgrid_mech as mech;
 pub use dpgrid_net as net;
 pub use dpgrid_serve as serve;
+pub use dpgrid_stream as stream;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -162,17 +197,19 @@ pub mod prelude {
         HierarchicalGrid, HierarchyConfig, KdConfig, KdHybrid, KdStandard, Privelet, PriveletConfig,
     };
     pub use dpgrid_core::{
-        AdaptiveGrid, AgConfig, CompiledSurface, GridSize, Method, NoiseKind, Pipeline, Release,
-        ReleaseMetadata, ReleaseSink, ShardedSink, UgConfig, UniformGrid,
+        epoch_key, merge_releases, parse_epoch_key, AdaptiveGrid, AgConfig, CompiledSurface,
+        EpochLayout, EpochRange, GridSize, Method, NoiseKind, Pipeline, Release, ReleaseMetadata,
+        ReleaseSink, ShardedSink, UgConfig, UniformGrid,
     };
     pub use dpgrid_geo::generators::PaperDataset;
     pub use dpgrid_geo::{
         Build, DenseGrid, Domain, DpError, GeoDataset, Point, PointIndex, Rect, Synopsis,
     };
-    pub use dpgrid_mech::{LaplaceMechanism, PrivacyBudget};
+    pub use dpgrid_mech::{BudgetSchedule, LaplaceMechanism, PrivacyBudget};
     pub use dpgrid_net::{RemoteShard, TcpClient, TcpClientPool, TcpServer};
     pub use dpgrid_serve::{
-        Catalog, EngineStats, LocalShard, QueryEngine, QueryRequest, QueryResponse, QueryService,
-        RouterStats, ServeError, Shard, ShardRouter,
+        answer_window, Catalog, EngineStats, LocalShard, QueryEngine, QueryRequest, QueryResponse,
+        QueryService, RouterStats, ServeError, Shard, ShardRouter, WindowAnswer, WindowQuery,
     };
+    pub use dpgrid_stream::{Compactor, StreamIngestor};
 }

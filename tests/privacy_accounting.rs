@@ -102,6 +102,124 @@ fn composition_rejects_overdraft() {
 }
 
 #[test]
+fn uniform_schedule_epoch_splits_sum_to_the_total() {
+    // A uniform schedule over a fixed horizon hands every epoch an
+    // equal share, the shares sum to exactly the configured total,
+    // and the horizon is hard: epoch `n` is a typed refusal.
+    use dpgrid::mech::MechError;
+    let total = 1.0;
+    let epochs: u64 = 8;
+    let mut schedule = BudgetSchedule::uniform(total, epochs as usize).unwrap();
+    let mut sum = 0.0;
+    for epoch in 0..epochs {
+        let share = schedule.epsilon_for(epoch).unwrap();
+        assert!(
+            (share - total / epochs as f64).abs() < 1e-12,
+            "epoch {epoch} share {share}"
+        );
+        assert_eq!(schedule.spend_epoch(epoch).unwrap(), share);
+        sum += share;
+    }
+    assert!((sum - total).abs() < 1e-12, "shares sum to {sum}");
+    assert!((schedule.spent() - total).abs() < 1e-12);
+    assert!(schedule.remaining() < 1e-12);
+    assert!(matches!(
+        schedule.spend_epoch(epochs),
+        Err(MechError::BudgetExhausted { .. })
+    ));
+    // Charged-once: no epoch can be billed twice.
+    assert!(matches!(
+        schedule.spend_epoch(3),
+        Err(MechError::EpochAlreadyCharged { epoch: 3 })
+    ));
+}
+
+#[test]
+fn decay_schedule_epoch_splits_sum_to_the_total() {
+    // The exponential-decay schedule never exceeds its total on any
+    // prefix, and the infinite-horizon sum converges to it: the first
+    // k shares sum to total · (1 − r^k).
+    let total = 2.0;
+    let decay = 0.7;
+    let mut schedule = BudgetSchedule::exponential_decay(total, decay).unwrap();
+    let mut sum = 0.0;
+    for epoch in 0..200u64 {
+        sum += schedule.spend_epoch(epoch).unwrap();
+        assert!(
+            sum <= total + 1e-12,
+            "prefix through epoch {epoch} overspends: {sum}"
+        );
+    }
+    let expected = total * (1.0 - decay.powi(200));
+    assert!(
+        (sum - expected).abs() < 1e-9,
+        "200-epoch prefix {sum}, expected {expected}"
+    );
+    assert!((sum - total).abs() < 1e-9, "200 epochs ≈ the total");
+    // Shares decay geometrically: ε_{i+1} = r · ε_i.
+    let e0 = BudgetSchedule::exponential_decay(total, decay)
+        .unwrap()
+        .epsilon_for(0)
+        .unwrap();
+    let e1 = BudgetSchedule::exponential_decay(total, decay)
+        .unwrap()
+        .epsilon_for(1)
+        .unwrap();
+    assert!((e1 / e0 - decay).abs() < 1e-12);
+}
+
+#[test]
+fn streamed_releases_carry_their_scheduled_epoch_shares() {
+    // End-to-end accounting: releases published by the ingestor carry
+    // exactly the ε the schedule assigned their epoch, and the ledger
+    // equals the sum of published ε — under both policies.
+    use dpgrid::core::parse_epoch_key;
+    use dpgrid::stream::StreamIngestor;
+    use std::collections::HashMap;
+
+    let domain = Domain::from_corners(0.0, 0.0, 10.0, 10.0).unwrap();
+    let layout = dpgrid::core::EpochLayout::new(0.0, 60.0).unwrap();
+    let schedules = [
+        BudgetSchedule::uniform(1.0, 10).unwrap(),
+        BudgetSchedule::exponential_decay(1.0, 0.5).unwrap(),
+    ];
+    for schedule in schedules {
+        let mut ingestor = StreamIngestor::new("acct", domain, layout, schedule)
+            .unwrap()
+            .with_seed(7);
+        let mut sink: HashMap<String, Release> = HashMap::new();
+        for epoch in 0..6u64 {
+            for i in 0..40u64 {
+                let t = (epoch * 60 + (i % 60)) as f64;
+                let p = Point::new(0.1 + (i as f64 % 9.0), 0.2 + ((i / 9) as f64 % 9.0));
+                ingestor.push(p, t, &mut sink).unwrap();
+            }
+        }
+        ingestor.flush(&mut sink).unwrap();
+
+        let reference = ingestor.schedule();
+        let mut published_sum = 0.0;
+        assert_eq!(sink.len(), 6);
+        for (key, release) in &sink {
+            let (_, range) = parse_epoch_key(key).expect("epoch key");
+            let assigned = reference.epsilon_for(range.start).unwrap();
+            assert!(
+                (release.epsilon() - assigned).abs() < 1e-12,
+                "{key}: released ε {} vs scheduled {assigned}",
+                release.epsilon()
+            );
+            published_sum += release.epsilon();
+        }
+        assert!(
+            (reference.spent() - published_sum).abs() < 1e-12,
+            "ledger {} vs published {published_sum}",
+            reference.spent()
+        );
+        assert!(reference.spent() <= reference.total() + 1e-12);
+    }
+}
+
+#[test]
 fn epsilon_scales_error_inversely() {
     // Build UG at ε and 10ε over the same data; the bigger budget's
     // answers must be roughly 10× closer on average (pure noise regime).

@@ -148,4 +148,53 @@ proptest! {
         let leaf_total: f64 = ag.cells().iter().map(|(_, v)| v).sum();
         prop_assert!((ag.answer(&whole) - leaf_total).abs() < 1e-6);
     }
+
+    /// Epoch-suffixed keys round-trip through the temporal key grammar
+    /// and place deterministically under rendezvous routing: the same
+    /// key always lands on the same shard, and the parsed form loses
+    /// nothing.
+    #[test]
+    fn epoch_keys_roundtrip_and_route_deterministically(
+        ks_seed in 0u64..10_000,
+        ks_len in 1usize..12,
+        start in 0u64..1_000_000,
+        span in 1u64..100,
+        shards in 1usize..8,
+    ) {
+        use dpgrid::core::rendezvous_route;
+        // Keyspace names drawn from a mixed alphabet (including '@'
+        // and '-', which also appear in the epoch suffix grammar).
+        const ALPHABET: &[u8] = b"abcz019_-@.";
+        let keyspace: String = (0..ks_len)
+            .map(|i| {
+                let idx = (ks_seed.wrapping_mul(31).wrapping_add(i as u64 * 7)) as usize;
+                ALPHABET[idx % ALPHABET.len()] as char
+            })
+            .collect();
+        let range = EpochRange::new(start, start + span).unwrap();
+        let key = epoch_key(&keyspace, range);
+        // Round-trip: parsing recovers exactly what was encoded.
+        let (parsed_keyspace, parsed_range) =
+            parse_epoch_key(&key).expect("epoch keys always parse");
+        prop_assert_eq!(parsed_keyspace, keyspace.as_str());
+        prop_assert_eq!(parsed_range, range);
+        // Determinism: routing the same key twice over the same shard
+        // list picks the same shard, and every epoch key routes
+        // somewhere whenever shards exist.
+        let names: Vec<String> = (0..shards).map(|i| format!("shard-{i}")).collect();
+        let first = rendezvous_route(&names, &key);
+        prop_assert!(first.is_some());
+        prop_assert_eq!(rendezvous_route(&names, &key), first);
+        prop_assert!(first.unwrap() < shards);
+        // Stability under growth: adding a shard either keeps the key
+        // in place or moves it to the new shard — never reshuffles it
+        // onto another existing shard (the rendezvous property).
+        let mut grown = names.clone();
+        grown.push("shard-new".to_string());
+        let after = rendezvous_route(&grown, &key).unwrap();
+        prop_assert!(
+            after == first.unwrap() || after == shards,
+            "key moved from {:?} to {} on growth", first, after
+        );
+    }
 }
