@@ -6,27 +6,35 @@
 //! serves them through a `TcpServer` over a `QueryEngine`, and
 //! measures end-to-end queries/sec through real loopback sockets —
 //! frame encode, TCP round trip, boundary validation, engine answer,
-//! frame decode — under the two axes that matter for a thread-per-
-//! connection transport: **1 vs N concurrent client connections**, and
-//! **codec × pipelining** (JSON v1 frames, binary v2 frames, binary v2
-//! with all of a connection's frames written in one pipelined burst).
-//! Every row records the protocol version its clients actually
-//! negotiated.
+//! frame decode — under the three axes that matter for a serving
+//! transport:
 //!
-//! Medians are recorded to `BENCH_net_throughput.json` at the
-//! workspace root (same shape as `BENCH_serve_throughput.json`) so the
-//! transport perf trajectory is tracked in-repo. The in-process
+//! * **server mode**: the readiness-multiplexed default vs the
+//!   thread-per-connection reference (`ServerMode`), every row tagged
+//!   with which one it ran against;
+//! * **concurrency**: 1, 16 and 64 concurrent client connections,
+//!   plus an *idle-crowd* row — the busy measurement repeated with 256
+//!   idle connections parked on the same server, which prices what a
+//!   mostly-idle connection costs each backend;
+//! * **codec × pipelining**: JSON v1 frames, binary v2 frames, binary
+//!   v2 with all of a connection's frames written in one burst.
+//!
+//! Every row records the protocol version its clients actually
+//! negotiated. Medians are recorded to `BENCH_net_throughput.json` at
+//! the workspace root (same shape as `BENCH_serve_throughput.json`) so
+//! the transport perf trajectory is tracked in-repo. The in-process
 //! `warm_w1` row of `BENCH_serve_throughput.json` is the natural
 //! baseline: the gap between the two files is the price of the wire.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Instant;
 
 use dpgrid_bench::{bench_dataset, bench_rng};
 use dpgrid_core::{AdaptiveGrid, AgConfig, Release, UgConfig, UniformGrid};
 use dpgrid_geo::Rect;
-use dpgrid_net::{TcpClient, TcpServer};
+use dpgrid_net::{ServerMode, TcpClient, TcpServer};
 use dpgrid_serve::{Catalog, QueryEngine, QueryRequest};
 use rand::Rng;
 
@@ -36,6 +44,8 @@ const EPS: f64 = 1.0;
 const RECTS_PER_REQUEST: usize = 512;
 /// Frames each connection sends per measured pass.
 const FRAMES_PER_CONN: usize = 8;
+/// Parked connections for the idle-crowd rows.
+const IDLE_CROWD: usize = 256;
 
 fn serve_releases() -> Vec<(String, Release)> {
     let dataset = bench_dataset(N);
@@ -78,22 +88,30 @@ struct Variant {
     pipelined: bool,
 }
 
-const VARIANTS: [Variant; 3] = [
-    Variant {
-        tag: "v1",
-        max_protocol: 1,
-        pipelined: false,
-    },
-    Variant {
-        tag: "v2",
-        max_protocol: 2,
-        pipelined: false,
-    },
-    Variant {
-        tag: "v2_pipe",
-        max_protocol: 2,
-        pipelined: true,
-    },
+const V1: Variant = Variant {
+    tag: "v1",
+    max_protocol: 1,
+    pipelined: false,
+};
+const V2: Variant = Variant {
+    tag: "v2",
+    max_protocol: 2,
+    pipelined: false,
+};
+const V2_PIPE: Variant = Variant {
+    tag: "v2_pipe",
+    max_protocol: 2,
+    pipelined: true,
+};
+
+/// The measured concurrency ladder: the full codec matrix at one
+/// connection (where per-frame cost dominates), the binary variants at
+/// 16 and the pipelined one at 64 (where scheduling dominates and the
+/// codec question is already settled).
+const LADDER: [(usize, &[Variant]); 3] = [
+    (1, &[V1, V2, V2_PIPE]),
+    (16, &[V2, V2_PIPE]),
+    (64, &[V2_PIPE]),
 ];
 
 /// One pass: `conns` client threads, each sending `FRAMES_PER_CONN`
@@ -144,7 +162,7 @@ fn measure_ns(
     variant: Variant,
 ) -> f64 {
     let mut samples = Vec::new();
-    let budget = std::time::Duration::from_millis(1_500);
+    let budget = std::time::Duration::from_millis(1_200);
     let start = Instant::now();
     while start.elapsed() < budget || samples.len() < 5 {
         samples.push(pass_ns(addr, keys, rects, conns, variant));
@@ -158,7 +176,9 @@ fn measure_ns(
 
 struct Row {
     label: String,
+    server: &'static str,
     conns: usize,
+    idle_conns: usize,
     protocol: u32,
     pipelined: bool,
     qps: f64,
@@ -176,50 +196,81 @@ fn bench_net_throughput(c: &mut Criterion) {
         catalog.insert(key, release);
     }
     let engine = Arc::new(QueryEngine::new(catalog));
-    let server = TcpServer::bind(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
-    let addr = server.local_addr();
     let rects = request_rects();
 
-    // Warmup: compile every surface once so all rows measure warm.
-    pass_ns(addr, &keys, &rects, 1, VARIANTS[0]);
-
-    let mut conn_settings = vec![1usize, 2, parallelism.max(2)];
-    conn_settings.dedup();
     let mut rows = Vec::new();
     let mut group = c.benchmark_group("net_throughput");
-    for conns in conn_settings {
-        for variant in VARIANTS {
+    for (server_tag, mode) in [
+        ("mux", ServerMode::Multiplexed),
+        ("threaded", ServerMode::Threaded),
+    ] {
+        let server =
+            TcpServer::bind_with_mode(Arc::clone(&engine), "127.0.0.1:0", mode).expect("bind");
+        let addr = server.local_addr();
+
+        // Warmup: compile every surface once so all rows measure warm.
+        pass_ns(addr, &keys, &rects, 1, V1);
+
+        let mut measure = |conns: usize, idle_conns: usize, variant: Variant, group: &mut _| {
             // Record what a client under this cap actually negotiates —
             // the row is honest even against a downgrading server.
             let protocol = TcpClient::connect_with_protocol(addr, variant.max_protocol)
                 .expect("connect")
                 .protocol_version()
                 .unwrap_or(1);
-            let label = format!("{}_c{conns}", variant.tag);
+            let idle_tag = if idle_conns > 0 {
+                format!("_idle{idle_conns}")
+            } else {
+                String::new()
+            };
+            let label = format!("{server_tag}_{}_c{conns}{idle_tag}", variant.tag);
             let ns = measure_ns(addr, &keys, &rects, conns, variant);
+            let group: &mut criterion::BenchmarkGroup<'_> = group;
             group.bench_function(&label, |b| {
                 b.iter(|| pass_ns(addr, &keys, &rects, conns, variant));
             });
             let rects_per_pass = (conns * FRAMES_PER_CONN * RECTS_PER_REQUEST) as f64;
             rows.push(Row {
                 label,
+                server: server_tag,
                 conns,
+                idle_conns,
                 protocol,
                 pipelined: variant.pipelined,
                 qps: rects_per_pass / (ns / 1e9),
                 elapsed_ms: ns / 1e6,
             });
+        };
+
+        for (conns, variants) in LADDER {
+            for &variant in variants {
+                measure(conns, 0, variant, &mut group);
+            }
         }
+
+        // Idle crowd: the c16 pipelined measurement with 256 idle
+        // connections parked on the same server. The delta against the
+        // plain c16 row is the per-tick price of an idle connection —
+        // a registration for the multiplexed backend, a parked polling
+        // thread for the threaded one.
+        let idle: Vec<TcpStream> = (0..IDLE_CROWD)
+            .map(|_| TcpStream::connect(addr).expect("idle connect"))
+            .collect();
+        measure(16, idle.len(), V2_PIPE, &mut group);
+        drop(idle);
+
+        server.shutdown();
     }
     group.finish();
 
     let c1 = rows.first().map(|r| r.qps).unwrap_or(f64::NAN);
     for r in &rows {
         println!(
-            "net_throughput/{}: {} conns, proto v{}{}, {} frames x {} rects, {:.1} ms/pass, \
-             {:.0} q/s ({:.2}x vs v1_c1)",
+            "net_throughput/{}: {} conns (+{} idle), proto v{}{}, {} frames x {} rects, \
+             {:.1} ms/pass, {:.0} q/s ({:.2}x vs mux_v1_c1)",
             r.label,
             r.conns,
+            r.idle_conns,
             r.protocol,
             if r.pipelined { " pipelined" } else { "" },
             r.conns * FRAMES_PER_CONN,
@@ -229,13 +280,12 @@ fn bench_net_throughput(c: &mut Criterion) {
             r.qps / c1
         );
     }
-    write_json(&rows, keys.len(), parallelism, c1, server.frames_served());
-    server.shutdown();
+    write_json(&rows, keys.len(), parallelism, c1);
 }
 
 /// Records the measurements to `BENCH_net_throughput.json` at the
 /// workspace root (perf-trajectory files live in-repo).
-fn write_json(rows: &[Row], releases: usize, parallelism: usize, c1: f64, frames: u64) {
+fn write_json(rows: &[Row], releases: usize, parallelism: usize, c1: f64) {
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_net_throughput.json"
@@ -245,14 +295,17 @@ fn write_json(rows: &[Row], releases: usize, parallelism: usize, c1: f64, frames
          \"transport\": \"tcp_loopback\",\n  \"releases\": {releases},\n  \
          \"rects_per_request\": {RECTS_PER_REQUEST},\n  \
          \"frames_per_conn\": {FRAMES_PER_CONN},\n  \
-         \"parallelism\": {parallelism},\n  \"frames_served\": {frames},\n  \"rows\": [\n"
+         \"parallelism\": {parallelism},\n  \"rows\": [\n"
     );
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"label\": \"{}\", \"conns\": {}, \"protocol\": {}, \"pipelined\": {}, \
-             \"elapsed_ms\": {:.2}, \"qps\": {:.0}, \"speedup_vs_v1_c1\": {:.2}}}{}\n",
+            "    {{\"label\": \"{}\", \"server\": \"{}\", \"conns\": {}, \"idle_conns\": {}, \
+             \"protocol\": {}, \"pipelined\": {}, \
+             \"elapsed_ms\": {:.2}, \"qps\": {:.0}, \"speedup_vs_mux_v1_c1\": {:.2}}}{}\n",
             r.label,
+            r.server,
             r.conns,
+            r.idle_conns,
             r.protocol,
             r.pipelined,
             r.elapsed_ms,

@@ -1,0 +1,94 @@
+//! Server-side transport counters, shared by both server modes.
+//!
+//! Counting lives here so the threaded and multiplexed servers report
+//! through one vocabulary: a [`TransportCounters`] cell the transport
+//! increments, snapshotted into the wire-visible
+//! [`dpgrid_serve::TransportStats`], and an [`Instrumented`] service
+//! wrapper that splices the snapshot into every `Stats` response —
+//! additively, so a tier that aggregates engines *and* fronts them
+//! with servers sums both layers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dpgrid_serve::{
+    EngineStats, QueryRequest, QueryResponse, QueryService, TransportStats, WindowAnswer,
+    WindowQuery,
+};
+
+/// Live transport counters — one cell per server, touched from every
+/// connection (relaxed atomics: these are monotone statistics, not
+/// synchronization).
+#[derive(Debug, Default)]
+pub(crate) struct TransportCounters {
+    pub accepted: AtomicU64,
+    pub active: AtomicU64,
+    /// Response frames queued/written (the public `frames_served`).
+    pub responses: AtomicU64,
+    /// Request frames that decoded into a dispatchable body.
+    pub frames_decoded: AtomicU64,
+    pub read_stalls: AtomicU64,
+    pub write_stalls: AtomicU64,
+    pub bytes_in: AtomicU64,
+    pub bytes_out: AtomicU64,
+}
+
+impl TransportCounters {
+    pub fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The wire-visible snapshot.
+    pub fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            frames_decoded: self.frames_decoded.load(Ordering::Relaxed),
+            read_stalls: self.read_stalls.load(Ordering::Relaxed),
+            write_stalls: self.write_stalls.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Wraps the served [`QueryService`] so `Stats` responses carry this
+/// server's transport counters. Everything else forwards untouched —
+/// including [`QueryService::window`], so a service with a native
+/// window path (a remote shard) keeps it.
+pub(crate) struct Instrumented<S: ?Sized> {
+    counters: Arc<TransportCounters>,
+    inner: Arc<S>,
+}
+
+impl<S: ?Sized> Instrumented<S> {
+    pub fn new(inner: Arc<S>, counters: Arc<TransportCounters>) -> Self {
+        Instrumented { counters, inner }
+    }
+}
+
+impl<S: QueryService + ?Sized> QueryService for Instrumented<S> {
+    fn answer_batch(&self, requests: &[QueryRequest]) -> Vec<dpgrid_serve::Result<QueryResponse>> {
+        self.inner.answer_batch(requests)
+    }
+
+    fn stats(&self) -> EngineStats {
+        let mut stats = self.inner.stats();
+        let transport = self.counters.snapshot();
+        stats.transport = Some(match stats.transport {
+            // A service that already reports transport traffic (a
+            // router over remote shards) adds this server's on top.
+            Some(inner) => inner.merge(&transport),
+            None => transport,
+        });
+        stats
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.inner.keys()
+    }
+
+    fn window(&self, query: &WindowQuery) -> dpgrid_serve::Result<WindowAnswer> {
+        self.inner.window(query)
+    }
+}

@@ -27,9 +27,11 @@ use std::net::{SocketAddr, ToSocketAddrs};
 
 use dpgrid_serve::shard::Shard;
 use dpgrid_serve::wire::{ErrorCode, OverloadInfo, WireError};
-use dpgrid_serve::{EngineStats, QueryRequest, QueryResponse, QueryService, ServeError};
+use dpgrid_serve::{
+    EngineStats, QueryRequest, QueryResponse, QueryService, ServeError, WindowAnswer, WindowQuery,
+};
 
-use crate::error::Result;
+use crate::error::{NetError, Result};
 use crate::pool::TcpClientPool;
 
 /// A [`Shard`] served by a remote `TcpServer`, reached through a
@@ -151,6 +153,41 @@ impl QueryService for RemoteShard {
         self.pool
             .with_client(|client| client.keys())
             .unwrap_or_default()
+    }
+
+    /// One native `Window` frame — the server resolves the covering
+    /// epochs and sums them in a single round trip, instead of the
+    /// default resolution (a `Keys` round trip followed by a batch),
+    /// which pays per-epoch work across the wire. A pre-`Window` peer
+    /// rejects the kind as `MalformedRequest` — the standard "feature
+    /// unsupported" signal — and this falls back to that keys-based
+    /// resolution, which only needs request kinds every peer has.
+    fn window(&self, query: &WindowQuery) -> dpgrid_serve::Result<WindowAnswer> {
+        let sent = self.pool.with_client(|client| {
+            client.window(
+                &query.keyspace,
+                query.range.start,
+                query.range.end,
+                &query.rects,
+            )
+        });
+        match sent {
+            Ok(answer) => Ok(answer),
+            Err(NetError::Server(e)) if e.code == ErrorCode::MalformedRequest => {
+                dpgrid_serve::resolve_window_via_keys(self, query)
+            }
+            Err(NetError::Server(e)) => {
+                // Attribute UnknownKey to the window's own epoch key
+                // (the same label the in-process resolver uses for an
+                // uncovered range).
+                let key = format!(
+                    "{}@epoch:{}-{}",
+                    query.keyspace, query.range.start, query.range.end
+                );
+                Err(self.wire_to_serve(e, &key))
+            }
+            Err(e) => Err(self.unavailable(&e)),
+        }
     }
 }
 

@@ -1,34 +1,42 @@
-//! The TCP frontend: a thread-per-connection frame server over any
-//! [`QueryService`].
+//! The TCP frontend: one [`TcpServer`] facade over two transport
+//! backends sharing one wire behavior.
 //!
-//! The server owns only transport concerns — accepting sockets,
+//! * **Multiplexed** (the default): the readiness-multiplexed event
+//!   loop in [`crate::mux`] — a small worker pool, each worker an
+//!   epoll/poll(2) run loop over nonblocking per-connection state
+//!   machines. Idle connections cost nothing per tick, so one node
+//!   holds tens of thousands of them.
+//! * **Threaded**: one blocking OS thread per connection — the
+//!   original transport, kept for comparison benchmarks and as the
+//!   simplest-possible reference implementation of the wire behavior.
+//!
+//! Both backends own only transport concerns — accepting sockets,
 //! framing (newline-delimited JSON v1, or length-prefixed binary v2
 //! after a `Hello` negotiation), connection lifecycle, graceful
 //! shutdown. Protocol work (decoding, validation, dispatch, error
-//! mapping) is entirely `dpgrid_serve::wire` — every connection starts
-//! in JSON v1, and when a client's `Hello` offer negotiates to v2 the
-//! same connection switches to the binary codec for all subsequent
-//! frames, with responses leaving as one vectored write (header +
-//! payload, no intermediate copy).
+//! mapping) is entirely `dpgrid_serve::wire`, so the two backends are
+//! observationally identical on the wire; the acceptance suites run
+//! against the default and pass unmodified against either.
 //!
-//! Concurrency model: one OS thread per connection, all sharing one
-//! `Arc<S: QueryService>`. The engine underneath is built for exactly
-//! this (short catalog lock, lock-free answering), and the engine's
-//! admission control — not the transport — is the backpressure seam:
-//! an overloaded engine sheds with a typed `Overloaded` frame the
-//! client can branch on, instead of the listener queueing unboundedly.
+//! The engine's admission control remains the *global* backpressure
+//! seam for both (an overloaded engine sheds typed `Overloaded`
+//! frames); the multiplexed backend adds a *per-connection* seam — a
+//! bounded outbound buffer that pauses a connection's dispatch when
+//! its client stops reading (see [`crate::conn`]).
 
 use std::io::{BufRead, BufReader, BufWriter, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use dpgrid_serve::wire::binary;
-use dpgrid_serve::{wire, QueryService};
+use dpgrid_serve::{wire, QueryService, TransportStats};
 
+use crate::counters::{Instrumented, TransportCounters};
 use crate::error::Result;
+use crate::mux::MuxServer;
 
 /// How often parked connection reads re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
@@ -41,32 +49,139 @@ const POLL_INTERVAL: Duration = Duration::from_millis(100);
 /// must not grow the server's buffer unboundedly.
 const MAX_FRAME_BYTES: u64 = wire::MAX_FRAME_BYTES as u64;
 
-/// One live connection: its worker thread plus a socket handle the
-/// shutdown path uses to sever the connection (unblocking any stuck
-/// blocking write) before joining the thread.
-type Connection = (JoinHandle<()>, TcpStream);
+/// Which transport backend a [`TcpServer`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerMode {
+    /// Readiness-multiplexed event loops (the default): scales to
+    /// thousands of mostly-idle connections.
+    #[default]
+    Multiplexed,
+    /// One blocking OS thread per connection: the reference
+    /// transport, at its best with a handful of busy connections.
+    Threaded,
+}
 
 /// A running TCP query server.
 ///
 /// Dropping the handle shuts the server down gracefully: the listener
-/// stops accepting, every connection thread drains its current frame
-/// and exits, and all threads are joined. Use [`TcpServer::shutdown`]
-/// to do the same explicitly.
+/// stops accepting, in-flight frames finish answering, connections
+/// close, and every transport thread is joined. Use
+/// [`TcpServer::shutdown`] to do the same explicitly.
 #[derive(Debug)]
 pub struct TcpServer {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<Connection>>>,
-    frames: Arc<AtomicU64>,
+    backend: Backend,
+}
+
+#[derive(Debug)]
+enum Backend {
+    Threaded(ThreadedServer),
+    Mux(MuxServer),
 }
 
 impl TcpServer {
     /// Binds `addr` (use port 0 for an ephemeral port — the bound
     /// address is [`TcpServer::local_addr`]) and starts serving
-    /// `service` on a background accept thread, one thread per
-    /// connection.
+    /// `service` on the default backend
+    /// ([`ServerMode::Multiplexed`]).
     pub fn bind<S>(service: Arc<S>, addr: impl ToSocketAddrs) -> Result<TcpServer>
+    where
+        S: QueryService + 'static,
+    {
+        TcpServer::bind_with_mode(service, addr, ServerMode::default())
+    }
+
+    /// Binds `addr` with an explicit transport backend.
+    pub fn bind_with_mode<S>(
+        service: Arc<S>,
+        addr: impl ToSocketAddrs,
+        mode: ServerMode,
+    ) -> Result<TcpServer>
+    where
+        S: QueryService + 'static,
+    {
+        let backend = match mode {
+            ServerMode::Multiplexed => Backend::Mux(MuxServer::bind(service, addr)?),
+            ServerMode::Threaded => Backend::Threaded(ThreadedServer::bind(service, addr)?),
+        };
+        Ok(TcpServer { backend })
+    }
+
+    /// Binds a multiplexed server with an explicit worker count (the
+    /// default sizes the pool to available parallelism, capped at 8).
+    pub fn bind_with_workers<S>(
+        service: Arc<S>,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+    ) -> Result<TcpServer>
+    where
+        S: QueryService + 'static,
+    {
+        Ok(TcpServer {
+            backend: Backend::Mux(MuxServer::bind_with_workers(service, addr, workers)?),
+        })
+    }
+
+    /// Which backend this server runs.
+    pub fn mode(&self) -> ServerMode {
+        match &self.backend {
+            Backend::Threaded(_) => ServerMode::Threaded,
+            Backend::Mux(_) => ServerMode::Multiplexed,
+        }
+    }
+
+    /// The address the server actually listens on (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        match &self.backend {
+            Backend::Threaded(s) => s.local_addr(),
+            Backend::Mux(s) => s.local_addr(),
+        }
+    }
+
+    /// Frames answered since the server started (all connections).
+    pub fn frames_served(&self) -> u64 {
+        match &self.backend {
+            Backend::Threaded(s) => s.frames_served(),
+            Backend::Mux(s) => s.frames_served(),
+        }
+    }
+
+    /// A snapshot of this server's socket-level counters — the same
+    /// numbers the wire `Stats` response reports in
+    /// [`dpgrid_serve::EngineStats::transport`].
+    pub fn transport_stats(&self) -> TransportStats {
+        match &self.backend {
+            Backend::Threaded(s) => s.counters.snapshot(),
+            Backend::Mux(s) => s.transport_stats(),
+        }
+    }
+
+    /// Stops accepting, drains in-flight frames, closes connections,
+    /// and joins every transport thread.
+    pub fn shutdown(self) {
+        match self.backend {
+            Backend::Threaded(s) => s.shutdown(),
+            Backend::Mux(s) => s.shutdown(),
+        }
+    }
+}
+
+/// One live connection: its worker thread plus a socket handle the
+/// shutdown path uses to sever the connection (unblocking any stuck
+/// blocking write) before joining the thread.
+type Connection = (JoinHandle<()>, TcpStream);
+
+/// The thread-per-connection backend.
+#[derive(Debug)]
+struct ThreadedServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<Connection>>>,
+    counters: Arc<TransportCounters>,
+}
+
+impl ThreadedServer {
+    fn bind<S>(service: Arc<S>, addr: impl ToSocketAddrs) -> Result<ThreadedServer>
     where
         S: QueryService + 'static,
     {
@@ -74,12 +189,13 @@ impl TcpServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let connections: Arc<Mutex<Vec<Connection>>> = Arc::new(Mutex::new(Vec::new()));
-        let frames = Arc::new(AtomicU64::new(0));
+        let counters = Arc::new(TransportCounters::default());
+        let service = Arc::new(Instrumented::new(service, Arc::clone(&counters)));
 
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
             let connections = Arc::clone(&connections);
-            let frames = Arc::clone(&frames);
+            let counters = Arc::clone(&counters);
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::Acquire) {
@@ -96,13 +212,17 @@ impl TcpServer {
                     let Ok(socket) = stream.try_clone() else {
                         continue;
                     };
+                    counters.add(&counters.accepted, 1);
+                    counters.add(&counters.active, 1);
                     let service = Arc::clone(&service);
                     let conn_shutdown = Arc::clone(&shutdown);
-                    let conn_frames = Arc::clone(&frames);
+                    let conn_counters = Arc::clone(&counters);
                     let conn_registry = Arc::clone(&connections);
                     let handle = std::thread::spawn(move || {
                         // Transport errors just end this connection.
-                        let _ = serve_connection(&stream, &*service, &conn_shutdown, &conn_frames);
+                        let _ =
+                            serve_connection(&stream, &*service, &conn_shutdown, &conn_counters);
+                        conn_counters.active.fetch_sub(1, Ordering::Relaxed);
                         // Sever at TCP level, not just by dropping:
                         // the registry still holds a clone of this
                         // socket, and the peer must observe the close
@@ -126,29 +246,27 @@ impl TcpServer {
             })
         };
 
-        Ok(TcpServer {
+        Ok(ThreadedServer {
             addr,
             shutdown,
             accept_thread: Some(accept_thread),
             connections,
-            frames,
+            counters,
         })
     }
 
-    /// The address the server actually listens on (resolves port 0).
-    pub fn local_addr(&self) -> SocketAddr {
+    fn local_addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// Frames answered since the server started (all connections).
-    pub fn frames_served(&self) -> u64 {
-        self.frames.load(Ordering::Relaxed)
+    fn frames_served(&self) -> u64 {
+        self.counters.responses.load(Ordering::Relaxed)
     }
 
     /// Stops accepting, drains and joins every connection thread, and
     /// joins the accept thread. In-flight frames finish answering;
     /// parked connections notice within the poll interval (100 ms).
-    pub fn shutdown(mut self) {
+    fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
@@ -196,7 +314,7 @@ impl TcpServer {
     }
 }
 
-impl Drop for TcpServer {
+impl Drop for ThreadedServer {
     fn drop(&mut self) {
         self.shutdown_inner();
     }
@@ -216,7 +334,7 @@ fn serve_connection<S: QueryService + ?Sized>(
     stream: &TcpStream,
     service: &S,
     shutdown: &AtomicBool,
-    frames: &AtomicU64,
+    counters: &TransportCounters,
 ) -> std::io::Result<()> {
     // Frames are small and latency-bound: answer each immediately,
     // whichever codec the connection ends up speaking.
@@ -231,7 +349,8 @@ fn serve_connection<S: QueryService + ?Sized>(
             Ok(_) => {
                 if buf.last() == Some(&b'\n') {
                     // Complete frame.
-                    let upgraded = handle_raw_frame(service, &mut writer, frames, &buf)?;
+                    counters.add(&counters.bytes_in, buf.len() as u64);
+                    let upgraded = handle_raw_frame(service, &mut writer, counters, &buf)?;
                     buf.clear();
                     reader.set_limit(MAX_FRAME_BYTES);
                     if upgraded {
@@ -243,7 +362,7 @@ fn serve_connection<S: QueryService + ?Sized>(
                     // a stream this far gone is not worth it.
                     respond(
                         &mut writer,
-                        frames,
+                        counters,
                         wire::WireResponse::error(
                             0,
                             wire::WireError::new(
@@ -262,7 +381,8 @@ fn serve_connection<S: QueryService + ?Sized>(
                     // keep partial bytes in `buf`). An upgrade on the
                     // final frame is moot: the peer already closed.
                     if !buf.is_empty() {
-                        handle_raw_frame(service, &mut writer, frames, &buf)?;
+                        counters.add(&counters.bytes_in, buf.len() as u64);
+                        handle_raw_frame(service, &mut writer, counters, &buf)?;
                     }
                     return Ok(());
                 }
@@ -290,7 +410,7 @@ fn serve_connection<S: QueryService + ?Sized>(
     // the BufReader keeps any bytes an optimistic client already sent.
     drop(writer);
     let mut reader = reader.into_inner();
-    serve_binary(&mut reader, stream, service, shutdown, frames)
+    serve_binary(&mut reader, stream, service, shutdown, counters)
 }
 
 /// How one binary read ended.
@@ -356,7 +476,7 @@ fn serve_binary<S: QueryService + ?Sized>(
     stream: &TcpStream,
     service: &S,
     shutdown: &AtomicBool,
-    frames: &AtomicU64,
+    counters: &TransportCounters,
 ) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
     let mut header_buf = [0u8; binary::HEADER_BYTES];
@@ -370,7 +490,7 @@ fn serve_binary<S: QueryService + ?Sized>(
                 // is gone anyway.
                 return respond_binary(
                     &mut writer,
-                    frames,
+                    counters,
                     &wire::WireResponse::error(
                         0,
                         wire::WireError::new(
@@ -390,7 +510,7 @@ fn serve_binary<S: QueryService + ?Sized>(
                 // framing is lost, so reject typed and close.
                 return respond_binary(
                     &mut writer,
-                    frames,
+                    counters,
                     &wire::WireResponse::error(0, e),
                     &mut out_payload,
                 );
@@ -404,7 +524,7 @@ fn serve_binary<S: QueryService + ?Sized>(
                     // The header promised more bytes than arrived.
                     return respond_binary(
                         &mut writer,
-                        frames,
+                        counters,
                         &wire::WireResponse::error(
                             header.id,
                             wire::WireError::new(
@@ -419,13 +539,20 @@ fn serve_binary<S: QueryService + ?Sized>(
                 Fill::Complete => {}
             }
         }
+        counters.add(
+            &counters.bytes_in,
+            (binary::HEADER_BYTES + header.payload_len) as u64,
+        );
         let response = match binary::decode_request(&header, &payload) {
-            Ok(request) => wire::dispatch(service, request.id, request.body),
+            Ok(request) => {
+                counters.add(&counters.frames_decoded, 1);
+                wire::dispatch(service, request.id, request.body)
+            }
             // Framing held (the declared payload arrived in full), so
             // a payload that decodes badly only fails its own frame.
             Err(e) => wire::WireResponse::error(header.id, e),
         };
-        respond_binary(&mut writer, frames, &response, &mut out_payload)?;
+        respond_binary(&mut writer, counters, &response, &mut out_payload)?;
     }
 }
 
@@ -433,11 +560,11 @@ fn serve_binary<S: QueryService + ?Sized>(
 /// (header + payload, no concatenation copy) and counts it.
 fn respond_binary(
     writer: &mut TcpStream,
-    frames: &AtomicU64,
+    counters: &TransportCounters,
     response: &wire::WireResponse,
     payload: &mut Vec<u8>,
 ) -> std::io::Result<()> {
-    frames.fetch_add(1, Ordering::Relaxed);
+    counters.add(&counters.responses, 1);
     let frame_type = match binary::encode_response_payload(&response.body, payload) {
         Ok(frame_type) => frame_type,
         Err(_) => {
@@ -456,6 +583,7 @@ fn respond_binary(
         }
     };
     let header = binary::encode_header(frame_type, response.id, payload.len());
+    counters.add(&counters.bytes_out, (header.len() + payload.len()) as u64);
     write_all_vectored(writer, &header, payload)
 }
 
@@ -494,13 +622,13 @@ fn write_all_vectored(writer: &mut TcpStream, head: &[u8], tail: &[u8]) -> std::
 fn handle_raw_frame<S: QueryService + ?Sized>(
     service: &S,
     writer: &mut BufWriter<TcpStream>,
-    frames: &AtomicU64,
+    counters: &TransportCounters,
     raw: &[u8],
 ) -> std::io::Result<bool> {
     let Ok(frame) = std::str::from_utf8(raw) else {
         respond(
             writer,
-            frames,
+            counters,
             wire::WireResponse::error(
                 0,
                 wire::WireError::new(
@@ -518,10 +646,17 @@ fn handle_raw_frame<S: QueryService + ?Sized>(
     }
     if let Some((id, client_max)) = wire::parse_hello(frame) {
         let version = wire::negotiate(client_max, binary::PROTOCOL_VERSION);
-        respond(writer, frames, wire::hello_ack(id, version))?;
+        respond(writer, counters, wire::hello_ack(id, version))?;
         return Ok(version == binary::PROTOCOL_VERSION);
     }
-    respond(writer, frames, wire::handle_frame(service, frame))?;
+    let response = match wire::WireRequest::decode(frame) {
+        Ok(request) => {
+            counters.add(&counters.frames_decoded, 1);
+            wire::dispatch(service, request.id, request.body)
+        }
+        Err(e) => wire::WireResponse::error(e.id, e.error),
+    };
+    respond(writer, counters, response)?;
     Ok(false)
 }
 
@@ -529,11 +664,13 @@ fn handle_raw_frame<S: QueryService + ?Sized>(
 /// total is visible by the time any client has read the response).
 fn respond(
     writer: &mut BufWriter<TcpStream>,
-    frames: &AtomicU64,
+    counters: &TransportCounters,
     response: wire::WireResponse,
 ) -> std::io::Result<()> {
-    frames.fetch_add(1, Ordering::Relaxed);
-    writer.write_all(response.encode().as_bytes())?;
+    counters.add(&counters.responses, 1);
+    let encoded = response.encode();
+    counters.add(&counters.bytes_out, encoded.len() as u64 + 1);
+    writer.write_all(encoded.as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()
 }

@@ -74,6 +74,49 @@ pub struct QueryResponse {
     pub answers: Vec<f64>,
 }
 
+/// Point-in-time transport counters a network server layers onto
+/// [`EngineStats`] — socket-level traffic the engine itself never
+/// sees. Produced by `dpgrid-net`'s servers; `None` for an engine
+/// queried in-process (there is no transport to count).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Connections accepted since the server started.
+    pub accepted: u64,
+    /// Connections currently open.
+    pub active: u64,
+    /// Request frames decoded (both codecs, malformed ones excluded).
+    pub frames_decoded: u64,
+    /// Times a connection's input processing was paused because its
+    /// outbound buffer crossed the high-water mark (multiplexed
+    /// server backpressure; always 0 for the threaded server, whose
+    /// blocking writes stall implicitly).
+    pub read_stalls: u64,
+    /// Writes that hit `WouldBlock` and had to wait for socket
+    /// writability (multiplexed server only).
+    pub write_stalls: u64,
+    /// Request payload bytes read off sockets.
+    pub bytes_in: u64,
+    /// Response bytes written to sockets.
+    pub bytes_out: u64,
+}
+
+impl TransportStats {
+    /// Element-wise sum — aggregating several servers' counters reads
+    /// as one tier's transport traffic.
+    #[must_use]
+    pub fn merge(&self, other: &TransportStats) -> TransportStats {
+        TransportStats {
+            accepted: self.accepted + other.accepted,
+            active: self.active + other.active,
+            frames_decoded: self.frames_decoded + other.frames_decoded,
+            read_stalls: self.read_stalls + other.read_stalls,
+            write_stalls: self.write_stalls + other.write_stalls,
+            bytes_in: self.bytes_in + other.bytes_in,
+            bytes_out: self.bytes_out + other.bytes_out,
+        }
+    }
+}
+
 /// Point-in-time engine counters: request traffic on top of the
 /// catalog's surface-cache counters.
 ///
@@ -96,6 +139,11 @@ pub struct EngineStats {
     pub admission_limit: u64,
     /// The wrapped catalog's counters.
     pub catalog: CatalogStats,
+    /// Socket-level counters, when a network server answered this
+    /// `Stats` request (additive within protocol v1/v2: older peers
+    /// simply omit the field and it decodes as `None`).
+    #[serde(default)]
+    pub transport: Option<TransportStats>,
 }
 
 impl EngineStats {
@@ -125,6 +173,10 @@ impl EngineStats {
             inflight_rects: self.inflight_rects + other.inflight_rects,
             admission_limit: self.admission_limit.saturating_add(other.admission_limit),
             catalog: self.catalog.merge(&other.catalog),
+            transport: match (&self.transport, &other.transport) {
+                (None, None) => None,
+                (a, b) => Some(a.unwrap_or_default().merge(&b.unwrap_or_default())),
+            },
         }
     }
 }
@@ -399,6 +451,7 @@ impl QueryEngine {
             inflight_rects: self.inflight_rects.load(Ordering::Relaxed),
             admission_limit: self.admission_limit as u64,
             catalog,
+            transport: None,
         }
     }
 

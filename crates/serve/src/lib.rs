@@ -105,8 +105,10 @@ pub use catalog::{
     CacheState, Catalog, CatalogStats, ColdLease, Lease, SurfaceHandle,
     DEFAULT_MEMORY_BUDGET_BYTES, DEFAULT_SURFACE_CAPACITY,
 };
-pub use engine::{EngineStats, QueryEngine, QueryRequest, QueryResponse, DEFAULT_ADMISSION_LIMIT};
+pub use engine::{
+    EngineStats, QueryEngine, QueryRequest, QueryResponse, TransportStats, DEFAULT_ADMISSION_LIMIT,
+};
 pub use error::{Result, ServeError};
 pub use service::QueryService;
 pub use shard::{LocalShard, RouterStats, Shard, ShardRouter, ShardStats};
-pub use window::{answer_window, WindowAnswer, WindowQuery};
+pub use window::{answer_window, resolve_window_via_keys, WindowAnswer, WindowQuery};

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use crate::engine::{EngineStats, QueryEngine, QueryRequest, QueryResponse};
 use crate::error::Result;
+use crate::window::{WindowAnswer, WindowQuery};
 
 /// Anything that can answer batched release queries.
 ///
@@ -39,6 +40,22 @@ pub trait QueryService: Send + Sync {
     /// time the caller acts on it — keys are serving metadata, not a
     /// consistency guarantee.
     fn keys(&self) -> Vec<String>;
+
+    /// Answers a sliding-window query by summing the epoch surfaces
+    /// covering `query.range` — see [`crate::window`] for the
+    /// coverage contract.
+    ///
+    /// The default resolves coverage *here*, from this service's
+    /// advertised [`keys`](QueryService::keys), and fans one
+    /// [`answer_batch`](QueryService::answer_batch) over the covering
+    /// surfaces — correct for any service. Implementations fronting a
+    /// remote peer should override it to forward the window as one
+    /// protocol frame instead (the `dpgrid-net` `RemoteShard` does),
+    /// so a window costs one round trip rather than a keys dump plus
+    /// a per-epoch fan-out.
+    fn window(&self, query: &WindowQuery) -> Result<WindowAnswer> {
+        crate::window::resolve_window_via_keys(self, query)
+    }
 }
 
 impl QueryService for QueryEngine {
@@ -69,6 +86,10 @@ impl<S: QueryService + ?Sized> QueryService for Arc<S> {
 
     fn keys(&self) -> Vec<String> {
         (**self).keys()
+    }
+
+    fn window(&self, query: &WindowQuery) -> Result<WindowAnswer> {
+        (**self).window(query)
     }
 }
 

@@ -5,11 +5,15 @@
 //! `{keyspace}@epoch:{i}` for fine epochs, `{keyspace}@epoch:{s}-{e}`
 //! for compacted tiers. Nothing else about those releases is special —
 //! so a window query needs no new storage, no new engine, and no new
-//! transport: [`answer_window`] resolves the covering epoch surfaces
+//! transport: [`answer_window`] dispatches through
+//! [`QueryService::window`], whose default
+//! ([`resolve_window_via_keys`]) resolves the covering epoch surfaces
 //! from the service's *advertised keys*, fans one batch over them, and
 //! sums the per-epoch answers element-wise. It runs identically
 //! against a [`QueryEngine`], a `ShardRouter` fronting a fleet, or a
-//! remote shard — anything implementing [`QueryService`].
+//! remote shard — and a service fronting a remote peer may override
+//! the trait method to forward the whole window as one protocol frame
+//! instead of a keys dump plus a per-epoch fan-out.
 //!
 //! # Window semantics (the epoch-granularity contract)
 //!
@@ -87,19 +91,33 @@ pub struct WindowAnswer {
     pub answers: Vec<f64>,
 }
 
-/// Answers a window query against any [`QueryService`] by summing the
-/// covering epoch surfaces — see the [module docs](self) for the
-/// coverage contract.
+/// Answers a window query against any [`QueryService`] — see the
+/// [module docs](self) for the coverage contract.
 ///
-/// The service's advertised keys are the source of truth for which
-/// epochs exist; selection is deterministic when retained surfaces
-/// overlap (mid-compaction, a tier and one of its fine epochs can
-/// coexist briefly): wider ranges win, and overlapped fine surfaces
-/// are skipped so no epoch is ever counted twice. Any covering
-/// surface failing to answer (evicted in flight, shed by admission
-/// control) fails the whole window with that surface's typed error —
-/// a partial sum would be indistinguishable from a complete one.
+/// This simply dispatches through [`QueryService::window`], so a
+/// service that can answer windows natively (a remote shard
+/// forwarding the query as one protocol frame) does, and everything
+/// else resolves coverage locally via [`resolve_window_via_keys`].
 pub fn answer_window<S: QueryService + ?Sized>(
+    service: &S,
+    query: &WindowQuery,
+) -> Result<WindowAnswer> {
+    service.window(query)
+}
+
+/// The default window resolution — and the only one until a service
+/// overrides [`QueryService::window`]: the service's advertised keys
+/// are the source of truth for which epochs exist, and one
+/// [`QueryService::answer_batch`] call sums the covering surfaces.
+///
+/// Selection is deterministic when retained surfaces overlap
+/// (mid-compaction, a tier and one of its fine epochs can coexist
+/// briefly): wider ranges win, and overlapped fine surfaces are
+/// skipped so no epoch is ever counted twice. Any covering surface
+/// failing to answer (evicted in flight, shed by admission control)
+/// fails the whole window with that surface's typed error — a partial
+/// sum would be indistinguishable from a complete one.
+pub fn resolve_window_via_keys<S: QueryService + ?Sized>(
     service: &S,
     query: &WindowQuery,
 ) -> Result<WindowAnswer> {

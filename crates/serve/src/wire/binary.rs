@@ -41,7 +41,7 @@
 //! | `0x06` | Window           | window                             |
 //! | `0x81` | Answers          | answers                            |
 //! | `0x82` | Batch response   | `u32` n, n × outcome               |
-//! | `0x83` | Stats response   | 15 × `u64` counters                |
+//! | `0x83` | Stats response   | stats (15 × `u64` + optional tail) |
 //! | `0x84` | Keys response    | `u32` n, n × string                |
 //! | `0x85` | Pong             | empty                              |
 //! | `0x86` | Error            | error                              |
@@ -65,7 +65,12 @@
 //!   admission_limit releases warm capacity budget_bytes
 //!   resident_bytes lookups warm_hits compilations evictions`, each a
 //!   `u64` (`usize` fields travel as `u64`; `usize::MAX` bounds stay
-//!   `u64::MAX` on the wire)
+//!   `u64::MAX` on the wire), then an *optional* transport tail:
+//!   `u8` flag 1 + 7 × `u64` (`accepted active frames_decoded
+//!   read_stalls write_stalls bytes_in bytes_out`). The tail is
+//!   additive within v2: `transport: None` writes no tail at all
+//!   (byte-identical to the pre-transport encoding), and a payload
+//!   that ends after the 15 counters decodes with `transport: None`
 //!
 //! Unlike JSON — which cannot carry non-finite numbers — a binary
 //! rect travels bit-exact, NaN included; boundary validation in
@@ -89,7 +94,7 @@ use super::{
     MAX_FRAME_BYTES,
 };
 use crate::catalog::{CacheState, CatalogStats};
-use crate::engine::EngineStats;
+use crate::engine::{EngineStats, TransportStats};
 
 /// The binary codec's protocol version, as offered/negotiated in
 /// [`super::HelloOffer`]/[`super::HelloAck`] and carried in every
@@ -622,6 +627,22 @@ fn put_stats(out: &mut Vec<u8>, stats: &EngineStats) {
     put_u64(out, stats.catalog.warm_hits);
     put_u64(out, stats.catalog.compilations);
     put_u64(out, stats.catalog.evictions);
+    // `None` writes no tail at all (not even the flag), so an
+    // in-process engine's stats payload is byte-identical to the
+    // pre-transport encoding and old strict decoders keep accepting it.
+    match &stats.transport {
+        None => {}
+        Some(t) => {
+            out.push(1);
+            put_u64(out, t.accepted);
+            put_u64(out, t.active);
+            put_u64(out, t.frames_decoded);
+            put_u64(out, t.read_stalls);
+            put_u64(out, t.write_stalls);
+            put_u64(out, t.bytes_in);
+            put_u64(out, t.bytes_out);
+        }
+    }
 }
 
 // --- payload reader --------------------------------------------------
@@ -754,7 +775,7 @@ impl<'a> Reader<'a> {
     }
 
     fn stats(&mut self) -> Result<EngineStats, WireError> {
-        Ok(EngineStats {
+        let mut stats = EngineStats {
             requests: self.u64()?,
             answers: self.u64()?,
             unknown_keys: self.u64()?,
@@ -772,7 +793,26 @@ impl<'a> Reader<'a> {
                 compilations: self.u64()?,
                 evictions: self.u64()?,
             },
-        })
+            transport: None,
+        };
+        // Additive transport tail: a pre-transport peer's payload ends
+        // here, which is exactly the `None` case.
+        if self.remaining() > 0 {
+            stats.transport = match self.u8()? {
+                0 => None,
+                1 => Some(TransportStats {
+                    accepted: self.u64()?,
+                    active: self.u64()?,
+                    frames_decoded: self.u64()?,
+                    read_stalls: self.u64()?,
+                    write_stalls: self.u64()?,
+                    bytes_in: self.u64()?,
+                    bytes_out: self.u64()?,
+                }),
+                byte => return Err(malformed(format!("unknown transport flag byte {byte}"))),
+            };
+        }
+        Ok(stats)
     }
 
     fn finish(&self) -> Result<(), WireError> {
@@ -860,6 +900,68 @@ mod tests {
         }
         let response = WireResponse::new(7, ResponseBody::Pong);
         assert_eq!(roundtrip_response(&response).body, response.body);
+    }
+
+    #[test]
+    fn stats_transport_tail_is_additive() {
+        let mut stats = EngineStats {
+            requests: 10,
+            answers: 20,
+            shed: 1,
+            ..EngineStats::default()
+        };
+
+        // Without transport counters the payload is exactly the
+        // pre-transport 15 × u64 encoding — no tail, not even a flag.
+        let mut payload = Vec::new();
+        put_stats(&mut payload, &stats);
+        assert_eq!(payload.len(), 15 * 8);
+
+        stats.transport = Some(TransportStats {
+            accepted: 5,
+            active: 2,
+            frames_decoded: 100,
+            read_stalls: 1,
+            write_stalls: 3,
+            bytes_in: 4096,
+            bytes_out: 1 << 20,
+        });
+        let response = WireResponse::new(9, ResponseBody::Stats(stats));
+        assert_eq!(roundtrip_response(&response).body, response.body);
+
+        // A pre-transport peer's payload (15 counters, nothing after)
+        // decodes with `transport: None`, not an error.
+        let mut short = Vec::new();
+        put_stats(
+            &mut short,
+            &EngineStats {
+                transport: None,
+                ..stats
+            },
+        );
+        let header = FrameHeader {
+            frame_type: frame_type::STATS_RESPONSE,
+            id: 9,
+            payload_len: short.len(),
+        };
+        match decode_response(&header, &short).unwrap().body {
+            ResponseBody::Stats(decoded) => {
+                assert_eq!(decoded.transport, None);
+                assert_eq!(decoded.requests, 10);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+
+        // A truncated tail is still a truncation error.
+        let mut buf = Vec::new();
+        encode_response(&WireResponse::new(9, ResponseBody::Stats(stats)), &mut buf).unwrap();
+        let header = FrameHeader {
+            frame_type: frame_type::STATS_RESPONSE,
+            id: 9,
+            payload_len: buf.len() - HEADER_BYTES - 8,
+        };
+        let err = decode_response(&header, &buf[HEADER_BYTES..buf.len() - 8]).unwrap_err();
+        assert_eq!(err.code, ErrorCode::MalformedRequest);
     }
 
     #[test]

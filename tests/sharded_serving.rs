@@ -187,9 +187,18 @@ fn four_shard_router_matches_single_engine_under_concurrent_clients() {
         (CLIENT_THREADS * ITERATIONS * fleet.keys.len() * rects.len()) as u64
     );
 
-    // Merged stats are the exact sum of the four backends.
-    let merged = fleet.router.stats();
+    // Merged stats are the exact sum of the four backends — plus the
+    // transport tail the two remote shards' servers report (the bare
+    // engines carry none), which must show real socket traffic.
+    let mut merged = fleet.router.stats();
     let by_hand: EngineStats = fleet.engines.iter().map(|e| e.stats()).sum();
+    let transport = merged
+        .transport
+        .take()
+        .expect("remote shards surface their servers' transport counters");
+    assert!(transport.accepted >= fleet.servers.len() as u64);
+    assert!(transport.frames_decoded > 0);
+    assert!(transport.bytes_in > 0 && transport.bytes_out > 0);
     assert_eq!(merged, by_hand);
     assert_eq!(merged.unknown_keys, 0);
     let router_stats = fleet.router.router_stats();

@@ -145,6 +145,21 @@ fn arb_stats(rng: &mut StdRng) -> EngineStats {
             compilations: rng.random::<u64>() >> 12,
             evictions: rng.random::<u64>() >> 12,
         },
+        // The transport tail is optional-additive: both absence and
+        // presence must round-trip bit-exactly through both codecs.
+        transport: if rng.random::<bool>() {
+            Some(dpgrid::serve::TransportStats {
+                accepted: rng.random::<u64>() >> 12,
+                active: rng.random::<u64>() >> 12,
+                frames_decoded: rng.random::<u64>() >> 12,
+                read_stalls: rng.random::<u64>() >> 12,
+                write_stalls: rng.random::<u64>() >> 12,
+                bytes_in: rng.random::<u64>() >> 12,
+                bytes_out: rng.random::<u64>() >> 12,
+            })
+        } else {
+            None
+        },
     }
 }
 
@@ -246,6 +261,15 @@ proptest! {
             s.catalog.warm_hits >>= 2;
             s.catalog.compilations >>= 2;
             s.catalog.evictions >>= 2;
+            if let Some(t) = s.transport.as_mut() {
+                t.accepted >>= 2;
+                t.active >>= 2;
+                t.frames_decoded >>= 2;
+                t.read_stalls >>= 2;
+                t.write_stalls >>= 2;
+                t.bytes_in >>= 2;
+                t.bytes_out >>= 2;
+            }
             s
         };
         let parts: Vec<EngineStats> = (0..rng.random_range(2..5usize))
