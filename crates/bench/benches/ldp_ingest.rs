@@ -1,0 +1,281 @@
+//! LDP report-ingestion throughput — the acceptance benchmark of the
+//! write path.
+//!
+//! Binds a `TcpServer` over a `CollectingService` and measures
+//! end-to-end reports/sec through real loopback sockets — batch
+//! encode, TCP round trip, boundary validation, chunked accumulator
+//! fold, ack decode — across the two axes that matter for an
+//! ingestion front door:
+//!
+//! * **grid size**: 8×8, 16×16 and 32×32 cells — the domain the
+//!   accumulator folds over and (for OUE) the per-report payload size;
+//! * **codec × pipelining**: JSON v1 batches one round trip at a
+//!   time, binary v2 one at a time, and binary v2 with all of a pass's
+//!   batches written in one burst (`submit_reports`).
+//!
+//! GRR rows carry 4-byte reports and measure framing + fold overhead;
+//! the `oue` rows ship `⌈cells/64⌉` packed words per report, so their
+//! trajectory tracks payload bandwidth. Medians are recorded to
+//! `BENCH_ldp_ingest.json` at the workspace root (same shape as the
+//! other `BENCH_*.json` trajectory files).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dpgrid_bench::bench_rng;
+use dpgrid_geo::Domain;
+use dpgrid_ldp::{CollectingService, CollectorConfig, ReportCollector};
+use dpgrid_mech::{oue_words, BudgetSchedule};
+use dpgrid_net::{TcpClient, TcpServer};
+use dpgrid_serve::{Catalog, QueryEngine, ReportBatch, ReportPayload};
+use rand::Rng;
+
+const EPS: f64 = 1.0;
+/// Reports per wire batch.
+const REPORTS_PER_BATCH: usize = 256;
+/// Batches each pass submits (one epoch stays open throughout — the
+/// accumulator is flat, so folded reports cost no memory).
+const BATCHES_PER_PASS: usize = 16;
+/// The measured grid ladder.
+const GRIDS: [(usize, usize); 3] = [(8, 8), (16, 16), (32, 32)];
+
+/// One measured configuration: oracle family, offered protocol, and
+/// whether the pass's batches go out one round trip at a time or as
+/// one pipelined burst.
+#[derive(Clone, Copy)]
+struct Variant {
+    tag: &'static str,
+    oracle: &'static str,
+    max_protocol: u32,
+    pipelined: bool,
+}
+
+const VARIANTS: [Variant; 4] = [
+    Variant {
+        tag: "grr_v1",
+        oracle: "grr",
+        max_protocol: 1,
+        pipelined: false,
+    },
+    Variant {
+        tag: "grr_v2",
+        oracle: "grr",
+        max_protocol: 2,
+        pipelined: false,
+    },
+    Variant {
+        tag: "grr_v2_pipe",
+        oracle: "grr",
+        max_protocol: 2,
+        pipelined: true,
+    },
+    Variant {
+        tag: "oue_v2_pipe",
+        oracle: "oue",
+        max_protocol: 2,
+        pipelined: true,
+    },
+];
+
+fn collecting(cols: usize, rows: usize) -> CollectingService<QueryEngine> {
+    let domain = Domain::from_corners(0.0, 0.0, cols as f64, rows as f64).unwrap();
+    // One epoch stays open for the whole measurement; every pass folds
+    // into the same flat accumulator, so lift the report cap out of
+    // the way.
+    let config = CollectorConfig::new(
+        "bench",
+        domain,
+        cols,
+        rows,
+        BudgetSchedule::uniform(EPS, 1).unwrap(),
+    )
+    .unwrap()
+    .capacity(u64::MAX);
+    CollectingService::new(
+        QueryEngine::new(Catalog::new()),
+        ReportCollector::new(config).unwrap(),
+    )
+}
+
+/// Pre-builds one pass worth of well-formed batches. Report *values*
+/// are random but statistically meaningless — this measures transport
+/// and fold throughput, not estimator quality.
+fn pass_batches(cells: u32, oracle: &str) -> Vec<ReportBatch> {
+    let mut rng = bench_rng();
+    let words = oue_words(cells as usize);
+    let tail = cells as usize % 64;
+    let tail_mask = if tail == 0 {
+        u64::MAX
+    } else {
+        (1u64 << tail) - 1
+    };
+    (0..BATCHES_PER_PASS)
+        .map(|_| {
+            let payload = match oracle {
+                "grr" => ReportPayload::Grr(
+                    (0..REPORTS_PER_BATCH)
+                        .map(|_| rng.random_range(0..cells))
+                        .collect(),
+                ),
+                _ => {
+                    let mut bits = Vec::with_capacity(REPORTS_PER_BATCH * words);
+                    for _ in 0..REPORTS_PER_BATCH {
+                        for w in 0..words {
+                            let word: u64 = rng.random();
+                            bits.push(if w + 1 == words {
+                                word & tail_mask
+                            } else {
+                                word
+                            });
+                        }
+                    }
+                    ReportPayload::Oue {
+                        count: REPORTS_PER_BATCH as u32,
+                        bits,
+                    }
+                }
+            };
+            ReportBatch {
+                keyspace: "bench".to_string(),
+                epoch: 0,
+                epsilon: EPS,
+                cells,
+                payload,
+            }
+        })
+        .collect()
+}
+
+/// One pass: submit every batch and check its ack. Returns elapsed
+/// nanoseconds.
+fn pass_ns(client: &mut TcpClient, batches: &[ReportBatch], pipelined: bool) -> f64 {
+    let t = Instant::now();
+    if pipelined {
+        for ack in client.submit_reports(batches).expect("pipelined submit") {
+            assert_eq!(
+                ack.expect("batch accepted").accepted,
+                REPORTS_PER_BATCH as u64
+            );
+        }
+    } else {
+        for batch in batches {
+            let ack = client.submit_report(batch).expect("submit");
+            assert_eq!(ack.accepted, REPORTS_PER_BATCH as u64);
+        }
+    }
+    t.elapsed().as_nanos() as f64
+}
+
+/// Median nanoseconds per pass within a small time budget.
+fn measure_ns(client: &mut TcpClient, batches: &[ReportBatch], pipelined: bool) -> f64 {
+    let mut samples = Vec::new();
+    let budget = std::time::Duration::from_millis(800);
+    let start = Instant::now();
+    while start.elapsed() < budget || samples.len() < 5 {
+        samples.push(pass_ns(client, batches, pipelined));
+        if samples.len() >= 40 {
+            break;
+        }
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    label: String,
+    cells: u32,
+    oracle: &'static str,
+    protocol: u32,
+    pipelined: bool,
+    elapsed_ms: f64,
+    reports_per_sec: f64,
+}
+
+fn bench_ldp_ingest(c: &mut Criterion) {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut group = c.benchmark_group("ldp_ingest");
+    for (cols, grid_rows) in GRIDS {
+        let cells = (cols * grid_rows) as u32;
+        let service = Arc::new(collecting(cols, grid_rows));
+        let server = TcpServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        for variant in VARIANTS {
+            let batches = pass_batches(cells, variant.oracle);
+            let mut client =
+                TcpClient::connect_with_protocol(addr, variant.max_protocol).expect("connect");
+            let protocol = client.protocol_version().unwrap_or(1);
+            pass_ns(&mut client, &batches, variant.pipelined); // warmup
+            let label = format!("{}x{}_{}", cols, grid_rows, variant.tag);
+            let ns = measure_ns(&mut client, &batches, variant.pipelined);
+            group.bench_function(&label, |b| {
+                b.iter(|| pass_ns(&mut client, &batches, variant.pipelined));
+            });
+            let reports = (BATCHES_PER_PASS * REPORTS_PER_BATCH) as f64;
+            rows.push(Row {
+                label,
+                cells,
+                oracle: variant.oracle,
+                protocol,
+                pipelined: variant.pipelined,
+                elapsed_ms: ns / 1e6,
+                reports_per_sec: reports / (ns / 1e9),
+            });
+        }
+        server.shutdown();
+    }
+    group.finish();
+
+    let baseline = rows.first().map(|r| r.reports_per_sec).unwrap_or(f64::NAN);
+    for r in &rows {
+        println!(
+            "ldp_ingest/{}: {} cells, proto v{}{}, {} batches x {} reports, \
+             {:.2} ms/pass, {:.0} reports/s ({:.2}x vs 8x8_grr_v1)",
+            r.label,
+            r.cells,
+            r.protocol,
+            if r.pipelined { " pipelined" } else { "" },
+            BATCHES_PER_PASS,
+            REPORTS_PER_BATCH,
+            r.elapsed_ms,
+            r.reports_per_sec,
+            r.reports_per_sec / baseline
+        );
+    }
+    write_json(&rows, baseline);
+}
+
+/// Records the measurements to `BENCH_ldp_ingest.json` at the
+/// workspace root (perf-trajectory files live in-repo).
+fn write_json(rows: &[Row], baseline: f64) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ldp_ingest.json");
+    let mut out = format!(
+        "{{\n  \"bench\": \"ldp_ingest\",\n  \"unit\": \"reports_per_sec\",\n  \
+         \"transport\": \"tcp_loopback\",\n  \
+         \"reports_per_batch\": {REPORTS_PER_BATCH},\n  \
+         \"batches_per_pass\": {BATCHES_PER_PASS},\n  \"rows\": [\n"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"cells\": {}, \"oracle\": \"{}\", \"protocol\": {}, \
+             \"pipelined\": {}, \"elapsed_ms\": {:.2}, \"reports_per_sec\": {:.0}, \
+             \"speedup_vs_8x8_grr_v1\": {:.2}}}{}\n",
+            r.label,
+            r.cells,
+            r.oracle,
+            r.protocol,
+            r.pipelined,
+            r.elapsed_ms,
+            r.reports_per_sec,
+            r.reports_per_sec / baseline,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("ldp_ingest: could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_ldp_ingest);
+criterion_main!(benches);

@@ -86,10 +86,13 @@ pub use guidelines::{GridSize, NEstimate};
 pub use method::Method;
 pub use noise::{CountNoise, NoiseKind};
 pub use pipeline::{Pipeline, ReleaseSink};
-pub use release::{Release, ReleaseMetadata};
+pub use release::{Release, ReleaseMetadata, TrustModel};
 pub use routing::{rendezvous_route, rendezvous_score, ShardedSink};
 pub use surface::{CompiledSurface, SurfaceKind};
-pub use temporal::{epoch_key, merge_releases, parse_epoch_key, EpochLayout, EpochRange};
+pub use temporal::{
+    epoch_key, merge_releases, parse_epoch_key, parse_epoch_key_strict, EpochKeyError, EpochLayout,
+    EpochRange,
+};
 pub use uniform_grid::{UgConfig, UniformGrid};
 
 /// The release-format traits, re-exported from the substrate crate

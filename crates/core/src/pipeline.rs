@@ -169,6 +169,7 @@ impl<'a> Pipeline<'a> {
             label: self.method.label(n, self.epsilon),
             epsilon: self.epsilon,
             seed: self.seed,
+            trust: crate::release::TrustModel::Central,
         };
         Ok(Release::from_synopsis_with_metadata(metadata, &synopsis))
     }

@@ -76,6 +76,44 @@ pub struct ReleaseMetadata {
     /// dataset schema, so seeded releases are for reproducible
     /// experiments, not for production publication.
     pub seed: Option<u64>,
+    /// Which trust model produced the surface — see [`TrustModel`].
+    /// Defaults to [`TrustModel::Central`] (including for all legacy
+    /// JSON, which predates the local model).
+    pub trust: TrustModel,
+}
+
+/// Where the privacy barrier sat when a release's counts were made.
+///
+/// The distinction matters to consumers: central-model counts are the
+/// true histogram plus curator-added noise, while local-model counts
+/// are *statistical estimates* debiased out of per-user randomized
+/// reports — unbiased, but with sampling variance that depends on the
+/// population size, and individually meaningless at low counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrustModel {
+    /// A trusted curator saw the raw points and added noise once,
+    /// server-side (the paper's setting).
+    #[default]
+    Central,
+    /// No trusted curator: every user randomized their own report
+    /// on-device (ε-LDP) and the release is the debiased aggregate.
+    Local,
+}
+
+impl TrustModel {
+    /// Stable wire tag (`"central"` / `"local"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TrustModel::Central => "central",
+            TrustModel::Local => "local",
+        }
+    }
+}
+
+impl std::fmt::Display for TrustModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 impl ReleaseMetadata {
@@ -88,7 +126,16 @@ impl ReleaseMetadata {
             label: label.into(),
             epsilon,
             seed: None,
+            trust: TrustModel::Central,
         }
+    }
+
+    /// The same metadata with the trust model set to
+    /// [`TrustModel::Local`] — for releases whose counts are LDP
+    /// estimates rather than curator-noised tallies.
+    pub fn local(mut self) -> Self {
+        self.trust = TrustModel::Local;
+        self
     }
 }
 
@@ -107,6 +154,10 @@ impl Serialize for ReleaseMetadata {
                     Some(seed) => serde::Value::Str(seed.to_string()),
                     None => serde::Value::Null,
                 },
+            ),
+            (
+                "trust".into(),
+                serde::Value::Str(self.trust.as_str().into()),
             ),
         ])
     }
@@ -133,6 +184,22 @@ impl Deserialize for ReleaseMetadata {
                             .map_err(|e| serde::Error::msg(format!("ReleaseMetadata.seed: {e}")))?,
                     ),
                 };
+                // Absent / null means central: every release written
+                // before the local model existed was curator-noised.
+                let trust = match obj.iter().find(|(k, _)| k == "trust").map(|(_, v)| v) {
+                    None | Some(serde::Value::Null) => TrustModel::Central,
+                    Some(serde::Value::Str(s)) if s == "central" => TrustModel::Central,
+                    Some(serde::Value::Str(s)) if s == "local" => TrustModel::Local,
+                    Some(other) => {
+                        return Err(serde::Error::msg(format!(
+                            "ReleaseMetadata.trust: expected \"central\" or \"local\", got {}",
+                            match other {
+                                serde::Value::Str(s) => format!("{s:?}"),
+                                v => v.kind().to_string(),
+                            }
+                        )))
+                    }
+                };
                 Ok(ReleaseMetadata {
                     method: serde::field_aliased_or_default(obj, &["method"], "ReleaseMetadata")?,
                     resolved: serde::field_aliased_or_default(
@@ -143,6 +210,7 @@ impl Deserialize for ReleaseMetadata {
                     label: serde::field(obj, "label", "ReleaseMetadata")?,
                     epsilon: serde::field(obj, "epsilon", "ReleaseMetadata")?,
                     seed,
+                    trust,
                 })
             }
             other => Err(serde::Error::msg(format!(
@@ -474,6 +542,7 @@ mod tests {
             label: "U8*".into(),
             epsilon: 1.0,
             seed: Some(7),
+            trust: TrustModel::Central,
         };
         let rel = Release::from_synopsis_with_metadata(metadata.clone(), &ug);
         let mut buf = Vec::new();
@@ -482,6 +551,29 @@ mod tests {
         assert_eq!(back.metadata(), &metadata);
         assert_eq!(back.method_kind(), Some(&Method::ug_suggested()));
         assert_eq!(back.method(), "U8*");
+    }
+
+    #[test]
+    fn trust_model_roundtrips_and_defaults_to_central() {
+        let ds = dataset();
+        let ug = UniformGrid::build(&ds, &UgConfig::fixed(1.0, 4), &mut rng(11)).unwrap();
+        // Local-model tag survives the wire.
+        let metadata = ReleaseMetadata::legacy("LDP-OUE", 1.0).local();
+        let rel = Release::from_synopsis_with_metadata(metadata, &ug);
+        let mut buf = Vec::new();
+        rel.write_json(&mut buf).unwrap();
+        let back = Release::read_json(&buf[..]).unwrap();
+        assert_eq!(back.metadata().trust, TrustModel::Local);
+        // JSON written before the field existed deserializes central.
+        let stripped = String::from_utf8(buf.clone())
+            .unwrap()
+            .replace("\"trust\":\"local\"", "\"trust\":null");
+        assert_ne!(stripped, String::from_utf8(buf).unwrap());
+        let legacy = Release::read_json(stripped.as_bytes()).unwrap();
+        assert_eq!(legacy.metadata().trust, TrustModel::Central);
+        // An unknown tag fails typed instead of silently centralizing.
+        let hostile = stripped.replace("\"trust\":null", "\"trust\":\"psychic\"");
+        assert!(Release::read_json(hostile.as_bytes()).is_err());
     }
 
     #[test]

@@ -111,11 +111,107 @@ pub fn epoch_key(keyspace: &str, range: EpochRange) -> String {
 /// parser doubles as the "is this key temporal?" predicate.
 ///
 /// The keyspace is everything before the *last* `@epoch:` marker, so
-/// keyspaces containing the marker themselves still round-trip.
+/// keyspaces containing the marker themselves still round-trip. When
+/// the rejection *reason* matters (an operator pasted a key into a
+/// tool, an ingestor refused a keyspace), use
+/// [`parse_epoch_key_strict`], whose typed errors all name the
+/// offending key.
 pub fn parse_epoch_key(key: &str) -> Option<(&str, EpochRange)> {
-    let (keyspace, suffix) = key.rsplit_once("@epoch:")?;
+    parse_epoch_key_strict(key).ok()
+}
+
+/// Why a key failed [`parse_epoch_key_strict`]. Every variant carries
+/// the offending key verbatim, so the error is attributable wherever
+/// it surfaces — batch rejects, logs, wire errors — without the caller
+/// re-threading the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EpochKeyError {
+    /// The key has no `@epoch:` marker at all — a plain, non-temporal
+    /// release key.
+    MissingMarker {
+        /// The key that was parsed.
+        key: String,
+    },
+    /// The marker is present but nothing precedes it (`@epoch:3`).
+    EmptyKeyspace {
+        /// The key that was parsed.
+        key: String,
+    },
+    /// An epoch index is not a strictly-decimal `u64` (empty, signed,
+    /// spaced, fractional, or overflowing).
+    BadIndex {
+        /// The key that was parsed.
+        key: String,
+        /// The offending index text, verbatim.
+        index: String,
+    },
+    /// A range suffix is empty or inverted (`start >= end` under the
+    /// half-open convention).
+    EmptyRange {
+        /// The key that was parsed.
+        key: String,
+        /// The parsed range start.
+        start: u64,
+        /// The parsed range end.
+        end: u64,
+    },
+    /// A single-epoch key at `u64::MAX`, whose half-open end would
+    /// overflow.
+    EpochOverflow {
+        /// The key that was parsed.
+        key: String,
+    },
+}
+
+impl EpochKeyError {
+    /// The offending key, whichever way the parse failed.
+    pub fn key(&self) -> &str {
+        match self {
+            EpochKeyError::MissingMarker { key }
+            | EpochKeyError::EmptyKeyspace { key }
+            | EpochKeyError::BadIndex { key, .. }
+            | EpochKeyError::EmptyRange { key, .. }
+            | EpochKeyError::EpochOverflow { key } => key,
+        }
+    }
+}
+
+impl std::fmt::Display for EpochKeyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EpochKeyError::MissingMarker { key } => {
+                write!(f, "key {key:?} has no @epoch: marker")
+            }
+            EpochKeyError::EmptyKeyspace { key } => {
+                write!(f, "key {key:?} has an empty keyspace before @epoch:")
+            }
+            EpochKeyError::BadIndex { key, index } => write!(
+                f,
+                "key {key:?} has epoch index {index:?}; indices are strictly decimal u64"
+            ),
+            EpochKeyError::EmptyRange { key, start, end } => write!(
+                f,
+                "key {key:?} has empty epoch range {start}-{end} (half-open needs start < end)"
+            ),
+            EpochKeyError::EpochOverflow { key } => write!(
+                f,
+                "key {key:?} names epoch u64::MAX, whose half-open end would overflow"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EpochKeyError {}
+
+/// The typed twin of [`parse_epoch_key`]: same grammar, but every
+/// rejection says *why* and names the offending key.
+pub fn parse_epoch_key_strict(key: &str) -> std::result::Result<(&str, EpochRange), EpochKeyError> {
+    let owned = || key.to_string();
+    let Some((keyspace, suffix)) = key.rsplit_once("@epoch:") else {
+        return Err(EpochKeyError::MissingMarker { key: owned() });
+    };
     if keyspace.is_empty() {
-        return None;
+        return Err(EpochKeyError::EmptyKeyspace { key: owned() });
     }
     let parse_index = |s: &str| {
         // `u64::from_str` tolerates a leading `+`; the grammar is
@@ -123,18 +219,29 @@ pub fn parse_epoch_key(key: &str) -> Option<(&str, EpochRange)> {
         (!s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()))
             .then(|| s.parse::<u64>().ok())
             .flatten()
+            .ok_or_else(|| EpochKeyError::BadIndex {
+                key: owned(),
+                index: s.to_string(),
+            })
     };
     let range = match suffix.split_once('-') {
-        Some((a, b)) => EpochRange::new(parse_index(a)?, parse_index(b)?)?,
+        Some((a, b)) => {
+            let (start, end) = (parse_index(a)?, parse_index(b)?);
+            EpochRange::new(start, end).ok_or(EpochKeyError::EmptyRange {
+                key: owned(),
+                start,
+                end,
+            })?
+        }
         None => {
             let epoch = parse_index(suffix)?;
             if epoch == u64::MAX {
-                return None;
+                return Err(EpochKeyError::EpochOverflow { key: owned() });
             }
             EpochRange::single(epoch)
         }
     };
-    Some((keyspace, range))
+    Ok((keyspace, range))
 }
 
 /// Maps wall-clock timestamps onto epoch indices: epoch `i` covers
@@ -384,6 +491,72 @@ mod tests {
             "taxi@epoch:99999999999999999999999",
         ] {
             assert_eq!(parse_epoch_key(key), None, "key {key:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn strict_parse_errors_name_the_offending_key() {
+        // Every rejection class carries the input key, both in the
+        // typed accessor and in the rendered message.
+        type Check = fn(&EpochKeyError) -> bool;
+        let cases: [(&str, Check); 8] = [
+            ("plain", |e| {
+                matches!(e, EpochKeyError::MissingMarker { .. })
+            }),
+            ("@epoch:3", |e| {
+                matches!(e, EpochKeyError::EmptyKeyspace { .. })
+            }),
+            (
+                "taxi@epoch:",
+                |e| matches!(e, EpochKeyError::BadIndex { index, .. } if index.is_empty()),
+            ),
+            (
+                "taxi@epoch:+3",
+                |e| matches!(e, EpochKeyError::BadIndex { index, .. } if index == "+3"),
+            ),
+            ("taxi@epoch:99999999999999999999999", |e| {
+                matches!(e, EpochKeyError::BadIndex { .. })
+            }),
+            ("taxi@epoch:3-2", |e| {
+                matches!(
+                    e,
+                    EpochKeyError::EmptyRange {
+                        start: 3,
+                        end: 2,
+                        ..
+                    }
+                )
+            }),
+            ("taxi@epoch:3-3", |e| {
+                matches!(e, EpochKeyError::EmptyRange { .. })
+            }),
+            ("taxi@epoch:18446744073709551615", |e| {
+                matches!(e, EpochKeyError::EpochOverflow { .. })
+            }),
+        ];
+        for (key, is_expected) in cases {
+            let err = parse_epoch_key_strict(key).unwrap_err();
+            assert!(is_expected(&err), "key {key:?} got {err:?}");
+            assert_eq!(err.key(), key);
+            assert!(
+                err.to_string().contains(key),
+                "message {:?} must name key {key:?}",
+                err.to_string()
+            );
+        }
+    }
+
+    #[test]
+    fn strict_and_optional_parsers_agree() {
+        for key in [
+            "taxi@epoch:5",
+            "taxi@epoch:2-6",
+            "a@epoch:weird@epoch:2",
+            "plain",
+            "taxi@epoch:3-2",
+            "@epoch:1",
+        ] {
+            assert_eq!(parse_epoch_key(key), parse_epoch_key_strict(key).ok());
         }
     }
 

@@ -1,0 +1,163 @@
+//! The aggregation hot path: folding whole report batches into flat
+//! tally vectors.
+//!
+//! The per-report API in `dpgrid_mech` ([`dpgrid_mech::FrequencyOracle`
+//! `::aggregate`]) is the semantic reference; these functions are the
+//! batch form the collector actually runs. They are deliberately
+//! two-pass — one validation sweep over the batch, then one pure
+//! arithmetic sweep over flat slices — so the accumulation loop has no
+//! per-cell branching, no hashing and no per-report allocation, and a
+//! rejected batch leaves the accumulator untouched.
+
+use crate::error::LdpError;
+use crate::Result;
+
+/// Validates one GRR batch against a `cells`-cell domain: every
+/// perturbed index must land inside the grid.
+pub fn validate_grr(cells: u32, reports: &[u32]) -> Result<()> {
+    match reports.iter().find(|&&c| c >= cells) {
+        None => Ok(()),
+        Some(&c) => Err(LdpError::MalformedBatch(format!(
+            "GRR report names cell {c}, domain has {cells}"
+        ))),
+    }
+}
+
+/// Folds one validated GRR batch: each report bumps exactly one tally.
+/// `acc` must have `cells` entries and `reports` must have passed
+/// [`validate_grr`] for the same `cells`.
+pub fn fold_grr(acc: &mut [u64], reports: &[u32]) {
+    for &cell in reports {
+        acc[cell as usize] += 1;
+    }
+}
+
+/// Packed words per OUE report over a `cells`-cell domain.
+pub fn oue_words(cells: u32) -> usize {
+    dpgrid_mech::oue_words(cells as usize)
+}
+
+/// Validates one OUE batch against a `cells`-cell domain: the packed
+/// vector must hold exactly `count × ⌈cells/64⌉` words, and no report
+/// may set bits past the domain in its last word (a hostile tail
+/// would inflate the debiased tally of nonexistent cells — rejected
+/// here, before anything is folded).
+pub fn validate_oue(cells: u32, count: u32, bits: &[u64]) -> Result<()> {
+    let words = oue_words(cells);
+    match (count as usize).checked_mul(words) {
+        Some(expected) if expected == bits.len() => {}
+        _ => {
+            return Err(LdpError::MalformedBatch(format!(
+            "OUE batch holds {} words, {count} reports over {cells} cells need {count} × {words}",
+            bits.len()
+        )))
+        }
+    }
+    let tail = (words * 64 - cells as usize) as u32;
+    if tail > 0
+        && bits
+            .iter()
+            .skip(words - 1)
+            .step_by(words)
+            .any(|&last| last >> (64 - tail) != 0)
+    {
+        return Err(LdpError::MalformedBatch(format!(
+            "OUE report sets bits past the {cells}-cell domain"
+        )));
+    }
+    Ok(())
+}
+
+/// Folds one validated OUE batch: every set bit bumps its cell's
+/// tally. `acc` must have `cells` entries; [`validate_oue`]
+/// guarantees no set bit maps past it. The inner loop clears one set
+/// bit per iteration
+/// (`bits &= bits - 1`), so sparse reports — the common case, E[set
+/// bits] ≈ cells·q + 1 — cost proportional to their set bits, not to
+/// the domain.
+pub fn fold_oue(acc: &mut [u64], words: usize, bits: &[u64]) {
+    debug_assert!(words > 0);
+    for report in bits.chunks_exact(words) {
+        for (w, &word) in report.iter().enumerate() {
+            let base = w * 64;
+            let mut rest = word;
+            while rest != 0 {
+                let b = rest.trailing_zeros() as usize;
+                acc[base + b] += 1;
+                rest &= rest - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpgrid_mech::{FrequencyOracle, Grr, LocalReport, Oue};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grr_validation_names_the_offending_cell() {
+        assert!(validate_grr(10, &[0, 9, 5]).is_ok());
+        let err = validate_grr(10, &[0, 10]).unwrap_err();
+        assert!(err.to_string().contains("cell 10"), "{err}");
+    }
+
+    #[test]
+    fn oue_validation_rejects_shape_and_tail_violations() {
+        // 100 cells → 2 words per report.
+        assert!(validate_oue(100, 2, &[1, 0, 0, 1 << 35]).is_ok());
+        assert!(validate_oue(100, 2, &[1, 0, 0]).is_err());
+        // Bit 100 of the second report is past the domain.
+        let err = validate_oue(100, 2, &[1, 0, 0, 1 << 36]).unwrap_err();
+        assert!(
+            err.to_string().contains("past the 100-cell domain"),
+            "{err}"
+        );
+        // An exact multiple of 64 has no tail to poison.
+        assert!(validate_oue(128, 1, &[u64::MAX, u64::MAX]).is_ok());
+    }
+
+    #[test]
+    fn batch_folds_match_the_per_report_oracle_path() {
+        let cells = 100u32;
+        let epsilon = 0.8;
+        let grr = Grr::new(cells as usize, epsilon).unwrap();
+        let oue = Oue::new(cells as usize, epsilon).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+
+        let mut grr_batch = Vec::new();
+        let mut oue_count = 0u32;
+        let mut oue_bits = Vec::new();
+        let mut reference_grr = vec![0u64; cells as usize];
+        let mut reference_oue = vec![0u64; cells as usize];
+        for i in 0..500usize {
+            let truth = i % cells as usize;
+            let g = grr.perturb(truth, &mut rng).unwrap();
+            grr.aggregate(&mut reference_grr, &g).unwrap();
+            let LocalReport::Cell(c) = g else {
+                panic!("GRR perturbs to a cell")
+            };
+            grr_batch.push(c);
+
+            let o = oue.perturb(truth, &mut rng).unwrap();
+            oue.aggregate(&mut reference_oue, &o).unwrap();
+            let LocalReport::Bits(words) = o else {
+                panic!("OUE perturbs to packed bits")
+            };
+            oue_count += 1;
+            oue_bits.extend_from_slice(&words);
+        }
+
+        validate_grr(cells, &grr_batch).unwrap();
+        let mut acc = vec![0u64; cells as usize];
+        fold_grr(&mut acc, &grr_batch);
+        assert_eq!(acc, reference_grr);
+
+        validate_oue(cells, oue_count, &oue_bits).unwrap();
+        let mut acc = vec![0u64; cells as usize];
+        fold_oue(&mut acc, oue_words(cells), &oue_bits);
+        assert_eq!(acc, reference_oue);
+    }
+}

@@ -1,0 +1,143 @@
+//! Typed errors for the LDP ingestion front door.
+
+use std::error::Error;
+use std::fmt;
+
+use dpgrid_core::CoreError;
+use dpgrid_mech::MechError;
+
+/// Everything that can go wrong collecting, aggregating or sealing
+/// LDP report batches. Mirrors the streaming subsystem's convention:
+/// every rejection is typed and carries the state that caused it, so
+/// transports can map each variant onto a stable wire error.
+#[derive(Debug)]
+pub enum LdpError {
+    /// A batch named a keyspace this collector does not aggregate.
+    UnknownKeyspace {
+        /// The keyspace the batch carried.
+        got: String,
+        /// The keyspace the collector aggregates.
+        want: String,
+    },
+    /// A batch arrived for an epoch that has already been sealed and
+    /// published — late reports cannot be folded in without
+    /// re-spending the epoch's budget.
+    SealedEpoch {
+        /// The epoch the batch carried.
+        epoch: u64,
+        /// The collector's open (accepting) epoch.
+        open: u64,
+    },
+    /// A batch arrived for an epoch the collector has not opened yet.
+    /// Reports are accepted strictly in epoch order, one open epoch at
+    /// a time, so accumulator memory stays bounded.
+    FutureEpoch {
+        /// The epoch the batch carried.
+        epoch: u64,
+        /// The collector's open (accepting) epoch.
+        open: u64,
+    },
+    /// The batch's per-report ε does not match the share the budget
+    /// schedule assigns this epoch. Folding it in anyway would
+    /// silently break the debiasing (and the privacy claim).
+    EpsilonMismatch {
+        /// The epoch in question.
+        epoch: u64,
+        /// The ε the batch claimed its reports were perturbed at.
+        got: f64,
+        /// The ε the schedule assigns the epoch.
+        want: f64,
+    },
+    /// The batch's grid domain size does not match the collector's.
+    DomainMismatch {
+        /// The cell count the batch carried.
+        got: u32,
+        /// The collector's cell count.
+        want: u32,
+    },
+    /// Accepting the batch would push the open epoch's accumulator
+    /// past its configured report capacity. Nothing was folded in;
+    /// the caller should back off until the epoch seals.
+    BufferOverflow {
+        /// The open epoch.
+        epoch: u64,
+        /// Reports already held plus the rejected batch's count.
+        requested: u64,
+        /// The configured per-epoch report capacity.
+        capacity: u64,
+    },
+    /// A report inside the batch did not fit the declared shape
+    /// (out-of-range GRR index, wrong OUE word count, set bits past
+    /// the domain). The whole batch is rejected untouched.
+    MalformedBatch(String),
+    /// The collector was configured inconsistently.
+    InvalidConfig(String),
+    /// A budget-schedule operation failed (exhausted horizon,
+    /// double-charged epoch…).
+    Mech(MechError),
+    /// Building the sealed release failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for LdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LdpError::UnknownKeyspace { got, want } => {
+                write!(
+                    f,
+                    "batch names keyspace `{got}`, collector aggregates `{want}`"
+                )
+            }
+            LdpError::SealedEpoch { epoch, open } => write!(
+                f,
+                "epoch {epoch} is already sealed; the open epoch is {open}"
+            ),
+            LdpError::FutureEpoch { epoch, open } => {
+                write!(f, "epoch {epoch} is not open yet; the open epoch is {open}")
+            }
+            LdpError::EpsilonMismatch { epoch, got, want } => write!(
+                f,
+                "batch claims per-report ε = {got}, the schedule assigns epoch {epoch} ε = {want}"
+            ),
+            LdpError::DomainMismatch { got, want } => write!(
+                f,
+                "batch covers {got} grid cells, collector aggregates {want}"
+            ),
+            LdpError::BufferOverflow {
+                epoch,
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "accepting the batch would hold {requested} reports for epoch {epoch}, \
+                 capacity is {capacity}"
+            ),
+            LdpError::MalformedBatch(why) => write!(f, "malformed report batch: {why}"),
+            LdpError::InvalidConfig(why) => write!(f, "invalid collector config: {why}"),
+            LdpError::Mech(e) => write!(f, "budget schedule: {e}"),
+            LdpError::Core(e) => write!(f, "release construction: {e}"),
+        }
+    }
+}
+
+impl Error for LdpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LdpError::Mech(e) => Some(e),
+            LdpError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MechError> for LdpError {
+    fn from(e: MechError) -> Self {
+        LdpError::Mech(e)
+    }
+}
+
+impl From<CoreError> for LdpError {
+    fn from(e: CoreError) -> Self {
+        LdpError::Core(e)
+    }
+}

@@ -36,6 +36,12 @@ pub enum MechError {
         /// The score value.
         score: f64,
     },
+    /// A frequency oracle was built over a degenerate domain (fewer
+    /// than two cells, or more than `u32::MAX`).
+    InvalidDomainSize(usize),
+    /// A local-DP report did not fit the oracle it was folded into
+    /// (wrong kind, out-of-range cell, wrong bit-vector shape).
+    InvalidReport(String),
 }
 
 impl fmt::Display for MechError {
@@ -67,6 +73,10 @@ impl fmt::Display for MechError {
             MechError::NonFiniteScore { index, score } => {
                 write!(f, "candidate #{index} has non-finite score {score}")
             }
+            MechError::InvalidDomainSize(cells) => {
+                write!(f, "frequency oracle needs 2..=u32::MAX cells, got {cells}")
+            }
+            MechError::InvalidReport(msg) => write!(f, "malformed LDP report: {msg}"),
         }
     }
 }

@@ -1,0 +1,448 @@
+//! Local-DP frequency oracles over grid cells.
+//!
+//! In the **local model** there is no trusted curator: each user
+//! randomizes their own grid cell on-device and only the perturbed
+//! report travels. The server aggregates many reports and *debiases*
+//! the tallies into unbiased per-cell count estimates. Two classic
+//! oracles are provided behind one [`FrequencyOracle`] trait:
+//!
+//! * [`Grr`] — generalized randomized response: report the true cell
+//!   with probability `e^ε / (e^ε + k − 1)`, otherwise one of the
+//!   `k − 1` other cells uniformly. One `u32` per report on the wire;
+//!   error grows with the domain size `k`.
+//! * [`Oue`] — optimized unary encoding (Wang et al., USENIX Security
+//!   2017): encode the cell as a one-hot bit vector, keep the 1-bit
+//!   with probability `1/2`, flip each 0-bit on with probability
+//!   `1 / (e^ε + 1)`. `⌈k/64⌉` packed words per report; per-cell
+//!   variance is independent of `k`.
+//!
+//! Both satisfy ε-LDP per report. Estimates are **unbiased** but
+//! noisy — they are not curator-noised counts, and releases built from
+//! them should be labelled as local-model estimates (see
+//! `dpgrid_core::ReleaseMetadata`). Per-epoch ε composition for
+//! repeated collection rounds goes through [`crate::BudgetSchedule`],
+//! exactly as for central-model streaming releases.
+
+use rand::{Rng, RngCore};
+
+use crate::{check_epsilon, MechError, Result};
+
+/// One user's perturbed report, as produced client-side by
+/// [`FrequencyOracle::perturb`] and folded server-side by
+/// [`FrequencyOracle::aggregate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalReport {
+    /// A [`Grr`] report: the (possibly lied-about) cell index.
+    Cell(u32),
+    /// An [`Oue`] report: one bit per cell, packed little-endian into
+    /// `⌈k/64⌉` words (cell `j` is bit `j % 64` of word `j / 64`).
+    Bits(Vec<u64>),
+}
+
+/// A local-DP frequency oracle over a fixed domain of `k` grid cells.
+///
+/// The protocol is split exactly at the trust boundary:
+/// [`perturb`](FrequencyOracle::perturb) runs client-side (the only
+/// thing that ever sees a true cell), while
+/// [`aggregate`](FrequencyOracle::aggregate) and
+/// [`estimate`](FrequencyOracle::estimate) run server-side over
+/// perturbed reports only. The accumulator is a flat `u64` tally
+/// vector of length `k`, so a collector can fold millions of reports
+/// without per-report allocation.
+///
+/// The trait is object-safe (`perturb` takes `&mut dyn RngCore`), so
+/// heterogeneous collectors can hold `Box<dyn FrequencyOracle>`.
+pub trait FrequencyOracle {
+    /// Domain size `k`: the number of grid cells a report covers.
+    fn cells(&self) -> usize;
+
+    /// The per-report privacy parameter ε.
+    fn epsilon(&self) -> f64;
+
+    /// Client-side: randomizes the user's true `cell` into a wire-ready
+    /// report. Fails typed when `cell` is outside the domain.
+    fn perturb(&self, cell: usize, rng: &mut dyn RngCore) -> Result<LocalReport>;
+
+    /// Server-side: folds one report into the flat tally vector `acc`
+    /// (length exactly [`cells`](FrequencyOracle::cells)). Fails typed
+    /// on a shape mismatch — wrong report kind, out-of-range index,
+    /// wrong bit-vector length — without touching `acc`.
+    fn aggregate(&self, acc: &mut [u64], report: &LocalReport) -> Result<()>;
+
+    /// Server-side: unbiased per-cell count estimates from the tallies
+    /// of `n` aggregated reports. Estimates may be negative or exceed
+    /// `n` — that is the unavoidable price of unbiasedness under LDP
+    /// noise; callers decide whether to clamp.
+    fn estimate(&self, acc: &[u64], n: u64) -> Vec<f64>;
+
+    /// The per-cell sampling variance of one estimate over `n` reports
+    /// (worst case over cells), for CLT-style confidence bounds.
+    fn estimate_variance(&self, n: u64) -> f64;
+}
+
+/// Number of packed `u64` words in one [`Oue`] report over `k` cells.
+pub fn oue_words(cells: usize) -> usize {
+    cells.div_ceil(64)
+}
+
+/// Shared validation: the domain needs at least two cells (a
+/// single-cell domain has nothing to hide) and a valid ε.
+fn check_domain(cells: usize, epsilon: f64) -> Result<f64> {
+    if cells < 2 || cells > u32::MAX as usize {
+        return Err(MechError::InvalidDomainSize(cells));
+    }
+    check_epsilon(epsilon)
+}
+
+/// Generalized randomized response over `k` cells.
+#[derive(Debug, Clone)]
+pub struct Grr {
+    cells: usize,
+    epsilon: f64,
+    /// Probability of reporting the true cell.
+    p: f64,
+    /// Probability of reporting any one specific *other* cell.
+    q: f64,
+}
+
+impl Grr {
+    /// An oracle over `cells ≥ 2` cells at per-report privacy `epsilon`.
+    pub fn new(cells: usize, epsilon: f64) -> Result<Self> {
+        let epsilon = check_domain(cells, epsilon)?;
+        let e = epsilon.exp();
+        let denom = e + cells as f64 - 1.0;
+        Ok(Grr {
+            cells,
+            epsilon,
+            p: e / denom,
+            q: 1.0 / denom,
+        })
+    }
+
+    /// The truth-telling probability `p = e^ε / (e^ε + k − 1)`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The per-other-cell lie probability `q = 1 / (e^ε + k − 1)`.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+}
+
+impl FrequencyOracle for Grr {
+    fn cells(&self) -> usize {
+        self.cells
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn perturb(&self, cell: usize, rng: &mut dyn RngCore) -> Result<LocalReport> {
+        if cell >= self.cells {
+            return Err(MechError::InvalidReport(format!(
+                "cell {cell} outside domain of {} cells",
+                self.cells
+            )));
+        }
+        if rng.random_bool(self.p) {
+            return Ok(LocalReport::Cell(cell as u32));
+        }
+        // Uniform over the k − 1 *other* cells: draw from k − 1 slots
+        // and skip past the true cell.
+        let other = rng.random_range(0..self.cells - 1);
+        let reported = if other >= cell { other + 1 } else { other };
+        Ok(LocalReport::Cell(reported as u32))
+    }
+
+    fn aggregate(&self, acc: &mut [u64], report: &LocalReport) -> Result<()> {
+        if acc.len() != self.cells {
+            return Err(MechError::InvalidReport(format!(
+                "accumulator has {} slots for a {}-cell domain",
+                acc.len(),
+                self.cells
+            )));
+        }
+        match report {
+            LocalReport::Cell(c) if (*c as usize) < self.cells => {
+                acc[*c as usize] += 1;
+                Ok(())
+            }
+            LocalReport::Cell(c) => Err(MechError::InvalidReport(format!(
+                "reported cell {c} outside domain of {} cells",
+                self.cells
+            ))),
+            LocalReport::Bits(_) => Err(MechError::InvalidReport(
+                "GRR oracle got a bit-vector (OUE) report".to_string(),
+            )),
+        }
+    }
+
+    fn estimate(&self, acc: &[u64], n: u64) -> Vec<f64> {
+        debias(acc, n, self.p, self.q)
+    }
+
+    fn estimate_variance(&self, n: u64) -> f64 {
+        // Var[(C − nq)/(p − q)] with C ~ Binomial(n, ·); worst case at
+        // report probability 1/2, bounded by n/4 successes variance —
+        // use the standard q(1−q) bound plus the truth term.
+        let n = n as f64;
+        n * self.q * (1.0 - self.q) / ((self.p - self.q) * (self.p - self.q)) + n / 4.0
+    }
+}
+
+/// Optimized unary encoding over `k` cells.
+#[derive(Debug, Clone)]
+pub struct Oue {
+    cells: usize,
+    epsilon: f64,
+    /// Probability a 0-bit flips on: `q = 1 / (e^ε + 1)`. The 1-bit
+    /// survives with the OUE-optimal `p = 1/2`.
+    q: f64,
+}
+
+impl Oue {
+    /// An oracle over `cells ≥ 2` cells at per-report privacy `epsilon`.
+    pub fn new(cells: usize, epsilon: f64) -> Result<Self> {
+        let epsilon = check_domain(cells, epsilon)?;
+        Ok(Oue {
+            cells,
+            epsilon,
+            q: 1.0 / (epsilon.exp() + 1.0),
+        })
+    }
+
+    /// The 1-bit retention probability (always `1/2` under OUE).
+    pub fn p(&self) -> f64 {
+        0.5
+    }
+
+    /// The 0-bit flip-on probability `q = 1 / (e^ε + 1)`.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Packed words per report for this domain.
+    pub fn words(&self) -> usize {
+        oue_words(self.cells)
+    }
+}
+
+impl FrequencyOracle for Oue {
+    fn cells(&self) -> usize {
+        self.cells
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn perturb(&self, cell: usize, rng: &mut dyn RngCore) -> Result<LocalReport> {
+        if cell >= self.cells {
+            return Err(MechError::InvalidReport(format!(
+                "cell {cell} outside domain of {} cells",
+                self.cells
+            )));
+        }
+        let mut words = vec![0u64; self.words()];
+        for j in 0..self.cells {
+            let on = if j == cell {
+                rng.random_bool(0.5)
+            } else {
+                rng.random_bool(self.q)
+            };
+            if on {
+                words[j / 64] |= 1u64 << (j % 64);
+            }
+        }
+        Ok(LocalReport::Bits(words))
+    }
+
+    fn aggregate(&self, acc: &mut [u64], report: &LocalReport) -> Result<()> {
+        if acc.len() != self.cells {
+            return Err(MechError::InvalidReport(format!(
+                "accumulator has {} slots for a {}-cell domain",
+                acc.len(),
+                self.cells
+            )));
+        }
+        let LocalReport::Bits(words) = report else {
+            return Err(MechError::InvalidReport(
+                "OUE oracle got a cell-index (GRR) report".to_string(),
+            ));
+        };
+        if words.len() != self.words() {
+            return Err(MechError::InvalidReport(format!(
+                "report has {} words, domain of {} cells needs {}",
+                words.len(),
+                self.cells,
+                self.words()
+            )));
+        }
+        // Bits past the domain in the last word must be clear — a
+        // hostile report must not smuggle tallies out of range.
+        let tail_bits = self.cells % 64;
+        if tail_bits != 0 && words[self.words() - 1] >> tail_bits != 0 {
+            return Err(MechError::InvalidReport(format!(
+                "report sets bits past the {}-cell domain",
+                self.cells
+            )));
+        }
+        for (w, &word) in words.iter().enumerate() {
+            let base = w * 64;
+            let mut bits = word;
+            // One tally bump per *set* bit: iterate set bits via
+            // trailing_zeros instead of branching on all 64 positions.
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                acc[base + b] += 1;
+                bits &= bits - 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn estimate(&self, acc: &[u64], n: u64) -> Vec<f64> {
+        debias(acc, n, 0.5, self.q)
+    }
+
+    fn estimate_variance(&self, n: u64) -> f64 {
+        // The standard OUE bound: 4 e^ε / (e^ε − 1)² per report.
+        let e = self.epsilon.exp();
+        4.0 * (n as f64) * e / ((e - 1.0) * (e - 1.0))
+    }
+}
+
+/// The shared unbiased inversion: `(tally − n·q) / (p − q)` per cell.
+fn debias(acc: &[u64], n: u64, p: f64, q: f64) -> Vec<f64> {
+    let n = n as f64;
+    let scale = 1.0 / (p - q);
+    acc.iter().map(|&c| (c as f64 - n * q) * scale).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn simulate(oracle: &dyn FrequencyOracle, truth: &[usize], seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut acc = vec![0u64; oracle.cells()];
+        for &cell in truth {
+            let report = oracle.perturb(cell, &mut rng).unwrap();
+            oracle.aggregate(&mut acc, &report).unwrap();
+        }
+        oracle.estimate(&acc, truth.len() as u64)
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(matches!(
+            Grr::new(1, 1.0),
+            Err(MechError::InvalidDomainSize(1))
+        ));
+        assert!(matches!(
+            Oue::new(0, 1.0),
+            Err(MechError::InvalidDomainSize(0))
+        ));
+        assert!(Grr::new(4, 0.0).is_err());
+        assert!(Oue::new(4, f64::NAN).is_err());
+        assert!(Grr::new(4, 1.0).is_ok());
+        assert!(Oue::new(4, 1.0).is_ok());
+    }
+
+    #[test]
+    fn grr_probabilities_satisfy_ldp() {
+        let g = Grr::new(16, 1.5).unwrap();
+        // p/q = e^ε exactly: the defining likelihood-ratio bound.
+        assert!((g.p() / g.q() - 1.5f64.exp()).abs() < 1e-12);
+        assert!((g.p() + 15.0 * g.q() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimates_recover_truth_within_clt_bounds() {
+        let k = 16;
+        let n = 20_000usize;
+        // Everyone in cell 3 or cell 7, split 3:1.
+        let truth: Vec<usize> = (0..n).map(|i| if i % 4 == 0 { 7 } else { 3 }).collect();
+        for oracle in [
+            &Grr::new(k, 1.0).unwrap() as &dyn FrequencyOracle,
+            &Oue::new(k, 1.0).unwrap() as &dyn FrequencyOracle,
+        ] {
+            let est = simulate(oracle, &truth, 42);
+            let sigma = oracle.estimate_variance(n as u64).sqrt();
+            assert!((est[3] - 0.75 * n as f64).abs() < 5.0 * sigma, "{est:?}");
+            assert!((est[7] - 0.25 * n as f64).abs() < 5.0 * sigma);
+            assert!(est[0].abs() < 5.0 * sigma);
+            // Unbiasedness is exact in expectation; over one run the
+            // total still concentrates near n.
+            let total: f64 = est.iter().sum();
+            assert!((total - n as f64).abs() < 5.0 * sigma * (k as f64).sqrt());
+        }
+    }
+
+    #[test]
+    fn aggregate_rejects_malformed_reports_untouched() {
+        let g = Grr::new(8, 1.0).unwrap();
+        let o = Oue::new(8, 1.0).unwrap();
+        let mut acc = vec![0u64; 8];
+        assert!(g.aggregate(&mut acc, &LocalReport::Cell(8)).is_err());
+        assert!(g.aggregate(&mut acc, &LocalReport::Bits(vec![0])).is_err());
+        assert!(o.aggregate(&mut acc, &LocalReport::Cell(0)).is_err());
+        assert!(o
+            .aggregate(&mut acc, &LocalReport::Bits(vec![0, 0]))
+            .is_err());
+        // Bits past an 8-cell domain are hostile, not ignorable.
+        assert!(o
+            .aggregate(&mut acc, &LocalReport::Bits(vec![1 << 8]))
+            .is_err());
+        let mut short = vec![0u64; 4];
+        assert!(g.aggregate(&mut short, &LocalReport::Cell(0)).is_err());
+        assert_eq!(acc, vec![0u64; 8]);
+    }
+
+    #[test]
+    fn perturb_rejects_out_of_domain_cells() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Grr::new(8, 1.0).unwrap().perturb(8, &mut rng).is_err());
+        assert!(Oue::new(8, 1.0).unwrap().perturb(99, &mut rng).is_err());
+    }
+
+    #[test]
+    fn oue_reports_have_clean_tails() {
+        let o = Oue::new(70, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for cell in [0usize, 63, 64, 69] {
+            let LocalReport::Bits(words) = o.perturb(cell, &mut rng).unwrap() else {
+                panic!("OUE must produce bit vectors");
+            };
+            assert_eq!(words.len(), 2);
+            assert_eq!(words[1] >> 6, 0, "tail bits past cell 69 must be clear");
+        }
+    }
+
+    #[test]
+    fn exact_expected_tallies_invert_to_exact_truth() {
+        // Feed the estimator the *expected* tallies for a known truth
+        // vector; the debiasing must invert them exactly.
+        let k = 5;
+        let n = 1000u64;
+        let truth = [400u64, 300, 200, 100, 0];
+        let g = Grr::new(k, 1.2).unwrap();
+        let expected: Vec<u64> = truth
+            .iter()
+            .map(|&t| {
+                let e = t as f64 * g.p() + (n - t) as f64 * g.q();
+                e.round() as u64
+            })
+            .collect();
+        let est = g.estimate(&expected, n);
+        for (e, t) in est.iter().zip(truth.iter()) {
+            // Rounding the expected tally to an integer costs < 1
+            // tally unit, amplified by 1/(p−q).
+            assert!((e - *t as f64).abs() < 1.0 / (g.p() - g.q()));
+        }
+    }
+}

@@ -14,7 +14,11 @@
 //! * [`BudgetSchedule`] — per-epoch ε allocation for streaming release
 //!   pipelines (uniform over a fixed horizon, or infinite-horizon
 //!   exponential decay), with each epoch charged at most once against
-//!   hard budget accounting.
+//!   hard budget accounting;
+//! * local-DP frequency oracles ([`Grr`], [`Oue`]) behind the
+//!   [`FrequencyOracle`] trait — client-side `perturb`, server-side
+//!   `aggregate`/`estimate` with unbiased debiasing — for the
+//!   no-trusted-curator ingestion path.
 //!
 //! # Conventions
 //!
@@ -41,6 +45,7 @@
 mod budget;
 mod error;
 mod exponential;
+mod frequency;
 mod geometric;
 mod laplace;
 mod schedule;
@@ -48,6 +53,7 @@ mod schedule;
 pub use budget::{geometric_allocation, uniform_allocation, PrivacyBudget};
 pub use error::MechError;
 pub use exponential::ExponentialMechanism;
+pub use frequency::{oue_words, FrequencyOracle, Grr, LocalReport, Oue};
 pub use geometric::GeometricMechanism;
 pub use laplace::{Laplace, LaplaceMechanism};
 pub use schedule::{BudgetSchedule, SchedulePolicy};

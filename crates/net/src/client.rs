@@ -29,21 +29,29 @@
 //! response was due, the signature of a server restart or an idle
 //! timeout — it reconnects (re-negotiating the protocol from scratch)
 //! and resends that frame **once** before surfacing a [`NetError`].
-//! One retry is safe because every request in the protocol is an
-//! idempotent read (queries, stats, keys, ping); it is capped at one
-//! so a dead server fails fast instead of retry-looping. A client
-//! that has surfaced an error reconnects lazily on its next call, so
-//! long-lived clients ride out server restarts without being rebuilt.
+//! One retry is safe because the read-path requests are all
+//! idempotent (queries, stats, keys, ping); it is capped at one so a
+//! dead server fails fast instead of retry-looping. The write path is
+//! the deliberate exception: `Report` batches mutate collector state,
+//! so [`TcpClient::submit_report`] and [`TcpClient::submit_reports`]
+//! never resend — a connection that dies mid-submit surfaces the
+//! error and lets the caller decide whether re-submitting could
+//! double-count. A client that has surfaced an error reconnects
+//! lazily on its next call, so long-lived clients ride out server
+//! restarts without being rebuilt.
 
+use std::borrow::Borrow;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 use dpgrid_geo::Rect;
 use dpgrid_serve::wire::{
     binary, ErrorCode, HelloOffer, RequestBody, ResponseBody, WireError, WireQuery, WireRect,
-    WireRequest, WireResponse, WireWindow,
+    WireReportBatch, WireRequest, WireResponse, WireWindow,
 };
-use dpgrid_serve::{EngineStats, QueryRequest, QueryResponse, WindowAnswer};
+use dpgrid_serve::{
+    EngineStats, QueryRequest, QueryResponse, ReportAck, ReportBatch, WindowAnswer,
+};
 
 use std::time::Duration;
 
@@ -271,6 +279,54 @@ impl Conn {
         }
         Ok(results)
     }
+
+    /// Encodes all `batches` as id-correlated Report frames, ships
+    /// them in one write, then drains the acks in order — the same
+    /// lockstep contract as [`Conn::pipeline_binary`]. Encoding is
+    /// all-or-nothing *before* the write: a batch the binary codec
+    /// refuses (unknown oracle string) fails the call with zero bytes
+    /// sent, so nothing is half-applied.
+    fn pipeline_reports<B: Borrow<ReportBatch>>(
+        &mut self,
+        batches: &[B],
+        first_id: u64,
+    ) -> Result<Vec<std::result::Result<ReportAck, WireError>>> {
+        self.out_buf.clear();
+        for (i, batch) in batches.iter().enumerate() {
+            let wire = WireReportBatch::from_batch(batch.borrow());
+            binary::append_report(first_id + i as u64, &wire, &mut self.out_buf)
+                .map_err(|e| NetError::Protocol(e.to_string()))?;
+        }
+        self.writer.get_mut().write_all(&self.out_buf)?;
+
+        let mut results = Vec::with_capacity(batches.len());
+        for i in 0..batches.len() {
+            let expect = first_id + i as u64;
+            let response = self.read_binary_response()?;
+            match response.body {
+                // A rejected batch (sealed epoch, ε mismatch, a
+                // pre-`Report` server's `MalformedRequest`) fails only
+                // its slot; the drain continues in lockstep.
+                ResponseBody::Error(e) if response.id == expect => results.push(Err(e)),
+                ResponseBody::Error(e) => {
+                    return Err(NetError::Protocol(format!(
+                        "pipelined report {expect} got server error under id {}: {e}",
+                        response.id
+                    )));
+                }
+                ResponseBody::Report(ack) if response.id == expect => {
+                    results.push(Ok(ack.into_ack()));
+                }
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "pipelined report {expect} got {other:?} under id {}",
+                        response.id
+                    )));
+                }
+            }
+        }
+        Ok(results)
+    }
 }
 
 /// A blocking connection to a [`crate::TcpServer`] (or anything else
@@ -431,6 +487,82 @@ impl TcpClient {
         }
     }
 
+    /// Submits one batch of locally-perturbed reports to the server's
+    /// collector and blocks for the ack. Typed collector rejections
+    /// (sealed epoch, ε mismatch, overflow) come back as
+    /// [`NetError::Server`]; a pre-`Report` server answers
+    /// `MalformedRequest` — treat it as "feature unsupported", per the
+    /// versioning policy.
+    ///
+    /// Unlike the read-path calls this is **never resent**: a report
+    /// batch mutates collector state, and a connection that dies after
+    /// the frame was written may or may not have been applied. The
+    /// error is surfaced (and the connection poisoned) so the caller —
+    /// who knows whether their reports are deduplicable — decides
+    /// whether to re-submit.
+    pub fn submit_report(&mut self, batch: &ReportBatch) -> Result<ReportAck> {
+        let body = RequestBody::Report(WireReportBatch::from_batch(batch));
+        match self.call_mutating(body)? {
+            ResponseBody::Report(ack) => Ok(ack.into_ack()),
+            other => Err(unexpected("Report", &other)),
+        }
+    }
+
+    /// Submits several report batches by **pipelining** one Report
+    /// frame per batch over the binary codec: all frames ship in a
+    /// single write, then the acks are drained in order, so the
+    /// socket stays busy instead of ping-ponging per batch — this is
+    /// the ingestion fast path. On a connection that negotiated down
+    /// to JSON v1 it degrades to sequential per-batch round trips
+    /// (same semantics, more round trips). Per-batch rejections are
+    /// isolated in the inner results; the outer `Result` is the
+    /// transport.
+    ///
+    /// Like [`TcpClient::submit_report`] this is never resent on a
+    /// stale connection — see there for why. On a transport error the
+    /// caller learns nothing about *which* of the in-flight batches
+    /// were applied; keep batches per-epoch-idempotent (or count on
+    /// the ack's `epoch_total`) if that matters.
+    pub fn submit_reports<B: Borrow<ReportBatch>>(
+        &mut self,
+        batches: &[B],
+    ) -> Result<Vec<std::result::Result<ReportAck, WireError>>> {
+        if batches.is_empty() {
+            return Ok(Vec::new());
+        }
+        let first_id = self.next_id;
+        self.next_id += batches.len() as u64;
+        if self.conn.is_none() {
+            self.conn = Some(Conn::open(self.peer, self.io_timeout, self.max_protocol)?);
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        let result = if conn.protocol == binary::PROTOCOL_VERSION {
+            conn.pipeline_reports(batches, first_id)
+        } else {
+            // JSON v1 fallback: sequential frames, rejections still
+            // isolated per batch so one sealed epoch doesn't mask the
+            // acks around it.
+            let mut results = Vec::with_capacity(batches.len());
+            let mut sequential = || {
+                for (i, batch) in batches.iter().enumerate() {
+                    let body = RequestBody::Report(WireReportBatch::from_batch(batch.borrow()));
+                    match conn.exchange(&body, first_id + i as u64) {
+                        Ok(ResponseBody::Report(ack)) => results.push(Ok(ack.into_ack())),
+                        Ok(other) => return Err(unexpected("Report", &other)),
+                        Err(NetError::Server(e)) => results.push(Err(e)),
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(())
+            };
+            sequential().map(|()| results)
+        };
+        if matches!(result, Err(ref e) if !matches!(e, NetError::Server(_))) {
+            self.conn = None;
+        }
+        result
+    }
+
     /// Answers several requests (possibly across releases) in one
     /// round trip. The outer `Result` is the transport; each inner
     /// result is that query's own outcome, failures isolated exactly
@@ -540,8 +672,10 @@ impl TcpClient {
     /// connection (the server went away between calls: broken pipe,
     /// reset, EOF in place of a response) is redialed — which
     /// re-negotiates the protocol from scratch — and the frame resent
-    /// exactly once; every request is an idempotent read, so the
-    /// retry cannot double-apply anything.
+    /// exactly once; every request routed through here is an
+    /// idempotent read (mutating `Report` frames go through
+    /// [`TcpClient::call_mutating`] instead), so the retry cannot
+    /// double-apply anything.
     fn call(&mut self, body: RequestBody) -> Result<ResponseBody> {
         let id = self.next_id;
         self.next_id += 1;
@@ -565,6 +699,21 @@ impl TcpClient {
             }
             ok => ok,
         }
+    }
+
+    /// [`TcpClient::call`] without the stale-connection resend, for
+    /// requests that mutate server state: a fresh connection is still
+    /// opened when none is held (no bytes of this request have been
+    /// written yet, so that dial risks nothing), but once the frame is
+    /// on the wire any failure surfaces to the caller.
+    fn call_mutating(&mut self, body: RequestBody) -> Result<ResponseBody> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let result = self.exchange(&body, id);
+        if matches!(result, Err(ref e) if !matches!(e, NetError::Server(_))) {
+            self.conn = None;
+        }
+        result
     }
 
     /// One round trip on the current connection, opening (and

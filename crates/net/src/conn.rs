@@ -369,6 +369,7 @@ impl MuxConn {
                         // Framing held; only this frame fails.
                         Err(e) => wire::WireResponse::error(header.id, e),
                     };
+                    counters.count_report_ack(&response);
                     self.in_buf.drain(..total);
                     self.respond_binary(&response, counters);
                 }
@@ -420,6 +421,7 @@ impl MuxConn {
             }
             Err(e) => wire::WireResponse::error(e.id, e.error),
         };
+        counters.count_report_ack(&response);
         self.respond_json(&response, counters);
     }
 

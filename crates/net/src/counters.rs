@@ -31,11 +31,27 @@ pub(crate) struct TransportCounters {
     pub write_stalls: AtomicU64,
     pub bytes_in: AtomicU64,
     pub bytes_out: AtomicU64,
+    /// Individual LDP reports acknowledged on the write path — the sum
+    /// of every `Report` ack's `accepted` count (a rejected batch
+    /// answers an error frame and counts nothing), kept apart from
+    /// `frames_decoded`, which counts request frames regardless of
+    /// kind or batch size.
+    pub reports_accepted: AtomicU64,
 }
 
 impl TransportCounters {
     pub fn add(&self, counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts a dispatched response that acknowledged a `Report`
+    /// batch — called at every dispatch site (both codecs, both server
+    /// modes) so the write path is visible in `Stats` wherever it
+    /// entered.
+    pub fn count_report_ack(&self, response: &dpgrid_serve::wire::WireResponse) {
+        if let dpgrid_serve::wire::ResponseBody::Report(ack) = &response.body {
+            self.add(&self.reports_accepted, ack.accepted);
+        }
     }
 
     /// The wire-visible snapshot.
@@ -48,6 +64,7 @@ impl TransportCounters {
             write_stalls: self.write_stalls.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            reports_accepted: self.reports_accepted.load(Ordering::Relaxed),
         }
     }
 }
@@ -90,5 +107,9 @@ impl<S: QueryService + ?Sized> QueryService for Instrumented<S> {
 
     fn window(&self, query: &WindowQuery) -> dpgrid_serve::Result<WindowAnswer> {
         self.inner.window(query)
+    }
+
+    fn reports(&self) -> Option<&dyn dpgrid_serve::ReportService> {
+        self.inner.reports()
     }
 }

@@ -6,8 +6,10 @@
 //! thread-per-connection mode, graceful shutdown either way), a
 //! blocking client ([`TcpClient`], with one-shot reconnection and
 //! request pipelining), a reconnecting connection pool
-//! ([`TcpClientPool`]) and the remote leg of the sharded serving tier
-//! ([`RemoteShard`]) — all speaking the versioned wire protocol
+//! ([`TcpClientPool`]), the remote leg of the sharded serving tier
+//! ([`RemoteShard`]) and the write-path fan-out for LDP report
+//! ingestion ([`ReportRouter`]) — all speaking the versioned wire
+//! protocol
 //! defined in [`dpgrid_serve::wire`], negotiating its binary v2 codec
 //! per connection and falling back to JSON v1 against old peers. It
 //! deliberately uses no async runtime and no external networking
@@ -94,6 +96,16 @@
 //!   [`RemoteShard`] under the *same name* — no key moves, because
 //!   placement follows names, not transports. This is
 //!   `examples/sharded_serving`.
+//! * **LDP ingestion front door** — a backend node binds its server to
+//!   a `dpgrid_ldp::CollectingService` wrapping its engine, so the
+//!   same connections that answer queries absorb `Report` frames into
+//!   a per-epoch collector; sealed epochs publish straight into the
+//!   engine it wraps. With several such backends, a [`ReportRouter`]
+//!   on the client side scatters each batch to the shard that owns its
+//!   epoch key under the *same* rendezvous placement the read side
+//!   uses — reports for an epoch aggregate on the node that will serve
+//!   its sealed release, with no cross-shard merge. This is
+//!   `examples/ldp_ingestion`.
 //!
 //! Failure semantics across all three: a dead backend fails only the
 //! requests routed to it (typed `Internal`/`Unavailable`), an
@@ -120,15 +132,22 @@
 //!   tagged, one of
 //!   `{"Query": {"release_key": "…", "rects": [{"x0":…,"y0":…,"x1":…,"y1":…}, …]}}`,
 //!   `{"Batch": [query, …]}`, `"Stats"`, `"Keys"`, `"Ping"`,
-//!   `{"Hello": {"max_version": …}}` (negotiation, below) or
+//!   `{"Hello": {"max_version": …}}` (negotiation, below),
 //!   `{"Window": {"keyspace": "…", "epoch_start": …, "epoch_end": …,
-//!   "rects": […]}}` (sliding-window sum over epoch releases, below).
+//!   "rects": […]}}` (sliding-window sum over epoch releases, below)
+//!   or `{"Report": {"keyspace": "…", "epoch": …, "epsilon": …,
+//!   "cells": …, "oracle": "grr"|"oue", …}}` (an LDP report batch for
+//!   the write path, below; OUE bit words travel as one lowercase hex
+//!   string — JSON numbers are only exact to 2^53, the words use all
+//!   64 bits).
 //! * response: `{"protocol_version": 1, "id": 7, "body": …}` — see
 //!   [`dpgrid_serve::wire::WireResponse`]; `body` is one of
 //!   `{"Answers": …}`, `{"Batch": […]}`, `{"Stats": …}`,
 //!   `{"Keys": […]}`, `"Pong"`, `{"Hello": {"version": …}}`,
 //!   `{"Window": {"keyspace": "…", "covered": [{"start": …, "end": …},
-//!   …], "answers": […]}}` or
+//!   …], "answers": […]}}`,
+//!   `{"Report": {"keyspace": "…", "epoch": …, "accepted": …,
+//!   "epoch_total": …}}` or
 //!   `{"Error": {"code": "…", "message": "…"}}`.
 //!
 //! JSON string escaping guarantees a frame never contains a raw
@@ -150,7 +169,7 @@
 //! |---------|--------------|----------------------------------------------|
 //! | 0–1     | magic        | `0xD6 0xB2` (can never begin a JSON frame)   |
 //! | 2       | version      | `2`                                          |
-//! | 3       | frame type   | requests `0x01..=0x06`, responses `0x81..=0x87` |
+//! | 3       | frame type   | requests `0x01..=0x07`, responses `0x81..=0x88` |
 //! | 4–11    | id           | `u64` LE — full range, no `2⁵³` ceiling      |
 //! | 12–15   | payload len  | `u32` LE, capped at 16 MiB − 16 B            |
 //!
@@ -185,6 +204,29 @@
 //! `dpgrid_serve::answer_window` behind any server. A pre-`Window`
 //! server rejects the kind as `MalformedRequest` — the standard
 //! "feature unsupported" signal.
+//!
+//! # The write path: LDP report ingestion
+//!
+//! The `Report` request kind (JSON `{"Report":…}` / binary `0x07`,
+//! additive within each codec version) is the protocol's only
+//! *mutating* request: a batch of locally-perturbed frequency-oracle
+//! reports (`dpgrid_mech::Grr` cell indices or `dpgrid_mech::Oue`
+//! packed bit rows) bound for the server's `dpgrid_ldp` collector,
+//! acknowledged with running totals. [`TcpClient::submit_report`]
+//! sends one batch; [`TcpClient::submit_reports`] pipelines many as
+//! id-correlated binary frames in a single write — the ingestion fast
+//! path. Because the request mutates collector state, neither is ever
+//! resent on a stale connection (unlike every read-path call): the
+//! error surfaces and the caller decides whether re-submitting could
+//! double-count. A read-only server — or one predating the kind —
+//! answers `MalformedRequest`, the usual "feature unsupported" signal.
+//!
+//! Releases sealed from LDP reports carry
+//! `dpgrid_core::TrustModel::Local` in their metadata: the server
+//! never held raw points, but each estimate is far noisier than the
+//! central-model releases the read path usually serves, and its ε is
+//! per user per epoch. The serving tier treats both identically;
+//! consumers that care can tell them apart by the metadata.
 //!
 //! # Error codes
 //!
@@ -273,6 +315,7 @@ mod client;
 mod conn;
 mod counters;
 mod error;
+mod ingest;
 pub mod mux;
 pub mod poll;
 mod pool;
@@ -281,6 +324,7 @@ mod server;
 
 pub use client::{TcpClient, CONNECT_TIMEOUT, DEFAULT_IO_TIMEOUT};
 pub use error::{NetError, Result};
+pub use ingest::ReportRouter;
 pub use mux::MuxServer;
 pub use pool::{TcpClientPool, DEFAULT_MAX_IDLE};
 pub use remote::RemoteShard;
@@ -479,6 +523,174 @@ mod tests {
             }
         }
         server.shutdown();
+    }
+
+    fn collecting(keyspace: &str) -> Arc<dpgrid_ldp::CollectingService<dpgrid_serve::QueryEngine>> {
+        use dpgrid_ldp::{CollectingService, CollectorConfig, ReportCollector};
+        use dpgrid_mech::BudgetSchedule;
+        let config = CollectorConfig::new(
+            keyspace,
+            dpgrid_geo::Domain::from_corners(0.0, 0.0, 8.0, 8.0).unwrap(),
+            8,
+            8,
+            BudgetSchedule::uniform(1.0, 4).unwrap(),
+        )
+        .unwrap();
+        Arc::new(CollectingService::new(
+            QueryEngine::new(Catalog::new()),
+            ReportCollector::new(config).unwrap(),
+        ))
+    }
+
+    fn grr_batch(
+        keyspace: &str,
+        epoch: u64,
+        epsilon: f64,
+        reports: Vec<u32>,
+    ) -> dpgrid_serve::ReportBatch {
+        dpgrid_serve::ReportBatch {
+            keyspace: keyspace.into(),
+            epoch,
+            epsilon,
+            cells: 64,
+            payload: dpgrid_serve::ReportPayload::Grr(reports),
+        }
+    }
+
+    #[test]
+    fn report_batches_travel_both_codecs_and_seal_into_served_releases() {
+        let service = collecting("taxi");
+        let server = TcpServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let eps = service.with_collector(|c| c.open_epsilon().unwrap());
+
+        for max_protocol in [2u32, 1] {
+            let mut client =
+                TcpClient::connect_with_protocol(server.local_addr(), max_protocol).unwrap();
+            assert_eq!(client.protocol_version(), Some(max_protocol));
+            let ack = client
+                .submit_report(&grr_batch("taxi", 0, eps, vec![9, 9, 9]))
+                .unwrap();
+            assert_eq!(ack.accepted, 3);
+
+            // Pipelined over binary, sequential over JSON — either
+            // way, per-batch rejections fail only their own slot.
+            let outcomes = client
+                .submit_reports(&[
+                    grr_batch("taxi", 0, eps, vec![1, 2]),
+                    grr_batch("taxi", 5, eps, vec![1]), // future epoch
+                    grr_batch("taxi", 0, eps, vec![3]),
+                ])
+                .unwrap();
+            assert!(outcomes[0].is_ok());
+            assert!(matches!(&outcomes[1], Err(e) if e.code == ErrorCode::InvalidQuery));
+            assert!(outcomes[2].is_ok());
+        }
+        // Both codecs fed one collector: (3 + 2 + 1) reports × 2.
+        assert_eq!(service.with_collector(|c| c.open_reports()), 12);
+
+        // The transport counted exactly the acknowledged batches.
+        let mut client = TcpClient::connect(server.local_addr()).unwrap();
+        let stats = client.stats().unwrap();
+        // 6 reports per codec pass (3 + 2 + 1; the rejected future
+        // epoch counts nothing), v2 then v1.
+        assert_eq!(stats.transport.unwrap().reports_accepted, 12);
+
+        // Sealing turns the epoch into an ordinary served release.
+        let sealed = service.seal_open_epoch().unwrap();
+        service
+            .inner()
+            .insert(sealed.summary.key.clone(), sealed.release);
+        assert_eq!(client.keys().unwrap(), vec!["taxi@epoch:0".to_string()]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn read_only_servers_reject_reports_as_feature_unsupported() {
+        let engine = Arc::new(engine(&[("a", 1)]));
+        let server = TcpServer::bind(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+        let mut client = TcpClient::connect(server.local_addr()).unwrap();
+        match client.submit_report(&grr_batch("taxi", 0, 1.0, vec![1])) {
+            Err(NetError::Server(e)) => assert_eq!(e.code, ErrorCode::MalformedRequest),
+            other => panic!("expected MalformedRequest, got {other:?}"),
+        }
+        // Pipelined slots degrade typed too, connection intact.
+        let outcomes = client
+            .submit_reports(&[
+                grr_batch("taxi", 0, 1.0, vec![1]),
+                grr_batch("taxi", 0, 1.0, vec![2]),
+            ])
+            .unwrap();
+        for outcome in &outcomes {
+            assert!(matches!(outcome, Err(e) if e.code == ErrorCode::MalformedRequest));
+        }
+        client.ping().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn report_router_aggregates_on_the_shard_that_serves_the_epoch() {
+        use dpgrid_core::{Release, ShardedSink};
+        use dpgrid_serve::ServeError;
+        let names = ["alpha".to_string(), "beta".to_string()];
+        // One keyspace owned by each shard, found via the shared
+        // placement function — nothing in the test hardcodes the hash.
+        let owned_by = |shard: &str| {
+            (0u32..)
+                .map(|i| format!("ks{i}"))
+                .find(|ks| {
+                    let key = ReportRouter::placement_key(ks, 0);
+                    names[dpgrid_core::rendezvous_route(&names, &key).unwrap()] == *shard
+                })
+                .unwrap()
+        };
+        let ks_a = owned_by("alpha");
+        let ks_b = owned_by("beta");
+
+        let svc_a = collecting(&ks_a);
+        let svc_b = collecting(&ks_b);
+        let server_a = TcpServer::bind(Arc::clone(&svc_a), "127.0.0.1:0").unwrap();
+        let server_b = TcpServer::bind(Arc::clone(&svc_b), "127.0.0.1:0").unwrap();
+        let router = ReportRouter::connect([
+            ("alpha".to_string(), server_a.local_addr()),
+            ("beta".to_string(), server_b.local_addr()),
+        ])
+        .unwrap();
+        assert_eq!(router.route(&ks_a, 0), "alpha");
+        assert_eq!(router.route(&ks_b, 0), "beta");
+
+        let eps = svc_a.with_collector(|c| c.open_epsilon().unwrap());
+        let outcomes = router.submit_reports(&[
+            grr_batch(&ks_a, 0, eps, vec![1, 2]),
+            grr_batch(&ks_b, 0, eps, vec![3]),
+            grr_batch(&ks_a, 0, eps, vec![4, 5, 6]),
+        ]);
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        assert_eq!(svc_a.with_collector(|c| c.open_reports()), 5);
+        assert_eq!(svc_b.with_collector(|c| c.open_reports()), 1);
+
+        // Ingestion placement agrees with the publishing side's
+        // ShardedSink over the same names — the seal of an ingested
+        // epoch lands where the read router will look for it.
+        let sink: ShardedSink<Vec<(String, Release)>> =
+            ShardedSink::new(names.iter().map(|n| (n.clone(), Vec::new())).collect());
+        for ks in [&ks_a, &ks_b] {
+            assert_eq!(
+                sink.route(&ReportRouter::placement_key(ks, 0)),
+                Some(router.route(ks, 0))
+            );
+        }
+
+        // A dead shard fails exactly its own slice of the batch.
+        server_b.shutdown();
+        let outcomes = router.submit_reports(&[
+            grr_batch(&ks_a, 0, eps, vec![7]),
+            grr_batch(&ks_b, 0, eps, vec![8]),
+        ]);
+        assert!(outcomes[0].is_ok());
+        assert!(
+            matches!(&outcomes[1], Err(ServeError::Unavailable { shard, .. }) if shard == "beta")
+        );
+        server_a.shutdown();
     }
 
     #[test]

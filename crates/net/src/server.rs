@@ -552,6 +552,7 @@ fn serve_binary<S: QueryService + ?Sized>(
             // a payload that decodes badly only fails its own frame.
             Err(e) => wire::WireResponse::error(header.id, e),
         };
+        counters.count_report_ack(&response);
         respond_binary(&mut writer, counters, &response, &mut out_payload)?;
     }
 }
@@ -656,6 +657,7 @@ fn handle_raw_frame<S: QueryService + ?Sized>(
         }
         Err(e) => wire::WireResponse::error(e.id, e.error),
     };
+    counters.count_report_ack(&response);
     respond(writer, counters, response)?;
     Ok(false)
 }

@@ -98,6 +98,13 @@ pub struct TransportStats {
     pub bytes_in: u64,
     /// Response bytes written to sockets.
     pub bytes_out: u64,
+    /// Individual LDP reports accepted on the write path (the sum of
+    /// every `Report` ack's `accepted` count, both codecs) — distinct
+    /// from `frames_decoded`, which counts decoded request frames
+    /// regardless of kind or batch size. Additive within the protocol:
+    /// older peers omit the field and it decodes as 0.
+    #[serde(default)]
+    pub reports_accepted: u64,
 }
 
 impl TransportStats {
@@ -113,6 +120,7 @@ impl TransportStats {
             write_stalls: self.write_stalls + other.write_stalls,
             bytes_in: self.bytes_in + other.bytes_in,
             bytes_out: self.bytes_out + other.bytes_out,
+            reports_accepted: self.reports_accepted + other.reports_accepted,
         }
     }
 }

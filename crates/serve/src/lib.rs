@@ -54,6 +54,13 @@
 //!   [`wire::handle_frame`] dispatching one frame against any
 //!   [`QueryService`]. The `dpgrid-net` crate supplies TCP framing
 //!   around it.
+//! * [`report`] — the write path: the `Report` wire kind (the
+//!   protocol's first mutating request) carries batches of
+//!   locally-perturbed frequency-oracle reports to a
+//!   [`ReportService`] collector reached through
+//!   [`QueryService::reports`]; read-only services answer
+//!   `MalformedRequest` exactly like a pre-`Report` server. The
+//!   aggregating collector itself lives in the `dpgrid-ldp` crate.
 //!
 //! # Example
 //!
@@ -96,6 +103,7 @@
 mod catalog;
 mod engine;
 mod error;
+pub mod report;
 mod service;
 pub mod shard;
 pub mod window;
@@ -109,6 +117,7 @@ pub use engine::{
     EngineStats, QueryEngine, QueryRequest, QueryResponse, TransportStats, DEFAULT_ADMISSION_LIMIT,
 };
 pub use error::{Result, ServeError};
+pub use report::{ReportAck, ReportBatch, ReportPayload, ReportService};
 pub use service::QueryService;
 pub use shard::{LocalShard, RouterStats, Shard, ShardRouter, ShardStats};
 pub use window::{answer_window, resolve_window_via_keys, WindowAnswer, WindowQuery};

@@ -56,6 +56,18 @@ pub trait QueryService: Send + Sync {
     fn window(&self, query: &WindowQuery) -> Result<WindowAnswer> {
         crate::window::resolve_window_via_keys(self, query)
     }
+
+    /// The write path, if this service has one: the
+    /// [`ReportService`](crate::report::ReportService) that absorbs
+    /// LDP report batches arriving on the same connections that answer
+    /// queries. The default — `None` — makes the service read-only:
+    /// the dispatch layer answers `Report` frames with
+    /// `MalformedRequest`, indistinguishable from a pre-`Report`
+    /// server, so clients fall back identically ("feature
+    /// unsupported", per the versioning policy).
+    fn reports(&self) -> Option<&dyn crate::report::ReportService> {
+        None
+    }
 }
 
 impl QueryService for QueryEngine {
@@ -90,6 +102,10 @@ impl<S: QueryService + ?Sized> QueryService for Arc<S> {
 
     fn window(&self, query: &WindowQuery) -> Result<WindowAnswer> {
         (**self).window(query)
+    }
+
+    fn reports(&self) -> Option<&dyn crate::report::ReportService> {
+        (**self).reports()
     }
 }
 

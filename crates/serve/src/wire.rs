@@ -66,6 +66,7 @@ use serde::{Deserialize, Serialize};
 use crate::catalog::CacheState;
 use crate::engine::{EngineStats, QueryRequest, QueryResponse};
 use crate::error::ServeError;
+use crate::report::ReportBatch;
 use crate::service::QueryService;
 
 pub mod binary;
@@ -286,6 +287,249 @@ impl WireQuery {
     }
 }
 
+/// One batch of locally-perturbed frequency-oracle reports, as it
+/// travels in a [`RequestBody::Report`] frame — the protocol's first
+/// mutating request kind.
+///
+/// The shape is deliberately flat (an `oracle` tag plus per-family
+/// fields) rather than an enum, so the JSON form stays simple and the
+/// binary codec can pack the report vector contiguously. Exactly one
+/// family's fields may be populated; [`WireReportBatch::validate`]
+/// enforces that, every index/shape bound, and ε sanity **before**
+/// anything reaches a collector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireReportBatch {
+    /// The keyspace the sealed epoch will publish under.
+    pub keyspace: String,
+    /// The collection epoch the reports belong to.
+    pub epoch: u64,
+    /// The per-report ε the clients perturbed at.
+    pub epsilon: f64,
+    /// The grid domain size `k` the reports cover.
+    pub cells: u32,
+    /// Which oracle family produced the reports: `"grr"` or `"oue"`.
+    pub oracle: String,
+    /// GRR only: one perturbed cell index per report.
+    pub grr: Vec<u32>,
+    /// OUE only: number of reports packed into `oue_bits`.
+    pub oue_count: u32,
+    /// OUE only: `oue_count × ⌈cells/64⌉` packed words, report-major.
+    pub oue_bits: Vec<u64>,
+}
+
+// `WireReportBatch` is the one frame that carries full-range `u64`
+// payload words: OUE bit vectors use all 64 bits, while JSON numbers
+// are only exact up to 2^53. The serde impls are therefore written by
+// hand so `oue_bits` travels as one lowercase hex string (16 digits
+// per word, report-major) and survives the JSON codec bit-for-bit;
+// every other field fits the numeric contract and keeps its plain
+// representation. The binary codec encodes the words raw and never
+// sees this form.
+impl Serialize for WireReportBatch {
+    fn serialize_value(&self) -> serde::Value {
+        use std::fmt::Write as _;
+        let mut hex = String::with_capacity(self.oue_bits.len() * 16);
+        for word in &self.oue_bits {
+            let _ = write!(hex, "{word:016x}");
+        }
+        serde::Value::Obj(vec![
+            ("keyspace".to_string(), self.keyspace.serialize_value()),
+            ("epoch".to_string(), self.epoch.serialize_value()),
+            ("epsilon".to_string(), self.epsilon.serialize_value()),
+            ("cells".to_string(), self.cells.serialize_value()),
+            ("oracle".to_string(), self.oracle.serialize_value()),
+            ("grr".to_string(), self.grr.serialize_value()),
+            ("oue_count".to_string(), self.oue_count.serialize_value()),
+            ("oue_bits".to_string(), serde::Value::Str(hex)),
+        ])
+    }
+}
+
+impl Deserialize for WireReportBatch {
+    fn deserialize_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let obj = v.as_obj().ok_or_else(|| {
+            serde::Error::msg(format!(
+                "WireReportBatch: expected object, got {}",
+                v.kind()
+            ))
+        })?;
+        let hex: String = serde::field_aliased_or_default(obj, &["oue_bits"], "WireReportBatch")?;
+        if !hex.len().is_multiple_of(16) {
+            return Err(serde::Error::msg(format!(
+                "WireReportBatch: oue_bits hex length {} is not a multiple of 16",
+                hex.len()
+            )));
+        }
+        let mut oue_bits = Vec::with_capacity(hex.len() / 16);
+        for chunk in hex.as_bytes().chunks_exact(16) {
+            let digits = std::str::from_utf8(chunk)
+                .map_err(|_| serde::Error::msg("WireReportBatch: oue_bits is not ASCII hex"))?;
+            let word = u64::from_str_radix(digits, 16).map_err(|_| {
+                serde::Error::msg(format!(
+                    "WireReportBatch: oue_bits contains non-hex word {digits:?}"
+                ))
+            })?;
+            oue_bits.push(word);
+        }
+        Ok(WireReportBatch {
+            keyspace: serde::field(obj, "keyspace", "WireReportBatch")?,
+            epoch: serde::field(obj, "epoch", "WireReportBatch")?,
+            epsilon: serde::field(obj, "epsilon", "WireReportBatch")?,
+            cells: serde::field(obj, "cells", "WireReportBatch")?,
+            oracle: serde::field(obj, "oracle", "WireReportBatch")?,
+            grr: serde::field_aliased_or_default(obj, &["grr"], "WireReportBatch")?,
+            oue_count: serde::field_aliased_or_default(obj, &["oue_count"], "WireReportBatch")?,
+            oue_bits,
+        })
+    }
+}
+
+impl WireReportBatch {
+    /// Builds the wire form of a typed [`ReportBatch`].
+    pub fn from_batch(batch: &ReportBatch) -> Self {
+        let mut wire = WireReportBatch {
+            keyspace: batch.keyspace.clone(),
+            epoch: batch.epoch,
+            epsilon: batch.epsilon,
+            cells: batch.cells,
+            oracle: String::new(),
+            grr: Vec::new(),
+            oue_count: 0,
+            oue_bits: Vec::new(),
+        };
+        match &batch.payload {
+            crate::report::ReportPayload::Grr(cells) => {
+                wire.oracle = "grr".to_string();
+                wire.grr = cells.clone();
+            }
+            crate::report::ReportPayload::Oue { count, bits } => {
+                wire.oracle = "oue".to_string();
+                wire.oue_count = *count;
+                wire.oue_bits = bits.clone();
+            }
+        }
+        wire
+    }
+
+    /// Validates shape, bounds and ε, producing the typed in-process
+    /// batch. Every rejection is [`ServeError::InvalidQuery`] — typed,
+    /// attributable, and raised before the collector sees anything.
+    pub fn validate(&self) -> crate::Result<ReportBatch> {
+        let bad = |why: String| Err(ServeError::InvalidQuery(why));
+        if !(self.epsilon.is_finite() && self.epsilon > 0.0) {
+            return bad(format!(
+                "report epsilon must be finite and positive, got {}",
+                self.epsilon
+            ));
+        }
+        if self.cells < 2 || self.cells as usize > dpgrid_geo::MAX_GRID_CELLS {
+            return bad(format!(
+                "report domain needs 2..={} cells, got {}",
+                dpgrid_geo::MAX_GRID_CELLS,
+                self.cells
+            ));
+        }
+        let payload = match self.oracle.as_str() {
+            "grr" => {
+                if self.oue_count != 0 || !self.oue_bits.is_empty() {
+                    return bad("GRR batch carries OUE fields".to_string());
+                }
+                if let Some(&c) = self.grr.iter().find(|&&c| c >= self.cells) {
+                    return bad(format!(
+                        "GRR report names cell {c}, outside the {}-cell domain",
+                        self.cells
+                    ));
+                }
+                crate::report::ReportPayload::Grr(self.grr.clone())
+            }
+            "oue" => {
+                if !self.grr.is_empty() {
+                    return bad("OUE batch carries GRR fields".to_string());
+                }
+                let words = (self.cells as usize).div_ceil(64);
+                let expect = (self.oue_count as usize).checked_mul(words);
+                if expect != Some(self.oue_bits.len()) {
+                    return bad(format!(
+                        "OUE batch of {} reports over {} cells needs {} words, got {}",
+                        self.oue_count,
+                        self.cells,
+                        self.oue_count as usize * words,
+                        self.oue_bits.len()
+                    ));
+                }
+                // Bits past the domain in each report's last word are
+                // hostile: they would smuggle tallies out of range.
+                let tail = self.cells as usize % 64;
+                if tail != 0
+                    && self
+                        .oue_bits
+                        .iter()
+                        .skip(words - 1)
+                        .step_by(words)
+                        .any(|&w| w >> tail != 0)
+                {
+                    return bad(format!(
+                        "OUE report sets bits past the {}-cell domain",
+                        self.cells
+                    ));
+                }
+                crate::report::ReportPayload::Oue {
+                    count: self.oue_count,
+                    bits: self.oue_bits.clone(),
+                }
+            }
+            other => {
+                return bad(format!(
+                    "unknown report oracle {other:?} (expected \"grr\" or \"oue\")"
+                ))
+            }
+        };
+        Ok(ReportBatch {
+            keyspace: self.keyspace.clone(),
+            epoch: self.epoch,
+            epsilon: self.epsilon,
+            cells: self.cells,
+            payload,
+        })
+    }
+}
+
+/// The receipt for an accepted report batch, as it travels in a
+/// [`ResponseBody::Report`] frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireReportAck {
+    /// Echo of the batch's keyspace.
+    pub keyspace: String,
+    /// Echo of the batch's epoch.
+    pub epoch: u64,
+    /// Reports folded in by this batch.
+    pub accepted: u64,
+    /// Total reports the `(keyspace, epoch)` accumulator now holds.
+    pub epoch_total: u64,
+}
+
+impl WireReportAck {
+    /// Builds the wire form of a typed [`crate::ReportAck`].
+    pub fn from_ack(ack: &crate::report::ReportAck) -> Self {
+        WireReportAck {
+            keyspace: ack.keyspace.clone(),
+            epoch: ack.epoch,
+            accepted: ack.accepted,
+            epoch_total: ack.epoch_total,
+        }
+    }
+
+    /// The typed receipt this frame carries.
+    pub fn into_ack(self) -> crate::report::ReportAck {
+        crate::report::ReportAck {
+            keyspace: self.keyspace,
+            epoch: self.epoch,
+            accepted: self.accepted,
+            epoch_total: self.epoch_total,
+        }
+    }
+}
+
 /// A client's codec offer: the highest protocol version it speaks.
 /// Travels inside [`RequestBody::Hello`], always as JSON v1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -336,6 +580,14 @@ pub enum RequestBody {
     /// is connection state, which [`dispatch`] does not hold); at the
     /// dispatch layer it always acks version 1.
     Hello(HelloOffer),
+    /// Upload a batch of locally-perturbed LDP reports — the
+    /// protocol's first **mutating** request — answered with
+    /// [`ResponseBody::Report`]. Added within protocol version 1,
+    /// same policy as `Keys`: a pre-`Report` server (or a server
+    /// whose service is read-only) answers it with
+    /// `MalformedRequest`, which clients treat as "feature
+    /// unsupported".
+    Report(WireReportBatch),
 }
 
 /// One request frame: version, client-chosen correlation id, payload.
@@ -416,6 +668,8 @@ pub enum ResponseBody {
     Pong,
     /// The negotiation answer to a [`RequestBody::Hello`].
     Hello(HelloAck),
+    /// The receipt for an accepted [`RequestBody::Report`] batch.
+    Report(WireReportAck),
     /// The whole frame failed.
     Error(WireError),
 }
@@ -737,6 +991,26 @@ pub fn dispatch<S: QueryService + ?Sized>(service: &S, id: u64, body: RequestBod
         RequestBody::Hello(offer) => hello_ack(id, negotiate(offer.max_version, PROTOCOL_VERSION)),
         RequestBody::Stats => WireResponse::new(id, ResponseBody::Stats(service.stats())),
         RequestBody::Keys => WireResponse::new(id, ResponseBody::Keys(service.keys())),
+        RequestBody::Report(batch) => match service.reports() {
+            // A read-only service answers exactly like a pre-`Report`
+            // server: same code, same client fallback.
+            None => WireResponse::error(
+                id,
+                WireError::new(
+                    ErrorCode::MalformedRequest,
+                    "unsupported request kind: this server accepts no reports",
+                ),
+            ),
+            Some(sink) => match batch.validate() {
+                Err(e) => WireResponse::error(id, WireError::from_serve(&e)),
+                Ok(typed) => match sink.submit_reports(&typed) {
+                    Ok(ack) => {
+                        WireResponse::new(id, ResponseBody::Report(WireReportAck::from_ack(&ack)))
+                    }
+                    Err(e) => WireResponse::error(id, WireError::from_serve(&e)),
+                },
+            },
+        },
         RequestBody::Window(window) => match window.validate() {
             Err(e) => WireResponse::error(id, WireError::from_serve(&e)),
             Ok(query) => match crate::window::answer_window(service, &query) {

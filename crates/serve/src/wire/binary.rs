@@ -39,6 +39,7 @@
 //! | `0x04` | Keys request     | empty                              |
 //! | `0x05` | Ping             | empty                              |
 //! | `0x06` | Window           | window                             |
+//! | `0x07` | Report           | report batch                       |
 //! | `0x81` | Answers          | answers                            |
 //! | `0x82` | Batch response   | `u32` n, n × outcome               |
 //! | `0x83` | Stats response   | stats (15 × `u64` + optional tail) |
@@ -46,6 +47,7 @@
 //! | `0x85` | Pong             | empty                              |
 //! | `0x86` | Error            | error                              |
 //! | `0x87` | Window response  | window answers                     |
+//! | `0x88` | Report ack       | report ack                         |
 //!
 //! Composite payload grammar (`str` = `u32` length + UTF-8 bytes,
 //! `rect` = 4 × `f64` as `x0 y0 x1 y1`):
@@ -57,6 +59,14 @@
 //!   `u64` end), `u32` n, n × `f64`
 //! * answers = `str` key, `u64` version, `u8` cache (0 warm, 1 cold),
 //!   `u32` n, n × `f64`
+//! * report batch = `str` keyspace, `u64` epoch, `f64` epsilon,
+//!   `u32` cells, `u8` oracle tag — 0 (GRR) is followed by `u32` n,
+//!   n × `u32` cell index; 1 (OUE) by `u32` count,
+//!   count × `⌈cells/64⌉` packed `u64` words. Both element counts are
+//!   hostile-length-prefix guarded against the remaining payload
+//!   before any buffer trusts them
+//! * report ack = `str` keyspace, `u64` epoch, `u64` accepted,
+//!   `u64` epoch_total
 //! * outcome = `u8` tag (0 answered, 1 failed) + answers / error
 //! * error   = `u8` code (see [`code_byte`]), `str` message, `u8`
 //!   overload flag, then 2 × `u64` (`inflight_rects`, `limit`) when
@@ -67,10 +77,14 @@
 //!   `u64` (`usize` fields travel as `u64`; `usize::MAX` bounds stay
 //!   `u64::MAX` on the wire), then an *optional* transport tail:
 //!   `u8` flag 1 + 7 × `u64` (`accepted active frames_decoded
-//!   read_stalls write_stalls bytes_in bytes_out`). The tail is
-//!   additive within v2: `transport: None` writes no tail at all
-//!   (byte-identical to the pre-transport encoding), and a payload
-//!   that ends after the 15 counters decodes with `transport: None`
+//!   read_stalls write_stalls bytes_in bytes_out`), then an optional
+//!   8th `u64` (`reports_accepted`) written only when nonzero. The
+//!   tail is additive within v2: `transport: None` writes no tail at
+//!   all (byte-identical to the pre-transport encoding), a payload
+//!   that ends after the 15 counters decodes with `transport: None`,
+//!   and a tail that ends after 7 words decodes with
+//!   `reports_accepted: 0` — so a server that has absorbed no reports
+//!   stays byte-identical to the pre-`Report` encoding
 //!
 //! Unlike JSON — which cannot carry non-finite numbers — a binary
 //! rect travels bit-exact, NaN included; boundary validation in
@@ -90,8 +104,8 @@
 
 use super::{
     ErrorCode, OverloadInfo, RequestBody, ResponseBody, WireAnswers, WireEpochSpan, WireError,
-    WireOutcome, WireQuery, WireRect, WireRequest, WireResponse, WireWindow, WireWindowAnswers,
-    MAX_FRAME_BYTES,
+    WireOutcome, WireQuery, WireRect, WireReportAck, WireReportBatch, WireRequest, WireResponse,
+    WireWindow, WireWindowAnswers, MAX_FRAME_BYTES,
 };
 use crate::catalog::{CacheState, CatalogStats};
 use crate::engine::{EngineStats, TransportStats};
@@ -130,6 +144,8 @@ pub mod frame_type {
     pub const PING: u8 = 0x05;
     /// [`crate::wire::RequestBody::Window`].
     pub const WINDOW: u8 = 0x06;
+    /// [`crate::wire::RequestBody::Report`].
+    pub const REPORT: u8 = 0x07;
     /// [`crate::wire::ResponseBody::Answers`].
     pub const ANSWERS: u8 = 0x81;
     /// [`crate::wire::ResponseBody::Batch`].
@@ -144,6 +160,8 @@ pub mod frame_type {
     pub const ERROR: u8 = 0x86;
     /// [`crate::wire::ResponseBody::Window`].
     pub const WINDOW_RESPONSE: u8 = 0x87;
+    /// [`crate::wire::ResponseBody::Report`].
+    pub const REPORT_RESPONSE: u8 = 0x88;
 }
 
 /// The stable wire byte of each [`ErrorCode`] — append-only, the
@@ -318,6 +336,29 @@ pub fn append_query(
     Ok(())
 }
 
+/// Appends one complete Report frame encoded straight from a borrowed
+/// batch — the report-submitting client's hot path, skipping the owned
+/// [`RequestBody`]. Same unwind guarantee as [`append_request`].
+pub fn append_report(id: u64, batch: &WireReportBatch, out: &mut Vec<u8>) -> Result<(), WireError> {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; HEADER_BYTES]);
+    if let Err(e) = put_report(out, batch) {
+        out.truncate(start);
+        return Err(e);
+    }
+    let payload_len = out.len() - start - HEADER_BYTES;
+    if let Err(e) = check_payload_len(payload_len) {
+        out.truncate(start);
+        return Err(e);
+    }
+    out[start..start + HEADER_BYTES].copy_from_slice(&encode_header(
+        frame_type::REPORT,
+        id,
+        payload_len,
+    ));
+    Ok(())
+}
+
 /// Encodes one complete response frame (header + payload) into `out`
 /// (cleared first, capacity kept).
 pub fn encode_response(response: &WireResponse, out: &mut Vec<u8>) -> Result<(), WireError> {
@@ -355,6 +396,10 @@ fn append_request_payload(body: &RequestBody, out: &mut Vec<u8>) -> Result<u8, W
                 put_rect(out, rect);
             }
             frame_type::WINDOW
+        }
+        RequestBody::Report(batch) => {
+            put_report(out, batch)?;
+            frame_type::REPORT
         }
         RequestBody::Hello(_) => {
             return Err(malformed(
@@ -415,6 +460,13 @@ fn append_response_payload(body: &ResponseBody, out: &mut Vec<u8>) -> Result<u8,
             }
             frame_type::WINDOW_RESPONSE
         }
+        ResponseBody::Report(ack) => {
+            put_str(out, &ack.keyspace);
+            put_u64(out, ack.epoch);
+            put_u64(out, ack.accepted);
+            put_u64(out, ack.epoch_total);
+            frame_type::REPORT_RESPONSE
+        }
         ResponseBody::Hello(_) => {
             return Err(malformed(
                 "Hello frames negotiate the codec and always travel as JSON v1",
@@ -459,6 +511,7 @@ pub fn decode_request(header: &FrameHeader, payload: &[u8]) -> Result<WireReques
                 rects,
             })
         }
+        frame_type::REPORT => RequestBody::Report(r.report()?),
         other => {
             return Err(malformed(format!(
                 "frame type {other:#04x} is not a request"
@@ -523,6 +576,12 @@ pub fn decode_response(header: &FrameHeader, payload: &[u8]) -> Result<WireRespo
                 answers,
             })
         }
+        frame_type::REPORT_RESPONSE => ResponseBody::Report(WireReportAck {
+            keyspace: r.string()?,
+            epoch: r.u64()?,
+            accepted: r.u64()?,
+            epoch_total: r.u64()?,
+        }),
         other => {
             return Err(malformed(format!(
                 "frame type {other:#04x} is not a response"
@@ -585,6 +644,35 @@ fn put_query(out: &mut Vec<u8>, query: &WireQuery) {
     }
 }
 
+fn put_report(out: &mut Vec<u8>, batch: &WireReportBatch) -> Result<(), WireError> {
+    put_str(out, &batch.keyspace);
+    put_u64(out, batch.epoch);
+    put_f64(out, batch.epsilon);
+    put_u32(out, batch.cells as usize);
+    match batch.oracle.as_str() {
+        "grr" => {
+            out.push(0);
+            put_u32(out, batch.grr.len());
+            for &cell in &batch.grr {
+                put_u32(out, cell as usize);
+            }
+        }
+        "oue" => {
+            out.push(1);
+            put_u32(out, batch.oue_count as usize);
+            for &word in &batch.oue_bits {
+                put_u64(out, word);
+            }
+        }
+        other => {
+            return Err(malformed(format!(
+                "unknown oracle tag {other:?}: expected \"grr\" or \"oue\""
+            )))
+        }
+    }
+    Ok(())
+}
+
 fn put_answers(out: &mut Vec<u8>, answers: &WireAnswers) {
     put_str(out, &answers.release_key);
     put_u64(out, answers.version);
@@ -641,6 +729,13 @@ fn put_stats(out: &mut Vec<u8>, stats: &EngineStats) {
             put_u64(out, t.write_stalls);
             put_u64(out, t.bytes_in);
             put_u64(out, t.bytes_out);
+            // Second additive extension: written only when nonzero, so
+            // a server that has absorbed no reports encodes a tail
+            // byte-identical to the pre-`Report` layout and old strict
+            // decoders keep accepting it.
+            if t.reports_accepted > 0 {
+                put_u64(out, t.reports_accepted);
+            }
         }
     }
 }
@@ -756,6 +851,62 @@ impl<'a> Reader<'a> {
         })
     }
 
+    fn report(&mut self) -> Result<WireReportBatch, WireError> {
+        let keyspace = self.string()?;
+        let epoch = self.u64()?;
+        let epsilon = self.f64()?;
+        let cells = self.u32()?;
+        let mut batch = WireReportBatch {
+            keyspace,
+            epoch,
+            epsilon,
+            cells,
+            oracle: String::new(),
+            grr: Vec::new(),
+            oue_count: 0,
+            oue_bits: Vec::new(),
+        };
+        match self.u8()? {
+            0 => {
+                batch.oracle = "grr".into();
+                let n = self.len_prefix_of("GRR report", 4)?;
+                let mut reports = Vec::with_capacity(n);
+                for _ in 0..n {
+                    reports.push(self.u32()?);
+                }
+                batch.grr = reports;
+            }
+            1 => {
+                batch.oracle = "oue".into();
+                batch.oue_count = self.u32()?;
+                // The word total is count × ⌈cells/64⌉ — both factors
+                // arrive from the wire, so bound their product by the
+                // remaining payload before any buffer trusts it. A
+                // degenerate `cells` (0 ⇒ zero words) decodes to an
+                // empty vector that shape validation rejects typed.
+                let words_each = (cells as usize).div_ceil(64);
+                let remaining = self.remaining();
+                let total = (batch.oue_count as usize)
+                    .checked_mul(words_each)
+                    .filter(|&total| total <= remaining / 8)
+                    .ok_or_else(|| {
+                        malformed(format!(
+                            "OUE word count {} × {words_each} exceeds the {remaining} \
+                             remaining payload bytes",
+                            batch.oue_count
+                        ))
+                    })?;
+                let mut bits = Vec::with_capacity(total);
+                for _ in 0..total {
+                    bits.push(self.u64()?);
+                }
+                batch.oue_bits = bits;
+            }
+            tag => return Err(malformed(format!("unknown oracle tag byte {tag}"))),
+        }
+        Ok(batch)
+    }
+
     fn error(&mut self) -> Result<WireError, WireError> {
         let code = byte_code(self.u8()?)?;
         let message = self.string()?;
@@ -800,15 +951,24 @@ impl<'a> Reader<'a> {
         if self.remaining() > 0 {
             stats.transport = match self.u8()? {
                 0 => None,
-                1 => Some(TransportStats {
-                    accepted: self.u64()?,
-                    active: self.u64()?,
-                    frames_decoded: self.u64()?,
-                    read_stalls: self.u64()?,
-                    write_stalls: self.u64()?,
-                    bytes_in: self.u64()?,
-                    bytes_out: self.u64()?,
-                }),
+                1 => {
+                    let mut t = TransportStats {
+                        accepted: self.u64()?,
+                        active: self.u64()?,
+                        frames_decoded: self.u64()?,
+                        read_stalls: self.u64()?,
+                        write_stalls: self.u64()?,
+                        bytes_in: self.u64()?,
+                        bytes_out: self.u64()?,
+                        reports_accepted: 0,
+                    };
+                    // A tail ending after 7 words is a pre-`Report`
+                    // peer — exactly the `reports_accepted: 0` case.
+                    if self.remaining() > 0 {
+                        t.reports_accepted = self.u64()?;
+                    }
+                    Some(t)
+                }
                 byte => return Err(malformed(format!("unknown transport flag byte {byte}"))),
             };
         }
@@ -925,8 +1085,23 @@ mod tests {
             write_stalls: 3,
             bytes_in: 4096,
             bytes_out: 1 << 20,
+            reports_accepted: 0,
         });
         let response = WireResponse::new(9, ResponseBody::Stats(stats));
+        assert_eq!(roundtrip_response(&response).body, response.body);
+
+        // `reports_accepted: 0` encodes byte-identical to the
+        // 7-word pre-`Report` tail; nonzero appends an 8th word and
+        // still round-trips.
+        let mut zero_tail = Vec::new();
+        put_stats(&mut zero_tail, &stats);
+        assert_eq!(zero_tail.len(), 15 * 8 + 1 + 7 * 8);
+        let mut counting = stats;
+        counting.transport.as_mut().unwrap().reports_accepted = 42;
+        let mut report_tail = Vec::new();
+        put_stats(&mut report_tail, &counting);
+        assert_eq!(report_tail.len(), zero_tail.len() + 8);
+        let response = WireResponse::new(9, ResponseBody::Stats(counting));
         assert_eq!(roundtrip_response(&response).body, response.body);
 
         // A pre-transport peer's payload (15 counters, nothing after)
@@ -1174,6 +1349,131 @@ mod tests {
         let len = buf.len();
         let hello = WireRequest::new(2, RequestBody::Hello(HelloOffer { max_version: 2 }));
         assert!(append_request(&hello, &mut buf).is_err());
+        assert_eq!(buf.len(), len, "refused frame leaves no partial bytes");
+    }
+
+    fn grr_batch() -> WireReportBatch {
+        WireReportBatch {
+            keyspace: "taxi@西".into(),
+            epoch: 7,
+            epsilon: 0.5,
+            cells: 100,
+            oracle: "grr".into(),
+            grr: vec![0, 99, 42, 42],
+            oue_count: 0,
+            oue_bits: Vec::new(),
+        }
+    }
+
+    fn oue_batch() -> WireReportBatch {
+        WireReportBatch {
+            keyspace: "taxi".into(),
+            epoch: 3,
+            epsilon: 1.25,
+            cells: 100, // 2 words per report
+            oracle: "oue".into(),
+            grr: Vec::new(),
+            oue_count: 3,
+            oue_bits: vec![1, 0, u64::MAX >> 30, 1 << 35, 0, 3],
+        }
+    }
+
+    #[test]
+    fn report_frames_roundtrip_both_families() {
+        for batch in [grr_batch(), oue_batch()] {
+            let request = WireRequest::new(11, RequestBody::Report(batch));
+            assert_eq!(roundtrip_request(&request).body, request.body);
+        }
+        let response = WireResponse::new(
+            11,
+            ResponseBody::Report(WireReportAck {
+                keyspace: "taxi@西".into(),
+                epoch: 7,
+                accepted: 4,
+                epoch_total: 12,
+            }),
+        );
+        assert_eq!(roundtrip_response(&response).body, response.body);
+    }
+
+    #[test]
+    fn append_report_matches_the_generic_encoder() {
+        let batch = oue_batch();
+        let mut direct = Vec::new();
+        append_report(11, &batch, &mut direct).unwrap();
+        let mut generic = Vec::new();
+        encode_request(
+            &WireRequest::new(11, RequestBody::Report(batch)),
+            &mut generic,
+        )
+        .unwrap();
+        assert_eq!(direct, generic, "two paths, one wire form");
+    }
+
+    #[test]
+    fn hostile_report_counts_cannot_force_allocations() {
+        // GRR: a report count claiming far more indices than the
+        // payload holds.
+        let mut payload = Vec::new();
+        put_str(&mut payload, "k");
+        put_u64(&mut payload, 1);
+        put_f64(&mut payload, 1.0);
+        put_u32(&mut payload, 100);
+        payload.push(0);
+        put_u32(&mut payload, 1 << 30);
+        let header = FrameHeader {
+            frame_type: frame_type::REPORT,
+            id: 1,
+            payload_len: payload.len(),
+        };
+        let err = decode_request(&header, &payload).unwrap_err();
+        assert_eq!(err.code, ErrorCode::MalformedRequest);
+        assert!(err.message.contains("GRR report count"), "{}", err.message);
+
+        // OUE: count × words overflows what the payload holds (and
+        // the product itself is checked, so count × words cannot wrap).
+        let mut payload = Vec::new();
+        put_str(&mut payload, "k");
+        put_u64(&mut payload, 1);
+        put_f64(&mut payload, 1.0);
+        put_u32(&mut payload, 1 << 20); // 16384 words per report
+        payload.push(1);
+        put_u32(&mut payload, u32::MAX as usize);
+        let header = FrameHeader {
+            frame_type: frame_type::REPORT,
+            id: 1,
+            payload_len: payload.len(),
+        };
+        let err = decode_request(&header, &payload).unwrap_err();
+        assert_eq!(err.code, ErrorCode::MalformedRequest);
+        assert!(err.message.contains("OUE word count"), "{}", err.message);
+
+        // An unknown oracle tag byte is rejected typed.
+        let mut payload = Vec::new();
+        put_str(&mut payload, "k");
+        put_u64(&mut payload, 1);
+        put_f64(&mut payload, 1.0);
+        put_u32(&mut payload, 100);
+        payload.push(9);
+        let header = FrameHeader {
+            frame_type: frame_type::REPORT,
+            id: 1,
+            payload_len: payload.len(),
+        };
+        let err = decode_request(&header, &payload).unwrap_err();
+        assert_eq!(err.code, ErrorCode::MalformedRequest);
+        assert!(err.message.contains("oracle tag byte"), "{}", err.message);
+    }
+
+    #[test]
+    fn report_with_unknown_oracle_refuses_binary_encoding() {
+        let mut batch = grr_batch();
+        batch.oracle = "psychic".into();
+        let mut buf = Vec::new();
+        append_request(&WireRequest::new(1, RequestBody::Ping), &mut buf).unwrap();
+        let len = buf.len();
+        let err = append_report(2, &batch, &mut buf).unwrap_err();
+        assert_eq!(err.code, ErrorCode::MalformedRequest);
         assert_eq!(buf.len(), len, "refused frame leaves no partial bytes");
     }
 

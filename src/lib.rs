@@ -20,8 +20,9 @@
 //! | [`baselines`] | `dpgrid-baselines` | KD-trees, hierarchies, constrained inference, Privelet |
 //! | [`eval`] | `dpgrid-eval` | query workloads, error metrics, the experiment harness |
 //! | [`serve`] | `dpgrid-serve` | the multi-release serving engine: the memory-budgeted release `Catalog`, the batched `QueryEngine` frontend with admission control, the transport-facing `QueryService` trait, the versioned wire protocol (`serve::wire`) and the sharded serving tier (`serve::shard`) |
-//! | [`net`] | `dpgrid-net` | the TCP transport: thread-per-connection `TcpServer`, reconnecting `TcpClient`/`TcpClientPool`, and the `RemoteShard` leg of the sharded tier |
+//! | [`net`] | `dpgrid-net` | the TCP transport: thread-per-connection `TcpServer`, reconnecting `TcpClient`/`TcpClientPool`, the `RemoteShard` leg of the sharded tier and the `ReportRouter` write-path fan-out |
 //! | [`stream`] | `dpgrid-stream` | the temporal subsystem: streaming ingestion into epoch-sliced releases under a `BudgetSchedule`, plus tiered compaction of expired epochs |
+//! | [`ldp`] | `dpgrid-ldp` | the local-DP ingestion front door: the per-epoch `ReportCollector` over the `mech` frequency oracles (GRR / OUE), and the `CollectingService` wrapper that accepts `Report` wire frames on serving connections |
 //!
 //! # One publishing API: build → publish → serve
 //!
@@ -149,6 +150,37 @@
 //! window ≡ per-epoch sums) and `tests/streaming_temporal.rs` for the
 //! end-to-end guarantee over the full TCP front door.
 //!
+//! # The local-DP front door: reports in, releases out
+//!
+//! Everything above is *central* DP — a trusted curator holds the raw
+//! points. The [`ldp`] crate (`dpgrid-ldp`) adds the complementary
+//! *local* trust model on the same grids, fed over the same wire
+//! protocol:
+//!
+//! * each user perturbs their own grid cell **on-device** with a
+//!   frequency oracle from [`mech`] — [`mech::Grr`] (generalized
+//!   randomized response over cell indices) or [`mech::Oue`]
+//!   (unary encoding with per-bit flips, packed into `u64` words) —
+//!   behind the one [`mech::FrequencyOracle`] trait;
+//! * batches of perturbed reports travel as the `Report` wire kind
+//!   (JSON v1 and binary v2; [`net::TcpClient::submit_reports`]
+//!   pipelines them, [`net::ReportRouter`] scatters them to the shard
+//!   that will serve the epoch, by the same rendezvous placement the
+//!   read side routes with);
+//! * a [`ldp::ReportCollector`] behind [`ldp::CollectingService`]
+//!   folds them into flat per-epoch tally vectors (chunked array
+//!   arithmetic, no per-report allocation), charges each epoch's ε
+//!   through a [`mech::BudgetSchedule`] exactly once at seal time,
+//!   debiases, and publishes an ordinary [`core::Release`] under the
+//!   epoch-key grammar — served, sharded, and windowed exactly like a
+//!   central release, but tagged [`core::TrustModel::Local`] in its
+//!   metadata (the estimator is far noisier, and the ε is per user per
+//!   epoch — consumers can tell the two models apart).
+//!
+//! See `examples/ldp_ingestion.rs` for the loop (users perturb →
+//! batched over TCP → seal → query) and `tests/ldp_ingestion.rs` for
+//! the end-to-end guarantee.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -186,6 +218,7 @@ pub use dpgrid_baselines as baselines;
 pub use dpgrid_core as core;
 pub use dpgrid_eval as eval;
 pub use dpgrid_geo as geo;
+pub use dpgrid_ldp as ldp;
 pub use dpgrid_mech as mech;
 pub use dpgrid_net as net;
 pub use dpgrid_serve as serve;
@@ -197,19 +230,23 @@ pub mod prelude {
         HierarchicalGrid, HierarchyConfig, KdConfig, KdHybrid, KdStandard, Privelet, PriveletConfig,
     };
     pub use dpgrid_core::{
-        epoch_key, merge_releases, parse_epoch_key, AdaptiveGrid, AgConfig, CompiledSurface,
-        EpochLayout, EpochRange, GridSize, Method, NoiseKind, Pipeline, Release, ReleaseMetadata,
-        ReleaseSink, ShardedSink, UgConfig, UniformGrid,
+        epoch_key, merge_releases, parse_epoch_key, parse_epoch_key_strict, AdaptiveGrid, AgConfig,
+        CompiledSurface, EpochLayout, EpochRange, GridSize, Method, NoiseKind, Pipeline, Release,
+        ReleaseMetadata, ReleaseSink, ShardedSink, TrustModel, UgConfig, UniformGrid,
     };
     pub use dpgrid_geo::generators::PaperDataset;
     pub use dpgrid_geo::{
         Build, DenseGrid, Domain, DpError, GeoDataset, Point, PointIndex, Rect, Synopsis,
     };
-    pub use dpgrid_mech::{BudgetSchedule, LaplaceMechanism, PrivacyBudget};
-    pub use dpgrid_net::{RemoteShard, TcpClient, TcpClientPool, TcpServer};
+    pub use dpgrid_ldp::{CollectingService, CollectorConfig, LdpError, ReportCollector};
+    pub use dpgrid_mech::{
+        BudgetSchedule, FrequencyOracle, Grr, LaplaceMechanism, LocalReport, Oue, PrivacyBudget,
+    };
+    pub use dpgrid_net::{RemoteShard, ReportRouter, TcpClient, TcpClientPool, TcpServer};
     pub use dpgrid_serve::{
         answer_window, Catalog, EngineStats, LocalShard, QueryEngine, QueryRequest, QueryResponse,
-        QueryService, RouterStats, ServeError, Shard, ShardRouter, WindowAnswer, WindowQuery,
+        QueryService, ReportAck, ReportBatch, ReportPayload, ReportService, RouterStats,
+        ServeError, Shard, ShardRouter, WindowAnswer, WindowQuery,
     };
     pub use dpgrid_stream::{Compactor, StreamIngestor};
 }

@@ -219,6 +219,164 @@ fn streamed_releases_carry_their_scheduled_epoch_shares() {
     }
 }
 
+/// One sealed LDP epoch: `users` reports perturbed on-device with
+/// `oracle`, collected, sealed, and the released per-cell estimates
+/// returned. Every user's true cell is `cell`.
+fn sealed_ldp_estimates(
+    oracle: &str,
+    users: u32,
+    cell: u32,
+    seed: u64,
+) -> (Vec<f64>, dpgrid::ldp::SealSummary) {
+    use dpgrid::ldp::{CollectorConfig, ReportCollector};
+    let cells = 64u32;
+    let domain = Domain::from_corners(0.0, 0.0, 8.0, 8.0).unwrap();
+    let schedule = BudgetSchedule::uniform(2.0, 2).unwrap();
+    let mut collector =
+        ReportCollector::new(CollectorConfig::new("ldp", domain, 8, 8, schedule).unwrap()).unwrap();
+    let eps = collector.open_epsilon().unwrap();
+    let mut r = rng(seed);
+    let payload = match oracle {
+        "grr" => {
+            let grr = Grr::new(cells as usize, eps).unwrap();
+            ReportPayload::Grr(
+                (0..users)
+                    .map(|_| match grr.perturb(cell as usize, &mut r).unwrap() {
+                        LocalReport::Cell(c) => c,
+                        other => panic!("GRR produced {other:?}"),
+                    })
+                    .collect(),
+            )
+        }
+        _ => {
+            let oue = Oue::new(cells as usize, eps).unwrap();
+            let mut bits = Vec::new();
+            for _ in 0..users {
+                match oue.perturb(cell as usize, &mut r).unwrap() {
+                    LocalReport::Bits(words) => bits.extend_from_slice(&words),
+                    other => panic!("OUE produced {other:?}"),
+                }
+            }
+            ReportPayload::Oue { count: users, bits }
+        }
+    };
+    collector
+        .submit(&ReportBatch {
+            keyspace: "ldp".into(),
+            epoch: 0,
+            epsilon: eps,
+            cells,
+            payload,
+        })
+        .unwrap();
+    let sealed = collector.seal_open_epoch().unwrap();
+    assert_eq!(sealed.release.metadata().trust, TrustModel::Local);
+    let values = sealed.release.cells().iter().map(|(_, v)| *v).collect();
+    (values, sealed.summary)
+}
+
+#[test]
+fn ldp_estimates_are_unbiased_within_clt_bounds() {
+    // Both frequency oracles must debias to the truth: over S seeded
+    // rounds of N users all reporting cell 37, the mean estimate for
+    // that cell converges on N within a CLT band derived from the
+    // empirical per-round spread (≈5σ of the mean — seed-robust).
+    let (users, cell, rounds) = (400u32, 37u32, 30u64);
+    for oracle in ["grr", "oue"] {
+        let estimates: Vec<f64> = (0..rounds)
+            .map(|s| sealed_ldp_estimates(oracle, users, cell, 1_000 + s).0[cell as usize])
+            .collect();
+        let mean = estimates.iter().sum::<f64>() / rounds as f64;
+        let spread = std_dev(&estimates) / (rounds as f64).sqrt();
+        assert!(
+            (mean - users as f64).abs() < 5.0 * spread,
+            "{oracle}: mean estimate {mean} vs truth {users} (CLT band {})",
+            5.0 * spread
+        );
+        // And the noise is real: individual rounds do deviate.
+        assert!(std_dev(&estimates) > 0.0, "{oracle}: no randomness?");
+    }
+    // GRR preserves total mass identically (p + (k−1)q = 1), so the
+    // released surface sums to exactly the user count, every round.
+    let (cells, _) = sealed_ldp_estimates("grr", users, cell, 7);
+    let total: f64 = cells.iter().sum();
+    assert!(
+        (total - users as f64).abs() < 1e-6,
+        "GRR mass {total} vs {users}"
+    );
+}
+
+#[test]
+fn ldp_epochs_charge_their_scheduled_epsilon_exactly_once() {
+    use dpgrid::ldp::{CollectorConfig, LdpError, ReportCollector};
+    use dpgrid::mech::MechError;
+    use std::collections::HashMap;
+
+    let domain = Domain::from_corners(0.0, 0.0, 8.0, 8.0).unwrap();
+    let schedule = BudgetSchedule::uniform(1.0, 4).unwrap();
+    let mut collector =
+        ReportCollector::new(CollectorConfig::new("acct", domain, 8, 8, schedule).unwrap())
+            .unwrap();
+    let mut sink: HashMap<String, Release> = HashMap::new();
+
+    // Each sealed epoch's release carries exactly the ε the schedule
+    // assigned it, and the ledger equals the sum of published ε.
+    let mut published_sum = 0.0;
+    for epoch in 0..3u64 {
+        let eps = collector.open_epsilon().unwrap();
+        let grr = Grr::new(64, eps).unwrap();
+        let mut r = rng(epoch);
+        let reports: Vec<u32> = (0..100)
+            .map(|i| match grr.perturb(i % 64, &mut r).unwrap() {
+                LocalReport::Cell(c) => c,
+                other => panic!("GRR produced {other:?}"),
+            })
+            .collect();
+        collector
+            .submit(&ReportBatch {
+                keyspace: "acct".into(),
+                epoch,
+                epsilon: eps,
+                cells: 64,
+                payload: ReportPayload::Grr(reports),
+            })
+            .unwrap();
+        let summary = collector.publish_open_epoch(&mut sink).unwrap();
+        assert!((summary.epsilon - 0.25).abs() < 1e-12);
+        published_sum += summary.epsilon;
+    }
+    assert_eq!(sink.len(), 3);
+    for (key, release) in &sink {
+        let (_, range) = parse_epoch_key(key).expect("epoch key");
+        let assigned = collector.schedule().epsilon_for(range.start).unwrap();
+        assert!((release.epsilon() - assigned).abs() < 1e-12, "{key}");
+    }
+    assert!((collector.schedule().spent() - published_sum).abs() < 1e-12);
+
+    // Charged exactly once: a collector handed a schedule whose epoch
+    // 0 was already billed refuses to seal it again — typed, and the
+    // ledger untouched.
+    let mut spent = BudgetSchedule::uniform(1.0, 4).unwrap();
+    spent.spend_epoch(0).unwrap();
+    let already = spent.spent();
+    let mut replay =
+        ReportCollector::new(CollectorConfig::new("acct", domain, 8, 8, spent).unwrap()).unwrap();
+    replay
+        .submit(&ReportBatch {
+            keyspace: "acct".into(),
+            epoch: 0,
+            epsilon: 0.25,
+            cells: 64,
+            payload: ReportPayload::Grr(vec![1, 2, 3]),
+        })
+        .unwrap();
+    match replay.seal_open_epoch() {
+        Err(LdpError::Mech(MechError::EpochAlreadyCharged { epoch: 0 })) => {}
+        other => panic!("expected EpochAlreadyCharged, got {other:?}"),
+    }
+    assert!((replay.schedule().spent() - already).abs() < 1e-12);
+}
+
 #[test]
 fn epsilon_scales_error_inversely() {
     // Build UG at ε and 10ε over the same data; the bigger budget's

@@ -70,7 +70,7 @@ fn arb_id(rng: &mut StdRng) -> u64 {
 }
 
 fn arb_request(rng: &mut StdRng) -> WireRequest {
-    let body = match rng.random_range(0..5u32) {
+    let body = match rng.random_range(0..6u32) {
         0 => RequestBody::Query(arb_query(rng)),
         1 => {
             let n = rng.random_range(0..4usize);
@@ -78,6 +78,7 @@ fn arb_request(rng: &mut StdRng) -> WireRequest {
         }
         2 => RequestBody::Stats,
         3 => RequestBody::Keys,
+        4 => RequestBody::Report(arb_report(rng)),
         _ => RequestBody::Ping,
     };
     WireRequest::new(arb_id(rng), body)
@@ -156,6 +157,7 @@ fn arb_stats(rng: &mut StdRng) -> EngineStats {
                 write_stalls: rng.random::<u64>() >> 12,
                 bytes_in: rng.random::<u64>() >> 12,
                 bytes_out: rng.random::<u64>() >> 12,
+                reports_accepted: rng.random::<u64>() >> 12,
             })
         } else {
             None
@@ -163,8 +165,50 @@ fn arb_stats(rng: &mut StdRng) -> EngineStats {
     }
 }
 
+/// A well-formed report batch of either oracle family — shapes are
+/// consistent (`oue_bits` is exactly `oue_count × ⌈cells/64⌉` words)
+/// so both codecs round-trip it, but *values* (cell indices, tail
+/// bits) range freely: the wire layer must carry them verbatim and
+/// leave semantic rejection to `validate`.
+fn arb_report(rng: &mut StdRng) -> wire::WireReportBatch {
+    let cells = rng.random_range(1..=200u32);
+    let mut batch = wire::WireReportBatch {
+        keyspace: arb_key(rng),
+        epoch: rng.random::<u64>() >> 12,
+        epsilon: rng.random_range(0.01..8.0),
+        cells,
+        oracle: String::new(),
+        grr: Vec::new(),
+        oue_count: 0,
+        oue_bits: Vec::new(),
+    };
+    if rng.random::<bool>() {
+        batch.oracle = "grr".into();
+        let n = rng.random_range(0..40usize);
+        batch.grr = (0..n).map(|_| rng.random::<u32>()).collect();
+    } else {
+        batch.oracle = "oue".into();
+        let words = (cells as usize).div_ceil(64);
+        batch.oue_count = rng.random_range(0..20u32);
+        batch.oue_bits = (0..batch.oue_count as usize * words)
+            .map(|_| rng.random::<u64>())
+            .collect();
+    }
+    batch
+}
+
+fn arb_report_ack(rng: &mut StdRng) -> wire::WireReportAck {
+    wire::WireReportAck {
+        keyspace: arb_key(rng),
+        epoch: rng.random::<u64>() >> 12,
+        accepted: rng.random::<u64>() >> 12,
+        epoch_total: rng.random::<u64>() >> 12,
+    }
+}
+
 fn arb_response(rng: &mut StdRng) -> WireResponse {
-    let body = match rng.random_range(0..6u32) {
+    let body = match rng.random_range(0..7u32) {
+        6 => ResponseBody::Report(arb_report_ack(rng)),
         0 => ResponseBody::Answers(arb_answers(rng)),
         1 => {
             let n = rng.random_range(0..4usize);
@@ -269,6 +313,7 @@ proptest! {
                 t.write_stalls >>= 2;
                 t.bytes_in >>= 2;
                 t.bytes_out >>= 2;
+                t.reports_accepted >>= 2;
             }
             s
         };
@@ -577,6 +622,136 @@ fn both_codecs_dispatch_to_identical_query_responses() {
         // And the response itself survives the binary codec intact.
         assert_eq!(binary_roundtrip_response(&v2).body, v2.body);
     }
+}
+
+#[test]
+fn malformed_report_batches_are_rejected_typed_before_any_collector() {
+    let base = wire::WireReportBatch {
+        keyspace: "k".into(),
+        epoch: 0,
+        epsilon: 1.0,
+        cells: 100,
+        oracle: "grr".into(),
+        grr: vec![0, 99],
+        oue_count: 0,
+        oue_bits: Vec::new(),
+    };
+    assert!(base.validate().is_ok(), "fixture must start valid");
+    let mutate = |f: &dyn Fn(&mut wire::WireReportBatch)| {
+        let mut b = base.clone();
+        f(&mut b);
+        b
+    };
+    let oue_base = mutate(&|b| {
+        b.oracle = "oue".into();
+        b.grr.clear();
+        b.oue_count = 2;
+        b.oue_bits = vec![1, 0, 1 << 35, 0];
+    });
+    assert!(oue_base.validate().is_ok(), "OUE fixture must start valid");
+    let cases: Vec<(&str, wire::WireReportBatch)> = vec![
+        ("NaN epsilon", mutate(&|b| b.epsilon = f64::NAN)),
+        ("zero epsilon", mutate(&|b| b.epsilon = 0.0)),
+        ("negative epsilon", mutate(&|b| b.epsilon = -1.0)),
+        ("zero cells", mutate(&|b| b.cells = 0)),
+        ("out-of-domain GRR cell", mutate(&|b| b.grr.push(100))),
+        ("unknown oracle", mutate(&|b| b.oracle = "rappor".into())),
+        ("OUE batch still carrying GRR fields", {
+            let mut b = oue_base.clone();
+            b.grr = vec![1];
+            b
+        }),
+        ("OUE word-count shape mismatch", {
+            let mut b = oue_base.clone();
+            b.oue_bits.pop();
+            b
+        }),
+        // cells = 100 ⇒ the top 28 bits of each report's *last* word
+        // (index 1 within the report) must be clear; bit 36 is the
+        // first forbidden one.
+        ("OUE tail bits past the domain", {
+            let mut b = oue_base.clone();
+            b.oue_bits[3] = 1 << 36;
+            b
+        }),
+    ];
+    for (what, batch) in cases {
+        match batch.validate() {
+            Err(ServeError::InvalidQuery(_)) => {}
+            other => panic!("{what}: expected InvalidQuery, got {other:?}"),
+        }
+    }
+}
+
+/// The write-path acceptance contract at the dispatch seam: a
+/// read-only service answers `Report` with `MalformedRequest`
+/// (indistinguishable from a pre-`Report` server), a collecting
+/// service acks it — and both answers are codec-independent.
+#[test]
+fn report_dispatch_agrees_across_codecs_and_server_generations() {
+    use dpgrid::ldp::{CollectingService, CollectorConfig, ReportCollector};
+    let batch = wire::WireReportBatch {
+        keyspace: "taxi".into(),
+        epoch: 0,
+        epsilon: 0.5,
+        cells: 64,
+        oracle: "grr".into(),
+        grr: vec![1, 2, 3],
+        oue_count: 0,
+        oue_bits: Vec::new(),
+    };
+    let request = WireRequest::new(3, RequestBody::Report(batch.clone()));
+
+    // Read-only service (no write path): typed "feature unsupported".
+    let engine = QueryEngine::new(Catalog::new());
+    let v1 = wire::handle_frame(&engine, &request.encode());
+    let decoded = binary_roundtrip_request(&request);
+    let v2 = wire::dispatch(&engine, decoded.id, decoded.body);
+    assert_eq!(v1.body, v2.body);
+    assert!(
+        matches!(&v1.body, ResponseBody::Error(e) if e.code == ErrorCode::MalformedRequest),
+        "read-only server must answer MalformedRequest, got {v1:?}"
+    );
+
+    // Two identical collecting services (reports mutate state, so each
+    // codec dispatches against its own): identical acks.
+    let collecting = || {
+        let config = CollectorConfig::new(
+            "taxi",
+            Domain::from_corners(0.0, 0.0, 8.0, 8.0).unwrap(),
+            8,
+            8,
+            BudgetSchedule::uniform(1.0, 2).unwrap(),
+        )
+        .unwrap();
+        CollectingService::new(
+            QueryEngine::new(Catalog::new()),
+            ReportCollector::new(config).unwrap(),
+        )
+    };
+    let (svc1, svc2) = (collecting(), collecting());
+    let v1 = wire::handle_frame(&svc1, &request.encode());
+    let decoded = binary_roundtrip_request(&request);
+    let v2 = wire::dispatch(&svc2, decoded.id, decoded.body);
+    assert_eq!(v1.body, v2.body, "codecs disagree on the report ack");
+    match &v1.body {
+        ResponseBody::Report(ack) => {
+            assert_eq!((ack.accepted, ack.epoch_total), (3, 3));
+            assert_eq!(ack.keyspace, "taxi");
+        }
+        other => panic!("expected Report ack, got {other:?}"),
+    }
+
+    // A semantically invalid batch fails typed at the boundary and
+    // never touches the accumulator.
+    let mut bad = batch.clone();
+    bad.oracle = "rappor".into();
+    let rejected = wire::dispatch(&svc1, 4, RequestBody::Report(bad));
+    assert!(
+        matches!(&rejected.body, ResponseBody::Error(e) if e.code == ErrorCode::InvalidQuery),
+        "got {rejected:?}"
+    );
+    assert_eq!(svc1.with_collector(|c| c.open_reports()), 3);
 }
 
 #[test]
