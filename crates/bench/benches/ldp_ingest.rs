@@ -18,6 +18,13 @@
 //! trajectory tracks payload bandwidth. Medians are recorded to
 //! `BENCH_ldp_ingest.json` at the workspace root (same shape as the
 //! other `BENCH_*.json` trajectory files).
+//!
+//! A second section measures the fold **in-process** — no socket in
+//! the way — comparing the seed's naive folds (per-bit walk for OUE,
+//! find-validate + scatter for GRR) against the `dpgrid-kernels`
+//! scalar reference and the runtime-dispatched backend, at 64 / 256 /
+//! 1024 / 4096 cells. These `micro_rows` isolate the kernel-layer
+//! speedup the end-to-end rows ride on.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
@@ -192,6 +199,127 @@ struct Row {
     reports_per_sec: f64,
 }
 
+// --- in-process fold microbenchmarks ---------------------------------
+
+/// The micro ladder: the bench grid sizes plus the 4096-cell shape
+/// where the naive OUE walk was collapsing.
+const MICRO_CELLS: [u32; 4] = [64, 256, 1024, 4096];
+/// Reports per measured fold — one TCP pass worth.
+const MICRO_REPORTS: usize = BATCHES_PER_PASS * REPORTS_PER_BATCH;
+
+struct MicroRow {
+    label: String,
+    cells: u32,
+    oracle: &'static str,
+    backend: &'static str,
+    elapsed_ms: f64,
+    reports_per_sec: f64,
+}
+
+/// The seed's OUE fold this PR replaced: clear one set bit per
+/// iteration, scatter an increment for each.
+fn naive_fold_oue(acc: &mut [u64], words: usize, bits: &[u64]) {
+    for report in bits.chunks_exact(words) {
+        for (w, &word) in report.iter().enumerate() {
+            let base = w * 64;
+            let mut rest = word;
+            while rest != 0 {
+                let b = rest.trailing_zeros() as usize;
+                acc[base + b] += 1;
+                rest &= rest - 1;
+            }
+        }
+    }
+}
+
+/// The seed's two-pass GRR path: a find-style validation sweep, then
+/// the scatter.
+fn naive_fold_grr(acc: &mut [u64], cells: u32, reports: &[u32]) {
+    assert!(reports.iter().all(|&c| c < cells), "bench batch in-domain");
+    for &cell in reports {
+        acc[cell as usize] += 1;
+    }
+}
+
+/// Median nanoseconds per fold within a small time budget.
+fn measure_fold_ns(mut fold: impl FnMut()) -> f64 {
+    fold(); // warmup
+    let mut samples = Vec::new();
+    let budget = std::time::Duration::from_millis(200);
+    let start = Instant::now();
+    while start.elapsed() < budget || samples.len() < 9 {
+        let t = Instant::now();
+        fold();
+        samples.push(t.elapsed().as_nanos() as f64);
+        if samples.len() >= 400 {
+            break;
+        }
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn micro_rows() -> Vec<MicroRow> {
+    use dpgrid_kernels::{
+        fold_grr_checked, fold_grr_checked_with, fold_oue, fold_oue_with, Backend,
+    };
+
+    let mut rng = bench_rng();
+    let mut rows = Vec::new();
+    let mut push = |cells: u32, oracle: &'static str, backend: &'static str, ns: f64| {
+        rows.push(MicroRow {
+            label: format!("fold_{oracle}_{cells}c_{backend}"),
+            cells,
+            oracle,
+            backend,
+            elapsed_ms: ns / 1e6,
+            reports_per_sec: MICRO_REPORTS as f64 / (ns / 1e9),
+        });
+    };
+    for cells in MICRO_CELLS {
+        let words = oue_words(cells as usize);
+        let grr: Vec<u32> = (0..MICRO_REPORTS)
+            .map(|_| rng.random_range(0..cells))
+            .collect();
+        // Same dense random payloads as the wire rows above.
+        let tail = cells as usize % 64;
+        let tail_mask = if tail == 0 {
+            u64::MAX
+        } else {
+            (1u64 << tail) - 1
+        };
+        let mut bits = Vec::with_capacity(MICRO_REPORTS * words);
+        for _ in 0..MICRO_REPORTS {
+            for w in 0..words {
+                let word: u64 = rng.random();
+                bits.push(if w + 1 == words {
+                    word & tail_mask
+                } else {
+                    word
+                });
+            }
+        }
+        let mut acc = vec![0u64; cells as usize];
+
+        let ns = measure_fold_ns(|| naive_fold_grr(&mut acc, cells, &grr));
+        push(cells, "grr", "naive", ns);
+        let ns = measure_fold_ns(|| {
+            fold_grr_checked_with(Backend::Scalar, &mut acc, cells, &grr).unwrap()
+        });
+        push(cells, "grr", "scalar", ns);
+        let ns = measure_fold_ns(|| fold_grr_checked(&mut acc, cells, &grr).unwrap());
+        push(cells, "grr", "dispatch", ns);
+
+        let ns = measure_fold_ns(|| naive_fold_oue(&mut acc, words, &bits));
+        push(cells, "oue", "naive", ns);
+        let ns = measure_fold_ns(|| fold_oue_with(Backend::Scalar, &mut acc, words, &bits));
+        push(cells, "oue", "scalar", ns);
+        let ns = measure_fold_ns(|| fold_oue(&mut acc, words, &bits));
+        push(cells, "oue", "dispatch", ns);
+    }
+    rows
+}
+
 fn bench_ldp_ingest(c: &mut Criterion) {
     let mut rows: Vec<Row> = Vec::new();
     let mut group = c.benchmark_group("ldp_ingest");
@@ -242,18 +370,37 @@ fn bench_ldp_ingest(c: &mut Criterion) {
             r.reports_per_sec / baseline
         );
     }
-    write_json(&rows, baseline);
+
+    let micro = micro_rows();
+    for m in &micro {
+        // Speedup is against the same shape's naive fold.
+        let naive = micro
+            .iter()
+            .find(|n| n.cells == m.cells && n.oracle == m.oracle && n.backend == "naive")
+            .map(|n| n.reports_per_sec)
+            .unwrap_or(f64::NAN);
+        println!(
+            "ldp_ingest/{}: {:.3} ms/fold, {:.0} reports/s ({:.2}x vs naive)",
+            m.label,
+            m.elapsed_ms,
+            m.reports_per_sec,
+            m.reports_per_sec / naive
+        );
+    }
+    write_json(&rows, baseline, &micro);
 }
 
 /// Records the measurements to `BENCH_ldp_ingest.json` at the
 /// workspace root (perf-trajectory files live in-repo).
-fn write_json(rows: &[Row], baseline: f64) {
+fn write_json(rows: &[Row], baseline: f64, micro: &[MicroRow]) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ldp_ingest.json");
     let mut out = format!(
         "{{\n  \"bench\": \"ldp_ingest\",\n  \"unit\": \"reports_per_sec\",\n  \
          \"transport\": \"tcp_loopback\",\n  \
+         \"kernel_backend\": \"{}\",\n  \
          \"reports_per_batch\": {REPORTS_PER_BATCH},\n  \
-         \"batches_per_pass\": {BATCHES_PER_PASS},\n  \"rows\": [\n"
+         \"batches_per_pass\": {BATCHES_PER_PASS},\n  \"rows\": [\n",
+        dpgrid_kernels::active_backend()
     );
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -269,6 +416,27 @@ fn write_json(rows: &[Row], baseline: f64) {
             r.reports_per_sec,
             r.reports_per_sec / baseline,
             if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"micro_reports_per_fold\": ");
+    out.push_str(&format!("{MICRO_REPORTS},\n  \"micro_rows\": [\n"));
+    for (i, m) in micro.iter().enumerate() {
+        let naive = micro
+            .iter()
+            .find(|n| n.cells == m.cells && n.oracle == m.oracle && n.backend == "naive")
+            .map(|n| n.reports_per_sec)
+            .unwrap_or(f64::NAN);
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"cells\": {}, \"oracle\": \"{}\", \"backend\": \"{}\", \
+             \"elapsed_ms\": {:.3}, \"reports_per_sec\": {:.0}, \"speedup_vs_naive\": {:.2}}}{}\n",
+            m.label,
+            m.cells,
+            m.oracle,
+            m.backend,
+            m.elapsed_ms,
+            m.reports_per_sec,
+            m.reports_per_sec / naive,
+            if i + 1 < micro.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

@@ -370,11 +370,21 @@ pub fn merge_releases(label: impl Into<String>, releases: &[&Release]) -> Result
                 .all(|((a, _), (b, _))| a == b)
     });
     let merged = if aligned {
+        // Cell-wise sums run on the kernel layer's batched f64 add
+        // (AVX2 when available). The adds stay element-wise in list
+        // order — exactly the scalar loop's operations — so the merged
+        // release is byte-identical across kernel backends.
         let mut cells = cell_lists[0].clone();
+        let mut values: Vec<f64> = cells.iter().map(|&(_, v)| v).collect();
+        let mut addend = vec![0.0; values.len()];
         for list in &cell_lists[1..] {
-            for (cell, (_, v)) in cells.iter_mut().zip(list) {
-                cell.1 += v;
+            for (a, &(_, v)) in addend.iter_mut().zip(list) {
+                *a = v;
             }
+            dpgrid_kernels::add_assign(&mut values, &addend);
+        }
+        for (cell, v) in cells.iter_mut().zip(values) {
+            cell.1 = v;
         }
         cells
     } else {

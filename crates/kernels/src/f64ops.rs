@@ -1,0 +1,158 @@
+//! Batch f64 arithmetic with a bit-exactness guarantee.
+//!
+//! Both kernels are element-wise, so vectorizing them cannot
+//! reassociate anything — each output element is produced by exactly
+//! the IEEE operations the scalar loop performs, in the same order and
+//! rounding mode, and **without FMA contraction** (a fused
+//! multiply-add rounds once where the scalar code rounds twice, which
+//! would make AVX2-sealed releases differ from scalar-sealed ones in
+//! the last ulp).
+//!
+//! The AVX2 `u64 → f64` conversion (AVX2 has no `u64` convert) uses
+//! the exponent-bias trick: OR the integer into the mantissa of
+//! 2^52, reinterpret as f64, subtract 2^52.0. Exact for values below
+//! 2^52; a `srli`/`testz` guard routes any chunk holding a larger
+//! tally through the scalar conversion so hostile inputs cannot break
+//! the determinism contract.
+
+/// Scalar reference: `out[i] = (acc[i] as f64 − sub) × scale`.
+pub(crate) fn affine_u64_scalar(out: &mut [f64], acc: &[u64], sub: f64, scale: f64) {
+    for (o, &c) in out.iter_mut().zip(acc) {
+        *o = (c as f64 - sub) * scale;
+    }
+}
+
+/// Scalar reference: `dst[i] += src[i]`.
+pub(crate) fn add_assign_scalar(dst: &mut [f64], src: &[f64]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    const EXP_BIAS_BITS: i64 = 0x4330_0000_0000_0000; // bits of 2^52
+    const EXP_BIAS: f64 = 4_503_599_627_370_496.0; // 2^52
+
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn affine_u64_avx2(out: &mut [f64], acc: &[u64], sub: f64, scale: f64) {
+        unsafe {
+            let n = out.len();
+            let chunks = n / 4;
+            let magic_i = _mm256_set1_epi64x(EXP_BIAS_BITS);
+            let magic_f = _mm256_set1_pd(EXP_BIAS);
+            let subv = _mm256_set1_pd(sub);
+            let scalev = _mm256_set1_pd(scale);
+            let src = acc.as_ptr();
+            let dst = out.as_mut_ptr();
+            for i in 0..chunks {
+                let v = _mm256_loadu_si256(src.add(4 * i) as *const __m256i);
+                // Any bits at or above 2^52 → the bias trick is no
+                // longer exact; convert this chunk the scalar way.
+                let hi = _mm256_srli_epi64(v, 52);
+                if _mm256_testz_si256(hi, hi) == 0 {
+                    for j in 4 * i..4 * i + 4 {
+                        *dst.add(j) = (*src.add(j) as f64 - sub) * scale;
+                    }
+                    continue;
+                }
+                let f = _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(v, magic_i)), magic_f);
+                let r = _mm256_mul_pd(_mm256_sub_pd(f, subv), scalev);
+                _mm256_storeu_pd(dst.add(4 * i), r);
+            }
+            for j in chunks * 4..n {
+                *dst.add(j) = (*src.add(j) as f64 - sub) * scale;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn add_assign_avx2(dst: &mut [f64], src: &[f64]) {
+        unsafe {
+            let n = dst.len();
+            let chunks = n / 4;
+            let d = dst.as_mut_ptr();
+            let s = src.as_ptr();
+            for i in 0..chunks {
+                let a = _mm256_loadu_pd(d.add(4 * i));
+                let b = _mm256_loadu_pd(s.add(4 * i));
+                _mm256_storeu_pd(d.add(4 * i), _mm256_add_pd(a, b));
+            }
+            for j in chunks * 4..n {
+                *d.add(j) += *s.add(j);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) use avx2::{add_assign_avx2, affine_u64_avx2};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_affine_matches_the_open_coded_debias() {
+        let acc = [0u64, 3, 17, 250];
+        let (sub, scale) = (62.5, 1.0 / 0.6);
+        let mut out = [0.0; 4];
+        affine_u64_scalar(&mut out, &acc, sub, scale);
+        for (i, &c) in acc.iter().enumerate() {
+            assert_eq!(out[i].to_bits(), ((c as f64 - sub) * scale).to_bits());
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_affine_is_bit_exact_even_past_the_mantissa() {
+        if !crate::avx2_available() {
+            eprintln!("skipping: no AVX2 on this machine");
+            return;
+        }
+        // Values straddling 2^52 force the guard path mid-stream.
+        let acc: Vec<u64> = vec![
+            0,
+            1,
+            (1 << 52) - 1,
+            1 << 52,
+            (1 << 52) + 1,
+            u64::MAX,
+            12345,
+            (1 << 53) + 7,
+            9,
+        ];
+        let (sub, scale) = (0.125, 3.5);
+        let mut want = vec![0.0; acc.len()];
+        affine_u64_scalar(&mut want, &acc, sub, scale);
+        let mut got = vec![0.0; acc.len()];
+        // SAFETY: guarded by avx2_available above.
+        unsafe { affine_u64_avx2(&mut got, &acc, sub, scale) };
+        let want: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+        let got: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_add_assign_is_bit_exact_across_tails() {
+        if !crate::avx2_available() {
+            eprintln!("skipping: no AVX2 on this machine");
+            return;
+        }
+        for n in [0usize, 1, 3, 4, 5, 8, 13] {
+            let src: Vec<f64> = (0..n).map(|i| (i as f64) * 0.3 - 1.7).collect();
+            let base: Vec<f64> = (0..n).map(|i| 1e9 / (i as f64 + 1.0)).collect();
+            let mut want = base.clone();
+            add_assign_scalar(&mut want, &src);
+            let mut got = base;
+            // SAFETY: guarded by avx2_available above.
+            unsafe { add_assign_avx2(&mut got, &src) };
+            let want: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+            let got: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "n = {n}");
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! # Kernel layer — vectorized data-plane primitives with runtime CPU dispatch
+//!
+//! The batch arithmetic the data plane actually runs, factored out of
+//! the crates that call it (`dpgrid-ldp`'s report folds, `dpgrid-mech`'s
+//! debiasing transform, `dpgrid-core`'s release compaction) so each
+//! primitive can ship **two implementations behind one function**:
+//!
+//! * a **scalar reference** that builds and runs on any target, and
+//! * an **x86_64 AVX2** implementation written directly against
+//!   `core::arch` intrinsics (no external SIMD crates — the workspace
+//!   vendors all dependencies, so the kernel layer stays `std`-only).
+//!
+//! ## Dispatch policy
+//!
+//! The backend is selected **once per process**, on first kernel call,
+//! by [`backend`]:
+//!
+//! 1. If `DPGRID_FORCE_SCALAR` is set to anything but `0`/empty, the
+//!    scalar reference runs everywhere — this is how the fallback path
+//!    stays testable on machines that *do* have AVX2, and it is wired
+//!    into CI as a dedicated forced-scalar leg.
+//! 2. Otherwise, if the CPU reports AVX2
+//!    (`is_x86_feature_detected!("avx2")`), the AVX2 kernels run.
+//! 3. Otherwise (older x86_64, non-x86 targets) the scalar reference
+//!    runs.
+//!
+//! The choice is logged once to stderr and observable three ways: in
+//! process via [`active_backend`], over the wire in
+//! `dpgrid_serve::EngineStats::kernel_backend`, and per collector via
+//! `dpgrid_ldp::ReportCollector::kernel_backend` — so an operator can
+//! confirm AVX2 is live on a production box without attaching a
+//! debugger. [`Backend::select`] is the pure decision function, unit
+//! tested without touching the environment.
+//!
+//! ## Determinism contract
+//!
+//! Every kernel is **bit-exact against its scalar reference**, so the
+//! releases a deployment publishes are byte-identical no matter which
+//! backend folded the reports:
+//!
+//! * Integer kernels ([`fold_oue`], [`fold_grr_checked`]) produce `u64`
+//!   tallies; addition is associative and commutative, so any
+//!   summation order gives the same bits.
+//! * Floating-point kernels ([`affine_u64`], [`add_assign`]) perform
+//!   **element-wise** IEEE operations in the same order and rounding
+//!   as the scalar loop — no FMA contraction, no reassociated
+//!   reductions. The AVX2 `u64 → f64` conversion uses the 2^52
+//!   exponent-bias trick, exact for values below 2^52; lanes holding
+//!   larger values fall back to the scalar conversion so the two
+//!   backends agree even on hostile inputs.
+//!
+//! Differential proptests (`tests/differential.rs`) pin this contract
+//! across hostile shapes: tail-bit domains (`cells % 64 ≠ 0`), word
+//! remainders, empty and single-report batches, and accumulators
+//! pre-filled near capacity.
+//!
+//! ## Adding a kernel
+//!
+//! 1. Write the scalar reference in the matching module and route the
+//!    public entry point through a `*_with(Backend, …)` twin so tests
+//!    and benches can pin a backend explicitly.
+//! 2. Add the AVX2 implementation as an `unsafe fn` annotated
+//!    `#[target_feature(enable = "avx2")]`, reachable only through the
+//!    dispatcher (which has already proven the feature exists).
+//! 3. Extend `tests/differential.rs` with a scalar-vs-SIMD equivalence
+//!    property over the kernel's hostile shapes. Integer kernels must
+//!    match bit-for-bit; f64 kernels must match `to_bits()`.
+//! 4. If the kernel changes a fold that feeds published releases, run
+//!    the workspace `tests/kernel_backends.rs` byte-identity test under
+//!    both `DPGRID_FORCE_SCALAR=1` and default dispatch.
+
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+
+mod f64ops;
+mod pospop;
+mod tally;
+
+/// Which implementation family the dispatcher selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The portable scalar reference implementations.
+    Scalar,
+    /// The x86_64 AVX2 implementations (`core::arch` intrinsics).
+    Avx2,
+}
+
+impl Backend {
+    /// The backend's stable lowercase name, as carried in stats and
+    /// bench records.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+        }
+    }
+
+    /// The pure dispatch decision: a forced-scalar override always
+    /// wins, otherwise AVX2 runs exactly when the hardware has it.
+    pub fn select(force_scalar: bool, avx2: bool) -> Backend {
+        if force_scalar || !avx2 {
+            Backend::Scalar
+        } else {
+            Backend::Avx2
+        }
+    }
+}
+
+/// Whether this process can run the AVX2 kernels (always `false` off
+/// x86_64).
+#[cfg(target_arch = "x86_64")]
+pub fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// Whether this process can run the AVX2 kernels (always `false` off
+/// x86_64).
+#[cfg(not(target_arch = "x86_64"))]
+pub fn avx2_available() -> bool {
+    false
+}
+
+/// Whether `DPGRID_FORCE_SCALAR` requests the scalar fallback: set to
+/// any value except empty or `0`.
+fn force_scalar_requested() -> bool {
+    std::env::var_os("DPGRID_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+static BACKEND: OnceLock<Backend> = OnceLock::new();
+
+/// The process-wide kernel backend, selected once on first call (see
+/// the crate docs for the policy). The choice is logged to stderr so
+/// deployments record which data plane served an epoch.
+pub fn backend() -> Backend {
+    *BACKEND.get_or_init(|| {
+        let forced = force_scalar_requested();
+        let avx2 = avx2_available();
+        let selected = Backend::select(forced, avx2);
+        eprintln!(
+            "dpgrid-kernels: backend={} (avx2 {}, DPGRID_FORCE_SCALAR {})",
+            selected.name(),
+            if avx2 { "detected" } else { "absent" },
+            if forced { "set" } else { "unset" },
+        );
+        selected
+    })
+}
+
+/// The selected backend's name — the string `EngineStats` and the
+/// bench records carry.
+pub fn active_backend() -> &'static str {
+    backend().name()
+}
+
+/// Runs `backend`'s implementation or panics if the machine cannot.
+/// Centralizes the safety argument: every `unsafe` AVX2 call below is
+/// guarded by this check.
+#[inline]
+fn check_backend(backend: Backend) {
+    if backend == Backend::Avx2 {
+        assert!(
+            avx2_available(),
+            "Backend::Avx2 requested on a machine without AVX2"
+        );
+    }
+}
+
+// --- OUE positional popcount -----------------------------------------
+
+/// Folds a batch of packed OUE reports into per-cell tallies: for
+/// every report (a run of `words` little-endian `u64`s) and every set
+/// bit `j`, `acc[64·word + bit]` is incremented — a **positional
+/// popcount** over the batch, the data plane's hottest loop.
+///
+/// Contract: `words > 0`, `bits.len()` is a multiple of `words`, and
+/// every set bit's cell index is `< acc.len()` (callers validate tail
+/// bits first; a violation panics on the bounds check rather than
+/// corrupting memory). Tallies are `u64` adds, so the result is
+/// bit-exact regardless of backend or fold order.
+pub fn fold_oue(acc: &mut [u64], words: usize, bits: &[u64]) {
+    fold_oue_with(backend(), acc, words, bits)
+}
+
+/// [`fold_oue`] with an explicitly pinned backend (differential tests,
+/// benches).
+pub fn fold_oue_with(backend: Backend, acc: &mut [u64], words: usize, bits: &[u64]) {
+    assert!(words > 0, "OUE reports need at least one word");
+    assert_eq!(
+        bits.len() % words,
+        0,
+        "bit buffer of {} words is not a whole number of {}-word reports",
+        bits.len(),
+        words
+    );
+    check_backend(backend);
+    match backend {
+        Backend::Scalar => pospop::fold_oue_scalar(acc, words, bits),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_backend proved AVX2 is available.
+        Backend::Avx2 => unsafe { pospop::fold_oue_avx2(acc, words, bits) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => unreachable!("check_backend rejects AVX2 off x86_64"),
+    }
+}
+
+// --- GRR tally scatter ------------------------------------------------
+
+/// Fused validate + fold for a GRR batch: one vectorized max-sweep
+/// proves every report lands inside the `cells`-cell domain, then one
+/// scatter pass bumps `acc[report]` for each report. All-or-nothing:
+/// on `Err` (carrying the first out-of-range report, for the caller's
+/// error message) the accumulator is untouched.
+///
+/// Contract: `acc.len() >= cells as usize`.
+pub fn fold_grr_checked(acc: &mut [u64], cells: u32, reports: &[u32]) -> Result<(), u32> {
+    fold_grr_checked_with(backend(), acc, cells, reports)
+}
+
+/// [`fold_grr_checked`] with an explicitly pinned backend.
+pub fn fold_grr_checked_with(
+    backend: Backend,
+    acc: &mut [u64],
+    cells: u32,
+    reports: &[u32],
+) -> Result<(), u32> {
+    assert!(
+        acc.len() >= cells as usize,
+        "accumulator has {} slots for a {cells}-cell domain",
+        acc.len()
+    );
+    check_backend(backend);
+    let max = match backend {
+        Backend::Scalar => tally::max_u32_scalar(reports),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_backend proved AVX2 is available.
+        Backend::Avx2 => unsafe { tally::max_u32_avx2(reports) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => unreachable!("check_backend rejects AVX2 off x86_64"),
+    };
+    if let Some(max) = max {
+        if max >= cells {
+            // Cold path: name the *first* offender, matching the
+            // one-report-at-a-time validation the scalar seed did.
+            let first = reports
+                .iter()
+                .copied()
+                .find(|&c| c >= cells)
+                .expect("max >= cells implies an offender exists");
+            return Err(first);
+        }
+    }
+    tally::scatter(acc, reports);
+    Ok(())
+}
+
+// --- f64 batch arithmetic --------------------------------------------
+
+/// The affine debias transform: `out[i] = (acc[i] as f64 − sub) ×
+/// scale`, element-wise — the `(tally − n·q) / (p − q)` inversion both
+/// frequency oracles apply at seal time.
+///
+/// Deterministic across backends: the conversion and both IEEE
+/// operations are element-wise in scalar order with no FMA, so the
+/// published f64 cells are byte-identical whichever backend sealed the
+/// epoch. Contract: `out.len() == acc.len()`.
+pub fn affine_u64(out: &mut [f64], acc: &[u64], sub: f64, scale: f64) {
+    affine_u64_with(backend(), out, acc, sub, scale)
+}
+
+/// [`affine_u64`] with an explicitly pinned backend.
+pub fn affine_u64_with(backend: Backend, out: &mut [f64], acc: &[u64], sub: f64, scale: f64) {
+    assert_eq!(
+        out.len(),
+        acc.len(),
+        "affine transform needs out and acc the same length"
+    );
+    check_backend(backend);
+    match backend {
+        Backend::Scalar => f64ops::affine_u64_scalar(out, acc, sub, scale),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_backend proved AVX2 is available.
+        Backend::Avx2 => unsafe { f64ops::affine_u64_avx2(out, acc, sub, scale) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => unreachable!("check_backend rejects AVX2 off x86_64"),
+    }
+}
+
+/// Element-wise `dst[i] += src[i]` — the aligned cell-wise fast path
+/// of release compaction. Element-wise IEEE adds in scalar order, so
+/// merged releases are byte-identical across backends. Contract:
+/// `dst.len() == src.len()`.
+pub fn add_assign(dst: &mut [f64], src: &[f64]) {
+    add_assign_with(backend(), dst, src)
+}
+
+/// [`add_assign`] with an explicitly pinned backend.
+pub fn add_assign_with(backend: Backend, dst: &mut [f64], src: &[f64]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "add_assign needs dst and src the same length"
+    );
+    check_backend(backend);
+    match backend {
+        Backend::Scalar => f64ops::add_assign_scalar(dst, src),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_backend proved AVX2 is available.
+        Backend::Avx2 => unsafe { f64ops::add_assign_avx2(dst, src) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => unreachable!("check_backend rejects AVX2 off x86_64"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_is_forced_scalar_first() {
+        assert_eq!(Backend::select(false, true), Backend::Avx2);
+        assert_eq!(Backend::select(true, true), Backend::Scalar);
+        assert_eq!(Backend::select(false, false), Backend::Scalar);
+        assert_eq!(Backend::select(true, false), Backend::Scalar);
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(Backend::Scalar.name(), "scalar");
+        assert_eq!(Backend::Avx2.name(), "avx2");
+        // The process-wide choice agrees with the pure decision
+        // function applied to this process's environment.
+        let expect = Backend::select(force_scalar_requested(), avx2_available());
+        assert_eq!(backend(), expect);
+        assert_eq!(active_backend(), expect.name());
+    }
+
+    #[test]
+    fn shape_contracts_panic() {
+        let r = std::panic::catch_unwind(|| {
+            let mut acc = [0u64; 4];
+            fold_oue_with(Backend::Scalar, &mut acc, 2, &[1, 2, 3]);
+        });
+        assert!(r.is_err(), "ragged batch must panic");
+        let r = std::panic::catch_unwind(|| {
+            let mut acc = [0u64; 4];
+            let _ = fold_grr_checked_with(Backend::Scalar, &mut acc, 8, &[]);
+        });
+        assert!(r.is_err(), "short accumulator must panic");
+    }
+}

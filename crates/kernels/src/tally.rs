@@ -1,0 +1,79 @@
+//! GRR tally scatter: the fused validate + fold building blocks.
+//!
+//! The batch contract is all-or-nothing, so the fold runs a max
+//! pre-scan (vectorized under AVX2) proving every report is in-domain
+//! before the scatter pass touches the accumulator — one pass over
+//! the reports for validation instead of a `find` sweep, and the
+//! scatter itself stays a plain data-dependent increment loop (gather/
+//! scatter conflicts make a SIMD scatter a loss at these tally
+//! widths).
+
+/// Scalar max pre-scan; `None` for an empty batch.
+pub(crate) fn max_u32_scalar(reports: &[u32]) -> Option<u32> {
+    reports.iter().copied().max()
+}
+
+/// The scatter pass: every report bumps exactly one tally. Callers
+/// proved `report < acc.len()` via the max pre-scan.
+pub(crate) fn scatter(acc: &mut [u64], reports: &[u32]) {
+    for &cell in reports {
+        acc[cell as usize] += 1;
+    }
+}
+
+/// AVX2 max pre-scan: eight lanes of `_mm256_max_epu32` per step.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn max_u32_avx2(reports: &[u32]) -> Option<u32> {
+    use std::arch::x86_64::*;
+    if reports.is_empty() {
+        return None;
+    }
+    let chunks = reports.len() / 8;
+    let mut best = 0u32;
+    if chunks > 0 {
+        unsafe {
+            let ptr = reports.as_ptr();
+            let mut m = _mm256_loadu_si256(ptr as *const __m256i);
+            for i in 1..chunks {
+                m = _mm256_max_epu32(m, _mm256_loadu_si256(ptr.add(8 * i) as *const __m256i));
+            }
+            let mut lanes = [0u32; 8];
+            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, m);
+            best = lanes.into_iter().max().expect("eight lanes");
+        }
+    }
+    for &r in &reports[chunks * 8..] {
+        best = best.max(r);
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_max_handles_empty_and_singleton() {
+        assert_eq!(max_u32_scalar(&[]), None);
+        assert_eq!(max_u32_scalar(&[7]), Some(7));
+        assert_eq!(max_u32_scalar(&[3, 9, 1]), Some(9));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_max_matches_scalar_across_tail_lengths() {
+        if !crate::avx2_available() {
+            eprintln!("skipping: no AVX2 on this machine");
+            return;
+        }
+        for n in [0usize, 1, 7, 8, 9, 16, 23, 64, 100] {
+            let reports: Vec<u32> = (0..n)
+                .map(|i| ((i as u32).wrapping_mul(0x9E37_79B9)) >> 8)
+                .collect();
+            // SAFETY: guarded by avx2_available above.
+            let got = unsafe { max_u32_avx2(&reports) };
+            assert_eq!(got, max_u32_scalar(&reports), "n = {n}");
+        }
+    }
+}

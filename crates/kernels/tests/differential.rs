@@ -1,0 +1,195 @@
+//! Differential tests: every kernel's AVX2 implementation must be
+//! bit-exact against the scalar reference across hostile shapes —
+//! word-count remainders, tail-bit domains (`cells % 64 ≠ 0`), empty
+//! batches, single-report batches, and accumulators pre-filled near
+//! capacity. On machines without AVX2 the comparisons degenerate to
+//! scalar-vs-scalar (still exercising shape handling); CI's
+//! x86_64 runners take the real branch.
+
+use dpgrid_kernels::{
+    add_assign_with, affine_u64_with, avx2_available, fold_grr_checked_with, fold_oue_with, Backend,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The backend pair under test: AVX2 when the machine has it.
+fn backends() -> (Backend, Backend) {
+    (
+        Backend::Scalar,
+        if avx2_available() {
+            Backend::Avx2
+        } else {
+            Backend::Scalar
+        },
+    )
+}
+
+/// A packed OUE batch over `cells` with every report's tail bits
+/// clear, plus a deliberately over-dense bit pattern so the CSA
+/// planes see carries at every level.
+fn oue_batch(rng: &mut StdRng, cells: usize, reports: usize) -> (usize, Vec<u64>) {
+    let words = cells.div_ceil(64);
+    let tail = words * 64 - cells;
+    let mut bits = Vec::with_capacity(reports * words);
+    for _ in 0..reports {
+        for w in 0..words {
+            let mut word: u64 = match rng.random_range(0..3u8) {
+                0 => rng.random(),
+                1 => u64::MAX,
+                _ => 1u64 << rng.random_range(0..64u32),
+            };
+            if w == words - 1 && tail > 0 {
+                word &= u64::MAX >> tail;
+            }
+            bits.push(word);
+        }
+    }
+    (words, bits)
+}
+
+proptest! {
+    /// OUE positional popcount: scalar and dispatched backends agree
+    /// bit-for-bit on every domain width and batch size, including
+    /// pre-filled accumulators near `u64` capacity.
+    #[test]
+    fn fold_oue_backends_agree(
+        seed in 0u64..1_000_000,
+        cells in 1usize..600,
+        reports in 0usize..70,
+        prefill in 0u64..2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (words, bits) = oue_batch(&mut rng, cells, reports);
+        // Max-capacity accumulator: each cell can absorb at most
+        // `reports` more increments without wrapping.
+        let base = if prefill == 1 { u64::MAX - reports as u64 } else { 0 };
+        let (scalar, simd) = backends();
+        let mut a = vec![base; cells];
+        fold_oue_with(scalar, &mut a, words, &bits);
+        let mut b = vec![base; cells];
+        fold_oue_with(simd, &mut b, words, &bits);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The wide-domain regimes the `cells` range above cannot reach:
+    /// 1024 and 4096 cells (the bench shapes) and the word counts
+    /// around the AVX2 grouped path's column remainder.
+    #[test]
+    fn fold_oue_backends_agree_on_wide_domains(
+        seed in 0u64..1_000_000,
+        words_sel in 0usize..6,
+        tail_bits in 0usize..64,
+        reports in 0usize..40,
+    ) {
+        let words = [4usize, 5, 7, 8, 16, 64][words_sel];
+        let cells = words * 64 - tail_bits.min(63);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (words, bits) = oue_batch(&mut rng, cells, reports);
+        let (scalar, simd) = backends();
+        let mut a = vec![0u64; cells];
+        fold_oue_with(scalar, &mut a, words, &bits);
+        let mut b = vec![0u64; cells];
+        fold_oue_with(simd, &mut b, words, &bits);
+        prop_assert_eq!(a, b);
+    }
+
+    /// GRR fused validate+fold: identical tallies, identical
+    /// first-offender errors, and an untouched accumulator on
+    /// rejection — on both backends.
+    #[test]
+    fn fold_grr_backends_agree(
+        seed in 0u64..1_000_000,
+        cells in 1u32..5_000,
+        reports in 0usize..600,
+        hostile in 0u64..2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reports: Vec<u32> = (0..reports)
+            .map(|_| {
+                // Hostile batches sprinkle out-of-domain values.
+                let bound = if hostile == 1 { cells.saturating_mul(2) } else { cells };
+                rng.random_range(0..bound.max(1))
+            })
+            .collect();
+        let (scalar, simd) = backends();
+        let mut a = vec![0u64; cells as usize];
+        let ra = fold_grr_checked_with(scalar, &mut a, cells, &reports);
+        let mut b = vec![0u64; cells as usize];
+        let rb = fold_grr_checked_with(simd, &mut b, cells, &reports);
+        prop_assert_eq!(ra, rb);
+        prop_assert_eq!(&a, &b);
+        if ra.is_err() {
+            prop_assert!(a.iter().all(|&v| v == 0), "rejected batch must not fold");
+        }
+    }
+
+    /// Affine debias: byte-identical f64 outputs, including tallies at
+    /// and past 2^52 where the AVX2 conversion trick must fall back.
+    #[test]
+    fn affine_backends_agree(
+        seed in 0u64..1_000_000,
+        n in 0usize..200,
+        sub in -1e9f64..1e9,
+        scale in -1e3f64..1e3,
+        huge in 0u64..2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let acc: Vec<u64> = (0..n)
+            .map(|_| {
+                if huge == 1 && rng.random_range(0..4u8) == 0 {
+                    rng.random::<u64>() | (1 << 52)
+                } else {
+                    rng.random::<u64>() >> rng.random_range(12..60u32)
+                }
+            })
+            .collect();
+        let (scalar, simd) = backends();
+        let mut a = vec![0.0; n];
+        affine_u64_with(scalar, &mut a, &acc, sub, scale);
+        let mut b = vec![0.0; n];
+        affine_u64_with(simd, &mut b, &acc, sub, scale);
+        let a: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Elementwise f64 add: byte-identical sums across vector-width
+    /// remainders.
+    #[test]
+    fn add_assign_backends_agree(
+        seed in 0u64..1_000_000,
+        n in 0usize..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src: Vec<f64> = (0..n).map(|_| rng.random_range(-1e12f64..1e12)).collect();
+        let dst: Vec<f64> = (0..n).map(|_| rng.random_range(-1e-12f64..1e-12)).collect();
+        let (scalar, simd) = backends();
+        let mut a = dst.clone();
+        add_assign_with(scalar, &mut a, &src);
+        let mut b = dst;
+        add_assign_with(simd, &mut b, &src);
+        let a: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// The fixed hostile shapes worth pinning outside randomized sweeps:
+/// empty batch, single report, single-cell domain, one-past-a-word
+/// domains, and the exact bench widths.
+#[test]
+fn fold_oue_backends_agree_on_edge_shapes() {
+    let (scalar, simd) = backends();
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    for cells in [1usize, 63, 64, 65, 127, 128, 129, 1024, 4096] {
+        for reports in [0usize, 1, 15, 16, 17] {
+            let (words, bits) = oue_batch(&mut rng, cells, reports);
+            let mut a = vec![0u64; cells];
+            fold_oue_with(scalar, &mut a, words, &bits);
+            let mut b = vec![0u64; cells];
+            fold_oue_with(simd, &mut b, words, &bits);
+            assert_eq!(a, b, "cells = {cells}, reports = {reports}");
+        }
+    }
+}

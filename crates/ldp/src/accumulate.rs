@@ -3,11 +3,13 @@
 //!
 //! The per-report API in `dpgrid_mech` ([`dpgrid_mech::FrequencyOracle`
 //! `::aggregate`]) is the semantic reference; these functions are the
-//! batch form the collector actually runs. They are deliberately
-//! two-pass — one validation sweep over the batch, then one pure
-//! arithmetic sweep over flat slices — so the accumulation loop has no
-//! per-cell branching, no hashing and no per-report allocation, and a
-//! rejected batch leaves the accumulator untouched.
+//! batch form the collector actually runs. Validation always precedes
+//! arithmetic so a rejected batch leaves the accumulator untouched,
+//! and the arithmetic itself runs on the [`dpgrid_kernels`] layer —
+//! runtime-dispatched scalar/AVX2 implementations whose integer
+//! outputs are bit-exact regardless of backend. [`fold_grr_checked`]
+//! fuses the two passes (a vectorized max pre-scan, then the scatter)
+//! while keeping the all-or-nothing contract.
 
 use crate::error::LdpError;
 use crate::Result;
@@ -32,6 +34,18 @@ pub fn fold_grr(acc: &mut [u64], reports: &[u32]) {
     }
 }
 
+/// Fused validate + fold for one GRR batch — the path the collector
+/// runs. A single vectorized max pre-scan (see
+/// [`dpgrid_kernels::fold_grr_checked`]) proves the whole batch
+/// in-domain before the scatter pass touches `acc`, preserving the
+/// all-or-nothing contract; a rejected batch reports the first
+/// offending cell with the same message as [`validate_grr`].
+pub fn fold_grr_checked(acc: &mut [u64], cells: u32, reports: &[u32]) -> Result<()> {
+    dpgrid_kernels::fold_grr_checked(acc, cells, reports).map_err(|c| {
+        LdpError::MalformedBatch(format!("GRR report names cell {c}, domain has {cells}"))
+    })
+}
+
 /// Packed words per OUE report over a `cells`-cell domain.
 pub fn oue_words(cells: u32) -> usize {
     dpgrid_mech::oue_words(cells as usize)
@@ -42,6 +56,11 @@ pub fn oue_words(cells: u32) -> usize {
 /// may set bits past the domain in its last word (a hostile tail
 /// would inflate the debiased tally of nonexistent cells — rejected
 /// here, before anything is folded).
+///
+/// Error priority is part of the contract: a batch that is both
+/// mis-shaped and tail-poisoned reports the shape error, because the
+/// tail sweep only runs once the word count proves `chunks_exact`
+/// tiles the buffer into whole reports.
 pub fn validate_oue(cells: u32, count: u32, bits: &[u64]) -> Result<()> {
     let words = oue_words(cells);
     match (count as usize).checked_mul(words) {
@@ -54,40 +73,31 @@ pub fn validate_oue(cells: u32, count: u32, bits: &[u64]) -> Result<()> {
         }
     }
     let tail = (words * 64 - cells as usize) as u32;
-    if tail > 0
-        && bits
-            .iter()
-            .skip(words - 1)
-            .step_by(words)
-            .any(|&last| last >> (64 - tail) != 0)
-    {
-        return Err(LdpError::MalformedBatch(format!(
-            "OUE report sets bits past the {cells}-cell domain"
-        )));
+    if tail > 0 {
+        // One branchless sweep: OR every report's last word together,
+        // one shift-compare at the end.
+        let poisoned = bits
+            .chunks_exact(words)
+            .fold(0u64, |or, report| or | report[words - 1]);
+        if poisoned >> (64 - tail) != 0 {
+            return Err(LdpError::MalformedBatch(format!(
+                "OUE report sets bits past the {cells}-cell domain"
+            )));
+        }
     }
     Ok(())
 }
 
 /// Folds one validated OUE batch: every set bit bumps its cell's
 /// tally. `acc` must have `cells` entries; [`validate_oue`]
-/// guarantees no set bit maps past it. The inner loop clears one set
-/// bit per iteration
-/// (`bits &= bits - 1`), so sparse reports — the common case, E[set
-/// bits] ≈ cells·q + 1 — cost proportional to their set bits, not to
-/// the domain.
+/// guarantees no set bit maps past it.
+///
+/// Runs [`dpgrid_kernels::fold_oue`] — a Harley–Seal positional
+/// popcount (bit-sliced vertical counters, AVX2 when the CPU has it)
+/// that replaces the old one-bit-at-a-time scatter. Tallies are `u64`
+/// adds, so the result is bit-exact on every backend.
 pub fn fold_oue(acc: &mut [u64], words: usize, bits: &[u64]) {
-    debug_assert!(words > 0);
-    for report in bits.chunks_exact(words) {
-        for (w, &word) in report.iter().enumerate() {
-            let base = w * 64;
-            let mut rest = word;
-            while rest != 0 {
-                let b = rest.trailing_zeros() as usize;
-                acc[base + b] += 1;
-                rest &= rest - 1;
-            }
-        }
-    }
+    dpgrid_kernels::fold_oue(acc, words, bits)
 }
 
 #[cfg(test)]
@@ -117,6 +127,40 @@ mod tests {
         );
         // An exact multiple of 64 has no tail to poison.
         assert!(validate_oue(128, 1, &[u64::MAX, u64::MAX]).is_ok());
+    }
+
+    #[test]
+    fn oue_validation_reports_shape_before_tail() {
+        // 100 cells → 2 words; this batch is both the wrong length
+        // for its claimed count AND tail-poisoned in its first whole
+        // report. The shape error must win — the stable
+        // error-priority contract callers key their diagnostics on.
+        let err = validate_oue(100, 3, &[0, 1 << 36, 0]).unwrap_err();
+        assert!(err.to_string().contains("holds 3 words"), "{err}");
+        assert!(!err.to_string().contains("past the"), "{err}");
+        // The same tail poison with a correct shape reports the tail.
+        let err = validate_oue(100, 2, &[0, 1 << 36, 0, 0]).unwrap_err();
+        assert!(
+            err.to_string().contains("past the 100-cell domain"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fused_grr_fold_is_all_or_nothing_with_the_validate_error() {
+        let mut acc = vec![0u64; 10];
+        fold_grr_checked(&mut acc, 10, &[0, 9, 5, 5]).unwrap();
+        assert_eq!(acc[5], 2);
+
+        let before = acc.clone();
+        let err = fold_grr_checked(&mut acc, 10, &[3, 10, 11]).unwrap_err();
+        assert_eq!(acc, before, "rejected batch must not fold anything");
+        // Same message as validate_grr, naming the FIRST offender.
+        assert_eq!(
+            err.to_string(),
+            validate_grr(10, &[3, 10, 11]).unwrap_err().to_string()
+        );
+        assert!(err.to_string().contains("cell 10"), "{err}");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use dpgrid_geo::{Domain, MAX_GRID_CELLS};
 use dpgrid_mech::{BudgetSchedule, FrequencyOracle, Grr, Oue};
 use dpgrid_serve::{ReportAck, ReportBatch, ReportPayload};
 
-use crate::accumulate::{fold_grr, fold_oue, oue_words, validate_grr, validate_oue};
+use crate::accumulate::{fold_grr_checked, fold_oue, oue_words, validate_oue};
 use crate::error::LdpError;
 use crate::Result;
 
@@ -183,6 +183,14 @@ impl ReportCollector {
         &self.config.schedule
     }
 
+    /// The kernel backend folding this collector's batches
+    /// (`"avx2"` or `"scalar"` — see [`dpgrid_kernels::active_backend`]),
+    /// surfaced so an operator can confirm the vectorized data plane
+    /// is live on a production box.
+    pub fn kernel_backend(&self) -> &'static str {
+        dpgrid_kernels::active_backend()
+    }
+
     /// Folds one batch into the open epoch's accumulator.
     ///
     /// All-or-nothing: every rejection — wrong keyspace, wrong epoch,
@@ -233,8 +241,7 @@ impl ReportCollector {
         }
         match &batch.payload {
             ReportPayload::Grr(reports) => {
-                validate_grr(self.cells, reports)?;
-                fold_grr(&mut self.grr_acc, reports);
+                fold_grr_checked(&mut self.grr_acc, self.cells, reports)?;
                 self.grr_n += count;
             }
             ReportPayload::Oue { count: n, bits } => {
@@ -316,6 +323,7 @@ impl ReportCollector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::accumulate::fold_grr;
     use dpgrid_core::{parse_epoch_key, Synopsis, TrustModel};
     use dpgrid_mech::{LocalReport, MechError};
     use rand::rngs::StdRng;

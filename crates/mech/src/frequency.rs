@@ -314,11 +314,16 @@ impl FrequencyOracle for Oue {
     }
 }
 
-/// The shared unbiased inversion: `(tally − n·q) / (p − q)` per cell.
+/// The shared unbiased inversion: `(tally − n·q) / (p − q)` per cell,
+/// routed through the kernel layer's batch affine transform (the
+/// element-wise operation order is identical to the open-coded loop,
+/// so estimates are byte-stable across kernel backends).
 fn debias(acc: &[u64], n: u64, p: f64, q: f64) -> Vec<f64> {
     let n = n as f64;
     let scale = 1.0 / (p - q);
-    acc.iter().map(|&c| (c as f64 - n * q) * scale).collect()
+    let mut out = vec![0.0; acc.len()];
+    dpgrid_kernels::affine_u64(&mut out, acc, n * q, scale);
+    out
 }
 
 #[cfg(test)]

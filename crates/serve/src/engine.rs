@@ -125,6 +125,52 @@ impl TransportStats {
     }
 }
 
+/// The kernel backend a host's data plane selected (see
+/// `dpgrid_kernels`), carried in [`EngineStats`] so an operator can
+/// confirm AVX2 is live on a production box through the same
+/// connection they query over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelBackend {
+    /// The portable scalar reference kernels.
+    Scalar,
+    /// The x86_64 AVX2 kernels.
+    Avx2,
+    /// An aggregate over engines running different backends (only
+    /// produced by [`EngineStats::merge`], never selected directly).
+    Mixed,
+}
+
+impl KernelBackend {
+    /// The backend the kernel layer selected in this process.
+    pub fn current() -> KernelBackend {
+        match dpgrid_kernels::backend() {
+            dpgrid_kernels::Backend::Scalar => KernelBackend::Scalar,
+            dpgrid_kernels::Backend::Avx2 => KernelBackend::Avx2,
+        }
+    }
+
+    /// The stable lowercase name, matching
+    /// `dpgrid_kernels::active_backend()`.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Avx2 => "avx2",
+            KernelBackend::Mixed => "mixed",
+        }
+    }
+
+    /// Aggregation over a tier: agreeing members keep their backend,
+    /// disagreeing members read as [`KernelBackend::Mixed`].
+    #[must_use]
+    pub fn merge(self, other: KernelBackend) -> KernelBackend {
+        if self == other {
+            self
+        } else {
+            KernelBackend::Mixed
+        }
+    }
+}
+
 /// Point-in-time engine counters: request traffic on top of the
 /// catalog's surface-cache counters.
 ///
@@ -152,6 +198,11 @@ pub struct EngineStats {
     /// simply omit the field and it decodes as `None`).
     #[serde(default)]
     pub transport: Option<TransportStats>,
+    /// The kernel backend the answering host's data plane selected
+    /// (additive within v1/v2: older peers omit the field and it
+    /// decodes as `None`).
+    #[serde(default)]
+    pub kernel_backend: Option<KernelBackend>,
 }
 
 impl EngineStats {
@@ -184,6 +235,13 @@ impl EngineStats {
             transport: match (&self.transport, &other.transport) {
                 (None, None) => None,
                 (a, b) => Some(a.unwrap_or_default().merge(&b.unwrap_or_default())),
+            },
+            // A member with no backend report (e.g. a zeroed
+            // placeholder for an unreachable shard) doesn't dilute the
+            // tier's reading.
+            kernel_backend: match (self.kernel_backend, other.kernel_backend) {
+                (Some(a), Some(b)) => Some(a.merge(b)),
+                (a, b) => a.or(b),
             },
         }
     }
@@ -460,6 +518,7 @@ impl QueryEngine {
             admission_limit: self.admission_limit as u64,
             catalog,
             transport: None,
+            kernel_backend: Some(KernelBackend::current()),
         }
     }
 

@@ -114,7 +114,8 @@ pub use catalog::{
     DEFAULT_MEMORY_BUDGET_BYTES, DEFAULT_SURFACE_CAPACITY,
 };
 pub use engine::{
-    EngineStats, QueryEngine, QueryRequest, QueryResponse, TransportStats, DEFAULT_ADMISSION_LIMIT,
+    EngineStats, KernelBackend, QueryEngine, QueryRequest, QueryResponse, TransportStats,
+    DEFAULT_ADMISSION_LIMIT,
 };
 pub use error::{Result, ServeError};
 pub use report::{ReportAck, ReportBatch, ReportPayload, ReportService};

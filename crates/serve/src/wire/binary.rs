@@ -108,7 +108,7 @@ use super::{
     WireWindow, WireWindowAnswers, MAX_FRAME_BYTES,
 };
 use crate::catalog::{CacheState, CatalogStats};
-use crate::engine::{EngineStats, TransportStats};
+use crate::engine::{EngineStats, KernelBackend, TransportStats};
 
 /// The binary codec's protocol version, as offered/negotiated in
 /// [`super::HelloOffer`]/[`super::HelloAck`] and carried in every
@@ -715,28 +715,42 @@ fn put_stats(out: &mut Vec<u8>, stats: &EngineStats) {
     put_u64(out, stats.catalog.warm_hits);
     put_u64(out, stats.catalog.compilations);
     put_u64(out, stats.catalog.evictions);
-    // `None` writes no tail at all (not even the flag), so an
-    // in-process engine's stats payload is byte-identical to the
-    // pre-transport encoding and old strict decoders keep accepting it.
-    match &stats.transport {
-        None => {}
-        Some(t) => {
-            out.push(1);
-            put_u64(out, t.accepted);
-            put_u64(out, t.active);
-            put_u64(out, t.frames_decoded);
-            put_u64(out, t.read_stalls);
-            put_u64(out, t.write_stalls);
-            put_u64(out, t.bytes_in);
-            put_u64(out, t.bytes_out);
-            // Second additive extension: written only when nonzero, so
-            // a server that has absorbed no reports encodes a tail
-            // byte-identical to the pre-`Report` layout and old strict
-            // decoders keep accepting it.
-            if t.reports_accepted > 0 {
-                put_u64(out, t.reports_accepted);
-            }
+    // Neither optional present writes no tail at all (not even the
+    // flag), so an in-process engine's stats payload is byte-identical
+    // to the pre-transport encoding and old strict decoders keep
+    // accepting it. Otherwise the flag is a bitmask: bit 0 = transport
+    // counters follow, bit 1 = a kernel-backend byte follows them.
+    let backend = stats.kernel_backend;
+    if stats.transport.is_none() && backend.is_none() {
+        return;
+    }
+    let flag = stats.transport.is_some() as u8 | (backend.is_some() as u8) << 1;
+    out.push(flag);
+    if let Some(t) = &stats.transport {
+        put_u64(out, t.accepted);
+        put_u64(out, t.active);
+        put_u64(out, t.frames_decoded);
+        put_u64(out, t.read_stalls);
+        put_u64(out, t.write_stalls);
+        put_u64(out, t.bytes_in);
+        put_u64(out, t.bytes_out);
+        // Second additive extension: without a backend byte,
+        // `reports_accepted` is written only when nonzero, so a server
+        // that has absorbed no reports encodes a tail byte-identical
+        // to the pre-`Report` layout and old strict decoders keep
+        // accepting it. With a backend byte following, the word is
+        // always written — the flag's bit 1 disambiguates, and the
+        // backend byte must not be mistaken for this word.
+        if t.reports_accepted > 0 || backend.is_some() {
+            put_u64(out, t.reports_accepted);
         }
+    }
+    if let Some(b) = backend {
+        out.push(match b {
+            KernelBackend::Scalar => 0,
+            KernelBackend::Avx2 => 1,
+            KernelBackend::Mixed => 2,
+        });
     }
 }
 
@@ -945,32 +959,46 @@ impl<'a> Reader<'a> {
                 evictions: self.u64()?,
             },
             transport: None,
+            kernel_backend: None,
         };
-        // Additive transport tail: a pre-transport peer's payload ends
-        // here, which is exactly the `None` case.
+        // Additive tail: a pre-transport peer's payload ends here,
+        // which is exactly the all-`None` case. The flag is a bitmask
+        // (bit 0 = transport counters, bit 1 = kernel-backend byte);
+        // older peers only ever wrote 0 or 1.
         if self.remaining() > 0 {
-            stats.transport = match self.u8()? {
-                0 => None,
-                1 => {
-                    let mut t = TransportStats {
-                        accepted: self.u64()?,
-                        active: self.u64()?,
-                        frames_decoded: self.u64()?,
-                        read_stalls: self.u64()?,
-                        write_stalls: self.u64()?,
-                        bytes_in: self.u64()?,
-                        bytes_out: self.u64()?,
-                        reports_accepted: 0,
-                    };
-                    // A tail ending after 7 words is a pre-`Report`
-                    // peer — exactly the `reports_accepted: 0` case.
-                    if self.remaining() > 0 {
-                        t.reports_accepted = self.u64()?;
-                    }
-                    Some(t)
+            let flag = self.u8()?;
+            if flag > 3 {
+                return Err(malformed(format!("unknown stats tail flag byte {flag}")));
+            }
+            let has_backend = flag & 2 != 0;
+            if flag & 1 != 0 {
+                let mut t = TransportStats {
+                    accepted: self.u64()?,
+                    active: self.u64()?,
+                    frames_decoded: self.u64()?,
+                    read_stalls: self.u64()?,
+                    write_stalls: self.u64()?,
+                    bytes_in: self.u64()?,
+                    bytes_out: self.u64()?,
+                    reports_accepted: 0,
+                };
+                // Without a backend byte, a tail ending after 7 words
+                // is a pre-`Report` peer — exactly the
+                // `reports_accepted: 0` case. With one, the word is
+                // always present (the encoder guarantees it).
+                if has_backend || self.remaining() > 0 {
+                    t.reports_accepted = self.u64()?;
                 }
-                byte => return Err(malformed(format!("unknown transport flag byte {byte}"))),
-            };
+                stats.transport = Some(t);
+            }
+            if has_backend {
+                stats.kernel_backend = Some(match self.u8()? {
+                    0 => KernelBackend::Scalar,
+                    1 => KernelBackend::Avx2,
+                    2 => KernelBackend::Mixed,
+                    byte => return Err(malformed(format!("unknown kernel backend byte {byte}"))),
+                });
+            }
         }
         Ok(stats)
     }

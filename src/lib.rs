@@ -14,6 +14,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |--------|-------|----------|
+//! | [`kernels`] | `dpgrid-kernels` | the vectorized data-plane kernel layer: batch positional popcount, fused GRR tally scatter, exact f64 affine/add — each with a scalar reference and an AVX2 implementation behind one runtime dispatcher (`DPGRID_FORCE_SCALAR` overrides) |
 //! | [`geo`] | `dpgrid-geo` | points, rectangles, domains, datasets, dense histograms, synthetic generators, compiled cell indexes (`cell_index`), the `Synopsis`/`Build` traits and the unified `DpError` |
 //! | [`mech`] | `dpgrid-mech` | Laplace / geometric / exponential mechanisms, budget accounting |
 //! | [`core`] | `dpgrid-core` | UG, AG, the guidelines, error analysis, the `Method` registry, the publishing `Pipeline`, the compiled query surface (`surface`) and the portable `Release` format |
@@ -218,6 +219,7 @@ pub use dpgrid_baselines as baselines;
 pub use dpgrid_core as core;
 pub use dpgrid_eval as eval;
 pub use dpgrid_geo as geo;
+pub use dpgrid_kernels as kernels;
 pub use dpgrid_ldp as ldp;
 pub use dpgrid_mech as mech;
 pub use dpgrid_net as net;

@@ -162,6 +162,14 @@ fn arb_stats(rng: &mut StdRng) -> EngineStats {
         } else {
             None
         },
+        // The kernel-backend byte is also optional-additive, and every
+        // combination with the transport tail must round-trip.
+        kernel_backend: match rng.random_range(0..4u8) {
+            0 => None,
+            1 => Some(dpgrid::serve::KernelBackend::Scalar),
+            2 => Some(dpgrid::serve::KernelBackend::Avx2),
+            _ => Some(dpgrid::serve::KernelBackend::Mixed),
+        },
     }
 }
 
